@@ -1,0 +1,83 @@
+// Command analyticsd is the analytic server of Fig 3: it hosts the
+// backend store cluster plus the co-located compute engine, and serves the
+// frontend-facing REST/JSON API (queries, long-poll, stats).
+//
+// Data comes from a snapshot written by ingestd, or — for demos — from a
+// corpus generated in-process with -generate.
+//
+// Usage:
+//
+//	analyticsd -snapshot /tmp/titan/db.snap -addr :8080
+//	analyticsd -generate -hours 3 -addr :8080
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"hpclog/internal/core"
+	"hpclog/internal/logs"
+	"hpclog/internal/topology"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("analyticsd: ")
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		snapPath   = flag.String("snapshot", "", "snapshot file from ingestd")
+		generate   = flag.Bool("generate", false, "generate a demo corpus instead of loading a snapshot")
+		hours      = flag.Float64("hours", 3, "demo corpus window (with -generate)")
+		cabinets   = flag.Int("cabinets", 8, "demo corpus cabinets (with -generate)")
+		storeNodes = flag.Int("store-nodes", 32, "store cluster size")
+		rf         = flag.Int("rf", 3, "replication factor")
+		threads    = flag.Int("threads", 2, "task slots per compute worker")
+	)
+	flag.Parse()
+
+	fw, err := core.New(core.Options{StoreNodes: *storeNodes, RF: *rf, Threads: *threads})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	switch {
+	case *generate:
+		cfg := logs.DefaultConfig()
+		cfg.Duration = time.Duration(*hours * float64(time.Hour))
+		cfg.Nodes = *cabinets * topology.NodesPerCabinet
+		for i := range cfg.Storms {
+			cfg.Storms[i].Start = cfg.Start.Add(cfg.Duration / 2)
+		}
+		log.Printf("generating %v of logs over %d nodes...", cfg.Duration, cfg.Nodes)
+		corpus := logs.Generate(cfg)
+		res, err := fw.ImportCorpus(corpus)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("imported %d events, %d runs", res.EventsLoaded, res.RunsLoaded)
+	case *snapPath != "":
+		f, err := os.Open(*snapPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		n, err := fw.DB.Restore(f, fw.Loader.CL)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("restored %d rows from %s", n, *snapPath)
+	default:
+		log.Fatal("need -snapshot FILE or -generate")
+	}
+
+	fmt.Printf("serving on %s\n", *addr)
+	fmt.Println("  POST /api/query   JSON query (see internal/query.Request)")
+	fmt.Println("  GET  /api/types   event type catalog")
+	fmt.Println("  GET  /api/stats   query/compute counters")
+	fmt.Println("  GET  /api/poll    long-poll for new events")
+	log.Fatal(http.ListenAndServe(*addr, fw.Server()))
+}

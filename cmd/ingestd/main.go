@@ -1,0 +1,125 @@
+// Command ingestd runs the batch ETL of Section III-D: it reads raw
+// console and job logs, parses them in parallel with the regex pattern
+// tables, bulk-loads the events and application runs into an in-process
+// store cluster, refreshes the eventsynopsis table, and writes the
+// resulting database snapshot for analyticsd to serve.
+//
+// Usage:
+//
+//	ingestd -console /tmp/titan/console.log -jobs /tmp/titan/jobs.log \
+//	        -snapshot /tmp/titan/db.snap -store-nodes 32
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"hpclog/internal/core"
+	"hpclog/internal/ingest"
+	"hpclog/internal/model"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ingestd: ")
+	var (
+		consolePath = flag.String("console", "console.log", "console log file")
+		jobsPath    = flag.String("jobs", "", "job log file (optional)")
+		snapPath    = flag.String("snapshot", "db.snap", "output snapshot file")
+		storeNodes  = flag.Int("store-nodes", 32, "store cluster size")
+		rf          = flag.Int("rf", 3, "replication factor")
+		threads     = flag.Int("threads", 2, "task slots per compute worker")
+	)
+	flag.Parse()
+
+	fw, err := core.New(core.Options{StoreNodes: *storeNodes, RF: *rf, Threads: *threads})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	lines, err := readLines(*consolePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	started := time.Now()
+	nparts := 4 * len(fw.Compute.Workers())
+	res, err := ingest.BatchImport(fw.Compute, fw.DB, lines, fw.Loader.CL, nparts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(started)
+	fmt.Printf("console: parsed %d, unmatched %d, malformed %d in %v (%.0f lines/s)\n",
+		res.Parsed, res.Unmatched, res.Malformed, elapsed.Round(time.Millisecond),
+		float64(len(lines))/elapsed.Seconds())
+
+	if *jobsPath != "" {
+		jobLines, err := readLines(*jobsPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		jres, err := ingest.BatchImportJobs(fw.Compute, fw.DB, jobLines, fw.Loader.CL, nparts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("jobs: parsed %d, malformed %d\n", jres.Parsed, jres.Malformed)
+	}
+
+	// Synopsis over every hour present in the imported data.
+	var hours []int64
+	for _, pkey := range fw.DB.PartitionKeys(model.TableEventByTime) {
+		var h int64
+		var typ string
+		if _, err := fmt.Sscanf(pkey, "%d:%s", &h, &typ); err == nil {
+			hours = append(hours, h)
+		}
+	}
+	hours = dedupe(hours)
+	if err := ingest.RefreshSynopsis(fw.Compute, fw.DB, hours, fw.Loader.CL); err != nil {
+		log.Fatal(err)
+	}
+
+	f, err := os.Create(*snapPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := fw.DB.Snapshot(f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	info, _ := os.Stat(*snapPath)
+	fmt.Printf("snapshot: %s (%.1f MB, %d tables)\n",
+		*snapPath, float64(info.Size())/(1<<20), len(fw.DB.Tables()))
+}
+
+func readLines(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var lines []string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	return lines, sc.Err()
+}
+
+func dedupe(in []int64) []int64 {
+	seen := map[int64]bool{}
+	var out []int64
+	for _, v := range in {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}

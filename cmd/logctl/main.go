@@ -1,0 +1,349 @@
+// Command logctl is a CLI frontend for analyticsd: it issues JSON queries
+// over the REST API and renders the results in the terminal, standing in
+// for the paper's web UI. Subcommands mirror the frontend's views:
+//
+//	logctl -server http://localhost:8080 types
+//	logctl heatmap   -type MCE -from 2017-08-23T06:00:00Z -to 2017-08-23T12:00:00Z
+//	logctl hist      -type LUSTRE -from ... -to ... -bin 60
+//	logctl dist      -type MCE -level cabinet -from ... -to ...
+//	logctl te        -type LUSTRE -second APP_ABORT -from ... -to ...
+//	logctl words     -type LUSTRE -from ... -to ... -k 15
+//	logctl events    -type MCE -from ... -to ...
+//	logctl runs      -user user007
+//	logctl cql       "SELECT ... FROM ... WHERE partition = '...'"
+//	logctl rules     -from ... -to ...            (association rules)
+//	logctl sequences -from ... -to ...            (A-followed-by-B patterns)
+//	logctl episodes  -type LUSTRE -from ... -to ... (time coalescing)
+//	logctl reliability -from ... -to ...          (MTBF, top failing)
+//	logctl profiles  [-type LUSTRE] -from ... -to ... (app profiles/exposure)
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"hpclog/internal/analytics"
+	"hpclog/internal/query"
+	"hpclog/internal/viz"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("logctl: ")
+	server := flag.String("server", "http://localhost:8080", "analyticsd base URL")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		log.Fatal("usage: logctl [-server URL] <types|heatmap|hist|dist|te|words|tfidf|events|runs|placement> [flags]")
+	}
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+
+	sub := flag.NewFlagSet(cmd, flag.ExitOnError)
+	var (
+		typ    = sub.String("type", "", "event type")
+		second = sub.String("second", "", "second event type (te)")
+		from   = sub.String("from", "", "window start, RFC3339")
+		to     = sub.String("to", "", "window end, RFC3339")
+		at     = sub.String("at", "", "instant, RFC3339 (placement)")
+		level  = sub.String("level", "cabinet", "distribution level")
+		bin    = sub.Int("bin", 60, "bin seconds")
+		k      = sub.Int("k", 15, "top-k results")
+		user   = sub.String("user", "", "user filter (runs)")
+		app    = sub.String("app", "", "application filter (runs)")
+	)
+	if err := sub.Parse(args); err != nil {
+		log.Fatal(err)
+	}
+
+	req := query.Request{
+		Context:    query.Context{EventType: *typ, User: *user, App: *app},
+		SecondType: *second,
+		BinSeconds: *bin,
+		TopK:       *k,
+		Level:      *level,
+	}
+	req.Context.From = parseTime(*from)
+	req.Context.To = parseTime(*to)
+	req.At = parseTime(*at)
+
+	switch cmd {
+	case "types":
+		req.Op = query.OpTypes
+		var types map[string]string
+		do(*server, req, &types)
+		for t, d := range types {
+			fmt.Printf("%-13s %s\n", t, d)
+		}
+	case "heatmap":
+		req.Op = query.OpHeatmap
+		var hm analytics.HeatMap
+		do(*server, req, &hm)
+		fmt.Print(viz.SystemMap(&hm))
+	case "hist":
+		req.Op = query.OpHistogram
+		var hist []int
+		do(*server, req, &hist)
+		fmt.Print(viz.Histogram(hist, 10))
+	case "dist":
+		req.Op = query.OpDistribution
+		var buckets []analytics.Bucket
+		do(*server, req, &buckets)
+		fmt.Print(viz.Distribution(buckets, *k, 50))
+	case "te":
+		req.Op = query.OpTE
+		var te query.TEResponse
+		do(*server, req, &te)
+		fmt.Printf("TE(%s -> %s) = %.4f bits\n", te.First, te.Second, te.TEForward)
+		fmt.Printf("TE(%s -> %s) = %.4f bits\n", te.Second, te.First, te.TEReverse)
+		if te.Direction != "" {
+			fmt.Printf("information flows %s\n", te.Direction)
+		}
+	case "words":
+		req.Op = query.OpWordCount
+		var words []query.WordCountEntry
+		do(*server, req, &words)
+		for _, w := range words {
+			fmt.Printf("%-20s %8d\n", w.Term, w.Count)
+		}
+	case "tfidf":
+		req.Op = query.OpTFIDF
+		var scores []analytics.TermScore
+		do(*server, req, &scores)
+		fmt.Print(viz.WordBubbles(scores, *k))
+	case "events":
+		req.Op = query.OpEvents
+		var events []query.EventRecord
+		do(*server, req, &events)
+		for _, e := range events {
+			fmt.Printf("%s %-13s %-12s x%d %s\n",
+				time.Unix(e.Time, 0).UTC().Format(time.RFC3339), e.Type, e.Source, e.Count, e.Raw)
+		}
+	case "runs":
+		req.Op = query.OpRuns
+		var runs []query.RunRecord
+		do(*server, req, &runs)
+		for _, r := range runs {
+			status := "ok"
+			if !r.ExitOK {
+				status = "FAILED"
+			}
+			fmt.Printf("%s %-10s %-10s %5d nodes %v  %s\n",
+				r.JobID, r.App, r.User, len(r.Nodes),
+				time.Unix(r.End-r.Start, 0).UTC().Format("15:04:05"), status)
+		}
+	case "placement":
+		req.Op = query.OpPlacement
+		var placement map[string]string
+		do(*server, req, &placement)
+		fmt.Print(viz.PlacementMap(placement))
+	case "cql":
+		if sub.NArg() < 1 {
+			log.Fatal("usage: logctl cql 'SELECT ... FROM ... WHERE ...'")
+		}
+		runCQL(*server, sub.Arg(0))
+	case "rules":
+		req.Op = query.OpRules
+		var rules []struct {
+			Antecedent string  `json:"Antecedent"`
+			Consequent string  `json:"Consequent"`
+			Support    float64 `json:"Support"`
+			Confidence float64 `json:"Confidence"`
+			Lift       float64 `json:"Lift"`
+		}
+		do(*server, req, &rules)
+		for i, r := range rules {
+			if i >= *k {
+				break
+			}
+			fmt.Printf("%-13s => %-13s supp %.3f conf %.2f lift %.2f\n",
+				r.Antecedent, r.Consequent, r.Support, r.Confidence, r.Lift)
+		}
+	case "sequences":
+		req.Op = query.OpSequences
+		var patterns []struct {
+			First     string `json:"First"`
+			Then      string `json:"Then"`
+			Count     int    `json:"Count"`
+			Prob      float64
+			MedianLag int64 `json:"MedianLag"`
+		}
+		do(*server, req, &patterns)
+		for i, p := range patterns {
+			if i >= *k {
+				break
+			}
+			fmt.Printf("%-13s -> %-13s p=%.2f n=%d lag=%v\n",
+				p.First, p.Then, p.Prob, p.Count, time.Duration(p.MedianLag))
+		}
+	case "episodes":
+		req.Op = query.OpEpisodes
+		var episodes []struct {
+			Type    string `json:"Type"`
+			Start   time.Time
+			End     time.Time
+			Count   int
+			Sources []string
+		}
+		do(*server, req, &episodes)
+		for i, ep := range episodes {
+			if i >= *k {
+				break
+			}
+			fmt.Printf("%s %-13s %6d events %4d sources %v\n",
+				ep.Start.Format(time.RFC3339), ep.Type, ep.Count, len(ep.Sources),
+				ep.End.Sub(ep.Start).Round(time.Second))
+		}
+	case "reliability":
+		req.Op = query.OpReliability
+		var payload struct {
+			Stats struct {
+				N                           int
+				MTBF, Median, P95, Min, Max int64
+			} `json:"stats"`
+			TopFailing []struct {
+				Component string
+				Failures  int
+				MTBF      int64
+			} `json:"top_failing"`
+		}
+		do(*server, req, &payload)
+		fmt.Printf("failures: %d, MTBF %v (median %v, p95 %v)\n",
+			payload.Stats.N, time.Duration(payload.Stats.MTBF),
+			time.Duration(payload.Stats.Median), time.Duration(payload.Stats.P95))
+		for _, c := range payload.TopFailing {
+			fmt.Printf("  %-12s %5d failures  MTBF %v\n",
+				c.Component, c.Failures, time.Duration(c.MTBF))
+		}
+	case "profiles":
+		req.Op = query.OpProfiles
+		if *typ != "" {
+			var exposure []struct {
+				App  string
+				Rate float64
+				Runs int
+			}
+			do(*server, req, &exposure)
+			for i, e := range exposure {
+				if i >= *k {
+					break
+				}
+				fmt.Printf("%-12s %8.3f ev/node-h (%d runs)\n", e.App, e.Rate, e.Runs)
+			}
+			break
+		}
+		var profiles map[string]struct {
+			Runs       int
+			FailedRuns int
+			NodeHours  float64
+		}
+		do(*server, req, &profiles)
+		for app, p := range profiles {
+			fmt.Printf("%-12s %4d runs (%d failed) %10.1f node-hours\n",
+				app, p.Runs, p.FailedRuns, p.NodeHours)
+		}
+	default:
+		log.Fatalf("unknown subcommand %q", cmd)
+	}
+}
+
+// runCQL posts a raw CQL statement to /api/cql and prints the result.
+func runCQL(server, stmt string) {
+	body, err := json.Marshal(map[string]string{"query": stmt})
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(server+"/api/cql", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var envelope struct {
+		OK     bool            `json:"ok"`
+		Error  string          `json:"error"`
+		Result json.RawMessage `json:"result"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil {
+		log.Fatal(err)
+	}
+	if !envelope.OK {
+		fmt.Fprintf(os.Stderr, "cql failed: %s\n", envelope.Error)
+		os.Exit(1)
+	}
+	var res struct {
+		Rows []struct {
+			Key     string            `json:"key"`
+			Columns map[string]string `json:"columns"`
+		} `json:"rows"`
+		Tables  []string `json:"tables"`
+		Schema  []string `json:"schema"`
+		Applied bool     `json:"applied"`
+	}
+	if err := json.Unmarshal(envelope.Result, &res); err != nil {
+		log.Fatal(err)
+	}
+	switch {
+	case res.Applied:
+		fmt.Println("applied")
+	case res.Tables != nil:
+		for _, t := range res.Tables {
+			fmt.Println(t)
+		}
+	case res.Schema != nil:
+		for _, c := range res.Schema {
+			fmt.Println(c)
+		}
+	default:
+		for _, r := range res.Rows {
+			fmt.Printf("%s", r.Key)
+			for k, v := range r.Columns {
+				fmt.Printf("  %s=%q", k, v)
+			}
+			fmt.Println()
+		}
+		fmt.Printf("(%d rows)\n", len(res.Rows))
+	}
+}
+
+func parseTime(s string) int64 {
+	if s == "" {
+		return 0
+	}
+	t, err := time.Parse(time.RFC3339, s)
+	if err != nil {
+		log.Fatalf("bad time %q: %v", s, err)
+	}
+	return t.Unix()
+}
+
+// do posts the query and decodes the result into out.
+func do(server string, req query.Request, out any) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(server+"/api/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var envelope struct {
+		OK     bool            `json:"ok"`
+		Error  string          `json:"error"`
+		Result json.RawMessage `json:"result"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil {
+		log.Fatal(err)
+	}
+	if !envelope.OK {
+		fmt.Fprintf(os.Stderr, "query failed: %s\n", envelope.Error)
+		os.Exit(1)
+	}
+	if err := json.Unmarshal(envelope.Result, out); err != nil {
+		log.Fatal(err)
+	}
+}

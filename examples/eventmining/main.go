@@ -1,0 +1,152 @@
+// Event mining — the Section V roadmap implemented: instead of matching
+// known text patterns, mine the event stream itself for structure. This
+// example discovers the injected Lustre→abort causality as an association
+// rule and a sequential pattern, compresses the storm into episodes via
+// time coalescing, registers a composite "node failure cascade" event
+// type, and builds per-application profiles with anomaly reports.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"hpclog/internal/core"
+	"hpclog/internal/logs"
+	"hpclog/internal/mining"
+	"hpclog/internal/model"
+	"hpclog/internal/profile"
+	"hpclog/internal/topology"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	fw, err := core.New(core.Options{StoreNodes: 8, RF: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := logs.DefaultConfig()
+	cfg.Nodes = 4 * topology.NodesPerCabinet
+	cfg.Duration = 4 * time.Hour
+	cfg.BaseRates[model.Lustre] = 0.5
+	cfg.BaseRates[model.KernelPanic] = 0.05
+	cfg.Causal = []logs.CausalRule{{
+		Cause: model.Lustre, Effect: model.AppAbort,
+		Prob: 0.3, Lag: 30 * time.Second, Jitter: 20 * time.Second,
+	}}
+	cfg.Storms[0].Start = cfg.Start.Add(2 * time.Hour)
+	cfg.Jobs.MaxNodes = 64
+	corpus := logs.Generate(cfg)
+	if err := fw.LoadGroundTruth(corpus); err != nil {
+		log.Fatal(err)
+	}
+	from, to := cfg.Start, cfg.Start.Add(cfg.Duration)
+	fmt.Printf("corpus: %d events, %d runs over %v\n\n", len(corpus.Events), len(corpus.Runs), cfg.Duration)
+
+	// Rules and sequences are mined on the pre-storm window: during a
+	// system-wide storm every type co-occurs with everything, so the
+	// steady-state window is where causal structure is visible.
+	preStorm := cfg.Storms[0].Start
+
+	// 1. Association rules between event types (co-occurrence windows).
+	rules, err := fw.MineRules(from, preStorm, time.Minute, 0.005, 0.2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("association rules (by lift, pre-storm window):")
+	for i, r := range rules {
+		if i >= 5 {
+			break
+		}
+		fmt.Printf("  %s\n", r)
+	}
+
+	// 2. Sequential patterns with lag statistics: the precursor view.
+	patterns, err := fw.MineSequences(from, preStorm, 90*time.Second, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nsequential patterns (A followed by B):")
+	for i, p := range patterns {
+		if i >= 5 {
+			break
+		}
+		fmt.Printf("  %-9s -> %-10s p=%.2f (n=%d, median lag %v)\n",
+			p.First, p.Then, p.Prob, p.Count, p.MedianLag)
+	}
+
+	// 3. Time coalescing: the storm collapses into one episode.
+	episodes, err := fw.Episodes(model.Lustre, from, to, 30*time.Second, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var biggest mining.Episode
+	for _, ep := range episodes {
+		if ep.Count > biggest.Count {
+			biggest = ep
+		}
+	}
+	fmt.Printf("\ntime coalescing: %d raw Lustre events -> %d episodes\n",
+		sumEpisodes(episodes), len(episodes))
+	fmt.Printf("  largest episode: %d events over %v across %d sources\n",
+		biggest.Count, biggest.Duration().Round(time.Second), len(biggest.Sources))
+
+	// 4. A composite event type: kernel panic followed by an application
+	// abort on the same node within a minute.
+	cascades, err := fw.DetectComposite(mining.CompositeDef{
+		Name:       "NODE_FAILURE_CASCADE",
+		Members:    []model.EventType{model.KernelPanic, model.AppAbort},
+		Window:     time.Minute,
+		SameSource: true,
+	}, from, to)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncomposite NODE_FAILURE_CASCADE occurrences: %d\n", len(cascades))
+	for i, c := range cascades {
+		if i >= 3 {
+			break
+		}
+		fmt.Printf("  %s on %s\n", c.Time.Format(time.RFC3339), c.Source)
+	}
+
+	// 5. Application profiles and anomaly reports.
+	profiles, err := fw.Profiles(from, to)
+	if err != nil {
+		log.Fatal(err)
+	}
+	exposure := profile.Compare(profiles, model.Lustre)
+	fmt.Println("\napplication exposure to Lustre errors (events per node-hour):")
+	for i, e := range exposure {
+		if i >= 5 || e.Rate == 0 {
+			break
+		}
+		fmt.Printf("  %-10s %.3f (%d runs)\n", e.App, e.Rate, e.Runs)
+	}
+	reported := 0
+	for _, r := range corpus.Runs {
+		if r.ExitOK {
+			continue
+		}
+		report, err := profile.Evaluate(r, corpus.Events, profiles[r.App], 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(report.Anomalies) > 0 && reported < 3 {
+			a := report.Anomalies[0]
+			fmt.Printf("\nfailed run %s (%s): %s rate %.2fx the %s baseline\n",
+				r.JobID, r.App, a.Type, a.Factor, r.App)
+			reported++
+		}
+	}
+}
+
+func sumEpisodes(eps []mining.Episode) int {
+	n := 0
+	for _, ep := range eps {
+		n += ep.Count
+	}
+	return n
+}

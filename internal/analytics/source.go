@@ -1,0 +1,148 @@
+// Package analytics implements the big data processing unit of Section
+// III: the heat map and distribution computations behind the physical
+// system map (Fig 5), temporal histograms for the temporal map, event
+// correlation via cross-correlation and transfer entropy (Fig 7-top), and
+// the text analytics — word count and TF-IDF over raw Lustre messages —
+// that surface the culprit component in a system-wide event (Fig
+// 7-bottom).
+//
+// All heavy computations are expressed as jobs on the compute engine, with
+// each store partition read by a task placed on the co-located worker.
+package analytics
+
+import (
+	"time"
+
+	"hpclog/internal/compute"
+	"hpclog/internal/model"
+	"hpclog/internal/store"
+)
+
+// estRowBytes is a rough per-row size estimate used for locality pricing.
+const estRowBytes = 160
+
+// EventsByType builds a dataset of all events of one type within
+// [from, to), one partition per hour bucket, each preferring its primary
+// storage node.
+func EventsByType(eng *compute.Engine, db *store.DB, typ model.EventType, from, to time.Time) *compute.Dataset[model.Event] {
+	hours := model.HoursIn(from, to)
+	rg := model.EventTimeRange(from, to)
+	parts := make([]compute.Partition[model.Event], len(hours))
+	for i, hour := range hours {
+		pkey := model.EventByTimeKey(hour, typ)
+		parts[i] = compute.Partition[model.Event]{
+			Index:     i,
+			Preferred: db.PrimaryFor(pkey),
+			SizeHint:  estRowBytes * 256,
+			Compute: func() ([]model.Event, error) {
+				rows, err := db.Get(model.TableEventByTime, pkey, rg, store.One)
+				if err != nil {
+					return nil, err
+				}
+				events := make([]model.Event, 0, len(rows))
+				for _, r := range rows {
+					e, err := model.EventFromTimeRow(pkey, r)
+					if err != nil {
+						return nil, err
+					}
+					events = append(events, e)
+				}
+				return events, nil
+			},
+		}
+	}
+	return compute.FromPartitions(eng, parts)
+}
+
+// EventsBySource builds a dataset of all events reported by one component
+// within [from, to), using the event_by_location table.
+func EventsBySource(eng *compute.Engine, db *store.DB, source string, from, to time.Time) *compute.Dataset[model.Event] {
+	hours := model.HoursIn(from, to)
+	rg := model.EventTimeRange(from, to)
+	parts := make([]compute.Partition[model.Event], len(hours))
+	for i, hour := range hours {
+		pkey := model.EventByLocKey(hour, source)
+		parts[i] = compute.Partition[model.Event]{
+			Index:     i,
+			Preferred: db.PrimaryFor(pkey),
+			SizeHint:  estRowBytes * 64,
+			Compute: func() ([]model.Event, error) {
+				rows, err := db.Get(model.TableEventByLoc, pkey, rg, store.One)
+				if err != nil {
+					return nil, err
+				}
+				events := make([]model.Event, 0, len(rows))
+				for _, r := range rows {
+					e, err := model.EventFromLocRow(pkey, r)
+					if err != nil {
+						return nil, err
+					}
+					events = append(events, e)
+				}
+				return events, nil
+			},
+		}
+	}
+	return compute.FromPartitions(eng, parts)
+}
+
+// EventsAllTypes builds a dataset over every event type within [from, to),
+// one partition per (hour, type) pair.
+func EventsAllTypes(eng *compute.Engine, db *store.DB, from, to time.Time) *compute.Dataset[model.Event] {
+	hours := model.HoursIn(from, to)
+	rg := model.EventTimeRange(from, to)
+	parts := make([]compute.Partition[model.Event], 0, len(hours)*len(model.EventTypes))
+	for _, hour := range hours {
+		for _, typ := range model.EventTypes {
+			pkey := model.EventByTimeKey(hour, typ)
+			parts = append(parts, compute.Partition[model.Event]{
+				Index:     len(parts),
+				Preferred: db.PrimaryFor(pkey),
+				SizeHint:  estRowBytes * 256,
+				Compute: func() ([]model.Event, error) {
+					rows, err := db.Get(model.TableEventByTime, pkey, rg, store.One)
+					if err != nil {
+						return nil, err
+					}
+					events := make([]model.Event, 0, len(rows))
+					for _, r := range rows {
+						e, err := model.EventFromTimeRow(pkey, r)
+						if err != nil {
+							return nil, err
+						}
+						events = append(events, e)
+					}
+					return events, nil
+				},
+			})
+		}
+	}
+	return compute.FromPartitions(eng, parts)
+}
+
+// RunsIn returns all application runs that overlap [from, to), scanning
+// the application_by_time partitions for the window plus a lookback for
+// long-running jobs.
+func RunsIn(db *store.DB, from, to time.Time, lookback time.Duration) ([]model.AppRun, error) {
+	if lookback <= 0 {
+		lookback = 24 * time.Hour
+	}
+	hours := model.HoursIn(from.Add(-lookback), to)
+	var runs []model.AppRun
+	for _, hour := range hours {
+		rows, err := db.Get(model.TableAppByTime, model.AppByTimeKey(hour), store.Range{}, store.One)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range rows {
+			run, err := model.AppFromRow(r)
+			if err != nil {
+				return nil, err
+			}
+			if run.Start.Before(to) && run.End.After(from) {
+				runs = append(runs, run)
+			}
+		}
+	}
+	return runs, nil
+}

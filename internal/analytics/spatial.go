@@ -1,0 +1,230 @@
+package analytics
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"hpclog/internal/compute"
+	"hpclog/internal/model"
+	"hpclog/internal/store"
+	"hpclog/internal/topology"
+)
+
+// HeatMap is the per-cabinet occurrence density of one event type over a
+// time interval, rendered onto the physical system map (Fig 5-bottom).
+type HeatMap struct {
+	Type model.EventType
+	From time.Time
+	To   time.Time
+	// Counts is indexed [row][col] on the machine-room floor grid.
+	Counts [25][8]int
+	Total  int
+	Max    int
+}
+
+// HotCabinets returns cabinets whose count exceeds factor × the mean of
+// non-zero cabinets — the "unusually higher in some parts of the system"
+// signal the heat map view exists to surface.
+func (h *HeatMap) HotCabinets(factor float64) []topology.Component {
+	nonZero, sum := 0, 0
+	for r := 0; r < topology.Rows; r++ {
+		for c := 0; c < topology.Cols; c++ {
+			if h.Counts[r][c] > 0 {
+				nonZero++
+				sum += h.Counts[r][c]
+			}
+		}
+	}
+	if nonZero == 0 {
+		return nil
+	}
+	mean := float64(sum) / float64(nonZero)
+	var hot []topology.Component
+	for r := 0; r < topology.Rows; r++ {
+		for c := 0; c < topology.Cols; c++ {
+			if float64(h.Counts[r][c]) > factor*mean {
+				hot = append(hot, topology.CabinetAt(r, c))
+			}
+		}
+	}
+	return hot
+}
+
+// Heatmap computes the cabinet-level heat map of one event type over
+// [from, to) as a distributed aggregation job.
+func Heatmap(eng *compute.Engine, db *store.DB, typ model.EventType, from, to time.Time) (*HeatMap, error) {
+	events := EventsByType(eng, db, typ, from, to)
+	pairs := compute.Map(events, func(e model.Event) compute.Pair[int, int] {
+		loc, err := topology.ParseCName(e.Source)
+		if err != nil {
+			return compute.Pair[int, int]{Key: -1, Val: e.Count}
+		}
+		return compute.Pair[int, int]{Key: loc.Cabinet(), Val: e.Count}
+	})
+	counts, err := compute.CollectMap(compute.ReduceByKey(pairs, 0, func(a, b int) int { return a + b }))
+	if err != nil {
+		return nil, err
+	}
+	hm := &HeatMap{Type: typ, From: from, To: to}
+	for cab, n := range counts {
+		if cab < 0 || cab >= topology.Cabinets {
+			continue // non-compute sources (servers) have no floor position
+		}
+		r, c := cab/topology.Cols, cab%topology.Cols
+		hm.Counts[r][c] = n
+		hm.Total += n
+		if n > hm.Max {
+			hm.Max = n
+		}
+	}
+	return hm, nil
+}
+
+// Bucket is one bar of a distribution.
+type Bucket struct {
+	Label string
+	Count int
+}
+
+// DistributionBy computes event occurrence distributions "over cabinets,
+// blades, nodes" (Fig 5) at the requested granularity, sorted by
+// descending count.
+func DistributionBy(eng *compute.Engine, db *store.DB, typ model.EventType, from, to time.Time, level topology.Level) ([]Bucket, error) {
+	events := EventsByType(eng, db, typ, from, to)
+	pairs := compute.Map(events, func(e model.Event) compute.Pair[string, int] {
+		loc, err := topology.ParseCName(e.Source)
+		if err != nil {
+			return compute.Pair[string, int]{Key: e.Source, Val: e.Count}
+		}
+		comp := topology.Component{Level: level, Loc: truncateLoc(loc, level)}
+		return compute.Pair[string, int]{Key: comp.String(), Val: e.Count}
+	})
+	counts, err := compute.CollectMap(compute.ReduceByKey(pairs, 0, func(a, b int) int { return a + b }))
+	if err != nil {
+		return nil, err
+	}
+	return sortBuckets(counts), nil
+}
+
+func truncateLoc(l topology.Location, level topology.Level) topology.Location {
+	switch level {
+	case topology.LevelCabinet:
+		return topology.Location{Row: l.Row, Col: l.Col}
+	case topology.LevelCage:
+		return topology.Location{Row: l.Row, Col: l.Col, Cage: l.Cage}
+	case topology.LevelBlade:
+		return topology.Location{Row: l.Row, Col: l.Col, Cage: l.Cage, Slot: l.Slot}
+	default:
+		return l
+	}
+}
+
+// DistributionByApp attributes event occurrences to the applications that
+// were running on the reporting node at the reporting time (Fig 5's
+// per-application distribution), returning descending buckets keyed by
+// application name.
+func DistributionByApp(eng *compute.Engine, db *store.DB, typ model.EventType, from, to time.Time) ([]Bucket, error) {
+	runs, err := RunsIn(db, from, to, 24*time.Hour)
+	if err != nil {
+		return nil, err
+	}
+	type span struct {
+		start, end time.Time
+		app        string
+	}
+	byNode := make(map[string][]span)
+	for _, r := range runs {
+		for _, n := range r.Nodes {
+			byNode[n] = append(byNode[n], span{r.Start, r.End, r.App})
+		}
+	}
+	events := EventsByType(eng, db, typ, from, to)
+	pairs := compute.FlatMap(events, func(e model.Event) []compute.Pair[string, int] {
+		for _, s := range byNode[e.Source] {
+			if !e.Time.Before(s.start) && e.Time.Before(s.end) {
+				return []compute.Pair[string, int]{{Key: s.app, Val: e.Count}}
+			}
+		}
+		return []compute.Pair[string, int]{{Key: "(idle)", Val: e.Count}}
+	})
+	counts, err := compute.CollectMap(compute.ReduceByKey(pairs, 0, func(a, b int) int { return a + b }))
+	if err != nil {
+		return nil, err
+	}
+	return sortBuckets(counts), nil
+}
+
+func sortBuckets(counts map[string]int) []Bucket {
+	out := make([]Bucket, 0, len(counts))
+	for k, v := range counts {
+		out = append(out, Bucket{Label: k, Count: v})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Label < out[j].Label
+	})
+	return out
+}
+
+// Placement reports where the applications running at a given instant
+// were placed (Fig 6-bottom): app name per node.
+func Placement(db *store.DB, at time.Time) (map[string]string, error) {
+	runs, err := RunsIn(db, at, at.Add(time.Second), 24*time.Hour)
+	if err != nil {
+		return nil, err
+	}
+	placement := make(map[string]string)
+	for _, r := range runs {
+		if at.Before(r.Start) || !at.Before(r.End) {
+			continue
+		}
+		for _, n := range r.Nodes {
+			placement[n] = r.App
+		}
+	}
+	return placement, nil
+}
+
+// EventSites lists, for one event type and instant (to the second), the
+// nodes reporting it (Fig 6-top), with occurrence counts.
+func EventSites(eng *compute.Engine, db *store.DB, typ model.EventType, at time.Time) (map[string]int, error) {
+	events := EventsByType(eng, db, typ, at, at.Add(time.Second))
+	pairs := compute.Map(events, func(e model.Event) compute.Pair[string, int] {
+		return compute.Pair[string, int]{Key: e.Source, Val: e.Count}
+	})
+	return compute.CollectMap(compute.ReduceByKey(pairs, 0, func(a, b int) int { return a + b }))
+}
+
+// Histogram bins occurrences of one event type over [from, to) into
+// fixed-width bins — the temporal map's data (Fig 5-top).
+func Histogram(eng *compute.Engine, db *store.DB, typ model.EventType, from, to time.Time, bin time.Duration) ([]int, error) {
+	if bin <= 0 {
+		return nil, fmt.Errorf("analytics: non-positive bin %v", bin)
+	}
+	nbins := int(to.Sub(from) / bin)
+	if nbins < 1 {
+		return nil, fmt.Errorf("analytics: window %v shorter than bin %v", to.Sub(from), bin)
+	}
+	events := EventsByType(eng, db, typ, from, to)
+	pairs := compute.Map(events, func(e model.Event) compute.Pair[int, int] {
+		b := int(e.Time.Sub(from) / bin)
+		if b >= nbins {
+			b = nbins - 1
+		}
+		return compute.Pair[int, int]{Key: b, Val: e.Count}
+	})
+	counts, err := compute.CollectMap(compute.ReduceByKey(pairs, 0, func(a, b int) int { return a + b }))
+	if err != nil {
+		return nil, err
+	}
+	hist := make([]int, nbins)
+	for b, n := range counts {
+		if b >= 0 && b < nbins {
+			hist[b] = n
+		}
+	}
+	return hist, nil
+}

@@ -1,0 +1,145 @@
+package analytics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"hpclog/internal/topology"
+)
+
+// Spatial pattern statistics: the paper motivates the framework with the
+// ability to "identify persistent temporal and spatial patterns of
+// failures" and to locate event concentrations on the physical system
+// map. SpreadStats quantifies what the heat map shows: whether a set of
+// event sites is clustered on the floor or dispersed machine-wide.
+
+// SpreadStats summarizes the spatial dispersion of weighted event sites.
+type SpreadStats struct {
+	// Sites is the number of distinct reporting components with a floor
+	// position.
+	Sites int
+	// MeanPairDistance is the occurrence-weighted mean Manhattan distance
+	// between site cabinets on the 25×8 floor grid.
+	MeanPairDistance float64
+	// UniformBaseline is the expected mean pair distance if the same
+	// occurrence mass were spread uniformly over all cabinets.
+	UniformBaseline float64
+	// ClusterScore is MeanPairDistance / UniformBaseline: values well
+	// below 1 indicate spatial concentration (a hotspot), values near 1 a
+	// system-wide phenomenon.
+	ClusterScore float64
+}
+
+// SpatialSpread computes dispersion statistics for per-source occurrence
+// counts (as returned by EventSites or accumulated over a window).
+// Sources that do not parse as compute-node cnames are ignored.
+func SpatialSpread(sites map[string]int) (SpreadStats, error) {
+	// Collapse to cabinet mass.
+	type cab struct {
+		row, col int
+		mass     float64
+	}
+	byCab := make(map[int]*cab)
+	sitesWithLoc := 0
+	for src, n := range sites {
+		loc, err := topology.ParseCName(src)
+		if err != nil {
+			continue
+		}
+		sitesWithLoc++
+		id := loc.Cabinet()
+		c := byCab[id]
+		if c == nil {
+			c = &cab{row: loc.Row, col: loc.Col}
+			byCab[id] = c
+		}
+		c.mass += float64(n)
+	}
+	if sitesWithLoc < 2 {
+		return SpreadStats{}, fmt.Errorf("analytics: need >= 2 located sites, have %d", sitesWithLoc)
+	}
+	cabs := make([]*cab, 0, len(byCab))
+	total := 0.0
+	for _, c := range byCab {
+		cabs = append(cabs, c)
+		total += c.mass
+	}
+	sort.Slice(cabs, func(i, j int) bool {
+		if cabs[i].row != cabs[j].row {
+			return cabs[i].row < cabs[j].row
+		}
+		return cabs[i].col < cabs[j].col
+	})
+	// Occurrence-weighted mean pairwise Manhattan distance.
+	num, den := 0.0, 0.0
+	for i := 0; i < len(cabs); i++ {
+		for j := i + 1; j < len(cabs); j++ {
+			d := math.Abs(float64(cabs[i].row-cabs[j].row)) +
+				math.Abs(float64(cabs[i].col-cabs[j].col))
+			w := cabs[i].mass * cabs[j].mass
+			num += w * d
+			den += w
+		}
+	}
+	stats := SpreadStats{Sites: sitesWithLoc}
+	if den > 0 {
+		stats.MeanPairDistance = num / den
+	}
+	stats.UniformBaseline = uniformFloorBaseline()
+	if stats.UniformBaseline > 0 {
+		stats.ClusterScore = stats.MeanPairDistance / stats.UniformBaseline
+	}
+	return stats, nil
+}
+
+// uniformFloorBaseline is the mean Manhattan distance between two
+// independent uniform cabinets on the 25×8 grid; computed once.
+var uniformBaselineValue float64
+
+func uniformFloorBaseline() float64 {
+	if uniformBaselineValue != 0 {
+		return uniformBaselineValue
+	}
+	sum, n := 0.0, 0
+	for r1 := 0; r1 < topology.Rows; r1++ {
+		for c1 := 0; c1 < topology.Cols; c1++ {
+			for r2 := 0; r2 < topology.Rows; r2++ {
+				for c2 := 0; c2 < topology.Cols; c2++ {
+					sum += math.Abs(float64(r1-r2)) + math.Abs(float64(c1-c2))
+					n++
+				}
+			}
+		}
+	}
+	uniformBaselineValue = sum / float64(n)
+	return uniformBaselineValue
+}
+
+// GeminiPairRate measures error propagation across the shared Gemini
+// router: the fraction of reporting nodes whose blade pair-node also
+// reported. A rate far above the machine-wide reporting density suggests
+// the shared router (not the nodes) is the fault domain — the kind of
+// insight the nodeinfos table exists to enable.
+func GeminiPairRate(sites map[string]int) (pairRate, density float64, err error) {
+	reported := make(map[topology.NodeID]bool)
+	for src := range sites {
+		loc, err := topology.ParseCName(src)
+		if err != nil {
+			continue
+		}
+		reported[loc.ID()] = true
+	}
+	if len(reported) == 0 {
+		return 0, 0, fmt.Errorf("analytics: no located sites")
+	}
+	withPair := 0
+	for id := range reported {
+		if reported[topology.Info(id).PairNode] {
+			withPair++
+		}
+	}
+	pairRate = float64(withPair) / float64(len(reported))
+	density = float64(len(reported)) / float64(topology.TotalNodes)
+	return pairRate, density, nil
+}

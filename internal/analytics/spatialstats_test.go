@@ -1,0 +1,121 @@
+package analytics
+
+import (
+	"testing"
+
+	"hpclog/internal/model"
+	"hpclog/internal/topology"
+)
+
+func TestSpatialSpreadHotspotVsStorm(t *testing.T) {
+	// Hotspot: all occurrences in one cabinet → cluster score ≈ 0.
+	hot := map[string]int{}
+	for _, id := range topology.CabinetAt(3, 2).Nodes() {
+		hot[topology.LocationOf(id).CName()] = 5
+	}
+	hs, err := SpatialSpread(hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hs.MeanPairDistance != 0 {
+		t.Fatalf("single-cabinet spread = %v", hs.MeanPairDistance)
+	}
+	if hs.ClusterScore > 0.05 {
+		t.Fatalf("hotspot cluster score = %v, want ≈0", hs.ClusterScore)
+	}
+
+	// Storm: occurrences across the whole floor → score ≈ 1.
+	storm := map[string]int{}
+	for r := 0; r < topology.Rows; r++ {
+		for c := 0; c < topology.Cols; c++ {
+			l := topology.Location{Row: r, Col: c}
+			storm[l.CName()] = 3
+		}
+	}
+	ss, err := SpatialSpread(storm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss.ClusterScore < 0.8 || ss.ClusterScore > 1.2 {
+		t.Fatalf("storm cluster score = %v, want ≈1", ss.ClusterScore)
+	}
+	if ss.ClusterScore <= hs.ClusterScore {
+		t.Fatal("storm should be more dispersed than hotspot")
+	}
+}
+
+func TestSpatialSpreadOnFixture(t *testing.T) {
+	f := getFixture(t)
+	// Accumulate MCE sites (hotspot-injected) and Lustre sites (storm).
+	mce := map[string]int{}
+	lustre := map[string]int{}
+	for _, e := range f.corpus.Events {
+		switch e.Type {
+		case model.MCE:
+			mce[e.Source] += e.Count
+		case model.Lustre:
+			lustre[e.Source] += e.Count
+		}
+	}
+	ms, err := SpatialSpread(mce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls, err := SpatialSpread(lustre)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms.ClusterScore >= ls.ClusterScore {
+		t.Fatalf("MCE hotspot (%.3f) should be more clustered than the Lustre storm (%.3f)",
+			ms.ClusterScore, ls.ClusterScore)
+	}
+}
+
+func TestSpatialSpreadErrors(t *testing.T) {
+	if _, err := SpatialSpread(nil); err == nil {
+		t.Fatal("empty sites accepted")
+	}
+	if _, err := SpatialSpread(map[string]int{"not-a-cname": 3}); err == nil {
+		t.Fatal("unlocatable sites accepted")
+	}
+}
+
+func TestGeminiPairRate(t *testing.T) {
+	// Failing routers: both nodes of each pair report.
+	paired := map[string]int{}
+	for blade := 0; blade < 10; blade++ {
+		l := topology.LocationOf(topology.NodeID(blade * topology.NodesPerBlade))
+		pairA := l
+		pairB := l
+		pairB.Node = 1
+		paired[pairA.CName()] = 1
+		paired[pairB.CName()] = 1
+	}
+	rate, density, err := GeminiPairRate(paired)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate != 1.0 {
+		t.Fatalf("pair rate = %v, want 1.0 for router-level failures", rate)
+	}
+	if density >= rate {
+		t.Fatalf("density %v should be far below pair rate", density)
+	}
+
+	// Isolated nodes: one per blade, never the pair.
+	isolated := map[string]int{}
+	for blade := 0; blade < 10; blade++ {
+		l := topology.LocationOf(topology.NodeID(blade * topology.NodesPerBlade))
+		isolated[l.CName()] = 1
+	}
+	rate, _, err = GeminiPairRate(isolated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate != 0 {
+		t.Fatalf("pair rate = %v for isolated failures, want 0", rate)
+	}
+	if _, _, err := GeminiPairRate(map[string]int{"bogus": 1}); err == nil {
+		t.Fatal("unlocatable sites accepted")
+	}
+}

@@ -1,0 +1,377 @@
+// Package bus implements the publish/subscribe message bus used by the
+// real-time streaming ingestion path — the Apache Kafka substitute of
+// Section III-D.
+//
+// A Broker hosts topics; each topic is a set of append-only partition
+// logs. Producers route keyed messages to a partition by key hash (or
+// round-robin when unkeyed), preserving per-key ordering exactly as the
+// OLCF event producers rely on. Consumers join consumer groups; the broker
+// assigns topic partitions to the group's members (rebalancing on
+// join/leave) and tracks committed offsets per group, giving at-least-once
+// delivery.
+package bus
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Message is one record on a topic partition.
+type Message struct {
+	Topic     string
+	Partition int
+	Offset    int64
+	Key       string
+	Value     string
+	Time      time.Time
+}
+
+// partitionLog is one append-only log.
+type partitionLog struct {
+	mu   sync.RWMutex
+	msgs []Message
+}
+
+func (p *partitionLog) append(m Message) int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	m.Offset = int64(len(p.msgs))
+	p.msgs = append(p.msgs, m)
+	return m.Offset
+}
+
+func (p *partitionLog) read(from int64, max int) []Message {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if from < 0 {
+		from = 0
+	}
+	if from >= int64(len(p.msgs)) {
+		return nil
+	}
+	end := from + int64(max)
+	if end > int64(len(p.msgs)) {
+		end = int64(len(p.msgs))
+	}
+	out := make([]Message, end-from)
+	copy(out, p.msgs[from:end])
+	return out
+}
+
+func (p *partitionLog) size() int64 {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return int64(len(p.msgs))
+}
+
+type topic struct {
+	name       string
+	partitions []*partitionLog
+	rr         int // round-robin cursor for unkeyed produce
+	rrMu       sync.Mutex
+}
+
+// groupState tracks a consumer group's membership and committed offsets.
+type groupState struct {
+	members     []string         // consumer ids, sorted
+	assignments map[string][]int // consumer id -> partitions
+	offsets     map[int]int64    // partition -> next offset to deliver
+	generation  int
+}
+
+// Broker is an in-process message broker. All methods are safe for
+// concurrent use.
+type Broker struct {
+	mu     sync.RWMutex
+	topics map[string]*topic
+	groups map[string]*groupState // key: group + "/" + topic
+}
+
+// NewBroker creates an empty broker.
+func NewBroker() *Broker {
+	return &Broker{topics: make(map[string]*topic), groups: make(map[string]*groupState)}
+}
+
+// CreateTopic declares a topic with the given partition count. Re-creating
+// an existing topic is a no-op; the partition count cannot change.
+func (b *Broker) CreateTopic(name string, partitions int) error {
+	if partitions < 1 {
+		return fmt.Errorf("bus: topic %q needs >= 1 partition", name)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.topics[name]; ok {
+		return nil
+	}
+	t := &topic{name: name, partitions: make([]*partitionLog, partitions)}
+	for i := range t.partitions {
+		t.partitions[i] = &partitionLog{}
+	}
+	b.topics[name] = t
+	return nil
+}
+
+func (b *Broker) topic(name string) (*topic, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	t, ok := b.topics[name]
+	if !ok {
+		return nil, fmt.Errorf("bus: no such topic %q", name)
+	}
+	return t, nil
+}
+
+// Topics lists topic names in sorted order.
+func (b *Broker) Topics() []string {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	names := make([]string, 0, len(b.topics))
+	for n := range b.topics {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Partitions returns a topic's partition count.
+func (b *Broker) Partitions(name string) (int, error) {
+	t, err := b.topic(name)
+	if err != nil {
+		return 0, err
+	}
+	return len(t.partitions), nil
+}
+
+// Produce appends a message to the topic. Keyed messages go to the
+// partition hash(key) % n, so one key is always totally ordered; unkeyed
+// messages are spread round-robin.
+func (b *Broker) Produce(topicName, key, value string, at time.Time) (partition int, offset int64, err error) {
+	t, err := b.topic(topicName)
+	if err != nil {
+		return 0, 0, err
+	}
+	if key != "" {
+		h := fnv.New64a()
+		h.Write([]byte(key))
+		partition = int(h.Sum64() % uint64(len(t.partitions)))
+	} else {
+		t.rrMu.Lock()
+		partition = t.rr % len(t.partitions)
+		t.rr++
+		t.rrMu.Unlock()
+	}
+	offset = t.partitions[partition].append(Message{
+		Topic: topicName, Partition: partition, Key: key, Value: value, Time: at,
+	})
+	return partition, offset, nil
+}
+
+// EndOffsets returns the next-to-be-assigned offset of each partition.
+func (b *Broker) EndOffsets(topicName string) ([]int64, error) {
+	t, err := b.topic(topicName)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int64, len(t.partitions))
+	for i, p := range t.partitions {
+		out[i] = p.size()
+	}
+	return out, nil
+}
+
+func groupKey(group, topic string) string { return group + "/" + topic }
+
+// Consumer reads one topic as part of a consumer group.
+type Consumer struct {
+	broker *Broker
+	id     string
+	group  string
+	topic  string
+
+	mu         sync.Mutex
+	generation int
+	assigned   []int
+	positions  map[int]int64 // uncommitted read positions
+	closed     bool
+}
+
+// Subscribe joins (or forms) a consumer group on a topic and returns a
+// Consumer. Each Subscribe call adds a distinct member and triggers a
+// rebalance of the group's partition assignments.
+func (b *Broker) Subscribe(group, topicName, consumerID string) (*Consumer, error) {
+	t, err := b.topic(topicName)
+	if err != nil {
+		return nil, err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	gk := groupKey(group, topicName)
+	gs, ok := b.groups[gk]
+	if !ok {
+		gs = &groupState{
+			assignments: make(map[string][]int),
+			offsets:     make(map[int]int64),
+		}
+		b.groups[gk] = gs
+	}
+	for _, m := range gs.members {
+		if m == consumerID {
+			return nil, fmt.Errorf("bus: consumer %q already in group %q", consumerID, group)
+		}
+	}
+	gs.members = append(gs.members, consumerID)
+	sort.Strings(gs.members)
+	rebalance(gs, len(t.partitions))
+	return &Consumer{
+		broker:    b,
+		id:        consumerID,
+		group:     group,
+		topic:     topicName,
+		positions: make(map[int]int64),
+	}, nil
+}
+
+// rebalance assigns partitions to members range-style, like Kafka's range
+// assignor. Caller holds b.mu.
+func rebalance(gs *groupState, nParts int) {
+	gs.generation++
+	gs.assignments = make(map[string][]int, len(gs.members))
+	if len(gs.members) == 0 {
+		return
+	}
+	for p := 0; p < nParts; p++ {
+		m := gs.members[p%len(gs.members)]
+		gs.assignments[m] = append(gs.assignments[m], p)
+	}
+}
+
+// Assignment returns the partitions currently assigned to this consumer.
+func (c *Consumer) Assignment() []int {
+	c.broker.mu.RLock()
+	defer c.broker.mu.RUnlock()
+	gs := c.broker.groups[groupKey(c.group, c.topic)]
+	if gs == nil {
+		return nil
+	}
+	out := make([]int, len(gs.assignments[c.id]))
+	copy(out, gs.assignments[c.id])
+	return out
+}
+
+// Poll returns up to max messages from the consumer's assigned partitions,
+// starting at the committed offsets (or prior uncommitted poll positions).
+// It never blocks; an empty slice means no new data.
+func (c *Consumer) Poll(max int) ([]Message, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, fmt.Errorf("bus: consumer %q closed", c.id)
+	}
+	t, err := c.broker.topic(c.topic)
+	if err != nil {
+		return nil, err
+	}
+	c.broker.mu.RLock()
+	gs := c.broker.groups[groupKey(c.group, c.topic)]
+	assigned := append([]int(nil), gs.assignments[c.id]...)
+	gen := gs.generation
+	committed := make(map[int]int64, len(assigned))
+	for _, p := range assigned {
+		committed[p] = gs.offsets[p]
+	}
+	c.broker.mu.RUnlock()
+
+	if gen != c.generation {
+		// Rebalanced since last poll: drop stale positions and restart
+		// from committed offsets (at-least-once semantics).
+		c.generation = gen
+		c.positions = make(map[int]int64)
+	}
+	var out []Message
+	for _, p := range assigned {
+		if len(out) >= max {
+			break
+		}
+		pos, ok := c.positions[p]
+		if !ok {
+			pos = committed[p]
+		}
+		msgs := t.partitions[p].read(pos, max-len(out))
+		if len(msgs) > 0 {
+			c.positions[p] = msgs[len(msgs)-1].Offset + 1
+			out = append(out, msgs...)
+		}
+	}
+	return out, nil
+}
+
+// Commit records the consumer's current read positions as the group's
+// committed offsets, acknowledging everything returned by prior Polls.
+func (c *Consumer) Commit() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.broker.mu.Lock()
+	defer c.broker.mu.Unlock()
+	gs := c.broker.groups[groupKey(c.group, c.topic)]
+	if gs == nil {
+		return
+	}
+	for p, pos := range c.positions {
+		if pos > gs.offsets[p] {
+			gs.offsets[p] = pos
+		}
+	}
+}
+
+// Close leaves the consumer group, triggering a rebalance.
+func (c *Consumer) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	t, err := c.broker.topic(c.topic)
+	if err != nil {
+		return err
+	}
+	c.broker.mu.Lock()
+	defer c.broker.mu.Unlock()
+	gs := c.broker.groups[groupKey(c.group, c.topic)]
+	if gs == nil {
+		return nil
+	}
+	for i, m := range gs.members {
+		if m == c.id {
+			gs.members = append(gs.members[:i], gs.members[i+1:]...)
+			break
+		}
+	}
+	rebalance(gs, len(t.partitions))
+	return nil
+}
+
+// Lag returns the total unconsumed (committed) message count for a group
+// on a topic.
+func (b *Broker) Lag(group, topicName string) (int64, error) {
+	ends, err := b.EndOffsets(topicName)
+	if err != nil {
+		return 0, err
+	}
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	gs := b.groups[groupKey(group, topicName)]
+	var lag int64
+	for p, end := range ends {
+		var off int64
+		if gs != nil {
+			off = gs.offsets[p]
+		}
+		lag += end - off
+	}
+	return lag, nil
+}

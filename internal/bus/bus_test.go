@@ -1,0 +1,283 @@
+package bus
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestProduceConsumeRoundTrip(t *testing.T) {
+	b := NewBroker()
+	if err := b.CreateTopic("events", 4); err != nil {
+		t.Fatal(err)
+	}
+	now := time.Unix(1000, 0)
+	for i := 0; i < 100; i++ {
+		if _, _, err := b.Produce("events", fmt.Sprintf("key%d", i%10), fmt.Sprintf("v%d", i), now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, err := b.Subscribe("g1", "events", "c1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []Message
+	for {
+		msgs, err := c.Poll(32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(msgs) == 0 {
+			break
+		}
+		got = append(got, msgs...)
+	}
+	if len(got) != 100 {
+		t.Fatalf("consumed %d messages, want 100", len(got))
+	}
+}
+
+func TestKeyOrderingPreserved(t *testing.T) {
+	b := NewBroker()
+	if err := b.CreateTopic("t", 8); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if _, _, err := b.Produce("t", "same-key", fmt.Sprintf("%d", i), time.Time{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, _ := b.Subscribe("g", "t", "c1")
+	msgs, err := c.Poll(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 50 {
+		t.Fatalf("got %d messages", len(msgs))
+	}
+	for i, m := range msgs {
+		if m.Value != fmt.Sprintf("%d", i) {
+			t.Fatalf("message %d out of order: %q", i, m.Value)
+		}
+		if m.Partition != msgs[0].Partition {
+			t.Fatal("same key spread across partitions")
+		}
+	}
+}
+
+func TestUnkeyedRoundRobin(t *testing.T) {
+	b := NewBroker()
+	if err := b.CreateTopic("t", 4); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]int{}
+	for i := 0; i < 40; i++ {
+		p, _, err := b.Produce("t", "", "v", time.Time{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[p]++
+	}
+	if len(seen) != 4 {
+		t.Fatalf("round robin used %d partitions, want 4", len(seen))
+	}
+	for p, n := range seen {
+		if n != 10 {
+			t.Fatalf("partition %d got %d messages, want 10", p, n)
+		}
+	}
+}
+
+func TestCommitResumesAfterReconnect(t *testing.T) {
+	b := NewBroker()
+	if err := b.CreateTopic("t", 2); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		b.Produce("t", fmt.Sprint(i), fmt.Sprint(i), time.Time{})
+	}
+	c1, _ := b.Subscribe("g", "t", "c1")
+	first, _ := c1.Poll(1000)
+	c1.Commit()
+	if err := c1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 20; i < 30; i++ {
+		b.Produce("t", fmt.Sprint(i), fmt.Sprint(i), time.Time{})
+	}
+	c2, _ := b.Subscribe("g", "t", "c2")
+	second, _ := c2.Poll(1000)
+	if len(first)+len(second) != 30 {
+		t.Fatalf("first=%d second=%d, want 30 total", len(first), len(second))
+	}
+	seen := map[string]bool{}
+	for _, m := range append(first, second...) {
+		if seen[m.Value] {
+			t.Fatalf("duplicate delivery of %q after commit", m.Value)
+		}
+		seen[m.Value] = true
+	}
+}
+
+func TestUncommittedRedelivery(t *testing.T) {
+	// At-least-once: without Commit, a new group member re-reads.
+	b := NewBroker()
+	b.CreateTopic("t", 1)
+	for i := 0; i < 5; i++ {
+		b.Produce("t", "", fmt.Sprint(i), time.Time{})
+	}
+	c1, _ := b.Subscribe("g", "t", "c1")
+	msgs, _ := c1.Poll(100)
+	if len(msgs) != 5 {
+		t.Fatalf("poll = %d", len(msgs))
+	}
+	c1.Close() // no commit
+	c2, _ := b.Subscribe("g", "t", "c2")
+	again, _ := c2.Poll(100)
+	if len(again) != 5 {
+		t.Fatalf("redelivery = %d messages, want 5", len(again))
+	}
+}
+
+func TestGroupRebalance(t *testing.T) {
+	b := NewBroker()
+	b.CreateTopic("t", 6)
+	c1, _ := b.Subscribe("g", "t", "c1")
+	if got := len(c1.Assignment()); got != 6 {
+		t.Fatalf("single consumer owns %d partitions, want 6", got)
+	}
+	c2, _ := b.Subscribe("g", "t", "c2")
+	a1, a2 := c1.Assignment(), c2.Assignment()
+	if len(a1) != 3 || len(a2) != 3 {
+		t.Fatalf("after join: %d + %d partitions, want 3 + 3", len(a1), len(a2))
+	}
+	overlap := map[int]bool{}
+	for _, p := range a1 {
+		overlap[p] = true
+	}
+	for _, p := range a2 {
+		if overlap[p] {
+			t.Fatalf("partition %d assigned to both consumers", p)
+		}
+	}
+	c2.Close()
+	if got := len(c1.Assignment()); got != 6 {
+		t.Fatalf("after leave: %d partitions, want 6", got)
+	}
+}
+
+func TestTwoGroupsIndependentOffsets(t *testing.T) {
+	b := NewBroker()
+	b.CreateTopic("t", 1)
+	for i := 0; i < 10; i++ {
+		b.Produce("t", "", fmt.Sprint(i), time.Time{})
+	}
+	ca, _ := b.Subscribe("groupA", "t", "c1")
+	cb, _ := b.Subscribe("groupB", "t", "c1")
+	ma, _ := ca.Poll(100)
+	mb, _ := cb.Poll(100)
+	if len(ma) != 10 || len(mb) != 10 {
+		t.Fatalf("groups saw %d and %d messages, want 10 each", len(ma), len(mb))
+	}
+}
+
+func TestLag(t *testing.T) {
+	b := NewBroker()
+	b.CreateTopic("t", 2)
+	for i := 0; i < 10; i++ {
+		b.Produce("t", fmt.Sprint(i), "v", time.Time{})
+	}
+	lag, err := b.Lag("g", "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lag != 10 {
+		t.Fatalf("lag before consume = %d", lag)
+	}
+	c, _ := b.Subscribe("g", "t", "c1")
+	c.Poll(100)
+	c.Commit()
+	lag, _ = b.Lag("g", "t")
+	if lag != 0 {
+		t.Fatalf("lag after commit = %d", lag)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	b := NewBroker()
+	if err := b.CreateTopic("t", 0); err == nil {
+		t.Error("zero partitions accepted")
+	}
+	if _, _, err := b.Produce("ghost", "k", "v", time.Time{}); err == nil {
+		t.Error("produce to missing topic succeeded")
+	}
+	if _, err := b.Subscribe("g", "ghost", "c"); err == nil {
+		t.Error("subscribe to missing topic succeeded")
+	}
+	b.CreateTopic("t", 2)
+	if err := b.CreateTopic("t", 5); err != nil {
+		t.Errorf("idempotent create failed: %v", err)
+	}
+	if n, _ := b.Partitions("t"); n != 2 {
+		t.Errorf("partition count changed on re-create: %d", n)
+	}
+	if _, err := b.Subscribe("g", "t", "c"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Subscribe("g", "t", "c"); err == nil {
+		t.Error("duplicate consumer id accepted")
+	}
+	c, _ := b.Subscribe("g", "t", "c2")
+	c.Close()
+	if _, err := c.Poll(1); err == nil {
+		t.Error("poll on closed consumer succeeded")
+	}
+	if err := c.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+}
+
+func TestConcurrentProducersAndConsumers(t *testing.T) {
+	b := NewBroker()
+	b.CreateTopic("t", 4)
+	const producers, perProducer = 4, 250
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				b.Produce("t", fmt.Sprintf("p%d", p), fmt.Sprintf("%d-%d", p, i), time.Time{})
+			}
+		}(p)
+	}
+	wg.Wait()
+	var mu sync.Mutex
+	total := 0
+	var cwg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		c, err := b.Subscribe("g", "t", fmt.Sprintf("c%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cwg.Add(1)
+		go func(c *Consumer) {
+			defer cwg.Done()
+			for {
+				msgs, err := c.Poll(64)
+				if err != nil || len(msgs) == 0 {
+					return
+				}
+				c.Commit()
+				mu.Lock()
+				total += len(msgs)
+				mu.Unlock()
+			}
+		}(c)
+	}
+	cwg.Wait()
+	if total != producers*perProducer {
+		t.Fatalf("consumed %d, want %d", total, producers*perProducer)
+	}
+}

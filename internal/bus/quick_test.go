@@ -1,0 +1,65 @@
+package bus
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestProduceConsumeSetEqualityProperty: whatever is produced onto a topic
+// is consumed exactly once by a committing consumer group, regardless of
+// key distribution and partition count.
+func TestProduceConsumeSetEqualityProperty(t *testing.T) {
+	iteration := 0
+	f := func(keys []uint8, partitions uint8) bool {
+		iteration++
+		nParts := int(partitions)%8 + 1
+		b := NewBroker()
+		topic := fmt.Sprintf("t%d", iteration)
+		if err := b.CreateTopic(topic, nParts); err != nil {
+			return false
+		}
+		produced := make(map[string]bool, len(keys))
+		for i, k := range keys {
+			val := fmt.Sprintf("%d-%d", i, k)
+			if _, _, err := b.Produce(topic, fmt.Sprintf("key%d", k%16), val, time.Time{}); err != nil {
+				return false
+			}
+			produced[val] = true
+		}
+		c, err := b.Subscribe("g", topic, "c1")
+		if err != nil {
+			return false
+		}
+		consumed := make(map[string]bool, len(produced))
+		for {
+			msgs, err := c.Poll(7)
+			if err != nil {
+				return false
+			}
+			if len(msgs) == 0 {
+				break
+			}
+			for _, m := range msgs {
+				if consumed[m.Value] {
+					return false // duplicate within one consumer session
+				}
+				consumed[m.Value] = true
+			}
+			c.Commit()
+		}
+		if len(consumed) != len(produced) {
+			return false
+		}
+		for v := range produced {
+			if !consumed[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,392 @@
+package compute
+
+import (
+	"sort"
+	"sync"
+)
+
+// Partition is one lazily computed slice of a Dataset.
+type Partition[T any] struct {
+	// Index is the partition's position within the dataset.
+	Index int
+	// Preferred names the worker co-located with the partition's data;
+	// empty means no placement preference.
+	Preferred string
+	// SizeHint estimates the partition's size in bytes, used to price the
+	// simulated transfer when the task runs on a non-preferred worker.
+	SizeHint int
+	// Compute materializes the partition. It may be invoked multiple
+	// times (task retry) and must be safe to re-run.
+	Compute func() ([]T, error)
+}
+
+// Dataset is a lazily evaluated, partitioned, immutable collection — the
+// RDD equivalent. Transformations build new Datasets; actions run the job.
+type Dataset[T any] struct {
+	eng   *Engine
+	parts []Partition[T]
+}
+
+// FromPartitions builds a dataset from explicit partitions.
+func FromPartitions[T any](eng *Engine, parts []Partition[T]) *Dataset[T] {
+	return &Dataset[T]{eng: eng, parts: parts}
+}
+
+// Parallelize splits items into nparts partitions with no locality
+// preference.
+func Parallelize[T any](eng *Engine, items []T, nparts int) *Dataset[T] {
+	if nparts < 1 {
+		nparts = 1
+	}
+	if nparts > len(items) && len(items) > 0 {
+		nparts = len(items)
+	}
+	parts := make([]Partition[T], 0, nparts)
+	for i := 0; i < nparts; i++ {
+		lo, hi := i*len(items)/nparts, (i+1)*len(items)/nparts
+		chunk := items[lo:hi]
+		parts = append(parts, Partition[T]{
+			Index:   i,
+			Compute: func() ([]T, error) { return chunk, nil },
+		})
+	}
+	return FromPartitions(eng, parts)
+}
+
+// NumPartitions returns the partition count.
+func (d *Dataset[T]) NumPartitions() int { return len(d.parts) }
+
+// Engine returns the engine the dataset is bound to.
+func (d *Dataset[T]) Engine() *Engine { return d.eng }
+
+// Map applies f to every element (narrow transformation).
+func Map[T, U any](d *Dataset[T], f func(T) U) *Dataset[U] {
+	return MapPartitions(d, func(in []T) ([]U, error) {
+		out := make([]U, len(in))
+		for i, v := range in {
+			out[i] = f(v)
+		}
+		return out, nil
+	})
+}
+
+// Filter keeps elements for which f is true (narrow transformation).
+func Filter[T any](d *Dataset[T], f func(T) bool) *Dataset[T] {
+	return MapPartitions(d, func(in []T) ([]T, error) {
+		out := in[:0:0]
+		for _, v := range in {
+			if f(v) {
+				out = append(out, v)
+			}
+		}
+		return out, nil
+	})
+}
+
+// FlatMap maps each element to zero or more outputs (narrow).
+func FlatMap[T, U any](d *Dataset[T], f func(T) []U) *Dataset[U] {
+	return MapPartitions(d, func(in []T) ([]U, error) {
+		var out []U
+		for _, v := range in {
+			out = append(out, f(v)...)
+		}
+		return out, nil
+	})
+}
+
+// MapPartitions applies f to whole partitions (narrow). It is the fusion
+// point: chained narrow transformations nest Compute closures, so one task
+// per partition executes the entire chain.
+func MapPartitions[T, U any](d *Dataset[T], f func([]T) ([]U, error)) *Dataset[U] {
+	parts := make([]Partition[U], len(d.parts))
+	for i, p := range d.parts {
+		compute := p.Compute
+		parts[i] = Partition[U]{
+			Index:     p.Index,
+			Preferred: p.Preferred,
+			SizeHint:  p.SizeHint,
+			Compute: func() ([]U, error) {
+				in, err := compute()
+				if err != nil {
+					return nil, err
+				}
+				return f(in)
+			},
+		}
+	}
+	return FromPartitions(d.eng, parts)
+}
+
+// materialize runs one task per partition and returns the results indexed
+// by partition.
+func (d *Dataset[T]) materialize() ([][]T, error) {
+	results := make([][]T, len(d.parts))
+	tasks := make([]task, len(d.parts))
+	for i, p := range d.parts {
+		i, p := i, p
+		tasks[i] = task{
+			preferred: p.Preferred,
+			sizeHint:  p.SizeHint,
+			run: func() error {
+				out, err := p.Compute()
+				if err != nil {
+					return err
+				}
+				results[i] = out
+				return nil
+			},
+		}
+	}
+	if err := d.eng.runTasks(tasks); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// Collect materializes the dataset into one slice (action).
+func (d *Dataset[T]) Collect() ([]T, error) {
+	parts, err := d.materialize()
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make([]T, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out, nil
+}
+
+// Count returns the number of elements (action).
+func (d *Dataset[T]) Count() (int, error) {
+	var mu sync.Mutex
+	total := 0
+	counted := MapPartitions(d, func(in []T) ([]struct{}, error) {
+		mu.Lock()
+		total += len(in)
+		mu.Unlock()
+		return nil, nil
+	})
+	if _, err := counted.materialize(); err != nil {
+		return 0, err
+	}
+	return total, nil
+}
+
+// Reduce folds all elements with f (action). The zero T is returned for an
+// empty dataset along with ok=false.
+func Reduce[T any](d *Dataset[T], f func(T, T) T) (T, bool, error) {
+	var zero T
+	parts, err := d.materialize()
+	if err != nil {
+		return zero, false, err
+	}
+	acc, have := zero, false
+	for _, p := range parts {
+		for _, v := range p {
+			if !have {
+				acc, have = v, true
+			} else {
+				acc = f(acc, v)
+			}
+		}
+	}
+	return acc, have, nil
+}
+
+// Pair is a key/value record for shuffle operations.
+type Pair[K comparable, V any] struct {
+	Key K
+	Val V
+}
+
+// KeyBy turns a dataset into key/value pairs (narrow).
+func KeyBy[T any, K comparable](d *Dataset[T], f func(T) K) *Dataset[Pair[K, T]] {
+	return Map(d, func(v T) Pair[K, T] { return Pair[K, T]{Key: f(v), Val: v} })
+}
+
+// shuffle materializes the parent and hash-partitions its pairs into nOut
+// buckets. The result datasets' partitions read their bucket; the shuffle
+// itself runs once, guarded by sync.Once, when any output partition is
+// first computed — mirroring Spark's stage boundary.
+func shuffle[K comparable, V any](d *Dataset[Pair[K, V]], nOut int) *Dataset[Pair[K, V]] {
+	if nOut < 1 {
+		nOut = len(d.parts)
+		if nOut < 1 {
+			nOut = 1
+		}
+	}
+	var (
+		once    sync.Once
+		buckets [][]Pair[K, V]
+		shufErr error
+	)
+	run := func() {
+		parts, err := d.materialize()
+		if err != nil {
+			shufErr = err
+			return
+		}
+		buckets = make([][]Pair[K, V], nOut)
+		for _, p := range parts {
+			for _, kv := range p {
+				b := int(hashOf(kv.Key) % uint64(nOut))
+				buckets[b] = append(buckets[b], kv)
+			}
+		}
+	}
+	parts := make([]Partition[Pair[K, V]], nOut)
+	for i := 0; i < nOut; i++ {
+		i := i
+		parts[i] = Partition[Pair[K, V]]{
+			Index: i,
+			Compute: func() ([]Pair[K, V], error) {
+				once.Do(run)
+				if shufErr != nil {
+					return nil, shufErr
+				}
+				return buckets[i], nil
+			},
+		}
+	}
+	return FromPartitions(d.eng, parts)
+}
+
+// ReduceByKey merges values per key with f (wide transformation).
+func ReduceByKey[K comparable, V any](d *Dataset[Pair[K, V]], nOut int, f func(V, V) V) *Dataset[Pair[K, V]] {
+	// Map-side combine before the shuffle, as Spark does.
+	combined := MapPartitions(d, func(in []Pair[K, V]) ([]Pair[K, V], error) {
+		return combinePairs(in, f), nil
+	})
+	shuffled := shuffle(combined, nOut)
+	return MapPartitions(shuffled, func(in []Pair[K, V]) ([]Pair[K, V], error) {
+		return combinePairs(in, f), nil
+	})
+}
+
+func combinePairs[K comparable, V any](in []Pair[K, V], f func(V, V) V) []Pair[K, V] {
+	acc := make(map[K]V, len(in))
+	order := make([]K, 0, len(in))
+	for _, kv := range in {
+		if cur, ok := acc[kv.Key]; ok {
+			acc[kv.Key] = f(cur, kv.Val)
+		} else {
+			acc[kv.Key] = kv.Val
+			order = append(order, kv.Key)
+		}
+	}
+	out := make([]Pair[K, V], 0, len(acc))
+	for _, k := range order {
+		out = append(out, Pair[K, V]{Key: k, Val: acc[k]})
+	}
+	return out
+}
+
+// GroupByKey gathers all values per key (wide transformation).
+func GroupByKey[K comparable, V any](d *Dataset[Pair[K, V]], nOut int) *Dataset[Pair[K, []V]] {
+	shuffled := shuffle(d, nOut)
+	return MapPartitions(shuffled, func(in []Pair[K, V]) ([]Pair[K, []V], error) {
+		groups := make(map[K][]V, len(in))
+		order := make([]K, 0, len(in))
+		for _, kv := range in {
+			if _, ok := groups[kv.Key]; !ok {
+				order = append(order, kv.Key)
+			}
+			groups[kv.Key] = append(groups[kv.Key], kv.Val)
+		}
+		out := make([]Pair[K, []V], 0, len(groups))
+		for _, k := range order {
+			out = append(out, Pair[K, []V]{Key: k, Val: groups[k]})
+		}
+		return out, nil
+	})
+}
+
+// CollectMap collects a pair dataset into a map (action). Later values win
+// on duplicate keys.
+func CollectMap[K comparable, V any](d *Dataset[Pair[K, V]]) (map[K]V, error) {
+	pairs, err := d.Collect()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[K]V, len(pairs))
+	for _, kv := range pairs {
+		out[kv.Key] = kv.Val
+	}
+	return out, nil
+}
+
+// CountByKey counts occurrences per key (action).
+func CountByKey[K comparable, V any](d *Dataset[Pair[K, V]]) (map[K]int, error) {
+	ones := Map(d, func(kv Pair[K, V]) Pair[K, int] { return Pair[K, int]{Key: kv.Key, Val: 1} })
+	summed := ReduceByKey(ones, 0, func(a, b int) int { return a + b })
+	return CollectMap(summed)
+}
+
+// Join inner-joins two pair datasets on key (wide transformation on both
+// sides).
+func Join[K comparable, V, W any](a *Dataset[Pair[K, V]], b *Dataset[Pair[K, W]], nOut int) *Dataset[Pair[K, struct {
+	Left  V
+	Right W
+}]] {
+	type joined = Pair[K, struct {
+		Left  V
+		Right W
+	}]
+	ga := GroupByKey(a, nOut)
+	gb := GroupByKey(b, nOut)
+	// Materialize the right side once and broadcast-join against the left
+	// groups. Suitable for the moderate key cardinalities of log analytics.
+	var (
+		once sync.Once
+		rmap map[K][]W
+		rErr error
+	)
+	loadRight := func() {
+		pairs, err := gb.Collect()
+		if err != nil {
+			rErr = err
+			return
+		}
+		rmap = make(map[K][]W, len(pairs))
+		for _, kv := range pairs {
+			rmap[kv.Key] = kv.Val
+		}
+	}
+	return MapPartitions(ga, func(in []Pair[K, []V]) ([]joined, error) {
+		once.Do(loadRight)
+		if rErr != nil {
+			return nil, rErr
+		}
+		var out []joined
+		for _, kv := range in {
+			rights, ok := rmap[kv.Key]
+			if !ok {
+				continue
+			}
+			for _, l := range kv.Val {
+				for _, r := range rights {
+					out = append(out, joined{Key: kv.Key, Val: struct {
+						Left  V
+						Right W
+					}{l, r}})
+				}
+			}
+		}
+		return out, nil
+	})
+}
+
+// SortBy materializes the dataset and returns elements sorted by the key
+// function (action).
+func SortBy[T any](d *Dataset[T], less func(a, b T) bool) ([]T, error) {
+	items, err := d.Collect()
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(items, func(i, j int) bool { return less(items[i], items[j]) })
+	return items, nil
+}

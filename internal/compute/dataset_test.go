@@ -1,0 +1,350 @@
+package compute
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func testEngine(workers, threads int) *Engine {
+	ids := make([]string, workers)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("store%02d", i)
+	}
+	return NewEngine(Config{Workers: ids, Threads: threads})
+}
+
+func intsUpTo(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func TestParallelizeCollect(t *testing.T) {
+	eng := testEngine(4, 2)
+	ds := Parallelize(eng, intsUpTo(1000), 8)
+	if ds.NumPartitions() != 8 {
+		t.Fatalf("NumPartitions = %d", ds.NumPartitions())
+	}
+	got, err := ds.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1000 {
+		t.Fatalf("Collect = %d items", len(got))
+	}
+	sort.Ints(got)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("missing element %d", i)
+		}
+	}
+}
+
+func TestMapFilterFlatMapChain(t *testing.T) {
+	eng := testEngine(2, 2)
+	ds := Parallelize(eng, intsUpTo(100), 5)
+	doubled := Map(ds, func(x int) int { return 2 * x })
+	evensOnly := Filter(doubled, func(x int) bool { return x%4 == 0 })
+	expanded := FlatMap(evensOnly, func(x int) []int { return []int{x, x + 1} })
+	n, err := expanded.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 100 { // 50 multiples of 4 in [0,200), each expanded to 2
+		t.Fatalf("Count = %d, want 100", n)
+	}
+}
+
+func TestReduce(t *testing.T) {
+	eng := testEngine(3, 2)
+	ds := Parallelize(eng, intsUpTo(101), 7)
+	sum, ok, err := Reduce(ds, func(a, b int) int { return a + b })
+	if err != nil || !ok {
+		t.Fatalf("Reduce: ok=%v err=%v", ok, err)
+	}
+	if sum != 5050 {
+		t.Fatalf("sum = %d, want 5050", sum)
+	}
+	empty := Parallelize[int](eng, nil, 3)
+	_, ok, err = Reduce(empty, func(a, b int) int { return a + b })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("Reduce on empty dataset reported ok")
+	}
+}
+
+func TestReduceByKeyWordCount(t *testing.T) {
+	// The paper's §III-C word-count on Lustre logs is the canonical job.
+	eng := testEngine(4, 2)
+	lines := []string{
+		"ost0012 not responding",
+		"ost0012 timeout on bulk read",
+		"client evicted by ost0012",
+		"mdt0001 slow reply",
+	}
+	words := FlatMap(Parallelize(eng, lines, 2), strings.Fields)
+	pairs := Map(words, func(w string) Pair[string, int] { return Pair[string, int]{w, 1} })
+	counts, err := CollectMap(ReduceByKey(pairs, 4, func(a, b int) int { return a + b }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts["ost0012"] != 3 {
+		t.Fatalf("ost0012 count = %d, want 3", counts["ost0012"])
+	}
+	if counts["timeout"] != 1 {
+		t.Fatalf("timeout count = %d", counts["timeout"])
+	}
+}
+
+func TestReduceByKeyMatchesSequential(t *testing.T) {
+	f := func(raw []uint8) bool {
+		eng := testEngine(3, 2)
+		want := map[int]int{}
+		vals := make([]int, len(raw))
+		for i, b := range raw {
+			vals[i] = int(b % 16)
+			want[vals[i]]++
+		}
+		ds := Parallelize(eng, vals, 4)
+		pairs := Map(ds, func(x int) Pair[int, int] { return Pair[int, int]{x, 1} })
+		got, err := CollectMap(ReduceByKey(pairs, 3, func(a, b int) int { return a + b }))
+		if err != nil {
+			return false
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for k, v := range want {
+			if got[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupByKey(t *testing.T) {
+	eng := testEngine(2, 1)
+	pairs := []Pair[string, int]{{"a", 1}, {"b", 2}, {"a", 3}, {"c", 4}, {"a", 5}}
+	ds := FromPartitions(eng, []Partition[Pair[string, int]]{{
+		Index:   0,
+		Compute: func() ([]Pair[string, int], error) { return pairs, nil },
+	}})
+	grouped, err := GroupByKey(ds, 2).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string][]int{}
+	for _, g := range grouped {
+		byKey[g.Key] = g.Val
+	}
+	if len(byKey["a"]) != 3 {
+		t.Fatalf("group a = %v", byKey["a"])
+	}
+	sum := 0
+	for _, v := range byKey["a"] {
+		sum += v
+	}
+	if sum != 9 {
+		t.Fatalf("group a sum = %d", sum)
+	}
+}
+
+func TestCountByKey(t *testing.T) {
+	eng := testEngine(2, 2)
+	vals := make([]string, 0, 300)
+	for i := 0; i < 300; i++ {
+		vals = append(vals, fmt.Sprintf("type%d", i%3))
+	}
+	ds := Parallelize(eng, vals, 6)
+	pairs := KeyBy(ds, func(s string) string { return s })
+	counts, err := CountByKey(pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"type0", "type1", "type2"} {
+		if counts[k] != 100 {
+			t.Fatalf("counts[%s] = %d", k, counts[k])
+		}
+	}
+}
+
+func TestJoin(t *testing.T) {
+	eng := testEngine(2, 2)
+	events := Parallelize(eng, []Pair[string, string]{
+		{"c0-0c0s0n0", "MCE"}, {"c0-0c0s0n1", "LUSTRE"}, {"c0-0c0s0n0", "GPU_XID"},
+	}, 2)
+	apps := Parallelize(eng, []Pair[string, string]{
+		{"c0-0c0s0n0", "job-77"}, {"c0-0c0s0n2", "job-88"},
+	}, 1)
+	joined, err := Join(events, apps, 2).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(joined) != 2 {
+		t.Fatalf("join produced %d rows, want 2", len(joined))
+	}
+	for _, j := range joined {
+		if j.Key != "c0-0c0s0n0" || j.Val.Right != "job-77" {
+			t.Fatalf("unexpected join row %+v", j)
+		}
+	}
+}
+
+func TestSortBy(t *testing.T) {
+	eng := testEngine(2, 2)
+	ds := Parallelize(eng, []int{5, 3, 9, 1, 7}, 2)
+	got, err := SortBy(ds, func(a, b int) bool { return a < b })
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 3, 5, 7, 9}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SortBy = %v", got)
+		}
+	}
+}
+
+func TestLocalityScheduling(t *testing.T) {
+	eng := testEngine(4, 1)
+	var runs atomic.Int32
+	parts := make([]Partition[int], 8)
+	for i := range parts {
+		i := i
+		parts[i] = Partition[int]{
+			Index:     i,
+			Preferred: fmt.Sprintf("store%02d", i%4),
+			Compute: func() ([]int, error) {
+				runs.Add(1)
+				return []int{i}, nil
+			},
+		}
+	}
+	ds := FromPartitions(eng, parts)
+	if _, err := ds.Collect(); err != nil {
+		t.Fatal(err)
+	}
+	st := eng.Stats()
+	if st.TasksRun != 8 {
+		t.Fatalf("TasksRun = %d", st.TasksRun)
+	}
+	if st.LocalHits == 0 {
+		t.Fatal("no local placements at all")
+	}
+	if runs.Load() != 8 {
+		t.Fatalf("computed %d partitions", runs.Load())
+	}
+}
+
+func TestTaskErrorPropagates(t *testing.T) {
+	eng := NewEngine(Config{Workers: []string{"w0"}, Threads: 1, MaxRetries: -1})
+	boom := errors.New("boom")
+	parts := []Partition[int]{{
+		Index:   0,
+		Compute: func() ([]int, error) { return nil, boom },
+	}}
+	_, err := FromPartitions(eng, parts).Collect()
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+func TestTaskPanicBecomesError(t *testing.T) {
+	eng := NewEngine(Config{Workers: []string{"w0"}, Threads: 1, MaxRetries: -1})
+	parts := []Partition[int]{{
+		Index:   0,
+		Compute: func() ([]int, error) { panic("bad record") },
+	}}
+	_, err := FromPartitions(eng, parts).Collect()
+	if err == nil || !strings.Contains(err.Error(), "bad record") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRetrySucceedsAfterTransientFailure(t *testing.T) {
+	eng := NewEngine(Config{Workers: []string{"w0"}, Threads: 1, MaxRetries: 2})
+	var attempts atomic.Int32
+	parts := []Partition[int]{{
+		Index: 0,
+		Compute: func() ([]int, error) {
+			if attempts.Add(1) < 3 {
+				return nil, errors.New("transient")
+			}
+			return []int{42}, nil
+		},
+	}}
+	got, err := FromPartitions(eng, parts).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != 42 {
+		t.Fatalf("got %v", got)
+	}
+	if eng.Stats().Retries != 2 {
+		t.Fatalf("Retries = %d, want 2", eng.Stats().Retries)
+	}
+}
+
+func TestShuffleDeterministicAcrossRuns(t *testing.T) {
+	for run := 0; run < 3; run++ {
+		eng := testEngine(3, 2)
+		vals := intsUpTo(500)
+		pairs := Map(Parallelize(eng, vals, 5), func(x int) Pair[int, int] {
+			return Pair[int, int]{x % 7, x}
+		})
+		counts, err := CountByKey(pairs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < 7; k++ {
+			want := 500 / 7
+			if k < 500%7 {
+				want++
+			}
+			if counts[k] != want {
+				t.Fatalf("run %d: counts[%d] = %d, want %d", run, k, counts[k], want)
+			}
+		}
+	}
+}
+
+func TestHashOfTypes(t *testing.T) {
+	if hashOf("a") == hashOf("b") {
+		t.Error("string collision")
+	}
+	if hashOf(int(1)) != hashOf(int64(1)) {
+		t.Error("int and int64 of same value should agree")
+	}
+	type custom struct{ A, B int }
+	if hashOf(custom{1, 2}) == hashOf(custom{2, 1}) {
+		t.Error("struct fallback collision")
+	}
+}
+
+func TestEngineDefaults(t *testing.T) {
+	eng := NewEngine(Config{})
+	if len(eng.Workers()) != 1 {
+		t.Fatalf("default workers = %v", eng.Workers())
+	}
+	ds := Parallelize(eng, intsUpTo(10), 100)
+	if ds.NumPartitions() != 10 {
+		t.Fatalf("partitions capped at item count, got %d", ds.NumPartitions())
+	}
+	eng.ResetStats()
+	if eng.Stats() != (Stats{}) {
+		t.Fatal("ResetStats did not zero")
+	}
+}

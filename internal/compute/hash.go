@@ -1,0 +1,43 @@
+package compute
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// hashOf hashes a shuffle key. String and integer keys take fast paths;
+// any other comparable type falls back to its fmt representation, which is
+// adequate for the composite keys used in log analytics.
+func hashOf(key any) uint64 {
+	switch k := key.(type) {
+	case string:
+		return hashString(k)
+	case int:
+		return mix(uint64(k))
+	case int64:
+		return mix(uint64(k))
+	case int32:
+		return mix(uint64(k))
+	case uint64:
+		return mix(k)
+	case uint32:
+		return mix(uint64(k))
+	default:
+		return hashString(fmt.Sprintf("%v", key))
+	}
+}
+
+func hashString(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return mix(h.Sum64())
+}
+
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,132 @@
+package compute
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// Cache returns a dataset that materializes each partition at most once
+// and serves subsequent computations from memory — the equivalent of
+// Spark's persist(), which the paper's interactive frontend depends on
+// when a user repeatedly narrows the same context ("users can repeatedly
+// select sub-intervals of interest for narrowed investigations").
+func Cache[T any](d *Dataset[T]) *Dataset[T] {
+	parts := make([]Partition[T], len(d.parts))
+	for i, p := range d.parts {
+		compute := p.Compute
+		var (
+			once   sync.Once
+			cached []T
+			err    error
+		)
+		parts[i] = Partition[T]{
+			Index:     p.Index,
+			Preferred: p.Preferred,
+			SizeHint:  p.SizeHint,
+			Compute: func() ([]T, error) {
+				once.Do(func() { cached, err = compute() })
+				return cached, err
+			},
+		}
+	}
+	return FromPartitions(d.eng, parts)
+}
+
+// Union concatenates datasets bound to the same engine. Partition
+// indices are renumbered; locality preferences are preserved.
+func Union[T any](ds ...*Dataset[T]) (*Dataset[T], error) {
+	if len(ds) == 0 {
+		return nil, fmt.Errorf("compute: union of no datasets")
+	}
+	eng := ds[0].eng
+	var parts []Partition[T]
+	for _, d := range ds {
+		if d.eng != eng {
+			return nil, fmt.Errorf("compute: union across engines")
+		}
+		for _, p := range d.parts {
+			p.Index = len(parts)
+			parts = append(parts, p)
+		}
+	}
+	return FromPartitions(eng, parts), nil
+}
+
+// Distinct removes duplicate elements (wide transformation: one shuffle).
+func Distinct[T comparable](d *Dataset[T], nOut int) *Dataset[T] {
+	pairs := Map(d, func(v T) Pair[T, struct{}] { return Pair[T, struct{}]{Key: v} })
+	reduced := ReduceByKey(pairs, nOut, func(a, _ struct{}) struct{} { return a })
+	return Map(reduced, func(kv Pair[T, struct{}]) T { return kv.Key })
+}
+
+// Sample keeps each element with probability frac, deterministically per
+// partition (seeded by partition index), so repeated runs agree — a
+// requirement for reproducible interactive analytics.
+func Sample[T any](d *Dataset[T], frac float64, seed int64) *Dataset[T] {
+	if frac >= 1 {
+		return d
+	}
+	parts := make([]Partition[T], len(d.parts))
+	for i, p := range d.parts {
+		compute := p.Compute
+		partSeed := seed + int64(p.Index)*1_000_003
+		parts[i] = Partition[T]{
+			Index:     p.Index,
+			Preferred: p.Preferred,
+			SizeHint:  int(float64(p.SizeHint) * frac),
+			Compute: func() ([]T, error) {
+				in, err := compute()
+				if err != nil {
+					return nil, err
+				}
+				rng := rand.New(rand.NewSource(partSeed))
+				out := make([]T, 0, int(float64(len(in))*frac)+1)
+				for _, v := range in {
+					if frac > 0 && rng.Float64() < frac {
+						out = append(out, v)
+					}
+				}
+				return out, nil
+			},
+		}
+	}
+	return FromPartitions(d.eng, parts)
+}
+
+// Top returns the k largest elements under less (action). It folds
+// per-partition heaps before merging, so only O(k × partitions) elements
+// leave their tasks.
+func Top[T any](d *Dataset[T], k int, less func(a, b T) bool) ([]T, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("compute: Top k = %d", k)
+	}
+	topped := MapPartitions(d, func(in []T) ([]T, error) {
+		return topK(in, k, less), nil
+	})
+	all, err := topped.Collect()
+	if err != nil {
+		return nil, err
+	}
+	return topK(all, k, less), nil
+}
+
+// topK selects the k largest of in under less, descending.
+func topK[T any](in []T, k int, less func(a, b T) bool) []T {
+	out := make([]T, 0, k)
+	for _, v := range in {
+		// Insertion into a small sorted slice: k is tiny in practice.
+		pos := len(out)
+		for pos > 0 && less(out[pos-1], v) {
+			pos--
+		}
+		if pos < k {
+			if len(out) < k {
+				out = append(out, v)
+			}
+			copy(out[pos+1:], out[pos:])
+			out[pos] = v
+		}
+	}
+	return out
+}

@@ -1,0 +1,165 @@
+package compute
+
+import (
+	"sort"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestCacheComputesOnce(t *testing.T) {
+	eng := testEngine(2, 2)
+	var computations atomic.Int32
+	parts := make([]Partition[int], 4)
+	for i := range parts {
+		i := i
+		parts[i] = Partition[int]{
+			Index: i,
+			Compute: func() ([]int, error) {
+				computations.Add(1)
+				return []int{i}, nil
+			},
+		}
+	}
+	cached := Cache(FromPartitions(eng, parts))
+	for round := 0; round < 3; round++ {
+		got, err := cached.Collect()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 4 {
+			t.Fatalf("round %d: %d items", round, len(got))
+		}
+	}
+	if n := computations.Load(); n != 4 {
+		t.Fatalf("computed %d partition evaluations, want 4 (cached)", n)
+	}
+	// Derived datasets also reuse the cache.
+	doubled, err := Map(cached, func(x int) int { return 2 * x }).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doubled) != 4 || computations.Load() != 4 {
+		t.Fatalf("derived dataset recomputed the source")
+	}
+}
+
+func TestUnion(t *testing.T) {
+	eng := testEngine(2, 2)
+	a := Parallelize(eng, []int{1, 2, 3}, 2)
+	b := Parallelize(eng, []int{4, 5}, 1)
+	u, err := Union(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.NumPartitions() != 3 {
+		t.Fatalf("union has %d partitions", u.NumPartitions())
+	}
+	got, err := u.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Ints(got)
+	want := []int{1, 2, 3, 4, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("union = %v", got)
+		}
+	}
+	if _, err := Union[int](); err == nil {
+		t.Fatal("empty union accepted")
+	}
+	other := NewEngine(Config{Workers: []string{"x"}})
+	c := Parallelize(other, []int{9}, 1)
+	if _, err := Union(a, c); err == nil {
+		t.Fatal("cross-engine union accepted")
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	eng := testEngine(3, 2)
+	f := func(raw []uint8) bool {
+		vals := make([]int, len(raw))
+		want := map[int]bool{}
+		for i, b := range raw {
+			vals[i] = int(b % 32)
+			want[vals[i]] = true
+		}
+		got, err := Distinct(Parallelize(eng, vals, 4), 3).Collect()
+		if err != nil {
+			return false
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for _, v := range got {
+			if !want[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSample(t *testing.T) {
+	eng := testEngine(2, 2)
+	ds := Parallelize(eng, intsUpTo(10000), 8)
+	half := Sample(ds, 0.5, 7)
+	n1, err := half.Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1 < 4500 || n1 > 5500 {
+		t.Fatalf("0.5 sample kept %d of 10000", n1)
+	}
+	// Deterministic across runs.
+	n2, err := Sample(ds, 0.5, 7).Count()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1 != n2 {
+		t.Fatalf("sample not deterministic: %d vs %d", n1, n2)
+	}
+	// frac >= 1 is the identity; frac 0 keeps nothing.
+	full, _ := Sample(ds, 1.0, 7).Count()
+	if full != 10000 {
+		t.Fatalf("full sample = %d", full)
+	}
+	none, _ := Sample(ds, 0, 7).Count()
+	if none != 0 {
+		t.Fatalf("zero sample = %d", none)
+	}
+}
+
+func TestTop(t *testing.T) {
+	eng := testEngine(2, 2)
+	ds := Parallelize(eng, intsUpTo(1000), 7)
+	top, err := Top(ds, 5, func(a, b int) bool { return a < b })
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{999, 998, 997, 996, 995}
+	if len(top) != 5 {
+		t.Fatalf("top = %v", top)
+	}
+	for i := range want {
+		if top[i] != want[i] {
+			t.Fatalf("top = %v, want %v", top, want)
+		}
+	}
+	// k larger than the dataset returns everything, descending.
+	small := Parallelize(eng, []int{3, 1, 2}, 2)
+	all, err := Top(small, 10, func(a, b int) bool { return a < b })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 3 || all[0] != 3 || all[2] != 1 {
+		t.Fatalf("top-10 of 3 = %v", all)
+	}
+	if _, err := Top(ds, 0, func(a, b int) bool { return a < b }); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"hpclog/internal/logs"
+	"hpclog/internal/model"
+	"hpclog/internal/topology"
+)
+
+func testFramework(t testing.TB) (*Framework, logs.Config, *logs.Corpus) {
+	t.Helper()
+	fw, err := New(Options{StoreNodes: 4, RF: 2, MachineNodes: 2 * topology.NodesPerCabinet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := logs.DefaultConfig()
+	cfg.Nodes = 2 * topology.NodesPerCabinet
+	cfg.Duration = 90 * time.Minute
+	cfg.Storms[0].Start = cfg.Start.Add(45 * time.Minute)
+	cfg.Storms[0].EventsPerSec = 15
+	cfg.Jobs.MaxNodes = 32
+	return fw, cfg, logs.Generate(cfg)
+}
+
+func TestEndToEndImportAndAnalyze(t *testing.T) {
+	fw, cfg, corpus := testFramework(t)
+	res, err := fw.ImportCorpus(corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EventsLoaded != len(corpus.Events) {
+		t.Fatalf("imported %d of %d events", res.EventsLoaded, len(corpus.Events))
+	}
+	if res.RunsLoaded != len(corpus.Runs) {
+		t.Fatalf("imported %d of %d runs", res.RunsLoaded, len(corpus.Runs))
+	}
+	from := cfg.Start
+	to := cfg.Start.Add(cfg.Duration)
+
+	hm, err := fw.Heatmap(model.MCE, from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hm.Total == 0 {
+		t.Fatal("empty heat map after import")
+	}
+	hist, err := fw.Histogram(model.Lustre, from, to, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != 90 {
+		t.Fatalf("histogram bins = %d", len(hist))
+	}
+	events, err := fw.Events(model.Lustre, from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no lustre events")
+	}
+	runs, err := fw.Runs(from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != len(corpus.Runs) {
+		t.Fatalf("%d runs read back of %d", len(runs), len(corpus.Runs))
+	}
+}
+
+func TestStreamingThroughFramework(t *testing.T) {
+	fw, _, _ := testFramework(t)
+	s, err := fw.NewStreamer("raw-events", "worker-1", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	base := time.Date(2017, 8, 23, 12, 0, 0, 0, time.UTC)
+	// Five occurrences per second for ten seconds, published in event-time
+	// order as real-time producers do.
+	for sec := 0; sec < 10; sec++ {
+		for j := 0; j < 5; j++ {
+			e := model.Event{
+				Time:   base.Add(time.Duration(sec) * time.Second),
+				Type:   model.Network,
+				Source: "c0-0c0s7n0",
+				Count:  1,
+			}
+			if err := fw.Publish("raw-events", e); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	consumed, written, err := s.Drain(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if consumed != 50 {
+		t.Fatalf("consumed %d", consumed)
+	}
+	// 50 occurrences over 10 distinct seconds on one node coalesce into
+	// exactly 10 rows: watermark buffering merges across poll batches.
+	if written != 10 {
+		t.Fatalf("written %d rows, want 10 coalesced windows", written)
+	}
+	events, err := fw.Events(model.Network, base, base.Add(time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, e := range events {
+		total += e.Count
+	}
+	if total != 50 {
+		t.Fatalf("occurrence mass = %d, want 50 preserved through coalescing", total)
+	}
+}
+
+func TestFrameworkDefaults(t *testing.T) {
+	opts := Options{}.withDefaults()
+	if opts.StoreNodes != 32 || opts.RF != 3 || opts.MachineNodes != topology.TotalNodes {
+		t.Fatalf("defaults = %+v", opts)
+	}
+}
+
+func TestServerConstruction(t *testing.T) {
+	fw, _, _ := testFramework(t)
+	if fw.Server() == nil {
+		t.Fatal("no server")
+	}
+}

@@ -1,0 +1,135 @@
+package cql
+
+import (
+	"fmt"
+	"sort"
+
+	"hpclog/internal/store"
+)
+
+// ResultRow is one row of a query result: the clustering key plus the
+// selected columns.
+type ResultRow struct {
+	Key     string            `json:"key"`
+	Columns map[string]string `json:"columns"`
+}
+
+// Result is the outcome of executing a statement.
+type Result struct {
+	// Rows is populated by SELECT.
+	Rows []ResultRow `json:"rows,omitempty"`
+	// Tables is populated by DESCRIBE TABLES.
+	Tables []string `json:"tables,omitempty"`
+	// Schema is populated by DESCRIBE TABLE: observed column names.
+	Schema []string `json:"schema,omitempty"`
+	// Applied is true for a successful INSERT.
+	Applied bool `json:"applied,omitempty"`
+}
+
+// Session executes statements against a store at a fixed consistency.
+type Session struct {
+	DB *store.DB
+	CL store.Consistency
+}
+
+// Execute parses and runs one statement.
+func (s *Session) Execute(src string) (*Result, error) {
+	stmt, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run(stmt)
+}
+
+// Run executes a parsed statement.
+func (s *Session) Run(stmt Statement) (*Result, error) {
+	switch st := stmt.(type) {
+	case *SelectStmt:
+		return s.runSelect(st)
+	case *InsertStmt:
+		return s.runInsert(st)
+	case *DescribeStmt:
+		return s.runDescribe(st)
+	default:
+		return nil, fmt.Errorf("cql: unknown statement type %T", stmt)
+	}
+}
+
+func (s *Session) runSelect(st *SelectStmt) (*Result, error) {
+	rg := store.Range{From: st.KeyFrom, To: st.KeyTo}
+	// The store's Range is [From, To); adjust for the exclusive/inclusive
+	// variants CQL allows. Appending a zero byte yields the tightest key
+	// strictly greater than the bound.
+	if st.FromExcl && rg.From != "" {
+		rg.From += "\x00"
+	}
+	if st.ToIncl && rg.To != "" {
+		rg.To += "\x00"
+	}
+	rows, err := s.DB.Get(st.Table, st.Partition, rg, s.CL)
+	if err != nil {
+		return nil, err
+	}
+	if st.Limit > 0 && len(rows) > st.Limit {
+		rows = rows[:st.Limit]
+	}
+	res := &Result{Rows: make([]ResultRow, 0, len(rows))}
+	for _, r := range rows {
+		out := ResultRow{Key: r.Key}
+		if st.Columns == nil {
+			out.Columns = r.Columns
+		} else {
+			out.Columns = make(map[string]string, len(st.Columns))
+			for _, c := range st.Columns {
+				if v, ok := r.Columns[c]; ok {
+					out.Columns[c] = v
+				}
+			}
+		}
+		res.Rows = append(res.Rows, out)
+	}
+	return res, nil
+}
+
+func (s *Session) runInsert(st *InsertStmt) (*Result, error) {
+	row := store.Row{Key: st.Key, Columns: st.Columns}
+	if err := s.DB.Put(st.Table, st.Partition, row, s.CL); err != nil {
+		return nil, err
+	}
+	return &Result{Applied: true}, nil
+}
+
+func (s *Session) runDescribe(st *DescribeStmt) (*Result, error) {
+	if st.Table == "" {
+		return &Result{Tables: s.DB.Tables()}, nil
+	}
+	if !s.DB.HasTable(st.Table) {
+		return nil, fmt.Errorf("cql: no such table %q", st.Table)
+	}
+	// Schema-on-read: sample partitions to report observed columns.
+	cols := map[string]bool{}
+	pkeys := s.DB.PartitionKeys(st.Table)
+	if len(pkeys) > 8 {
+		pkeys = pkeys[:8]
+	}
+	for _, pk := range pkeys {
+		rows, err := s.DB.Get(st.Table, pk, store.Range{}, store.One)
+		if err != nil {
+			return nil, err
+		}
+		for i, r := range rows {
+			if i >= 64 {
+				break
+			}
+			for c := range r.Columns {
+				cols[c] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(cols))
+	for c := range cols {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return &Result{Schema: out}, nil
+}

@@ -1,0 +1,136 @@
+// Package cql implements the query language the analytic server speaks to
+// the backend database (Section III: "relays them to the backend database
+// server in the form of Cassandra Query Language (CQL) queries") — a
+// small, faithful subset of CQL specialized to the framework's data model:
+//
+//	SELECT [cols | *] FROM table
+//	    WHERE partition = 'pkey'
+//	    [AND key >= 'from'] [AND key < 'to']
+//	    [LIMIT n]
+//	INSERT INTO table (partition, key, col1, col2, ...)
+//	    VALUES ('pk', 'ck', 'v1', 'v2', ...)
+//	DESCRIBE TABLES
+//	DESCRIBE TABLE name
+//
+// Statements are parsed into an AST and executed against a store.DB with
+// a selectable consistency level.
+package cql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokString
+	tokNumber
+	tokSymbol // ( ) , = * ; < > <= >=
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of statement"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// lexer tokenizes a CQL statement.
+type lexer struct {
+	src string
+	pos int
+}
+
+// lex splits src into tokens. String literals use single quotes with ”
+// escaping, as in CQL.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	var tokens []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		tokens = append(tokens, t)
+		if t.kind == tokEOF {
+			return tokens, nil
+		}
+	}
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case c == '\'':
+		return l.lexString()
+	case isIdentStart(c):
+		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+			l.pos++
+		}
+		return token{kind: tokIdent, text: l.src[start:l.pos], pos: start}, nil
+	case c >= '0' && c <= '9':
+		for l.pos < len(l.src) && (l.src[l.pos] >= '0' && l.src[l.pos] <= '9') {
+			l.pos++
+		}
+		return token{kind: tokNumber, text: l.src[start:l.pos], pos: start}, nil
+	case c == '<' || c == '>':
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+		}
+		return token{kind: tokSymbol, text: l.src[start:l.pos], pos: start}, nil
+	case strings.ContainsRune("(),=*;", rune(c)):
+		l.pos++
+		return token{kind: tokSymbol, text: string(c), pos: start}, nil
+	default:
+		return token{}, fmt.Errorf("cql: unexpected character %q at position %d", c, l.pos)
+	}
+}
+
+func (l *lexer) lexString() (token, error) {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			// '' is an escaped quote.
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				b.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			return token{kind: tokString, text: b.String(), pos: start}, nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return token{}, fmt.Errorf("cql: unterminated string starting at position %d", start)
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9') || c == '.'
+}

@@ -1,0 +1,307 @@
+package cql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Statement is a parsed CQL statement.
+type Statement interface{ stmt() }
+
+// SelectStmt reads rows from one partition.
+type SelectStmt struct {
+	Columns   []string // nil means *
+	Table     string
+	Partition string
+	// KeyFrom/KeyTo bound the clustering key; empty = unbounded. FromExcl
+	// records whether the lower bound came from '>' (exclusive).
+	KeyFrom  string
+	FromExcl bool
+	KeyTo    string
+	ToIncl   bool // upper bound came from '<='
+	Limit    int  // 0 = no limit
+}
+
+func (*SelectStmt) stmt() {}
+
+// InsertStmt writes one row.
+type InsertStmt struct {
+	Table     string
+	Partition string
+	Key       string
+	Columns   map[string]string
+}
+
+func (*InsertStmt) stmt() {}
+
+// DescribeStmt introspects the schema.
+type DescribeStmt struct {
+	Table string // empty = list tables
+}
+
+func (*DescribeStmt) stmt() {}
+
+// parser consumes a token stream.
+type parser struct {
+	tokens []token
+	pos    int
+}
+
+// Parse parses one CQL statement (a trailing semicolon is allowed).
+func Parse(src string) (Statement, error) {
+	tokens, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{tokens: tokens}
+	var s Statement
+	switch {
+	case p.peekKeyword("SELECT"):
+		s, err = p.parseSelect()
+	case p.peekKeyword("INSERT"):
+		s, err = p.parseInsert()
+	case p.peekKeyword("DESCRIBE"):
+		s, err = p.parseDescribe()
+	default:
+		return nil, fmt.Errorf("cql: expected SELECT, INSERT, or DESCRIBE, got %s", p.peek())
+	}
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind == tokSymbol && p.peek().text == ";" {
+		p.pos++
+	}
+	if p.peek().kind != tokEOF {
+		return nil, fmt.Errorf("cql: trailing input at %s", p.peek())
+	}
+	return s, nil
+}
+
+func (p *parser) peek() token { return p.tokens[p.pos] }
+
+func (p *parser) peekKeyword(kw string) bool {
+	t := p.peek()
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.peekKeyword(kw) {
+		return fmt.Errorf("cql: expected %s, got %s", kw, p.peek())
+	}
+	p.pos++
+	return nil
+}
+
+func (p *parser) expectSymbol(sym string) error {
+	t := p.peek()
+	if t.kind != tokSymbol || t.text != sym {
+		return fmt.Errorf("cql: expected %q, got %s", sym, t)
+	}
+	p.pos++
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return "", fmt.Errorf("cql: expected identifier, got %s", t)
+	}
+	p.pos++
+	return t.text, nil
+}
+
+func (p *parser) stringLit() (string, error) {
+	t := p.peek()
+	if t.kind != tokString {
+		return "", fmt.Errorf("cql: expected string literal, got %s", t)
+	}
+	p.pos++
+	return t.text, nil
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	p.pos++ // SELECT
+	s := &SelectStmt{}
+	if p.peek().kind == tokSymbol && p.peek().text == "*" {
+		p.pos++
+	} else {
+		for {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			s.Columns = append(s.Columns, col)
+			if p.peek().kind == tokSymbol && p.peek().text == "," {
+				p.pos++
+				continue
+			}
+			break
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	s.Table = table
+	if err := p.expectKeyword("WHERE"); err != nil {
+		return nil, fmt.Errorf("%w (full-table scans are not supported; query one partition)", err)
+	}
+	havePartition := false
+	for {
+		field, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		switch strings.ToLower(field) {
+		case "partition":
+			if err := p.expectSymbol("="); err != nil {
+				return nil, err
+			}
+			s.Partition, err = p.stringLit()
+			if err != nil {
+				return nil, err
+			}
+			havePartition = true
+		case "key":
+			op := p.peek()
+			if op.kind != tokSymbol {
+				return nil, fmt.Errorf("cql: expected comparison after key, got %s", op)
+			}
+			p.pos++
+			val, err := p.stringLit()
+			if err != nil {
+				return nil, err
+			}
+			switch op.text {
+			case ">=":
+				s.KeyFrom = val
+			case ">":
+				s.KeyFrom, s.FromExcl = val, true
+			case "<":
+				s.KeyTo = val
+			case "<=":
+				s.KeyTo, s.ToIncl = val, true
+			case "=":
+				s.KeyFrom, s.KeyTo, s.ToIncl = val, val, true
+			default:
+				return nil, fmt.Errorf("cql: unsupported key comparison %q", op.text)
+			}
+		default:
+			return nil, fmt.Errorf("cql: only partition and key may appear in WHERE, got %q", field)
+		}
+		if p.peekKeyword("AND") {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if !havePartition {
+		return nil, fmt.Errorf("cql: WHERE must constrain partition (hash key)")
+	}
+	if p.peekKeyword("LIMIT") {
+		p.pos++
+		t := p.peek()
+		if t.kind != tokNumber {
+			return nil, fmt.Errorf("cql: expected number after LIMIT, got %s", t)
+		}
+		p.pos++
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("cql: bad LIMIT %q", t.text)
+		}
+		s.Limit = n
+	}
+	return s, nil
+}
+
+func (p *parser) parseInsert() (*InsertStmt, error) {
+	p.pos++ // INSERT
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	var names []string
+	for {
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		names = append(names, strings.ToLower(name))
+		if p.peek().kind == tokSymbol && p.peek().text == "," {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("VALUES"); err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	var values []string
+	for {
+		v, err := p.stringLit()
+		if err != nil {
+			return nil, err
+		}
+		values = append(values, v)
+		if p.peek().kind == tokSymbol && p.peek().text == "," {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	if len(names) != len(values) {
+		return nil, fmt.Errorf("cql: %d columns but %d values", len(names), len(values))
+	}
+	st := &InsertStmt{Table: table, Columns: make(map[string]string)}
+	for i, name := range names {
+		switch name {
+		case "partition":
+			st.Partition = values[i]
+		case "key":
+			st.Key = values[i]
+		default:
+			st.Columns[name] = values[i]
+		}
+	}
+	if st.Partition == "" || st.Key == "" {
+		return nil, fmt.Errorf("cql: INSERT requires partition and key columns")
+	}
+	return st, nil
+}
+
+func (p *parser) parseDescribe() (*DescribeStmt, error) {
+	p.pos++ // DESCRIBE
+	switch {
+	case p.peekKeyword("TABLES"):
+		p.pos++
+		return &DescribeStmt{}, nil
+	case p.peekKeyword("TABLE"):
+		p.pos++
+		table, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &DescribeStmt{Table: table}, nil
+	default:
+		return nil, fmt.Errorf("cql: expected TABLES or TABLE after DESCRIBE, got %s", p.peek())
+	}
+}

@@ -1,0 +1,479 @@
+// Package ingest implements the two data ingestion modes of Section III-D:
+// batch import (the traditional ETL procedure — collocate, parse with the
+// per-type regex patterns, bulk upload — parallelized over the compute
+// engine) and real-time streaming (event occurrences consumed from the
+// message bus, coalesced over a one-second window, and placed into the
+// right partitions).
+package ingest
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"time"
+
+	"hpclog/internal/bus"
+	"hpclog/internal/compute"
+	"hpclog/internal/model"
+	"hpclog/internal/parse"
+	"hpclog/internal/store"
+	"hpclog/internal/topology"
+)
+
+// Loader writes model records into the backend tables.
+type Loader struct {
+	DB *store.DB
+	// CL is the write consistency level (default Quorum).
+	CL store.Consistency
+}
+
+// NewLoader returns a loader writing at Quorum.
+func NewLoader(db *store.DB) *Loader { return &Loader{DB: db, CL: store.Quorum} }
+
+// Bootstrap creates the eight tables of the data model and loads the
+// static nodeinfos and eventtypes tables.
+func Bootstrap(db *store.DB, nodes int) error {
+	for _, t := range model.AllTables {
+		db.CreateTable(t)
+	}
+	l := &Loader{DB: db, CL: store.Quorum}
+	if err := l.LoadNodeInfos(nodes); err != nil {
+		return err
+	}
+	return l.LoadEventTypes()
+}
+
+// LoadNodeInfos populates the nodeinfos table with the first n nodes of
+// the Titan topology (0 = whole machine). Partitions are per cabinet so a
+// cabinet's nodes are one range scan.
+func (l *Loader) LoadNodeInfos(n int) error {
+	if n <= 0 || n > topology.TotalNodes {
+		n = topology.TotalNodes
+	}
+	byCabinet := make(map[string][]store.Row)
+	for id := 0; id < n; id++ {
+		info := topology.Info(topology.NodeID(id))
+		pkey := fmt.Sprintf("c%d-%d", info.Loc.Col, info.Loc.Row)
+		byCabinet[pkey] = append(byCabinet[pkey], store.Row{
+			Key: info.CName,
+			Columns: map[string]string{
+				"id":     strconv.Itoa(int(info.ID)),
+				"gemini": strconv.Itoa(info.Gemini),
+				"pair":   strconv.Itoa(int(info.PairNode)),
+				"nic":    info.NIC,
+				"cpu":    info.Spec.CPUModel,
+				"gpu":    info.Spec.GPUModel,
+			},
+		})
+	}
+	for pkey, rows := range byCabinet {
+		if err := l.DB.PutBatch(model.TableNodeInfos, pkey, rows, l.CL); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadEventTypes populates the eventtypes catalog table (single
+// partition; the catalog is tiny).
+func (l *Loader) LoadEventTypes() error {
+	rows := make([]store.Row, 0, len(model.EventTypes))
+	for _, et := range model.EventTypes {
+		rows = append(rows, store.Row{
+			Key:     string(et),
+			Columns: map[string]string{"description": model.TypeDescriptions[et]},
+		})
+	}
+	return l.DB.PutBatch(model.TableEventTypes, "all", rows, l.CL)
+}
+
+// LoadEvents writes events into both event tables (the dual schemas of
+// Fig 1), batching rows per partition to amortize coordination.
+func (l *Loader) LoadEvents(events []model.Event) error {
+	timeBatches := make(map[string][]store.Row)
+	locBatches := make(map[string][]store.Row)
+	for _, e := range events {
+		tk := model.EventByTimeKey(e.Hour(), e.Type)
+		lk := model.EventByLocKey(e.Hour(), e.Source)
+		timeBatches[tk] = append(timeBatches[tk], model.EventToTimeRow(e))
+		locBatches[lk] = append(locBatches[lk], model.EventToLocRow(e))
+	}
+	for pkey, rows := range timeBatches {
+		if err := l.DB.PutBatch(model.TableEventByTime, pkey, rows, l.CL); err != nil {
+			return err
+		}
+	}
+	for pkey, rows := range locBatches {
+		if err := l.DB.PutBatch(model.TableEventByLoc, pkey, rows, l.CL); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadRuns writes application runs into the three denormalized views of
+// Fig 2.
+func (l *Loader) LoadRuns(runs []model.AppRun) error {
+	type batchKey struct{ table, pkey string }
+	batches := make(map[batchKey][]store.Row)
+	for _, r := range runs {
+		batches[batchKey{model.TableAppByTime, model.AppByTimeKey(r.Hour())}] =
+			append(batches[batchKey{model.TableAppByTime, model.AppByTimeKey(r.Hour())}], model.AppToTimeRow(r))
+		batches[batchKey{model.TableAppByLoc, model.AppByNameKey(r.App)}] =
+			append(batches[batchKey{model.TableAppByLoc, model.AppByNameKey(r.App)}], model.AppToNameRow(r))
+		batches[batchKey{model.TableAppByUser, model.AppByUserKey(r.User)}] =
+			append(batches[batchKey{model.TableAppByUser, model.AppByUserKey(r.User)}], model.AppToUserRow(r))
+	}
+	for bk, rows := range batches {
+		if err := l.DB.PutBatch(bk.table, bk.pkey, rows, l.CL); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BatchResult summarizes a batch import.
+type BatchResult struct {
+	parse.Result
+	EventsLoaded int
+	RunsLoaded   int
+}
+
+// BatchImport runs the parallel ETL of Section III-D: raw lines are split
+// into engine partitions, each task parses its shard with the regex
+// patterns and bulk-uploads the recognized events. Returns aggregate parse
+// statistics.
+func BatchImport(eng *compute.Engine, db *store.DB, lines []string, cl store.Consistency, nparts int) (BatchResult, error) {
+	loader := &Loader{DB: db, CL: cl}
+	type shardResult struct {
+		res    parse.Result
+		loaded int
+	}
+	ds := compute.Parallelize(eng, lines, nparts)
+	results, err := compute.MapPartitions(ds, func(shard []string) ([]shardResult, error) {
+		var events []model.Event
+		var res parse.Result
+		for _, line := range shard {
+			e, err := parse.ParseLine(line)
+			switch {
+			case err == nil:
+				res.Parsed++
+				events = append(events, e)
+			case err == parse.ErrNoMatch:
+				res.Unmatched++
+			default:
+				res.Malformed++
+			}
+		}
+		if err := loader.LoadEvents(events); err != nil {
+			return nil, err
+		}
+		return []shardResult{{res: res, loaded: len(events)}}, nil
+	}).Collect()
+	if err != nil {
+		return BatchResult{}, err
+	}
+	var out BatchResult
+	for _, r := range results {
+		out.Parsed += r.res.Parsed
+		out.Unmatched += r.res.Unmatched
+		out.Malformed += r.res.Malformed
+		out.EventsLoaded += r.loaded
+	}
+	return out, nil
+}
+
+// BatchImportJobs parses and loads job-log lines.
+func BatchImportJobs(eng *compute.Engine, db *store.DB, lines []string, cl store.Consistency, nparts int) (BatchResult, error) {
+	loader := &Loader{DB: db, CL: cl}
+	type shardResult struct {
+		res    parse.Result
+		loaded int
+	}
+	ds := compute.Parallelize(eng, lines, nparts)
+	results, err := compute.MapPartitions(ds, func(shard []string) ([]shardResult, error) {
+		var runs []model.AppRun
+		var res parse.Result
+		for _, line := range shard {
+			run, err := parse.ParseJobLine(line)
+			if err != nil {
+				res.Malformed++
+				continue
+			}
+			res.Parsed++
+			runs = append(runs, run)
+		}
+		if err := loader.LoadRuns(runs); err != nil {
+			return nil, err
+		}
+		return []shardResult{{res: res, loaded: len(runs)}}, nil
+	}).Collect()
+	if err != nil {
+		return BatchResult{}, err
+	}
+	var out BatchResult
+	for _, r := range results {
+		out.Parsed += r.res.Parsed
+		out.Malformed += r.res.Malformed
+		out.RunsLoaded += r.loaded
+	}
+	return out, nil
+}
+
+// --- Streaming ingestion ---
+
+// wireEvent is the bus encoding of an event occurrence, as published by
+// the OLCF-style event producers.
+type wireEvent struct {
+	Time   int64             `json:"ts"`
+	Type   string            `json:"type"`
+	Source string            `json:"src"`
+	Count  int               `json:"n,omitempty"`
+	Raw    string            `json:"raw,omitempty"`
+	Attrs  map[string]string `json:"attrs,omitempty"`
+}
+
+// PublishEvent serializes an event occurrence onto the bus, keyed by
+// source so per-component ordering is preserved.
+func PublishEvent(b *bus.Broker, topic string, e model.Event) error {
+	w := wireEvent{
+		Time: e.Time.Unix(), Type: string(e.Type), Source: e.Source,
+		Count: e.Count, Raw: e.Raw, Attrs: e.Attrs,
+	}
+	data, err := json.Marshal(w)
+	if err != nil {
+		return err
+	}
+	_, _, err = b.Produce(topic, e.Source, string(data), e.Time)
+	return err
+}
+
+// Streamer consumes event occurrences from the bus and places them into
+// the store, coalescing duplicates within a one-second window: "Event
+// occurrences of the same type and same location are coalesced into a
+// single event if they are timestamped the same."
+//
+// Because one coalescing window can span multiple poll batches, windows
+// are buffered until the event-time watermark (the newest window bucket
+// seen) passes them, then written as a single merged row. Flush forces out
+// everything still pending; Drain flushes automatically when the topic is
+// exhausted. Offsets are committed when the corresponding windows are
+// written, giving at-least-once delivery into the store.
+type Streamer struct {
+	consumer *bus.Consumer
+	loader   *Loader
+	// Window is the coalescing granularity (default one second, per the
+	// paper's Spark streaming configuration).
+	Window time.Duration
+
+	pending   map[coalesceKey]*model.Event
+	order     []coalesceKey
+	watermark int64
+
+	received  int
+	coalesced int
+	loaded    int
+}
+
+// NewStreamer subscribes a consumer (group "ingest") to the topic and
+// returns a streamer writing through loader.
+func NewStreamer(b *bus.Broker, topic, consumerID string, loader *Loader) (*Streamer, error) {
+	c, err := b.Subscribe("ingest", topic, consumerID)
+	if err != nil {
+		return nil, err
+	}
+	return &Streamer{
+		consumer: c,
+		loader:   loader,
+		Window:   time.Second,
+		pending:  make(map[coalesceKey]*model.Event),
+	}, nil
+}
+
+// coalesceKey identifies one (type, source, window) cell.
+type coalesceKey struct {
+	typ    string
+	source string
+	bucket int64
+}
+
+// Step polls up to max messages, merges them into pending windows, and
+// writes out every window older than the watermark. It returns the number
+// of raw occurrences consumed and the number of rows written; consumed ==
+// 0 means the topic is currently drained (pending windows may remain —
+// see Flush).
+func (s *Streamer) Step(max int) (consumed, written int, err error) {
+	msgs, err := s.consumer.Poll(max)
+	if err != nil {
+		return 0, 0, err
+	}
+	if len(msgs) == 0 {
+		return 0, 0, nil
+	}
+	window := int64(s.Window / time.Second)
+	if window < 1 {
+		window = 1
+	}
+	for _, m := range msgs {
+		var w wireEvent
+		if err := json.Unmarshal([]byte(m.Value), &w); err != nil {
+			return 0, 0, fmt.Errorf("ingest: bad wire event at %s[%d]@%d: %v",
+				m.Topic, m.Partition, m.Offset, err)
+		}
+		count := w.Count
+		if count < 1 {
+			count = 1
+		}
+		k := coalesceKey{typ: w.Type, source: w.Source, bucket: w.Time / window}
+		if e, ok := s.pending[k]; ok {
+			e.Count += count
+			s.coalesced++
+		} else {
+			s.pending[k] = &model.Event{
+				Time:   time.Unix(w.Time, 0).UTC(),
+				Type:   model.EventType(w.Type),
+				Source: w.Source,
+				Count:  count,
+				Raw:    w.Raw,
+				Attrs:  w.Attrs,
+			}
+			s.order = append(s.order, k)
+		}
+		if k.bucket > s.watermark {
+			s.watermark = k.bucket
+		}
+	}
+	s.received += len(msgs)
+	written, err = s.flushOlderThan(s.watermark)
+	return len(msgs), written, err
+}
+
+// Flush writes out all pending windows regardless of the watermark.
+func (s *Streamer) Flush() (written int, err error) {
+	return s.flushOlderThan(s.watermark + 1)
+}
+
+func (s *Streamer) flushOlderThan(bucket int64) (int, error) {
+	if len(s.order) == 0 {
+		return 0, nil
+	}
+	var events []model.Event
+	kept := s.order[:0]
+	for _, k := range s.order {
+		if k.bucket < bucket {
+			events = append(events, *s.pending[k])
+			delete(s.pending, k)
+		} else {
+			kept = append(kept, k)
+		}
+	}
+	s.order = kept
+	if len(events) == 0 {
+		return 0, nil
+	}
+	if err := s.loader.LoadEvents(events); err != nil {
+		return 0, err
+	}
+	s.consumer.Commit()
+	s.loaded += len(events)
+	return len(events), nil
+}
+
+// Drain repeatedly Steps until the topic has no new messages, then
+// flushes all pending windows, returning totals for the drain.
+func (s *Streamer) Drain(batch int) (consumed, written int, err error) {
+	for {
+		c, w, err := s.Step(batch)
+		if err != nil {
+			return consumed, written, err
+		}
+		written += w
+		if c == 0 {
+			w, err := s.Flush()
+			written += w
+			return consumed, written, err
+		}
+		consumed += c
+	}
+}
+
+// Totals reports lifetime counters: raw occurrences received, occurrences
+// absorbed by coalescing, and rows written.
+func (s *Streamer) Totals() (received, coalesced, loaded int) {
+	return s.received, s.coalesced, s.loaded
+}
+
+// Pending reports the number of buffered, unwritten windows.
+func (s *Streamer) Pending() int { return len(s.order) }
+
+// Close flushes pending windows and leaves the consumer group.
+func (s *Streamer) Close() error {
+	if _, err := s.Flush(); err != nil {
+		return err
+	}
+	return s.consumer.Close()
+}
+
+// RefreshSynopsis recomputes the eventsynopsis table for the given hours:
+// per (type, hour) total occurrence counts and distinct source counts,
+// computed with a parallel job over event_by_time partitions. The synopsis
+// gives the frontend its cheap per-hour histogram without scanning events.
+func RefreshSynopsis(eng *compute.Engine, db *store.DB, hours []int64, cl store.Consistency) error {
+	type synRow struct {
+		typ     model.EventType
+		hour    int64
+		count   int
+		sources int
+	}
+	parts := make([]compute.Partition[synRow], 0, len(hours)*len(model.EventTypes))
+	for _, hour := range hours {
+		for _, typ := range model.EventTypes {
+			hour, typ := hour, typ
+			pkey := model.EventByTimeKey(hour, typ)
+			parts = append(parts, compute.Partition[synRow]{
+				Index:     len(parts),
+				Preferred: db.PrimaryFor(pkey),
+				Compute: func() ([]synRow, error) {
+					rows, err := db.Get(model.TableEventByTime, pkey, store.Range{}, store.One)
+					if err != nil {
+						return nil, err
+					}
+					if len(rows) == 0 {
+						return nil, nil
+					}
+					total := 0
+					sources := make(map[string]bool)
+					for _, r := range rows {
+						e, err := model.EventFromTimeRow(pkey, r)
+						if err != nil {
+							return nil, err
+						}
+						total += e.Count
+						sources[e.Source] = true
+					}
+					return []synRow{{typ: typ, hour: hour, count: total, sources: len(sources)}}, nil
+				},
+			})
+		}
+	}
+	results, err := compute.FromPartitions(eng, parts).Collect()
+	if err != nil {
+		return err
+	}
+	byType := make(map[model.EventType][]store.Row)
+	for _, r := range results {
+		byType[r.typ] = append(byType[r.typ], store.Row{
+			Key: store.EncodeTS(r.hour),
+			Columns: map[string]string{
+				"count":   strconv.Itoa(r.count),
+				"sources": strconv.Itoa(r.sources),
+			},
+		})
+	}
+	for typ, rows := range byType {
+		if err := db.PutBatch(model.TableEventSynopsis, string(typ), rows, cl); err != nil {
+			return err
+		}
+	}
+	return nil
+}

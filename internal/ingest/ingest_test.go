@@ -1,0 +1,276 @@
+package ingest
+
+import (
+	"strconv"
+	"testing"
+	"time"
+
+	"hpclog/internal/bus"
+	"hpclog/internal/compute"
+	"hpclog/internal/logs"
+	"hpclog/internal/model"
+	"hpclog/internal/store"
+	"hpclog/internal/topology"
+)
+
+func testCluster(t testing.TB, nodes int) (*store.DB, *compute.Engine) {
+	t.Helper()
+	db := store.Open(store.Config{Nodes: nodes, RF: 2, VNodes: 16, FlushThreshold: 512})
+	if err := Bootstrap(db, topology.NodesPerCabinet); err != nil {
+		t.Fatal(err)
+	}
+	eng := compute.NewEngine(compute.Config{Workers: db.NodeIDs(), Threads: 2})
+	return db, eng
+}
+
+func smallCorpus() *logs.Corpus {
+	cfg := logs.DefaultConfig()
+	cfg.Nodes = topology.NodesPerCabinet
+	cfg.Duration = 2 * time.Hour
+	cfg.Jobs.MaxNodes = 32
+	cfg.Storms[0].Start = cfg.Start.Add(time.Hour)
+	cfg.Storms[0].EventsPerSec = 30
+	return logs.Generate(cfg)
+}
+
+func TestBootstrapTables(t *testing.T) {
+	db, _ := testCluster(t, 4)
+	tables := db.Tables()
+	if len(tables) != len(model.AllTables) {
+		t.Fatalf("bootstrap created %d tables, want %d", len(tables), len(model.AllTables))
+	}
+	// nodeinfos holds the first cabinet.
+	rows, err := db.Get(model.TableNodeInfos, "c0-0", store.Range{}, store.One)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != topology.NodesPerCabinet {
+		t.Fatalf("nodeinfos c0-0 has %d rows, want %d", len(rows), topology.NodesPerCabinet)
+	}
+	types, err := db.Get(model.TableEventTypes, "all", store.Range{}, store.One)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(types) != len(model.EventTypes) {
+		t.Fatalf("eventtypes has %d rows", len(types))
+	}
+}
+
+func TestLoadAndReadBackEvents(t *testing.T) {
+	db, _ := testCluster(t, 4)
+	corpus := smallCorpus()
+	loader := NewLoader(db)
+	if err := loader.LoadEvents(corpus.Events); err != nil {
+		t.Fatal(err)
+	}
+	// Count events back out of event_by_time across all partitions and
+	// compare with ground truth.
+	total := 0
+	for _, pkey := range db.PartitionKeys(model.TableEventByTime) {
+		rows, err := db.Get(model.TableEventByTime, pkey, store.Range{}, store.Quorum)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(rows)
+	}
+	// Identical (time, type, source) ground-truth events collapse into
+	// one row (last write wins), so stored rows <= generated events.
+	if total == 0 || total > len(corpus.Events) {
+		t.Fatalf("event_by_time holds %d rows for %d events", total, len(corpus.Events))
+	}
+	// The dual table must hold the same logical rows.
+	locTotal := 0
+	for _, pkey := range db.PartitionKeys(model.TableEventByLoc) {
+		rows, err := db.Get(model.TableEventByLoc, pkey, store.Range{}, store.Quorum)
+		if err != nil {
+			t.Fatal(err)
+		}
+		locTotal += len(rows)
+	}
+	if locTotal != total {
+		t.Fatalf("event_by_location has %d rows, event_by_time %d", locTotal, total)
+	}
+}
+
+func TestBatchImportMatchesGroundTruth(t *testing.T) {
+	db, eng := testCluster(t, 4)
+	corpus := smallCorpus()
+	lines := make([]string, len(corpus.Lines))
+	for i, l := range corpus.Lines {
+		lines[i] = l.Format()
+	}
+	res, err := BatchImport(eng, db, lines, store.Quorum, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Parsed != len(corpus.Events) || res.Unmatched != 0 || res.Malformed != 0 {
+		t.Fatalf("batch import stats %+v for %d events", res, len(corpus.Events))
+	}
+	if res.EventsLoaded != res.Parsed {
+		t.Fatalf("loaded %d of %d parsed", res.EventsLoaded, res.Parsed)
+	}
+}
+
+func TestBatchImportJobs(t *testing.T) {
+	db, eng := testCluster(t, 4)
+	corpus := smallCorpus()
+	res, err := BatchImportJobs(eng, db, corpus.JobLines, store.Quorum, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Parsed != len(corpus.Runs) || res.Malformed != 0 {
+		t.Fatalf("job import stats %+v for %d runs", res, len(corpus.Runs))
+	}
+	// All three views must be queryable.
+	run := corpus.Runs[0]
+	rows, err := db.Get(model.TableAppByTime, model.AppByTimeKey(run.Hour()), store.Range{}, store.Quorum)
+	if err != nil || len(rows) == 0 {
+		t.Fatalf("application_by_time empty for hour %d: %v", run.Hour(), err)
+	}
+	rows, err = db.Get(model.TableAppByUser, run.User, store.Range{}, store.Quorum)
+	if err != nil || len(rows) == 0 {
+		t.Fatalf("application_by_user empty for %s: %v", run.User, err)
+	}
+	rows, err = db.Get(model.TableAppByLoc, run.App, store.Range{}, store.Quorum)
+	if err != nil || len(rows) == 0 {
+		t.Fatalf("application view by name empty for %s: %v", run.App, err)
+	}
+	got, err := model.AppFromRow(rows[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.App != run.App {
+		t.Fatalf("read back app %q from %q partition", got.App, run.App)
+	}
+}
+
+func TestStreamingCoalescing(t *testing.T) {
+	db, _ := testCluster(t, 4)
+	broker := bus.NewBroker()
+	if err := broker.CreateTopic("events", 4); err != nil {
+		t.Fatal(err)
+	}
+	base := time.Date(2017, 8, 23, 10, 0, 0, 0, time.UTC)
+	// 30 occurrences: 10 identical (same type+source+second) that must
+	// coalesce to 1 row, plus 20 distinct.
+	for i := 0; i < 10; i++ {
+		e := model.Event{Time: base, Type: model.Lustre, Source: "c0-0c0s0n0", Count: 1}
+		if err := PublishEvent(broker, "events", e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		e := model.Event{
+			Time:   base.Add(time.Duration(i+1) * time.Second),
+			Type:   model.MCE,
+			Source: "c0-0c0s0n1",
+			Count:  1,
+		}
+		if err := PublishEvent(broker, "events", e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := NewStreamer(broker, "events", "s1", NewLoader(db))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	consumed, written, err := s.Drain(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if consumed != 30 {
+		t.Fatalf("consumed %d, want 30", consumed)
+	}
+	if written != 21 {
+		t.Fatalf("written %d rows, want 21 after coalescing", written)
+	}
+	received, coalesced, loaded := s.Totals()
+	if received != 30 || coalesced != 9 || loaded != 21 {
+		t.Fatalf("totals = %d/%d/%d", received, coalesced, loaded)
+	}
+	// The coalesced row carries the merged amount.
+	pkey := model.EventByTimeKey(model.HourOf(base), model.Lustre)
+	rows, err := db.Get(model.TableEventByTime, pkey, store.Range{}, store.Quorum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("lustre partition has %d rows, want 1", len(rows))
+	}
+	e, err := model.EventFromTimeRow(pkey, rows[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Count != 10 {
+		t.Fatalf("coalesced amount = %d, want 10", e.Count)
+	}
+}
+
+func TestStreamerDrainEmptyTopic(t *testing.T) {
+	db, _ := testCluster(t, 2)
+	broker := bus.NewBroker()
+	broker.CreateTopic("events", 1)
+	s, err := NewStreamer(broker, "events", "s1", NewLoader(db))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	consumed, written, err := s.Drain(16)
+	if err != nil || consumed != 0 || written != 0 {
+		t.Fatalf("drain of empty topic = %d/%d/%v", consumed, written, err)
+	}
+}
+
+func TestStreamerBadWireEvent(t *testing.T) {
+	db, _ := testCluster(t, 2)
+	broker := bus.NewBroker()
+	broker.CreateTopic("events", 1)
+	broker.Produce("events", "k", "{not json", time.Time{})
+	s, err := NewStreamer(broker, "events", "s1", NewLoader(db))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, _, err := s.Step(16); err == nil {
+		t.Fatal("bad wire event accepted")
+	}
+}
+
+func TestRefreshSynopsis(t *testing.T) {
+	db, eng := testCluster(t, 4)
+	corpus := smallCorpus()
+	if err := NewLoader(db).LoadEvents(corpus.Events); err != nil {
+		t.Fatal(err)
+	}
+	start := corpus.Events[0].Time
+	end := corpus.Events[len(corpus.Events)-1].Time.Add(time.Second)
+	hours := model.HoursIn(start, end)
+	if err := RefreshSynopsis(eng, db, hours, store.Quorum); err != nil {
+		t.Fatal(err)
+	}
+	// Synopsis totals must equal ground-truth totals per type.
+	truth := map[model.EventType]int{}
+	for _, e := range corpus.Events {
+		truth[e.Type] += e.Count
+	}
+	for _, typ := range model.EventTypes {
+		rows, err := db.Get(model.TableEventSynopsis, string(typ), store.Range{}, store.Quorum)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := 0
+		for _, r := range rows {
+			c, err := strconv.Atoi(r.Col("count"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got += c
+		}
+		// Duplicate ground-truth events collapse via LWW, so synopsis can
+		// undercount by at most the number of collapsed duplicates.
+		if got > truth[typ] || (truth[typ] > 0 && got == 0) {
+			t.Fatalf("synopsis for %s = %d, ground truth %d", typ, got, truth[typ])
+		}
+	}
+}

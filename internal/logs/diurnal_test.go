@@ -1,0 +1,88 @@
+package logs
+
+import (
+	"testing"
+	"time"
+
+	"hpclog/internal/model"
+	"hpclog/internal/topology"
+)
+
+func TestDiurnalModulation(t *testing.T) {
+	cfg := Config{
+		Seed:     11,
+		Start:    time.Date(2017, 8, 23, 0, 0, 0, 0, time.UTC),
+		Duration: 24 * time.Hour,
+		Nodes:    topology.NodesPerCabinet,
+		BaseRates: map[model.EventType]float64{
+			model.MemECC: 2.0,
+		},
+		Diurnal: 0.8,
+	}
+	corpus := Generate(cfg)
+	perHour := make([]int, 24)
+	for _, e := range corpus.Events {
+		perHour[e.Time.UTC().Hour()]++
+	}
+	// The peak is injected at 14:00; compare the afternoon peak band with
+	// the pre-dawn trough band (02:00, 12 hours opposite).
+	peak := perHour[13] + perHour[14] + perHour[15]
+	trough := perHour[1] + perHour[2] + perHour[3]
+	if trough == 0 {
+		t.Fatal("trough band empty; corpus too small")
+	}
+	ratio := float64(peak) / float64(trough)
+	// With A = 0.8 the theoretical band ratio is ≈ (1+0.8)/(1-0.8) = 9;
+	// demand at least 3x to stay robust to sampling noise.
+	if ratio < 3 {
+		t.Fatalf("peak/trough = %.2f, want >= 3 with diurnal 0.8", ratio)
+	}
+}
+
+func TestDiurnalZeroIsUniform(t *testing.T) {
+	cfg := Config{
+		Seed:     12,
+		Start:    time.Date(2017, 8, 23, 0, 0, 0, 0, time.UTC),
+		Duration: 24 * time.Hour,
+		Nodes:    topology.NodesPerCabinet,
+		BaseRates: map[model.EventType]float64{
+			model.MemECC: 2.0,
+		},
+	}
+	corpus := Generate(cfg)
+	perHour := make([]int, 24)
+	for _, e := range corpus.Events {
+		perHour[e.Time.UTC().Hour()]++
+	}
+	min, max := perHour[0], perHour[0]
+	for _, c := range perHour {
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	if min == 0 {
+		t.Fatal("empty hour in uniform corpus")
+	}
+	if float64(max)/float64(min) > 2.5 {
+		t.Fatalf("uniform corpus has %dx hour-to-hour spread", max/min)
+	}
+}
+
+func TestDiurnalWeightShape(t *testing.T) {
+	cfg := Config{Diurnal: 0.5}
+	peak := cfg.diurnalWeight(time.Date(2017, 8, 23, 14, 0, 0, 0, time.UTC))
+	trough := cfg.diurnalWeight(time.Date(2017, 8, 23, 2, 0, 0, 0, time.UTC))
+	if peak < 1.45 || peak > 1.55 {
+		t.Fatalf("peak weight = %v, want ≈1.5", peak)
+	}
+	if trough < 0.45 || trough > 0.55 {
+		t.Fatalf("trough weight = %v, want ≈0.5", trough)
+	}
+	flat := Config{}
+	if flat.diurnalWeight(time.Now()) != 1 {
+		t.Fatal("zero diurnal should weight 1 everywhere")
+	}
+}

@@ -1,0 +1,298 @@
+package logs
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"hpclog/internal/model"
+	"hpclog/internal/topology"
+)
+
+// smallConfig keeps unit tests fast: 2 hours over 2 cabinets of nodes.
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Nodes = 2 * topology.NodesPerCabinet
+	cfg.Duration = 2 * time.Hour
+	cfg.Hotspots = []Hotspot{{Component: topology.CabinetAt(0, 0), Type: model.MCE, Multiplier: 30}}
+	cfg.Storms = []Storm{{
+		Type:         model.Lustre,
+		Start:        cfg.Start.Add(time.Hour),
+		Duration:     2 * time.Minute,
+		NodeFraction: 0.5,
+		EventsPerSec: 20,
+		Attrs:        map[string]string{"ost": "OST0012"},
+	}}
+	cfg.Jobs.ArrivalsPerHour = 30
+	cfg.Jobs.MaxNodes = 64
+	return cfg
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(smallConfig())
+	b := Generate(smallConfig())
+	if len(a.Events) != len(b.Events) || len(a.Runs) != len(b.Runs) {
+		t.Fatalf("non-deterministic: %d/%d events, %d/%d runs",
+			len(a.Events), len(b.Events), len(a.Runs), len(b.Runs))
+	}
+	for i := range a.Events {
+		if a.Events[i].Time != b.Events[i].Time || a.Events[i].Type != b.Events[i].Type ||
+			a.Events[i].Source != b.Events[i].Source {
+			t.Fatalf("event %d differs between runs", i)
+		}
+	}
+}
+
+func TestEventsWithinWindowAndTopology(t *testing.T) {
+	cfg := smallConfig()
+	c := Generate(cfg)
+	if len(c.Events) == 0 {
+		t.Fatal("no events generated")
+	}
+	end := cfg.Start.Add(cfg.Duration)
+	for _, e := range c.Events {
+		if e.Time.Before(cfg.Start) || e.Time.After(end) {
+			t.Fatalf("event at %v outside window [%v, %v]", e.Time, cfg.Start, end)
+		}
+		loc, err := topology.ParseCName(e.Source)
+		if err != nil {
+			t.Fatalf("event source %q not a valid cname: %v", e.Source, err)
+		}
+		if int(loc.ID()) >= cfg.Nodes {
+			t.Fatalf("event on node %d beyond configured %d", loc.ID(), cfg.Nodes)
+		}
+		if e.Count < 1 {
+			t.Fatalf("event with count %d", e.Count)
+		}
+	}
+	// Chronological ground truth.
+	for i := 1; i < len(c.Events); i++ {
+		if c.Events[i].Time.Before(c.Events[i-1].Time) {
+			t.Fatal("events not sorted")
+		}
+	}
+}
+
+func TestHotspotConcentration(t *testing.T) {
+	// E5 precondition: the injected MCE hotspot must dominate.
+	cfg := smallConfig()
+	c := Generate(cfg)
+	perCab := map[int]int{}
+	total := 0
+	for _, e := range c.Events {
+		if e.Type != model.MCE {
+			continue
+		}
+		loc, _ := topology.ParseCName(e.Source)
+		perCab[loc.Cabinet()]++
+		total++
+	}
+	hotCab := topology.CabinetAt(0, 0).Loc.Cabinet()
+	if total == 0 {
+		t.Fatal("no MCE events")
+	}
+	frac := float64(perCab[hotCab]) / float64(total)
+	// 96 of 192 nodes at 30x weight → expect ~97% in the hot cabinet.
+	if frac < 0.7 {
+		t.Fatalf("hot cabinet holds only %.0f%% of MCEs", frac*100)
+	}
+}
+
+func TestStormShape(t *testing.T) {
+	cfg := smallConfig()
+	c := Generate(cfg)
+	storm := cfg.Storms[0]
+	inWindow, tagged := 0, 0
+	sources := map[string]bool{}
+	for _, e := range c.Events {
+		if e.Type != model.Lustre {
+			continue
+		}
+		if !e.Time.Before(storm.Start) && e.Time.Before(storm.Start.Add(storm.Duration)) {
+			inWindow++
+			sources[e.Source] = true
+			if e.Attrs["ost"] == "OST0012" {
+				tagged++
+			}
+		}
+	}
+	want := int(storm.EventsPerSec * storm.Duration.Seconds())
+	if inWindow < want/2 {
+		t.Fatalf("storm produced %d events, want ≈%d", inWindow, want)
+	}
+	if float64(tagged)/float64(inWindow) < 0.9 {
+		t.Fatalf("only %d/%d storm events tagged with culprit OST", tagged, inWindow)
+	}
+	if len(sources) < cfg.Nodes/4 {
+		t.Fatalf("storm afflicted only %d sources, want system-wide", len(sources))
+	}
+}
+
+func TestCausalChainInjected(t *testing.T) {
+	cfg := smallConfig()
+	c := Generate(cfg)
+	nLustre, nAbort := 0, 0
+	for _, e := range c.Events {
+		switch e.Type {
+		case model.Lustre:
+			nLustre++
+		case model.AppAbort:
+			nAbort++
+		}
+	}
+	if nLustre == 0 || nAbort == 0 {
+		t.Fatalf("missing causal chain events: %d lustre, %d aborts", nLustre, nAbort)
+	}
+	// With Prob=0.08 over ~2400 storm events, expect >= 50 aborts.
+	if nAbort < nLustre/50 {
+		t.Fatalf("only %d aborts for %d lustre events", nAbort, nLustre)
+	}
+}
+
+func TestJobsRespectMachineBounds(t *testing.T) {
+	cfg := smallConfig()
+	c := Generate(cfg)
+	if len(c.Runs) == 0 {
+		t.Fatal("no application runs generated")
+	}
+	type interval struct {
+		start, end time.Time
+	}
+	perNode := map[string][]interval{}
+	for _, r := range c.Runs {
+		if !r.End.After(r.Start) {
+			t.Fatalf("run %s has non-positive duration", r.JobID)
+		}
+		if len(r.Nodes) == 0 || len(r.Nodes) > cfg.Jobs.MaxNodes {
+			t.Fatalf("run %s has %d nodes", r.JobID, len(r.Nodes))
+		}
+		for _, n := range r.Nodes {
+			loc, err := topology.ParseCName(n)
+			if err != nil {
+				t.Fatalf("run %s node %q: %v", r.JobID, n, err)
+			}
+			if int(loc.ID()) >= cfg.Nodes {
+				t.Fatalf("run %s allocated node %d beyond machine", r.JobID, loc.ID())
+			}
+			perNode[n] = append(perNode[n], interval{r.Start, r.End})
+		}
+	}
+	// No node is double-booked.
+	for n, ivs := range perNode {
+		for i := 0; i < len(ivs); i++ {
+			for j := i + 1; j < len(ivs); j++ {
+				a, b := ivs[i], ivs[j]
+				if a.start.Before(b.end) && b.start.Before(a.end) {
+					t.Fatalf("node %s double-booked: [%v,%v) and [%v,%v)", n, a.start, a.end, b.start, b.end)
+				}
+			}
+		}
+	}
+}
+
+func TestFailedRunsEmitAborts(t *testing.T) {
+	cfg := smallConfig()
+	c := Generate(cfg)
+	abortJobs := map[string]bool{}
+	for _, e := range c.Events {
+		if e.Type == model.AppAbort && e.Attrs["jobid"] != "" {
+			abortJobs[e.Attrs["jobid"]] = true
+		}
+	}
+	failed := 0
+	for _, r := range c.Runs {
+		if r.ExitOK {
+			continue
+		}
+		failed++
+		if !abortJobs[r.JobID] {
+			t.Fatalf("failed run %s has no APP_ABORT event", r.JobID)
+		}
+	}
+	if failed == 0 {
+		t.Fatal("no failed runs in corpus")
+	}
+}
+
+func TestRawLinesMatchEvents(t *testing.T) {
+	cfg := smallConfig()
+	c := Generate(cfg)
+	if len(c.Lines) != len(c.Events) {
+		t.Fatalf("%d lines for %d events", len(c.Lines), len(c.Events))
+	}
+	for i, l := range c.Lines {
+		if l.Text == "" || l.Source == "" || l.Facility == "" {
+			t.Fatalf("line %d incomplete: %+v", i, l)
+		}
+		formatted := l.Format()
+		if !strings.Contains(formatted, l.Source) {
+			t.Fatalf("formatted line lacks source: %q", formatted)
+		}
+	}
+	if len(c.JobLines) != len(c.Runs) {
+		t.Fatalf("%d job lines for %d runs", len(c.JobLines), len(c.Runs))
+	}
+	for _, jl := range c.JobLines {
+		if !strings.HasPrefix(jl, "jobid=") {
+			t.Fatalf("bad job line %q", jl)
+		}
+	}
+}
+
+func TestRenderTextTemplates(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, typ := range model.EventTypes {
+		e := model.Event{Time: time.Unix(0, 0), Type: typ, Source: "c0-0c0s0n0", Count: 1}
+		fillAttrs(&e, rng)
+		text := RenderText(e, rng)
+		if text == "" {
+			t.Fatalf("empty text for %s", typ)
+		}
+	}
+	// Lustre text must carry the OST id for the word-count analysis.
+	e := model.Event{Type: model.Lustre, Attrs: map[string]string{
+		"ost": "OST0012", "peer": "p", "op": "ost_read", "errno": "-110",
+	}}
+	if text := RenderText(e, rng); !strings.Contains(text, "OST0012") {
+		t.Fatalf("lustre text lacks OST id: %q", text)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, mean := range []float64{0, 3, 50, 5000} {
+		n, trials := 0, 200
+		for i := 0; i < trials; i++ {
+			n += poisson(rng, mean)
+		}
+		got := float64(n) / float64(trials)
+		if mean == 0 {
+			if got != 0 {
+				t.Fatalf("poisson(0) produced %v", got)
+			}
+			continue
+		}
+		if got < mean*0.8 || got > mean*1.2 {
+			t.Fatalf("poisson(%v) sample mean %v", mean, got)
+		}
+	}
+}
+
+func TestAllocate(t *testing.T) {
+	now := time.Unix(1000, 0)
+	busy := make([]time.Time, 10)
+	if base := allocate(busy, 4, now); base != 0 {
+		t.Fatalf("allocate on empty machine = %d", base)
+	}
+	busy[2] = now.Add(time.Hour)
+	if base := allocate(busy, 4, now); base != 3 {
+		t.Fatalf("allocate around busy node = %d, want 3", base)
+	}
+	if base := allocate(busy, 8, now); base != -1 {
+		t.Fatalf("oversized allocation = %d, want -1", base)
+	}
+	if base := allocate(busy, 4, now.Add(2*time.Hour)); base != 0 {
+		t.Fatalf("allocation after release = %d, want 0", base)
+	}
+}

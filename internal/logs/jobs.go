@@ -1,0 +1,180 @@
+package logs
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"hpclog/internal/model"
+	"hpclog/internal/topology"
+)
+
+// JobConfig parameterizes the synthetic job scheduler (the MOAB/ALPS
+// substitute producing Titan's application logs).
+type JobConfig struct {
+	// ArrivalsPerHour is the mean job submission rate.
+	ArrivalsPerHour float64
+	// MeanDuration is the mean job runtime.
+	MeanDuration time.Duration
+	// MaxNodes caps an allocation's size.
+	MaxNodes int
+	// Users and Apps are the pools sampled for each run.
+	Users []string
+	Apps  []string
+	// RandomAbortProb is the probability a job fails on its own.
+	RandomAbortProb float64
+}
+
+// DefaultJobConfig returns the scheduler configuration used by
+// DefaultConfig.
+func DefaultJobConfig() JobConfig {
+	users := make([]string, 40)
+	for i := range users {
+		users[i] = fmt.Sprintf("user%03d", i)
+	}
+	return JobConfig{
+		ArrivalsPerHour: 60,
+		MeanDuration:    45 * time.Minute,
+		MaxNodes:        2048,
+		Users:           users,
+		Apps: []string{
+			"LAMMPS", "S3D", "XGC", "CHIMERA", "GROMACS", "NAMD",
+			"VASP", "QMCPACK", "LSMS", "DENOVO", "CAM-SE", "GTC",
+		},
+		RandomAbortProb: 0.05,
+	}
+}
+
+// generateJobs simulates the scheduler over [cfg.Start, cfg.Start+Duration):
+// Poisson arrivals, power-of-two contiguous allocations, lognormal-ish
+// durations. Runs intersecting a kernel panic on one of their nodes are
+// truncated and marked failed, emitting an APP_ABORT event — the coupling
+// between system faults and application failures the paper's user-facing
+// analysis targets.
+func generateJobs(rng *rand.Rand, cfg Config, nodes int, systemEvents []model.Event) ([]model.AppRun, []model.Event) {
+	jc := cfg.Jobs
+	if jc.ArrivalsPerHour <= 0 || len(jc.Users) == 0 || len(jc.Apps) == 0 {
+		return nil, nil
+	}
+	end := cfg.Start.Add(cfg.Duration)
+
+	// Index fatal node events (kernel panics kill the node and any job on
+	// it) by node for the failure coupling.
+	panics := map[string][]time.Time{}
+	for _, e := range systemEvents {
+		if e.Type == model.KernelPanic {
+			panics[e.Source] = append(panics[e.Source], e.Time)
+		}
+	}
+
+	busyUntil := make([]time.Time, nodes) // zero = free forever
+
+	nJobs := poisson(rng, jc.ArrivalsPerHour*cfg.Duration.Hours())
+	var runs []model.AppRun
+	var aborts []model.Event
+	for j := 0; j < nJobs; j++ {
+		start := cfg.Start.Add(time.Duration(rng.Float64() * float64(cfg.Duration))).Truncate(time.Second)
+		// Lognormal-ish duration around the mean, at least one minute.
+		d := time.Duration(float64(jc.MeanDuration) * math.Exp(0.8*rng.NormFloat64()-0.32))
+		if d < time.Minute {
+			d = time.Minute
+		}
+		finish := start.Add(d).Truncate(time.Second)
+		if finish.After(end) {
+			finish = end
+		}
+		size := 1 << rng.Intn(12) // 1..2048 nodes
+		if size > jc.MaxNodes {
+			size = jc.MaxNodes
+		}
+		if size > nodes {
+			size = nodes
+		}
+		base := allocate(busyUntil, size, start)
+		if base < 0 {
+			continue // machine full at submission; job is dropped
+		}
+		nodeList := make([]string, size)
+		for i := 0; i < size; i++ {
+			busyUntil[base+i] = finish
+			nodeList[i] = topology.LocationOf(topology.NodeID(base + i)).CName()
+		}
+		run := model.AppRun{
+			JobID:  fmt.Sprintf("%07d", 1000000+j),
+			App:    jc.Apps[rng.Intn(len(jc.Apps))],
+			User:   jc.Users[rng.Intn(len(jc.Users))],
+			Start:  start,
+			End:    finish,
+			Nodes:  nodeList,
+			ExitOK: true,
+			Extra: map[string]string{
+				"cores": fmt.Sprint(size * topology.TitanNodeSpec.CPUCores),
+				"queue": "batch",
+			},
+		}
+		// Fault coupling: earliest kernel panic on an allocated node
+		// during the run kills it.
+		var killAt time.Time
+		var killNode string
+		for _, n := range nodeList {
+			for _, pt := range panics[n] {
+				if !pt.Before(run.Start) && pt.Before(run.End) {
+					if killAt.IsZero() || pt.Before(killAt) {
+						killAt, killNode = pt, n
+					}
+				}
+			}
+		}
+		if !killAt.IsZero() {
+			run.End = killAt
+			run.ExitOK = false
+			run.Extra["failreason"] = "node_failure"
+			abort := model.Event{
+				Time:   killAt,
+				Type:   model.AppAbort,
+				Source: killNode,
+				Count:  1,
+				Attrs:  map[string]string{"jobid": run.JobID},
+			}
+			fillAttrs(&abort, rng)
+			aborts = append(aborts, abort)
+		} else if rng.Float64() < jc.RandomAbortProb {
+			run.ExitOK = false
+			run.Extra["failreason"] = "application_error"
+			abort := model.Event{
+				Time:   run.End.Add(-time.Second),
+				Type:   model.AppAbort,
+				Source: nodeList[rng.Intn(len(nodeList))],
+				Count:  1,
+				Attrs:  map[string]string{"jobid": run.JobID},
+			}
+			if abort.Time.Before(run.Start) {
+				abort.Time = run.Start
+			}
+			fillAttrs(&abort, rng)
+			aborts = append(aborts, abort)
+		}
+		runs = append(runs, run)
+	}
+	sort.Slice(runs, func(i, j int) bool { return runs[i].Start.Before(runs[j].Start) })
+	return runs, aborts
+}
+
+// allocate finds the lowest contiguous range of size nodes all free at
+// time at, returning the base id or -1.
+func allocate(busyUntil []time.Time, size int, at time.Time) int {
+	run := 0
+	for i := range busyUntil {
+		if busyUntil[i].After(at) {
+			run = 0
+			continue
+		}
+		run++
+		if run == size {
+			return i - size + 1
+		}
+	}
+	return -1
+}

@@ -1,0 +1,93 @@
+package mining
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"hpclog/internal/model"
+)
+
+// TestCoalesceMassPreservedProperty: coalescing never loses or invents
+// occurrences — the episode counts sum to the input occurrence mass — and
+// episodes of one type never overlap in time.
+func TestCoalesceMassPreservedProperty(t *testing.T) {
+	f := func(offsets []uint16, windowSec uint8) bool {
+		window := time.Duration(int(windowSec)%120+1) * time.Second
+		events := make([]model.Event, len(offsets))
+		mass := 0
+		for i, off := range offsets {
+			count := 1 + int(off)%3
+			events[i] = model.Event{
+				Time:   time.Unix(3600*700+int64(off), 0).UTC(),
+				Type:   model.Lustre,
+				Source: "c0-0c0s0n0",
+				Count:  count,
+			}
+			mass += count
+		}
+		eps := Coalesce(events, window, false)
+		got := 0
+		for _, ep := range eps {
+			got += ep.Count
+			if ep.End.Before(ep.Start) {
+				return false
+			}
+		}
+		if got != mass {
+			return false
+		}
+		// Episodes are disjoint and separated by more than the window.
+		for i := 1; i < len(eps); i++ {
+			if eps[i].Start.Sub(eps[i-1].End) <= window {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSequenceCountBoundedProperty: a pattern's Count can never exceed
+// the number of occurrences of its antecedent type.
+func TestSequenceCountBoundedProperty(t *testing.T) {
+	f := func(offsets []uint16) bool {
+		if len(offsets) == 0 {
+			return true
+		}
+		events := make([]model.Event, 0, len(offsets)*2)
+		for _, off := range offsets {
+			base := time.Unix(3600*800+int64(off), 0).UTC()
+			events = append(events, model.Event{
+				Time: base, Type: model.Lustre, Source: "n", Count: 1,
+			})
+			if off%2 == 0 {
+				events = append(events, model.Event{
+					Time: base.Add(5 * time.Second), Type: model.AppAbort, Source: "n", Count: 1,
+				})
+			}
+		}
+		occurrences := map[model.EventType]int{}
+		for _, e := range events {
+			occurrences[e.Type]++
+		}
+		patterns, err := MineSequences(events, 30*time.Second, 1, false)
+		if err != nil {
+			return false
+		}
+		for _, p := range patterns {
+			if p.Count > occurrences[p.First] {
+				return false
+			}
+			if p.Prob < 0 || p.Prob > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,294 @@
+// Package predict implements failure prediction from precursor events —
+// the direction the paper points to in Section V ("incorporate machine
+// learning algorithms") and its related work ([22] Liang et al., [23]
+// Gainaru et al.): "these prediction algorithms leverage the spatial and
+// temporal correlation between historical failures, or trends of
+// non-fatal events preceding failures."
+//
+// The model is a windowed naive Bayes classifier: time is sliced into
+// fixed windows; the feature vector of a window is the set of non-failure
+// event types present; the label is whether a failure-class event occurs
+// within the following horizon. Training estimates per-type likelihoods
+// with Laplace smoothing; prediction emits alerts where the posterior
+// exceeds a threshold. Evaluate computes the precision/recall tradeoff on
+// held-out data.
+package predict
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"hpclog/internal/model"
+)
+
+// Config parameterizes training.
+type Config struct {
+	// Window is the feature window length.
+	Window time.Duration
+	// Horizon is how far past the window a failure counts as "predicted".
+	Horizon time.Duration
+	// FailureTypes is the positive class (default: KernelPanic, GPUFail,
+	// AppAbort).
+	FailureTypes map[model.EventType]bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.FailureTypes == nil {
+		c.FailureTypes = map[model.EventType]bool{
+			model.KernelPanic: true,
+			model.GPUFail:     true,
+			model.AppAbort:    true,
+		}
+	}
+	return c
+}
+
+// Model is a trained failure predictor.
+type Model struct {
+	cfg Config
+	// prior is P(failure window).
+	prior float64
+	// likePos[t] = P(type t present | failure follows), likeNeg analog.
+	likePos map[model.EventType]float64
+	likeNeg map[model.EventType]float64
+	// trainingWindows records the number of labeled windows seen.
+	trainingWindows int
+}
+
+// window is one labeled feature vector.
+type window struct {
+	start    time.Time
+	features map[model.EventType]bool
+	label    bool
+}
+
+// windowize slices the event stream into labeled windows.
+func windowize(events []model.Event, cfg Config) ([]window, error) {
+	if cfg.Window <= 0 || cfg.Horizon <= 0 {
+		return nil, fmt.Errorf("predict: window and horizon must be positive")
+	}
+	if len(events) == 0 {
+		return nil, fmt.Errorf("predict: no events")
+	}
+	sorted := make([]model.Event, len(events))
+	copy(sorted, events)
+	model.SortEvents(sorted)
+
+	start := sorted[0].Time.Truncate(cfg.Window)
+	end := sorted[len(sorted)-1].Time
+	n := int(end.Sub(start)/cfg.Window) + 1
+	windows := make([]window, n)
+	for i := range windows {
+		windows[i] = window{
+			start:    start.Add(time.Duration(i) * cfg.Window),
+			features: make(map[model.EventType]bool),
+		}
+	}
+	// Populate features and mark failure times.
+	var failures []time.Time
+	for _, e := range sorted {
+		idx := int(e.Time.Sub(start) / cfg.Window)
+		if idx < 0 || idx >= n {
+			continue
+		}
+		if cfg.FailureTypes[e.Type] {
+			failures = append(failures, e.Time)
+		} else {
+			windows[idx].features[e.Type] = true
+		}
+	}
+	// Label: failure within (windowEnd, windowEnd+horizon].
+	fi := 0
+	for i := range windows {
+		wEnd := windows[i].start.Add(cfg.Window)
+		hEnd := wEnd.Add(cfg.Horizon)
+		for fi < len(failures) && !failures[fi].After(wEnd) {
+			fi++
+		}
+		for j := fi; j < len(failures); j++ {
+			if failures[j].After(hEnd) {
+				break
+			}
+			windows[i].label = true
+			break
+		}
+	}
+	return windows, nil
+}
+
+// Train fits the naive Bayes model on the event stream.
+func Train(events []model.Event, cfg Config) (*Model, error) {
+	cfg = cfg.withDefaults()
+	windows, err := windowize(events, cfg)
+	if err != nil {
+		return nil, err
+	}
+	nPos, nNeg := 0, 0
+	countPos := make(map[model.EventType]int)
+	countNeg := make(map[model.EventType]int)
+	for _, w := range windows {
+		if w.label {
+			nPos++
+			for t := range w.features {
+				countPos[t]++
+			}
+		} else {
+			nNeg++
+			for t := range w.features {
+				countNeg[t]++
+			}
+		}
+	}
+	if nPos == 0 {
+		return nil, fmt.Errorf("predict: no failure windows in training data")
+	}
+	m := &Model{
+		cfg:             cfg,
+		prior:           float64(nPos) / float64(len(windows)),
+		likePos:         make(map[model.EventType]float64),
+		likeNeg:         make(map[model.EventType]float64),
+		trainingWindows: len(windows),
+	}
+	for _, t := range model.EventTypes {
+		if cfg.FailureTypes[t] {
+			continue
+		}
+		// Laplace smoothing.
+		m.likePos[t] = (float64(countPos[t]) + 1) / (float64(nPos) + 2)
+		m.likeNeg[t] = (float64(countNeg[t]) + 1) / (float64(nNeg) + 2)
+	}
+	return m, nil
+}
+
+// Prior returns the base rate of failure windows in the training data.
+func (m *Model) Prior() float64 { return m.prior }
+
+// LikelihoodRatio returns P(t present | failure) / P(t present | calm) —
+// the interpretable per-type precursor strength.
+func (m *Model) LikelihoodRatio(t model.EventType) float64 {
+	neg := m.likeNeg[t]
+	if neg == 0 {
+		return 0
+	}
+	return m.likePos[t] / neg
+}
+
+// Precursors lists non-failure types sorted by descending likelihood
+// ratio.
+func (m *Model) Precursors() []model.EventType {
+	var types []model.EventType
+	for t := range m.likePos {
+		types = append(types, t)
+	}
+	sort.Slice(types, func(i, j int) bool {
+		ri, rj := m.LikelihoodRatio(types[i]), m.LikelihoodRatio(types[j])
+		if ri != rj {
+			return ri > rj
+		}
+		return types[i] < types[j]
+	})
+	return types
+}
+
+// score returns the posterior P(failure | features) for one window.
+func (m *Model) score(features map[model.EventType]bool) float64 {
+	logPos := math.Log(m.prior)
+	logNeg := math.Log(1 - m.prior)
+	for t := range m.likePos {
+		if features[t] {
+			logPos += math.Log(m.likePos[t])
+			logNeg += math.Log(m.likeNeg[t])
+		} else {
+			logPos += math.Log(1 - m.likePos[t])
+			logNeg += math.Log(1 - m.likeNeg[t])
+		}
+	}
+	// Softmax over the two log scores.
+	maxLog := math.Max(logPos, logNeg)
+	pos := math.Exp(logPos - maxLog)
+	neg := math.Exp(logNeg - maxLog)
+	return pos / (pos + neg)
+}
+
+// Alert is one prediction: a window whose posterior exceeded the
+// threshold, predicting a failure within the following horizon.
+type Alert struct {
+	WindowStart time.Time
+	Posterior   float64
+	// Features lists the precursor types that fired, sorted.
+	Features []model.EventType
+}
+
+// Predict slides the model over an event stream and returns alerts where
+// the posterior is at least threshold.
+func (m *Model) Predict(events []model.Event, threshold float64) ([]Alert, error) {
+	windows, err := windowize(events, m.cfg)
+	if err != nil {
+		return nil, err
+	}
+	var alerts []Alert
+	for _, w := range windows {
+		p := m.score(w.features)
+		if p < threshold {
+			continue
+		}
+		feats := make([]model.EventType, 0, len(w.features))
+		for t := range w.features {
+			feats = append(feats, t)
+		}
+		sort.Slice(feats, func(i, j int) bool { return feats[i] < feats[j] })
+		alerts = append(alerts, Alert{WindowStart: w.start, Posterior: p, Features: feats})
+	}
+	return alerts, nil
+}
+
+// Evaluation summarizes prediction quality on held-out data.
+type Evaluation struct {
+	TP, FP, FN, TN int
+	Precision      float64
+	Recall         float64
+	F1             float64
+	// BaseRate is the fraction of failure windows, the precision of a
+	// predict-always baseline.
+	BaseRate float64
+}
+
+// Evaluate scores every window of the held-out events at the threshold
+// and compares alerts against actual labels.
+func (m *Model) Evaluate(events []model.Event, threshold float64) (Evaluation, error) {
+	windows, err := windowize(events, m.cfg)
+	if err != nil {
+		return Evaluation{}, err
+	}
+	var ev Evaluation
+	positives := 0
+	for _, w := range windows {
+		predicted := m.score(w.features) >= threshold
+		switch {
+		case predicted && w.label:
+			ev.TP++
+		case predicted && !w.label:
+			ev.FP++
+		case !predicted && w.label:
+			ev.FN++
+		default:
+			ev.TN++
+		}
+		if w.label {
+			positives++
+		}
+	}
+	if ev.TP+ev.FP > 0 {
+		ev.Precision = float64(ev.TP) / float64(ev.TP+ev.FP)
+	}
+	if ev.TP+ev.FN > 0 {
+		ev.Recall = float64(ev.TP) / float64(ev.TP+ev.FN)
+	}
+	if ev.Precision+ev.Recall > 0 {
+		ev.F1 = 2 * ev.Precision * ev.Recall / (ev.Precision + ev.Recall)
+	}
+	ev.BaseRate = float64(positives) / float64(len(windows))
+	return ev, nil
+}

@@ -1,0 +1,212 @@
+package predict
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"hpclog/internal/logs"
+	"hpclog/internal/model"
+	"hpclog/internal/topology"
+)
+
+// deterministicCorpus builds an event stream where failures are always
+// preceded by NETWORK precursors one window earlier, plus independent
+// MEM_ECC noise.
+func deterministicCorpus(windows int, seed int64) []model.Event {
+	rng := rand.New(rand.NewSource(seed))
+	base := time.Unix(3600*2000, 0).UTC()
+	var events []model.Event
+	for w := 0; w < windows; w++ {
+		wStart := base.Add(time.Duration(w) * time.Minute)
+		if w%5 == 0 {
+			// Precursor in window w, failure in window w+1 (within the
+			// one-minute horizon after window w ends).
+			events = append(events, model.Event{
+				Time: wStart.Add(30 * time.Second), Type: model.Network,
+				Source: "c0-0c0s0n0", Count: 1,
+			})
+			events = append(events, model.Event{
+				Time: wStart.Add(90 * time.Second), Type: model.KernelPanic,
+				Source: "c0-0c0s0n0", Count: 1,
+			})
+		}
+		if rng.Float64() < 0.3 {
+			events = append(events, model.Event{
+				Time: wStart.Add(time.Duration(rng.Intn(60)) * time.Second),
+				Type: model.MemECC, Source: "c0-0c0s0n1", Count: 1,
+			})
+		}
+	}
+	return events
+}
+
+func testConfig() Config {
+	return Config{
+		Window:       time.Minute,
+		Horizon:      time.Minute,
+		FailureTypes: map[model.EventType]bool{model.KernelPanic: true},
+	}
+}
+
+func TestTrainLearnsPrecursor(t *testing.T) {
+	m, err := Train(deterministicCorpus(500, 1), testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	netRatio := m.LikelihoodRatio(model.Network)
+	eccRatio := m.LikelihoodRatio(model.MemECC)
+	if netRatio < 3 {
+		t.Fatalf("NETWORK likelihood ratio = %v, want strongly predictive", netRatio)
+	}
+	if eccRatio > 2 {
+		t.Fatalf("MEM_ECC likelihood ratio = %v, want ≈1 (independent noise)", eccRatio)
+	}
+	if top := m.Precursors(); top[0] != model.Network {
+		t.Fatalf("top precursor = %s, want NETWORK", top[0])
+	}
+	if m.Prior() <= 0 || m.Prior() >= 1 {
+		t.Fatalf("prior = %v", m.Prior())
+	}
+}
+
+func TestPredictAndEvaluate(t *testing.T) {
+	train := deterministicCorpus(500, 1)
+	test := deterministicCorpus(300, 2)
+	m, err := Train(train, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := m.Evaluate(test, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Precision < 0.9 {
+		t.Fatalf("precision = %v on deterministic precursor data", ev.Precision)
+	}
+	if ev.Recall < 0.9 {
+		t.Fatalf("recall = %v on deterministic precursor data", ev.Recall)
+	}
+	if ev.Precision <= ev.BaseRate {
+		t.Fatalf("precision %v not better than base rate %v", ev.Precision, ev.BaseRate)
+	}
+	alerts, err := m.Predict(test, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alerts) == 0 {
+		t.Fatal("no alerts")
+	}
+	for _, a := range alerts {
+		hasNet := false
+		for _, f := range a.Features {
+			if f == model.Network {
+				hasNet = true
+			}
+		}
+		if !hasNet {
+			t.Fatalf("alert without the precursor feature: %+v", a)
+		}
+		if a.Posterior < 0.5 || a.Posterior > 1 {
+			t.Fatalf("posterior out of range: %v", a.Posterior)
+		}
+	}
+}
+
+func TestNoSignalMeansNoConfidentAlerts(t *testing.T) {
+	// Failures with no precursor structure: posterior stays near the
+	// prior, so a high threshold fires nothing.
+	rng := rand.New(rand.NewSource(3))
+	base := time.Unix(3600*2000, 0).UTC()
+	var events []model.Event
+	for w := 0; w < 400; w++ {
+		wStart := base.Add(time.Duration(w) * time.Minute)
+		if rng.Float64() < 0.1 {
+			events = append(events, model.Event{
+				Time: wStart.Add(10 * time.Second), Type: model.KernelPanic,
+				Source: "c0-0c0s0n0", Count: 1,
+			})
+		}
+		if rng.Float64() < 0.5 {
+			events = append(events, model.Event{
+				Time: wStart.Add(20 * time.Second), Type: model.MemECC,
+				Source: "c0-0c0s0n1", Count: 1,
+			})
+		}
+	}
+	m, err := Train(events, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	alerts, err := m.Predict(events, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alerts) != 0 {
+		t.Fatalf("%d confident alerts from structureless data", len(alerts))
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	if _, err := Train(nil, testConfig()); err == nil {
+		t.Fatal("empty training set accepted")
+	}
+	cfg := testConfig()
+	cfg.Window = 0
+	if _, err := Train(deterministicCorpus(10, 1), cfg); err == nil {
+		t.Fatal("zero window accepted")
+	}
+	// No failures at all.
+	calm := []model.Event{{
+		Time: time.Unix(3600*2000, 0), Type: model.MemECC, Source: "s", Count: 1,
+	}}
+	if _, err := Train(calm, testConfig()); err == nil {
+		t.Fatal("failure-free training set accepted")
+	}
+}
+
+func TestPredictOnGeneratedCorpus(t *testing.T) {
+	// The generator's causal chain (Lustre → AppAbort) must be learnable:
+	// Lustre should be the strongest precursor of aborts, and prediction
+	// should beat the base rate.
+	cfg := logs.DefaultConfig()
+	cfg.Nodes = 2 * topology.NodesPerCabinet
+	cfg.Duration = 4 * time.Hour
+	cfg.BaseRates = map[model.EventType]float64{
+		model.Lustre: 0.6,
+		model.MemECC: 0.6,
+		model.MCE:    0.2,
+	}
+	cfg.Storms = nil
+	cfg.Jobs.ArrivalsPerHour = 0
+	cfg.Causal = []logs.CausalRule{{
+		Cause: model.Lustre, Effect: model.AppAbort,
+		Prob: 0.5, Lag: 30 * time.Second, Jitter: 20 * time.Second,
+	}}
+	corpus := logs.Generate(cfg)
+
+	pcfg := Config{
+		Window:       time.Minute,
+		Horizon:      time.Minute,
+		FailureTypes: map[model.EventType]bool{model.AppAbort: true},
+	}
+	half := corpus.Events[:len(corpus.Events)/2]
+	rest := corpus.Events[len(corpus.Events)/2:]
+	m, err := Train(half, pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top := m.Precursors(); top[0] != model.Lustre {
+		t.Fatalf("top precursor = %s (ratio %.2f), want LUSTRE", top[0], m.LikelihoodRatio(top[0]))
+	}
+	ev, err := m.Evaluate(rest, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.TP == 0 {
+		t.Fatal("no true positives on held-out data")
+	}
+	if ev.Precision <= ev.BaseRate {
+		t.Fatalf("precision %.2f does not beat base rate %.2f", ev.Precision, ev.BaseRate)
+	}
+}

@@ -1,0 +1,193 @@
+package query
+
+import (
+	"encoding/json"
+	"testing"
+
+	"hpclog/internal/analytics"
+	"hpclog/internal/mining"
+	"hpclog/internal/model"
+	"hpclog/internal/profile"
+)
+
+func TestOpRules(t *testing.T) {
+	f := getFixture(t)
+	ctx := f.ctx()
+	res, err := f.q.Execute(Request{Op: OpRules, Context: ctx, BinSeconds: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules := res.([]mining.Rule)
+	// The corpus couples Lustre and AppAbort; some rule must surface.
+	found := false
+	for _, r := range rules {
+		if r.Antecedent == model.Lustre && r.Consequent == model.AppAbort {
+			found = true
+			if r.Lift < 1 {
+				t.Fatalf("coupled pair has lift %v", r.Lift)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("Lustre=>AppAbort not mined from %d rules", len(rules))
+	}
+}
+
+func TestOpSequences(t *testing.T) {
+	f := getFixture(t)
+	ctx := f.ctx()
+	res, err := f.q.Execute(Request{Op: OpSequences, Context: ctx, BinSeconds: 90})
+	if err != nil {
+		t.Fatal(err)
+	}
+	patterns := res.([]mining.SeqPattern)
+	if len(patterns) == 0 {
+		t.Fatal("no sequences mined")
+	}
+}
+
+func TestOpEpisodes(t *testing.T) {
+	f := getFixture(t)
+	ctx := f.ctx()
+	ctx.EventType = "LUSTRE"
+	res, err := f.q.Execute(Request{Op: OpEpisodes, Context: ctx, BinSeconds: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	episodes := res.([]mining.Episode)
+	if len(episodes) == 0 {
+		t.Fatal("no episodes")
+	}
+	// The storm must appear as one large episode.
+	best := episodes[0]
+	for _, ep := range episodes {
+		if ep.Count > best.Count {
+			best = ep
+		}
+	}
+	if best.Count < 1000 {
+		t.Fatalf("largest episode has %d events; storm not coalesced", best.Count)
+	}
+	if _, err := f.q.Execute(Request{Op: OpEpisodes, Context: f.ctx()}); err == nil {
+		t.Fatal("episodes without type accepted")
+	}
+}
+
+func TestOpProfiles(t *testing.T) {
+	f := getFixture(t)
+	ctx := f.ctx()
+	res, err := f.q.Execute(Request{Op: OpProfiles, Context: ctx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	profiles := res.(map[string]*profile.Profile)
+	if len(profiles) == 0 {
+		t.Fatal("no profiles")
+	}
+	total := 0
+	for _, p := range profiles {
+		total += p.Runs
+	}
+	if total != len(f.corpus.Runs) {
+		t.Fatalf("profiles cover %d of %d runs", total, len(f.corpus.Runs))
+	}
+	// With a type filter the op returns an exposure ranking.
+	ctx.EventType = "LUSTRE"
+	res, err = f.q.Execute(Request{Op: OpProfiles, Context: ctx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exposure := res.([]profile.Exposure)
+	if len(exposure) != len(profiles) {
+		t.Fatalf("exposure for %d apps, want %d", len(exposure), len(profiles))
+	}
+}
+
+func TestOpRunReport(t *testing.T) {
+	f := getFixture(t)
+	ctx := f.ctx()
+	ctx.App = f.corpus.Runs[0].App
+	res, err := f.q.Execute(Request{Op: OpRunReport, Context: ctx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports := res.([]profile.RunReport)
+	if len(reports) == 0 {
+		t.Fatal("no run reports")
+	}
+	for _, r := range reports {
+		if r.App != ctx.App {
+			t.Fatalf("foreign app in report: %s", r.App)
+		}
+	}
+	bad := f.ctx()
+	if _, err := f.q.Execute(Request{Op: OpRunReport, Context: bad}); err == nil {
+		t.Fatal("run_report without app accepted")
+	}
+	bad.App = "NO_SUCH_APP"
+	if _, err := f.q.Execute(Request{Op: OpRunReport, Context: bad}); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}
+
+func TestOpReliability(t *testing.T) {
+	f := getFixture(t)
+	res, err := f.q.Execute(Request{Op: OpReliability, Context: f.ctx(), TopK: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := res.(struct {
+		Stats      analytics.InterarrivalStats   `json:"stats"`
+		TopFailing []analytics.ComponentFailures `json:"top_failing"`
+	})
+	if payload.Stats.N < 2 {
+		t.Fatalf("stats = %+v", payload.Stats)
+	}
+	if len(payload.TopFailing) == 0 || len(payload.TopFailing) > 5 {
+		t.Fatalf("top failing = %d entries", len(payload.TopFailing))
+	}
+	// Hot cabinet ranks first (MCE is a failure type).
+	if payload.TopFailing[0].Component != "c0-0" {
+		t.Fatalf("top failing = %s, want hotspot c0-0", payload.TopFailing[0].Component)
+	}
+}
+
+func TestExtensionsRequireWindow(t *testing.T) {
+	f := getFixture(t)
+	for _, op := range []Op{OpRules, OpSequences, OpProfiles, OpReliability} {
+		if _, err := f.q.Execute(Request{Op: op}); err == nil {
+			t.Errorf("%s without window accepted", op)
+		}
+	}
+}
+
+func TestExtensionsCountAsBigData(t *testing.T) {
+	f := getFixture(t)
+	before := f.q.Stats().BigData
+	if _, err := f.q.Execute(Request{Op: OpReliability, Context: f.ctx()}); err != nil {
+		t.Fatal(err)
+	}
+	if f.q.Stats().BigData != before+1 {
+		t.Fatal("extension not counted as big data query")
+	}
+}
+
+func TestExtensionResultsSerializable(t *testing.T) {
+	f := getFixture(t)
+	ctx := f.ctx()
+	ctx.EventType = "LUSTRE"
+	for _, req := range []Request{
+		{Op: OpRules, Context: f.ctx()},
+		{Op: OpEpisodes, Context: ctx},
+		{Op: OpProfiles, Context: f.ctx()},
+		{Op: OpReliability, Context: f.ctx()},
+	} {
+		res, err := f.q.Execute(req)
+		if err != nil {
+			t.Fatalf("%s: %v", req.Op, err)
+		}
+		if _, err := json.Marshal(res); err != nil {
+			t.Fatalf("%s not serializable: %v", req.Op, err)
+		}
+	}
+}

@@ -1,0 +1,529 @@
+// Package query implements the analytic server's query processing engine
+// (Section III-A): it receives frontend requests in JSON form, translates
+// them into backend store queries or compute-engine jobs, and returns
+// JSON-serializable results. "Simple queries are directly handled by the
+// query engine, and complex queries are passed to the big data processing
+// unit" — Execute routes accordingly and counts both classes.
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"hpclog/internal/analytics"
+	"hpclog/internal/compute"
+	"hpclog/internal/model"
+	"hpclog/internal/store"
+	"hpclog/internal/topology"
+)
+
+// Context is the user-selected view of the system: "a context is selected
+// on the basis of event type, application, location, user, time period, or
+// a combination of these" (Section III-B).
+type Context struct {
+	EventType string `json:"event_type,omitempty"`
+	Source    string `json:"source,omitempty"` // component cname
+	App       string `json:"app,omitempty"`
+	User      string `json:"user,omitempty"`
+	From      int64  `json:"from,omitempty"` // unix seconds, inclusive
+	To        int64  `json:"to,omitempty"`   // unix seconds, exclusive
+}
+
+// Window returns the context's [from, to) interval.
+func (c Context) Window() (time.Time, time.Time) {
+	return time.Unix(c.From, 0).UTC(), time.Unix(c.To, 0).UTC()
+}
+
+// Op names a query operation.
+type Op string
+
+// Supported operations.
+const (
+	OpEvents       Op = "events"           // simple: raw event rows for a context
+	OpRuns         Op = "runs"             // simple: application runs for a context
+	OpSynopsis     Op = "synopsis"         // simple: per-hour counts from eventsynopsis
+	OpNodeInfo     Op = "nodeinfo"         // simple: nodeinfos lookup for a cabinet
+	OpTypes        Op = "types"            // simple: event type catalog
+	OpHeatmap      Op = "heatmap"          // big data: cabinet heat map
+	OpDistribution Op = "distribution"     // big data: occurrence distribution
+	OpHistogram    Op = "histogram"        // big data: temporal histogram
+	OpTE           Op = "transfer_entropy" // big data: TE between two types
+	OpWordCount    Op = "wordcount"        // big data: word count over raw text
+	OpTFIDF        Op = "tfidf"            // big data: TF-IDF over raw text
+	OpPlacement    Op = "placement"        // simple: app placement at an instant
+	OpSites        Op = "sites"            // big data: event sites at an instant
+)
+
+// Request is one frontend query.
+type Request struct {
+	Op      Op      `json:"op"`
+	Context Context `json:"context"`
+	// Level selects distribution granularity: cabinet, cage, blade, node,
+	// or app.
+	Level string `json:"level,omitempty"`
+	// BinSeconds sets the bin width for histogram/TE series (default 60).
+	BinSeconds int `json:"bin_seconds,omitempty"`
+	// SecondType is the other event type for transfer entropy.
+	SecondType string `json:"second_type,omitempty"`
+	// TopK bounds result size for wordcount/tfidf/distribution (default 50).
+	TopK int `json:"top_k,omitempty"`
+	// At is the instant (unix seconds) for placement/sites queries.
+	At int64 `json:"at,omitempty"`
+}
+
+// Stats counts executed queries by routing class.
+type Stats struct {
+	Simple  int64
+	BigData int64
+}
+
+// Engine is the query processing engine.
+type Engine struct {
+	db      *store.DB
+	compute *compute.Engine
+
+	simple  atomic.Int64
+	bigdata atomic.Int64
+}
+
+// New creates a query engine over the backend database and the big data
+// processing unit.
+func New(db *store.DB, eng *compute.Engine) *Engine {
+	return &Engine{db: db, compute: eng}
+}
+
+// Stats returns how many queries each routing class has served.
+func (q *Engine) Stats() Stats {
+	return Stats{Simple: q.simple.Load(), BigData: q.bigdata.Load()}
+}
+
+// EventRecord is the JSON shape of one event in query results.
+type EventRecord struct {
+	Time   int64             `json:"ts"`
+	Type   string            `json:"type"`
+	Source string            `json:"source"`
+	Count  int               `json:"count"`
+	Raw    string            `json:"raw,omitempty"`
+	Attrs  map[string]string `json:"attrs,omitempty"`
+}
+
+// RunRecord is the JSON shape of one application run.
+type RunRecord struct {
+	JobID  string   `json:"jobid"`
+	App    string   `json:"app"`
+	User   string   `json:"user"`
+	Start  int64    `json:"start"`
+	End    int64    `json:"end"`
+	Nodes  []string `json:"nodes"`
+	ExitOK bool     `json:"exit_ok"`
+}
+
+// Execute runs one request and returns a JSON-serializable result.
+func (q *Engine) Execute(req Request) (any, error) {
+	if res, handled, err := q.executeExtension(req); handled {
+		return res, err
+	}
+	switch req.Op {
+	case OpEvents, OpRuns, OpSynopsis, OpNodeInfo, OpTypes, OpPlacement:
+		q.simple.Add(1)
+	case OpHeatmap, OpDistribution, OpHistogram, OpTE, OpWordCount, OpTFIDF, OpSites:
+		q.bigdata.Add(1)
+	default:
+		return nil, fmt.Errorf("query: unknown op %q", req.Op)
+	}
+
+	switch req.Op {
+	case OpTypes:
+		return q.types()
+	case OpNodeInfo:
+		return q.nodeInfo(req)
+	case OpEvents:
+		return q.events(req)
+	case OpRuns:
+		return q.runs(req)
+	case OpSynopsis:
+		return q.synopsis(req)
+	case OpPlacement:
+		return analytics.Placement(q.db, time.Unix(req.At, 0).UTC())
+	case OpSites:
+		typ, err := req.eventType()
+		if err != nil {
+			return nil, err
+		}
+		return analytics.EventSites(q.compute, q.db, typ, time.Unix(req.At, 0).UTC())
+	case OpHeatmap:
+		typ, err := req.eventType()
+		if err != nil {
+			return nil, err
+		}
+		from, to, err := req.window()
+		if err != nil {
+			return nil, err
+		}
+		return analytics.Heatmap(q.compute, q.db, typ, from, to)
+	case OpDistribution:
+		return q.distribution(req)
+	case OpHistogram:
+		typ, err := req.eventType()
+		if err != nil {
+			return nil, err
+		}
+		from, to, err := req.window()
+		if err != nil {
+			return nil, err
+		}
+		return analytics.Histogram(q.compute, q.db, typ, from, to, req.bin())
+	case OpTE:
+		return q.transferEntropy(req)
+	case OpWordCount:
+		return q.wordCount(req)
+	case OpTFIDF:
+		return q.tfidf(req)
+	}
+	panic("unreachable")
+}
+
+func (r Request) eventType() (model.EventType, error) {
+	if r.Context.EventType == "" {
+		return "", fmt.Errorf("query: op %q requires context.event_type", r.Op)
+	}
+	return model.EventType(r.Context.EventType), nil
+}
+
+func (r Request) window() (time.Time, time.Time, error) {
+	from, to := r.Context.Window()
+	if !to.After(from) {
+		return from, to, fmt.Errorf("query: op %q requires a non-empty [from, to) window", r.Op)
+	}
+	return from, to, nil
+}
+
+func (r Request) bin() time.Duration {
+	if r.BinSeconds <= 0 {
+		return time.Minute
+	}
+	return time.Duration(r.BinSeconds) * time.Second
+}
+
+func (r Request) topK() int {
+	if r.TopK <= 0 {
+		return 50
+	}
+	return r.TopK
+}
+
+func (q *Engine) types() (any, error) {
+	rows, err := q.db.Get(model.TableEventTypes, "all", store.Range{}, store.One)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]string, len(rows))
+	for _, r := range rows {
+		out[r.Key] = r.Col("description")
+	}
+	return out, nil
+}
+
+func (q *Engine) nodeInfo(req Request) (any, error) {
+	if req.Context.Source == "" {
+		return nil, fmt.Errorf("query: nodeinfo requires context.source (a cabinet cname)")
+	}
+	comp, err := topology.ParseComponent(req.Context.Source)
+	if err != nil {
+		return nil, err
+	}
+	cab := fmt.Sprintf("c%d-%d", comp.Loc.Col, comp.Loc.Row)
+	rows, err := q.db.Get(model.TableNodeInfos, cab, store.Range{}, store.One)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]map[string]string, 0, len(rows))
+	for _, r := range rows {
+		if !comp.Contains(mustLoc(r.Key)) {
+			continue
+		}
+		m := map[string]string{"cname": r.Key}
+		for k, v := range r.Columns {
+			m[k] = v
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+func mustLoc(cname string) topology.Location {
+	l, err := topology.ParseCName(cname)
+	if err != nil {
+		return topology.Location{Row: -1}
+	}
+	return l
+}
+
+func (q *Engine) events(req Request) ([]EventRecord, error) {
+	from, to, err := req.window()
+	if err != nil {
+		return nil, err
+	}
+	var events []model.Event
+	switch {
+	case req.Context.Source != "":
+		events, err = analytics.EventsBySource(q.compute, q.db, req.Context.Source, from, to).Collect()
+		if err != nil {
+			return nil, err
+		}
+		if req.Context.EventType != "" {
+			filtered := events[:0]
+			for _, e := range events {
+				if string(e.Type) == req.Context.EventType {
+					filtered = append(filtered, e)
+				}
+			}
+			events = filtered
+		}
+	case req.Context.EventType != "":
+		events, err = analytics.EventsByType(q.compute, q.db, model.EventType(req.Context.EventType), from, to).Collect()
+		if err != nil {
+			return nil, err
+		}
+	default:
+		events, err = analytics.EventsAllTypes(q.compute, q.db, from, to).Collect()
+		if err != nil {
+			return nil, err
+		}
+	}
+	model.SortEvents(events)
+	out := make([]EventRecord, len(events))
+	for i, e := range events {
+		out[i] = EventRecord{
+			Time: e.Time.Unix(), Type: string(e.Type), Source: e.Source,
+			Count: e.Count, Raw: e.Raw, Attrs: e.Attrs,
+		}
+	}
+	return out, nil
+}
+
+func (q *Engine) runs(req Request) ([]RunRecord, error) {
+	var runs []model.AppRun
+	switch {
+	case req.Context.User != "":
+		rows, err := q.db.Get(model.TableAppByUser, req.Context.User, store.Range{}, store.One)
+		if err != nil {
+			return nil, err
+		}
+		runs, err = decodeRuns(rows)
+		if err != nil {
+			return nil, err
+		}
+	case req.Context.App != "":
+		rows, err := q.db.Get(model.TableAppByLoc, req.Context.App, store.Range{}, store.One)
+		if err != nil {
+			return nil, err
+		}
+		var err2 error
+		runs, err2 = decodeRuns(rows)
+		if err2 != nil {
+			return nil, err2
+		}
+	default:
+		from, to, err := req.window()
+		if err != nil {
+			return nil, err
+		}
+		runs, err = analytics.RunsIn(q.db, from, to, 24*time.Hour)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if req.Context.From != 0 || req.Context.To != 0 {
+		from, to := req.Context.Window()
+		filtered := runs[:0]
+		for _, r := range runs {
+			if r.Start.Before(to) && r.End.After(from) {
+				filtered = append(filtered, r)
+			}
+		}
+		runs = filtered
+	}
+	sort.Slice(runs, func(i, j int) bool { return runs[i].Start.Before(runs[j].Start) })
+	out := make([]RunRecord, len(runs))
+	for i, r := range runs {
+		out[i] = RunRecord{
+			JobID: r.JobID, App: r.App, User: r.User,
+			Start: r.Start.Unix(), End: r.End.Unix(),
+			Nodes: r.Nodes, ExitOK: r.ExitOK,
+		}
+	}
+	return out, nil
+}
+
+func decodeRuns(rows []store.Row) ([]model.AppRun, error) {
+	runs := make([]model.AppRun, 0, len(rows))
+	for _, r := range rows {
+		run, err := model.AppFromRow(r)
+		if err != nil {
+			return nil, err
+		}
+		runs = append(runs, run)
+	}
+	return runs, nil
+}
+
+// SynopsisEntry is one per-hour synopsis row.
+type SynopsisEntry struct {
+	Hour    int64 `json:"hour"`
+	Count   int   `json:"count"`
+	Sources int   `json:"sources"`
+}
+
+func (q *Engine) synopsis(req Request) ([]SynopsisEntry, error) {
+	typ, err := req.eventType()
+	if err != nil {
+		return nil, err
+	}
+	rg := store.Range{}
+	if req.Context.From != 0 {
+		rg.From = store.EncodeTS(req.Context.From / 3600)
+	}
+	if req.Context.To != 0 {
+		rg.To = store.EncodeTS((req.Context.To + 3599) / 3600)
+	}
+	rows, err := q.db.Get(model.TableEventSynopsis, string(typ), rg, store.One)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SynopsisEntry, 0, len(rows))
+	for _, r := range rows {
+		hour, err := store.DecodeTS(r.Key)
+		if err != nil {
+			return nil, err
+		}
+		count, _ := strconv.Atoi(r.Col("count"))
+		sources, _ := strconv.Atoi(r.Col("sources"))
+		out = append(out, SynopsisEntry{Hour: hour, Count: count, Sources: sources})
+	}
+	return out, nil
+}
+
+func (q *Engine) distribution(req Request) ([]analytics.Bucket, error) {
+	typ, err := req.eventType()
+	if err != nil {
+		return nil, err
+	}
+	from, to, err := req.window()
+	if err != nil {
+		return nil, err
+	}
+	var buckets []analytics.Bucket
+	switch req.Level {
+	case "app":
+		buckets, err = analytics.DistributionByApp(q.compute, q.db, typ, from, to)
+	case "cabinet", "":
+		buckets, err = analytics.DistributionBy(q.compute, q.db, typ, from, to, topology.LevelCabinet)
+	case "cage":
+		buckets, err = analytics.DistributionBy(q.compute, q.db, typ, from, to, topology.LevelCage)
+	case "blade":
+		buckets, err = analytics.DistributionBy(q.compute, q.db, typ, from, to, topology.LevelBlade)
+	case "node":
+		buckets, err = analytics.DistributionBy(q.compute, q.db, typ, from, to, topology.LevelNode)
+	default:
+		return nil, fmt.Errorf("query: unknown distribution level %q", req.Level)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if k := req.topK(); len(buckets) > k {
+		buckets = buckets[:k]
+	}
+	return buckets, nil
+}
+
+// TEResponse carries a transfer entropy measurement.
+type TEResponse struct {
+	First     string  `json:"first"`
+	Second    string  `json:"second"`
+	TEForward float64 `json:"te_forward"` // first -> second
+	TEReverse float64 `json:"te_reverse"` // second -> first
+	Direction string  `json:"direction,omitempty"`
+}
+
+func (q *Engine) transferEntropy(req Request) (TEResponse, error) {
+	typ, err := req.eventType()
+	if err != nil {
+		return TEResponse{}, err
+	}
+	if req.SecondType == "" {
+		return TEResponse{}, fmt.Errorf("query: transfer_entropy requires second_type")
+	}
+	from, to, err := req.window()
+	if err != nil {
+		return TEResponse{}, err
+	}
+	res, err := analytics.TransferEntropyBetween(q.compute, q.db, typ,
+		model.EventType(req.SecondType), from, to, req.bin())
+	if err != nil {
+		return TEResponse{}, err
+	}
+	return TEResponse{
+		First:     string(typ),
+		Second:    req.SecondType,
+		TEForward: res.XToY,
+		TEReverse: res.YToX,
+		Direction: res.Direction(0),
+	}, nil
+}
+
+// WordCountEntry is one term count.
+type WordCountEntry struct {
+	Term  string `json:"term"`
+	Count int    `json:"count"`
+}
+
+func (q *Engine) wordCount(req Request) ([]WordCountEntry, error) {
+	typ, err := req.eventType()
+	if err != nil {
+		return nil, err
+	}
+	from, to, err := req.window()
+	if err != nil {
+		return nil, err
+	}
+	docs := analytics.RawMessages(q.compute, q.db, typ, from, to)
+	counts, err := analytics.WordCount(docs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]WordCountEntry, 0, len(counts))
+	for term, c := range counts {
+		out = append(out, WordCountEntry{Term: term, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Term < out[j].Term
+	})
+	if k := req.topK(); len(out) > k {
+		out = out[:k]
+	}
+	return out, nil
+}
+
+func (q *Engine) tfidf(req Request) ([]analytics.TermScore, error) {
+	typ, err := req.eventType()
+	if err != nil {
+		return nil, err
+	}
+	from, to, err := req.window()
+	if err != nil {
+		return nil, err
+	}
+	docs := analytics.RawMessages(q.compute, q.db, typ, from, to)
+	scores, err := analytics.TFIDF(docs)
+	if err != nil {
+		return nil, err
+	}
+	return analytics.TopTerms(scores, req.topK()), nil
+}

@@ -1,0 +1,242 @@
+// Package server implements the web-facing analytic server of Section
+// III-A: it accepts frontend queries as JSON, dispatches them through the
+// query engine (which routes between the backend database and the big data
+// processing unit), and returns results as JSON objects "to avoid data
+// format conversion at the frontend".
+//
+// The Tornado substitute is net/http. Long-lived connections are supported
+// through a long-poll endpoint: the handler parks the request until new
+// events arrive in the watched context or the client timeout elapses,
+// which is the stdlib equivalent of Tornado's non-blocking long-polling.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"hpclog/internal/compute"
+	"hpclog/internal/cql"
+	"hpclog/internal/model"
+	"hpclog/internal/query"
+	"hpclog/internal/store"
+)
+
+// Server wires the query engine into an http.Handler.
+type Server struct {
+	q   *query.Engine
+	db  *store.DB
+	eng *compute.Engine
+	mux *http.ServeMux
+	// pollInterval is how often a parked long-poll re-checks the store.
+	pollInterval time.Duration
+	// now allows tests to fake time; defaults to time.Now.
+	now func() time.Time
+}
+
+// New creates a server over the query engine and its backends.
+func New(q *query.Engine, db *store.DB, eng *compute.Engine) *Server {
+	s := &Server{
+		q: q, db: db, eng: eng,
+		mux:          http.NewServeMux(),
+		pollInterval: 50 * time.Millisecond,
+		now:          time.Now,
+	}
+	s.mux.HandleFunc("POST /api/query", s.handleQuery)
+	s.mux.HandleFunc("POST /api/cql", s.handleCQL)
+	s.mux.HandleFunc("GET /api/types", s.handleTypes)
+	s.mux.HandleFunc("GET /api/stats", s.handleStats)
+	s.mux.HandleFunc("GET /api/poll", s.handlePoll)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	return s
+}
+
+// handleCQL executes a raw CQL statement against the backend — the wire
+// protocol between the analytic server and the database in Fig 3. The
+// request body is {"query": "...", "consistency": "ONE|QUORUM|ALL"}.
+func (s *Server) handleCQL(w http.ResponseWriter, r *http.Request) {
+	started := s.now()
+	var req struct {
+		Query       string `json:"query"`
+		Consistency string `json:"consistency"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, started, nil, fmt.Errorf("server: bad request body: %v", err))
+		return
+	}
+	cl := store.One
+	switch req.Consistency {
+	case "", "ONE":
+	case "QUORUM":
+		cl = store.Quorum
+	case "ALL":
+		cl = store.All
+	default:
+		writeJSON(w, http.StatusBadRequest, started, nil,
+			fmt.Errorf("server: unknown consistency %q", req.Consistency))
+		return
+	}
+	sess := &cql.Session{DB: s.db, CL: cl}
+	res, err := sess.Execute(req.Query)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, started, nil, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, started, res, nil)
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Response is the envelope of every API answer.
+type Response struct {
+	OK        bool            `json:"ok"`
+	Error     string          `json:"error,omitempty"`
+	ElapsedMS int64           `json:"elapsed_ms"`
+	Result    json.RawMessage `json:"result,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, started time.Time, result any, err error) {
+	resp := Response{OK: err == nil, ElapsedMS: time.Since(started).Milliseconds()}
+	if err != nil {
+		resp.Error = err.Error()
+	} else {
+		data, merr := json.Marshal(result)
+		if merr != nil {
+			status = http.StatusInternalServerError
+			resp.OK = false
+			resp.Error = fmt.Sprintf("server: marshal result: %v", merr)
+		} else {
+			resp.Result = data
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	started := s.now()
+	var req query.Request
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, started, nil, fmt.Errorf("server: bad request body: %v", err))
+		return
+	}
+	result, err := s.q.Execute(req)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, started, nil, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, started, result, nil)
+}
+
+func (s *Server) handleTypes(w http.ResponseWriter, r *http.Request) {
+	started := s.now()
+	result, err := s.q.Execute(query.Request{Op: query.OpTypes})
+	status := http.StatusOK
+	if err != nil {
+		status = http.StatusInternalServerError
+	}
+	writeJSON(w, status, started, result, err)
+}
+
+// StatsPayload aggregates server-side counters for the frontend.
+type StatsPayload struct {
+	Queries query.Stats   `json:"queries"`
+	Compute compute.Stats `json:"compute"`
+	Tables  []string      `json:"tables"`
+	Nodes   []string      `json:"store_nodes"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	started := s.now()
+	writeJSON(w, http.StatusOK, started, StatsPayload{
+		Queries: s.q.Stats(),
+		Compute: s.eng.Stats(),
+		Tables:  s.db.Tables(),
+		Nodes:   s.db.NodeIDs(),
+	}, nil)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+// handlePoll implements the long-poll endpoint:
+//
+//	GET /api/poll?type=MCE&since=<unix>&timeout_ms=30000
+//
+// It answers as soon as events of the type with timestamp >= since exist,
+// or with an empty result after the timeout.
+func (s *Server) handlePoll(w http.ResponseWriter, r *http.Request) {
+	started := s.now()
+	typ := r.URL.Query().Get("type")
+	if typ == "" {
+		writeJSON(w, http.StatusBadRequest, started, nil, fmt.Errorf("server: poll requires type"))
+		return
+	}
+	since, err := strconv.ParseInt(r.URL.Query().Get("since"), 10, 64)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, started, nil, fmt.Errorf("server: bad since: %v", err))
+		return
+	}
+	timeout := 30 * time.Second
+	if ms := r.URL.Query().Get("timeout_ms"); ms != "" {
+		v, err := strconv.Atoi(ms)
+		if err != nil || v < 0 {
+			writeJSON(w, http.StatusBadRequest, started, nil, fmt.Errorf("server: bad timeout_ms %q", ms))
+			return
+		}
+		timeout = time.Duration(v) * time.Millisecond
+	}
+	deadline := started.Add(timeout)
+	for {
+		events, err := s.eventsSince(model.EventType(typ), since)
+		if err != nil {
+			writeJSON(w, http.StatusInternalServerError, started, nil, err)
+			return
+		}
+		if len(events) > 0 || !s.now().Before(deadline) {
+			writeJSON(w, http.StatusOK, started, events, nil)
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-time.After(s.pollInterval):
+		}
+	}
+}
+
+// eventsSince reads events of one type with Time >= since directly from
+// the store (hour partitions from since to now).
+func (s *Server) eventsSince(typ model.EventType, since int64) ([]query.EventRecord, error) {
+	from := time.Unix(since, 0).UTC()
+	to := s.now().UTC().Add(time.Second)
+	if !to.After(from) {
+		return nil, nil
+	}
+	rg := model.EventTimeRange(from, to)
+	var out []query.EventRecord
+	for _, hour := range model.HoursIn(from, to) {
+		pkey := model.EventByTimeKey(hour, typ)
+		rows, err := s.db.Get(model.TableEventByTime, pkey, rg, store.One)
+		if err != nil {
+			return nil, err
+		}
+		for _, row := range rows {
+			e, err := model.EventFromTimeRow(pkey, row)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, query.EventRecord{
+				Time: e.Time.Unix(), Type: string(e.Type), Source: e.Source,
+				Count: e.Count, Raw: e.Raw, Attrs: e.Attrs,
+			})
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,315 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"hpclog/internal/compute"
+	"hpclog/internal/ingest"
+	"hpclog/internal/logs"
+	"hpclog/internal/model"
+	"hpclog/internal/query"
+	"hpclog/internal/store"
+	"hpclog/internal/topology"
+)
+
+type fixture struct {
+	cfg    logs.Config
+	corpus *logs.Corpus
+	db     *store.DB
+	srv    *Server
+	ts     *httptest.Server
+}
+
+var shared *fixture
+
+func getFixture(t testing.TB) *fixture {
+	t.Helper()
+	if shared != nil {
+		return shared
+	}
+	cfg := logs.DefaultConfig()
+	cfg.Nodes = topology.NodesPerCabinet
+	cfg.Duration = time.Hour
+	cfg.Storms = nil
+	cfg.Jobs.MaxNodes = 16
+	corpus := logs.Generate(cfg)
+	db := store.Open(store.Config{Nodes: 2, RF: 2, VNodes: 8, FlushThreshold: 1024})
+	if err := ingest.Bootstrap(db, cfg.Nodes); err != nil {
+		t.Fatal(err)
+	}
+	loader := ingest.NewLoader(db)
+	if err := loader.LoadEvents(corpus.Events); err != nil {
+		t.Fatal(err)
+	}
+	if err := loader.LoadRuns(corpus.Runs); err != nil {
+		t.Fatal(err)
+	}
+	eng := compute.NewEngine(compute.Config{Workers: db.NodeIDs(), Threads: 2})
+	srv := New(query.New(db, eng), db, eng)
+	srv.pollInterval = 5 * time.Millisecond
+	shared = &fixture{cfg: cfg, corpus: corpus, db: db, srv: srv, ts: httptest.NewServer(srv)}
+	return shared
+}
+
+func decodeResponse(t *testing.T, resp *http.Response) Response {
+	t.Helper()
+	defer resp.Body.Close()
+	var r Response
+	if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+	return r
+}
+
+func postQuery(t *testing.T, f *fixture, req query.Request) (*http.Response, Response) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(f.ts.URL+"/api/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, decodeResponse(t, resp)
+}
+
+func TestHealthz(t *testing.T) {
+	f := getFixture(t)
+	resp, err := http.Get(f.ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+}
+
+func TestEndToEndQuery(t *testing.T) {
+	// E3: the full path of Fig 3 — JSON in, query engine, store/compute,
+	// JSON out.
+	f := getFixture(t)
+	req := query.Request{
+		Op: query.OpEvents,
+		Context: query.Context{
+			EventType: "MCE",
+			From:      f.cfg.Start.Unix(),
+			To:        f.cfg.Start.Add(f.cfg.Duration).Unix(),
+		},
+	}
+	resp, r := postQuery(t, f, req)
+	if resp.StatusCode != http.StatusOK || !r.OK {
+		t.Fatalf("status %d, body %+v", resp.StatusCode, r)
+	}
+	var events []query.EventRecord
+	if err := json.Unmarshal(r.Result, &events); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no events over the wire")
+	}
+	for _, e := range events {
+		if e.Type != "MCE" || e.Source == "" {
+			t.Fatalf("bad record %+v", e)
+		}
+	}
+}
+
+func TestBigDataQueryOverHTTP(t *testing.T) {
+	f := getFixture(t)
+	req := query.Request{
+		Op: query.OpHeatmap,
+		Context: query.Context{
+			EventType: "MEM_ECC",
+			From:      f.cfg.Start.Unix(),
+			To:        f.cfg.Start.Add(f.cfg.Duration).Unix(),
+		},
+	}
+	resp, r := postQuery(t, f, req)
+	if resp.StatusCode != http.StatusOK || !r.OK {
+		t.Fatalf("status %d, body %+v", resp.StatusCode, r)
+	}
+	var hm struct {
+		Total int `json:"Total"`
+	}
+	if err := json.Unmarshal(r.Result, &hm); err != nil {
+		t.Fatal(err)
+	}
+	if hm.Total == 0 {
+		t.Fatal("heat map empty over the wire")
+	}
+}
+
+func TestQueryErrorsAreClientErrors(t *testing.T) {
+	f := getFixture(t)
+	resp, r := postQuery(t, f, query.Request{Op: "bogus"})
+	if resp.StatusCode != http.StatusBadRequest || r.OK {
+		t.Fatalf("status %d, body %+v", resp.StatusCode, r)
+	}
+	if r.Error == "" {
+		t.Fatal("error body empty")
+	}
+	// Malformed JSON.
+	resp2, err := http.Post(f.ts.URL+"/api/query", "application/json", bytes.NewReader([]byte("{nope")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := decodeResponse(t, resp2)
+	if resp2.StatusCode != http.StatusBadRequest || r2.OK {
+		t.Fatalf("malformed body: status %d %+v", resp2.StatusCode, r2)
+	}
+}
+
+func TestTypesEndpoint(t *testing.T) {
+	f := getFixture(t)
+	resp, err := http.Get(f.ts.URL + "/api/types")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := decodeResponse(t, resp)
+	if !r.OK {
+		t.Fatalf("types: %+v", r)
+	}
+	var types map[string]string
+	if err := json.Unmarshal(r.Result, &types); err != nil {
+		t.Fatal(err)
+	}
+	if len(types) != len(model.EventTypes) {
+		t.Fatalf("%d types over the wire", len(types))
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	f := getFixture(t)
+	resp, err := http.Get(f.ts.URL + "/api/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := decodeResponse(t, resp)
+	var stats StatsPayload
+	if err := json.Unmarshal(r.Result, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Tables) != len(model.AllTables) {
+		t.Fatalf("stats tables = %v", stats.Tables)
+	}
+	if len(stats.Nodes) != 2 {
+		t.Fatalf("stats nodes = %v", stats.Nodes)
+	}
+}
+
+func TestLongPollImmediateData(t *testing.T) {
+	f := getFixture(t)
+	url := fmt.Sprintf("%s/api/poll?type=MCE&since=%d&timeout_ms=1000",
+		f.ts.URL, f.cfg.Start.Unix())
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := decodeResponse(t, resp)
+	if !r.OK {
+		t.Fatalf("poll: %+v", r)
+	}
+	var events []query.EventRecord
+	if err := json.Unmarshal(r.Result, &events); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("long poll returned no historical events")
+	}
+}
+
+func TestLongPollWaitsForNewEvents(t *testing.T) {
+	f := getFixture(t)
+	// Start a poll in the future relative to corpus data; inject an event
+	// while it waits.
+	since := time.Now().UTC().Add(-time.Second)
+	type pollResult struct {
+		events []query.EventRecord
+		err    error
+	}
+	done := make(chan pollResult, 1)
+	go func() {
+		url := fmt.Sprintf("%s/api/poll?type=GPU_FAIL&since=%d&timeout_ms=5000", f.ts.URL, since.Unix())
+		resp, err := http.Get(url)
+		if err != nil {
+			done <- pollResult{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		var r Response
+		if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
+			done <- pollResult{err: err}
+			return
+		}
+		var events []query.EventRecord
+		if err := json.Unmarshal(r.Result, &events); err != nil {
+			done <- pollResult{err: err}
+			return
+		}
+		done <- pollResult{events: events}
+	}()
+	time.Sleep(50 * time.Millisecond)
+	e := model.Event{
+		Time: time.Now().UTC(), Type: model.GPUFail,
+		Source: "c0-0c0s0n0", Count: 1, Raw: "injected",
+	}
+	if err := ingest.NewLoader(f.db).LoadEvents([]model.Event{e}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case res := <-done:
+		if res.err != nil {
+			t.Fatal(res.err)
+		}
+		if len(res.events) == 0 {
+			t.Fatal("long poll missed the injected event")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("long poll never returned")
+	}
+}
+
+func TestLongPollTimeoutEmpty(t *testing.T) {
+	f := getFixture(t)
+	url := fmt.Sprintf("%s/api/poll?type=KERNEL_PANIC&since=%d&timeout_ms=100",
+		f.ts.URL, time.Now().Add(time.Hour).Unix())
+	start := time.Now()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := decodeResponse(t, resp)
+	if !r.OK {
+		t.Fatalf("poll: %+v", r)
+	}
+	if elapsed := time.Since(start); elapsed < 80*time.Millisecond {
+		t.Fatalf("poll returned in %v, should have parked ~100ms", elapsed)
+	}
+}
+
+func TestLongPollValidation(t *testing.T) {
+	f := getFixture(t)
+	for _, u := range []string{
+		"/api/poll?since=1",                       // no type
+		"/api/poll?type=MCE",                      // no since
+		"/api/poll?type=MCE&since=x",              // bad since
+		"/api/poll?type=MCE&since=1&timeout_ms=x", // bad timeout
+	} {
+		resp, err := http.Get(f.ts.URL + u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", u, resp.StatusCode)
+		}
+	}
+}

@@ -1,0 +1,396 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"hpclog/internal/cluster"
+)
+
+// Consistency is the number-of-replicas contract for an operation,
+// mirroring Cassandra's tunable consistency levels.
+type Consistency int
+
+// Consistency levels.
+const (
+	// One requires a single replica acknowledgment.
+	One Consistency = iota
+	// Quorum requires floor(RF/2)+1 replica acknowledgments.
+	Quorum
+	// All requires every replica to acknowledge.
+	All
+)
+
+// String implements fmt.Stringer.
+func (c Consistency) String() string {
+	switch c {
+	case One:
+		return "ONE"
+	case Quorum:
+		return "QUORUM"
+	case All:
+		return "ALL"
+	}
+	return fmt.Sprintf("Consistency(%d)", int(c))
+}
+
+func (c Consistency) required(rf int) int {
+	switch c {
+	case One:
+		return 1
+	case Quorum:
+		return rf/2 + 1
+	default:
+		return rf
+	}
+}
+
+// ErrUnavailable is returned when fewer live replicas exist than the
+// requested consistency level requires.
+var ErrUnavailable = errors.New("store: not enough live replicas for consistency level")
+
+// Config parameterizes a store cluster.
+type Config struct {
+	// Nodes is the number of storage nodes. The paper's CADES deployment
+	// uses 32 VMs, each pairing a store node with a compute worker.
+	Nodes int
+	// RF is the replication factor (default 3, capped at Nodes).
+	RF int
+	// VNodes is the number of virtual nodes per storage node (default 64).
+	VNodes int
+	// FlushThreshold is the memtable row count that triggers a segment
+	// flush (default 4096).
+	FlushThreshold int
+	// MaxSegments bounds the per-partition segment count before
+	// compaction (default 4).
+	MaxSegments int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Nodes <= 0 {
+		c.Nodes = 32
+	}
+	if c.RF <= 0 {
+		c.RF = 3
+	}
+	if c.RF > c.Nodes {
+		c.RF = c.Nodes
+	}
+	if c.VNodes <= 0 {
+		c.VNodes = 64
+	}
+	if c.FlushThreshold <= 0 {
+		c.FlushThreshold = 4096
+	}
+	if c.MaxSegments <= 0 {
+		c.MaxSegments = 4
+	}
+	return c
+}
+
+// DB is a store cluster: a ring of storage nodes plus coordinator logic.
+// Any method may be called from any goroutine; every call acts as its own
+// coordinator, matching the masterless design.
+type DB struct {
+	cfg     Config
+	ring    *cluster.Ring
+	mu      sync.RWMutex
+	nodes   map[string]*Node
+	tables  map[string]bool
+	writeTS atomic.Int64
+	hintLog *hintLog
+
+	readRepairs atomic.Int64
+}
+
+// Open creates an in-process store cluster with cfg.
+func Open(cfg Config) *DB {
+	cfg = cfg.withDefaults()
+	db := &DB{
+		cfg:     cfg,
+		ring:    cluster.NewRing(cfg.RF, cfg.VNodes),
+		nodes:   make(map[string]*Node, cfg.Nodes),
+		tables:  make(map[string]bool),
+		hintLog: newHintLog(),
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		id := fmt.Sprintf("store%02d", i)
+		db.nodes[id] = newNode(id, cfg.FlushThreshold, cfg.MaxSegments)
+		db.ring.AddNode(id)
+	}
+	return db
+}
+
+// Ring exposes the cluster ring (read-only use intended).
+func (db *DB) Ring() *cluster.Ring { return db.ring }
+
+// Config returns the effective configuration.
+func (db *DB) Config() Config { return db.cfg }
+
+// NodeIDs returns the storage node ids in sorted order.
+func (db *DB) NodeIDs() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	ids := make([]string, 0, len(db.nodes))
+	for id := range db.nodes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Node returns the storage node with the given id, or nil.
+func (db *DB) Node(id string) *Node {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.nodes[id]
+}
+
+// CreateTable declares a table on every node. Creating an existing table
+// is a no-op, supporting the paper's requirement that new event types and
+// schemas can be added at any time.
+func (db *DB) CreateTable(name string) {
+	db.mu.Lock()
+	db.tables[name] = true
+	nodes := make([]*Node, 0, len(db.nodes))
+	for _, n := range db.nodes {
+		nodes = append(nodes, n)
+	}
+	db.mu.Unlock()
+	for _, n := range nodes {
+		n.createTable(name)
+	}
+}
+
+// Tables lists declared tables in sorted order.
+func (db *DB) Tables() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.tables))
+	for t := range db.tables {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HasTable reports whether the table exists.
+func (db *DB) HasTable(name string) bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.tables[name]
+}
+
+// NextWriteTS issues a monotonically increasing logical write timestamp.
+func (db *DB) NextWriteTS() int64 { return db.writeTS.Add(1) }
+
+// Put writes a single row into the partition identified by pkey.
+func (db *DB) Put(tableName, pkey string, row Row, cl Consistency) error {
+	return db.PutBatch(tableName, pkey, []Row{row}, cl)
+}
+
+// PutBatch writes rows into one partition, assigning write timestamps and
+// replicating to the ring's replica set. It blocks until the consistency
+// level is satisfied; remaining live replicas are written synchronously as
+// well (the in-process transport makes asynchronous trickle unnecessary,
+// but down replicas are skipped, so entropy between replicas still arises
+// and Repair reconciles it).
+func (db *DB) PutBatch(tableName, pkey string, rows []Row, cl Consistency) error {
+	if !db.HasTable(tableName) {
+		return fmt.Errorf("store: no such table %q", tableName)
+	}
+	if len(rows) == 0 {
+		return nil
+	}
+	stamped := make([]Row, len(rows))
+	for i, r := range rows {
+		if r.WriteTS == 0 {
+			r.WriteTS = db.NextWriteTS()
+		}
+		stamped[i] = r
+	}
+	replicas := db.ring.Replicas(pkey)
+	need := cl.required(len(replicas))
+	live := make([]*Node, 0, len(replicas))
+	var down []string
+	for _, id := range replicas {
+		if db.ring.IsUp(id) {
+			live = append(live, db.Node(id))
+		} else {
+			down = append(down, id)
+		}
+	}
+	if len(live) < need {
+		return fmt.Errorf("%w: table %s partition %s needs %d, have %d live",
+			ErrUnavailable, tableName, pkey, need, len(live))
+	}
+	// Hinted handoff: queue the rows for down replicas so a transient
+	// outage converges on recovery without a full repair.
+	for _, id := range down {
+		db.hintLog.add(id, hint{table: tableName, pkey: pkey, rows: stamped})
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(live))
+	for i, n := range live {
+		wg.Add(1)
+		go func(i int, n *Node) {
+			defer wg.Done()
+			errs[i] = n.apply(tableName, pkey, stamped)
+		}(i, n)
+	}
+	wg.Wait()
+	acks := 0
+	for _, err := range errs {
+		if err == nil {
+			acks++
+		}
+	}
+	if acks < need {
+		return fmt.Errorf("store: only %d/%d acks for %s/%s: %w",
+			acks, need, tableName, pkey, errors.Join(errs...))
+	}
+	return nil
+}
+
+// Get reads rows of one partition within the clustering range. At
+// consistency One the first live replica answers; at Quorum/All the
+// required number of replicas are read and reconciled last-write-wins.
+func (db *DB) Get(tableName, pkey string, rg Range, cl Consistency) ([]Row, error) {
+	if !db.HasTable(tableName) {
+		return nil, fmt.Errorf("store: no such table %q", tableName)
+	}
+	replicas := db.ring.Replicas(pkey)
+	need := cl.required(len(replicas))
+	live := make([]*Node, 0, len(replicas))
+	for _, id := range replicas {
+		if db.ring.IsUp(id) {
+			live = append(live, db.Node(id))
+		}
+	}
+	if len(live) < need {
+		return nil, fmt.Errorf("%w: table %s partition %s needs %d, have %d live",
+			ErrUnavailable, tableName, pkey, need, len(live))
+	}
+	live = live[:need]
+	if len(live) == 1 {
+		return live[0].readPartition(tableName, pkey, rg)
+	}
+	results := make([][]Row, len(live))
+	errs := make([]error, len(live))
+	var wg sync.WaitGroup
+	for i, n := range live {
+		wg.Add(1)
+		go func(i int, n *Node) {
+			defer wg.Done()
+			results[i], errs[i] = n.readPartition(tableName, pkey, rg)
+		}(i, n)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	merged := mergeRows(results...)
+	// Read repair: patch replicas observed stale within the read range.
+	for i, n := range live {
+		missing := diffRows(merged, results[i])
+		if len(missing) == 0 {
+			continue
+		}
+		if err := n.apply(tableName, pkey, missing); err == nil {
+			db.readRepairs.Add(int64(len(missing)))
+		}
+	}
+	return merged, nil
+}
+
+// ReadRepairs reports the total number of rows written back to stale
+// replicas by read repair.
+func (db *DB) ReadRepairs() int64 { return db.readRepairs.Load() }
+
+// PartitionKeys returns the union of partition keys for a table across the
+// whole cluster, sorted.
+func (db *DB) PartitionKeys(tableName string) []string {
+	seen := make(map[string]bool)
+	for _, id := range db.NodeIDs() {
+		for _, k := range db.Node(id).PartitionKeys(tableName) {
+			seen[k] = true
+		}
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// PrimaryFor returns the primary storage node id for a partition key.
+func (db *DB) PrimaryFor(pkey string) string { return db.ring.Primary(pkey) }
+
+// Repair runs anti-entropy for one table: for every partition, replicas
+// exchange rows and converge on the last-write-wins union. It returns the
+// number of rows copied to lagging replicas.
+func (db *DB) Repair(tableName string) (int, error) {
+	if !db.HasTable(tableName) {
+		return 0, fmt.Errorf("store: no such table %q", tableName)
+	}
+	copied := 0
+	for _, pkey := range db.PartitionKeys(tableName) {
+		replicas := db.ring.Replicas(pkey)
+		lists := make([][]Row, 0, len(replicas))
+		for _, id := range replicas {
+			rows, err := db.Node(id).readPartition(tableName, pkey, Range{})
+			if err != nil {
+				return copied, err
+			}
+			lists = append(lists, rows)
+		}
+		union := mergeRows(lists...)
+		for i, id := range replicas {
+			if len(lists[i]) == len(union) {
+				continue
+			}
+			missing := diffRows(union, lists[i])
+			if len(missing) == 0 {
+				continue
+			}
+			if err := db.Node(id).apply(tableName, pkey, missing); err != nil {
+				return copied, err
+			}
+			copied += len(missing)
+		}
+	}
+	return copied, nil
+}
+
+// diffRows returns rows in union that are absent from have (by clustering
+// key) or stale in have (smaller WriteTS). Both inputs are sorted by Key.
+func diffRows(union, have []Row) []Row {
+	var out []Row
+	j := 0
+	for _, r := range union {
+		for j < len(have) && have[j].Key < r.Key {
+			j++
+		}
+		if j < len(have) && have[j].Key == r.Key && have[j].WriteTS >= r.WriteTS {
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// TotalRows reports the number of physical rows stored for a table across
+// all nodes (replicas counted separately).
+func (db *DB) TotalRows(tableName string) int {
+	total := 0
+	for _, id := range db.NodeIDs() {
+		total += db.Node(id).RowCount(tableName)
+	}
+	return total
+}

@@ -1,0 +1,235 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// segment is an immutable run of rows sorted by clustering key — the
+// SSTable equivalent. Segments are produced by memtable flushes and merged
+// by compaction.
+type segment struct {
+	rows []Row
+}
+
+// partition is the per-node state of one partition: a mutable memtable of
+// recently written rows plus flushed immutable segments.
+type partition struct {
+	mu       sync.RWMutex
+	key      string
+	mem      []Row // sorted by clustering key
+	segments []segment
+}
+
+func (p *partition) put(rows []Row, flushAt, maxSegments int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, r := range rows {
+		p.insertLocked(r)
+	}
+	if len(p.mem) >= flushAt {
+		p.flushLocked()
+		if len(p.segments) > maxSegments {
+			p.compactLocked()
+		}
+	}
+}
+
+// insertLocked places r into the sorted memtable. The common case for
+// time-series ingest is append-at-end, which is O(1).
+func (p *partition) insertLocked(r Row) {
+	n := len(p.mem)
+	if n == 0 || p.mem[n-1].Key < r.Key {
+		p.mem = append(p.mem, r)
+		return
+	}
+	i := sort.Search(n, func(i int) bool { return p.mem[i].Key >= r.Key })
+	if i < n && p.mem[i].Key == r.Key {
+		if r.WriteTS >= p.mem[i].WriteTS {
+			p.mem[i] = r
+		}
+		return
+	}
+	p.mem = append(p.mem, Row{})
+	copy(p.mem[i+1:], p.mem[i:])
+	p.mem[i] = r
+}
+
+func (p *partition) flushLocked() {
+	if len(p.mem) == 0 {
+		return
+	}
+	seg := segment{rows: p.mem}
+	p.mem = nil
+	p.segments = append(p.segments, seg)
+}
+
+func (p *partition) compactLocked() {
+	if len(p.segments) <= 1 {
+		return
+	}
+	// Later segments hold newer data; mergeRows breaks WriteTS ties in
+	// favour of later inputs, so pass them in write order.
+	lists := make([][]Row, len(p.segments))
+	for i, s := range p.segments {
+		lists[i] = s.rows
+	}
+	p.segments = []segment{{rows: mergeRows(lists...)}}
+}
+
+// read returns rows within rg merged across memtable and segments.
+func (p *partition) read(rg Range) []Row {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	lists := make([][]Row, 0, len(p.segments)+1)
+	for _, s := range p.segments {
+		lists = append(lists, sliceRange(s.rows, rg))
+	}
+	lists = append(lists, sliceRange(p.mem, rg))
+	merged := mergeRows(lists...)
+	out := make([]Row, len(merged))
+	copy(out, merged)
+	return out
+}
+
+func (p *partition) rowCount() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	n := len(p.mem)
+	for _, s := range p.segments {
+		n += len(s.rows)
+	}
+	return n
+}
+
+func (p *partition) segmentCount() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.segments)
+}
+
+// table is the per-node collection of partitions for one table.
+type table struct {
+	mu         sync.RWMutex
+	name       string
+	partitions map[string]*partition
+}
+
+func (t *table) partition(key string, create bool) *partition {
+	t.mu.RLock()
+	p := t.partitions[key]
+	t.mu.RUnlock()
+	if p != nil || !create {
+		return p
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if p = t.partitions[key]; p == nil {
+		p = &partition{key: key}
+		t.partitions[key] = p
+	}
+	return p
+}
+
+func (t *table) partitionKeys() []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	keys := make([]string, 0, len(t.partitions))
+	for k := range t.partitions {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Node is one storage node of the cluster. All methods are safe for
+// concurrent use.
+type Node struct {
+	id     string
+	mu     sync.RWMutex
+	tables map[string]*table
+
+	flushThreshold int
+	maxSegments    int
+}
+
+func newNode(id string, flushThreshold, maxSegments int) *Node {
+	return &Node{
+		id:             id,
+		tables:         make(map[string]*table),
+		flushThreshold: flushThreshold,
+		maxSegments:    maxSegments,
+	}
+}
+
+// ID returns the node identifier.
+func (n *Node) ID() string { return n.id }
+
+func (n *Node) createTable(name string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.tables[name]; !ok {
+		n.tables[name] = &table{name: name, partitions: make(map[string]*partition)}
+	}
+}
+
+func (n *Node) table(name string) (*table, error) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	t, ok := n.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("store: node %s: no such table %q", n.id, name)
+	}
+	return t, nil
+}
+
+func (n *Node) apply(tableName, pkey string, rows []Row) error {
+	t, err := n.table(tableName)
+	if err != nil {
+		return err
+	}
+	t.partition(pkey, true).put(rows, n.flushThreshold, n.maxSegments)
+	return nil
+}
+
+func (n *Node) readPartition(tableName, pkey string, rg Range) ([]Row, error) {
+	t, err := n.table(tableName)
+	if err != nil {
+		return nil, err
+	}
+	p := t.partition(pkey, false)
+	if p == nil {
+		return nil, nil
+	}
+	return p.read(rg), nil
+}
+
+// PartitionKeys lists the partition keys this node holds for a table.
+func (n *Node) PartitionKeys(tableName string) []string {
+	t, err := n.table(tableName)
+	if err != nil {
+		return nil
+	}
+	return t.partitionKeys()
+}
+
+// RowCount reports the number of stored rows for a table on this node
+// (counting duplicates across segments once per physical copy).
+func (n *Node) RowCount(tableName string) int {
+	t, err := n.table(tableName)
+	if err != nil {
+		return 0
+	}
+	t.mu.RLock()
+	parts := make([]*partition, 0, len(t.partitions))
+	for _, p := range t.partitions {
+		parts = append(parts, p)
+	}
+	t.mu.RUnlock()
+	total := 0
+	for _, p := range parts {
+		total += p.rowCount()
+	}
+	return total
+}

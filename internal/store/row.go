@@ -1,0 +1,152 @@
+// Package store implements the distributed NoSQL backend of the framework:
+// a column-oriented, hash-partitioned, replicated store in the style of
+// Apache Cassandra (Section II-A of the paper).
+//
+// Data is organized as tables. A table holds partitions; each partition is
+// addressed by a partition key string (e.g. "412:MCE" for hour 412, event
+// type MCE) that is hashed onto the cluster ring. Within a partition, rows
+// are kept sorted by a clustering key — a byte-sortable string that the
+// data model derives from timestamps — so that one-hour time series can be
+// range-scanned efficiently, exactly as in the paper's Fig 1 schemas.
+//
+// Each store node holds partitions in a memtable that is flushed into
+// immutable sorted segments (the SSTable equivalent); reads merge the
+// memtable with segments using last-write-wins reconciliation, and a
+// compaction pass bounds the segment count. Writes and reads are routed by
+// a coordinator through the ring with tunable consistency (ONE / QUORUM /
+// ALL).
+package store
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Row is one clustered row within a partition. Columns are free-form
+// name/value pairs, allowing every event type and application run to carry
+// its own set of columns ("each application run may include columns unique
+// to it", Section II-B).
+type Row struct {
+	// Key is the clustering key. Rows in a partition are sorted by Key
+	// bytewise, so callers encode timestamps with EncodeTS to obtain
+	// chronological order.
+	Key string
+	// Columns holds the cell values of the row.
+	Columns map[string]string
+	// WriteTS is the logical write timestamp used for last-write-wins
+	// reconciliation between replicas and across segments.
+	WriteTS int64
+}
+
+// Clone returns a deep copy of the row.
+func (r Row) Clone() Row {
+	c := Row{Key: r.Key, WriteTS: r.WriteTS, Columns: make(map[string]string, len(r.Columns))}
+	for k, v := range r.Columns {
+		c.Columns[k] = v
+	}
+	return c
+}
+
+// Col returns the named column value, or "" if absent.
+func (r Row) Col(name string) string { return r.Columns[name] }
+
+// Range selects clustering keys in [From, To). Zero-value fields mean
+// unbounded on that side; the zero Range selects the whole partition.
+type Range struct {
+	From string // inclusive lower bound; "" = unbounded
+	To   string // exclusive upper bound; "" = unbounded
+}
+
+// Contains reports whether key falls within the range.
+func (rg Range) Contains(key string) bool {
+	if rg.From != "" && key < rg.From {
+		return false
+	}
+	if rg.To != "" && key >= rg.To {
+		return false
+	}
+	return true
+}
+
+// EncodeTS encodes a unix timestamp (seconds or any non-negative int64) as
+// a fixed-width decimal string whose bytewise order matches numeric order.
+func EncodeTS(ts int64) string {
+	if ts < 0 {
+		panic(fmt.Sprintf("store: EncodeTS(%d) negative", ts))
+	}
+	return fmt.Sprintf("%019d", ts)
+}
+
+// DecodeTS reverses EncodeTS on the leading 19 bytes of a clustering key.
+func DecodeTS(key string) (int64, error) {
+	if len(key) < 19 {
+		return 0, fmt.Errorf("store: clustering key %q too short for timestamp", key)
+	}
+	var ts int64
+	for i := 0; i < 19; i++ {
+		c := key[i]
+		if c < '0' || c > '9' {
+			return 0, fmt.Errorf("store: clustering key %q has non-digit timestamp", key)
+		}
+		ts = ts*10 + int64(c-'0')
+	}
+	return ts, nil
+}
+
+// mergeRows merges sorted row slices into one sorted slice, resolving
+// duplicate clustering keys by keeping the row with the largest WriteTS
+// (last write wins). Inputs must each be sorted by Key.
+func mergeRows(lists ...[]Row) []Row {
+	switch len(lists) {
+	case 0:
+		return nil
+	case 1:
+		return lists[0]
+	}
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	out := make([]Row, 0, total)
+	idx := make([]int, len(lists))
+	for {
+		best := -1
+		for i, l := range lists {
+			if idx[i] >= len(l) {
+				continue
+			}
+			if best == -1 || l[idx[i]].Key < lists[best][idx[best]].Key {
+				best = i
+			}
+		}
+		if best == -1 {
+			break
+		}
+		r := lists[best][idx[best]]
+		idx[best]++
+		if n := len(out); n > 0 && out[n-1].Key == r.Key {
+			if r.WriteTS >= out[n-1].WriteTS {
+				out[n-1] = r
+			}
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// sliceRange returns the sub-slice of sorted rows within rg.
+func sliceRange(rows []Row, rg Range) []Row {
+	lo := 0
+	if rg.From != "" {
+		lo = sort.Search(len(rows), func(i int) bool { return rows[i].Key >= rg.From })
+	}
+	hi := len(rows)
+	if rg.To != "" {
+		hi = sort.Search(len(rows), func(i int) bool { return rows[i].Key >= rg.To })
+	}
+	if lo > hi {
+		lo = hi
+	}
+	return rows[lo:hi]
+}

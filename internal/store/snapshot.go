@@ -1,0 +1,93 @@
+package store
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// snapshotHeader identifies the snapshot stream format.
+const snapshotMagic = "hpclog-snapshot-v1"
+
+// snapshotRecord is one partition's worth of rows in the stream.
+type snapshotRecord struct {
+	Table     string
+	Partition string
+	Rows      []Row
+}
+
+// Snapshot serializes every table's logical contents (one reconciled copy
+// per partition, not per replica) to w. It provides the durability story
+// of the in-process reproduction: Cassandra persists via commitlog +
+// SSTables on disk; here a snapshot file plays that role so ingest and
+// serve can run as separate processes.
+func (db *DB) Snapshot(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := gob.NewEncoder(bw)
+	if err := enc.Encode(snapshotMagic); err != nil {
+		return fmt.Errorf("store: snapshot header: %w", err)
+	}
+	tables := db.Tables()
+	if err := enc.Encode(tables); err != nil {
+		return fmt.Errorf("store: snapshot tables: %w", err)
+	}
+	for _, table := range tables {
+		for _, pkey := range db.PartitionKeys(table) {
+			rows, err := db.Get(table, pkey, Range{}, One)
+			if err != nil {
+				return fmt.Errorf("store: snapshot %s/%s: %w", table, pkey, err)
+			}
+			if len(rows) == 0 {
+				continue
+			}
+			rec := snapshotRecord{Table: table, Partition: pkey, Rows: rows}
+			if err := enc.Encode(rec); err != nil {
+				return fmt.Errorf("store: snapshot encode %s/%s: %w", table, pkey, err)
+			}
+		}
+	}
+	// Terminator record.
+	if err := enc.Encode(snapshotRecord{}); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Restore loads a snapshot stream into the database, creating tables as
+// needed and writing rows at the given consistency. Existing data is kept;
+// snapshot rows win conflicts only by write timestamp.
+func (db *DB) Restore(r io.Reader, cl Consistency) (int, error) {
+	dec := gob.NewDecoder(bufio.NewReader(r))
+	var magic string
+	if err := dec.Decode(&magic); err != nil {
+		return 0, fmt.Errorf("store: restore header: %w", err)
+	}
+	if magic != snapshotMagic {
+		return 0, fmt.Errorf("store: not a snapshot stream (got %q)", magic)
+	}
+	var tables []string
+	if err := dec.Decode(&tables); err != nil {
+		return 0, fmt.Errorf("store: restore tables: %w", err)
+	}
+	for _, t := range tables {
+		db.CreateTable(t)
+	}
+	restored := 0
+	for {
+		var rec snapshotRecord
+		if err := dec.Decode(&rec); err != nil {
+			if err == io.EOF {
+				return restored, fmt.Errorf("store: truncated snapshot (missing terminator)")
+			}
+			return restored, fmt.Errorf("store: restore record: %w", err)
+		}
+		if rec.Table == "" && rec.Partition == "" && len(rec.Rows) == 0 {
+			return restored, nil // terminator
+		}
+		if err := db.PutBatch(rec.Table, rec.Partition, rec.Rows, cl); err != nil {
+			return restored, err
+		}
+		restored += len(rec.Rows)
+	}
+}

@@ -1,0 +1,102 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	src := testDB(t, 4, 2)
+	src.CreateTable("apps")
+	for i := 0; i < 200; i++ {
+		pkey := fmt.Sprintf("%d:MCE", i%5)
+		if err := src.Put("events", pkey, eventRow(int64(i), fmt.Sprint(i), "MCE", "L"), Quorum); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := src.Put("apps", "u1", Row{Key: EncodeTS(1) + ":a", Columns: map[string]string{"app": "X"}}, Quorum); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := src.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := Open(Config{Nodes: 2, RF: 2, VNodes: 8})
+	n, err := dst.Restore(&buf, Quorum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 201 {
+		t.Fatalf("restored %d rows, want 201", n)
+	}
+	for _, pkey := range src.PartitionKeys("events") {
+		want, err := src.Get("events", pkey, Range{}, One)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := dst.Get("events", pkey, Range{}, One)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("partition %s: %d rows restored, want %d", pkey, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Key != want[i].Key || got[i].Col("type") != want[i].Col("type") {
+				t.Fatalf("partition %s row %d differs", pkey, i)
+			}
+		}
+	}
+	rows, err := dst.Get("apps", "u1", Range{}, One)
+	if err != nil || len(rows) != 1 || rows[0].Col("app") != "X" {
+		t.Fatalf("apps table not restored: %v %v", rows, err)
+	}
+}
+
+func TestRestoreRejectsGarbage(t *testing.T) {
+	db := testDB(t, 2, 1)
+	if _, err := db.Restore(strings.NewReader("not a snapshot"), One); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestRestoreDetectsTruncation(t *testing.T) {
+	src := testDB(t, 2, 1)
+	for i := 0; i < 50; i++ {
+		if err := src.Put("events", "p", eventRow(int64(i), "d", "T", "L"), One); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := src.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-10]
+	dst := Open(Config{Nodes: 1, RF: 1, VNodes: 4})
+	if _, err := dst.Restore(bytes.NewReader(trunc), One); err == nil {
+		t.Fatal("truncated snapshot accepted")
+	}
+}
+
+func TestSnapshotEmptyDB(t *testing.T) {
+	src := testDB(t, 2, 1)
+	var buf bytes.Buffer
+	if err := src.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := Open(Config{Nodes: 1, RF: 1, VNodes: 4})
+	n, err := dst.Restore(&buf, One)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("restored %d rows from empty snapshot", n)
+	}
+	if !dst.HasTable("events") {
+		t.Fatal("table DDL not restored")
+	}
+}

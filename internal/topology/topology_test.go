@@ -1,0 +1,189 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDimensions(t *testing.T) {
+	if Cabinets != 200 {
+		t.Fatalf("Cabinets = %d, want 200", Cabinets)
+	}
+	if NodesPerCabinet != 96 {
+		t.Fatalf("NodesPerCabinet = %d, want 96", NodesPerCabinet)
+	}
+	if TotalNodes != 19200 {
+		t.Fatalf("TotalNodes = %d, want 19200", TotalNodes)
+	}
+}
+
+func TestLocationRoundTrip(t *testing.T) {
+	for id := 0; id < TotalNodes; id++ {
+		l := LocationOf(NodeID(id))
+		if !l.Valid() {
+			t.Fatalf("LocationOf(%d) = %+v invalid", id, l)
+		}
+		if got := l.ID(); got != NodeID(id) {
+			t.Fatalf("round trip %d -> %+v -> %d", id, l, got)
+		}
+	}
+}
+
+func TestCNameRoundTrip(t *testing.T) {
+	f := func(raw uint32) bool {
+		id := NodeID(int(raw) % TotalNodes)
+		l := LocationOf(id)
+		parsed, err := ParseCName(l.CName())
+		return err == nil && parsed == l
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseCNameExamples(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Location
+	}{
+		{"c0-0c0s0n0", Location{}},
+		{"c3-0c2s7n1", Location{Row: 0, Col: 3, Cage: 2, Slot: 7, Node: 1}},
+		{"c7-24c2s7n3", Location{Row: 24, Col: 7, Cage: 2, Slot: 7, Node: 3}},
+		{"c12-3c1s4n2", Location{Row: 3, Col: 12, Cage: 1, Slot: 4, Node: 2}},
+	}
+	for _, c := range cases {
+		got, err := ParseCName(c.in)
+		if c.in == "c12-3c1s4n2" {
+			// Column 12 exceeds Titan's 8 columns; the paper's prose
+			// example is schematic. It must be rejected as out of bounds.
+			if err == nil {
+				t.Fatalf("ParseCName(%q) accepted out-of-bounds column", c.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("ParseCName(%q): %v", c.in, err)
+		}
+		if got != c.want {
+			t.Fatalf("ParseCName(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseCNameErrors(t *testing.T) {
+	bad := []string{
+		"", "c", "x0-0c0s0n0", "c-0c0s0n0", "c0-c0s0n0", "c0-0c0s0n",
+		"c0-0c0s0n0x", "c8-0c0s0n0", "c0-25c0s0n0", "c0-0c3s0n0",
+		"c0-0c0s8n0", "c0-0c0s0n4",
+	}
+	for _, s := range bad {
+		if _, err := ParseCName(s); err == nil {
+			t.Errorf("ParseCName(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestParseComponentLevels(t *testing.T) {
+	cases := []struct {
+		in    string
+		level Level
+		nodes int
+	}{
+		{"c3-10", LevelCabinet, 96},
+		{"c3-10c1", LevelCage, 32},
+		{"c3-10c1s5", LevelBlade, 4},
+		{"c3-10c1s5n2", LevelNode, 1},
+	}
+	for _, c := range cases {
+		comp, err := ParseComponent(c.in)
+		if err != nil {
+			t.Fatalf("ParseComponent(%q): %v", c.in, err)
+		}
+		if comp.Level != c.level {
+			t.Fatalf("ParseComponent(%q).Level = %v, want %v", c.in, comp.Level, c.level)
+		}
+		if got := len(comp.Nodes()); got != c.nodes {
+			t.Fatalf("ParseComponent(%q).Nodes() = %d nodes, want %d", c.in, got, c.nodes)
+		}
+		if comp.String() != c.in {
+			t.Fatalf("Component.String() = %q, want %q", comp.String(), c.in)
+		}
+		for _, id := range comp.Nodes() {
+			if !comp.Contains(LocationOf(id)) {
+				t.Fatalf("%q does not contain its own node %d", c.in, id)
+			}
+		}
+	}
+}
+
+func TestComponentContainsProperty(t *testing.T) {
+	f := func(a, b uint32) bool {
+		la := LocationOf(NodeID(int(a) % TotalNodes))
+		lb := LocationOf(NodeID(int(b) % TotalNodes))
+		cab := Component{Level: LevelCabinet, Loc: Location{Row: la.Row, Col: la.Col}}
+		want := la.Row == lb.Row && la.Col == lb.Col
+		return cab.Contains(lb) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeminiPairs(t *testing.T) {
+	for id := 0; id < TotalNodes; id++ {
+		info := Info(NodeID(id))
+		pair := Info(info.PairNode)
+		if pair.Gemini != info.Gemini {
+			t.Fatalf("node %d pair %d: gemini %d != %d", id, info.PairNode, pair.Gemini, info.Gemini)
+		}
+		if pair.PairNode != info.ID {
+			t.Fatalf("pairing not symmetric at node %d", id)
+		}
+		if info.Loc.Blade() != pair.Loc.Blade() {
+			t.Fatalf("pair of node %d on different blade", id)
+		}
+	}
+}
+
+func TestAllNodes(t *testing.T) {
+	infos := AllNodes()
+	if len(infos) != TotalNodes {
+		t.Fatalf("AllNodes() = %d entries, want %d", len(infos), TotalNodes)
+	}
+	seen := make(map[string]bool, len(infos))
+	for i, info := range infos {
+		if info.ID != NodeID(i) {
+			t.Fatalf("infos[%d].ID = %d", i, info.ID)
+		}
+		if seen[info.CName] {
+			t.Fatalf("duplicate cname %s", info.CName)
+		}
+		seen[info.CName] = true
+		if info.Spec != TitanNodeSpec {
+			t.Fatalf("infos[%d] wrong hardware spec", i)
+		}
+	}
+}
+
+func TestCabinetAt(t *testing.T) {
+	c := CabinetAt(24, 7)
+	if c.String() != "c7-24" {
+		t.Fatalf("CabinetAt(24,7) = %s", c)
+	}
+	if got := len(c.Nodes()); got != NodesPerCabinet {
+		t.Fatalf("cabinet has %d nodes", got)
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	for lv, want := range map[Level]string{
+		LevelCabinet: "cabinet", LevelCage: "cage", LevelBlade: "blade", LevelNode: "node",
+	} {
+		if lv.String() != want {
+			t.Errorf("Level(%d).String() = %q, want %q", int(lv), lv.String(), want)
+		}
+	}
+	if Level(99).String() != "Level(99)" {
+		t.Errorf("unknown level formatting wrong")
+	}
+}
