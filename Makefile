@@ -1,0 +1,29 @@
+# CI entry points. `make ci` is what a clean checkout must pass:
+# vet + build + full test suite under the race detector (the scan
+# planner, result cache, and store are all concurrent).
+
+GO ?= go
+
+.PHONY: ci vet build test race bench fmt-check
+
+ci: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Serial vs partition-parallel scan comparison for the big-data ops.
+bench:
+	$(GO) test -run XXX -bench 'BenchmarkScan(Serial|Parallel)' -benchmem .
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" $$out; exit 1; fi

@@ -80,7 +80,7 @@ func benchCorpusConfig() logs.Config {
 	return cfg
 }
 
-func getFixture(b *testing.B) *benchFixture {
+func getFixture(b testing.TB) *benchFixture {
 	b.Helper()
 	fixOnce.Do(func() {
 		cfg := benchCorpusConfig()

@@ -1,0 +1,3 @@
+module hpclog
+
+go 1.23

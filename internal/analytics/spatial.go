@@ -1,7 +1,6 @@
 package analytics
 
 import (
-	"fmt"
 	"sort"
 	"time"
 
@@ -52,33 +51,9 @@ func (h *HeatMap) HotCabinets(factor float64) []topology.Component {
 }
 
 // Heatmap computes the cabinet-level heat map of one event type over
-// [from, to) as a distributed aggregation job.
+// [from, to) on the partition-parallel streaming scan path.
 func Heatmap(eng *compute.Engine, db *store.DB, typ model.EventType, from, to time.Time) (*HeatMap, error) {
-	events := EventsByType(eng, db, typ, from, to)
-	pairs := compute.Map(events, func(e model.Event) compute.Pair[int, int] {
-		loc, err := topology.ParseCName(e.Source)
-		if err != nil {
-			return compute.Pair[int, int]{Key: -1, Val: e.Count}
-		}
-		return compute.Pair[int, int]{Key: loc.Cabinet(), Val: e.Count}
-	})
-	counts, err := compute.CollectMap(compute.ReduceByKey(pairs, 0, func(a, b int) int { return a + b }))
-	if err != nil {
-		return nil, err
-	}
-	hm := &HeatMap{Type: typ, From: from, To: to}
-	for cab, n := range counts {
-		if cab < 0 || cab >= topology.Cabinets {
-			continue // non-compute sources (servers) have no floor position
-		}
-		r, c := cab/topology.Cols, cab%topology.Cols
-		hm.Counts[r][c] = n
-		hm.Total += n
-		if n > hm.Max {
-			hm.Max = n
-		}
-	}
-	return hm, nil
+	return HeatmapScan(eng, db, typ, from, to, ScanConfig{})
 }
 
 // Bucket is one bar of a distribution.
@@ -89,22 +64,9 @@ type Bucket struct {
 
 // DistributionBy computes event occurrence distributions "over cabinets,
 // blades, nodes" (Fig 5) at the requested granularity, sorted by
-// descending count.
+// descending count, on the streaming scan path.
 func DistributionBy(eng *compute.Engine, db *store.DB, typ model.EventType, from, to time.Time, level topology.Level) ([]Bucket, error) {
-	events := EventsByType(eng, db, typ, from, to)
-	pairs := compute.Map(events, func(e model.Event) compute.Pair[string, int] {
-		loc, err := topology.ParseCName(e.Source)
-		if err != nil {
-			return compute.Pair[string, int]{Key: e.Source, Val: e.Count}
-		}
-		comp := topology.Component{Level: level, Loc: truncateLoc(loc, level)}
-		return compute.Pair[string, int]{Key: comp.String(), Val: e.Count}
-	})
-	counts, err := compute.CollectMap(compute.ReduceByKey(pairs, 0, func(a, b int) int { return a + b }))
-	if err != nil {
-		return nil, err
-	}
-	return sortBuckets(counts), nil
+	return DistributionByScan(eng, db, typ, from, to, level, ScanConfig{})
 }
 
 func truncateLoc(l topology.Location, level topology.Level) topology.Location {
@@ -123,36 +85,9 @@ func truncateLoc(l topology.Location, level topology.Level) topology.Location {
 // DistributionByApp attributes event occurrences to the applications that
 // were running on the reporting node at the reporting time (Fig 5's
 // per-application distribution), returning descending buckets keyed by
-// application name.
+// application name, on the streaming scan path.
 func DistributionByApp(eng *compute.Engine, db *store.DB, typ model.EventType, from, to time.Time) ([]Bucket, error) {
-	runs, err := RunsIn(db, from, to, 24*time.Hour)
-	if err != nil {
-		return nil, err
-	}
-	type span struct {
-		start, end time.Time
-		app        string
-	}
-	byNode := make(map[string][]span)
-	for _, r := range runs {
-		for _, n := range r.Nodes {
-			byNode[n] = append(byNode[n], span{r.Start, r.End, r.App})
-		}
-	}
-	events := EventsByType(eng, db, typ, from, to)
-	pairs := compute.FlatMap(events, func(e model.Event) []compute.Pair[string, int] {
-		for _, s := range byNode[e.Source] {
-			if !e.Time.Before(s.start) && e.Time.Before(s.end) {
-				return []compute.Pair[string, int]{{Key: s.app, Val: e.Count}}
-			}
-		}
-		return []compute.Pair[string, int]{{Key: "(idle)", Val: e.Count}}
-	})
-	counts, err := compute.CollectMap(compute.ReduceByKey(pairs, 0, func(a, b int) int { return a + b }))
-	if err != nil {
-		return nil, err
-	}
-	return sortBuckets(counts), nil
+	return DistributionByAppScan(eng, db, typ, from, to, ScanConfig{})
 }
 
 func sortBuckets(counts map[string]int) []Bucket {
@@ -189,42 +124,15 @@ func Placement(db *store.DB, at time.Time) (map[string]string, error) {
 }
 
 // EventSites lists, for one event type and instant (to the second), the
-// nodes reporting it (Fig 6-top), with occurrence counts.
+// nodes reporting it (Fig 6-top), with occurrence counts, on the
+// streaming scan path.
 func EventSites(eng *compute.Engine, db *store.DB, typ model.EventType, at time.Time) (map[string]int, error) {
-	events := EventsByType(eng, db, typ, at, at.Add(time.Second))
-	pairs := compute.Map(events, func(e model.Event) compute.Pair[string, int] {
-		return compute.Pair[string, int]{Key: e.Source, Val: e.Count}
-	})
-	return compute.CollectMap(compute.ReduceByKey(pairs, 0, func(a, b int) int { return a + b }))
+	return EventSitesScan(eng, db, typ, at, ScanConfig{})
 }
 
 // Histogram bins occurrences of one event type over [from, to) into
-// fixed-width bins — the temporal map's data (Fig 5-top).
+// fixed-width bins — the temporal map's data (Fig 5-top) — on the
+// streaming scan path.
 func Histogram(eng *compute.Engine, db *store.DB, typ model.EventType, from, to time.Time, bin time.Duration) ([]int, error) {
-	if bin <= 0 {
-		return nil, fmt.Errorf("analytics: non-positive bin %v", bin)
-	}
-	nbins := int(to.Sub(from) / bin)
-	if nbins < 1 {
-		return nil, fmt.Errorf("analytics: window %v shorter than bin %v", to.Sub(from), bin)
-	}
-	events := EventsByType(eng, db, typ, from, to)
-	pairs := compute.Map(events, func(e model.Event) compute.Pair[int, int] {
-		b := int(e.Time.Sub(from) / bin)
-		if b >= nbins {
-			b = nbins - 1
-		}
-		return compute.Pair[int, int]{Key: b, Val: e.Count}
-	})
-	counts, err := compute.CollectMap(compute.ReduceByKey(pairs, 0, func(a, b int) int { return a + b }))
-	if err != nil {
-		return nil, err
-	}
-	hist := make([]int, nbins)
-	for b, n := range counts {
-		if b >= 0 && b < nbins {
-			hist[b] = n
-		}
-	}
-	return hist, nil
+	return HistogramScan(eng, db, typ, from, to, bin, ScanConfig{})
 }

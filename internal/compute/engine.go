@@ -73,6 +73,8 @@ type Stats struct {
 	LocalHits  int // tasks that ran on their preferred worker
 	RemoteRuns int // tasks with a preference that ran elsewhere
 	Retries    int
+	ScanTasks  int // partition scan tasks executed by the scan planner
+	ScanRows   int // rows streamed through the scan planner
 }
 
 // NewEngine creates an engine with the given configuration.

@@ -1,0 +1,221 @@
+package compute
+
+import (
+	"runtime"
+	"sync"
+)
+
+// The scan planner is the streaming execution path for the analytic
+// server's big-data operations. Where the Dataset API materializes every
+// partition before acting, a scan fans per-partition streaming tasks out
+// over a bounded worker pool and merges results in partition order, so
+// memory stays proportional to the fan-out window (StreamScan) or to the
+// aggregation state (ScanReduce) rather than to the scanned data.
+
+// ScanOptions parameterizes a partition-parallel scan.
+type ScanOptions struct {
+	// Parallelism bounds the number of scan tasks in flight; <= 0 means
+	// runtime.GOMAXPROCS(0), sizing the pool to the machine.
+	Parallelism int
+}
+
+func (o ScanOptions) parallelism() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ScanTask is one unit of a partition-parallel scan: typically one store
+// partition, or one clustering-key slice of a partition when finer-grained
+// parallelism is wanted. Run streams the task's items through yield; it
+// must stop and return yield's error as soon as yield fails.
+type ScanTask[T any] struct {
+	// Index is the task's position in the scan's global order; StreamScan
+	// emits batches in ascending Index order and ScanReduce merges
+	// accumulators in ascending Index order.
+	Index int
+	// Run streams the task's items.
+	Run func(yield func(T) error) error
+}
+
+// scanStats accumulates into the engine's counters.
+func (e *Engine) noteScan(tasks, rows int) {
+	e.statsMu.Lock()
+	e.stats.ScanTasks += tasks
+	e.stats.ScanRows += rows
+	e.statsMu.Unlock()
+}
+
+// StreamScan executes tasks on a bounded pool and delivers each task's
+// batch to emit in ascending task order (ordered merge). A task may run at
+// most `parallelism` positions ahead of the emit cursor, bounding buffered
+// results. emit runs on one goroutine at a time and must not be called
+// concurrently by the caller elsewhere. The first task or emit error
+// cancels the remaining work.
+func StreamScan[T any](eng *Engine, opts ScanOptions, tasks []ScanTask[T], emit func(index int, batch []T) error) error {
+	if len(tasks) == 0 {
+		return nil
+	}
+	par := opts.parallelism()
+	if par > len(tasks) {
+		par = len(tasks)
+	}
+
+	var (
+		mu       sync.Mutex
+		cond     = sync.NewCond(&mu)
+		nextRun  int // next task position to claim
+		nextEmit int // next task position to hand to emit
+		ready    = make(map[int][]T, par)
+		firstErr error
+		rows     int
+		done     int // tasks that ran to completion
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		cond.Broadcast()
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				// Claim the next task, but stay within the look-ahead
+				// window so buffered batches stay bounded.
+				for firstErr == nil && nextRun < len(tasks) && nextRun >= nextEmit+par {
+					cond.Wait()
+				}
+				if firstErr != nil || nextRun >= len(tasks) {
+					mu.Unlock()
+					return
+				}
+				pos := nextRun
+				nextRun++
+				mu.Unlock()
+
+				var batch []T
+				err := safeRun(func() error {
+					return tasks[pos].Run(func(v T) error {
+						batch = append(batch, v)
+						return nil
+					})
+				})
+				if err != nil {
+					fail(err)
+					return
+				}
+
+				mu.Lock()
+				ready[pos] = batch
+				rows += len(batch)
+				done++
+				// Drain every consecutive ready batch from the emit
+				// cursor. Only the worker observing pos == nextEmit
+				// drains, so emit is serialized.
+				for firstErr == nil {
+					b, ok := ready[nextEmit]
+					if !ok {
+						break
+					}
+					delete(ready, nextEmit)
+					at := nextEmit
+					mu.Unlock()
+					if err := emit(at, b); err != nil {
+						fail(err)
+						return
+					}
+					mu.Lock()
+					nextEmit++
+					cond.Broadcast()
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	eng.noteScan(done, rows)
+	mu.Lock()
+	defer mu.Unlock()
+	return firstErr
+}
+
+// ScanReduce executes tasks on a bounded pool, folding each task's stream
+// into its own accumulator, then merges the accumulators in ascending task
+// order. Aggregation state is the only memory the scan holds, so this is
+// the preferred path for heat maps, histograms, distributions, and word
+// counts. The in-order merge makes results deterministic even when the
+// merge operation is not commutative.
+func ScanReduce[T, A any](eng *Engine, opts ScanOptions, tasks []ScanTask[T], newAcc func() A, fold func(A, T) A, merge func(A, A) A) (A, error) {
+	out := newAcc()
+	if len(tasks) == 0 {
+		return out, nil
+	}
+	par := opts.parallelism()
+	if par > len(tasks) {
+		par = len(tasks)
+	}
+	var (
+		mu       sync.Mutex
+		next     int
+		firstErr error
+		rows     int
+		done     int
+	)
+	accs := make([]A, len(tasks))
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if firstErr != nil || next >= len(tasks) {
+					mu.Unlock()
+					return
+				}
+				pos := next
+				next++
+				mu.Unlock()
+
+				acc := newAcc()
+				n := 0
+				err := safeRun(func() error {
+					return tasks[pos].Run(func(v T) error {
+						acc = fold(acc, v)
+						n++
+						return nil
+					})
+				})
+				mu.Lock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				accs[pos] = acc
+				rows += n
+				done++
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	eng.noteScan(done, rows)
+	if firstErr != nil {
+		return out, firstErr
+	}
+	for _, a := range accs {
+		out = merge(out, a)
+	}
+	return out, nil
+}

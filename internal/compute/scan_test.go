@@ -1,0 +1,181 @@
+package compute
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func rangeTasks(n, perTask int) []ScanTask[int] {
+	tasks := make([]ScanTask[int], n)
+	for i := 0; i < n; i++ {
+		i := i
+		tasks[i] = ScanTask[int]{
+			Index: i,
+			Run: func(yield func(int) error) error {
+				for j := 0; j < perTask; j++ {
+					if err := yield(i*perTask + j); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+		}
+	}
+	return tasks
+}
+
+func TestStreamScanOrdered(t *testing.T) {
+	eng := NewEngine(Config{})
+	for _, par := range []int{1, 2, 4, 16} {
+		var got []int
+		lastIndex := -1
+		err := StreamScan(eng, ScanOptions{Parallelism: par}, rangeTasks(23, 7),
+			func(index int, batch []int) error {
+				if index != lastIndex+1 {
+					t.Fatalf("par=%d: emit out of order: %d after %d", par, index, lastIndex)
+				}
+				lastIndex = index
+				got = append(got, batch...)
+				return nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 23*7 {
+			t.Fatalf("par=%d: got %d items, want %d", par, len(got), 23*7)
+		}
+		for i, v := range got {
+			if v != i {
+				t.Fatalf("par=%d: item %d = %d, out of global order", par, i, v)
+			}
+		}
+	}
+}
+
+func TestStreamScanTaskError(t *testing.T) {
+	eng := NewEngine(Config{})
+	boom := errors.New("boom")
+	tasks := rangeTasks(10, 3)
+	tasks[4].Run = func(func(int) error) error { return boom }
+	err := StreamScan(eng, ScanOptions{Parallelism: 4}, tasks,
+		func(int, []int) error { return nil })
+	if !errors.Is(err, boom) {
+		t.Fatalf("want boom, got %v", err)
+	}
+}
+
+func TestStreamScanEmitError(t *testing.T) {
+	eng := NewEngine(Config{})
+	boom := errors.New("emit boom")
+	err := StreamScan(eng, ScanOptions{Parallelism: 4}, rangeTasks(10, 3),
+		func(index int, _ []int) error {
+			if index == 2 {
+				return boom
+			}
+			return nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("want emit boom, got %v", err)
+	}
+}
+
+func TestStreamScanPanicRecovered(t *testing.T) {
+	eng := NewEngine(Config{})
+	tasks := rangeTasks(4, 2)
+	tasks[1].Run = func(func(int) error) error { panic("bad record") }
+	err := StreamScan(eng, ScanOptions{Parallelism: 2}, tasks,
+		func(int, []int) error { return nil })
+	if err == nil {
+		t.Fatal("expected panic to surface as error")
+	}
+}
+
+func TestStreamScanBoundedLookahead(t *testing.T) {
+	eng := NewEngine(Config{})
+	const par = 3
+	var inFlight, maxInFlight atomic.Int32
+	tasks := make([]ScanTask[int], 20)
+	for i := range tasks {
+		tasks[i] = ScanTask[int]{
+			Index: i,
+			Run: func(yield func(int) error) error {
+				v := inFlight.Add(1)
+				for {
+					m := maxInFlight.Load()
+					if v <= m || maxInFlight.CompareAndSwap(m, v) {
+						break
+					}
+				}
+				defer inFlight.Add(-1)
+				return yield(0)
+			},
+		}
+	}
+	if err := StreamScan(eng, ScanOptions{Parallelism: par}, tasks,
+		func(int, []int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if m := maxInFlight.Load(); m > par {
+		t.Fatalf("observed %d concurrent tasks, pool bound is %d", m, par)
+	}
+}
+
+func TestScanReduceDeterministicOrder(t *testing.T) {
+	eng := NewEngine(Config{})
+	// A non-commutative merge (string concatenation) must still produce
+	// the task-order result at any parallelism.
+	tasks := make([]ScanTask[string], 12)
+	for i := range tasks {
+		i := i
+		tasks[i] = ScanTask[string]{
+			Index: i,
+			Run: func(yield func(string) error) error {
+				return yield(fmt.Sprintf("<%d>", i))
+			},
+		}
+	}
+	want := ""
+	for i := range tasks {
+		want += fmt.Sprintf("<%d>", i)
+	}
+	for _, par := range []int{1, 3, 12} {
+		got, err := ScanReduce(eng, ScanOptions{Parallelism: par}, tasks,
+			func() string { return "" },
+			func(a string, v string) string { return a + v },
+			func(a, b string) string { return a + b })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("par=%d: got %q want %q", par, got, want)
+		}
+	}
+}
+
+func TestScanReduceError(t *testing.T) {
+	eng := NewEngine(Config{})
+	boom := errors.New("fold boom")
+	tasks := rangeTasks(8, 4)
+	tasks[6].Run = func(func(int) error) error { return boom }
+	_, err := ScanReduce(eng, ScanOptions{Parallelism: 4}, tasks,
+		func() int { return 0 },
+		func(a, v int) int { return a + v },
+		func(a, b int) int { return a + b })
+	if !errors.Is(err, boom) {
+		t.Fatalf("want fold boom, got %v", err)
+	}
+}
+
+func TestScanStatsCounted(t *testing.T) {
+	eng := NewEngine(Config{})
+	if err := StreamScan(eng, ScanOptions{}, rangeTasks(5, 10),
+		func(int, []int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	st := eng.Stats()
+	if st.ScanTasks != 5 || st.ScanRows != 50 {
+		t.Fatalf("scan stats = %+v, want 5 tasks / 50 rows", st)
+	}
+}

@@ -85,11 +85,17 @@ func New(opts Options) (*Framework, error) {
 	}
 	eng := compute.NewEngine(compute.Config{Workers: db.NodeIDs(), Threads: opts.Threads})
 	loader := &ingest.Loader{DB: db, CL: opts.Consistency}
+	q := query.New(db, eng)
+	// Ingest-driven cache invalidation: any write through the loader
+	// (batch ETL, streaming, snapshot restore helpers) eagerly drops
+	// cached big-data results. The store's generation counter already
+	// fences staleness; the hook just frees dead entries immediately.
+	loader.OnWrite = func(string) { q.InvalidateCache() }
 	return &Framework{
 		DB:      db,
 		Compute: eng,
 		Broker:  bus.NewBroker(),
-		Query:   query.New(db, eng),
+		Query:   q,
 		Loader:  loader,
 		opts:    opts,
 	}, nil

@@ -1,0 +1,54 @@
+package enginetest
+
+import (
+	"testing"
+
+	"hpclog/internal/query"
+)
+
+// TestEngineCorpus runs every case of the engine-test table through both
+// execution paths: directly against the serial query.Engine and over the
+// wire through the analytic server backed by the partition-parallel
+// engine. The harness asserts the two results byte-for-byte identical
+// before each case's expectation runs.
+func TestEngineCorpus(t *testing.T) {
+	h := New(t)
+	for _, c := range Cases(h) {
+		t.Run(c.Name, func(t *testing.T) {
+			h.Run(t, c)
+		})
+	}
+}
+
+// TestEveryOpCovered fails when a query.Op has no case in the table, so
+// new operations cannot ship without engine-test coverage.
+func TestEveryOpCovered(t *testing.T) {
+	h := New(t)
+	covered := opsCovered(Cases(h))
+	for _, op := range query.AllOps() {
+		if !covered[op] {
+			t.Errorf("query.Op %q has no engine-test case; add one to Cases in cases.go", op)
+		}
+	}
+}
+
+// TestErrorParity checks that invalid requests fail identically on both
+// paths: the wire layer must not mask or reshape engine errors.
+func TestErrorParity(t *testing.T) {
+	h := New(t)
+	bad := []query.Request{
+		{Op: "no_such_op"},
+		{Op: query.OpHeatmap}, // missing event type
+		{Op: query.OpHeatmap, Context: query.Context{EventType: "MCE"}}, // empty window
+		{Op: query.OpTE, Context: query.Context{EventType: "MCE"}},      // missing second type
+		{Op: query.OpDistribution, Context: query.Context{EventType: "MCE", From: 1, To: 2}, Level: "galaxy"},
+	}
+	for _, req := range bad {
+		if _, err := h.Serial.Execute(req); err == nil {
+			t.Fatalf("direct path accepted invalid request %+v", req)
+		}
+		if _, err := h.HTTP(req); err == nil {
+			t.Fatalf("wire path accepted invalid request %+v", req)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+// Package enginetest is the harnessed engine-test corpus for the query
+// engine, in the style of go-mysql-server's enginetest: a deterministic
+// seeded corpus, a table of request→expected-result cases covering every
+// query.Op, and a runner that executes each case twice — directly against
+// query.Engine and over the wire through internal/server — asserting the
+// two byte-for-byte identical.
+//
+// The direct path runs a serial engine (scan parallelism 1) and the HTTP
+// path a partition-parallel one, so a green run simultaneously proves
+// (a) the serial and parallel scan paths compute identical results and
+// (b) nothing is lost or reshaped crossing the JSON wire.
+//
+// To add a case for a new operation, append to Cases in cases.go; the
+// TestEveryOpCovered meta-test fails until every query.Op has at least
+// one case.
+package enginetest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"hpclog/internal/compute"
+	"hpclog/internal/ingest"
+	"hpclog/internal/logs"
+	"hpclog/internal/model"
+	"hpclog/internal/query"
+	"hpclog/internal/server"
+	"hpclog/internal/store"
+	"hpclog/internal/topology"
+)
+
+// Harness is one fully loaded engine-test stack: a seeded corpus in a
+// small store cluster, a serial query engine for the direct path, and a
+// partition-parallel engine behind an HTTP test server for the wire path.
+type Harness struct {
+	Cfg    logs.Config
+	Corpus *logs.Corpus
+	DB     *store.DB
+	Comp   *compute.Engine
+	// Serial executes the direct path with scan parallelism 1.
+	Serial *query.Engine
+	// Parallel executes behind the HTTP server with default parallelism.
+	Parallel *query.Engine
+	// TS is the wire-path test server.
+	TS *httptest.Server
+}
+
+// corpusConfig is the engine-test corpus: four cabinets over three hours
+// with an MCE hotspot at cabinet c2-0, a Lustre storm pinned to one OST,
+// and Lustre→AppAbort causal coupling — one corpus in which every
+// operation has a non-trivial, assertable answer.
+func corpusConfig() logs.Config {
+	cfg := logs.DefaultConfig()
+	cfg.Nodes = 4 * topology.NodesPerCabinet // cabinets c0-0 .. c3-0
+	cfg.Duration = 3 * time.Hour
+	cfg.BaseRates[model.Lustre] = 0.5
+	cfg.Causal = []logs.CausalRule{{
+		Cause:  model.Lustre,
+		Effect: model.AppAbort,
+		Prob:   0.3,
+		Lag:    30 * time.Second,
+		Jitter: 20 * time.Second,
+	}}
+	cfg.Hotspots = []logs.Hotspot{{Component: topology.CabinetAt(0, 2), Type: model.MCE, Multiplier: 50}}
+	cfg.Storms = []logs.Storm{{
+		Type:         model.Lustre,
+		Start:        cfg.Start.Add(90 * time.Minute),
+		Duration:     4 * time.Minute,
+		NodeFraction: 0.6,
+		EventsPerSec: 40,
+		Attrs: map[string]string{
+			"ost": "OST0012", "op": "ost_read", "errno": "-110",
+			"peer": "10.36.226.77@o2ib",
+		},
+	}}
+	cfg.Jobs.MaxNodes = 64
+	return cfg
+}
+
+// New builds a harness. Result caching is disabled on both engines so the
+// direct/wire comparison exercises two genuinely independent executions.
+func New(tb testing.TB) *Harness {
+	tb.Helper()
+	cfg := corpusConfig()
+	corpus := logs.Generate(cfg)
+	db := store.Open(store.Config{Nodes: 8, RF: 2, VNodes: 32, FlushThreshold: 2048})
+	if err := ingest.Bootstrap(db, cfg.Nodes); err != nil {
+		tb.Fatal(err)
+	}
+	loader := ingest.NewLoader(db)
+	if err := loader.LoadEvents(corpus.Events); err != nil {
+		tb.Fatal(err)
+	}
+	if err := loader.LoadRuns(corpus.Runs); err != nil {
+		tb.Fatal(err)
+	}
+	eng := compute.NewEngine(compute.Config{Workers: db.NodeIDs(), Threads: 2})
+	if err := ingest.RefreshSynopsis(eng, db, model.HoursIn(cfg.Start, cfg.Start.Add(cfg.Duration)), store.Quorum); err != nil {
+		tb.Fatal(err)
+	}
+	h := &Harness{
+		Cfg: cfg, Corpus: corpus, DB: db, Comp: eng,
+		Serial:   query.NewWithOptions(db, eng, query.Options{Parallelism: 1, CacheSize: -1}),
+		Parallel: query.NewWithOptions(db, eng, query.Options{CacheSize: -1}),
+	}
+	h.TS = httptest.NewServer(server.New(h.Parallel, db, eng))
+	tb.Cleanup(h.TS.Close)
+	return h
+}
+
+// Window returns the corpus time window.
+func (h *Harness) Window() (time.Time, time.Time) {
+	return h.Cfg.Start, h.Cfg.Start.Add(h.Cfg.Duration)
+}
+
+// Direct executes a request on the serial engine and returns the result
+// marshaled to canonical JSON.
+func (h *Harness) Direct(req query.Request) (json.RawMessage, error) {
+	res, err := h.Serial.Execute(req)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(res)
+}
+
+// HTTP executes a request over the wire through the analytic server and
+// returns the raw result JSON.
+func (h *Harness) HTTP(req query.Request) (json.RawMessage, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.Post(h.TS.URL+"/api/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var envelope server.Response
+	if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil {
+		return nil, err
+	}
+	if !envelope.OK {
+		return nil, fmt.Errorf("enginetest: wire query failed (HTTP %d): %s", resp.StatusCode, envelope.Error)
+	}
+	return envelope.Result, nil
+}
+
+// Run executes one case on both paths, asserts the results byte-for-byte
+// identical, runs the case's check against the wire result, and returns
+// the result for further inspection.
+func (h *Harness) Run(t *testing.T, c Case) json.RawMessage {
+	t.Helper()
+	direct, err := h.Direct(c.Req)
+	if err != nil {
+		t.Fatalf("direct execution: %v", err)
+	}
+	wire, err := h.HTTP(c.Req)
+	if err != nil {
+		t.Fatalf("wire execution: %v", err)
+	}
+	if !bytes.Equal(direct, wire) {
+		t.Fatalf("direct (serial) and wire (parallel) results differ:\ndirect: %.300s\nwire:   %.300s",
+			direct, wire)
+	}
+	if c.Check != nil {
+		c.Check(t, h, wire)
+	}
+	return wire
+}

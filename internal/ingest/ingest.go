@@ -25,6 +25,25 @@ type Loader struct {
 	DB *store.DB
 	// CL is the write consistency level (default Quorum).
 	CL store.Consistency
+	// OnWrite, when set, is invoked once per table a Load call wrote to,
+	// after the rows are durable. It is the ingest-driven invalidation
+	// hook: the analytic server subscribes its big-data result cache here
+	// (query.Engine.InvalidateCache). Correctness does not depend on it —
+	// every write already advances store.DB.Generation, which fences
+	// stale cache entries at their next lookup — but the hook releases
+	// the memory of known-stale entries eagerly instead of letting them
+	// age out of the LRU.
+	OnWrite func(table string)
+}
+
+// notify fires the OnWrite hook for each table written.
+func (l *Loader) notify(tables ...string) {
+	if l.OnWrite == nil {
+		return
+	}
+	for _, t := range tables {
+		l.OnWrite(t)
+	}
 }
 
 // NewLoader returns a loader writing at Quorum.
@@ -71,6 +90,7 @@ func (l *Loader) LoadNodeInfos(n int) error {
 			return err
 		}
 	}
+	l.notify(model.TableNodeInfos)
 	return nil
 }
 
@@ -84,7 +104,11 @@ func (l *Loader) LoadEventTypes() error {
 			Columns: map[string]string{"description": model.TypeDescriptions[et]},
 		})
 	}
-	return l.DB.PutBatch(model.TableEventTypes, "all", rows, l.CL)
+	if err := l.DB.PutBatch(model.TableEventTypes, "all", rows, l.CL); err != nil {
+		return err
+	}
+	l.notify(model.TableEventTypes)
+	return nil
 }
 
 // LoadEvents writes events into both event tables (the dual schemas of
@@ -108,6 +132,9 @@ func (l *Loader) LoadEvents(events []model.Event) error {
 			return err
 		}
 	}
+	if len(events) > 0 {
+		l.notify(model.TableEventByTime, model.TableEventByLoc)
+	}
 	return nil
 }
 
@@ -128,6 +155,9 @@ func (l *Loader) LoadRuns(runs []model.AppRun) error {
 		if err := l.DB.PutBatch(bk.table, bk.pkey, rows, l.CL); err != nil {
 			return err
 		}
+	}
+	if len(runs) > 0 {
+		l.notify(model.TableAppByTime, model.TableAppByLoc, model.TableAppByUser)
 	}
 	return nil
 }

@@ -23,19 +23,9 @@ const (
 	OpReliability Op = "reliability" // big data: failure interarrival stats
 )
 
-// executeExtension routes the Section V operations; it returns handled ==
-// false for ops it does not know.
-func (q *Engine) executeExtension(req Request) (any, bool, error) {
-	switch req.Op {
-	case OpRules, OpSequences, OpEpisodes, OpProfiles, OpRunReport, OpReliability:
-		q.bigdata.Add(1)
-	default:
-		return nil, false, nil
-	}
-	res, err := q.runExtension(req)
-	return res, true, err
-}
-
+// runExtension executes the Section V operations. Routing, caching, and
+// metrics are handled by Execute; event collection rides the streaming
+// scan path like every other big-data operation.
 func (q *Engine) runExtension(req Request) (any, error) {
 	from, to, err := req.window()
 	if err != nil {
@@ -43,13 +33,13 @@ func (q *Engine) runExtension(req Request) (any, error) {
 	}
 	switch req.Op {
 	case OpRules:
-		events, err := analytics.EventsAllTypes(q.compute, q.db, from, to).Collect()
+		events, err := analytics.EventsAllTypesScan(q.compute, q.db, from, to, q.scanCfg())
 		if err != nil {
 			return nil, err
 		}
 		return mining.MineRules(events, req.bin(), 0.01, 0.2)
 	case OpSequences:
-		events, err := analytics.EventsAllTypes(q.compute, q.db, from, to).Collect()
+		events, err := analytics.EventsAllTypesScan(q.compute, q.db, from, to, q.scanCfg())
 		if err != nil {
 			return nil, err
 		}
@@ -59,7 +49,7 @@ func (q *Engine) runExtension(req Request) (any, error) {
 		if err != nil {
 			return nil, err
 		}
-		events, err := analytics.EventsByType(q.compute, q.db, typ, from, to).Collect()
+		events, err := analytics.EventsByTypeScan(q.compute, q.db, typ, from, to, q.scanCfg())
 		if err != nil {
 			return nil, err
 		}
@@ -76,7 +66,7 @@ func (q *Engine) runExtension(req Request) (any, error) {
 	case OpRunReport:
 		return q.runReport(req, from, to)
 	case OpReliability:
-		events, err := analytics.EventsAllTypes(q.compute, q.db, from, to).Collect()
+		events, err := analytics.EventsAllTypesScan(q.compute, q.db, from, to, q.scanCfg())
 		if err != nil {
 			return nil, err
 		}
@@ -100,7 +90,7 @@ func (q *Engine) runExtension(req Request) (any, error) {
 }
 
 func (q *Engine) buildProfiles(from, to time.Time) (map[string]*profile.Profile, error) {
-	events, err := analytics.EventsAllTypes(q.compute, q.db, from, to).Collect()
+	events, err := analytics.EventsAllTypesScan(q.compute, q.db, from, to, q.scanCfg())
 	if err != nil {
 		return nil, err
 	}
@@ -127,7 +117,7 @@ func (q *Engine) runReport(req Request, from, to time.Time) (any, error) {
 	if err != nil {
 		return nil, err
 	}
-	events, err := analytics.EventsAllTypes(q.compute, q.db, from, to).Collect()
+	events, err := analytics.EventsAllTypesScan(q.compute, q.db, from, to, q.scanCfg())
 	if err != nil {
 		return nil, err
 	}

@@ -7,9 +7,11 @@
 package query
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -80,24 +82,135 @@ type Stats struct {
 	BigData int64
 }
 
+// Options tunes the engine's partition-parallel execution and result
+// caching. The zero value selects sensible defaults.
+type Options struct {
+	// Parallelism bounds concurrent scan tasks for big-data operations;
+	// <= 0 means GOMAXPROCS.
+	Parallelism int
+	// SliceSeconds is the clustering-key time-slice width used to split
+	// hour partitions into finer scan tasks; <= 0 means 900 (15 minutes).
+	SliceSeconds int
+	// CacheSize is the big-data result cache capacity in entries; 0 means
+	// 256, negative disables caching.
+	CacheSize int
+}
+
+func (o Options) withDefaults() Options {
+	if o.SliceSeconds <= 0 {
+		o.SliceSeconds = 900
+	}
+	if o.CacheSize == 0 {
+		o.CacheSize = 256
+	}
+	return o
+}
+
 // Engine is the query processing engine.
 type Engine struct {
 	db      *store.DB
 	compute *compute.Engine
+	opts    Options
+	cache   *resultCache
 
 	simple  atomic.Int64
 	bigdata atomic.Int64
+
+	opMu sync.Mutex
+	ops  map[Op]*opCounter
 }
 
 // New creates a query engine over the backend database and the big data
-// processing unit.
+// processing unit with default Options.
 func New(db *store.DB, eng *compute.Engine) *Engine {
-	return &Engine{db: db, compute: eng}
+	return NewWithOptions(db, eng, Options{})
+}
+
+// NewWithOptions creates a query engine with explicit execution options.
+func NewWithOptions(db *store.DB, eng *compute.Engine, opts Options) *Engine {
+	opts = opts.withDefaults()
+	return &Engine{
+		db: db, compute: eng, opts: opts,
+		cache: newResultCache(opts.CacheSize),
+		ops:   make(map[Op]*opCounter),
+	}
 }
 
 // Stats returns how many queries each routing class has served.
 func (q *Engine) Stats() Stats {
 	return Stats{Simple: q.simple.Load(), BigData: q.bigdata.Load()}
+}
+
+// scanCfg is the streaming-scan configuration the engine plans big-data
+// operations with.
+func (q *Engine) scanCfg() analytics.ScanConfig {
+	return analytics.ScanConfig{
+		Parallelism: q.opts.Parallelism,
+		Slice:       time.Duration(q.opts.SliceSeconds) * time.Second,
+	}
+}
+
+// InvalidateCache drops every cached big-data result. Ingest pipelines
+// call this through ingest.Loader.OnWrite; it is also safe to call at any
+// time (stale entries are additionally fenced by store generations).
+func (q *Engine) InvalidateCache() { q.cache.clear() }
+
+// CacheStats returns a snapshot of result-cache counters.
+func (q *Engine) CacheStats() CacheStats { return q.cache.stats() }
+
+// opCounter accumulates per-operation execution counters.
+type opCounter struct {
+	count     atomic.Int64
+	micros    atomic.Int64
+	cacheHits atomic.Int64
+}
+
+// OpMetric is a per-operation latency/cache snapshot, surfaced through
+// the analytic server's stats endpoint.
+type OpMetric struct {
+	Count       int64 `json:"count"`
+	TotalMicros int64 `json:"total_micros"`
+	AvgMicros   int64 `json:"avg_micros"`
+	CacheHits   int64 `json:"cache_hits"`
+}
+
+func (q *Engine) counter(op Op) *opCounter {
+	q.opMu.Lock()
+	defer q.opMu.Unlock()
+	c := q.ops[op]
+	if c == nil {
+		c = &opCounter{}
+		q.ops[op] = c
+	}
+	return c
+}
+
+func (q *Engine) note(op Op, elapsed time.Duration, cacheHit bool) {
+	c := q.counter(op)
+	c.count.Add(1)
+	c.micros.Add(elapsed.Microseconds())
+	if cacheHit {
+		c.cacheHits.Add(1)
+	}
+}
+
+// Metrics returns per-operation counters keyed by operation name.
+func (q *Engine) Metrics() map[string]OpMetric {
+	q.opMu.Lock()
+	defer q.opMu.Unlock()
+	out := make(map[string]OpMetric, len(q.ops))
+	for op, c := range q.ops {
+		m := OpMetric{
+			Count:       c.count.Load(),
+			TotalMicros: c.micros.Load(),
+			CacheHits:   c.cacheHits.Load(),
+		}
+		if m.Count > 0 {
+			m.AvgMicros = m.TotalMicros / m.Count
+		}
+		out[string(op)] = m
+	}
+	return out
 }
 
 // EventRecord is the JSON shape of one event in query results.
@@ -121,20 +234,81 @@ type RunRecord struct {
 	ExitOK bool     `json:"exit_ok"`
 }
 
-// Execute runs one request and returns a JSON-serializable result.
-func (q *Engine) Execute(req Request) (any, error) {
-	if res, handled, err := q.executeExtension(req); handled {
-		return res, err
+// opClass maps every supported operation to its routing class:
+// true routes to the big data processing unit (partition-parallel scan,
+// result cache), false is served directly from the store.
+var opClass = map[Op]bool{
+	OpEvents: false, OpRuns: false, OpSynopsis: false, OpNodeInfo: false,
+	OpTypes: false, OpPlacement: false,
+	OpHeatmap: true, OpDistribution: true, OpHistogram: true, OpTE: true,
+	OpWordCount: true, OpTFIDF: true, OpSites: true,
+	OpRules: true, OpSequences: true, OpEpisodes: true,
+	OpProfiles: true, OpRunReport: true, OpReliability: true,
+}
+
+// AllOps lists every operation the engine supports, sorted. The
+// engine-test corpus uses it to prove each op has coverage.
+func AllOps() []Op {
+	ops := make([]Op, 0, len(opClass))
+	for op := range opClass {
+		ops = append(ops, op)
 	}
-	switch req.Op {
-	case OpEvents, OpRuns, OpSynopsis, OpNodeInfo, OpTypes, OpPlacement:
-		q.simple.Add(1)
-	case OpHeatmap, OpDistribution, OpHistogram, OpTE, OpWordCount, OpTFIDF, OpSites:
-		q.bigdata.Add(1)
-	default:
+	sort.Slice(ops, func(i, j int) bool { return ops[i] < ops[j] })
+	return ops
+}
+
+// IsBigData reports whether an operation routes to the big data
+// processing unit (and therefore through the scan planner and result
+// cache).
+func IsBigData(op Op) bool { return opClass[op] }
+
+// cacheKey canonically encodes a request for the result cache. Request is
+// a flat struct, so its JSON encoding is deterministic.
+func cacheKey(req Request) string {
+	b, err := json.Marshal(req)
+	if err != nil {
+		return fmt.Sprintf("%+v", req)
+	}
+	return string(b)
+}
+
+// Execute runs one request and returns a JSON-serializable result.
+// Big-data operations are planned as partition-parallel streaming scans
+// and their results cached keyed on (op, context, parameters); cached
+// values are invalidated whenever the store's generation advances (every
+// ingest write does). Cached results are shared — callers must not mutate
+// what Execute returns.
+func (q *Engine) Execute(req Request) (any, error) {
+	bigdata, known := opClass[req.Op]
+	if !known {
 		return nil, fmt.Errorf("query: unknown op %q", req.Op)
 	}
+	started := time.Now()
+	if !bigdata {
+		q.simple.Add(1)
+		res, err := q.dispatch(req)
+		q.note(req.Op, time.Since(started), false)
+		return res, err
+	}
+	q.bigdata.Add(1)
+	gen := q.db.Generation()
+	key := cacheKey(req)
+	if res, ok := q.cache.get(key, gen); ok {
+		q.note(req.Op, time.Since(started), true)
+		return res, nil
+	}
+	res, err := q.dispatch(req)
+	if err == nil && q.db.Generation() == gen {
+		// Only cache results whose input data provably did not change
+		// while the scan ran.
+		q.cache.put(key, gen, res)
+	}
+	q.note(req.Op, time.Since(started), false)
+	return res, err
+}
 
+// dispatch routes one request to its implementation.
+func (q *Engine) dispatch(req Request) (any, error) {
 	switch req.Op {
 	case OpTypes:
 		return q.types()
@@ -153,7 +327,7 @@ func (q *Engine) Execute(req Request) (any, error) {
 		if err != nil {
 			return nil, err
 		}
-		return analytics.EventSites(q.compute, q.db, typ, time.Unix(req.At, 0).UTC())
+		return analytics.EventSitesScan(q.compute, q.db, typ, time.Unix(req.At, 0).UTC(), q.scanCfg())
 	case OpHeatmap:
 		typ, err := req.eventType()
 		if err != nil {
@@ -163,7 +337,7 @@ func (q *Engine) Execute(req Request) (any, error) {
 		if err != nil {
 			return nil, err
 		}
-		return analytics.Heatmap(q.compute, q.db, typ, from, to)
+		return analytics.HeatmapScan(q.compute, q.db, typ, from, to, q.scanCfg())
 	case OpDistribution:
 		return q.distribution(req)
 	case OpHistogram:
@@ -175,13 +349,15 @@ func (q *Engine) Execute(req Request) (any, error) {
 		if err != nil {
 			return nil, err
 		}
-		return analytics.Histogram(q.compute, q.db, typ, from, to, req.bin())
+		return analytics.HistogramScan(q.compute, q.db, typ, from, to, req.bin(), q.scanCfg())
 	case OpTE:
 		return q.transferEntropy(req)
 	case OpWordCount:
 		return q.wordCount(req)
 	case OpTFIDF:
 		return q.tfidf(req)
+	case OpRules, OpSequences, OpEpisodes, OpProfiles, OpRunReport, OpReliability:
+		return q.runExtension(req)
 	}
 	panic("unreachable")
 }
@@ -270,7 +446,7 @@ func (q *Engine) events(req Request) ([]EventRecord, error) {
 	var events []model.Event
 	switch {
 	case req.Context.Source != "":
-		events, err = analytics.EventsBySource(q.compute, q.db, req.Context.Source, from, to).Collect()
+		events, err = analytics.EventsBySourceScan(q.compute, q.db, req.Context.Source, from, to, q.scanCfg())
 		if err != nil {
 			return nil, err
 		}
@@ -284,12 +460,12 @@ func (q *Engine) events(req Request) ([]EventRecord, error) {
 			events = filtered
 		}
 	case req.Context.EventType != "":
-		events, err = analytics.EventsByType(q.compute, q.db, model.EventType(req.Context.EventType), from, to).Collect()
+		events, err = analytics.EventsByTypeScan(q.compute, q.db, model.EventType(req.Context.EventType), from, to, q.scanCfg())
 		if err != nil {
 			return nil, err
 		}
 	default:
-		events, err = analytics.EventsAllTypes(q.compute, q.db, from, to).Collect()
+		events, err = analytics.EventsAllTypesScan(q.compute, q.db, from, to, q.scanCfg())
 		if err != nil {
 			return nil, err
 		}
@@ -419,15 +595,15 @@ func (q *Engine) distribution(req Request) ([]analytics.Bucket, error) {
 	var buckets []analytics.Bucket
 	switch req.Level {
 	case "app":
-		buckets, err = analytics.DistributionByApp(q.compute, q.db, typ, from, to)
+		buckets, err = analytics.DistributionByAppScan(q.compute, q.db, typ, from, to, q.scanCfg())
 	case "cabinet", "":
-		buckets, err = analytics.DistributionBy(q.compute, q.db, typ, from, to, topology.LevelCabinet)
+		buckets, err = analytics.DistributionByScan(q.compute, q.db, typ, from, to, topology.LevelCabinet, q.scanCfg())
 	case "cage":
-		buckets, err = analytics.DistributionBy(q.compute, q.db, typ, from, to, topology.LevelCage)
+		buckets, err = analytics.DistributionByScan(q.compute, q.db, typ, from, to, topology.LevelCage, q.scanCfg())
 	case "blade":
-		buckets, err = analytics.DistributionBy(q.compute, q.db, typ, from, to, topology.LevelBlade)
+		buckets, err = analytics.DistributionByScan(q.compute, q.db, typ, from, to, topology.LevelBlade, q.scanCfg())
 	case "node":
-		buckets, err = analytics.DistributionBy(q.compute, q.db, typ, from, to, topology.LevelNode)
+		buckets, err = analytics.DistributionByScan(q.compute, q.db, typ, from, to, topology.LevelNode, q.scanCfg())
 	default:
 		return nil, fmt.Errorf("query: unknown distribution level %q", req.Level)
 	}
@@ -461,8 +637,8 @@ func (q *Engine) transferEntropy(req Request) (TEResponse, error) {
 	if err != nil {
 		return TEResponse{}, err
 	}
-	res, err := analytics.TransferEntropyBetween(q.compute, q.db, typ,
-		model.EventType(req.SecondType), from, to, req.bin())
+	res, err := analytics.TransferEntropyBetweenScan(q.compute, q.db, typ,
+		model.EventType(req.SecondType), from, to, req.bin(), q.scanCfg())
 	if err != nil {
 		return TEResponse{}, err
 	}
@@ -490,8 +666,7 @@ func (q *Engine) wordCount(req Request) ([]WordCountEntry, error) {
 	if err != nil {
 		return nil, err
 	}
-	docs := analytics.RawMessages(q.compute, q.db, typ, from, to)
-	counts, err := analytics.WordCount(docs)
+	counts, err := analytics.WordCountScan(q.compute, q.db, typ, from, to, q.scanCfg())
 	if err != nil {
 		return nil, err
 	}
@@ -520,8 +695,7 @@ func (q *Engine) tfidf(req Request) ([]analytics.TermScore, error) {
 	if err != nil {
 		return nil, err
 	}
-	docs := analytics.RawMessages(q.compute, q.db, typ, from, to)
-	scores, err := analytics.TFIDF(docs)
+	scores, err := analytics.TFIDFScan(q.compute, q.db, typ, from, to, q.scanCfg())
 	if err != nil {
 		return nil, err
 	}

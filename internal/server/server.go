@@ -142,18 +142,24 @@ func (s *Server) handleTypes(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, status, started, result, err)
 }
 
-// StatsPayload aggregates server-side counters for the frontend.
+// StatsPayload aggregates server-side counters for the frontend: routing
+// class totals, per-operation latency and cache-hit counters, result-cache
+// state, and compute/scan-planner counters.
 type StatsPayload struct {
-	Queries query.Stats   `json:"queries"`
-	Compute compute.Stats `json:"compute"`
-	Tables  []string      `json:"tables"`
-	Nodes   []string      `json:"store_nodes"`
+	Queries query.Stats               `json:"queries"`
+	PerOp   map[string]query.OpMetric `json:"per_op"`
+	Cache   query.CacheStats          `json:"cache"`
+	Compute compute.Stats             `json:"compute"`
+	Tables  []string                  `json:"tables"`
+	Nodes   []string                  `json:"store_nodes"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	started := s.now()
 	writeJSON(w, http.StatusOK, started, StatsPayload{
 		Queries: s.q.Stats(),
+		PerOp:   s.q.Metrics(),
+		Cache:   s.q.CacheStats(),
 		Compute: s.eng.Stats(),
 		Tables:  s.db.Tables(),
 		Nodes:   s.db.NodeIDs(),

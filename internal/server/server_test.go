@@ -203,6 +203,50 @@ func TestStatsEndpoint(t *testing.T) {
 	if len(stats.Nodes) != 2 {
 		t.Fatalf("stats nodes = %v", stats.Nodes)
 	}
+	if stats.Cache.Capacity <= 0 {
+		t.Fatalf("stats cache = %+v, want positive capacity", stats.Cache)
+	}
+}
+
+// TestStatsPerOpCounters runs one big-data query twice and checks that the
+// stats endpoint reports its latency and cache-hit counters.
+func TestStatsPerOpCounters(t *testing.T) {
+	f := getFixture(t)
+	req := query.Request{
+		Op: query.OpHistogram,
+		Context: query.Context{
+			EventType: "MEM_ECC",
+			From:      f.cfg.Start.Unix(),
+			To:        f.cfg.Start.Add(f.cfg.Duration).Unix(),
+		},
+	}
+	for i := 0; i < 2; i++ {
+		if resp, r := postQuery(t, f, req); resp.StatusCode != http.StatusOK || !r.OK {
+			t.Fatalf("histogram query failed: %+v", r)
+		}
+	}
+	resp, err := http.Get(f.ts.URL + "/api/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := decodeResponse(t, resp)
+	var stats StatsPayload
+	if err := json.Unmarshal(r.Result, &stats); err != nil {
+		t.Fatal(err)
+	}
+	m, ok := stats.PerOp[string(query.OpHistogram)]
+	if !ok {
+		t.Fatalf("per_op missing histogram: %v", stats.PerOp)
+	}
+	if m.Count < 2 || m.CacheHits < 1 {
+		t.Fatalf("histogram metric = %+v, want >=2 runs with >=1 cache hit", m)
+	}
+	if stats.Cache.Hits < 1 {
+		t.Fatalf("cache stats = %+v, want at least one hit", stats.Cache)
+	}
+	if stats.Compute.ScanTasks == 0 {
+		t.Fatalf("compute stats = %+v, want scan tasks counted", stats.Compute)
+	}
 }
 
 func TestLongPollImmediateData(t *testing.T) {

@@ -104,7 +104,17 @@ type DB struct {
 	hintLog *hintLog
 
 	readRepairs atomic.Int64
+	generation  atomic.Uint64
 }
+
+// Generation returns a counter that advances whenever the database's
+// logical contents may have changed (writes, table creation, repair).
+// Caches key validity on it: a result computed at generation g is safe to
+// reuse while Generation() still returns g.
+func (db *DB) Generation() uint64 { return db.generation.Load() }
+
+// bumpGeneration records a logical mutation.
+func (db *DB) bumpGeneration() { db.generation.Add(1) }
 
 // Open creates an in-process store cluster with cfg.
 func Open(cfg Config) *DB {
@@ -163,6 +173,7 @@ func (db *DB) CreateTable(name string) {
 	for _, n := range nodes {
 		n.createTable(name)
 	}
+	db.bumpGeneration()
 }
 
 // Tables lists declared tables in sorted order.
@@ -248,6 +259,12 @@ func (db *DB) PutBatch(tableName, pkey string, rows []Row, cl Consistency) error
 			acks++
 		}
 	}
+	if acks > 0 {
+		// Even a failed batch may have applied rows on some replicas,
+		// which consistency-One reads can already observe — cached
+		// results must be revalidated either way.
+		db.bumpGeneration()
+	}
 	if acks < need {
 		return fmt.Errorf("store: only %d/%d acks for %s/%s: %w",
 			acks, need, tableName, pkey, errors.Join(errs...))
@@ -296,6 +313,7 @@ func (db *DB) Get(tableName, pkey string, rg Range, cl Consistency) ([]Row, erro
 	}
 	merged := mergeRows(results...)
 	// Read repair: patch replicas observed stale within the read range.
+	repaired := false
 	for i, n := range live {
 		missing := diffRows(merged, results[i])
 		if len(missing) == 0 {
@@ -303,7 +321,13 @@ func (db *DB) Get(tableName, pkey string, rg Range, cl Consistency) ([]Row, erro
 		}
 		if err := n.apply(tableName, pkey, missing); err == nil {
 			db.readRepairs.Add(int64(len(missing)))
+			repaired = true
 		}
+	}
+	if repaired {
+		// A previously stale replica can now answer consistency-One reads
+		// with more rows, so cached results must be revalidated.
+		db.bumpGeneration()
 	}
 	return merged, nil
 }
@@ -364,6 +388,9 @@ func (db *DB) Repair(tableName string) (int, error) {
 			}
 			copied += len(missing)
 		}
+	}
+	if copied > 0 {
+		db.bumpGeneration()
 	}
 	return copied, nil
 }

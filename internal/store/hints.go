@@ -78,6 +78,9 @@ func (db *DB) DeliverHints(nodeID string) (int, error) {
 		}
 		delivered += len(hn.rows)
 	}
+	if delivered > 0 {
+		db.bumpGeneration()
+	}
 	return delivered, nil
 }
 
