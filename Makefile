@@ -1,12 +1,14 @@
 # CI entry points. `make ci` is what a clean checkout must pass:
 # vet + build + full test suite under the race detector (the scan
-# planner, result cache, and store are all concurrent).
+# planner, result cache, commitlog, and store are all concurrent), a
+# cache-defeating plain test run, and a one-iteration smoke of the
+# durable-engine benchmarks so the WAL path cannot rot unexercised.
 
 GO ?= go
 
-.PHONY: ci vet build test race bench fmt-check
+.PHONY: ci vet build test test-fresh race bench bench-smoke fmt-check
 
-ci: vet build race
+ci: vet build race test-fresh bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -17,12 +19,23 @@ build:
 test:
 	$(GO) test ./...
 
+# -count=1 defeats the build cache's test-result caching.
+test-fresh:
+	$(GO) test -count=1 ./...
+
 race:
 	$(GO) test -race ./...
 
 # Serial vs partition-parallel scan comparison for the big-data ops.
 bench:
 	$(GO) test -run XXX -bench 'BenchmarkScan(Serial|Parallel)' -benchmem .
+
+# Durable storage engine benchmarks (commitlog append, durable ingest).
+bench-wal:
+	$(GO) test -run XXX -bench 'WAL|DurableIngest' -benchmem .
+
+bench-smoke:
+	$(GO) test -run XXX -bench WAL -benchtime 1x .
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

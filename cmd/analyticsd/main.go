@@ -2,11 +2,14 @@
 // backend store cluster plus the co-located compute engine, and serves the
 // frontend-facing REST/JSON API (queries, long-poll, stats).
 //
-// Data comes from a snapshot written by ingestd, or — for demos — from a
-// corpus generated in-process with -generate.
+// Data comes from a durable data directory written by ingestd (or by a
+// previous durable analyticsd run — startup replays the commitlog), from a
+// snapshot file, or — for demos — from a corpus generated in-process with
+// -generate.
 //
 // Usage:
 //
+//	analyticsd -data-dir /tmp/titan/data -addr :8080
 //	analyticsd -snapshot /tmp/titan/db.snap -addr :8080
 //	analyticsd -generate -hours 3 -addr :8080
 package main
@@ -30,6 +33,7 @@ func main() {
 	var (
 		addr       = flag.String("addr", ":8080", "listen address")
 		snapPath   = flag.String("snapshot", "", "snapshot file from ingestd")
+		dataDir    = flag.String("data-dir", "", "durable storage directory (from ingestd or a previous run); recovery replays the commitlog")
 		generate   = flag.Bool("generate", false, "generate a demo corpus instead of loading a snapshot")
 		hours      = flag.Float64("hours", 3, "demo corpus window (with -generate)")
 		cabinets   = flag.Int("cabinets", 8, "demo corpus cabinets (with -generate)")
@@ -39,10 +43,13 @@ func main() {
 	)
 	flag.Parse()
 
-	fw, err := core.New(core.Options{StoreNodes: *storeNodes, RF: *rf, Threads: *threads})
+	fw, err := core.New(core.Options{
+		StoreNodes: *storeNodes, RF: *rf, Threads: *threads, DataDir: *dataDir,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer fw.Close()
 
 	switch {
 	case *generate:
@@ -70,8 +77,12 @@ func main() {
 			log.Fatal(err)
 		}
 		log.Printf("restored %d rows from %s", n, *snapPath)
+	case *dataDir != "":
+		st := fw.DB.StorageStats()
+		log.Printf("durable store %s: %d on-disk segments (%.1f MB), replayed %d commitlog records (%d rows)",
+			*dataDir, st.DiskSegments, float64(st.DiskBytes)/(1<<20), st.ReplayedRecords, st.ReplayedRows)
 	default:
-		log.Fatal("need -snapshot FILE or -generate")
+		log.Fatal("need -data-dir DIR, -snapshot FILE, or -generate")
 	}
 
 	fmt.Printf("serving on %s\n", *addr)

@@ -1,13 +1,16 @@
 // Command ingestd runs the batch ETL of Section III-D: it reads raw
 // console and job logs, parses them in parallel with the regex pattern
 // tables, bulk-loads the events and application runs into an in-process
-// store cluster, refreshes the eventsynopsis table, and writes the
-// resulting database snapshot for analyticsd to serve.
+// store cluster, refreshes the eventsynopsis table, and hands the result
+// to analyticsd either as a durable data directory (commitlog + on-disk
+// segment files, served directly with -data-dir) or as a database
+// snapshot file.
 //
 // Usage:
 //
 //	ingestd -console /tmp/titan/console.log -jobs /tmp/titan/jobs.log \
-//	        -snapshot /tmp/titan/db.snap -store-nodes 32
+//	        -data-dir /tmp/titan/data -wal-nosync -snapshot "" -store-nodes 32
+//	ingestd -console /tmp/titan/console.log -snapshot /tmp/titan/db.snap
 package main
 
 import (
@@ -29,17 +32,23 @@ func main() {
 	var (
 		consolePath = flag.String("console", "console.log", "console log file")
 		jobsPath    = flag.String("jobs", "", "job log file (optional)")
-		snapPath    = flag.String("snapshot", "db.snap", "output snapshot file")
+		snapPath    = flag.String("snapshot", "db.snap", "output snapshot file (\"\" = skip)")
+		dataDir     = flag.String("data-dir", "", "durable storage directory (commitlog + segment files); analyticsd can serve it directly")
+		walNoSync   = flag.Bool("wal-nosync", false, "skip commitlog fsync during the bulk load (with -data-dir)")
 		storeNodes  = flag.Int("store-nodes", 32, "store cluster size")
 		rf          = flag.Int("rf", 3, "replication factor")
 		threads     = flag.Int("threads", 2, "task slots per compute worker")
 	)
 	flag.Parse()
 
-	fw, err := core.New(core.Options{StoreNodes: *storeNodes, RF: *rf, Threads: *threads})
+	fw, err := core.New(core.Options{
+		StoreNodes: *storeNodes, RF: *rf, Threads: *threads,
+		DataDir: *dataDir, WALNoSync: *walNoSync,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer fw.Close()
 
 	lines, err := readLines(*consolePath)
 	if err != nil {
@@ -82,19 +91,34 @@ func main() {
 		log.Fatal(err)
 	}
 
-	f, err := os.Create(*snapPath)
-	if err != nil {
-		log.Fatal(err)
+	if *dataDir != "" {
+		// Push every memtable into on-disk segments and truncate the
+		// commitlog so analyticsd opens the directory without replay work.
+		if err := fw.DB.Flush(); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := fw.DB.Compact(); err != nil {
+			log.Fatal(err)
+		}
+		st := fw.DB.StorageStats()
+		fmt.Printf("durable: %s (%d segments, %.1f MB on disk)\n",
+			*dataDir, st.DiskSegments, float64(st.DiskBytes)/(1<<20))
 	}
-	if err := fw.DB.Snapshot(f); err != nil {
-		log.Fatal(err)
+	if *snapPath != "" {
+		f, err := os.Create(*snapPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := fw.DB.Snapshot(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		info, _ := os.Stat(*snapPath)
+		fmt.Printf("snapshot: %s (%.1f MB, %d tables)\n",
+			*snapPath, float64(info.Size())/(1<<20), len(fw.DB.Tables()))
 	}
-	if err := f.Close(); err != nil {
-		log.Fatal(err)
-	}
-	info, _ := os.Stat(*snapPath)
-	fmt.Printf("snapshot: %s (%.1f MB, %d tables)\n",
-		*snapPath, float64(info.Size())/(1<<20), len(fw.DB.Tables()))
 }
 
 func readLines(path string) ([]string, error) {

@@ -16,6 +16,8 @@
 //	logctl episodes  -type LUSTRE -from ... -to ... (time coalescing)
 //	logctl reliability -from ... -to ...          (MTBF, top failing)
 //	logctl profiles  [-type LUSTRE] -from ... -to ... (app profiles/exposure)
+//	logctl storage-stats                          (durable engine counters)
+//	logctl compact                                (flush + compact + WAL truncate)
 package main
 
 import (
@@ -39,7 +41,7 @@ func main() {
 	server := flag.String("server", "http://localhost:8080", "analyticsd base URL")
 	flag.Parse()
 	if flag.NArg() < 1 {
-		log.Fatal("usage: logctl [-server URL] <types|heatmap|hist|dist|te|words|tfidf|events|runs|placement> [flags]")
+		log.Fatal("usage: logctl [-server URL] <types|heatmap|hist|dist|te|words|tfidf|events|runs|placement|storage-stats|compact> [flags]")
 	}
 	cmd, args := flag.Arg(0), flag.Args()[1:]
 
@@ -246,8 +248,97 @@ func main() {
 			fmt.Printf("%-12s %4d runs (%d failed) %10.1f node-hours\n",
 				app, p.Runs, p.FailedRuns, p.NodeHours)
 		}
+	case "storage-stats":
+		var st storageStats
+		getJSON(*server, "/api/storage", &st)
+		printStorageStats(st)
+	case "compact":
+		var res struct {
+			PartitionsCompacted int          `json:"partitions_compacted"`
+			Storage             storageStats `json:"storage"`
+		}
+		postJSON(*server, "/api/storage/compact", &res)
+		fmt.Printf("compacted %d partitions\n", res.PartitionsCompacted)
+		printStorageStats(res.Storage)
 	default:
 		log.Fatalf("unknown subcommand %q", cmd)
+	}
+}
+
+// storageStats mirrors store.StorageStats over the wire.
+type storageStats struct {
+	Durable              bool   `json:"durable"`
+	Dir                  string `json:"dir"`
+	WALAppends           int64  `json:"wal_appends"`
+	WALSyncs             int64  `json:"wal_syncs"`
+	WALRotations         int64  `json:"wal_rotations"`
+	WALBytes             int64  `json:"wal_bytes"`
+	WALSegments          int64  `json:"wal_segments"`
+	WALTruncatedSegments int64  `json:"wal_truncated_segments"`
+	Flushes              int64  `json:"flushes"`
+	FlushedRows          int64  `json:"flushed_rows"`
+	Compactions          int64  `json:"compactions"`
+	CompactedSegments    int64  `json:"compacted_segments"`
+	CompactedRows        int64  `json:"compacted_rows"`
+	DiskSegments         int64  `json:"disk_segments"`
+	DiskBytes            int64  `json:"disk_bytes"`
+	ReplayedRecords      int64  `json:"replayed_records"`
+	ReplayedRows         int64  `json:"replayed_rows"`
+	TornBytes            int64  `json:"torn_bytes"`
+}
+
+func printStorageStats(st storageStats) {
+	if !st.Durable {
+		fmt.Println("storage: in-memory (no durable engine)")
+		return
+	}
+	fmt.Printf("storage: durable at %s\n", st.Dir)
+	fmt.Printf("  commitlog: %d appends, %d syncs, %d rotations, %.1f MB, %d live segments (%d truncated)\n",
+		st.WALAppends, st.WALSyncs, st.WALRotations, float64(st.WALBytes)/(1<<20),
+		st.WALSegments, st.WALTruncatedSegments)
+	fmt.Printf("  flush:     %d flushes, %d rows\n", st.Flushes, st.FlushedRows)
+	fmt.Printf("  compact:   %d compactions, %d segments in, %d rows out\n",
+		st.Compactions, st.CompactedSegments, st.CompactedRows)
+	fmt.Printf("  on disk:   %d segments, %.1f MB\n", st.DiskSegments, float64(st.DiskBytes)/(1<<20))
+	fmt.Printf("  recovery:  %d records / %d rows replayed, %d torn bytes ignored\n",
+		st.ReplayedRecords, st.ReplayedRows, st.TornBytes)
+}
+
+// getJSON fetches an endpoint and decodes the result envelope into out.
+func getJSON(server, path string, out any) {
+	resp, err := http.Get(server + path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	decodeEnvelope(resp, out)
+}
+
+// postJSON posts to an endpoint and decodes the result envelope into out.
+func postJSON(server, path string, out any) {
+	resp, err := http.Post(server+path, "application/json", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	decodeEnvelope(resp, out)
+}
+
+func decodeEnvelope(resp *http.Response, out any) {
+	var envelope struct {
+		OK     bool            `json:"ok"`
+		Error  string          `json:"error"`
+		Result json.RawMessage `json:"result"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil {
+		log.Fatal(err)
+	}
+	if !envelope.OK {
+		fmt.Fprintf(os.Stderr, "request failed: %s\n", envelope.Error)
+		os.Exit(1)
+	}
+	if err := json.Unmarshal(envelope.Result, out); err != nil {
+		log.Fatal(err)
 	}
 }
 
@@ -331,19 +422,5 @@ func do(server string, req query.Request, out any) {
 		log.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var envelope struct {
-		OK     bool            `json:"ok"`
-		Error  string          `json:"error"`
-		Result json.RawMessage `json:"result"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil {
-		log.Fatal(err)
-	}
-	if !envelope.OK {
-		fmt.Fprintf(os.Stderr, "query failed: %s\n", envelope.Error)
-		os.Exit(1)
-	}
-	if err := json.Unmarshal(envelope.Result, out); err != nil {
-		log.Fatal(err)
-	}
+	decodeEnvelope(resp, out)
 }

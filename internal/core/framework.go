@@ -42,6 +42,17 @@ type Options struct {
 	Consistency store.Consistency
 	// FlushThreshold overrides the store's memtable flush threshold.
 	FlushThreshold int
+	// DataDir, when non-empty, opens the store's durable engine rooted at
+	// this directory: writes go through per-node commitlogs before acking,
+	// memtables flush to on-disk segment files, and New replays the
+	// commitlog — recovering a previous incarnation's acked writes. Empty
+	// keeps the store in memory.
+	DataDir string
+	// WALSyncPeriod selects the commitlog sync mode (see
+	// store.Config.WALSyncPeriod): 0 = batch group-commit, > 0 = periodic.
+	WALSyncPeriod time.Duration
+	// WALNoSync disables commitlog fsync (bulk loads and benchmarks).
+	WALNoSync bool
 }
 
 func (o Options) withDefaults() Options {
@@ -75,12 +86,19 @@ type Framework struct {
 // deployment of Section III-A), and starts a message broker for streaming.
 func New(opts Options) (*Framework, error) {
 	opts = opts.withDefaults()
-	db := store.Open(store.Config{
+	db, err := store.OpenDurable(store.Config{
 		Nodes:          opts.StoreNodes,
 		RF:             opts.RF,
 		FlushThreshold: opts.FlushThreshold,
+		Dir:            opts.DataDir,
+		WALSyncPeriod:  opts.WALSyncPeriod,
+		WALNoSync:      opts.WALNoSync,
 	})
+	if err != nil {
+		return nil, fmt.Errorf("core: open store: %w", err)
+	}
 	if err := ingest.Bootstrap(db, opts.MachineNodes); err != nil {
+		db.Close()
 		return nil, fmt.Errorf("core: bootstrap: %w", err)
 	}
 	eng := compute.NewEngine(compute.Config{Workers: db.NodeIDs(), Threads: opts.Threads})
@@ -103,6 +121,10 @@ func New(opts Options) (*Framework, error) {
 
 // Options returns the effective options.
 func (f *Framework) Options() Options { return f.opts }
+
+// Close shuts down the durable storage engine (background compactor,
+// commitlogs, segment files). A no-op for in-memory frameworks.
+func (f *Framework) Close() error { return f.DB.Close() }
 
 // Server constructs the web-facing analytic server.
 func (f *Framework) Server() *server.Server {

@@ -48,6 +48,9 @@ type Harness struct {
 	Parallel *query.Engine
 	// TS is the wire-path test server.
 	TS *httptest.Server
+	// StoreCfg is the store configuration, kept so Reopen can recover a
+	// durable harness from its directory.
+	StoreCfg store.Config
 }
 
 // corpusConfig is the engine-test corpus: four cabinets over three hours
@@ -82,13 +85,38 @@ func corpusConfig() logs.Config {
 	return cfg
 }
 
-// New builds a harness. Result caching is disabled on both engines so the
-// direct/wire comparison exercises two genuinely independent executions.
+// New builds an in-memory harness. Result caching is disabled on both
+// engines so the direct/wire comparison exercises two genuinely
+// independent executions.
 func New(tb testing.TB) *Harness {
+	tb.Helper()
+	return build(tb, store.Config{Nodes: 8, RF: 2, VNodes: 32, FlushThreshold: 2048})
+}
+
+// NewDurable builds a harness whose store runs the durable engine in a
+// test temp directory, with a flush threshold low enough that the corpus
+// produces on-disk segment files (while small partitions stay in
+// memtables, so reads and restarts exercise the segment + commitlog-replay
+// mix). The corpus and load path are identical to New, so query results
+// must be byte-identical to an in-memory harness.
+func NewDurable(tb testing.TB) *Harness {
+	tb.Helper()
+	return build(tb, store.Config{
+		Nodes: 8, RF: 2, VNodes: 32,
+		FlushThreshold: 512,
+		Dir:            tb.TempDir(),
+	})
+}
+
+func build(tb testing.TB, scfg store.Config) *Harness {
 	tb.Helper()
 	cfg := corpusConfig()
 	corpus := logs.Generate(cfg)
-	db := store.Open(store.Config{Nodes: 8, RF: 2, VNodes: 32, FlushThreshold: 2048})
+	db, err := store.OpenDurable(scfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(func() { db.Close() })
 	if err := ingest.Bootstrap(db, cfg.Nodes); err != nil {
 		tb.Fatal(err)
 	}
@@ -103,14 +131,39 @@ func New(tb testing.TB) *Harness {
 	if err := ingest.RefreshSynopsis(eng, db, model.HoursIn(cfg.Start, cfg.Start.Add(cfg.Duration)), store.Quorum); err != nil {
 		tb.Fatal(err)
 	}
-	h := &Harness{
-		Cfg: cfg, Corpus: corpus, DB: db, Comp: eng,
-		Serial:   query.NewWithOptions(db, eng, query.Options{Parallelism: 1, CacheSize: -1}),
-		Parallel: query.NewWithOptions(db, eng, query.Options{CacheSize: -1}),
-	}
-	h.TS = httptest.NewServer(server.New(h.Parallel, db, eng))
-	tb.Cleanup(h.TS.Close)
+	h := &Harness{Cfg: cfg, Corpus: corpus, DB: db, Comp: eng, StoreCfg: scfg}
+	h.initEngines(tb)
 	return h
+}
+
+// initEngines (re)builds the query engines and the wire-path test server
+// over the harness's current DB.
+func (h *Harness) initEngines(tb testing.TB) {
+	h.Serial = query.NewWithOptions(h.DB, h.Comp, query.Options{Parallelism: 1, CacheSize: -1})
+	h.Parallel = query.NewWithOptions(h.DB, h.Comp, query.Options{CacheSize: -1})
+	h.TS = httptest.NewServer(server.New(h.Parallel, h.DB, h.Comp))
+	tb.Cleanup(h.TS.Close)
+}
+
+// Reopen simulates a restart of a durable harness: the store is closed,
+// reopened from its directory (replaying the commitlog), and the engines
+// and wire server are rebuilt over the recovered DB.
+func (h *Harness) Reopen(tb testing.TB) {
+	tb.Helper()
+	if h.StoreCfg.Dir == "" {
+		tb.Fatal("Reopen requires a durable harness (NewDurable)")
+	}
+	h.TS.Close()
+	if err := h.DB.Close(); err != nil {
+		tb.Fatal(err)
+	}
+	db, err := store.OpenDurable(h.StoreCfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(func() { db.Close() })
+	h.DB = db
+	h.initEngines(tb)
 }
 
 // Window returns the corpus time window.

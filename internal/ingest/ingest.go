@@ -53,7 +53,9 @@ func NewLoader(db *store.DB) *Loader { return &Loader{DB: db, CL: store.Quorum} 
 // static nodeinfos and eventtypes tables.
 func Bootstrap(db *store.DB, nodes int) error {
 	for _, t := range model.AllTables {
-		db.CreateTable(t)
+		if err := db.CreateTable(t); err != nil {
+			return err
+		}
 	}
 	l := &Loader{DB: db, CL: store.Quorum}
 	if err := l.LoadNodeInfos(nodes); err != nil {

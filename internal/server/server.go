@@ -48,6 +48,8 @@ func New(q *query.Engine, db *store.DB, eng *compute.Engine) *Server {
 	s.mux.HandleFunc("POST /api/cql", s.handleCQL)
 	s.mux.HandleFunc("GET /api/types", s.handleTypes)
 	s.mux.HandleFunc("GET /api/stats", s.handleStats)
+	s.mux.HandleFunc("GET /api/storage", s.handleStorage)
+	s.mux.HandleFunc("POST /api/storage/compact", s.handleStorageCompact)
 	s.mux.HandleFunc("GET /api/poll", s.handlePoll)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	return s
@@ -150,6 +152,7 @@ type StatsPayload struct {
 	PerOp   map[string]query.OpMetric `json:"per_op"`
 	Cache   query.CacheStats          `json:"cache"`
 	Compute compute.Stats             `json:"compute"`
+	Storage store.StorageStats        `json:"storage"`
 	Tables  []string                  `json:"tables"`
 	Nodes   []string                  `json:"store_nodes"`
 }
@@ -161,8 +164,39 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		PerOp:   s.q.Metrics(),
 		Cache:   s.q.CacheStats(),
 		Compute: s.eng.Stats(),
+		Storage: s.db.StorageStats(),
 		Tables:  s.db.Tables(),
 		Nodes:   s.db.NodeIDs(),
+	}, nil)
+}
+
+// handleStorage reports the durable engine's counters (commitlog, flush,
+// compaction, replay, on-disk footprint).
+func (s *Server) handleStorage(w http.ResponseWriter, r *http.Request) {
+	started := s.now()
+	writeJSON(w, http.StatusOK, started, s.db.StorageStats(), nil)
+}
+
+// CompactResult is the answer of POST /api/storage/compact.
+type CompactResult struct {
+	// PartitionsCompacted counts partitions merged down to one segment.
+	PartitionsCompacted int                `json:"partitions_compacted"`
+	Storage             store.StorageStats `json:"storage"`
+}
+
+// handleStorageCompact forces a full flush + compaction pass: every dirty
+// memtable is flushed to disk, every multi-segment partition is merged,
+// and obsolete commitlog segments are truncated.
+func (s *Server) handleStorageCompact(w http.ResponseWriter, r *http.Request) {
+	started := s.now()
+	n, err := s.db.Compact()
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, started, nil, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, started, CompactResult{
+		PartitionsCompacted: n,
+		Storage:             s.db.StorageStats(),
 	}, nil)
 }
 

@@ -1,39 +1,60 @@
 package store
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
+
+	"hpclog/internal/store/persist"
+	"hpclog/internal/wal"
 )
 
-// segment is an immutable run of rows sorted by clustering key — the
-// SSTable equivalent. Segments are produced by memtable flushes and merged
-// by compaction.
+// segment is an immutable in-memory run of rows sorted by clustering key —
+// the SSTable equivalent of the pure-in-memory configuration. Durable
+// nodes flush to on-disk persist segments instead.
 type segment struct {
 	rows []Row
 }
 
 // partition is the per-node state of one partition: a mutable memtable of
-// recently written rows plus flushed immutable segments.
+// recently written rows plus flushed immutable segments (in RAM or, on a
+// durable node, on disk).
 type partition struct {
-	mu       sync.RWMutex
-	key      string
-	mem      []Row // sorted by clustering key
+	mu    sync.RWMutex
+	node  *Node
+	table string
+	key   string
+	mem   []Row // sorted by clustering key
+	// segments holds in-memory flushes (non-durable nodes only; durable
+	// flushes go to node.persist).
 	segments []segment
+	// dirtySeg is the commitlog segment of the earliest record whose rows
+	// are still only in the memtable; the commitlog may not be truncated
+	// at or past it. Valid while hasDirty.
+	dirtySeg uint64
+	hasDirty bool
 }
 
-func (p *partition) put(rows []Row, flushAt, maxSegments int) {
+func (p *partition) put(rows []Row, walSeg uint64) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for _, r := range rows {
 		p.insertLocked(r)
 	}
-	if len(p.mem) >= flushAt {
+	if walSeg != 0 && !p.hasDirty && len(p.mem) > 0 {
+		p.dirtySeg, p.hasDirty = walSeg, true
+	}
+	if len(p.mem) >= p.node.flushThreshold {
+		if p.node.persist != nil {
+			return p.flushDiskLocked()
+		}
 		p.flushLocked()
-		if len(p.segments) > maxSegments {
+		if len(p.segments) > p.node.maxSegments {
 			p.compactLocked()
 		}
 	}
+	return nil
 }
 
 // insertLocked places r into the sorted memtable. The common case for
@@ -65,6 +86,22 @@ func (p *partition) flushLocked() {
 	p.segments = append(p.segments, seg)
 }
 
+// flushDiskLocked writes the memtable as an immutable on-disk segment.
+// Only after the segment is durable (fsynced and renamed into place) is
+// the memtable dropped and the partition marked clean for commitlog
+// truncation.
+func (p *partition) flushDiskLocked() error {
+	if len(p.mem) == 0 {
+		return nil
+	}
+	if err := p.node.persist.Flush(p.table, p.key, p.mem); err != nil {
+		return fmt.Errorf("store: flush %s/%s: %w", p.table, p.key, err)
+	}
+	p.mem = nil
+	p.hasDirty = false
+	return nil
+}
+
 func (p *partition) compactLocked() {
 	if len(p.segments) <= 1 {
 		return
@@ -78,19 +115,84 @@ func (p *partition) compactLocked() {
 	p.segments = []segment{{rows: mergeRows(lists...)}}
 }
 
-// read returns rows within rg merged across memtable and segments.
-func (p *partition) read(rg Range) []Row {
+// itersLocked assembles the partition's merge inputs for rg, oldest first:
+// on-disk segments by sequence, then in-memory segments, then the
+// memtable. copyMem selects whether the in-range memtable rows are copied
+// (required when the iterators outlive the partition lock, i.e. streaming
+// scans) or shared (materializing reads that drain under the lock).
+func (p *partition) itersLocked(rg Range, copyMem bool) ([]persist.Iterator, error) {
+	var its []persist.Iterator
+	if p.node.persist != nil {
+		// The segment list is a snapshot; the background compactor may
+		// retire a listed segment before Scan acquires it. The merged
+		// replacement holds the same rows, so re-fetch and retry.
+	retry:
+		for attempt := 0; ; attempt++ {
+			for _, seg := range p.node.persist.Segments(p.table, p.key) {
+				if !seg.Overlaps(rg) {
+					continue
+				}
+				it, err := seg.Scan(rg)
+				if err != nil {
+					for _, open := range its {
+						open.Close()
+					}
+					its = its[:0]
+					if errors.Is(err, persist.ErrRetired) && attempt < 16 {
+						continue retry
+					}
+					return nil, err
+				}
+				its = append(its, it)
+			}
+			break
+		}
+	}
+	for _, s := range p.segments {
+		if in := sliceRange(s.rows, rg); len(in) > 0 {
+			its = append(its, persist.NewSliceIter(in))
+		}
+	}
+	if in := sliceRange(p.mem, rg); len(in) > 0 {
+		if copyMem {
+			memCopy := make([]Row, len(in))
+			copy(memCopy, in)
+			in = memCopy
+		}
+		its = append(its, persist.NewSliceIter(in))
+	}
+	return its, nil
+}
+
+// read returns rows within rg merged across memtable and segments. It
+// drains a point-in-time snapshot after releasing the partition lock, so
+// segment-file I/O never stalls writers.
+func (p *partition) read(rg Range) ([]Row, error) {
+	its, err := p.snapshotIters(rg)
+	if err != nil {
+		return nil, err
+	}
+	m := persist.MergeIters(its)
+	defer m.Close()
+	var out []Row
+	for {
+		r, ok := m.Next()
+		if !ok {
+			break
+		}
+		out = append(out, r)
+	}
+	return out, m.Err()
+}
+
+// snapshotIters captures a point-in-time view of the partition restricted
+// to rg, for use after the lock is released: disk segments are immutable
+// and refcounted, in-memory segment slices are never mutated after flush,
+// and the in-range memtable rows are copied.
+func (p *partition) snapshotIters(rg Range) ([]persist.Iterator, error) {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
-	lists := make([][]Row, 0, len(p.segments)+1)
-	for _, s := range p.segments {
-		lists = append(lists, sliceRange(s.rows, rg))
-	}
-	lists = append(lists, sliceRange(p.mem, rg))
-	merged := mergeRows(lists...)
-	out := make([]Row, len(merged))
-	copy(out, merged)
-	return out
+	return p.itersLocked(rg, true)
 }
 
 func (p *partition) rowCount() int {
@@ -100,19 +202,29 @@ func (p *partition) rowCount() int {
 	for _, s := range p.segments {
 		n += len(s.rows)
 	}
+	if p.node.persist != nil {
+		for _, seg := range p.node.persist.Segments(p.table, p.key) {
+			n += seg.Rows()
+		}
+	}
 	return n
 }
 
 func (p *partition) segmentCount() int {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
-	return len(p.segments)
+	n := len(p.segments)
+	if p.node.persist != nil {
+		n += len(p.node.persist.Segments(p.table, p.key))
+	}
+	return n
 }
 
 // table is the per-node collection of partitions for one table.
 type table struct {
 	mu         sync.RWMutex
 	name       string
+	node       *Node
 	partitions map[string]*partition
 }
 
@@ -126,7 +238,7 @@ func (t *table) partition(key string, create bool) *partition {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if p = t.partitions[key]; p == nil {
-		p = &partition{key: key}
+		p = &partition{node: t.node, table: t.name, key: key}
 		t.partitions[key] = p
 	}
 	return p
@@ -143,8 +255,20 @@ func (t *table) partitionKeys() []string {
 	return keys
 }
 
+func (t *table) allPartitions() []*partition {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	parts := make([]*partition, 0, len(t.partitions))
+	for _, p := range t.partitions {
+		parts = append(parts, p)
+	}
+	return parts
+}
+
 // Node is one storage node of the cluster. All methods are safe for
-// concurrent use.
+// concurrent use. On a durable cluster each node owns a commitlog and a
+// segment store under its own directory, mirroring Cassandra's per-node
+// commitlog + SSTable layout.
 type Node struct {
 	id     string
 	mu     sync.RWMutex
@@ -152,6 +276,15 @@ type Node struct {
 
 	flushThreshold int
 	maxSegments    int
+
+	// Durable state (nil on in-memory nodes).
+	wal     *wal.Log
+	persist *persist.Store
+	// truncMu fences commitlog truncation against in-flight applies: an
+	// apply holds it shared between the WAL append and the memtable
+	// insert, so the truncator can never observe "appended but not yet
+	// dirty-tracked" records.
+	truncMu sync.RWMutex
 }
 
 func newNode(id string, flushThreshold, maxSegments int) *Node {
@@ -166,11 +299,36 @@ func newNode(id string, flushThreshold, maxSegments int) *Node {
 // ID returns the node identifier.
 func (n *Node) ID() string { return n.id }
 
-func (n *Node) createTable(name string) {
+func (n *Node) createTable(name string) error {
+	n.mu.RLock()
+	_, exists := n.tables[name]
+	n.mu.RUnlock()
+	if exists {
+		return nil
+	}
+	if n.persist != nil {
+		// Manifest first: an empty table has no segment footers and its
+		// commitlog record dies with the next checkpoint truncation.
+		if err := n.persist.AddTable(name); err != nil {
+			return fmt.Errorf("store: node %s: persist create table: %w", n.id, err)
+		}
+	}
+	if n.wal != nil {
+		if _, err := n.wal.Append(encodeCreateTableRecord(nil, name)); err != nil {
+			return fmt.Errorf("store: node %s: log create table: %w", n.id, err)
+		}
+	}
+	n.createTableLocal(name)
+	return nil
+}
+
+// createTableLocal declares the table without touching the commitlog
+// (recovery replay, and the tail of the durable createTable path).
+func (n *Node) createTableLocal(name string) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if _, ok := n.tables[name]; !ok {
-		n.tables[name] = &table{name: name, partitions: make(map[string]*partition)}
+		n.tables[name] = &table{name: name, node: n, partitions: make(map[string]*partition)}
 	}
 }
 
@@ -189,8 +347,28 @@ func (n *Node) apply(tableName, pkey string, rows []Row) error {
 	if err != nil {
 		return err
 	}
-	t.partition(pkey, true).put(rows, n.flushThreshold, n.maxSegments)
-	return nil
+	var seg uint64
+	if n.wal != nil {
+		n.truncMu.RLock()
+		defer n.truncMu.RUnlock()
+		lsn, err := n.wal.Append(encodePutRecord(nil, tableName, pkey, rows))
+		if err != nil {
+			return fmt.Errorf("store: node %s: commitlog append: %w", n.id, err)
+		}
+		seg = lsn.Seg
+	}
+	return t.partition(pkey, true).put(rows, seg)
+}
+
+// applyReplayed inserts recovered rows without re-appending to the
+// commitlog; walSeg tracks which commitlog segment still covers them.
+func (n *Node) applyReplayed(tableName, pkey string, rows []Row, walSeg uint64) error {
+	n.createTableLocal(tableName) // put records imply their table
+	t, err := n.table(tableName)
+	if err != nil {
+		return err
+	}
+	return t.partition(pkey, true).put(rows, walSeg)
 }
 
 func (n *Node) readPartition(tableName, pkey string, rg Range) ([]Row, error) {
@@ -202,7 +380,7 @@ func (n *Node) readPartition(tableName, pkey string, rg Range) ([]Row, error) {
 	if p == nil {
 		return nil, nil
 	}
-	return p.read(rg), nil
+	return p.read(rg)
 }
 
 // PartitionKeys lists the partition keys this node holds for a table.
@@ -221,15 +399,137 @@ func (n *Node) RowCount(tableName string) int {
 	if err != nil {
 		return 0
 	}
-	t.mu.RLock()
-	parts := make([]*partition, 0, len(t.partitions))
-	for _, p := range t.partitions {
-		parts = append(parts, p)
-	}
-	t.mu.RUnlock()
 	total := 0
-	for _, p := range parts {
+	for _, p := range t.allPartitions() {
 		total += p.rowCount()
 	}
 	return total
+}
+
+// flushAll flushes every dirty memtable of a durable node to disk.
+func (n *Node) flushAll() error {
+	if n.persist == nil {
+		return nil
+	}
+	n.mu.RLock()
+	tables := make([]*table, 0, len(n.tables))
+	for _, t := range n.tables {
+		tables = append(tables, t)
+	}
+	n.mu.RUnlock()
+	for _, t := range tables {
+		for _, p := range t.allPartitions() {
+			p.mu.Lock()
+			err := p.flushDiskLocked()
+			p.mu.Unlock()
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// truncateWAL removes commitlog segments whose every record has been
+// flushed into on-disk segments: everything below the oldest segment still
+// referenced by a dirty memtable (or below the active segment when all
+// memtables are clean).
+func (n *Node) truncateWAL() (int, error) {
+	if n.wal == nil {
+		return 0, nil
+	}
+	n.truncMu.Lock()
+	defer n.truncMu.Unlock()
+	cut := n.wal.ActiveSeg()
+	n.mu.RLock()
+	tables := make([]*table, 0, len(n.tables))
+	for _, t := range n.tables {
+		tables = append(tables, t)
+	}
+	n.mu.RUnlock()
+	for _, t := range tables {
+		for _, p := range t.allPartitions() {
+			p.mu.RLock()
+			if p.hasDirty && p.dirtySeg < cut {
+				cut = p.dirtySeg
+			}
+			p.mu.RUnlock()
+		}
+	}
+	return n.wal.TruncateBelow(cut)
+}
+
+// openDurable attaches a commitlog and a segment store rooted at dir.
+func (n *Node) openDurable(dir string, cfg Config) error {
+	ps, err := persist.OpenStore(dir + "/seg")
+	if err != nil {
+		return fmt.Errorf("store: node %s: %w", n.id, err)
+	}
+	log, err := wal.Open(wal.Options{
+		Dir:          dir + "/wal",
+		SegmentBytes: cfg.WALSegmentBytes,
+		SyncPeriod:   cfg.WALSyncPeriod,
+		NoSync:       cfg.WALNoSync,
+	})
+	if err != nil {
+		ps.Close()
+		return fmt.Errorf("store: node %s: %w", n.id, err)
+	}
+	n.persist = ps
+	n.wal = log
+	return nil
+}
+
+// recover rebuilds the node's in-memory state from its segment store and
+// commitlog: tables and partitions present on disk are materialized, then
+// the commitlog is replayed into memtables. It returns the largest logical
+// write timestamp observed, so the cluster's timestamp counter can resume
+// past it, and the number of records and rows replayed.
+func (n *Node) recover() (maxWriteTS int64, records, rows int64, err error) {
+	for _, tbl := range n.persist.Tables() {
+		n.createTableLocal(tbl)
+	}
+	for tbl, pkeys := range n.persist.Partitions() {
+		n.createTableLocal(tbl)
+		t, terr := n.table(tbl)
+		if terr != nil {
+			return 0, 0, 0, terr
+		}
+		for _, pkey := range pkeys {
+			t.partition(pkey, true)
+		}
+	}
+	maxWriteTS = n.persist.MaxWriteTS()
+	rstats, err := n.wal.Replay(func(lsn wal.LSN, payload []byte) error {
+		rec, derr := decodeWALRecord(payload)
+		if derr != nil {
+			return derr
+		}
+		switch rec.kind {
+		case recCreateTable:
+			n.createTableLocal(rec.table)
+		case recPut:
+			for _, r := range rec.rows {
+				if r.WriteTS > maxWriteTS {
+					maxWriteTS = r.WriteTS
+				}
+			}
+			rows += int64(len(rec.rows))
+			return n.applyReplayed(rec.table, rec.pkey, rec.rows, lsn.Seg)
+		}
+		return nil
+	})
+	return maxWriteTS, rstats.Records, rows, err
+}
+
+// closeDurable closes the commitlog and segment store.
+func (n *Node) closeDurable() error {
+	if n.wal == nil {
+		return nil
+	}
+	err := n.wal.Close()
+	if cerr := n.persist.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

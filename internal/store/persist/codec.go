@@ -1,0 +1,124 @@
+package persist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Binary row codec shared by segment files and commitlog record payloads.
+//
+// One row encodes as:
+//
+//	uvarint len(Key)     | Key bytes
+//	varint  WriteTS
+//	uvarint len(Columns) | per column (sorted by name):
+//	    uvarint len(name)  | name bytes
+//	    uvarint len(value) | value bytes
+//
+// Column names are written in sorted order so the encoding of a row is
+// deterministic — the same logical row always produces the same bytes,
+// which keeps segment files reproducible and CRCs meaningful.
+
+// maxStringLen bounds decoded string lengths as a corruption sanity check.
+const maxStringLen = 64 << 20
+
+// AppendRow appends the binary encoding of r to b and returns the
+// extended slice.
+func AppendRow(b []byte, r Row) []byte {
+	b = binary.AppendUvarint(b, uint64(len(r.Key)))
+	b = append(b, r.Key...)
+	b = binary.AppendVarint(b, r.WriteTS)
+	b = binary.AppendUvarint(b, uint64(len(r.Columns)))
+	if len(r.Columns) == 0 {
+		return b
+	}
+	names := make([]string, 0, len(r.Columns))
+	for name := range r.Columns {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b = binary.AppendUvarint(b, uint64(len(name)))
+		b = append(b, name...)
+		v := r.Columns[name]
+		b = binary.AppendUvarint(b, uint64(len(v)))
+		b = append(b, v...)
+	}
+	return b
+}
+
+// byteStream is the reader pair the decoder needs: varints come off the
+// ByteReader, string bodies off the Reader. *bufio.Reader and
+// *bytes.Reader both satisfy it.
+type byteStream interface {
+	io.Reader
+	io.ByteReader
+}
+
+func readString(r byteStream) (string, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return "", err
+	}
+	if n > maxStringLen {
+		return "", fmt.Errorf("persist: string length %d exceeds sanity bound", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+// ReadRow decodes one row from r. It returns io.EOF (untouched) when the
+// stream is exhausted at a row boundary, and wraps any mid-row truncation
+// as io.ErrUnexpectedEOF.
+func ReadRow(r byteStream) (Row, error) {
+	keyLen, err := binary.ReadUvarint(r)
+	if err != nil {
+		return Row{}, err // io.EOF at a row boundary is the clean end
+	}
+	if keyLen > maxStringLen {
+		return Row{}, fmt.Errorf("persist: key length %d exceeds sanity bound", keyLen)
+	}
+	key := make([]byte, keyLen)
+	if _, err := io.ReadFull(r, key); err != nil {
+		return Row{}, midRow(err)
+	}
+	ts, err := binary.ReadVarint(r)
+	if err != nil {
+		return Row{}, midRow(err)
+	}
+	ncols, err := binary.ReadUvarint(r)
+	if err != nil {
+		return Row{}, midRow(err)
+	}
+	if ncols > 1<<20 {
+		return Row{}, fmt.Errorf("persist: column count %d exceeds sanity bound", ncols)
+	}
+	row := Row{Key: string(key), WriteTS: ts}
+	if ncols > 0 {
+		row.Columns = make(map[string]string, ncols)
+		for i := uint64(0); i < ncols; i++ {
+			name, err := readString(r)
+			if err != nil {
+				return Row{}, midRow(err)
+			}
+			val, err := readString(r)
+			if err != nil {
+				return Row{}, midRow(err)
+			}
+			row.Columns[name] = val
+		}
+	}
+	return row, nil
+}
+
+func midRow(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}

@@ -1,0 +1,145 @@
+package persist
+
+// Iterator streams rows in clustering-key order. It is the persistence
+// layer's view of store.RowIter (the two are aliased); iterators are not
+// safe for concurrent use.
+type Iterator interface {
+	// Next returns the next row. ok == false means the scan is exhausted
+	// or failed; check Err afterwards.
+	Next() (Row, bool)
+	// Err reports the first error encountered, or nil.
+	Err() error
+	// Close releases the iterator. It is idempotent.
+	Close() error
+}
+
+// sliceIter adapts a materialized sorted row slice to Iterator.
+type sliceIter struct {
+	rows []Row
+	pos  int
+}
+
+// NewSliceIter wraps an already-materialized, sorted row slice in an
+// Iterator.
+func NewSliceIter(rows []Row) Iterator { return &sliceIter{rows: rows} }
+
+func (it *sliceIter) Next() (Row, bool) {
+	if it.pos >= len(it.rows) {
+		return Row{}, false
+	}
+	r := it.rows[it.pos]
+	it.pos++
+	return r, true
+}
+
+func (it *sliceIter) Err() error   { return nil }
+func (it *sliceIter) Close() error { it.pos = len(it.rows); return nil }
+
+// mergeIter lazily k-way merges sorted row iterators with last-write-wins
+// reconciliation on duplicate clustering keys: among equal keys the row
+// with the largest WriteTS wins, with later inputs breaking WriteTS ties.
+// Inputs must therefore be ordered oldest first (disk segments by
+// sequence, then in-memory segments, then the memtable).
+type mergeIter struct {
+	its   []Iterator
+	heads []Row
+	live  []bool
+	// pending is the current candidate row, not yet emitted because a
+	// later duplicate with a higher WriteTS may still replace it.
+	pending    Row
+	hasPending bool
+	err        error
+	closed     bool
+}
+
+// MergeIters returns an Iterator over the last-write-wins merge of its.
+// It takes ownership of the inputs: closing the merge closes them all.
+func MergeIters(its []Iterator) Iterator {
+	m := &mergeIter{its: its, heads: make([]Row, len(its)), live: make([]bool, len(its))}
+	for i, it := range its {
+		m.advance(i, it)
+	}
+	return m
+}
+
+func (m *mergeIter) advance(i int, it Iterator) {
+	r, ok := it.Next()
+	if ok {
+		m.heads[i], m.live[i] = r, true
+		return
+	}
+	m.live[i] = false
+	if err := it.Err(); err != nil && m.err == nil {
+		m.err = err
+	}
+}
+
+// pop removes and returns the smallest-key row across all inputs, scanning
+// in order with a strict < comparison so earlier inputs pop first on ties.
+func (m *mergeIter) pop() (Row, bool) {
+	best := -1
+	for i := range m.its {
+		if !m.live[i] {
+			continue
+		}
+		if best == -1 || m.heads[i].Key < m.heads[best].Key {
+			best = i
+		}
+	}
+	if best == -1 {
+		return Row{}, false
+	}
+	r := m.heads[best]
+	m.advance(best, m.its[best])
+	return r, true
+}
+
+func (m *mergeIter) Next() (Row, bool) {
+	if m.closed || m.err != nil {
+		return Row{}, false
+	}
+	for {
+		r, ok := m.pop()
+		if m.err != nil {
+			return Row{}, false
+		}
+		if !ok {
+			if m.hasPending {
+				m.hasPending = false
+				return m.pending, true
+			}
+			return Row{}, false
+		}
+		if !m.hasPending {
+			m.pending, m.hasPending = r, true
+			continue
+		}
+		if r.Key == m.pending.Key {
+			if r.WriteTS >= m.pending.WriteTS {
+				m.pending = r
+			}
+			continue
+		}
+		out := m.pending
+		m.pending = r
+		return out, true
+	}
+}
+
+func (m *mergeIter) Err() error { return m.err }
+
+func (m *mergeIter) Close() error {
+	if m.closed {
+		return nil
+	}
+	m.closed = true
+	m.hasPending = false
+	var first error
+	for _, it := range m.its {
+		if err := it.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	m.its = nil
+	return first
+}

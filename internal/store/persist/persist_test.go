@@ -1,0 +1,277 @@
+package persist
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func testRows(n int, writeTS int64) []Row {
+	rows := make([]Row, n)
+	for i := range rows {
+		rows[i] = Row{
+			Key:     EncodeTS(int64(1000+i)) + fmt.Sprintf(":src%03d", i),
+			WriteTS: writeTS + int64(i),
+			Columns: map[string]string{"count": fmt.Sprint(i), "msg": "hello world"},
+		}
+	}
+	return rows
+}
+
+func TestRowCodecRoundTrip(t *testing.T) {
+	rows := testRows(10, 1)
+	rows = append(rows, Row{Key: "zz-no-columns", WriteTS: 99})
+	var buf []byte
+	for _, r := range rows {
+		buf = AppendRow(buf, r)
+	}
+	br := bytes.NewReader(buf)
+	for i, want := range rows {
+		got, err := ReadRow(br)
+		if err != nil {
+			t.Fatalf("row %d: %v", i, err)
+		}
+		if got.Key != want.Key || got.WriteTS != want.WriteTS || !reflect.DeepEqual(got.Columns, want.Columns) {
+			if len(want.Columns) == 0 && len(got.Columns) == 0 {
+				continue
+			}
+			t.Fatalf("row %d: got %+v want %+v", i, got, want)
+		}
+	}
+	if _, err := ReadRow(br); err == nil {
+		t.Fatal("expected EOF after last row")
+	}
+}
+
+func writeTestSegment(t *testing.T, path string, rows []Row) *Segment {
+	t.Helper()
+	w, err := NewWriter(path, "events", "p1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seg, err := w.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return seg
+}
+
+func drain(t *testing.T, it Iterator) []Row {
+	t.Helper()
+	defer it.Close()
+	var out []Row
+	for {
+		r, ok := it.Next()
+		if !ok {
+			break
+		}
+		out = append(out, r)
+	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestSegmentWriteScan(t *testing.T) {
+	rows := testRows(500, 1)
+	seg := writeTestSegment(t, filepath.Join(t.TempDir(), "1.seg"), rows)
+	defer seg.Close()
+	if seg.Rows() != 500 || seg.Table() != "events" || seg.Partition() != "p1" {
+		t.Fatalf("footer mismatch: %d rows, %s/%s", seg.Rows(), seg.Table(), seg.Partition())
+	}
+	min, max := seg.KeyRange()
+	if min != rows[0].Key || max != rows[len(rows)-1].Key {
+		t.Fatalf("key range [%s, %s]", min, max)
+	}
+	if lo, hi := seg.TimeRange(); lo != 1000 || hi != 1499 {
+		t.Fatalf("time range [%d, %d], want [1000, 1499]", lo, hi)
+	}
+	if err := seg.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	it, err := seg.Scan(Range{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drain(t, it)
+	if !reflect.DeepEqual(got, rows) {
+		t.Fatalf("full scan mismatch: %d rows vs %d", len(got), len(rows))
+	}
+	// Sub-range scans hit the sparse index at arbitrary offsets.
+	for _, span := range [][2]int{{0, 10}, {63, 64}, {64, 129}, {100, 400}, {495, 500}, {250, 250}} {
+		rg := Range{From: rows[span[0]].Key}
+		if span[1] < len(rows) {
+			rg.To = rows[span[1]].Key
+		}
+		it, err := seg.Scan(rg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := drain(t, it)
+		want := rows[span[0]:span[1]]
+		if len(got) != len(want) {
+			t.Fatalf("range %v: got %d rows, want %d", span, len(got), len(want))
+		}
+		if len(want) > 0 && !reflect.DeepEqual(got, want) {
+			t.Fatalf("range %v content mismatch", span)
+		}
+	}
+	// Non-overlapping ranges are pruned without touching the file.
+	it, err = seg.Scan(Range{From: "zzz"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := drain(t, it); len(got) != 0 {
+		t.Fatalf("pruned scan returned %d rows", len(got))
+	}
+}
+
+func TestStoreFlushCompactLWW(t *testing.T) {
+	s, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	// Three generations of the same 100 keys with rising WriteTS.
+	for gen := int64(0); gen < 3; gen++ {
+		rows := make([]Row, 100)
+		for i := range rows {
+			rows[i] = Row{
+				Key:     fmt.Sprintf("k%03d", i),
+				WriteTS: gen*1000 + int64(i),
+				Columns: map[string]string{"gen": fmt.Sprint(gen)},
+			}
+		}
+		if err := s.Flush("t", "p", rows); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(s.Segments("t", "p")); got != 3 {
+		t.Fatalf("segments = %d, want 3", got)
+	}
+	did, err := s.CompactPartition("t", "p", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !did {
+		t.Fatal("expected compaction")
+	}
+	segs := s.Segments("t", "p")
+	if len(segs) != 1 {
+		t.Fatalf("segments after compact = %d, want 1", len(segs))
+	}
+	it, err := segs[0].Scan(Range{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drain(t, it)
+	if len(got) != 100 {
+		t.Fatalf("compacted rows = %d, want 100", len(got))
+	}
+	for _, r := range got {
+		if r.Columns["gen"] != "2" {
+			t.Fatalf("row %s survived from gen %s, want 2 (LWW)", r.Key, r.Columns["gen"])
+		}
+	}
+	st := s.Stats()
+	if st.Compactions != 1 || st.CompactedSegments != 3 || st.Segments != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestStoreReopenLoadsSegments(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := testRows(50, 1)
+	if err := s.Flush("events", "p1", rows); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush("events", "p2", rows); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush("runs", "q", rows[:5]); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.MaxWriteTS(); got != 50 {
+		t.Fatalf("MaxWriteTS = %d, want 50", got)
+	}
+	s.Close()
+	s2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	parts := s2.Partitions()
+	if len(parts["events"]) != 2 || len(parts["runs"]) != 1 {
+		t.Fatalf("partitions after reopen: %v", parts)
+	}
+	it, err := s2.Segments("events", "p2")[0].Scan(Range{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := drain(t, it); !reflect.DeepEqual(got, rows) {
+		t.Fatal("reopened segment content mismatch")
+	}
+}
+
+func TestCompactionSafeWithOpenIterator(t *testing.T) {
+	s, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for gen := int64(0); gen < 2; gen++ {
+		rows := testRows(100, gen*100+1)
+		if err := s.Flush("t", "p", rows); err != nil {
+			t.Fatal(err)
+		}
+	}
+	old := s.Segments("t", "p")[0]
+	it, err := old.Scan(Range{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CompactPartition("t", "p", 1); err != nil {
+		t.Fatal(err)
+	}
+	// The retired segment's file is unlinked, but the open iterator keeps
+	// streaming off the live descriptor.
+	got := drain(t, it)
+	if len(got) != 100 {
+		t.Fatalf("iterator over retired segment returned %d rows", len(got))
+	}
+	// New scans of the retired segment must fail cleanly.
+	if _, err := old.Scan(Range{}); err == nil {
+		t.Fatal("expected error scanning retired segment")
+	}
+}
+
+func TestMergeItersLWW(t *testing.T) {
+	older := []Row{
+		{Key: "a", WriteTS: 1, Columns: map[string]string{"v": "old"}},
+		{Key: "b", WriteTS: 5, Columns: map[string]string{"v": "keep"}},
+	}
+	newer := []Row{
+		{Key: "a", WriteTS: 2, Columns: map[string]string{"v": "new"}},
+		{Key: "b", WriteTS: 5, Columns: map[string]string{"v": "tie-later-wins"}},
+		{Key: "c", WriteTS: 1, Columns: map[string]string{"v": "only"}},
+	}
+	got := drain(t, MergeIters([]Iterator{NewSliceIter(older), NewSliceIter(newer)}))
+	if len(got) != 3 {
+		t.Fatalf("merged %d rows, want 3", len(got))
+	}
+	if got[0].Columns["v"] != "new" || got[1].Columns["v"] != "tie-later-wins" || got[2].Columns["v"] != "only" {
+		t.Fatalf("LWW merge wrong: %+v", got)
+	}
+}

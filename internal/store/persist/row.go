@@ -1,0 +1,85 @@
+// Package persist implements the on-disk half of the storage engine: the
+// canonical row model shared with package store, a compact binary row
+// codec, immutable sorted segment files (the SSTable equivalent) with a
+// sparse clustering-key index and a time-range footer, and a per-node
+// segment store with last-write-wins compaction.
+//
+// Package store builds on top of it: memtable flushes call Store.Flush,
+// partition reads merge segment iterators with the memtable, and the
+// commitlog (internal/wal) reuses the row codec for its record payloads.
+// The types Row and Range are declared here (and aliased in store) so that
+// both packages share one definition without an import cycle.
+package persist
+
+import "fmt"
+
+// Row is one clustered row within a partition. Columns are free-form
+// name/value pairs, allowing every event type and application run to carry
+// its own set of columns ("each application run may include columns unique
+// to it", Section II-B of the paper).
+type Row struct {
+	// Key is the clustering key. Rows in a partition are sorted by Key
+	// bytewise, so callers encode timestamps with EncodeTS to obtain
+	// chronological order.
+	Key string
+	// Columns holds the cell values of the row.
+	Columns map[string]string
+	// WriteTS is the logical write timestamp used for last-write-wins
+	// reconciliation between replicas and across segments.
+	WriteTS int64
+}
+
+// Clone returns a deep copy of the row.
+func (r Row) Clone() Row {
+	c := Row{Key: r.Key, WriteTS: r.WriteTS, Columns: make(map[string]string, len(r.Columns))}
+	for k, v := range r.Columns {
+		c.Columns[k] = v
+	}
+	return c
+}
+
+// Col returns the named column value, or "" if absent.
+func (r Row) Col(name string) string { return r.Columns[name] }
+
+// Range selects clustering keys in [From, To). Zero-value fields mean
+// unbounded on that side; the zero Range selects the whole partition.
+type Range struct {
+	From string // inclusive lower bound; "" = unbounded
+	To   string // exclusive upper bound; "" = unbounded
+}
+
+// Contains reports whether key falls within the range.
+func (rg Range) Contains(key string) bool {
+	if rg.From != "" && key < rg.From {
+		return false
+	}
+	if rg.To != "" && key >= rg.To {
+		return false
+	}
+	return true
+}
+
+// EncodeTS encodes a unix timestamp (seconds or any non-negative int64) as
+// a fixed-width decimal string whose bytewise order matches numeric order.
+func EncodeTS(ts int64) string {
+	if ts < 0 {
+		panic(fmt.Sprintf("store: EncodeTS(%d) negative", ts))
+	}
+	return fmt.Sprintf("%019d", ts)
+}
+
+// DecodeTS reverses EncodeTS on the leading 19 bytes of a clustering key.
+func DecodeTS(key string) (int64, error) {
+	if len(key) < 19 {
+		return 0, fmt.Errorf("store: clustering key %q too short for timestamp", key)
+	}
+	var ts int64
+	for i := 0; i < 19; i++ {
+		c := key[i]
+		if c < '0' || c > '9' {
+			return 0, fmt.Errorf("store: clustering key %q has non-digit timestamp", key)
+		}
+		ts = ts*10 + int64(c-'0')
+	}
+	return ts, nil
+}

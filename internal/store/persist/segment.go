@@ -1,0 +1,481 @@
+package persist
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sort"
+)
+
+// Segment file layout:
+//
+//	header  : "HPSEG001" (8 bytes)
+//	data    : rows in clustering-key order, binary row codec
+//	footer  : gob(footerMeta)
+//	trailer : u32 footerLen | u32 crc32(footer) | "HPSEGFT1" (8 bytes)
+//
+// The footer carries the partition identity, the key and time ranges used
+// for scan pruning, a sparse clustering-key index (one entry every
+// indexEvery rows) used to seek near Range.From, and a CRC of the data
+// region. Files are written to a temporary name and renamed into place, so
+// a segment either exists completely or not at all — torn writes are the
+// commitlog's problem, never the segment store's.
+
+const (
+	segHeader    = "HPSEG001"
+	segTrailer   = "HPSEGFT1"
+	trailerLen   = 4 + 4 + 8
+	indexEvery   = 64
+	segFileExt   = ".seg"
+	segTempExt   = ".tmp"
+	maxFooterLen = 256 << 20
+)
+
+// IndexEntry is one sparse-index sample: the clustering key of a row and
+// the file offset where its encoding starts.
+type IndexEntry struct {
+	Key string
+	Off int64
+}
+
+// footerMeta is the gob-encoded segment footer.
+type footerMeta struct {
+	Table     string
+	Partition string
+	Seq       uint64
+	Rows      int
+	MinKey    string
+	MaxKey    string
+	// MinTS/MaxTS are the clustering-time bounds (via DecodeTS) of the
+	// rows, or 0 when keys do not carry timestamps. Scans prune on the key
+	// range; the time range is surfaced for observability.
+	MinTS      int64
+	MaxTS      int64
+	MaxWriteTS int64
+	DataLen    int64 // end offset of the data region (header included)
+	DataCRC    uint32
+	Index      []IndexEntry
+}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Writer streams sorted rows into a new segment file. Rows must be
+// appended in strictly ascending clustering-key order (the memtable and
+// the compaction merge both produce that order).
+type Writer struct {
+	path    string
+	tmpPath string
+	f       *os.File
+	bw      *bufio.Writer
+	crc     uint32
+	off     int64
+	meta    footerMeta
+	buf     []byte
+	sinceIx int
+	done    bool
+}
+
+// NewWriter creates a segment writer targeting path (written via a
+// temporary file until Finish).
+func NewWriter(path, table, pkey string, seq uint64) (*Writer, error) {
+	tmp := path + segTempExt
+	f, err := os.Create(tmp)
+	if err != nil {
+		return nil, fmt.Errorf("persist: create segment: %w", err)
+	}
+	w := &Writer{
+		path: path, tmpPath: tmp, f: f, bw: bufio.NewWriterSize(f, 64<<10),
+		meta: footerMeta{Table: table, Partition: pkey, Seq: seq},
+	}
+	if _, err := w.bw.WriteString(segHeader); err != nil {
+		w.abort()
+		return nil, err
+	}
+	w.off = int64(len(segHeader))
+	w.crc = crc32.Update(0, crcTable, []byte(segHeader))
+	w.sinceIx = indexEvery // force an index entry for the first row
+	return w, nil
+}
+
+// Append writes one row.
+func (w *Writer) Append(r Row) error {
+	if w.done {
+		return fmt.Errorf("persist: append after Finish")
+	}
+	if w.meta.Rows > 0 && r.Key <= w.meta.MaxKey {
+		return fmt.Errorf("persist: rows out of order: %q after %q", r.Key, w.meta.MaxKey)
+	}
+	if w.sinceIx >= indexEvery {
+		w.meta.Index = append(w.meta.Index, IndexEntry{Key: r.Key, Off: w.off})
+		w.sinceIx = 0
+	}
+	w.sinceIx++
+	w.buf = AppendRow(w.buf[:0], r)
+	if _, err := w.bw.Write(w.buf); err != nil {
+		return err
+	}
+	w.crc = crc32.Update(w.crc, crcTable, w.buf)
+	w.off += int64(len(w.buf))
+	if w.meta.Rows == 0 {
+		w.meta.MinKey = r.Key
+		if ts, err := DecodeTS(r.Key); err == nil {
+			w.meta.MinTS = ts
+		}
+	}
+	w.meta.MaxKey = r.Key
+	if ts, err := DecodeTS(r.Key); err == nil {
+		w.meta.MaxTS = ts
+	}
+	if r.WriteTS > w.meta.MaxWriteTS {
+		w.meta.MaxWriteTS = r.WriteTS
+	}
+	w.meta.Rows++
+	return nil
+}
+
+// Finish writes the footer, syncs the file to stable storage, renames it
+// into place, and returns an open Segment over it.
+func (w *Writer) Finish() (*Segment, error) {
+	if w.done {
+		return nil, fmt.Errorf("persist: double Finish")
+	}
+	w.done = true
+	w.meta.DataLen = w.off
+	w.meta.DataCRC = w.crc
+	var fb bytes.Buffer
+	if err := gob.NewEncoder(&fb).Encode(&w.meta); err != nil {
+		w.abort()
+		return nil, err
+	}
+	var tail [trailerLen]byte
+	binary.LittleEndian.PutUint32(tail[0:4], uint32(fb.Len()))
+	binary.LittleEndian.PutUint32(tail[4:8], crc32.Checksum(fb.Bytes(), crcTable))
+	copy(tail[8:], segTrailer)
+	if _, err := w.bw.Write(fb.Bytes()); err != nil {
+		w.abort()
+		return nil, err
+	}
+	if _, err := w.bw.Write(tail[:]); err != nil {
+		w.abort()
+		return nil, err
+	}
+	if err := w.bw.Flush(); err != nil {
+		w.abort()
+		return nil, err
+	}
+	if err := w.f.Sync(); err != nil {
+		w.abort()
+		return nil, err
+	}
+	if err := w.f.Close(); err != nil {
+		w.abort()
+		return nil, err
+	}
+	if err := os.Rename(w.tmpPath, w.path); err != nil {
+		os.Remove(w.tmpPath)
+		return nil, err
+	}
+	if err := syncDir(w.path); err != nil {
+		return nil, err
+	}
+	return OpenSegment(w.path)
+}
+
+// Abort discards the partially written segment.
+func (w *Writer) Abort() {
+	if !w.done {
+		w.abort()
+		w.done = true
+	}
+}
+
+func (w *Writer) abort() {
+	w.f.Close()
+	os.Remove(w.tmpPath)
+}
+
+// syncDir fsyncs the directory containing path so the directory entry of a
+// freshly renamed or created file survives a crash.
+func syncDir(path string) error {
+	d, err := os.Open(dirOf(path))
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+func dirOf(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' || path[i] == os.PathSeparator {
+			return path[:i+1]
+		}
+	}
+	return "."
+}
+
+// Segment is an open, immutable on-disk segment file. Scans share the one
+// file descriptor through ReadAt (via SectionReader), so any number of
+// iterators can stream concurrently. A segment retired by compaction is
+// unlinked immediately and its descriptor closed once the last open
+// iterator finishes.
+type Segment struct {
+	path string
+	f    *os.File
+	meta footerMeta
+	size int64
+
+	mu     chan struct{} // 1-buffered semaphore guarding refs/doomed/closed
+	refs   int
+	doomed bool
+	closed bool
+}
+
+// OpenSegment opens a segment file and decodes its footer.
+func OpenSegment(path string) (*Segment, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	size := st.Size()
+	if size < int64(len(segHeader))+trailerLen {
+		f.Close()
+		return nil, fmt.Errorf("persist: %s: too short for a segment", path)
+	}
+	var tail [trailerLen]byte
+	if _, err := f.ReadAt(tail[:], size-trailerLen); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if string(tail[8:]) != segTrailer {
+		f.Close()
+		return nil, fmt.Errorf("persist: %s: bad segment trailer", path)
+	}
+	footLen := int64(binary.LittleEndian.Uint32(tail[0:4]))
+	footCRC := binary.LittleEndian.Uint32(tail[4:8])
+	if footLen > maxFooterLen || size-trailerLen-footLen < int64(len(segHeader)) {
+		f.Close()
+		return nil, fmt.Errorf("persist: %s: implausible footer length %d", path, footLen)
+	}
+	fb := make([]byte, footLen)
+	if _, err := f.ReadAt(fb, size-trailerLen-footLen); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if crc32.Checksum(fb, crcTable) != footCRC {
+		f.Close()
+		return nil, fmt.Errorf("persist: %s: footer checksum mismatch", path)
+	}
+	var meta footerMeta
+	if err := gob.NewDecoder(bytes.NewReader(fb)).Decode(&meta); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("persist: %s: footer decode: %w", path, err)
+	}
+	s := &Segment{path: path, f: f, meta: meta, size: size, mu: make(chan struct{}, 1)}
+	return s, nil
+}
+
+// Table returns the table the segment belongs to.
+func (s *Segment) Table() string { return s.meta.Table }
+
+// Partition returns the partition key the segment belongs to.
+func (s *Segment) Partition() string { return s.meta.Partition }
+
+// Seq returns the segment's creation sequence number (older = smaller).
+func (s *Segment) Seq() uint64 { return s.meta.Seq }
+
+// Rows returns the row count.
+func (s *Segment) Rows() int { return s.meta.Rows }
+
+// Size returns the file size in bytes.
+func (s *Segment) Size() int64 { return s.size }
+
+// KeyRange returns the inclusive clustering-key bounds.
+func (s *Segment) KeyRange() (min, max string) { return s.meta.MinKey, s.meta.MaxKey }
+
+// TimeRange returns the clustering-time bounds decoded from the keys
+// (zero when the keys carry no timestamps).
+func (s *Segment) TimeRange() (min, max int64) { return s.meta.MinTS, s.meta.MaxTS }
+
+// MaxWriteTS returns the largest logical write timestamp in the segment.
+func (s *Segment) MaxWriteTS() int64 { return s.meta.MaxWriteTS }
+
+// Overlaps reports whether any key of the segment can fall within rg — the
+// footer-based pruning check that lets time-sliced scan tasks skip whole
+// files.
+func (s *Segment) Overlaps(rg Range) bool {
+	if s.meta.Rows == 0 {
+		return false
+	}
+	if rg.From != "" && s.meta.MaxKey < rg.From {
+		return false
+	}
+	if rg.To != "" && s.meta.MinKey >= rg.To {
+		return false
+	}
+	return true
+}
+
+// Verify re-reads the data region and checks it against the footer CRC.
+func (s *Segment) Verify() error {
+	h := crc32.New(crcTable)
+	if _, err := io.Copy(h, io.NewSectionReader(s.f, 0, s.meta.DataLen)); err != nil {
+		return err
+	}
+	if h.Sum32() != s.meta.DataCRC {
+		return fmt.Errorf("persist: %s: data checksum mismatch", s.path)
+	}
+	return nil
+}
+
+func (s *Segment) lock()   { s.mu <- struct{}{} }
+func (s *Segment) unlock() { <-s.mu }
+
+// ErrRetired is returned by Scan on a segment that compaction has already
+// replaced. Callers holding a stale segment list should re-fetch it (the
+// replacement holds the same rows) and retry.
+var ErrRetired = errors.New("persist: segment retired")
+
+// acquire registers an iterator; it fails once the segment is retired.
+func (s *Segment) acquire() error {
+	s.lock()
+	defer s.unlock()
+	if s.closed || s.doomed {
+		return fmt.Errorf("%w: %s", ErrRetired, s.path)
+	}
+	s.refs++
+	return nil
+}
+
+// release drops an iterator reference, completing a pending retire when
+// the last reader finishes.
+func (s *Segment) release() {
+	s.lock()
+	s.refs--
+	done := s.doomed && s.refs == 0 && !s.closed
+	if done {
+		s.closed = true
+	}
+	s.unlock()
+	if done {
+		s.f.Close()
+	}
+}
+
+// retire unlinks the file and closes the descriptor as soon as no iterator
+// is using it (immediately when idle). Used by compaction after the merged
+// replacement is durable.
+func (s *Segment) retire() {
+	s.lock()
+	already := s.doomed
+	s.doomed = true
+	done := s.refs == 0 && !s.closed
+	if done {
+		s.closed = true
+	}
+	s.unlock()
+	if !already {
+		os.Remove(s.path)
+	}
+	if done {
+		s.f.Close()
+	}
+}
+
+// Close closes the descriptor of a non-doomed segment (store shutdown).
+func (s *Segment) Close() error {
+	s.lock()
+	defer s.unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.f.Close()
+}
+
+// seekOff returns the file offset to start decoding from for a scan
+// beginning at from, using the sparse index: the greatest sampled key
+// <= from, or the data start when from precedes every sample.
+func (s *Segment) seekOff(from string) int64 {
+	if from == "" || len(s.meta.Index) == 0 {
+		return int64(len(segHeader))
+	}
+	ix := s.meta.Index
+	// First sample with Key > from; start at its predecessor.
+	i := sort.Search(len(ix), func(i int) bool { return ix[i].Key > from })
+	if i == 0 {
+		return int64(len(segHeader))
+	}
+	return ix[i-1].Off
+}
+
+// Scan streams the segment's rows within rg in clustering-key order.
+func (s *Segment) Scan(rg Range) (Iterator, error) {
+	if !s.Overlaps(rg) {
+		return NewSliceIter(nil), nil
+	}
+	if err := s.acquire(); err != nil {
+		return nil, err
+	}
+	off := s.seekOff(rg.From)
+	sr := io.NewSectionReader(s.f, off, s.meta.DataLen-off)
+	return &segIter{
+		s:  s,
+		br: bufio.NewReaderSize(sr, 32<<10),
+		rg: rg,
+	}, nil
+}
+
+// segIter decodes rows off disk on demand.
+type segIter struct {
+	s      *Segment
+	br     *bufio.Reader
+	rg     Range
+	err    error
+	closed bool
+}
+
+func (it *segIter) Next() (Row, bool) {
+	if it.closed || it.err != nil {
+		return Row{}, false
+	}
+	for {
+		r, err := ReadRow(it.br)
+		if err == io.EOF {
+			return Row{}, false
+		}
+		if err != nil {
+			it.err = fmt.Errorf("persist: %s: %w", it.s.path, err)
+			return Row{}, false
+		}
+		if it.rg.To != "" && r.Key >= it.rg.To {
+			return Row{}, false
+		}
+		if it.rg.From != "" && r.Key < it.rg.From {
+			continue // skipping from the sparse-index seek point
+		}
+		return r, true
+	}
+}
+
+func (it *segIter) Err() error { return it.err }
+
+func (it *segIter) Close() error {
+	if it.closed {
+		return nil
+	}
+	it.closed = true
+	it.s.release()
+	return nil
+}

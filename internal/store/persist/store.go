@@ -1,0 +1,372 @@
+package persist
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Store manages the immutable segment files of one storage node: flushes
+// append new segments, reads snapshot the per-partition segment list, and
+// compaction merges a partition's segments into one with last-write-wins
+// semantics. Files are named <seq>.seg with a node-wide sequence; the
+// footer identifies the table and partition, so no escaping of partition
+// keys into filenames is ever needed.
+type Store struct {
+	dir string
+
+	mu      sync.Mutex
+	nextSeq uint64
+	segs    map[segKey][]*Segment // ordered by Seq, oldest first
+	tables  map[string]bool       // durable table catalog (tables manifest)
+
+	flushes           atomic.Int64
+	flushedRows       atomic.Int64
+	compactions       atomic.Int64
+	compactedSegments atomic.Int64
+	compactedRows     atomic.Int64
+}
+
+type segKey struct{ table, pkey string }
+
+// Stats is a snapshot of the store's counters and current on-disk state.
+type Stats struct {
+	Flushes           int64
+	FlushedRows       int64
+	Compactions       int64
+	CompactedSegments int64
+	CompactedRows     int64
+	Segments          int64
+	Bytes             int64
+}
+
+// OpenStore opens (creating if needed) the segment directory and loads
+// every segment file's footer.
+func OpenStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &Store{dir: dir, segs: make(map[segKey][]*Segment), tables: make(map[string]bool)}
+	if err := s.loadTables(); err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasSuffix(name, segTempExt) {
+			// Leftover of a flush cut short by a crash; the rows are still
+			// in the commitlog, so the partial file is just garbage.
+			os.Remove(filepath.Join(dir, name))
+			continue
+		}
+		if !strings.HasSuffix(name, segFileExt) {
+			continue
+		}
+		seg, err := OpenSegment(filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("persist: open %s: %w", name, err)
+		}
+		k := segKey{seg.Table(), seg.Partition()}
+		s.segs[k] = append(s.segs[k], seg)
+		if seg.Seq() >= s.nextSeq {
+			s.nextSeq = seg.Seq() + 1
+		}
+	}
+	for _, list := range s.segs {
+		sort.Slice(list, func(i, j int) bool { return list[i].Seq() < list[j].Seq() })
+	}
+	return s, nil
+}
+
+func (s *Store) segPath(seq uint64) string {
+	return filepath.Join(s.dir, fmt.Sprintf("%020d%s", seq, segFileExt))
+}
+
+// tablesManifest is the durable table catalog: one table name per line.
+// Commitlog create-table records alone cannot survive a checkpoint — a
+// table with no rows has no segment footers and its WAL segment gets
+// truncated — so table creation also lands here, written atomically.
+const tablesManifest = "TABLES"
+
+func (s *Store) loadTables() error {
+	data, err := os.ReadFile(filepath.Join(s.dir, tablesManifest))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	for _, name := range strings.Split(string(data), "\n") {
+		if name != "" {
+			s.tables[name] = true
+		}
+	}
+	return nil
+}
+
+// AddTable durably records a table in the manifest. Idempotent.
+func (s *Store) AddTable(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.tables[name] {
+		return nil
+	}
+	names := make([]string, 0, len(s.tables)+1)
+	for t := range s.tables {
+		names = append(names, t)
+	}
+	names = append(names, name)
+	sort.Strings(names)
+	path := filepath.Join(s.dir, tablesManifest)
+	tmp := path + segTempExt
+	if err := os.WriteFile(tmp, []byte(strings.Join(names, "\n")+"\n"), 0o644); err != nil {
+		return err
+	}
+	f, err := os.Open(tmp)
+	if err != nil {
+		return err
+	}
+	serr := f.Sync()
+	f.Close()
+	if serr != nil {
+		return serr
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	if err := syncDir(path); err != nil {
+		return err
+	}
+	s.tables[name] = true
+	return nil
+}
+
+// Tables returns the manifest's table names, sorted.
+func (s *Store) Tables() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.tables))
+	for t := range s.tables {
+		names = append(names, t)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Flush writes rows (sorted, unique clustering keys) as a new immutable
+// segment of the partition and registers it.
+func (s *Store) Flush(table, pkey string, rows []Row) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	seq := s.nextSeq
+	s.nextSeq++
+	s.mu.Unlock()
+	w, err := NewWriter(s.segPath(seq), table, pkey, seq)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := w.Append(r); err != nil {
+			w.Abort()
+			return err
+		}
+	}
+	seg, err := w.Finish()
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	k := segKey{table, pkey}
+	s.segs[k] = append(s.segs[k], seg)
+	s.mu.Unlock()
+	s.flushes.Add(1)
+	s.flushedRows.Add(int64(len(rows)))
+	return nil
+}
+
+// Segments returns the partition's segment list, oldest first. The slice
+// is a copy; the segments themselves are shared and immutable.
+func (s *Store) Segments(table, pkey string) []*Segment {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	list := s.segs[segKey{table, pkey}]
+	out := make([]*Segment, len(list))
+	copy(out, list)
+	return out
+}
+
+// Partitions returns every (table, partition) with at least one segment,
+// as table -> sorted partition keys. Used by recovery to materialize
+// partitions that exist only on disk.
+func (s *Store) Partitions() map[string][]string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string][]string)
+	for k := range s.segs {
+		out[k.table] = append(out[k.table], k.pkey)
+	}
+	for _, keys := range out {
+		sort.Strings(keys)
+	}
+	return out
+}
+
+// MaxWriteTS returns the largest logical write timestamp across all
+// segments — recovery seeds the store's timestamp counter with it so
+// post-restart writes keep winning last-write-wins.
+func (s *Store) MaxWriteTS() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var max int64
+	for _, list := range s.segs {
+		for _, seg := range list {
+			if ts := seg.MaxWriteTS(); ts > max {
+				max = ts
+			}
+		}
+	}
+	return max
+}
+
+// CompactPartition merges the partition's current segments into one when
+// it has more than threshold of them (threshold <= 1 forces a merge of any
+// multi-segment partition). Concurrent flushes are safe: segments
+// registered after the merge snapshot is taken are preserved behind the
+// merged segment. Callers must serialize CompactPartition calls per store.
+func (s *Store) CompactPartition(table, pkey string, threshold int) (bool, error) {
+	k := segKey{table, pkey}
+	s.mu.Lock()
+	list := s.segs[k]
+	if len(list) <= 1 || len(list) <= threshold {
+		s.mu.Unlock()
+		return false, nil
+	}
+	old := make([]*Segment, len(list))
+	copy(old, list)
+	seq := s.nextSeq
+	s.nextSeq++
+	s.mu.Unlock()
+
+	its := make([]Iterator, 0, len(old))
+	for _, seg := range old {
+		it, err := seg.Scan(Range{})
+		if err != nil {
+			for _, open := range its {
+				open.Close()
+			}
+			return false, err
+		}
+		its = append(its, it)
+	}
+	merged := MergeIters(its)
+	defer merged.Close()
+	w, err := NewWriter(s.segPath(seq), table, pkey, seq)
+	if err != nil {
+		return false, err
+	}
+	rows := 0
+	for {
+		r, ok := merged.Next()
+		if !ok {
+			break
+		}
+		if err := w.Append(r); err != nil {
+			w.Abort()
+			return false, err
+		}
+		rows++
+	}
+	if err := merged.Err(); err != nil {
+		w.Abort()
+		return false, err
+	}
+	seg, err := w.Finish()
+	if err != nil {
+		return false, err
+	}
+
+	s.mu.Lock()
+	cur := s.segs[k]
+	// cur = old ++ segments flushed during the merge; keep the new ones.
+	tail := cur[len(old):]
+	next := make([]*Segment, 0, 1+len(tail))
+	next = append(next, seg)
+	next = append(next, tail...)
+	s.segs[k] = next
+	s.mu.Unlock()
+	for _, o := range old {
+		o.retire()
+	}
+	s.compactions.Add(1)
+	s.compactedSegments.Add(int64(len(old)))
+	s.compactedRows.Add(int64(rows))
+	return true, nil
+}
+
+// CompactOverflow compacts every partition whose segment count exceeds
+// threshold, returning the number of partitions compacted.
+func (s *Store) CompactOverflow(threshold int) (int, error) {
+	s.mu.Lock()
+	var keys []segKey
+	for k, list := range s.segs {
+		if len(list) > threshold && len(list) > 1 {
+			keys = append(keys, k)
+		}
+	}
+	s.mu.Unlock()
+	n := 0
+	for _, k := range keys {
+		did, err := s.CompactPartition(k.table, k.pkey, threshold)
+		if err != nil {
+			return n, err
+		}
+		if did {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// Stats returns a snapshot of counters plus the live segment totals.
+func (s *Store) Stats() Stats {
+	st := Stats{
+		Flushes:           s.flushes.Load(),
+		FlushedRows:       s.flushedRows.Load(),
+		Compactions:       s.compactions.Load(),
+		CompactedSegments: s.compactedSegments.Load(),
+		CompactedRows:     s.compactedRows.Load(),
+	}
+	s.mu.Lock()
+	for _, list := range s.segs {
+		st.Segments += int64(len(list))
+		for _, seg := range list {
+			st.Bytes += seg.Size()
+		}
+	}
+	s.mu.Unlock()
+	return st
+}
+
+// Close closes every open segment descriptor.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	for _, list := range s.segs {
+		for _, seg := range list {
+			if err := seg.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}

@@ -15,83 +15,36 @@
 // compaction pass bounds the segment count. Writes and reads are routed by
 // a coordinator through the ring with tunable consistency (ONE / QUORUM /
 // ALL).
+//
+// With Config.Dir set the store is durable: every write goes through a
+// per-node commitlog (internal/wal) before it is acknowledged, memtable
+// flushes produce immutable on-disk segment files
+// (internal/store/persist), a background compactor merges segment files
+// and truncates obsolete commitlog segments, and OpenDurable replays the
+// commitlog into memtables on startup. With Dir empty everything stays in
+// RAM, exactly as before.
 package store
 
 import (
-	"fmt"
 	"sort"
+
+	"hpclog/internal/store/persist"
 )
 
-// Row is one clustered row within a partition. Columns are free-form
-// name/value pairs, allowing every event type and application run to carry
-// its own set of columns ("each application run may include columns unique
-// to it", Section II-B).
-type Row struct {
-	// Key is the clustering key. Rows in a partition are sorted by Key
-	// bytewise, so callers encode timestamps with EncodeTS to obtain
-	// chronological order.
-	Key string
-	// Columns holds the cell values of the row.
-	Columns map[string]string
-	// WriteTS is the logical write timestamp used for last-write-wins
-	// reconciliation between replicas and across segments.
-	WriteTS int64
-}
+// Row is one clustered row within a partition; see persist.Row for the
+// field documentation. The type lives in internal/store/persist so the
+// on-disk segment layer can share it without an import cycle.
+type Row = persist.Row
 
-// Clone returns a deep copy of the row.
-func (r Row) Clone() Row {
-	c := Row{Key: r.Key, WriteTS: r.WriteTS, Columns: make(map[string]string, len(r.Columns))}
-	for k, v := range r.Columns {
-		c.Columns[k] = v
-	}
-	return c
-}
-
-// Col returns the named column value, or "" if absent.
-func (r Row) Col(name string) string { return r.Columns[name] }
-
-// Range selects clustering keys in [From, To). Zero-value fields mean
-// unbounded on that side; the zero Range selects the whole partition.
-type Range struct {
-	From string // inclusive lower bound; "" = unbounded
-	To   string // exclusive upper bound; "" = unbounded
-}
-
-// Contains reports whether key falls within the range.
-func (rg Range) Contains(key string) bool {
-	if rg.From != "" && key < rg.From {
-		return false
-	}
-	if rg.To != "" && key >= rg.To {
-		return false
-	}
-	return true
-}
+// Range selects clustering keys in [From, To); see persist.Range.
+type Range = persist.Range
 
 // EncodeTS encodes a unix timestamp (seconds or any non-negative int64) as
 // a fixed-width decimal string whose bytewise order matches numeric order.
-func EncodeTS(ts int64) string {
-	if ts < 0 {
-		panic(fmt.Sprintf("store: EncodeTS(%d) negative", ts))
-	}
-	return fmt.Sprintf("%019d", ts)
-}
+func EncodeTS(ts int64) string { return persist.EncodeTS(ts) }
 
 // DecodeTS reverses EncodeTS on the leading 19 bytes of a clustering key.
-func DecodeTS(key string) (int64, error) {
-	if len(key) < 19 {
-		return 0, fmt.Errorf("store: clustering key %q too short for timestamp", key)
-	}
-	var ts int64
-	for i := 0; i < 19; i++ {
-		c := key[i]
-		if c < '0' || c > '9' {
-			return 0, fmt.Errorf("store: clustering key %q has non-digit timestamp", key)
-		}
-		ts = ts*10 + int64(c-'0')
-	}
-	return ts, nil
-}
+func DecodeTS(key string) (int64, error) { return persist.DecodeTS(key) }
 
 // mergeRows merges sorted row slices into one sorted slice, resolving
 // duplicate clustering keys by keeping the row with the largest WriteTS

@@ -1,30 +1,34 @@
 package store
 
-import "fmt"
+import (
+	"fmt"
+
+	"hpclog/internal/store/persist"
+)
 
 // RowIter streams rows of one partition in clustering-key order. It is the
 // streaming counterpart of Get: rows are produced on demand from a
-// point-in-time snapshot of the partition, so a scan never materializes
-// the whole partition and never blocks concurrent writers.
+// point-in-time snapshot of the partition — on durable nodes straight off
+// the immutable on-disk segment files — so a scan never materializes the
+// whole partition and never blocks concurrent writers.
 //
 // Iterators are not safe for concurrent use; each goroutine of a parallel
-// scan should open its own.
-type RowIter interface {
-	// Next returns the next row. ok == false means the scan is exhausted
-	// or failed; check Err afterwards.
-	Next() (Row, bool)
-	// Err reports the first error encountered, or nil.
-	Err() error
-	// Close releases the iterator. It is idempotent.
-	Close() error
-}
+// scan should open its own. RowIter is an alias of persist.Iterator so the
+// storage and persistence layers share one streaming contract.
+type RowIter = persist.Iterator
+
+// NewSliceIter wraps an already-materialized, sorted row slice in a
+// RowIter. Used for the Quorum/All fallback and by tests.
+func NewSliceIter(rows []Row) RowIter { return persist.NewSliceIter(rows) }
 
 // ScanPartition opens a streaming scan over one partition's rows within
 // the clustering range. At consistency One the scan streams from a
 // snapshot of the first live replica — the fast path the partition-parallel
-// query planner uses. Quorum/All scans require cross-replica reconciliation
-// and read repair, which need the materialized row set, so they fall back
-// to Get and stream the reconciled result.
+// query planner uses. On durable nodes the snapshot's segment inputs are
+// pruned by each file's footer key range and decoded lazily off disk.
+// Quorum/All scans require cross-replica reconciliation and read repair,
+// which need the materialized row set, so they fall back to Get and stream
+// the reconciled result.
 //
 // The yielded rows share column maps with the store; callers must treat
 // them as read-only.
@@ -49,7 +53,8 @@ func (db *DB) ScanPartition(tableName, pkey string, rg Range, cl Consistency) (R
 		ErrUnavailable, tableName, pkey)
 }
 
-// scanPartition streams one partition of this node.
+// scanPartition streams one partition of this node: a lazy last-write-wins
+// k-way merge over the point-in-time snapshot captured by snapshotIters.
 func (n *Node) scanPartition(tableName, pkey string, rg Range) (RowIter, error) {
 	t, err := n.table(tableName)
 	if err != nil {
@@ -59,128 +64,9 @@ func (n *Node) scanPartition(tableName, pkey string, rg Range) (RowIter, error) 
 	if p == nil {
 		return NewSliceIter(nil), nil
 	}
-	return newMergeIter(p.snapshotLists(rg)), nil
-}
-
-// snapshotLists captures a point-in-time view of the partition restricted
-// to rg: the immutable segment row slices (shared — segments are never
-// mutated after flush) plus a copy of the in-range memtable rows (the
-// memtable is mutated in place, so it must be copied). The lists are
-// ordered oldest segment first, memtable last, matching the merge order of
-// read so last-write-wins reconciliation is identical.
-func (p *partition) snapshotLists(rg Range) [][]Row {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	lists := make([][]Row, 0, len(p.segments)+1)
-	for _, s := range p.segments {
-		if in := sliceRange(s.rows, rg); len(in) > 0 {
-			lists = append(lists, in)
-		}
+	its, err := p.snapshotIters(rg)
+	if err != nil {
+		return nil, err
 	}
-	if in := sliceRange(p.mem, rg); len(in) > 0 {
-		memCopy := make([]Row, len(in))
-		copy(memCopy, in)
-		lists = append(lists, memCopy)
-	}
-	return lists
-}
-
-// sliceIter adapts a materialized row slice to RowIter.
-type sliceIter struct {
-	rows []Row
-	pos  int
-}
-
-// NewSliceIter wraps an already-materialized, sorted row slice in a
-// RowIter. Used for the Quorum/All fallback and by tests.
-func NewSliceIter(rows []Row) RowIter { return &sliceIter{rows: rows} }
-
-func (it *sliceIter) Next() (Row, bool) {
-	if it.pos >= len(it.rows) {
-		return Row{}, false
-	}
-	r := it.rows[it.pos]
-	it.pos++
-	return r, true
-}
-
-func (it *sliceIter) Err() error   { return nil }
-func (it *sliceIter) Close() error { it.pos = len(it.rows); return nil }
-
-// mergeIter lazily k-way merges sorted row lists with last-write-wins
-// reconciliation on duplicate clustering keys. It reproduces mergeRows'
-// semantics exactly — among equal keys the row with the largest WriteTS
-// wins, with later input lists breaking WriteTS ties — but yields one row
-// at a time instead of building the merged slice up front.
-type mergeIter struct {
-	lists [][]Row
-	idx   []int
-	// pending is the current candidate row, not yet emitted because a
-	// later duplicate with a higher WriteTS may still replace it.
-	pending    Row
-	hasPending bool
-	closed     bool
-}
-
-func newMergeIter(lists [][]Row) RowIter {
-	return &mergeIter{lists: lists, idx: make([]int, len(lists))}
-}
-
-// pop removes and returns the smallest-key row across all lists, scanning
-// lists in order with a strict < comparison so earlier lists pop first on
-// ties — the same selection rule as mergeRows.
-func (it *mergeIter) pop() (Row, bool) {
-	best := -1
-	for i, l := range it.lists {
-		if it.idx[i] >= len(l) {
-			continue
-		}
-		if best == -1 || l[it.idx[i]].Key < it.lists[best][it.idx[best]].Key {
-			best = i
-		}
-	}
-	if best == -1 {
-		return Row{}, false
-	}
-	r := it.lists[best][it.idx[best]]
-	it.idx[best]++
-	return r, true
-}
-
-func (it *mergeIter) Next() (Row, bool) {
-	if it.closed {
-		return Row{}, false
-	}
-	for {
-		r, ok := it.pop()
-		if !ok {
-			if it.hasPending {
-				it.hasPending = false
-				return it.pending, true
-			}
-			return Row{}, false
-		}
-		if !it.hasPending {
-			it.pending, it.hasPending = r, true
-			continue
-		}
-		if r.Key == it.pending.Key {
-			if r.WriteTS >= it.pending.WriteTS {
-				it.pending = r
-			}
-			continue
-		}
-		out := it.pending
-		it.pending = r
-		return out, true
-	}
-}
-
-func (it *mergeIter) Err() error { return nil }
-
-func (it *mergeIter) Close() error {
-	it.closed = true
-	it.hasPending = false
-	it.lists = nil
-	return nil
+	return persist.MergeIters(its), nil
 }

@@ -71,7 +71,9 @@ func (db *DB) Restore(r io.Reader, cl Consistency) (int, error) {
 		return 0, fmt.Errorf("store: restore tables: %w", err)
 	}
 	for _, t := range tables {
-		db.CreateTable(t)
+		if err := db.CreateTable(t); err != nil {
+			return 0, err
+		}
 	}
 	restored := 0
 	for {

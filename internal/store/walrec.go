@@ -1,0 +1,104 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"hpclog/internal/store/persist"
+)
+
+// Commitlog record payloads. Two record types cover every durable
+// mutation: a put-batch (one partition's worth of stamped rows) and a
+// table creation. Rows reuse the persist binary codec, so the commitlog
+// and the segment files share one row encoding.
+const (
+	recPut         = byte(1)
+	recCreateTable = byte(2)
+)
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// encodePutRecord encodes a put-batch commitlog record.
+func encodePutRecord(buf []byte, table, pkey string, rows []Row) []byte {
+	buf = append(buf, recPut)
+	buf = appendString(buf, table)
+	buf = appendString(buf, pkey)
+	buf = binary.AppendUvarint(buf, uint64(len(rows)))
+	for _, r := range rows {
+		buf = persist.AppendRow(buf, r)
+	}
+	return buf
+}
+
+// encodeCreateTableRecord encodes a table-creation commitlog record.
+func encodeCreateTableRecord(buf []byte, name string) []byte {
+	buf = append(buf, recCreateTable)
+	return appendString(buf, name)
+}
+
+// walRecord is a decoded commitlog record.
+type walRecord struct {
+	kind  byte
+	table string // recPut, recCreateTable (name)
+	pkey  string // recPut
+	rows  []Row  // recPut
+}
+
+func readRecString(br *bytes.Reader) (string, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(br.Len()) {
+		return "", fmt.Errorf("store: wal record string overruns payload")
+	}
+	buf := make([]byte, n)
+	if _, err := br.Read(buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+// decodeWALRecord decodes a commitlog record payload.
+func decodeWALRecord(payload []byte) (walRecord, error) {
+	if len(payload) == 0 {
+		return walRecord{}, fmt.Errorf("store: empty wal record")
+	}
+	br := bytes.NewReader(payload[1:])
+	switch payload[0] {
+	case recCreateTable:
+		name, err := readRecString(br)
+		if err != nil {
+			return walRecord{}, fmt.Errorf("store: wal create-table record: %w", err)
+		}
+		return walRecord{kind: recCreateTable, table: name}, nil
+	case recPut:
+		table, err := readRecString(br)
+		if err != nil {
+			return walRecord{}, fmt.Errorf("store: wal put record table: %w", err)
+		}
+		pkey, err := readRecString(br)
+		if err != nil {
+			return walRecord{}, fmt.Errorf("store: wal put record pkey: %w", err)
+		}
+		n, err := binary.ReadUvarint(br)
+		if err != nil || n > uint64(br.Len()) {
+			return walRecord{}, fmt.Errorf("store: wal put record row count")
+		}
+		rows := make([]Row, 0, n)
+		for i := uint64(0); i < n; i++ {
+			r, err := persist.ReadRow(br)
+			if err != nil {
+				return walRecord{}, fmt.Errorf("store: wal put record row %d: %w", i, err)
+			}
+			rows = append(rows, r)
+		}
+		return walRecord{kind: recPut, table: table, pkey: pkey, rows: rows}, nil
+	default:
+		return walRecord{}, fmt.Errorf("store: unknown wal record type %d", payload[0])
+	}
+}

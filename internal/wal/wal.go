@@ -1,0 +1,702 @@
+// Package wal implements a per-node append-only commitlog: CRC-framed
+// records in rotating segment files, batched group-commit fsync, replay
+// with torn-tail tolerance, and truncation of segments whose records have
+// been flushed into immutable storage.
+//
+// The log is payload-agnostic — callers hand it opaque byte records (the
+// store encodes put-batch and create-table records with the persist row
+// codec) and get back an LSN whose segment index drives truncation.
+//
+// Durability contract: in batch mode (the default, SyncPeriod == 0) Append
+// returns only after the record is flushed and fsynced, with concurrent
+// appenders sharing one fsync (group commit — the first waiter becomes the
+// sync leader while the rest park on a condition variable). In periodic
+// mode (SyncPeriod > 0) Append returns immediately and a background ticker
+// syncs, trading a bounded window of acked-but-volatile records for
+// throughput, like Cassandra's commitlog_sync: periodic.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+const (
+	fileHeader = "HPWAL001"
+	headerLen  = len(fileHeader) + 8 // magic + u64 segment index
+	frameLen   = 8                   // u32 payload length + u32 crc32
+	// maxRecordBytes is a corruption sanity bound on decoded frame lengths.
+	maxRecordBytes = 256 << 20
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrClosed is returned by operations on a closed log.
+var ErrClosed = errors.New("wal: log closed")
+
+// LSN locates a record: the segment file index and the byte offset of its
+// frame within that segment. Segment indices start at 1.
+type LSN struct {
+	Seg uint64
+	Off int64
+}
+
+// Options configures a commitlog.
+type Options struct {
+	// Dir holds the wal-<seg>.log segment files.
+	Dir string
+	// SegmentBytes rotates the active segment once it grows past this size
+	// (default 8 MiB).
+	SegmentBytes int64
+	// SyncPeriod selects the sync mode: 0 (default) is batch group-commit,
+	// every Append waits for fsync; > 0 is periodic, Append returns after
+	// the buffered write and a background ticker fsyncs.
+	SyncPeriod time.Duration
+	// NoSync skips fsync entirely (benchmarks and bulk loads only — a
+	// crash may lose acked records).
+	NoSync bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 8 << 20
+	}
+	return o
+}
+
+// Stats is a snapshot of commitlog counters.
+type Stats struct {
+	Appends           int64
+	Syncs             int64
+	Rotations         int64
+	BytesWritten      int64
+	Segments          int64 // live segment files
+	TruncatedSegments int64 // segment files removed by TruncateBelow
+	TornBytes         int64 // torn-tail bytes discarded at open
+}
+
+// Log is an append-only commitlog. All methods are safe for concurrent
+// use, except Replay which must complete before the first Append.
+type Log struct {
+	opts Options
+
+	mu        sync.Mutex // guards the file state below
+	f         *os.File
+	w         *bufWriter
+	seg       uint64 // active segment index
+	size      int64  // bytes written to the active segment (incl. header)
+	firstSeg  uint64 // lowest live segment index
+	appendSeq int64  // count of appends issued
+	closed    bool
+	// wErr latches the first write/rotate failure: buffered bytes may have
+	// been lost, so every subsequent operation must fail rather than
+	// acknowledge records that can no longer reach disk.
+	wErr error
+
+	sm        sync.Mutex // guards the group-commit state below
+	cond      *sync.Cond
+	syncedSeq int64 // appends known durable
+	syncing   bool
+	syncErr   error // latched: a failed sync poisons the log
+
+	stopPeriodic    chan struct{}
+	donePeriodic    chan struct{}
+	periodicStopped bool // guarded by mu
+
+	appends   atomic.Int64
+	syncs     atomic.Int64
+	rotations atomic.Int64
+	bytes     atomic.Int64
+	truncated atomic.Int64
+	torn      atomic.Int64
+}
+
+// bufWriter is a minimal buffered writer (bufio.Writer without the
+// interface indirection) so Append's hot path stays allocation-free.
+type bufWriter struct {
+	f   *os.File
+	buf []byte
+}
+
+func (b *bufWriter) write(p []byte) {
+	b.buf = append(b.buf, p...)
+}
+
+func (b *bufWriter) flush() error {
+	if len(b.buf) == 0 {
+		return nil
+	}
+	_, err := b.f.Write(b.buf)
+	b.buf = b.buf[:0]
+	return err
+}
+
+// Open opens (creating if needed) the commitlog in opts.Dir. The torn tail
+// of the newest segment — a record cut mid-write by a crash — is detected
+// by CRC, counted in Stats.TornBytes, and truncated away so appends resume
+// at the last durable record boundary. Complete records are never touched.
+func Open(opts Options) (*Log, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	l := &Log{opts: opts}
+	l.cond = sync.NewCond(&l.sm)
+	segs, err := listSegments(opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(segs) == 0 {
+		l.firstSeg = 1
+		if err := l.createSegmentLocked(1); err != nil {
+			return nil, err
+		}
+	} else {
+		l.firstSeg = segs[0]
+		last := segs[len(segs)-1]
+		cleanEnd, tornBytes, err := scanSegment(segPath(opts.Dir, last), last)
+		if err != nil {
+			return nil, err
+		}
+		if tornBytes > 0 {
+			if err := os.Truncate(segPath(opts.Dir, last), cleanEnd); err != nil {
+				return nil, err
+			}
+			l.torn.Add(tornBytes)
+		}
+		f, err := os.OpenFile(segPath(opts.Dir, last), os.O_WRONLY, 0)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := f.Seek(cleanEnd, io.SeekStart); err != nil {
+			f.Close()
+			return nil, err
+		}
+		l.f = f
+		l.w = &bufWriter{f: f}
+		l.seg = last
+		l.size = cleanEnd
+	}
+	if opts.SyncPeriod > 0 {
+		l.stopPeriodic = make(chan struct{})
+		l.donePeriodic = make(chan struct{})
+		go l.periodicSync()
+	}
+	return l, nil
+}
+
+func segPath(dir string, seg uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%016d.log", seg))
+}
+
+func listSegments(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []uint64
+	for _, e := range entries {
+		var seg uint64
+		if n, err := fmt.Sscanf(e.Name(), "wal-%016d.log", &seg); n == 1 && err == nil {
+			segs = append(segs, seg)
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	return segs, nil
+}
+
+// createSegmentLocked starts a fresh segment file (caller holds mu, or the
+// log is not yet shared).
+func (l *Log) createSegmentLocked(seg uint64) error {
+	f, err := os.Create(segPath(l.opts.Dir, seg))
+	if err != nil {
+		return err
+	}
+	var hdr [headerLen]byte
+	copy(hdr[:], fileHeader)
+	binary.LittleEndian.PutUint64(hdr[len(fileHeader):], seg)
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return err
+	}
+	if !l.opts.NoSync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+		if err := syncDir(l.opts.Dir); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	l.f = f
+	l.w = &bufWriter{f: f}
+	l.seg = seg
+	l.size = int64(headerLen)
+	return nil
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// Append writes one record and, in batch mode, blocks until it is durable.
+// The returned LSN's segment index feeds flush bookkeeping: a WAL segment
+// may be truncated only once every memtable holding its records has been
+// flushed to immutable storage.
+func (l *Log) Append(payload []byte) (LSN, error) {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return LSN{}, ErrClosed
+	}
+	if l.wErr != nil {
+		err := l.wErr
+		l.mu.Unlock()
+		return LSN{}, err
+	}
+	lsn := LSN{Seg: l.seg, Off: l.size}
+	var frame [frameLen]byte
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, crcTable))
+	l.w.write(frame[:])
+	l.w.write(payload)
+	l.size += int64(frameLen + len(payload))
+	l.appendSeq++
+	seq := l.appendSeq
+	l.appends.Add(1)
+	l.bytes.Add(int64(frameLen + len(payload)))
+	var rerr error
+	if l.size >= l.opts.SegmentBytes {
+		rerr = l.rotateLocked()
+	}
+	l.mu.Unlock()
+	if rerr != nil {
+		return lsn, rerr
+	}
+	if l.opts.NoSync || l.opts.SyncPeriod > 0 {
+		// Even on the no-wait paths a latched sync failure must surface:
+		// acking writes that a poisoned background sync will never persist
+		// would turn the bounded periodic-mode loss window into unbounded
+		// silent loss.
+		l.sm.Lock()
+		serr := l.syncErr
+		l.sm.Unlock()
+		return lsn, serr
+	}
+	return lsn, l.waitDurable(seq)
+}
+
+// waitDurable blocks until appends up to seq are fsynced, electing the
+// first waiter as the group-commit leader.
+func (l *Log) waitDurable(seq int64) error {
+	l.sm.Lock()
+	for l.syncedSeq < seq {
+		if l.syncErr != nil {
+			err := l.syncErr
+			l.sm.Unlock()
+			return err
+		}
+		if !l.syncing {
+			l.syncing = true
+			l.sm.Unlock()
+			target, err := l.flushAndSync()
+			l.sm.Lock()
+			l.syncing = false
+			if err != nil {
+				l.syncErr = err
+			} else if target > l.syncedSeq {
+				l.syncedSeq = target
+			}
+			l.cond.Broadcast()
+		} else {
+			l.cond.Wait()
+		}
+	}
+	l.sm.Unlock()
+	return nil
+}
+
+// flushAndSync flushes the buffer and fsyncs, returning the append
+// sequence the sync covers. Never called with sm held.
+func (l *Log) flushAndSync() (int64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		// Close already flushed and synced everything.
+		return l.appendSeq, nil
+	}
+	if l.wErr != nil {
+		return 0, l.wErr
+	}
+	target := l.appendSeq
+	if err := l.w.flush(); err != nil {
+		l.wErr = err
+		return 0, err
+	}
+	if !l.opts.NoSync {
+		if err := l.f.Sync(); err != nil {
+			l.wErr = err
+			return 0, err
+		}
+	}
+	l.syncs.Add(1)
+	return target, nil
+}
+
+// rotateLocked seals the active segment (flush + fsync + close) and starts
+// the next one. Everything appended so far is durable afterwards. Any
+// failure poisons the log — buffered records of concurrent appenders may
+// be gone, so they must observe the error instead of a successful
+// (empty-buffer) sync advancing syncedSeq past them.
+func (l *Log) rotateLocked() error {
+	err := l.w.flush()
+	if err == nil && !l.opts.NoSync {
+		err = l.f.Sync()
+	}
+	if err == nil {
+		err = l.f.Close()
+	}
+	if err != nil {
+		l.wErr = err
+		l.sm.Lock()
+		if l.syncErr == nil {
+			l.syncErr = err
+		}
+		l.cond.Broadcast()
+		l.sm.Unlock()
+		return err
+	}
+	l.syncs.Add(1)
+	l.rotations.Add(1)
+	l.sm.Lock()
+	if l.appendSeq > l.syncedSeq {
+		l.syncedSeq = l.appendSeq
+	}
+	l.cond.Broadcast()
+	l.sm.Unlock()
+	if err := l.createSegmentLocked(l.seg + 1); err != nil {
+		l.wErr = err
+		return err
+	}
+	return nil
+}
+
+func (l *Log) periodicSync() {
+	defer close(l.donePeriodic)
+	t := time.NewTicker(l.opts.SyncPeriod)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.stopPeriodic:
+			return
+		case <-t.C:
+			target, err := l.flushAndSync()
+			l.sm.Lock()
+			if err != nil {
+				if l.syncErr == nil {
+					l.syncErr = err
+				}
+			} else if target > l.syncedSeq {
+				l.syncedSeq = target
+			}
+			l.cond.Broadcast()
+			l.sm.Unlock()
+		}
+	}
+}
+
+// Rotate seals the active segment and starts a fresh one, so that a
+// subsequent TruncateBelow(ActiveSeg()) can retire every record appended
+// so far. A no-op when the active segment is empty. Used by explicit
+// checkpoints (store.DB.Flush) — size-based rotation happens automatically
+// on Append.
+func (l *Log) Rotate() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.wErr != nil {
+		return l.wErr
+	}
+	if l.size <= int64(headerLen) {
+		return nil
+	}
+	return l.rotateLocked()
+}
+
+// Sync forces an fsync of everything appended so far.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	seq := l.appendSeq
+	l.mu.Unlock()
+	if l.opts.NoSync {
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		if l.closed {
+			return nil
+		}
+		return l.w.flush()
+	}
+	return l.waitDurable(seq)
+}
+
+// ActiveSeg returns the index of the segment currently appended to.
+func (l *Log) ActiveSeg() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seg
+}
+
+// ReplayStats summarizes a Replay pass.
+type ReplayStats struct {
+	Records  int64
+	Bytes    int64
+	Segments int64
+}
+
+// Replay invokes fn for every record in LSN order. It must complete before
+// the first Append (the store replays during open). Records live in
+// already-sealed files plus the active segment's durable prefix; the torn
+// tail, if any, was removed by Open.
+func (l *Log) Replay(fn func(lsn LSN, payload []byte) error) (ReplayStats, error) {
+	l.mu.Lock()
+	first, last, activeEnd := l.firstSeg, l.seg, l.size
+	l.mu.Unlock()
+	var st ReplayStats
+	for seg := first; seg <= last; seg++ {
+		end := int64(-1)
+		if seg == last {
+			end = activeEnd
+		}
+		n, b, err := replaySegment(segPath(l.opts.Dir, seg), seg, end, fn)
+		st.Records += n
+		st.Bytes += b
+		st.Segments++
+		if err != nil {
+			return st, err
+		}
+	}
+	return st, nil
+}
+
+// replaySegment streams one segment's records. end bounds the read (-1 =
+// whole file). A bad frame ends the segment silently only if it is the
+// torn tail case already handled by Open; sealed segments are expected to
+// be fully valid, so corruption mid-file is an error.
+func replaySegment(path string, seg uint64, end int64, fn func(LSN, []byte) error) (int64, int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer f.Close()
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return 0, 0, fmt.Errorf("wal: %s: short header: %w", path, err)
+	}
+	if string(hdr[:len(fileHeader)]) != fileHeader {
+		return 0, 0, fmt.Errorf("wal: %s: bad magic", path)
+	}
+	if got := binary.LittleEndian.Uint64(hdr[len(fileHeader):]); got != seg {
+		return 0, 0, fmt.Errorf("wal: %s: header segment %d != filename %d", path, got, seg)
+	}
+	if end < 0 {
+		st, err := f.Stat()
+		if err != nil {
+			return 0, 0, err
+		}
+		end = st.Size()
+	}
+	var records, bytesRead int64
+	off := int64(headerLen)
+	var frame [frameLen]byte
+	var payload []byte
+	for off+frameLen <= end {
+		if _, err := io.ReadFull(f, frame[:]); err != nil {
+			return records, bytesRead, fmt.Errorf("wal: %s@%d: frame read: %w", path, off, err)
+		}
+		plen := int64(binary.LittleEndian.Uint32(frame[0:4]))
+		want := binary.LittleEndian.Uint32(frame[4:8])
+		if plen > maxRecordBytes || off+frameLen+plen > end {
+			return records, bytesRead, fmt.Errorf("wal: %s@%d: frame length %d overruns segment", path, off, plen)
+		}
+		if int64(cap(payload)) < plen {
+			payload = make([]byte, plen)
+		}
+		payload = payload[:plen]
+		if _, err := io.ReadFull(f, payload); err != nil {
+			return records, bytesRead, fmt.Errorf("wal: %s@%d: payload read: %w", path, off, err)
+		}
+		if crc32.Checksum(payload, crcTable) != want {
+			return records, bytesRead, fmt.Errorf("wal: %s@%d: record checksum mismatch", path, off)
+		}
+		if err := fn(LSN{Seg: seg, Off: off}, payload); err != nil {
+			return records, bytesRead, err
+		}
+		records++
+		bytesRead += frameLen + plen
+		off += frameLen + plen
+	}
+	if off != end {
+		return records, bytesRead, fmt.Errorf("wal: %s: %d trailing bytes after last frame", path, end-off)
+	}
+	return records, bytesRead, nil
+}
+
+// scanSegment walks a segment's frames and returns the offset of the last
+// valid record boundary plus the number of torn bytes after it.
+func scanSegment(path string, seg uint64) (cleanEnd int64, tornBytes int64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return 0, 0, err
+	}
+	size := st.Size()
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil || string(hdr[:len(fileHeader)]) != fileHeader {
+		// Header itself torn (crash during segment creation): the whole
+		// file is garbage; rewrite it from scratch.
+		if werr := rewriteHeader(path, seg); werr != nil {
+			return 0, 0, werr
+		}
+		return int64(headerLen), size, nil
+	}
+	off := int64(headerLen)
+	var frame [frameLen]byte
+	var payload []byte
+	for {
+		if off+frameLen > size {
+			return off, size - off, nil
+		}
+		if _, err := io.ReadFull(f, frame[:]); err != nil {
+			return off, size - off, nil
+		}
+		plen := int64(binary.LittleEndian.Uint32(frame[0:4]))
+		want := binary.LittleEndian.Uint32(frame[4:8])
+		if plen > maxRecordBytes || off+frameLen+plen > size {
+			return off, size - off, nil
+		}
+		if int64(cap(payload)) < plen {
+			payload = make([]byte, plen)
+		}
+		payload = payload[:plen]
+		if _, err := io.ReadFull(f, payload); err != nil {
+			return off, size - off, nil
+		}
+		if crc32.Checksum(payload, crcTable) != want {
+			return off, size - off, nil
+		}
+		off += frameLen + plen
+	}
+}
+
+func rewriteHeader(path string, seg uint64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var hdr [headerLen]byte
+	copy(hdr[:], fileHeader)
+	binary.LittleEndian.PutUint64(hdr[len(fileHeader):], seg)
+	_, err = f.Write(hdr[:])
+	return err
+}
+
+// TruncateBelow removes sealed segment files with index < cut. The active
+// segment is never removed. Returns the number of files deleted.
+func (l *Log) TruncateBelow(cut uint64) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	if cut > l.seg {
+		cut = l.seg
+	}
+	removed := 0
+	for seg := l.firstSeg; seg < cut; seg++ {
+		if err := os.Remove(segPath(l.opts.Dir, seg)); err != nil && !os.IsNotExist(err) {
+			return removed, err
+		}
+		l.firstSeg = seg + 1
+		removed++
+	}
+	l.truncated.Add(int64(removed))
+	return removed, nil
+}
+
+// Stats returns a snapshot of counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	live := int64(l.seg - l.firstSeg + 1)
+	l.mu.Unlock()
+	return Stats{
+		Appends:           l.appends.Load(),
+		Syncs:             l.syncs.Load(),
+		Rotations:         l.rotations.Load(),
+		BytesWritten:      l.bytes.Load(),
+		Segments:          live,
+		TruncatedSegments: l.truncated.Load(),
+		TornBytes:         l.torn.Load(),
+	}
+}
+
+// Close flushes, fsyncs, and closes the log. Idempotent.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	stop := l.stopPeriodic != nil && !l.periodicStopped
+	if stop {
+		l.periodicStopped = true
+	}
+	l.mu.Unlock()
+	if stop {
+		close(l.stopPeriodic)
+		<-l.donePeriodic
+	}
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	err := l.w.flush()
+	if err == nil && !l.opts.NoSync {
+		err = l.f.Sync()
+	}
+	cerr := l.f.Close()
+	if err == nil {
+		err = cerr
+	}
+	l.closed = true
+	seq := l.appendSeq
+	l.mu.Unlock()
+	l.sm.Lock()
+	if err == nil && seq > l.syncedSeq {
+		l.syncedSeq = seq
+	}
+	if err != nil && l.syncErr == nil {
+		l.syncErr = err
+	}
+	l.cond.Broadcast()
+	l.sm.Unlock()
+	return err
+}

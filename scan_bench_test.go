@@ -18,7 +18,10 @@ import (
 	"time"
 
 	"hpclog/internal/analytics"
+	"hpclog/internal/compute"
+	"hpclog/internal/ingest"
 	"hpclog/internal/model"
+	"hpclog/internal/store"
 	"hpclog/internal/topology"
 )
 
@@ -120,6 +123,64 @@ func TestScanParallelMatchesSerial(t *testing.T) {
 				if !bytes.Equal(serialJSON, parJSON) {
 					t.Fatalf("parallelism %d diverges from serial:\nserial:   %.300s\nparallel: %.300s",
 						par, serialJSON, parJSON)
+				}
+			}
+		})
+	}
+}
+
+// TestScanParallelMatchesSerialDurable repeats the serial/parallel
+// identity on a durably-configured cluster whose flush threshold forces
+// the corpus onto on-disk segment files, and additionally asserts every
+// disk-backed result byte-identical to the in-memory fixture's — the
+// storage engine must be invisible to the scan planner.
+func TestScanParallelMatchesSerialDurable(t *testing.T) {
+	f := getFixture(t)
+	ddb, err := store.OpenDurable(store.Config{
+		Nodes: 8, RF: 3, FlushThreshold: 512,
+		Dir: t.TempDir(), CompactInterval: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ddb.Close()
+	if err := ingest.Bootstrap(ddb, f.cfg.Nodes); err != nil {
+		t.Fatal(err)
+	}
+	loader := ingest.NewLoader(ddb)
+	if err := loader.LoadEvents(f.corpus.Events); err != nil {
+		t.Fatal(err)
+	}
+	if err := loader.LoadRuns(f.corpus.Runs); err != nil {
+		t.Fatal(err)
+	}
+	if ddb.StorageStats().DiskSegments == 0 {
+		t.Fatal("durable cluster produced no on-disk segments")
+	}
+	df := &benchFixture{cfg: f.cfg, corpus: f.corpus, db: ddb,
+		eng: compute.NewEngine(compute.Config{Workers: ddb.NodeIDs(), Threads: 2})}
+	for _, op := range scanOps() {
+		t.Run(op.name, func(t *testing.T) {
+			memRes, err := op.run(f, scanCfg(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			memJSON, err := json.Marshal(memRes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, par := range []int{1, 4, 16} {
+				res, err := op.run(df, scanCfg(par))
+				if err != nil {
+					t.Fatalf("durable parallelism %d: %v", par, err)
+				}
+				got, err := json.Marshal(res)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, memJSON) {
+					t.Fatalf("durable scan (par %d) diverges from in-memory:\nmemory:  %.300s\ndurable: %.300s",
+						par, memJSON, got)
 				}
 			}
 		})
