@@ -31,20 +31,22 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("analyticsd: ")
 	var (
-		addr       = flag.String("addr", ":8080", "listen address")
-		snapPath   = flag.String("snapshot", "", "snapshot file from ingestd")
-		dataDir    = flag.String("data-dir", "", "durable storage directory (from ingestd or a previous run); recovery replays the commitlog")
-		generate   = flag.Bool("generate", false, "generate a demo corpus instead of loading a snapshot")
-		hours      = flag.Float64("hours", 3, "demo corpus window (with -generate)")
-		cabinets   = flag.Int("cabinets", 8, "demo corpus cabinets (with -generate)")
-		storeNodes = flag.Int("store-nodes", 32, "store cluster size")
-		rf         = flag.Int("rf", 3, "replication factor")
-		threads    = flag.Int("threads", 2, "task slots per compute worker")
+		addr        = flag.String("addr", ":8080", "listen address")
+		snapPath    = flag.String("snapshot", "", "snapshot file from ingestd")
+		dataDir     = flag.String("data-dir", "", "durable storage directory (from ingestd or a previous run); recovery replays the commitlog")
+		walTolerate = flag.Bool("wal-tolerate-corrupt", false, "truncate a corrupt commitlog tail instead of refusing to open; records after the damage are lost (with -data-dir)")
+		generate    = flag.Bool("generate", false, "generate a demo corpus instead of loading a snapshot")
+		hours       = flag.Float64("hours", 3, "demo corpus window (with -generate)")
+		cabinets    = flag.Int("cabinets", 8, "demo corpus cabinets (with -generate)")
+		storeNodes  = flag.Int("store-nodes", 32, "store cluster size")
+		rf          = flag.Int("rf", 3, "replication factor")
+		threads     = flag.Int("threads", 2, "task slots per compute worker")
 	)
 	flag.Parse()
 
 	fw, err := core.New(core.Options{
 		StoreNodes: *storeNodes, RF: *rf, Threads: *threads, DataDir: *dataDir,
+		WALTolerateCorruptTail: *walTolerate,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -35,6 +35,7 @@ func main() {
 		snapPath    = flag.String("snapshot", "db.snap", "output snapshot file (\"\" = skip)")
 		dataDir     = flag.String("data-dir", "", "durable storage directory (commitlog + segment files); analyticsd can serve it directly")
 		walNoSync   = flag.Bool("wal-nosync", false, "skip commitlog fsync during the bulk load (with -data-dir)")
+		walTolerate = flag.Bool("wal-tolerate-corrupt", false, "truncate a corrupt commitlog tail instead of refusing to open; records after the damage are lost (with -data-dir)")
 		storeNodes  = flag.Int("store-nodes", 32, "store cluster size")
 		rf          = flag.Int("rf", 3, "replication factor")
 		threads     = flag.Int("threads", 2, "task slots per compute worker")
@@ -43,7 +44,7 @@ func main() {
 
 	fw, err := core.New(core.Options{
 		StoreNodes: *storeNodes, RF: *rf, Threads: *threads,
-		DataDir: *dataDir, WALNoSync: *walNoSync,
+		DataDir: *dataDir, WALNoSync: *walNoSync, WALTolerateCorruptTail: *walTolerate,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -93,10 +94,8 @@ func main() {
 
 	if *dataDir != "" {
 		// Push every memtable into on-disk segments and truncate the
-		// commitlog so analyticsd opens the directory without replay work.
-		if err := fw.DB.Flush(); err != nil {
-			log.Fatal(err)
-		}
+		// commitlog so analyticsd opens the directory without replay work
+		// (Compact starts with a full Flush checkpoint).
 		if _, err := fw.DB.Compact(); err != nil {
 			log.Fatal(err)
 		}

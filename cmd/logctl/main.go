@@ -285,6 +285,7 @@ type storageStats struct {
 	ReplayedRecords      int64  `json:"replayed_records"`
 	ReplayedRows         int64  `json:"replayed_rows"`
 	TornBytes            int64  `json:"torn_bytes"`
+	MaintenanceErrors    int64  `json:"maintenance_errors"`
 }
 
 func printStorageStats(st storageStats) {
@@ -302,6 +303,10 @@ func printStorageStats(st storageStats) {
 	fmt.Printf("  on disk:   %d segments, %.1f MB\n", st.DiskSegments, float64(st.DiskBytes)/(1<<20))
 	fmt.Printf("  recovery:  %d records / %d rows replayed, %d torn bytes ignored\n",
 		st.ReplayedRecords, st.ReplayedRows, st.TornBytes)
+	if st.MaintenanceErrors > 0 {
+		fmt.Printf("  WARNING:   %d background maintenance errors (compaction/WAL truncation failing — check disk)\n",
+			st.MaintenanceErrors)
+	}
 }
 
 // getJSON fetches an endpoint and decodes the result envelope into out.

@@ -53,6 +53,10 @@ type Options struct {
 	WALSyncPeriod time.Duration
 	// WALNoSync disables commitlog fsync (bulk loads and benchmarks).
 	WALNoSync bool
+	// WALTolerateCorruptTail truncates a corrupt commitlog tail instead of
+	// refusing to open (see store.Config.WALTolerateCorruptTail) — an
+	// operator escape hatch; records after the damage are lost.
+	WALTolerateCorruptTail bool
 }
 
 func (o Options) withDefaults() Options {
@@ -87,12 +91,13 @@ type Framework struct {
 func New(opts Options) (*Framework, error) {
 	opts = opts.withDefaults()
 	db, err := store.OpenDurable(store.Config{
-		Nodes:          opts.StoreNodes,
-		RF:             opts.RF,
-		FlushThreshold: opts.FlushThreshold,
-		Dir:            opts.DataDir,
-		WALSyncPeriod:  opts.WALSyncPeriod,
-		WALNoSync:      opts.WALNoSync,
+		Nodes:                  opts.StoreNodes,
+		RF:                     opts.RF,
+		FlushThreshold:         opts.FlushThreshold,
+		Dir:                    opts.DataDir,
+		WALSyncPeriod:          opts.WALSyncPeriod,
+		WALNoSync:              opts.WALNoSync,
+		WALTolerateCorruptTail: opts.WALTolerateCorruptTail,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: open store: %w", err)

@@ -89,6 +89,12 @@ type Config struct {
 	// WALNoSync disables commitlog fsync entirely (benchmarks and bulk
 	// loads only).
 	WALNoSync bool
+	// WALTolerateCorruptTail downgrades mid-segment commitlog corruption
+	// from a refuse-to-open error to truncation at the damage (see
+	// wal.Options.TolerateCorruptTail). An operator escape hatch for
+	// restarting a node whose newest commitlog segment fails its CRC scan
+	// — records after the damage are lost.
+	WALTolerateCorruptTail bool
 	// CompactInterval is the tick of the background compactor that merges
 	// overflowing disk segments and truncates the commitlog (default
 	// 500ms; negative disables the background goroutine — Flush/Compact
@@ -151,9 +157,8 @@ type DB struct {
 // ReplayStats summarizes commitlog recovery across all nodes of a durable
 // cluster.
 type ReplayStats struct {
-	Records   int64 `json:"records"`
-	Rows      int64 `json:"rows"`
-	TornBytes int64 `json:"torn_bytes"`
+	Records int64 `json:"records"`
+	Rows    int64 `json:"rows"`
 }
 
 // Generation returns a counter that advances whenever the database's
@@ -237,7 +242,6 @@ func (db *DB) recover() error {
 		}
 		db.replayStats.Records += records
 		db.replayStats.Rows += rows
-		db.replayStats.TornBytes += n.wal.Stats().TornBytes
 	}
 	// Tables known to any node become cluster-wide (a put record implies
 	// its table, so recovery never loses a table that holds data).
@@ -565,13 +569,19 @@ func (db *DB) PutBatch(tableName, pkey string, rows []Row, cl Consistency) error
 	for _, id := range down {
 		db.hintLog.add(id, hint{table: tableName, pkey: pkey, rows: stamped})
 	}
+	// Replicas append byte-identical commitlog records: encode once, share
+	// the buffer (wal.Append copies it).
+	var encoded []byte
+	if db.cfg.Dir != "" {
+		encoded = encodePutRecord(nil, tableName, pkey, stamped)
+	}
 	var wg sync.WaitGroup
 	errs := make([]error, len(live))
 	for i, n := range live {
 		wg.Add(1)
 		go func(i int, n *Node) {
 			defer wg.Done()
-			errs[i] = n.apply(tableName, pkey, stamped)
+			errs[i] = n.apply(tableName, pkey, stamped, encoded)
 		}(i, n)
 	}
 	wg.Wait()
@@ -641,7 +651,7 @@ func (db *DB) Get(tableName, pkey string, rg Range, cl Consistency) ([]Row, erro
 		if len(missing) == 0 {
 			continue
 		}
-		if err := n.apply(tableName, pkey, missing); err == nil {
+		if err := n.apply(tableName, pkey, missing, nil); err == nil {
 			db.readRepairs.Add(int64(len(missing)))
 			repaired = true
 		}
@@ -705,7 +715,7 @@ func (db *DB) Repair(tableName string) (int, error) {
 			if len(missing) == 0 {
 				continue
 			}
-			if err := db.Node(id).apply(tableName, pkey, missing); err != nil {
+			if err := db.Node(id).apply(tableName, pkey, missing, nil); err != nil {
 				return copied, err
 			}
 			copied += len(missing)

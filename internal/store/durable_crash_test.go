@@ -242,3 +242,56 @@ func TestCrashRecoveryTornWrite(t *testing.T) {
 		t.Fatalf("write after torn-tail repair did not survive reopen: %+v", rows)
 	}
 }
+
+// TestTolerateCorruptTailReachable pins the operator escape hatch: a
+// durable cluster whose newest commitlog segment has mid-segment damage
+// (bad record followed by valid ones) refuses to open by default, and
+// Config.WALTolerateCorruptTail must reach wal.Options so the same
+// directory can be reopened with the tail truncated at the damage.
+func TestTolerateCorruptTailReachable(t *testing.T) {
+	dir := t.TempDir()
+	db, err := OpenDurable(durableCfg(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillDurable(t, db, "events", 2, 8)
+	db.Close()
+	// Flip a payload byte in the first record of every node's newest WAL
+	// segment that holds records (header 16 + frame 8).
+	damaged := 0
+	walFiles, err := filepath.Glob(filepath.Join(dir, "node-*", "wal", "*.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range walFiles {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) < 16+8+8 {
+			continue
+		}
+		data[16+8] ^= 0xff
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		damaged++
+	}
+	if damaged == 0 {
+		t.Fatal("no WAL segment with records to damage")
+	}
+	if db2, err := OpenDurable(durableCfg(dir)); err == nil {
+		db2.Close()
+		t.Fatal("OpenDurable succeeded on mid-segment WAL corruption, want refusal")
+	}
+	cfg := durableCfg(dir)
+	cfg.WALTolerateCorruptTail = true
+	db3, err := OpenDurable(cfg)
+	if err != nil {
+		t.Fatalf("OpenDurable with WALTolerateCorruptTail: %v", err)
+	}
+	defer db3.Close()
+	if st := db3.StorageStats(); st.TornBytes == 0 {
+		t.Fatal("expected TornBytes > 0 after tolerated truncation")
+	}
+}

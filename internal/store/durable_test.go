@@ -337,3 +337,34 @@ func TestSnapshotRestoreOnDurable(t *testing.T) {
 		t.Fatal("snapshot->restore onto durable cluster mismatch")
 	}
 }
+
+// TestDirtySegTracksMinimum pins the commitlog-truncation ordering
+// invariant: a WAL rotation between two concurrent appends can hand the
+// writer of the OLDER segment the partition lock second, so dirtySeg must
+// track the minimum segment over the memtable's records, never a later
+// one. Regressing this lets truncateWAL delete a segment whose acked rows
+// exist only in the memtable.
+func TestDirtySegTracksMinimum(t *testing.T) {
+	n := newNode("n1", 1<<30, 4)
+	p := &partition{node: n, table: "t", key: "k"}
+	if err := p.put([]Row{{Key: "b"}}, 7); err != nil {
+		t.Fatal(err)
+	}
+	if !p.hasDirty || p.dirtySeg != 7 {
+		t.Fatalf("dirtySeg = %d (hasDirty=%v), want 7", p.dirtySeg, p.hasDirty)
+	}
+	// The late-arriving writer whose record landed in the older segment.
+	if err := p.put([]Row{{Key: "a"}}, 5); err != nil {
+		t.Fatal(err)
+	}
+	if p.dirtySeg != 5 {
+		t.Fatalf("dirtySeg = %d after older-segment put, want 5", p.dirtySeg)
+	}
+	// A newer segment must never raise the floor while rows are dirty.
+	if err := p.put([]Row{{Key: "c"}}, 9); err != nil {
+		t.Fatal(err)
+	}
+	if p.dirtySeg != 5 {
+		t.Fatalf("dirtySeg = %d after newer-segment put, want 5", p.dirtySeg)
+	}
+}

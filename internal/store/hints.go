@@ -71,7 +71,7 @@ func (db *DB) DeliverHints(nodeID string) (int, error) {
 	}
 	delivered := 0
 	for _, hn := range db.hintLog.take(nodeID) {
-		if err := node.apply(hn.table, hn.pkey, hn.rows); err != nil {
+		if err := node.apply(hn.table, hn.pkey, hn.rows, nil); err != nil {
 			// Requeue the failed hint and stop.
 			db.hintLog.add(nodeID, hn)
 			return delivered, err

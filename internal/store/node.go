@@ -29,9 +29,12 @@ type partition struct {
 	// segments holds in-memory flushes (non-durable nodes only; durable
 	// flushes go to node.persist).
 	segments []segment
-	// dirtySeg is the commitlog segment of the earliest record whose rows
-	// are still only in the memtable; the commitlog may not be truncated
-	// at or past it. Valid while hasDirty.
+	// dirtySeg is the minimum commitlog segment across all records whose
+	// rows are still only in the memtable; the commitlog may not be
+	// truncated at or past it. It must be the minimum, not the first
+	// observed: a WAL rotation between two concurrent appends can hand the
+	// writer of the older segment the partition lock second. Valid while
+	// hasDirty.
 	dirtySeg uint64
 	hasDirty bool
 }
@@ -42,7 +45,7 @@ func (p *partition) put(rows []Row, walSeg uint64) error {
 	for _, r := range rows {
 		p.insertLocked(r)
 	}
-	if walSeg != 0 && !p.hasDirty && len(p.mem) > 0 {
+	if walSeg != 0 && len(p.mem) > 0 && (!p.hasDirty || walSeg < p.dirtySeg) {
 		p.dirtySeg, p.hasDirty = walSeg, true
 	}
 	if len(p.mem) >= p.node.flushThreshold {
@@ -117,10 +120,10 @@ func (p *partition) compactLocked() {
 
 // itersLocked assembles the partition's merge inputs for rg, oldest first:
 // on-disk segments by sequence, then in-memory segments, then the
-// memtable. copyMem selects whether the in-range memtable rows are copied
-// (required when the iterators outlive the partition lock, i.e. streaming
-// scans) or shared (materializing reads that drain under the lock).
-func (p *partition) itersLocked(rg Range, copyMem bool) ([]persist.Iterator, error) {
+// memtable. The iterators outlive the partition lock (reads drain after
+// releasing it), so the in-range memtable rows are always copied —
+// sharing the live slice would race with insertLocked's in-place insert.
+func (p *partition) itersLocked(rg Range) ([]persist.Iterator, error) {
 	var its []persist.Iterator
 	if p.node.persist != nil {
 		// The segment list is a snapshot; the background compactor may
@@ -154,12 +157,9 @@ func (p *partition) itersLocked(rg Range, copyMem bool) ([]persist.Iterator, err
 		}
 	}
 	if in := sliceRange(p.mem, rg); len(in) > 0 {
-		if copyMem {
-			memCopy := make([]Row, len(in))
-			copy(memCopy, in)
-			in = memCopy
-		}
-		its = append(its, persist.NewSliceIter(in))
+		memCopy := make([]Row, len(in))
+		copy(memCopy, in)
+		its = append(its, persist.NewSliceIter(memCopy))
 	}
 	return its, nil
 }
@@ -192,7 +192,7 @@ func (p *partition) read(rg Range) ([]Row, error) {
 func (p *partition) snapshotIters(rg Range) ([]persist.Iterator, error) {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
-	return p.itersLocked(rg, true)
+	return p.itersLocked(rg)
 }
 
 func (p *partition) rowCount() int {
@@ -342,7 +342,12 @@ func (n *Node) table(name string) (*table, error) {
 	return t, nil
 }
 
-func (n *Node) apply(tableName, pkey string, rows []Row) error {
+// apply writes rows to this node's partition, going through the commitlog
+// first on durable nodes. encoded, when non-nil, is the pre-built put
+// record for (tableName, pkey, rows) — replicas append byte-identical
+// records, so the coordinator encodes once and shares it (wal.Append
+// copies the payload into its own buffer). nil means encode here.
+func (n *Node) apply(tableName, pkey string, rows []Row, encoded []byte) error {
 	t, err := n.table(tableName)
 	if err != nil {
 		return err
@@ -351,7 +356,10 @@ func (n *Node) apply(tableName, pkey string, rows []Row) error {
 	if n.wal != nil {
 		n.truncMu.RLock()
 		defer n.truncMu.RUnlock()
-		lsn, err := n.wal.Append(encodePutRecord(nil, tableName, pkey, rows))
+		if encoded == nil {
+			encoded = encodePutRecord(nil, tableName, pkey, rows)
+		}
+		lsn, err := n.wal.Append(encoded)
 		if err != nil {
 			return fmt.Errorf("store: node %s: commitlog append: %w", n.id, err)
 		}
@@ -466,10 +474,11 @@ func (n *Node) openDurable(dir string, cfg Config) error {
 		return fmt.Errorf("store: node %s: %w", n.id, err)
 	}
 	log, err := wal.Open(wal.Options{
-		Dir:          dir + "/wal",
-		SegmentBytes: cfg.WALSegmentBytes,
-		SyncPeriod:   cfg.WALSyncPeriod,
-		NoSync:       cfg.WALNoSync,
+		Dir:                 dir + "/wal",
+		SegmentBytes:        cfg.WALSegmentBytes,
+		SyncPeriod:          cfg.WALSyncPeriod,
+		NoSync:              cfg.WALNoSync,
+		TolerateCorruptTail: cfg.WALTolerateCorruptTail,
 	})
 	if err != nil {
 		ps.Close()
@@ -485,6 +494,15 @@ func (n *Node) openDurable(dir string, cfg Config) error {
 // the commitlog is replayed into memtables. It returns the largest logical
 // write timestamp observed, so the cluster's timestamp counter can resume
 // past it, and the number of records and rows replayed.
+//
+// Replay may re-insert rows already persisted in on-disk segments: a crash
+// between a memtable flush and the next commitlog truncation leaves the
+// flushed records in the log. Last-write-wins merging keeps every read
+// correct, but rowCount/RowCount count the duplicate physical copies until
+// compaction merges them away, and each crash/restart cycle before a
+// truncation can re-flush the same rows into a new segment. This is the
+// standard LSM recovery tradeoff (idempotent replay instead of a
+// flushed-through LSN per partition).
 func (n *Node) recover() (maxWriteTS int64, records, rows int64, err error) {
 	for _, tbl := range n.persist.Tables() {
 		n.createTableLocal(tbl)

@@ -43,6 +43,14 @@ var crcTable = crc32.MakeTable(crc32.Castagnoli)
 // ErrClosed is returned by operations on a closed log.
 var ErrClosed = errors.New("wal: log closed")
 
+// ErrCorrupt marks structural damage that is not an ordinary torn tail: a
+// bad record followed by well-formed ones in the newest segment (Open), or
+// any malformed frame in a sealed segment (Replay). Truncating silently
+// would discard records that may have been acknowledged, so both paths
+// fail instead. Options.TolerateCorruptTail downgrades the failure to
+// skipping/truncating at the damage.
+var ErrCorrupt = errors.New("wal: segment corrupted")
+
 // LSN locates a record: the segment file index and the byte offset of its
 // frame within that segment. Segment indices start at 1.
 type LSN struct {
@@ -64,6 +72,17 @@ type Options struct {
 	// NoSync skips fsync entirely (benchmarks and bulk loads only — a
 	// crash may lose acked records).
 	NoSync bool
+	// TolerateCorruptTail downgrades mid-segment corruption in the newest
+	// segment from a hard ErrCorrupt failure to the torn-tail treatment:
+	// truncate at the last valid record before the damage, counting the
+	// discarded bytes in Stats.TornBytes. This is an explicit recovery
+	// escape hatch for operators who prefer losing the records after the
+	// damage to a log that refuses to open. It matters after power loss:
+	// an unsynced multi-page write can persist out of order and mimic
+	// corruption without any acked record at risk — in periodic/NoSync
+	// mode, but also in the default batch mode for the final group-commit
+	// batch whose fsync never returned (none of its appends were acked).
+	TolerateCorruptTail bool
 }
 
 func (o Options) withDefaults() Options {
@@ -143,7 +162,9 @@ func (b *bufWriter) flush() error {
 // Open opens (creating if needed) the commitlog in opts.Dir. The torn tail
 // of the newest segment — a record cut mid-write by a crash — is detected
 // by CRC, counted in Stats.TornBytes, and truncated away so appends resume
-// at the last durable record boundary. Complete records are never touched.
+// at the last durable record boundary. Complete records are never touched:
+// a bad record with valid frames after it is corruption, not a torn tail,
+// and Open fails with ErrCorrupt rather than discarding the valid data.
 func Open(opts Options) (*Log, error) {
 	opts = opts.withDefaults()
 	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
@@ -163,7 +184,7 @@ func Open(opts Options) (*Log, error) {
 	} else {
 		l.firstSeg = segs[0]
 		last := segs[len(segs)-1]
-		cleanEnd, tornBytes, err := scanSegment(segPath(opts.Dir, last), last)
+		cleanEnd, tornBytes, err := scanSegment(segPath(opts.Dir, last), last, opts.TolerateCorruptTail)
 		if err != nil {
 			return nil, err
 		}
@@ -259,6 +280,13 @@ func syncDir(dir string) error {
 // may be truncated only once every memtable holding its records has been
 // flushed to immutable storage.
 func (l *Log) Append(payload []byte) (LSN, error) {
+	if len(payload) == 0 {
+		// An empty record's frame (plen=0, crc=0 — CRC32C of an empty
+		// payload is 0) is byte-identical to zero-filled pages left by a
+		// torn write, so recovery treats all-zero frames as a torn tail.
+		// Forbidding empty appends keeps that rule unambiguous.
+		return LSN{}, errors.New("wal: empty record")
+	}
 	l.mu.Lock()
 	if l.closed {
 		l.mu.Unlock()
@@ -451,7 +479,18 @@ func (l *Log) Sync() error {
 		if l.closed {
 			return nil
 		}
-		return l.w.flush()
+		if l.wErr != nil {
+			return l.wErr
+		}
+		if err := l.w.flush(); err != nil {
+			// Latch the failure: bufWriter.flush drops its buffer, so the
+			// records are gone and later appends must not ack over them
+			// (a retried Sync would otherwise see an empty buffer and
+			// report success).
+			l.wErr = err
+			return err
+		}
+		return nil
 	}
 	return l.waitDurable(seq)
 }
@@ -474,6 +513,14 @@ type ReplayStats struct {
 // the first Append (the store replays during open). Records live in
 // already-sealed files plus the active segment's durable prefix; the torn
 // tail, if any, was removed by Open.
+//
+// Damage in a SEALED segment (possible when a NoSync rotation sealed it
+// without fsync and power was lost) surfaces as an ErrCorrupt-wrapped
+// error. With Options.TolerateCorruptTail the damaged segment's remaining
+// records are skipped (counted in Stats.TornBytes) and replay continues
+// with the later segments — safe because rows carry logical write
+// timestamps, so last-write-wins reconciliation does not depend on replay
+// order. Errors returned by fn itself are never tolerated.
 func (l *Log) Replay(fn func(lsn LSN, payload []byte) error) (ReplayStats, error) {
 	l.mu.Lock()
 	first, last, activeEnd := l.firstSeg, l.seg, l.size
@@ -484,11 +531,23 @@ func (l *Log) Replay(fn func(lsn LSN, payload []byte) error) (ReplayStats, error
 		if seg == last {
 			end = activeEnd
 		}
-		n, b, err := replaySegment(segPath(l.opts.Dir, seg), seg, end, fn)
+		path := segPath(l.opts.Dir, seg)
+		n, b, err := replaySegment(path, seg, end, fn)
 		st.Records += n
 		st.Bytes += b
 		st.Segments++
 		if err != nil {
+			if errors.Is(err, ErrCorrupt) {
+				if l.opts.TolerateCorruptTail {
+					if fi, serr := os.Stat(path); serr == nil {
+						if skipped := fi.Size() - int64(headerLen) - b; skipped > 0 {
+							l.torn.Add(skipped)
+						}
+					}
+					continue
+				}
+				return st, fmt.Errorf("%w (reopen with TolerateCorruptTail to skip the damaged segment remainder, losing its records)", err)
+			}
 			return st, err
 		}
 	}
@@ -498,7 +557,9 @@ func (l *Log) Replay(fn func(lsn LSN, payload []byte) error) (ReplayStats, error
 // replaySegment streams one segment's records. end bounds the read (-1 =
 // whole file). A bad frame ends the segment silently only if it is the
 // torn tail case already handled by Open; sealed segments are expected to
-// be fully valid, so corruption mid-file is an error.
+// be fully valid, so corruption mid-file is an ErrCorrupt-wrapped error
+// (Replay may tolerate it). Errors from fn are returned unwrapped so the
+// caller can tell structural damage from callback failure.
 func replaySegment(path string, seg uint64, end int64, fn func(LSN, []byte) error) (int64, int64, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -507,13 +568,13 @@ func replaySegment(path string, seg uint64, end int64, fn func(LSN, []byte) erro
 	defer f.Close()
 	var hdr [headerLen]byte
 	if _, err := io.ReadFull(f, hdr[:]); err != nil {
-		return 0, 0, fmt.Errorf("wal: %s: short header: %w", path, err)
+		return 0, 0, fmt.Errorf("wal: %s: short header: %v: %w", path, err, ErrCorrupt)
 	}
 	if string(hdr[:len(fileHeader)]) != fileHeader {
-		return 0, 0, fmt.Errorf("wal: %s: bad magic", path)
+		return 0, 0, fmt.Errorf("wal: %s: bad magic: %w", path, ErrCorrupt)
 	}
 	if got := binary.LittleEndian.Uint64(hdr[len(fileHeader):]); got != seg {
-		return 0, 0, fmt.Errorf("wal: %s: header segment %d != filename %d", path, got, seg)
+		return 0, 0, fmt.Errorf("wal: %s: header segment %d != filename %d: %w", path, got, seg, ErrCorrupt)
 	}
 	if end < 0 {
 		st, err := f.Stat()
@@ -528,22 +589,29 @@ func replaySegment(path string, seg uint64, end int64, fn func(LSN, []byte) erro
 	var payload []byte
 	for off+frameLen <= end {
 		if _, err := io.ReadFull(f, frame[:]); err != nil {
-			return records, bytesRead, fmt.Errorf("wal: %s@%d: frame read: %w", path, off, err)
+			return records, bytesRead, fmt.Errorf("wal: %s@%d: frame read: %v: %w", path, off, err, ErrCorrupt)
 		}
 		plen := int64(binary.LittleEndian.Uint32(frame[0:4]))
 		want := binary.LittleEndian.Uint32(frame[4:8])
+		if plen == 0 && want == 0 {
+			// An all-zero frame self-validates (CRC32C of an empty payload
+			// is 0) but Append never writes empty records: this is a
+			// zero-filled region (lost page, unsynced sealed rotation), not
+			// data.
+			return records, bytesRead, fmt.Errorf("wal: %s@%d: all-zero frame in zero-filled region: %w", path, off, ErrCorrupt)
+		}
 		if plen > maxRecordBytes || off+frameLen+plen > end {
-			return records, bytesRead, fmt.Errorf("wal: %s@%d: frame length %d overruns segment", path, off, plen)
+			return records, bytesRead, fmt.Errorf("wal: %s@%d: frame length %d overruns segment: %w", path, off, plen, ErrCorrupt)
 		}
 		if int64(cap(payload)) < plen {
 			payload = make([]byte, plen)
 		}
 		payload = payload[:plen]
 		if _, err := io.ReadFull(f, payload); err != nil {
-			return records, bytesRead, fmt.Errorf("wal: %s@%d: payload read: %w", path, off, err)
+			return records, bytesRead, fmt.Errorf("wal: %s@%d: payload read: %v: %w", path, off, err, ErrCorrupt)
 		}
 		if crc32.Checksum(payload, crcTable) != want {
-			return records, bytesRead, fmt.Errorf("wal: %s@%d: record checksum mismatch", path, off)
+			return records, bytesRead, fmt.Errorf("wal: %s@%d: record checksum mismatch: %w", path, off, ErrCorrupt)
 		}
 		if err := fn(LSN{Seg: seg, Off: off}, payload); err != nil {
 			return records, bytesRead, err
@@ -553,14 +621,20 @@ func replaySegment(path string, seg uint64, end int64, fn func(LSN, []byte) erro
 		off += frameLen + plen
 	}
 	if off != end {
-		return records, bytesRead, fmt.Errorf("wal: %s: %d trailing bytes after last frame", path, end-off)
+		return records, bytesRead, fmt.Errorf("wal: %s: %d trailing bytes after last frame: %w", path, end-off, ErrCorrupt)
 	}
 	return records, bytesRead, nil
 }
 
 // scanSegment walks a segment's frames and returns the offset of the last
-// valid record boundary plus the number of torn bytes after it.
-func scanSegment(path string, seg uint64) (cleanEnd int64, tornBytes int64, err error) {
+// valid record boundary plus the number of torn bytes after it. A torn
+// write only ever damages the end of the file, so a checksum mismatch with
+// well-formed frames after it is mid-segment corruption and yields
+// ErrCorrupt rather than a silent truncation of the valid records behind
+// it — unless tolerateCorrupt downgrades that to the torn-tail treatment.
+// (A corrupted length field makes resynchronization impossible, so that
+// case is still treated as a torn tail.)
+func scanSegment(path string, seg uint64, tolerateCorrupt bool) (cleanEnd int64, tornBytes int64, err error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return 0, 0, err
@@ -592,6 +666,13 @@ func scanSegment(path string, seg uint64) (cleanEnd int64, tornBytes int64, err 
 		}
 		plen := int64(binary.LittleEndian.Uint32(frame[0:4]))
 		want := binary.LittleEndian.Uint32(frame[4:8])
+		if plen == 0 && want == 0 {
+			// All-zero frame: zero-filled pages from a torn write, never a
+			// real record (Append rejects empty payloads). Accepting it
+			// here would replay an empty record the store cannot decode,
+			// permanently failing recovery.
+			return off, size - off, nil
+		}
 		if plen > maxRecordBytes || off+frameLen+plen > size {
 			return off, size - off, nil
 		}
@@ -603,10 +684,53 @@ func scanSegment(path string, seg uint64) (cleanEnd int64, tornBytes int64, err 
 			return off, size - off, nil
 		}
 		if crc32.Checksum(payload, crcTable) != want {
+			if !tolerateCorrupt && framesResume(f, off+frameLen+plen, size) {
+				return 0, 0, fmt.Errorf("wal: %s@%d: checksum mismatch followed by valid frames (reopen with TolerateCorruptTail to truncate at the damage, losing the records after it): %w", path, off, ErrCorrupt)
+			}
 			return off, size - off, nil
 		}
 		off += frameLen + plen
 	}
+}
+
+// framesResume reports whether a well-formed, CRC-valid, non-empty frame
+// parses at or after off — evidence that a bad frame before it is
+// corruption, not a torn tail. It walks forward by chaining length fields,
+// so damage spanning several consecutive payloads is still detected as
+// long as their length fields survived. An all-zero frame (plen=0, crc=0 —
+// and CRC32C of an empty payload is 0) is never evidence and stops the
+// walk: zero-filled pages are the signature of a torn write, not bit rot.
+func framesResume(f *os.File, off, size int64) bool {
+	if _, err := f.Seek(off, io.SeekStart); err != nil {
+		return false
+	}
+	var frame [frameLen]byte
+	var payload []byte
+	for off+frameLen <= size {
+		if _, err := io.ReadFull(f, frame[:]); err != nil {
+			return false
+		}
+		plen := int64(binary.LittleEndian.Uint32(frame[0:4]))
+		want := binary.LittleEndian.Uint32(frame[4:8])
+		if plen == 0 && want == 0 {
+			return false
+		}
+		if plen > maxRecordBytes || off+frameLen+plen > size {
+			return false
+		}
+		if int64(cap(payload)) < plen {
+			payload = make([]byte, plen)
+		}
+		payload = payload[:plen]
+		if _, err := io.ReadFull(f, payload); err != nil {
+			return false
+		}
+		if crc32.Checksum(payload, crcTable) == want {
+			return true
+		}
+		off += frameLen + plen
+	}
+	return false
 }
 
 func rewriteHeader(path string, seg uint64) error {

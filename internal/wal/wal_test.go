@@ -2,6 +2,7 @@ package wal
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -254,5 +255,231 @@ func TestTornHeaderRewritten(t *testing.T) {
 	}
 	if got := collect(t, l); len(got) != 1 || string(got[0]) != "fresh" {
 		t.Fatalf("unexpected replay %q", got)
+	}
+}
+
+func TestMidSegmentCorruptionRefusesOpen(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, Options{Dir: dir})
+	for i := 0; i < 5; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("rec-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	// Flip a byte inside the FIRST record's payload: valid frames follow,
+	// so this is corruption, not a torn tail — truncating would silently
+	// drop four fsync-acknowledged records. Open must fail instead.
+	path := segPath(dir, 1)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[headerLen+frameLen] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if l2, err := Open(Options{Dir: dir}); err == nil {
+		l2.Close()
+		t.Fatal("Open succeeded on mid-segment corruption, want ErrCorrupt")
+	} else if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open error = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestZeroFilledTornTailStillRepaired(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, Options{Dir: dir})
+	for i := 0; i < 6; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("rec-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	// Simulate ext4-style delayed allocation after a crash: the torn
+	// record's frame made it out but its payload pages read back as zeros,
+	// followed by more zero-filled space. crc32(empty)==0, so an all-zero
+	// frame must NOT count as a "valid frame after the damage" — this is a
+	// torn tail, and Open must repair it, not refuse with ErrCorrupt.
+	path := segPath(dir, 1)
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail := make([]byte, frameLen+4+24)
+	tail[0] = 4 // plen=4, bogus crc, zero payload, then zero fill
+	tail[4], tail[5], tail[6], tail[7] = 0xde, 0xad, 0xbe, 0xef
+	if _, err := f.Write(tail); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	l2 := mustOpen(t, Options{Dir: dir})
+	defer l2.Close()
+	if got := l2.Stats().TornBytes; got != int64(len(tail)) {
+		t.Fatalf("TornBytes = %d, want %d", got, len(tail))
+	}
+	if got := collect(t, l2); len(got) != 6 {
+		t.Fatalf("replayed %d records, want 6", len(got))
+	}
+}
+
+func TestMultiRecordCorruptionDetected(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, Options{Dir: dir})
+	for i := 0; i < 6; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("rec-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	// Damage the payloads of records 0 AND 1 (length fields intact):
+	// framesResume must chain past the second bad frame to the valid ones
+	// behind it instead of misreading the pair as a torn tail.
+	path := segPath(dir, 1)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec0 := headerLen + frameLen
+	rec1 := rec0 + len("rec-0") + frameLen
+	data[rec0] ^= 0xff
+	data[rec1] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if l2, err := Open(Options{Dir: dir}); err == nil {
+		l2.Close()
+		t.Fatal("Open succeeded with two corrupt records before valid ones, want ErrCorrupt")
+	} else if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open error = %v, want ErrCorrupt", err)
+	}
+	// The explicit escape hatch trades the records after the damage for a
+	// log that opens: records 0..5 are gone, the log is empty but usable.
+	l3, err := Open(Options{Dir: dir, TolerateCorruptTail: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l3.Close()
+	if got := collect(t, l3); len(got) != 0 {
+		t.Fatalf("replayed %d records after tolerated truncation, want 0", len(got))
+	}
+	if l3.Stats().TornBytes == 0 {
+		t.Fatal("expected TornBytes > 0 after tolerated truncation")
+	}
+	if _, err := l3.Append([]byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroExtendedTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, Options{Dir: dir})
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("rec-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	// Power loss can extend the file with zero-filled pages starting
+	// exactly at a record boundary. crc32 of an empty payload is 0, so an
+	// all-zero frame self-validates as an empty record — which Append never
+	// writes and the store cannot decode. Open must truncate the zeros as a
+	// torn tail, not replay them.
+	path := segPath(dir, 1)
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeros := make([]byte, 32)
+	if _, err := f.Write(zeros); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	l2 := mustOpen(t, Options{Dir: dir})
+	defer l2.Close()
+	if got := l2.Stats().TornBytes; got != int64(len(zeros)) {
+		t.Fatalf("TornBytes = %d, want %d", got, len(zeros))
+	}
+	got := collect(t, l2)
+	if len(got) != 3 {
+		t.Fatalf("replayed %d records, want 3 (zero tail must not become records)", len(got))
+	}
+	for _, p := range got {
+		if len(p) == 0 {
+			t.Fatal("replayed an empty record from the zero-filled tail")
+		}
+	}
+}
+
+func TestAppendEmptyRecordRejected(t *testing.T) {
+	dir := t.TempDir()
+	l := mustOpen(t, Options{Dir: dir})
+	defer l.Close()
+	if _, err := l.Append(nil); err == nil {
+		t.Fatal("Append(nil) succeeded; empty records are indistinguishable from a zero-filled torn tail")
+	}
+}
+
+func TestSealedSegmentDamageToleratedOnReplay(t *testing.T) {
+	dir := t.TempDir()
+	// NoSync rotation seals segments without fsync, so power loss can tear
+	// or zero-fill a SEALED segment — which Open's tail scan (newest
+	// segment only) never sees.
+	l := mustOpen(t, Options{Dir: dir, SegmentBytes: 256, NoSync: true})
+	payload := make([]byte, 60)
+	for i := range payload {
+		payload[i] = byte(i + 1)
+	}
+	var lastSeg uint64
+	for i := 0; i < 12; i++ {
+		lsn, err := l.Append(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lastSeg = lsn.Seg
+	}
+	l.Close()
+	if lastSeg < 2 {
+		t.Fatalf("expected multiple segments, got %d", lastSeg)
+	}
+	// Zero-fill the tail of sealed segment 1 from mid-record on.
+	path := segPath(dir, 1)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := len(data) / 2; i < len(data); i++ {
+		data[i] = 0
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Default: replay must fail loudly with a corruption error, not a
+	// misleading decode error from a self-validating all-zero frame.
+	l2 := mustOpen(t, Options{Dir: dir})
+	_, err = l2.Replay(func(LSN, []byte) error { return nil })
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Replay error = %v, want ErrCorrupt", err)
+	}
+	l2.Close()
+	// Escape hatch: skip the damaged remainder of segment 1, keep later
+	// segments (LWW write timestamps make replay order safe).
+	l3 := mustOpen(t, Options{Dir: dir, TolerateCorruptTail: true})
+	defer l3.Close()
+	var got int
+	if _, err := l3.Replay(func(_ LSN, p []byte) error {
+		if len(p) != len(payload) {
+			t.Fatalf("replayed record of length %d", len(p))
+		}
+		got++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got == 0 || got >= 12 {
+		t.Fatalf("replayed %d records, want a partial set (segment 1 tail skipped, later segments kept)", got)
+	}
+	if l3.Stats().TornBytes == 0 {
+		t.Fatal("expected TornBytes > 0 for the skipped sealed-segment damage")
 	}
 }
