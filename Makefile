@@ -6,9 +6,15 @@
 
 GO ?= go
 
-.PHONY: ci vet build test test-fresh race bench bench-smoke fmt-check
+# Label recorded into BENCH_*.json by `make bench-json`.
+BENCH_LABEL ?= dev
 
-ci: vet build race test-fresh bench-smoke
+.PHONY: ci vet build test test-fresh race bench bench-wal bench-json \
+	bench-smoke alloc-guard fmt-check
+
+# alloc-guard runs inside the plain (non-race) test pass, but is also
+# listed explicitly so the allocation budgets cannot rot out of CI.
+ci: vet build race test-fresh alloc-guard bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -34,8 +40,24 @@ bench:
 bench-wal:
 	$(GO) test -run XXX -bench 'WAL|DurableIngest' -benchmem .
 
+# Record the benchmark suites into the committed perf-trajectory files.
+# BENCH_scan.json tracks the read path, BENCH_wal.json the write path;
+# each invocation appends (or refreshes) one run labeled $(BENCH_LABEL),
+# so future PRs prove speedups/regressions against recorded history.
+bench-json:
+	$(GO) test -run XXX -bench 'BenchmarkScan(Serial|Parallel)' -benchmem -json . \
+		| $(GO) run ./cmd/benchjson -o BENCH_scan.json -label "$(BENCH_LABEL)"
+	$(GO) test -run XXX -bench 'WAL|DurableIngest' -benchmem -json . \
+		| $(GO) run ./cmd/benchjson -o BENCH_wal.json -label "$(BENCH_LABEL)"
+
 bench-smoke:
 	$(GO) test -run XXX -bench WAL -benchtime 1x .
+
+# Allocation regression guards: a segment scan and a put-record encode
+# must stay within fixed testing.AllocsPerRun budgets (see
+# *_alloc_guard_test.go; skipped under -race).
+alloc-guard:
+	$(GO) test -run AllocBudget -count=1 ./internal/store/...
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

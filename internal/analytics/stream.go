@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 	"time"
 
 	"hpclog/internal/compute"
@@ -131,6 +132,16 @@ func typeScanTasks(db *store.DB, typ model.EventType, from, to time.Time, slice 
 		model.EventFromTimeRow)
 }
 
+// typeScanTasksLite is typeScanTasks with the attrs-free event decode: the
+// fold-based aggregations only touch time/source/count/raw, so decoding
+// skips the per-event Attrs map entirely. Collection scans that return
+// full events to callers keep the full decode.
+func typeScanTasksLite(db *store.DB, typ model.EventType, from, to time.Time, slice time.Duration) []compute.ScanTask[model.Event] {
+	return eventScanTasks(db, model.TableEventByTime, from, to, slice,
+		func(hour int64) []string { return []string{model.EventByTimeKey(hour, typ)} },
+		model.EventFromTimeRowLite)
+}
+
 // sourceScanTasks plans a scan of one component over event_by_location.
 func sourceScanTasks(db *store.DB, source string, from, to time.Time, slice time.Duration) []compute.ScanTask[model.Event] {
 	return eventScanTasks(db, model.TableEventByLoc, from, to, slice,
@@ -201,7 +212,7 @@ func EventsAllTypesScan(eng *compute.Engine, db *store.DB, from, to time.Time, c
 
 // HeatmapScan computes the cabinet heat map on the streaming scan path.
 func HeatmapScan(eng *compute.Engine, db *store.DB, typ model.EventType, from, to time.Time, cfg ScanConfig) (*HeatMap, error) {
-	counts, err := foldEvents(eng, cfg, typeScanTasks(db, typ, from, to, cfg.slice()),
+	counts, err := foldEvents(eng, cfg, typeScanTasksLite(db, typ, from, to, cfg.slice()),
 		newCountMap[int],
 		func(acc map[int]int, e model.Event) map[int]int {
 			loc, err := topology.ParseCName(e.Source)
@@ -234,12 +245,14 @@ func HeatmapScan(eng *compute.Engine, db *store.DB, typ model.EventType, from, t
 // DistributionByScan computes occurrence distributions at a topology level
 // on the streaming scan path.
 func DistributionByScan(eng *compute.Engine, db *store.DB, typ model.EventType, from, to time.Time, level topology.Level, cfg ScanConfig) ([]Bucket, error) {
-	counts, err := foldEvents(eng, cfg, typeScanTasks(db, typ, from, to, cfg.slice()),
+	counts, err := foldEvents(eng, cfg, typeScanTasksLite(db, typ, from, to, cfg.slice()),
 		newCountMap[string],
 		func(acc map[string]int, e model.Event) map[string]int {
 			loc, err := topology.ParseCName(e.Source)
 			if err != nil {
-				acc[e.Source] += e.Count
+				// Non-cname sources key the result map directly; clone so
+				// the map never pins a decoded segment block.
+				countKey(acc, e.Source, e.Count)
 			} else {
 				comp := topology.Component{Level: level, Loc: truncateLoc(loc, level)}
 				acc[comp.String()] += e.Count
@@ -270,7 +283,7 @@ func DistributionByAppScan(eng *compute.Engine, db *store.DB, typ model.EventTyp
 			byNode[n] = append(byNode[n], span{r.Start, r.End, r.App})
 		}
 	}
-	counts, err := foldEvents(eng, cfg, typeScanTasks(db, typ, from, to, cfg.slice()),
+	counts, err := foldEvents(eng, cfg, typeScanTasksLite(db, typ, from, to, cfg.slice()),
 		newCountMap[string],
 		func(acc map[string]int, e model.Event) map[string]int {
 			for _, s := range byNode[e.Source] {
@@ -292,13 +305,25 @@ func DistributionByAppScan(eng *compute.Engine, db *store.DB, typ model.EventTyp
 // EventSitesScan lists reporting nodes for one type and instant on the
 // streaming scan path.
 func EventSitesScan(eng *compute.Engine, db *store.DB, typ model.EventType, at time.Time, cfg ScanConfig) (map[string]int, error) {
-	return foldEvents(eng, cfg, typeScanTasks(db, typ, at, at.Add(time.Second), cfg.slice()),
+	return foldEvents(eng, cfg, typeScanTasksLite(db, typ, at, at.Add(time.Second), cfg.slice()),
 		newCountMap[string],
 		func(acc map[string]int, e model.Event) map[string]int {
-			acc[e.Source] += e.Count
+			// e.Source may be a zero-copy substring of a segment block; the
+			// result map outlives the scan, so clone new keys.
+			countKey(acc, e.Source, e.Count)
 			return acc
 		},
 		mergeCountMaps[string])
+}
+
+// countKey adds n to acc[key], cloning key on first insert so long-lived
+// result maps never pin decoded segment blocks through substring keys.
+func countKey(acc map[string]int, key string, n int) {
+	if v, ok := acc[key]; ok {
+		acc[key] = v + n
+	} else {
+		acc[strings.Clone(key)] = n
+	}
 }
 
 // HistogramScan bins occurrences on the streaming scan path.
@@ -310,7 +335,7 @@ func HistogramScan(eng *compute.Engine, db *store.DB, typ model.EventType, from,
 	if nbins < 1 {
 		return nil, fmt.Errorf("analytics: window %v shorter than bin %v", to.Sub(from), bin)
 	}
-	return foldEvents(eng, cfg, typeScanTasks(db, typ, from, to, cfg.slice()),
+	return foldEvents(eng, cfg, typeScanTasksLite(db, typ, from, to, cfg.slice()),
 		func() []int { return make([]int, nbins) },
 		func(acc []int, e model.Event) []int {
 			b := int(e.Time.Sub(from) / bin)
@@ -366,24 +391,33 @@ func TransferEntropyBetweenScan(eng *compute.Engine, db *store.DB, a, b model.Ev
 // streaming scan path. Events without raw text are skipped, matching
 // RawMessages + WordCount.
 func WordCountScan(eng *compute.Engine, db *store.DB, typ model.EventType, from, to time.Time, cfg ScanConfig) (map[string]int, error) {
-	return foldEvents(eng, cfg, typeScanTasks(db, typ, from, to, cfg.slice()),
+	return foldEvents(eng, cfg, typeScanTasksLite(db, typ, from, to, cfg.slice()),
 		newCountMap[string],
 		func(acc map[string]int, e model.Event) map[string]int {
 			if e.Raw == "" {
 				return acc
 			}
-			for _, tok := range Tokenize(e.Raw) {
-				acc[tok]++
-			}
+			EachToken(e.Raw, func(tok string) {
+				// Clone only new vocabulary: zero-copy tokens are substrings
+				// of the stored message, and map keys outlive the scan.
+				if n, ok := acc[tok]; ok {
+					acc[tok] = n + 1
+				} else {
+					acc[strings.Clone(tok)] = 1
+				}
+			})
 			return acc
 		},
 		mergeCountMaps[string])
 }
 
 // tfidfAcc carries term/document frequencies plus the document count.
+// seen is a per-document scratch set, cleared and reused between documents
+// so each document costs map inserts, not a map allocation.
 type tfidfAcc struct {
 	tf, df map[string]int
 	docs   int
+	seen   map[string]bool
 }
 
 // TFIDFScan computes aggregate TF-IDF weights over raw messages of one
@@ -391,21 +425,31 @@ type tfidfAcc struct {
 // document, so the result is independent of how the scan is partitioned
 // and matches RawMessages + TFIDF exactly.
 func TFIDFScan(eng *compute.Engine, db *store.DB, typ model.EventType, from, to time.Time, cfg ScanConfig) ([]TermScore, error) {
-	acc, err := foldEvents(eng, cfg, typeScanTasks(db, typ, from, to, cfg.slice()),
-		func() *tfidfAcc { return &tfidfAcc{tf: make(map[string]int), df: make(map[string]int)} },
+	acc, err := foldEvents(eng, cfg, typeScanTasksLite(db, typ, from, to, cfg.slice()),
+		func() *tfidfAcc {
+			return &tfidfAcc{tf: make(map[string]int), df: make(map[string]int), seen: make(map[string]bool)}
+		},
 		func(a *tfidfAcc, e model.Event) *tfidfAcc {
 			if e.Raw == "" {
 				return a
 			}
 			a.docs++
-			seen := make(map[string]bool)
-			for _, tok := range Tokenize(e.Raw) {
-				a.tf[tok]++
-				if !seen[tok] {
-					seen[tok] = true
+			clear(a.seen)
+			EachToken(e.Raw, func(tok string) {
+				// tf and df share one vocabulary, so cloning on a tf miss
+				// guarantees every retained key is a canonical copy, never a
+				// substring pinning the stored message.
+				if n, ok := a.tf[tok]; ok {
+					a.tf[tok] = n + 1
+				} else {
+					tok = strings.Clone(tok)
+					a.tf[tok] = 1
+				}
+				if !a.seen[tok] {
+					a.seen[tok] = true
 					a.df[tok]++
 				}
-			}
+			})
 			return a
 		},
 		func(a, b *tfidfAcc) *tfidfAcc {

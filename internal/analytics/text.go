@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 	"unicode"
+	"unicode/utf8"
 
 	"hpclog/internal/compute"
 	"hpclog/internal/model"
@@ -22,30 +23,55 @@ var stopwords = map[string]bool{
 
 // Tokenize splits raw log message text into analysis tokens: lowercased
 // runs of letters/digits (so hexadecimal codes and component ids like
-// ost0012 survive), minus stopwords and single characters.
+// ost0012 survive), minus stopwords and single characters. Tokens are
+// fresh strings the caller owns outright — Dataset pipelines hold them in
+// long-lived maps, so they must not alias the message text. Streaming
+// folds that can manage retention themselves use EachToken instead.
 func Tokenize(text string) []string {
 	var tokens []string
-	var b strings.Builder
-	flush := func() {
-		if b.Len() == 0 {
-			return
-		}
-		tok := b.String()
-		b.Reset()
-		if len(tok) < 2 || stopwords[tok] {
-			return
-		}
-		tokens = append(tokens, tok)
-	}
-	for _, r := range text {
-		if unicode.IsLetter(r) || unicode.IsDigit(r) {
-			b.WriteRune(unicode.ToLower(r))
-		} else {
-			flush()
-		}
-	}
-	flush()
+	EachToken(text, func(tok string) { tokens = append(tokens, strings.Clone(tok)) })
 	return tokens
+}
+
+// EachToken calls yield for every Tokenize token of text, in order,
+// without building the token slice. Runs that are already lowercase — the
+// overwhelming case in log text — are yielded as zero-copy substrings;
+// only tokens that actually need case-folding allocate. This is the
+// streaming word-count/TF-IDF hot path.
+func EachToken(text string, yield func(tok string)) {
+	start := -1   // byte offset of the current run, -1 = between runs
+	clean := true // current run needs no case folding
+	var scratch []byte
+	flush := func(end int) {
+		if start < 0 {
+			return
+		}
+		tok := text[start:end]
+		if !clean {
+			scratch = scratch[:0]
+			for _, r := range tok {
+				scratch = utf8.AppendRune(scratch, unicode.ToLower(r))
+			}
+			tok = string(scratch)
+		}
+		if len(tok) >= 2 && !stopwords[tok] {
+			yield(tok)
+		}
+	}
+	for i, r := range text {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			if start < 0 {
+				start, clean = i, true
+			}
+			if unicode.ToLower(r) != r {
+				clean = false
+			}
+			continue
+		}
+		flush(i)
+		start = -1
+	}
+	flush(len(text))
 }
 
 // RawMessages builds a dataset of raw message texts of one event type

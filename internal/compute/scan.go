@@ -53,6 +53,12 @@ func (e *Engine) noteScan(tasks, rows int) {
 // results. emit runs on one goroutine at a time and must not be called
 // concurrently by the caller elsewhere. The first task or emit error
 // cancels the remaining work.
+//
+// Delivered batches are recycled: once emit returns, the batch's backing
+// array goes back on a free list for the next task, so a scan's buffer
+// footprint is the look-ahead window, not the row count. emit must copy
+// out any values it wants to keep (appending the batch's elements into an
+// accumulator — what every caller does — is a copy).
 func StreamScan[T any](eng *Engine, opts ScanOptions, tasks []ScanTask[T], emit func(index int, batch []T) error) error {
 	if len(tasks) == 0 {
 		return nil
@@ -68,6 +74,7 @@ func StreamScan[T any](eng *Engine, opts ScanOptions, tasks []ScanTask[T], emit 
 		nextRun  int // next task position to claim
 		nextEmit int // next task position to hand to emit
 		ready    = make(map[int][]T, par)
+		free     [][]T // recycled batch arrays
 		firstErr error
 		rows     int
 		done     int // tasks that ran to completion
@@ -99,9 +106,13 @@ func StreamScan[T any](eng *Engine, opts ScanOptions, tasks []ScanTask[T], emit 
 				}
 				pos := nextRun
 				nextRun++
+				var batch []T
+				if n := len(free); n > 0 {
+					batch = free[n-1][:0]
+					free = free[:n-1]
+				}
 				mu.Unlock()
 
-				var batch []T
 				err := safeRun(func() error {
 					return tasks[pos].Run(func(v T) error {
 						batch = append(batch, v)
@@ -133,6 +144,10 @@ func StreamScan[T any](eng *Engine, opts ScanOptions, tasks []ScanTask[T], emit 
 						return
 					}
 					mu.Lock()
+					// Recycle the delivered batch; drop element references
+					// first so pooled arrays don't pin emitted data.
+					clear(b)
+					free = append(free, b[:0])
 					nextEmit++
 					cond.Broadcast()
 				}

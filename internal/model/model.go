@@ -174,83 +174,139 @@ const (
 	ColRaw    = "raw"
 )
 
+// Interned column IDs for the hot encode/decode paths: rows are built and
+// read through the store's column dictionary (store.Row.ColID) so the
+// per-row work is integer-keyed with no map construction.
+var (
+	colTypeID   = store.InternColumn(ColType)
+	colSourceID = store.InternColumn(ColSource)
+	colAmountID = store.InternColumn(ColAmount)
+	colRawID    = store.InternColumn(ColRaw)
+)
+
 // EventToTimeRow renders the event for the event_by_time table, where the
 // partition key carries the type and the row stores the source.
 func EventToTimeRow(e Event) store.Row {
-	return eventRow(e, e.Source, ColSource, e.Source)
+	return eventRow(e, e.Source, colSourceID, e.Source)
 }
 
 // EventToLocRow renders the event for the event_by_location table, where
 // the partition key carries the source and the row stores the type.
 func EventToLocRow(e Event) store.Row {
-	return eventRow(e, string(e.Type), ColType, string(e.Type))
+	return eventRow(e, string(e.Type), colTypeID, string(e.Type))
 }
 
-func eventRow(e Event, disc, dualCol, dualVal string) store.Row {
-	cols := map[string]string{
-		dualCol:   dualVal,
-		ColAmount: strconv.Itoa(max(1, e.Count)),
-	}
+func eventRow(e Event, disc string, dualCol uint32, dualVal string) store.Row {
+	cols := make([]store.Col, 0, 3+len(e.Attrs))
+	cols = append(cols,
+		store.Col{ID: dualCol, Value: dualVal},
+		store.Col{ID: colAmountID, Value: strconv.Itoa(max(1, e.Count))},
+	)
 	if e.Raw != "" {
-		cols[ColRaw] = e.Raw
+		cols = append(cols, store.Col{ID: colRawID, Value: e.Raw})
 	}
 	for k, v := range e.Attrs {
-		cols["attr."+k] = v
+		cols = append(cols, store.C("attr."+k, v))
 	}
-	return store.Row{Key: eventClustering(e.Time, disc), Columns: cols}
+	return store.MakeRow(eventClustering(e.Time, disc), 0, cols)
 }
 
 // EventFromTimeRow decodes an event_by_time row. The partition key
 // supplies the type.
 func EventFromTimeRow(pkey string, r store.Row) (Event, error) {
+	return eventFromTimeRow(pkey, r, true)
+}
+
+// EventFromTimeRowLite is EventFromTimeRow without the Attrs map —
+// the zero-allocation decode for aggregation scans that fold on
+// time/source/count/raw and never touch per-event attributes.
+func EventFromTimeRowLite(pkey string, r store.Row) (Event, error) {
+	return eventFromTimeRow(pkey, r, false)
+}
+
+func eventFromTimeRow(pkey string, r store.Row, withAttrs bool) (Event, error) {
 	typ, err := typeFromKey(pkey)
 	if err != nil {
 		return Event{}, err
 	}
-	e, err := eventFromRow(r)
+	e, err := eventFromRow(r, withAttrs)
 	if err != nil {
 		return Event{}, err
 	}
 	e.Type = typ
-	e.Source = r.Col(ColSource)
+	e.Source = r.ColID(colSourceID)
 	return e, nil
 }
 
 // EventFromLocRow decodes an event_by_location row. The partition key
-// supplies the source.
+// supplies the source. (No Lite variant: every current loc-table scan
+// returns full events; add one alongside EventFromTimeRowLite if a fold
+// over event_by_location appears.)
 func EventFromLocRow(pkey string, r store.Row) (Event, error) {
 	source, err := sourceFromKey(pkey)
 	if err != nil {
 		return Event{}, err
 	}
-	e, err := eventFromRow(r)
+	e, err := eventFromRow(r, true)
 	if err != nil {
 		return Event{}, err
 	}
 	e.Source = source
-	e.Type = EventType(r.Col(ColType))
+	e.Type = EventType(r.ColID(colTypeID))
 	return e, nil
 }
 
-func eventFromRow(r store.Row) (Event, error) {
+func eventFromRow(r store.Row, withAttrs bool) (Event, error) {
 	ts, err := store.DecodeTS(r.Key)
 	if err != nil {
 		return Event{}, err
 	}
-	amount, err := strconv.Atoi(r.Col(ColAmount))
+	amount, err := strconv.Atoi(r.ColID(colAmountID))
 	if err != nil || amount < 1 {
-		return Event{}, fmt.Errorf("model: bad amount %q in row %q", r.Col(ColAmount), r.Key)
+		return Event{}, fmt.Errorf("model: bad amount %q in row %q", r.ColID(colAmountID), r.Key)
 	}
-	e := Event{Time: time.Unix(ts, 0).UTC(), Count: amount, Raw: r.Col(ColRaw)}
-	for k, v := range r.Columns {
-		if rest, ok := strings.CutPrefix(k, "attr."); ok {
-			if e.Attrs == nil {
-				e.Attrs = make(map[string]string)
-			}
-			e.Attrs[rest] = v
-		}
+	e := Event{Time: time.Unix(ts, 0).UTC(), Count: amount, Raw: r.ColID(colRawID)}
+	if withAttrs {
+		e.Attrs = prefixedCols(r, "attr.", e.Attrs)
 	}
 	return e, nil
+}
+
+// prefixedCols collects the row's columns carrying the given name prefix
+// into dst (allocated exact-size on first hit), handling both row
+// representations. Column names resolved from the dictionary are canonical
+// interned strings and the prefix cut is a substring, so a row without
+// prefixed columns costs nothing and a row with them costs only the map.
+func prefixedCols(r store.Row, prefix string, dst map[string]string) map[string]string {
+	if cols := r.Cols(); cols != nil {
+		n := 0
+		for _, c := range cols {
+			if strings.HasPrefix(store.ColumnName(c.ID), prefix) {
+				n++
+			}
+		}
+		if n == 0 {
+			return dst
+		}
+		if dst == nil {
+			dst = make(map[string]string, n)
+		}
+		for _, c := range cols {
+			if name := store.ColumnName(c.ID); strings.HasPrefix(name, prefix) {
+				dst[name[len(prefix):]] = c.Value
+			}
+		}
+		return dst
+	}
+	for k, v := range r.Columns {
+		if rest, ok := strings.CutPrefix(k, prefix); ok {
+			if dst == nil {
+				dst = make(map[string]string)
+			}
+			dst[rest] = v
+		}
+	}
+	return dst
 }
 
 func typeFromKey(pkey string) (EventType, error) {
@@ -281,6 +337,16 @@ const (
 	ColExitOK   = "exitok"
 )
 
+// Interned application-run column IDs.
+var (
+	colAppID      = store.InternColumn(ColApp)
+	colUserID     = store.InternColumn(ColUser)
+	colJobIDID    = store.InternColumn(ColJobID)
+	colEndTimeID  = store.InternColumn(ColEndTime)
+	colNodeListID = store.InternColumn(ColNodeList)
+	colExitOKID   = store.InternColumn(ColExitOK)
+)
+
 // appClustering orders runs by start time then job id within a partition.
 func appClustering(a AppRun, disc string) string {
 	return store.EncodeTS(a.Start.Unix()) + ":" + disc
@@ -305,19 +371,20 @@ func AppToUserRow(a AppRun) store.Row {
 }
 
 func appRow(a AppRun, disc string) store.Row {
-	cols := map[string]string{
-		ColApp:      a.App,
-		ColUser:     a.User,
-		ColJobID:    a.JobID,
-		ColEndTime:  store.EncodeTS(a.End.Unix()),
-		ColNodeList: strings.Join(a.Nodes, ","),
-		ColExitOK:   strconv.FormatBool(a.ExitOK),
-	}
+	cols := make([]store.Col, 0, 6+len(a.Extra))
+	cols = append(cols,
+		store.Col{ID: colAppID, Value: a.App},
+		store.Col{ID: colUserID, Value: a.User},
+		store.Col{ID: colJobIDID, Value: a.JobID},
+		store.Col{ID: colEndTimeID, Value: store.EncodeTS(a.End.Unix())},
+		store.Col{ID: colNodeListID, Value: strings.Join(a.Nodes, ",")},
+		store.Col{ID: colExitOKID, Value: strconv.FormatBool(a.ExitOK)},
+	)
 	// Variable per-run columns, the schema's "Other Info" family.
 	for k, v := range a.Extra {
-		cols["info."+k] = v
+		cols = append(cols, store.C("info."+k, v))
 	}
-	return store.Row{Key: appClustering(a, disc), Columns: cols}
+	return store.MakeRow(appClustering(a, disc), 0, cols)
 }
 
 // AppFromRow decodes any of the three application views back to a record.
@@ -326,29 +393,22 @@ func AppFromRow(r store.Row) (AppRun, error) {
 	if err != nil {
 		return AppRun{}, err
 	}
-	end, err := store.DecodeTS(r.Col(ColEndTime))
+	end, err := store.DecodeTS(r.ColID(colEndTimeID))
 	if err != nil {
 		return AppRun{}, fmt.Errorf("model: bad endtime in run row %q: %v", r.Key, err)
 	}
 	a := AppRun{
-		JobID: r.Col(ColJobID),
-		App:   r.Col(ColApp),
-		User:  r.Col(ColUser),
+		JobID: r.ColID(colJobIDID),
+		App:   r.ColID(colAppID),
+		User:  r.ColID(colUserID),
 		Start: time.Unix(start, 0).UTC(),
 		End:   time.Unix(end, 0).UTC(),
 	}
-	if nl := r.Col(ColNodeList); nl != "" {
+	if nl := r.ColID(colNodeListID); nl != "" {
 		a.Nodes = strings.Split(nl, ",")
 	}
-	a.ExitOK = r.Col(ColExitOK) == "true"
-	for k, v := range r.Columns {
-		if rest, ok := strings.CutPrefix(k, "info."); ok {
-			if a.Extra == nil {
-				a.Extra = make(map[string]string)
-			}
-			a.Extra[rest] = v
-		}
-	}
+	a.ExitOK = r.ColID(colExitOKID) == "true"
+	a.Extra = prefixedCols(r, "info.", a.Extra)
 	return a, nil
 }
 

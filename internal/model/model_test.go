@@ -238,7 +238,7 @@ func TestCatalogComplete(t *testing.T) {
 
 func TestCountDefaultsToOne(t *testing.T) {
 	row := EventToTimeRow(Event{Time: time.Unix(1, 0), Type: MCE, Source: "s"})
-	if row.Columns[ColAmount] != "1" {
-		t.Fatalf("zero Count encoded as %q, want 1", row.Columns[ColAmount])
+	if row.Col(ColAmount) != "1" {
+		t.Fatalf("zero Count encoded as %q, want 1", row.Col(ColAmount))
 	}
 }

@@ -1,0 +1,38 @@
+//go:build !race
+
+package store
+
+import (
+	"testing"
+)
+
+// Allocation regression guard for the write-path encode: one commitlog put
+// record for a 100-row batch must stay within a fixed allocation budget —
+// the codec writes each distinct column name once per record and rows
+// carry no maps, so the cost is buffer growth plus the unit name table,
+// independent of row count. Excluded under -race (detector bookkeeping).
+func TestPutEncodeAllocBudget(t *testing.T) {
+	const batch = 100
+	countID := InternColumn("count")
+	msgID := InternColumn("msg")
+	rows := make([]Row, batch)
+	for i := range rows {
+		rows[i] = MakeRow(EncodeTS(int64(1000+i))+":n", int64(i+1), []Col{
+			{ID: countID, Value: "1"},
+			{ID: msgID, Value: "machine check exception"},
+		})
+	}
+	buf := make([]byte, 0, 64<<10)
+	avg := testing.AllocsPerRun(50, func() {
+		if out := encodePutRecord(buf[:0], "events", "hour-1", rows); len(out) == 0 {
+			t.Fatal("empty record")
+		}
+	})
+	// The record encoder needs the unit name table (map + names slice) and
+	// nothing per row; give slack for map internals.
+	const budget = 8
+	if avg > budget {
+		t.Fatalf("encoding a %d-row put record allocates %.0f objects, budget %d — "+
+			"did per-row work sneak back into the codec?", batch, avg, budget)
+	}
+}

@@ -542,12 +542,16 @@ func (db *DB) PutBatch(tableName, pkey string, rows []Row, cl Consistency) error
 	if len(rows) == 0 {
 		return nil
 	}
+	// Stamp and compact in one pass: from here on the batch moves through
+	// the engine (commitlog codec, memtable, segment flush) in the
+	// interned-column representation; map-form rows are converted once at
+	// this boundary.
 	stamped := make([]Row, len(rows))
 	for i, r := range rows {
 		if r.WriteTS == 0 {
 			r.WriteTS = db.NextWriteTS()
 		}
-		stamped[i] = r
+		stamped[i] = r.Compact()
 	}
 	replicas := db.ring.Replicas(pkey)
 	need := cl.required(len(replicas))
@@ -625,7 +629,8 @@ func (db *DB) Get(tableName, pkey string, rg Range, cl Consistency) ([]Row, erro
 	}
 	live = live[:need]
 	if len(live) == 1 {
-		return live[0].readPartition(tableName, pkey, rg)
+		rows, err := live[0].readPartition(tableName, pkey, rg)
+		return materializeRows(rows), err
 	}
 	results := make([][]Row, len(live))
 	errs := make([]error, len(live))
@@ -661,7 +666,17 @@ func (db *DB) Get(tableName, pkey string, rg Range, cl Consistency) ([]Row, erro
 		// with more rows, so cached results must be revalidated.
 		db.bumpGeneration()
 	}
-	return merged, nil
+	return materializeRows(merged), nil
+}
+
+// materializeRows converts rows to the API-boundary map representation in
+// place. Get hands rows to external consumers (CQL, snapshots, direct map
+// access); the streaming ScanPartition path keeps the compact form.
+func materializeRows(rows []Row) []Row {
+	for i := range rows {
+		rows[i] = rows[i].Materialize()
+	}
+	return rows
 }
 
 // ReadRepairs reports the total number of rows written back to stale

@@ -1,0 +1,64 @@
+//go:build !race
+
+package persist
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// Allocation regression guard for the segment read hot path. The block
+// codec budgets ~3 allocations per 64-row block (block string, column
+// arena, amortized growth) plus a constant per scan; a future change that
+// reintroduces per-row maps or per-row name strings blows this budget
+// immediately. Excluded under -race (the detector adds bookkeeping
+// allocations).
+func TestSegmentScanAllocBudget(t *testing.T) {
+	const nRows = 2048
+	rows := benchSegmentRows(nRows)
+	w, err := NewWriter(filepath.Join(t.TempDir(), "a.seg"), "events", "p", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seg, err := w.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer seg.Close()
+
+	scan := func() {
+		it, err := seg.Scan(Range{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for {
+			_, ok := it.Next()
+			if !ok {
+				break
+			}
+			n++
+		}
+		if err := it.Err(); err != nil {
+			t.Fatal(err)
+		}
+		it.Close()
+		if n != nRows {
+			t.Fatalf("scanned %d rows, want %d", n, nRows)
+		}
+	}
+	scan() // warm the buffer pools
+	avg := testing.AllocsPerRun(20, scan)
+	// 2048 rows / 64-row blocks = 32 blocks; ~4 allocs per block + slack
+	// for iterator setup. Well under 0.1 allocs/row.
+	const budget = 180
+	if avg > budget {
+		t.Fatalf("segment scan of %d rows allocates %.0f objects/run, budget %d — "+
+			"did a per-row allocation sneak back into the decode path?", nRows, avg, budget)
+	}
+}

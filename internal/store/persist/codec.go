@@ -3,122 +3,290 @@ package persist
 import (
 	"encoding/binary"
 	"fmt"
-	"io"
-	"sort"
 )
 
-// Binary row codec shared by segment files and commitlog record payloads.
-//
-// One row encodes as:
+// Binary row codec (v2) shared by segment files and commitlog record
+// payloads. Column names are never repeated per row: every encoding unit
+// (one commitlog put record, one segment file) carries a name table — each
+// distinct column name written once — and rows reference table-local
+// indexes. Within a unit, one row encodes as:
 //
 //	uvarint len(Key)     | Key bytes
 //	varint  WriteTS
-//	uvarint len(Columns) | per column (sorted by name):
-//	    uvarint len(name)  | name bytes
+//	uvarint ncols        | per column:
+//	    uvarint localIdx   (index into the unit's name table)
 //	    uvarint len(value) | value bytes
 //
-// Column names are written in sorted order so the encoding of a row is
-// deterministic — the same logical row always produces the same bytes,
-// which keeps segment files reproducible and CRCs meaningful.
+// A name table encodes as:
+//
+//	uvarint nNames | per name: uvarint len(name) | name bytes
+//
+// Commitlog put records carry the table inline before the rows (the batch
+// is known up front); segment files accumulate it while streaming rows and
+// store it in the footer, so a reader seeking into the middle of a segment
+// still resolves every column.
+//
+// Decoding works over an immutable string: the decoder converts the unit's
+// bytes to a string once and every key and value is a zero-copy substring,
+// so steady-state decode performs no per-row allocations. Local indexes
+// resolve through the unit table into process-wide Dict IDs; a row
+// referencing an index beyond the unit's table fails with a clear error.
+//
+// Columns are written in the row's compact order (sorted by the writer's
+// dictionary IDs), so the encoding of a row is deterministic within a
+// process — the same logical batch always produces the same bytes, which
+// keeps replica commitlog records shareable and segment CRCs meaningful.
 
 // maxStringLen bounds decoded string lengths as a corruption sanity check.
 const maxStringLen = 64 << 20
 
-// AppendRow appends the binary encoding of r to b and returns the
-// extended slice.
-func AppendRow(b []byte, r Row) []byte {
-	b = binary.AppendUvarint(b, uint64(len(r.Key)))
-	b = append(b, r.Key...)
-	b = binary.AppendVarint(b, r.WriteTS)
-	b = binary.AppendUvarint(b, uint64(len(r.Columns)))
-	if len(r.Columns) == 0 {
-		return b
+// maxCols bounds the per-row and per-unit column counts.
+const maxCols = 1 << 20
+
+// colTableEnc assigns unit-local indexes to column names during encoding.
+// The zero value is ready to use.
+type colTableEnc struct {
+	names []string
+	local map[uint32]int // global Dict ID -> local index
+}
+
+func (t *colTableEnc) reset() {
+	t.names = t.names[:0]
+	clear(t.local)
+}
+
+// localIdx returns the unit-local index for the column, assigning the next
+// one on first use.
+func (t *colTableEnc) localIdx(c Col) int {
+	if i, ok := t.local[c.ID]; ok {
+		return i
 	}
-	names := make([]string, 0, len(r.Columns))
-	for name := range r.Columns {
-		names = append(names, name)
+	if t.local == nil {
+		t.local = make(map[uint32]int, 8)
 	}
-	sort.Strings(names)
-	for _, name := range names {
-		b = binary.AppendUvarint(b, uint64(len(name)))
-		b = append(b, name...)
-		v := r.Columns[name]
-		b = binary.AppendUvarint(b, uint64(len(v)))
-		b = append(b, v...)
+	i := len(t.names)
+	t.names = append(t.names, defaultDict.Name(c.ID))
+	t.local[c.ID] = i
+	return i
+}
+
+// appendColTable appends the name-table encoding.
+func appendColTable(b []byte, names []string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(names)))
+	for _, n := range names {
+		b = binary.AppendUvarint(b, uint64(len(n)))
+		b = append(b, n...)
 	}
 	return b
 }
 
-// byteStream is the reader pair the decoder needs: varints come off the
-// ByteReader, string bodies off the Reader. *bufio.Reader and
-// *bytes.Reader both satisfy it.
-type byteStream interface {
-	io.Reader
-	io.ByteReader
+// appendRowBody appends one row's encoding, resolving column names through
+// the unit table. Map rows are compacted on the fly.
+func appendRowBody(b []byte, r Row, t *colTableEnc) []byte {
+	if r.cols == nil && r.Columns != nil {
+		r = r.Compact()
+	}
+	b = binary.AppendUvarint(b, uint64(len(r.Key)))
+	b = append(b, r.Key...)
+	b = binary.AppendVarint(b, r.WriteTS)
+	b = binary.AppendUvarint(b, uint64(len(r.cols)))
+	for _, c := range r.cols {
+		b = binary.AppendUvarint(b, uint64(t.localIdx(c)))
+		b = binary.AppendUvarint(b, uint64(len(c.Value)))
+		b = append(b, c.Value...)
+	}
+	return b
 }
 
-func readString(r byteStream) (string, error) {
-	n, err := binary.ReadUvarint(r)
+// AppendRowsBlock appends a self-describing encoding of rows: name table
+// first, then uvarint row count, then the rows. This is the commitlog put
+// record body; segments use the streaming Writer instead.
+func AppendRowsBlock(b []byte, rows []Row) []byte {
+	var t colTableEnc
+	// Prescan for the name table so it precedes the rows.
+	for i, r := range rows {
+		if r.cols == nil && r.Columns != nil {
+			rows[i] = r.Compact()
+		}
+		for _, c := range rows[i].cols {
+			t.localIdx(c)
+		}
+	}
+	b = appendColTable(b, t.names)
+	b = binary.AppendUvarint(b, uint64(len(rows)))
+	for _, r := range rows {
+		b = appendRowBody(b, r, &t)
+	}
+	return b
+}
+
+// StringDec decodes codec values off an immutable string; decoded keys and
+// values are zero-copy substrings, so they stay valid (and alive) as long
+// as any of them is referenced.
+type StringDec struct {
+	s   string
+	pos int
+}
+
+// NewStringDec returns a decoder over s.
+func NewStringDec(s string) *StringDec { return &StringDec{s: s} }
+
+// Rest returns the number of undecoded bytes.
+func (d *StringDec) Rest() int { return len(d.s) - d.pos }
+
+// Uvarint decodes one uvarint.
+func (d *StringDec) Uvarint() (uint64, error) {
+	var x uint64
+	var shift uint
+	for i := d.pos; i < len(d.s); i++ {
+		b := d.s[i]
+		if b < 0x80 {
+			if shift >= 64 || (shift == 63 && b > 1) {
+				return 0, fmt.Errorf("persist: uvarint overflow at %d", d.pos)
+			}
+			d.pos = i + 1
+			return x | uint64(b)<<shift, nil
+		}
+		if shift >= 64 {
+			return 0, fmt.Errorf("persist: uvarint overflow at %d", d.pos)
+		}
+		x |= uint64(b&0x7f) << shift
+		shift += 7
+	}
+	return 0, fmt.Errorf("persist: truncated uvarint at %d", d.pos)
+}
+
+// Varint decodes one zig-zag varint.
+func (d *StringDec) Varint() (int64, error) {
+	ux, err := d.Uvarint()
+	if err != nil {
+		return 0, err
+	}
+	x := int64(ux >> 1)
+	if ux&1 != 0 {
+		x = ^x
+	}
+	return x, nil
+}
+
+// String decodes one length-prefixed string as a zero-copy substring.
+func (d *StringDec) String() (string, error) {
+	n, err := d.Uvarint()
 	if err != nil {
 		return "", err
 	}
 	if n > maxStringLen {
 		return "", fmt.Errorf("persist: string length %d exceeds sanity bound", n)
 	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(r, buf); err != nil {
-		return "", err
+	if uint64(d.Rest()) < n {
+		return "", fmt.Errorf("persist: string overruns buffer at %d", d.pos)
 	}
-	return string(buf), nil
+	s := d.s[d.pos : d.pos+int(n)]
+	d.pos += int(n)
+	return s, nil
 }
 
-// ReadRow decodes one row from r. It returns io.EOF (untouched) when the
-// stream is exhausted at a row boundary, and wraps any mid-row truncation
-// as io.ErrUnexpectedEOF.
-func ReadRow(r byteStream) (Row, error) {
-	keyLen, err := binary.ReadUvarint(r)
+// ColTable decodes a unit name table, interning each name into dict and
+// returning the local-index → dictionary-ID mapping. Interning copies the
+// names out of the decode buffer, so holding the returned IDs (or names
+// resolved through them) never pins the unit's bytes.
+func (d *StringDec) ColTable(dict *Dict) ([]uint32, error) {
+	n, err := d.Uvarint()
 	if err != nil {
-		return Row{}, err // io.EOF at a row boundary is the clean end
+		return nil, fmt.Errorf("persist: name table: %w", err)
 	}
-	if keyLen > maxStringLen {
-		return Row{}, fmt.Errorf("persist: key length %d exceeds sanity bound", keyLen)
+	if n > maxCols {
+		return nil, fmt.Errorf("persist: name table size %d exceeds sanity bound", n)
 	}
-	key := make([]byte, keyLen)
-	if _, err := io.ReadFull(r, key); err != nil {
-		return Row{}, midRow(err)
-	}
-	ts, err := binary.ReadVarint(r)
-	if err != nil {
-		return Row{}, midRow(err)
-	}
-	ncols, err := binary.ReadUvarint(r)
-	if err != nil {
-		return Row{}, midRow(err)
-	}
-	if ncols > 1<<20 {
-		return Row{}, fmt.Errorf("persist: column count %d exceeds sanity bound", ncols)
-	}
-	row := Row{Key: string(key), WriteTS: ts}
-	if ncols > 0 {
-		row.Columns = make(map[string]string, ncols)
-		for i := uint64(0); i < ncols; i++ {
-			name, err := readString(r)
-			if err != nil {
-				return Row{}, midRow(err)
-			}
-			val, err := readString(r)
-			if err != nil {
-				return Row{}, midRow(err)
-			}
-			row.Columns[name] = val
+	ids := make([]uint32, n)
+	for i := range ids {
+		name, err := d.String()
+		if err != nil {
+			return nil, fmt.Errorf("persist: name table entry %d: %w", i, err)
+		}
+		// Intern via the canonical instance when already known so the
+		// table never references the decode buffer.
+		if id, ok := dict.Lookup(name); ok {
+			ids[i] = id
+		} else {
+			ids[i] = dict.Intern(string([]byte(name)))
 		}
 	}
+	return ids, nil
+}
+
+// Row decodes one row against the unit's local→global column mapping. The
+// row's columns are appended to *arena, which amortizes the per-row slice
+// allocation across a block; pass a pointer to a nil slice to let the
+// decoder manage it. Arena growth never invalidates previously decoded
+// rows (their slices keep the old backing array).
+func (d *StringDec) Row(ids []uint32, arena *[]Col) (Row, error) {
+	key, err := d.String()
+	if err != nil {
+		return Row{}, fmt.Errorf("persist: row key: %w", err)
+	}
+	ts, err := d.Varint()
+	if err != nil {
+		return Row{}, fmt.Errorf("persist: row write-ts: %w", err)
+	}
+	ncols, err := d.Uvarint()
+	if err != nil {
+		return Row{}, fmt.Errorf("persist: row column count: %w", err)
+	}
+	if ncols > maxCols {
+		return Row{}, fmt.Errorf("persist: column count %d exceeds sanity bound", ncols)
+	}
+	row := Row{Key: key, WriteTS: ts}
+	if ncols == 0 {
+		return row, nil
+	}
+	a := *arena
+	start := len(a)
+	for i := uint64(0); i < ncols; i++ {
+		idx, err := d.Uvarint()
+		if err != nil {
+			return Row{}, fmt.Errorf("persist: row column %d: %w", i, err)
+		}
+		if idx >= uint64(len(ids)) {
+			return Row{}, fmt.Errorf("persist: row %q references unknown column id %d (table has %d)", key, idx, len(ids))
+		}
+		v, err := d.String()
+		if err != nil {
+			return Row{}, fmt.Errorf("persist: row column %d value: %w", i, err)
+		}
+		a = append(a, Col{ID: ids[idx], Value: v})
+	}
+	*arena = a
+	row.cols = a[start:len(a):len(a)]
+	// Writers emit columns in their dictionary order, which need not match
+	// this process's; restore the sorted-by-ID invariant (near-sorted in
+	// practice, so the insertion sort is ~free).
+	sortCols(row.cols)
 	return row, nil
 }
 
-func midRow(err error) error {
-	if err == io.EOF {
-		return io.ErrUnexpectedEOF
+// DecodeRowsBlock decodes an AppendRowsBlock unit (name table + count +
+// rows) from d, interning names into dict.
+func DecodeRowsBlock(d *StringDec, dict *Dict) ([]Row, error) {
+	ids, err := d.ColTable(dict)
+	if err != nil {
+		return nil, err
 	}
-	return err
+	n, err := d.Uvarint()
+	if err != nil {
+		return nil, fmt.Errorf("persist: row count: %w", err)
+	}
+	if n > uint64(d.Rest()) {
+		return nil, fmt.Errorf("persist: row count %d overruns buffer", n)
+	}
+	rows := make([]Row, 0, n)
+	var arena []Col
+	for i := uint64(0); i < n; i++ {
+		r, err := d.Row(ids, &arena)
+		if err != nil {
+			return nil, fmt.Errorf("persist: row %d: %w", i, err)
+		}
+		rows = append(rows, r)
+	}
+	return rows, nil
 }

@@ -1,0 +1,97 @@
+package persist
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Dict is a column-name interning dictionary: it maps column names to
+// small dense integer IDs and back. Rows hold columns as []Col{ID, Value}
+// instead of map[string]string, so a name is stored (and allocated) once
+// per process rather than once per row, and column lookups become integer
+// comparisons.
+//
+// IDs are process-local. Nothing on disk ever references a Dict ID
+// directly: every encoding unit (a commitlog put record, a segment file)
+// carries its own name table and rows reference table-local indexes, so a
+// directory written by one process decodes in any other — the decoder
+// interns the unit's names into its own dictionary and rebuilds the
+// local→global mapping once per unit ("cross-restart dictionary
+// recovery").
+//
+// A Dict only grows. The name universe is the set of column names of the
+// data model plus per-run attribute columns, which is small and bounded in
+// practice; entries are never evicted.
+type Dict struct {
+	mu    sync.RWMutex
+	ids   map[string]uint32
+	names atomic.Pointer[[]string] // copy-on-write; index = ID
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	d := &Dict{ids: make(map[string]uint32)}
+	names := make([]string, 0, 16)
+	d.names.Store(&names)
+	return d
+}
+
+// defaultDict is the process-wide dictionary used by Row and the decode
+// paths. Tests exercising cross-restart recovery construct their own.
+var defaultDict = NewDict()
+
+// DefaultDict returns the process-wide dictionary.
+func DefaultDict() *Dict { return defaultDict }
+
+// Intern returns the ID for name, assigning the next free one on first
+// use. Safe for concurrent use: Name reads an atomic snapshot and never
+// blocks; Lookup readers share an RLock and only wait out the brief
+// map insert of a first-ever intern.
+func (d *Dict) Intern(name string) uint32 {
+	if id, ok := d.Lookup(name); ok {
+		return id
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if id, ok := d.ids[name]; ok {
+		return id
+	}
+	cur := *d.names.Load()
+	id := uint32(len(cur))
+	next := make([]string, len(cur)+1)
+	copy(next, cur)
+	next[id] = name
+	d.names.Store(&next)
+	d.ids[name] = id
+	return id
+}
+
+// Lookup returns the ID for name if it has been interned.
+func (d *Dict) Lookup(name string) (uint32, bool) {
+	d.mu.RLock()
+	id, ok := d.ids[name]
+	d.mu.RUnlock()
+	return id, ok
+}
+
+// Name returns the interned name for id, or "" when id was never issued.
+// The returned string is the canonical interned instance — callers can
+// hold it without pinning any decode buffer.
+func (d *Dict) Name(id uint32) string {
+	names := *d.names.Load()
+	if int(id) >= len(names) {
+		return ""
+	}
+	return names[id]
+}
+
+// Len returns the number of interned names.
+func (d *Dict) Len() int { return len(*d.names.Load()) }
+
+// InternColumn interns name in the process-wide dictionary. Packages that
+// access fixed columns on the hot path intern them once at init and use
+// Row.ColID.
+func InternColumn(name string) uint32 { return defaultDict.Intern(name) }
+
+// ColumnName resolves a process-wide dictionary ID back to its name.
+func ColumnName(id uint32) string { return defaultDict.Name(id) }

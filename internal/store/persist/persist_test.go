@@ -1,12 +1,34 @@
 package persist
 
 import (
-	"bytes"
 	"fmt"
 	"path/filepath"
-	"reflect"
 	"testing"
 )
+
+// sameRows compares logical row content (key, write timestamp, cells)
+// across representations: scans yield compact rows while fixtures build
+// map rows.
+func sameRows(a, b []Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Key != b[i].Key || a[i].WriteTS != b[i].WriteTS {
+			return false
+		}
+		am, bm := a[i].ColumnsMap(), b[i].ColumnsMap()
+		if len(am) != len(bm) {
+			return false
+		}
+		for k, v := range am {
+			if bm[k] != v {
+				return false
+			}
+		}
+	}
+	return true
+}
 
 func testRows(n int, writeTS int64) []Row {
 	rows := make([]Row, n)
@@ -23,25 +45,18 @@ func testRows(n int, writeTS int64) []Row {
 func TestRowCodecRoundTrip(t *testing.T) {
 	rows := testRows(10, 1)
 	rows = append(rows, Row{Key: "zz-no-columns", WriteTS: 99})
-	var buf []byte
-	for _, r := range rows {
-		buf = AppendRow(buf, r)
+	buf := AppendRowsBlock(nil, rows)
+	got, err := DecodeRowsBlock(NewStringDec(string(buf)), DefaultDict())
+	if err != nil {
+		t.Fatal(err)
 	}
-	br := bytes.NewReader(buf)
-	for i, want := range rows {
-		got, err := ReadRow(br)
-		if err != nil {
-			t.Fatalf("row %d: %v", i, err)
-		}
-		if got.Key != want.Key || got.WriteTS != want.WriteTS || !reflect.DeepEqual(got.Columns, want.Columns) {
-			if len(want.Columns) == 0 && len(got.Columns) == 0 {
-				continue
-			}
-			t.Fatalf("row %d: got %+v want %+v", i, got, want)
-		}
+	if !sameRows(got, rows) {
+		t.Fatalf("round trip mismatch: got %d rows %+v want %d", len(got), got, len(rows))
 	}
-	if _, err := ReadRow(br); err == nil {
-		t.Fatal("expected EOF after last row")
+	if d := NewStringDec(string(buf[:len(buf)-1])); true {
+		if _, err := DecodeRowsBlock(d, DefaultDict()); err == nil {
+			t.Fatal("expected error decoding truncated block")
+		}
 	}
 }
 
@@ -102,7 +117,7 @@ func TestSegmentWriteScan(t *testing.T) {
 		t.Fatal(err)
 	}
 	got := drain(t, it)
-	if !reflect.DeepEqual(got, rows) {
+	if !sameRows(got, rows) {
 		t.Fatalf("full scan mismatch: %d rows vs %d", len(got), len(rows))
 	}
 	// Sub-range scans hit the sparse index at arbitrary offsets.
@@ -120,7 +135,7 @@ func TestSegmentWriteScan(t *testing.T) {
 		if len(got) != len(want) {
 			t.Fatalf("range %v: got %d rows, want %d", span, len(got), len(want))
 		}
-		if len(want) > 0 && !reflect.DeepEqual(got, want) {
+		if len(want) > 0 && !sameRows(got, want) {
 			t.Fatalf("range %v content mismatch", span)
 		}
 	}
@@ -177,8 +192,8 @@ func TestStoreFlushCompactLWW(t *testing.T) {
 		t.Fatalf("compacted rows = %d, want 100", len(got))
 	}
 	for _, r := range got {
-		if r.Columns["gen"] != "2" {
-			t.Fatalf("row %s survived from gen %s, want 2 (LWW)", r.Key, r.Columns["gen"])
+		if r.Col("gen") != "2" {
+			t.Fatalf("row %s survived from gen %s, want 2 (LWW)", r.Key, r.Col("gen"))
 		}
 	}
 	st := s.Stats()
@@ -220,7 +235,7 @@ func TestStoreReopenLoadsSegments(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := drain(t, it); !reflect.DeepEqual(got, rows) {
+	if got := drain(t, it); !sameRows(got, rows) {
 		t.Fatal("reopened segment content mismatch")
 	}
 }

@@ -2,34 +2,48 @@ package persist
 
 import (
 	"bufio"
-	"bytes"
 	"encoding/binary"
-	"encoding/gob"
 	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
 	"os"
 	"sort"
+	"strings"
+	"sync"
 )
 
-// Segment file layout:
+// Segment file layout (codec v2):
 //
-//	header  : "HPSEG001" (8 bytes)
-//	data    : rows in clustering-key order, binary row codec
-//	footer  : gob(footerMeta)
-//	trailer : u32 footerLen | u32 crc32(footer) | "HPSEGFT1" (8 bytes)
+//	header  : "HPSEG002" (8 bytes)
+//	data    : rows in clustering-key order, binary row codec v2
+//	footer  : binary footerMeta (own deterministic codec, no gob)
+//	trailer : u32 footerLen | u32 crc32(footer) | "HPSEGFT2" (8 bytes)
 //
 // The footer carries the partition identity, the key and time ranges used
-// for scan pruning, a sparse clustering-key index (one entry every
-// indexEvery rows) used to seek near Range.From, and a CRC of the data
-// region. Files are written to a temporary name and renamed into place, so
-// a segment either exists completely or not at all — torn writes are the
-// commitlog's problem, never the segment store's.
-
+// for scan pruning, the segment's column-name table (codec v2 rows
+// reference table-local indexes instead of repeating name strings), a
+// sparse clustering-key index (one entry every indexEvery rows) used to
+// seek near Range.From, and a CRC of the data region. Files are written to
+// a temporary name and renamed into place, so a segment either exists
+// completely or not at all — torn writes are the commitlog's problem,
+// never the segment store's.
+//
+// The sparse index doubles as the block structure of the file: an index
+// entry starts every indexEvery rows, so consecutive entries delimit
+// blocks of exactly indexEvery rows (the final block may be short). Scans
+// read and decode one block at a time into pooled buffers — one read, one
+// buffer→string conversion, and one column arena per 64 rows instead of
+// per-row allocations.
+//
+// Files written before codec v2 (header "HPSEG001", gob footer) are
+// rejected at open with a clear error naming the version mismatch;
+// re-ingest the data or read it with a pre-v2 build.
 const (
-	segHeader    = "HPSEG001"
-	segTrailer   = "HPSEGFT1"
+	segHeader    = "HPSEG002"
+	segHeaderV1  = "HPSEG001"
+	segTrailer   = "HPSEGFT2"
+	segTrailerV1 = "HPSEGFT1"
 	trailerLen   = 4 + 4 + 8
 	indexEvery   = 64
 	segFileExt   = ".seg"
@@ -44,7 +58,7 @@ type IndexEntry struct {
 	Off int64
 }
 
-// footerMeta is the gob-encoded segment footer.
+// footerMeta is the segment footer.
 type footerMeta struct {
 	Table     string
 	Partition string
@@ -60,7 +74,145 @@ type footerMeta struct {
 	MaxWriteTS int64
 	DataLen    int64 // end offset of the data region (header included)
 	DataCRC    uint32
+	ColNames   []string // the segment's column-name table
 	Index      []IndexEntry
+}
+
+// appendFooter encodes the footer with the package's own codec —
+// deterministic, compact, and no encoding/gob dependency.
+func appendFooter(b []byte, m *footerMeta) []byte {
+	appendStr := func(s string) {
+		b = binary.AppendUvarint(b, uint64(len(s)))
+		b = append(b, s...)
+	}
+	appendStr(m.Table)
+	appendStr(m.Partition)
+	b = binary.AppendUvarint(b, m.Seq)
+	b = binary.AppendUvarint(b, uint64(m.Rows))
+	appendStr(m.MinKey)
+	appendStr(m.MaxKey)
+	b = binary.AppendVarint(b, m.MinTS)
+	b = binary.AppendVarint(b, m.MaxTS)
+	b = binary.AppendVarint(b, m.MaxWriteTS)
+	b = binary.AppendUvarint(b, uint64(m.DataLen))
+	b = binary.LittleEndian.AppendUint32(b, m.DataCRC)
+	b = appendColTable(b, m.ColNames)
+	b = binary.AppendUvarint(b, uint64(len(m.Index)))
+	prev := int64(0)
+	for _, e := range m.Index {
+		appendStr(e.Key)
+		// Offsets are ascending; delta-encode them.
+		b = binary.AppendUvarint(b, uint64(e.Off-prev))
+		prev = e.Off
+	}
+	return b
+}
+
+// decodeFooter reverses appendFooter.
+func decodeFooter(fb []byte) (*footerMeta, error) {
+	d := NewStringDec(string(fb))
+	m := &footerMeta{}
+	var err error
+	fail := func(what string, e error) error {
+		return fmt.Errorf("persist: footer %s: %w", what, e)
+	}
+	if m.Table, err = d.String(); err != nil {
+		return nil, fail("table", err)
+	}
+	if m.Partition, err = d.String(); err != nil {
+		return nil, fail("partition", err)
+	}
+	if m.Seq, err = d.Uvarint(); err != nil {
+		return nil, fail("seq", err)
+	}
+	rows, err := d.Uvarint()
+	if err != nil {
+		return nil, fail("rows", err)
+	}
+	m.Rows = int(rows)
+	if m.MinKey, err = d.String(); err != nil {
+		return nil, fail("min key", err)
+	}
+	if m.MaxKey, err = d.String(); err != nil {
+		return nil, fail("max key", err)
+	}
+	if m.MinTS, err = d.Varint(); err != nil {
+		return nil, fail("min ts", err)
+	}
+	if m.MaxTS, err = d.Varint(); err != nil {
+		return nil, fail("max ts", err)
+	}
+	if m.MaxWriteTS, err = d.Varint(); err != nil {
+		return nil, fail("max write ts", err)
+	}
+	dataLen, err := d.Uvarint()
+	if err != nil {
+		return nil, fail("data len", err)
+	}
+	m.DataLen = int64(dataLen)
+	if d.Rest() < 4 {
+		return nil, fail("data crc", io.ErrUnexpectedEOF)
+	}
+	crcStr, err := d.String4()
+	if err != nil {
+		return nil, fail("data crc", err)
+	}
+	m.DataCRC = binary.LittleEndian.Uint32([]byte(crcStr))
+	nNames, err := d.Uvarint()
+	if err != nil {
+		return nil, fail("name table", err)
+	}
+	if nNames > maxCols {
+		return nil, fail("name table", fmt.Errorf("size %d exceeds sanity bound", nNames))
+	}
+	m.ColNames = make([]string, nNames)
+	for i := range m.ColNames {
+		s, err := d.String()
+		if err != nil {
+			return nil, fail("name table entry", err)
+		}
+		m.ColNames[i] = s
+	}
+	nIdx, err := d.Uvarint()
+	if err != nil {
+		return nil, fail("index", err)
+	}
+	if nIdx > uint64(len(fb)) {
+		return nil, fail("index", fmt.Errorf("size %d overruns footer", nIdx))
+	}
+	m.Index = make([]IndexEntry, nIdx)
+	prev := int64(0)
+	for i := range m.Index {
+		k, err := d.String()
+		if err != nil {
+			return nil, fail("index key", err)
+		}
+		delta, err := d.Uvarint()
+		if err != nil {
+			return nil, fail("index offset", err)
+		}
+		if i > 0 && delta == 0 {
+			return nil, fail("index offset", fmt.Errorf("entry %d not ascending", i))
+		}
+		prev += int64(delta)
+		if prev < int64(len(segHeader)) || prev >= m.DataLen {
+			// An offset outside the data region would make block bounds
+			// negative downstream; fail here with a clear error instead.
+			return nil, fail("index offset", fmt.Errorf("entry %d offset %d outside data region [%d, %d)", i, prev, len(segHeader), m.DataLen))
+		}
+		m.Index[i] = IndexEntry{Key: k, Off: prev}
+	}
+	return m, nil
+}
+
+// String4 decodes exactly 4 raw bytes (no length prefix).
+func (d *StringDec) String4() (string, error) {
+	if d.Rest() < 4 {
+		return "", io.ErrUnexpectedEOF
+	}
+	s := d.s[d.pos : d.pos+4]
+	d.pos += 4
+	return s, nil
 }
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
@@ -76,6 +228,7 @@ type Writer struct {
 	crc     uint32
 	off     int64
 	meta    footerMeta
+	tb      colTableEnc
 	buf     []byte
 	sinceIx int
 	done    bool
@@ -116,7 +269,7 @@ func (w *Writer) Append(r Row) error {
 		w.sinceIx = 0
 	}
 	w.sinceIx++
-	w.buf = AppendRow(w.buf[:0], r)
+	w.buf = appendRowBody(w.buf[:0], r, &w.tb)
 	if _, err := w.bw.Write(w.buf); err != nil {
 		return err
 	}
@@ -148,16 +301,13 @@ func (w *Writer) Finish() (*Segment, error) {
 	w.done = true
 	w.meta.DataLen = w.off
 	w.meta.DataCRC = w.crc
-	var fb bytes.Buffer
-	if err := gob.NewEncoder(&fb).Encode(&w.meta); err != nil {
-		w.abort()
-		return nil, err
-	}
+	w.meta.ColNames = w.tb.names
+	fb := appendFooter(w.buf[:0], &w.meta)
 	var tail [trailerLen]byte
-	binary.LittleEndian.PutUint32(tail[0:4], uint32(fb.Len()))
-	binary.LittleEndian.PutUint32(tail[4:8], crc32.Checksum(fb.Bytes(), crcTable))
+	binary.LittleEndian.PutUint32(tail[0:4], uint32(len(fb)))
+	binary.LittleEndian.PutUint32(tail[4:8], crc32.Checksum(fb, crcTable))
 	copy(tail[8:], segTrailer)
-	if _, err := w.bw.Write(fb.Bytes()); err != nil {
+	if _, err := w.bw.Write(fb); err != nil {
 		w.abort()
 		return nil, err
 	}
@@ -221,21 +371,27 @@ func dirOf(path string) string {
 }
 
 // Segment is an open, immutable on-disk segment file. Scans share the one
-// file descriptor through ReadAt (via SectionReader), so any number of
-// iterators can stream concurrently. A segment retired by compaction is
-// unlinked immediately and its descriptor closed once the last open
-// iterator finishes.
+// file descriptor through ReadAt, so any number of iterators can stream
+// concurrently. A segment retired by compaction is unlinked immediately
+// and its descriptor closed once the last open iterator finishes.
 type Segment struct {
 	path string
 	f    *os.File
-	meta footerMeta
-	size int64
+	meta *footerMeta
+	// colIDs maps the footer name table's local indexes to process-wide
+	// dictionary IDs, resolved once at open and shared by all iterators.
+	colIDs []uint32
+	size   int64
 
 	mu     chan struct{} // 1-buffered semaphore guarding refs/doomed/closed
 	refs   int
 	doomed bool
 	closed bool
 }
+
+// ErrVersion marks a segment or commitlog record written by an
+// incompatible (pre-v2) codec.
+var ErrVersion = errors.New("persist: incompatible codec version")
 
 // OpenSegment opens a segment file and decodes its footer.
 func OpenSegment(path string) (*Segment, error) {
@@ -253,10 +409,27 @@ func OpenSegment(path string) (*Segment, error) {
 		f.Close()
 		return nil, fmt.Errorf("persist: %s: too short for a segment", path)
 	}
+	var head [len(segHeader)]byte
+	if _, err := f.ReadAt(head[:], 0); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if string(head[:]) == segHeaderV1 {
+		f.Close()
+		return nil, fmt.Errorf("%w: %s was written by codec v1 (gob footer, per-row column names); read it with a pre-v2 build or re-ingest the data", ErrVersion, path)
+	}
+	if string(head[:]) != segHeader {
+		f.Close()
+		return nil, fmt.Errorf("persist: %s: bad segment header %q", path, head)
+	}
 	var tail [trailerLen]byte
 	if _, err := f.ReadAt(tail[:], size-trailerLen); err != nil {
 		f.Close()
 		return nil, err
+	}
+	if string(tail[8:]) == segTrailerV1 {
+		f.Close()
+		return nil, fmt.Errorf("%w: %s has a codec v1 trailer; read it with a pre-v2 build or re-ingest the data", ErrVersion, path)
 	}
 	if string(tail[8:]) != segTrailer {
 		f.Close()
@@ -277,12 +450,23 @@ func OpenSegment(path string) (*Segment, error) {
 		f.Close()
 		return nil, fmt.Errorf("persist: %s: footer checksum mismatch", path)
 	}
-	var meta footerMeta
-	if err := gob.NewDecoder(bytes.NewReader(fb)).Decode(&meta); err != nil {
+	meta, err := decodeFooter(fb)
+	if err != nil {
 		f.Close()
 		return nil, fmt.Errorf("persist: %s: footer decode: %w", path, err)
 	}
-	s := &Segment{path: path, f: f, meta: meta, size: size, mu: make(chan struct{}, 1)}
+	colIDs := make([]uint32, len(meta.ColNames))
+	for i, name := range meta.ColNames {
+		// Intern a copy, not the zero-copy footer substring — the dictionary
+		// outlives the segment and must not pin the footer buffer.
+		if id, ok := defaultDict.Lookup(name); ok {
+			colIDs[i] = id
+		} else {
+			colIDs[i] = defaultDict.Intern(strings.Clone(name))
+		}
+		meta.ColNames[i] = defaultDict.Name(colIDs[i]) // canonical instance
+	}
+	s := &Segment{path: path, f: f, meta: meta, colIDs: colIDs, size: size, mu: make(chan struct{}, 1)}
 	return s, nil
 }
 
@@ -404,21 +588,40 @@ func (s *Segment) Close() error {
 	return s.f.Close()
 }
 
-// seekOff returns the file offset to start decoding from for a scan
-// beginning at from, using the sparse index: the greatest sampled key
-// <= from, or the data start when from precedes every sample.
-func (s *Segment) seekOff(from string) int64 {
-	if from == "" || len(s.meta.Index) == 0 {
-		return int64(len(segHeader))
-	}
+// startBlock returns the index of the first block that can contain keys
+// >= from: the block whose sampled key is the greatest one <= from.
+func (s *Segment) startBlock(from string) int {
 	ix := s.meta.Index
-	// First sample with Key > from; start at its predecessor.
+	if from == "" || len(ix) == 0 {
+		return 0
+	}
+	// First sample with Key > from; start at its predecessor's block.
 	i := sort.Search(len(ix), func(i int) bool { return ix[i].Key > from })
 	if i == 0 {
-		return int64(len(segHeader))
+		return 0
 	}
-	return ix[i-1].Off
+	return i - 1
 }
+
+// blockBounds returns the file-offset range of block i.
+func (s *Segment) blockBounds(i int) (lo, hi int64) {
+	ix := s.meta.Index
+	lo = ix[i].Off
+	if i+1 < len(ix) {
+		return lo, ix[i+1].Off
+	}
+	return lo, s.meta.DataLen
+}
+
+// Block decode buffers, pooled across scans. The raw read buffer is
+// reused; the decoded rows slice is reused (yielded Row structs are copied
+// out by value); the block string and column arena are NOT reused — rows
+// reference them, and they stay alive exactly as long as a caller holds a
+// row.
+var (
+	blockBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 32<<10); return &b }}
+	rowBufPool   = sync.Pool{New: func() any { r := make([]Row, 0, indexEvery); return &r }}
+)
 
 // Scan streams the segment's rows within rg in clustering-key order.
 func (s *Segment) Scan(rg Range) (Iterator, error) {
@@ -428,45 +631,97 @@ func (s *Segment) Scan(rg Range) (Iterator, error) {
 	if err := s.acquire(); err != nil {
 		return nil, err
 	}
-	off := s.seekOff(rg.From)
-	sr := io.NewSectionReader(s.f, off, s.meta.DataLen-off)
 	return &segIter{
-		s:  s,
-		br: bufio.NewReaderSize(sr, 32<<10),
-		rg: rg,
+		s:     s,
+		rg:    rg,
+		block: s.startBlock(rg.From),
+		buf:   blockBufPool.Get().(*[]byte),
+		rows:  rowBufPool.Get().(*[]Row),
 	}, nil
 }
 
-// segIter decodes rows off disk on demand.
+// segIter decodes rows off disk one block at a time.
 type segIter struct {
-	s      *Segment
-	br     *bufio.Reader
-	rg     Range
-	err    error
-	closed bool
+	s     *Segment
+	rg    Range
+	block int // next block to read
+	buf   *[]byte
+	rows  *[]Row
+	pos   int // next row within *rows
+	// arenaCap tracks the column count of the previous block, sizing the
+	// next block's arena so decode does one arena allocation per block.
+	arenaCap int
+	err      error
+	closed   bool
 }
 
 func (it *segIter) Next() (Row, bool) {
-	if it.closed || it.err != nil {
-		return Row{}, false
-	}
 	for {
-		r, err := ReadRow(it.br)
-		if err == io.EOF {
+		if it.closed || it.err != nil {
 			return Row{}, false
 		}
+		rows := *it.rows
+		for it.pos < len(rows) {
+			r := rows[it.pos]
+			it.pos++
+			if it.rg.To != "" && r.Key >= it.rg.To {
+				return Row{}, false
+			}
+			if it.rg.From != "" && r.Key < it.rg.From {
+				continue // skipping from the sparse-index seek point
+			}
+			return r, true
+		}
+		if !it.fill() {
+			return Row{}, false
+		}
+	}
+}
+
+// fill reads and decodes the next block.
+func (it *segIter) fill() bool {
+	ix := it.s.meta.Index
+	if it.block >= len(ix) {
+		return false
+	}
+	if it.rg.To != "" && ix[it.block].Key >= it.rg.To {
+		return false // the block starts past the range
+	}
+	lo, hi := it.s.blockBounds(it.block)
+	it.block++
+	buf := (*it.buf)[:0]
+	if n := int(hi - lo); cap(buf) < n {
+		buf = make([]byte, n)
+	} else {
+		buf = buf[:n]
+	}
+	*it.buf = buf
+	if _, err := it.s.f.ReadAt(buf, lo); err != nil {
+		it.err = fmt.Errorf("persist: %s: block read: %w", it.s.path, err)
+		return false
+	}
+	// One copy into an immutable string; every key and value decoded below
+	// is a zero-copy substring of it.
+	d := StringDec{s: string(buf)}
+	rows := (*it.rows)[:0]
+	if it.arenaCap == 0 {
+		it.arenaCap = 4 * indexEvery
+	}
+	arena := make([]Col, 0, it.arenaCap)
+	for d.Rest() > 0 {
+		r, err := d.Row(it.s.colIDs, &arena)
 		if err != nil {
 			it.err = fmt.Errorf("persist: %s: %w", it.s.path, err)
-			return Row{}, false
+			return false
 		}
-		if it.rg.To != "" && r.Key >= it.rg.To {
-			return Row{}, false
-		}
-		if it.rg.From != "" && r.Key < it.rg.From {
-			continue // skipping from the sparse-index seek point
-		}
-		return r, true
+		rows = append(rows, r)
 	}
+	if len(arena) > it.arenaCap {
+		it.arenaCap = len(arena)
+	}
+	*it.rows = rows
+	it.pos = 0
+	return len(rows) > 0
 }
 
 func (it *segIter) Err() error { return it.err }
@@ -477,5 +732,13 @@ func (it *segIter) Close() error {
 	}
 	it.closed = true
 	it.s.release()
+	// Drop row references before pooling so recycled buffers don't pin
+	// block strings or arenas.
+	rows := (*it.rows)[:cap(*it.rows)]
+	clear(rows)
+	*it.rows = rows[:0]
+	rowBufPool.Put(it.rows)
+	blockBufPool.Put(it.buf)
+	it.rows, it.buf = nil, nil
 	return nil
 }

@@ -23,6 +23,10 @@
 // and truncates obsolete commitlog segments, and OpenDurable replays the
 // commitlog into memtables on startup. With Dir empty everything stays in
 // RAM, exactly as before.
+//
+// Rows move through the engine in a compact interned-column representation
+// (persist.Col — column names as dictionary IDs) and the public Columns
+// map is materialized only at API boundaries; see persist.Row.
 package store
 
 import (
@@ -36,8 +40,28 @@ import (
 // on-disk segment layer can share it without an import cycle.
 type Row = persist.Row
 
+// Col is one cell in the compact row representation; see persist.Col.
+type Col = persist.Col
+
 // Range selects clustering keys in [From, To); see persist.Range.
 type Range = persist.Range
+
+// MakeRow builds a compact row from cols; see persist.MakeRow. Writers on
+// hot ingest paths construct rows this way (with column IDs interned once
+// via InternColumn) to avoid the per-row map.
+func MakeRow(key string, writeTS int64, cols []Col) Row {
+	return persist.MakeRow(key, writeTS, cols)
+}
+
+// C builds a Col by name; see persist.C.
+func C(name, value string) Col { return persist.C(name, value) }
+
+// InternColumn interns a column name in the process-wide dictionary and
+// returns its ID, for use with Row.ColID and MakeRow.
+func InternColumn(name string) uint32 { return persist.InternColumn(name) }
+
+// ColumnName resolves a process-wide dictionary ID back to its name.
+func ColumnName(id uint32) string { return persist.ColumnName(id) }
 
 // EncodeTS encodes a unix timestamp (seconds or any non-negative int64) as
 // a fixed-width decimal string whose bytewise order matches numeric order.
@@ -48,44 +72,10 @@ func DecodeTS(key string) (int64, error) { return persist.DecodeTS(key) }
 
 // mergeRows merges sorted row slices into one sorted slice, resolving
 // duplicate clustering keys by keeping the row with the largest WriteTS
-// (last write wins). Inputs must each be sorted by Key.
+// (last write wins, later lists breaking ties). Inputs must each be sorted
+// by Key. It shares the merge heap with persist.MergeIters and compaction.
 func mergeRows(lists ...[]Row) []Row {
-	switch len(lists) {
-	case 0:
-		return nil
-	case 1:
-		return lists[0]
-	}
-	total := 0
-	for _, l := range lists {
-		total += len(l)
-	}
-	out := make([]Row, 0, total)
-	idx := make([]int, len(lists))
-	for {
-		best := -1
-		for i, l := range lists {
-			if idx[i] >= len(l) {
-				continue
-			}
-			if best == -1 || l[idx[i]].Key < lists[best][idx[best]].Key {
-				best = i
-			}
-		}
-		if best == -1 {
-			break
-		}
-		r := lists[best][idx[best]]
-		idx[best]++
-		if n := len(out); n > 0 && out[n-1].Key == r.Key {
-			if r.WriteTS >= out[n-1].WriteTS {
-				out[n-1] = r
-			}
-			continue
-		}
-		out = append(out, r)
-	}
-	return out
+	return persist.MergeSorted(lists)
 }
 
 // sliceRange returns the sub-slice of sorted rows within rg.

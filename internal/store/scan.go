@@ -30,8 +30,12 @@ func NewSliceIter(rows []Row) RowIter { return persist.NewSliceIter(rows) }
 // which need the materialized row set, so they fall back to Get and stream
 // the reconciled result.
 //
-// The yielded rows share column maps with the store; callers must treat
-// them as read-only.
+// Yielded rows are in the compact interned-column representation (their
+// Columns field is nil): read cells through Row.Col/ColID/Cols or
+// materialize with Row.ColumnsMap. Rows share storage with the store and
+// must be treated as read-only; on durable nodes their strings alias
+// decoded segment blocks, so callers retaining single cells long-term
+// should clone them.
 func (db *DB) ScanPartition(tableName, pkey string, rg Range, cl Consistency) (RowIter, error) {
 	if !db.HasTable(tableName) {
 		return nil, fmt.Errorf("store: no such table %q", tableName)

@@ -32,11 +32,14 @@ func sameRows(a, b []Row) bool {
 		if a[i].Key != b[i].Key || a[i].WriteTS != b[i].WriteTS {
 			return false
 		}
-		if len(a[i].Columns) != len(b[i].Columns) {
+		// Compare logical cell content: streaming scans yield compact rows
+		// while Get materializes the map.
+		am, bm := a[i].ColumnsMap(), b[i].ColumnsMap()
+		if len(am) != len(bm) {
 			return false
 		}
-		for k, v := range a[i].Columns {
-			if b[i].Columns[k] != v {
+		for k, v := range am {
+			if bm[k] != v {
 				return false
 			}
 		}

@@ -1,7 +1,6 @@
 package store
 
 import (
-	"bytes"
 	"encoding/binary"
 	"fmt"
 
@@ -10,11 +9,19 @@ import (
 
 // Commitlog record payloads. Two record types cover every durable
 // mutation: a put-batch (one partition's worth of stamped rows) and a
-// table creation. Rows reuse the persist binary codec, so the commitlog
-// and the segment files share one row encoding.
+// table creation. Rows reuse the persist binary codec v2, so the commitlog
+// and the segment files share one row encoding: each put record carries a
+// name table (every distinct column name of the batch written once) and
+// rows reference table-local indexes — column names are never repeated per
+// row.
+//
+// Records written by the v1 codec (kind byte 1, per-row name strings) are
+// rejected at replay with a clear error; checkpoint (Flush) a node with a
+// pre-v2 build before upgrading, or discard the commitlog.
 const (
-	recPut         = byte(1)
+	recPutV1       = byte(1)
 	recCreateTable = byte(2)
+	recPut         = byte(3)
 )
 
 func appendString(b []byte, s string) []byte {
@@ -22,16 +29,13 @@ func appendString(b []byte, s string) []byte {
 	return append(b, s...)
 }
 
-// encodePutRecord encodes a put-batch commitlog record.
+// encodePutRecord encodes a put-batch commitlog record. rows are
+// normalized to the compact representation in place.
 func encodePutRecord(buf []byte, table, pkey string, rows []Row) []byte {
 	buf = append(buf, recPut)
 	buf = appendString(buf, table)
 	buf = appendString(buf, pkey)
-	buf = binary.AppendUvarint(buf, uint64(len(rows)))
-	for _, r := range rows {
-		buf = persist.AppendRow(buf, r)
-	}
-	return buf
+	return persist.AppendRowsBlock(buf, rows)
 }
 
 // encodeCreateTableRecord encodes a table-creation commitlog record.
@@ -48,56 +52,40 @@ type walRecord struct {
 	rows  []Row  // recPut
 }
 
-func readRecString(br *bytes.Reader) (string, error) {
-	n, err := binary.ReadUvarint(br)
-	if err != nil {
-		return "", err
-	}
-	if n > uint64(br.Len()) {
-		return "", fmt.Errorf("store: wal record string overruns payload")
-	}
-	buf := make([]byte, n)
-	if _, err := br.Read(buf); err != nil {
-		return "", err
-	}
-	return string(buf), nil
-}
-
-// decodeWALRecord decodes a commitlog record payload.
+// decodeWALRecord decodes a commitlog record payload. The payload bytes
+// are copied into one immutable string up front (wal.Replay reuses its
+// read buffer); every decoded key and value is a zero-copy substring of
+// that string, so a replayed batch costs one allocation for the payload
+// plus the row slices, not one per cell.
 func decodeWALRecord(payload []byte) (walRecord, error) {
 	if len(payload) == 0 {
 		return walRecord{}, fmt.Errorf("store: empty wal record")
 	}
-	br := bytes.NewReader(payload[1:])
+	s := string(payload[1:])
+	d := persist.NewStringDec(s)
 	switch payload[0] {
 	case recCreateTable:
-		name, err := readRecString(br)
+		name, err := d.String()
 		if err != nil {
 			return walRecord{}, fmt.Errorf("store: wal create-table record: %w", err)
 		}
 		return walRecord{kind: recCreateTable, table: name}, nil
 	case recPut:
-		table, err := readRecString(br)
+		table, err := d.String()
 		if err != nil {
 			return walRecord{}, fmt.Errorf("store: wal put record table: %w", err)
 		}
-		pkey, err := readRecString(br)
+		pkey, err := d.String()
 		if err != nil {
 			return walRecord{}, fmt.Errorf("store: wal put record pkey: %w", err)
 		}
-		n, err := binary.ReadUvarint(br)
-		if err != nil || n > uint64(br.Len()) {
-			return walRecord{}, fmt.Errorf("store: wal put record row count")
-		}
-		rows := make([]Row, 0, n)
-		for i := uint64(0); i < n; i++ {
-			r, err := persist.ReadRow(br)
-			if err != nil {
-				return walRecord{}, fmt.Errorf("store: wal put record row %d: %w", i, err)
-			}
-			rows = append(rows, r)
+		rows, err := persist.DecodeRowsBlock(d, persist.DefaultDict())
+		if err != nil {
+			return walRecord{}, fmt.Errorf("store: wal put record: %w", err)
 		}
 		return walRecord{kind: recPut, table: table, pkey: pkey, rows: rows}, nil
+	case recPutV1:
+		return walRecord{}, fmt.Errorf("%w: commitlog put record was written by codec v1 (per-row column names); checkpoint the node with a pre-v2 build or discard the commitlog", persist.ErrVersion)
 	default:
 		return walRecord{}, fmt.Errorf("store: unknown wal record type %d", payload[0])
 	}
