@@ -40,6 +40,11 @@ bench:
 bench-wal:
 	$(GO) test -run XXX -bench 'WAL|DurableIngest' -benchmem .
 
+# Query-planner pushdown benchmarks: selective vs broad predicates with
+# block pruning on/off (zone maps + Bloom filters).
+bench-filter:
+	$(GO) test -run XXX -bench BenchmarkFilterScan -benchmem .
+
 # Record the benchmark suites into the committed perf-trajectory files.
 # BENCH_scan.json tracks the read path, BENCH_wal.json the write path;
 # each invocation appends (or refreshes) one run labeled $(BENCH_LABEL),
@@ -49,15 +54,18 @@ bench-json:
 		| $(GO) run ./cmd/benchjson -o BENCH_scan.json -label "$(BENCH_LABEL)"
 	$(GO) test -run XXX -bench 'WAL|DurableIngest' -benchmem -json . \
 		| $(GO) run ./cmd/benchjson -o BENCH_wal.json -label "$(BENCH_LABEL)"
+	$(GO) test -run XXX -bench BenchmarkFilterScan -benchmem -json . \
+		| $(GO) run ./cmd/benchjson -o BENCH_filter.json -label "$(BENCH_LABEL)"
 
 bench-smoke:
 	$(GO) test -run XXX -bench WAL -benchtime 1x .
 
-# Allocation regression guards: a segment scan and a put-record encode
-# must stay within fixed testing.AllocsPerRun budgets (see
-# *_alloc_guard_test.go; skipped under -race).
+# Allocation regression guards: a segment scan, a put-record encode, and
+# predicate evaluation must stay within fixed testing.AllocsPerRun
+# budgets (see *_alloc_guard_test.go; skipped under -race). Predicate
+# evaluation in particular must allocate ZERO per row.
 alloc-guard:
-	$(GO) test -run AllocBudget -count=1 ./internal/store/...
+	$(GO) test -run AllocBudget -count=1 ./internal/store/... ./internal/plan/
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

@@ -52,9 +52,15 @@ type File struct {
 // benchLine matches `BenchmarkX-8  123  456 ns/op [7.8 MB/s] [90 B/op] [12 allocs/op]`.
 var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(.*)$`)
 
-// testEvent is the subset of the `go test -json` event we need.
+// testEvent is the subset of the `go test -json` event we need. Go
+// attributes a sub-benchmark's result line to the benchmark via the Test
+// field and emits ONLY the numbers in Output ("       5\t  123 ns/op..."),
+// so the parser must stitch the two back together; standalone full lines
+// (plain -bench output piped in, or top-level benchmarks) still parse as
+// they are.
 type testEvent struct {
 	Action string `json:"Action"`
+	Test   string `json:"Test"`
 	Output string `json:"Output"`
 }
 
@@ -99,7 +105,14 @@ func main() {
 			// events, one line each.
 			var ev testEvent
 			if err := json.Unmarshal([]byte(line), &ev); err == nil && ev.Action == "output" {
-				parseLine(ev.Output, bench)
+				out := ev.Output
+				if strings.HasPrefix(ev.Test, "Benchmark") && !strings.HasPrefix(strings.TrimSpace(out), "Benchmark") &&
+					strings.Contains(out, " ns/op") {
+					// Numbers-only result line of a sub-benchmark: re-attach
+					// the name Go moved into the Test field.
+					out = ev.Test + "\t" + strings.TrimSpace(out)
+				}
+				parseLine(out, bench)
 			}
 			continue
 		}

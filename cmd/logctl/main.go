@@ -11,6 +11,10 @@
 //	logctl events    -type MCE -from ... -to ...
 //	logctl runs      -user user007
 //	logctl cql       "SELECT ... FROM ... WHERE partition = '...'"
+//	                 (WHERE takes arbitrary column predicates — =, !=, <,
+//	                 <=, >, >=, IN, LIKE, AND/OR/NOT — plus COUNT/MIN/MAX/
+//	                 SUM/AVG aggregates with GROUP BY; "EXPLAIN SELECT ..."
+//	                 prints the physical plan instead of running it)
 //	logctl rules     -from ... -to ...            (association rules)
 //	logctl sequences -from ... -to ...            (A-followed-by-B patterns)
 //	logctl episodes  -type LUSTRE -from ... -to ... (time coalescing)
@@ -28,6 +32,7 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"sort"
 	"time"
 
 	"hpclog/internal/analytics"
@@ -375,6 +380,7 @@ func runCQL(server, stmt string) {
 			Key     string            `json:"key"`
 			Columns map[string]string `json:"columns"`
 		} `json:"rows"`
+		Plan    []string `json:"plan"`
 		Tables  []string `json:"tables"`
 		Schema  []string `json:"schema"`
 		Applied bool     `json:"applied"`
@@ -385,6 +391,10 @@ func runCQL(server, stmt string) {
 	switch {
 	case res.Applied:
 		fmt.Println("applied")
+	case res.Plan != nil:
+		for _, line := range res.Plan {
+			fmt.Println(line)
+		}
 	case res.Tables != nil:
 		for _, t := range res.Tables {
 			fmt.Println(t)
@@ -396,8 +406,13 @@ func runCQL(server, stmt string) {
 	default:
 		for _, r := range res.Rows {
 			fmt.Printf("%s", r.Key)
-			for k, v := range r.Columns {
-				fmt.Printf("  %s=%q", k, v)
+			cols := make([]string, 0, len(r.Columns))
+			for k := range r.Columns {
+				cols = append(cols, k)
+			}
+			sort.Strings(cols)
+			for _, k := range cols {
+				fmt.Printf("  %s=%q", k, r.Columns[k])
 			}
 			fmt.Println()
 		}

@@ -1,0 +1,108 @@
+// BenchmarkFilterScan quantifies the query planner's storage pushdown on
+// a multi-segment durable store: a CQL SELECT with a column predicate is
+// executed with block pruning on and off, for a selective predicate
+// (<5% of rows, Bloom/zone maps skip almost every block) and a broad one
+// (~50% of rows, pruning can barely help). The pruned/selective case is
+// the headline: it must beat the unpruned run by >=3x wall-clock (see
+// ISSUE 4 acceptance; BENCH_filter.json records the trajectory).
+//
+// Run:  go test -bench BenchmarkFilterScan -benchmem
+// Record: make bench-json  (appends to BENCH_filter.json)
+package hpclog_test
+
+import (
+	"fmt"
+	"testing"
+
+	"hpclog/internal/compute"
+	"hpclog/internal/cql"
+	"hpclog/internal/plan"
+	"hpclog/internal/store"
+)
+
+// filterBenchStore builds the benchmark store once per process: one hot
+// partition, 32k time-ordered rows across ~64 segment files, a rare
+// "job" value in a 4% window, and numeric "amount".
+func filterBenchStore(b *testing.B) *store.DB {
+	b.Helper()
+	if filterDB != nil {
+		return filterDB
+	}
+	db, err := store.OpenDurable(store.Config{
+		Nodes: 1, RF: 1, VNodes: 8,
+		FlushThreshold:  512,
+		CompactInterval: -1,
+		Dir:             b.TempDir(),
+		ZoneMapColumns:  []string{"job", "amount", "source"},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := db.CreateTable("runs"); err != nil {
+		b.Fatal(err)
+	}
+	const nRows = 32768
+	lo, hi := nRows/2, nRows/2+nRows/25
+	batch := make([]store.Row, 0, 256)
+	for i := 0; i < nRows; i++ {
+		job := "batch-common"
+		if i >= lo && i < hi {
+			job = "needle-rare"
+		}
+		batch = append(batch, store.MakeRow(store.EncodeTS(int64(100000+i)), 0, []store.Col{
+			store.C("job", job),
+			store.C("amount", fmt.Sprintf("%d", i)),
+			store.C("source", fmt.Sprintf("c%d-0", i%4)),
+			store.C("raw", "hwerr: machine check exception bank 4"),
+		}))
+		if len(batch) == 256 {
+			if err := db.PutBatch("runs", "hot", batch, store.One); err != nil {
+				b.Fatal(err)
+			}
+			batch = batch[:0]
+		}
+	}
+	if err := db.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	filterDB = db
+	return db
+}
+
+var filterDB *store.DB
+
+func benchmarkFilter(b *testing.B, where string, noPrune bool) {
+	db := filterBenchStore(b)
+	eng := compute.NewEngine(compute.Config{Workers: []string{"w0"}})
+	stmt, err := cql.Parse("SELECT * FROM runs WHERE partition = 'hot' AND " + where)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sel := stmt.(*cql.SelectStmt)
+	p, err := plan.Build(&plan.Select{Table: sel.Table, Partition: sel.Partition, Where: sel.Where})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ex := &plan.Executor{DB: db, Eng: eng, CL: store.One,
+		Opt: plan.ExecOptions{NoPrune: noPrune}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	rows := 0
+	for i := 0; i < b.N; i++ {
+		out, err := ex.Run(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = len(out)
+	}
+	b.ReportMetric(float64(rows), "rows")
+}
+
+func BenchmarkFilterScan(b *testing.B) {
+	selective := "job = 'needle-rare'"
+	broad := "amount >= 16384"
+	b.Run("selective/pruned", func(b *testing.B) { benchmarkFilter(b, selective, false) })
+	b.Run("selective/unpruned", func(b *testing.B) { benchmarkFilter(b, selective, true) })
+	b.Run("broad/pruned", func(b *testing.B) { benchmarkFilter(b, broad, false) })
+	b.Run("broad/unpruned", func(b *testing.B) { benchmarkFilter(b, broad, true) })
+}

@@ -75,6 +75,11 @@ type Stats struct {
 	Retries    int
 	ScanTasks  int // partition scan tasks executed by the scan planner
 	ScanRows   int // rows streamed through the scan planner
+	// Storage-pushdown counters, reported by the CQL query planner: how
+	// many segment blocks pruned scans decoded vs. skipped via zone maps
+	// and Bloom filters.
+	BlocksRead   int
+	BlocksPruned int
 }
 
 // NewEngine creates an engine with the given configuration.
@@ -95,6 +100,17 @@ func (e *Engine) Stats() Stats {
 	e.statsMu.Lock()
 	defer e.statsMu.Unlock()
 	return e.stats
+}
+
+// NotePruning accumulates block-pruning counters from a pushed-down scan.
+func (e *Engine) NotePruning(read, pruned int) {
+	if read == 0 && pruned == 0 {
+		return
+	}
+	e.statsMu.Lock()
+	e.stats.BlocksRead += read
+	e.stats.BlocksPruned += pruned
+	e.statsMu.Unlock()
 }
 
 // ResetStats zeroes the scheduler counters.

@@ -3,21 +3,24 @@ package cql
 import (
 	"fmt"
 	"sort"
+	"sync"
 
+	"hpclog/internal/compute"
+	"hpclog/internal/plan"
 	"hpclog/internal/store"
 )
 
 // ResultRow is one row of a query result: the clustering key plus the
-// selected columns.
-type ResultRow struct {
-	Key     string            `json:"key"`
-	Columns map[string]string `json:"columns"`
-}
+// selected columns. It is the planner's result shape re-exported.
+type ResultRow = plan.ResultRow
 
 // Result is the outcome of executing a statement.
 type Result struct {
 	// Rows is populated by SELECT.
 	Rows []ResultRow `json:"rows,omitempty"`
+	// Plan is populated by EXPLAIN: the operator tree, one line per
+	// operator.
+	Plan []string `json:"plan,omitempty"`
 	// Tables is populated by DESCRIBE TABLES.
 	Tables []string `json:"tables,omitempty"`
 	// Schema is populated by DESCRIBE TABLE: observed column names.
@@ -27,9 +30,29 @@ type Result struct {
 }
 
 // Session executes statements against a store at a fixed consistency.
+// SELECTs compile through the query planner (internal/plan) and execute
+// on the compute scan pool with predicate pushdown.
 type Session struct {
 	DB *store.DB
 	CL store.Consistency
+	// Eng executes SELECT plans; nil lazily creates a private
+	// single-worker engine (tests, embedded use).
+	Eng *compute.Engine
+	// Exec tunes plan execution (parallelism, time slicing, pruning).
+	Exec plan.ExecOptions
+
+	engOnce sync.Once
+	engLazy *compute.Engine
+}
+
+func (s *Session) engine() *compute.Engine {
+	if s.Eng != nil {
+		return s.Eng
+	}
+	s.engOnce.Do(func() {
+		s.engLazy = compute.NewEngine(compute.Config{Workers: []string{"cql"}})
+	})
+	return s.engLazy
 }
 
 // Execute parses and runs one statement.
@@ -46,6 +69,8 @@ func (s *Session) Run(stmt Statement) (*Result, error) {
 	switch st := stmt.(type) {
 	case *SelectStmt:
 		return s.runSelect(st)
+	case *ExplainStmt:
+		return s.runExplain(st)
 	case *InsertStmt:
 		return s.runInsert(st)
 	case *DescribeStmt:
@@ -55,40 +80,38 @@ func (s *Session) Run(stmt Statement) (*Result, error) {
 	}
 }
 
+// logical converts the parsed statement to the planner's logical form.
+func (st *SelectStmt) logical() *plan.Select {
+	return &plan.Select{
+		Table:     st.Table,
+		Partition: st.Partition,
+		Columns:   st.Columns,
+		Aggs:      st.Aggs,
+		GroupBy:   st.GroupBy,
+		Where:     st.Where,
+		Limit:     st.Limit,
+	}
+}
+
 func (s *Session) runSelect(st *SelectStmt) (*Result, error) {
-	rg := store.Range{From: st.KeyFrom, To: st.KeyTo}
-	// The store's Range is [From, To); adjust for the exclusive/inclusive
-	// variants CQL allows. Appending a zero byte yields the tightest key
-	// strictly greater than the bound.
-	if st.FromExcl && rg.From != "" {
-		rg.From += "\x00"
-	}
-	if st.ToIncl && rg.To != "" {
-		rg.To += "\x00"
-	}
-	rows, err := s.DB.Get(st.Table, st.Partition, rg, s.CL)
+	p, err := plan.Build(st.logical())
 	if err != nil {
 		return nil, err
 	}
-	if st.Limit > 0 && len(rows) > st.Limit {
-		rows = rows[:st.Limit]
+	ex := &plan.Executor{DB: s.DB, Eng: s.engine(), CL: s.CL, Opt: s.Exec}
+	rows, err := ex.Run(p)
+	if err != nil {
+		return nil, err
 	}
-	res := &Result{Rows: make([]ResultRow, 0, len(rows))}
-	for _, r := range rows {
-		out := ResultRow{Key: r.Key}
-		if st.Columns == nil {
-			out.Columns = r.Columns
-		} else {
-			out.Columns = make(map[string]string, len(st.Columns))
-			for _, c := range st.Columns {
-				if v, ok := r.Columns[c]; ok {
-					out.Columns[c] = v
-				}
-			}
-		}
-		res.Rows = append(res.Rows, out)
+	return &Result{Rows: rows}, nil
+}
+
+func (s *Session) runExplain(st *ExplainStmt) (*Result, error) {
+	p, err := plan.Build(st.Sel.logical())
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Result{Plan: p.Explain()}, nil
 }
 
 func (s *Session) runInsert(st *InsertStmt) (*Result, error) {

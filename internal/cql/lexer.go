@@ -3,14 +3,24 @@
 // server in the form of Cassandra Query Language (CQL) queries") — a
 // small, faithful subset of CQL specialized to the framework's data model:
 //
-//	SELECT [cols | *] FROM table
-//	    WHERE partition = 'pkey'
-//	    [AND key >= 'from'] [AND key < 'to']
+//	SELECT [cols | * | aggregates] FROM table
+//	    WHERE partition = 'pkey' [AND <predicates>]
+//	    [GROUP BY col, ...]
 //	    [LIMIT n]
 //	INSERT INTO table (partition, key, col1, col2, ...)
 //	    VALUES ('pk', 'ck', 'v1', 'v2', ...)
 //	DESCRIBE TABLES
 //	DESCRIBE TABLE name
+//	EXPLAIN SELECT ...
+//
+// WHERE accepts arbitrary boolean predicates over columns — comparisons
+// (= != < <= > >=, numeric when the literal is a number), IN lists,
+// LIKE patterns ('%' wildcard), AND/OR/NOT — plus the pseudo-column
+// "key" for clustering bounds (RFC3339 literals are coerced to key
+// timestamps). The select list may instead hold aggregates — COUNT(*),
+// COUNT/MIN/MAX/SUM/AVG(col) — optionally with GROUP BY. The partition
+// equality is mandatory (hash key); everything else compiles through
+// internal/plan into a pushed-down scan.
 //
 // Statements are parsed into an AST and executed against a store.DB with
 // a selectable consistency level.
@@ -90,6 +100,14 @@ func (l *lexer) next() (token, error) {
 		for l.pos < len(l.src) && (l.src[l.pos] >= '0' && l.src[l.pos] <= '9') {
 			l.pos++
 		}
+		// Optional fraction: digits '.' digits.
+		if l.pos+1 < len(l.src) && l.src[l.pos] == '.' &&
+			l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9' {
+			l.pos++
+			for l.pos < len(l.src) && (l.src[l.pos] >= '0' && l.src[l.pos] <= '9') {
+				l.pos++
+			}
+		}
 		return token{kind: tokNumber, text: l.src[start:l.pos], pos: start}, nil
 	case c == '<' || c == '>':
 		l.pos++
@@ -97,7 +115,14 @@ func (l *lexer) next() (token, error) {
 			l.pos++
 		}
 		return token{kind: tokSymbol, text: l.src[start:l.pos], pos: start}, nil
-	case strings.ContainsRune("(),=*;", rune(c)):
+	case c == '!':
+		l.pos++
+		if l.pos >= len(l.src) || l.src[l.pos] != '=' {
+			return token{}, fmt.Errorf("cql: expected != at position %d", start)
+		}
+		l.pos++
+		return token{kind: tokSymbol, text: "!=", pos: start}, nil
+	case strings.ContainsRune("(),=*;-", rune(c)):
 		l.pos++
 		return token{kind: tokSymbol, text: string(c), pos: start}, nil
 	default:

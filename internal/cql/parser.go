@@ -4,26 +4,35 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+
+	"hpclog/internal/plan"
 )
 
 // Statement is a parsed CQL statement.
 type Statement interface{ stmt() }
 
-// SelectStmt reads rows from one partition.
+// SelectStmt reads rows (or aggregates) from one partition. The WHERE
+// clause parses into a plan.Expr predicate; the mandatory partition
+// equality is extracted out of it at parse time.
 type SelectStmt struct {
-	Columns   []string // nil means *
+	Columns   []string // plain projection; nil means * (or aggregates)
+	Aggs      []plan.AggSpec
+	GroupBy   []string
 	Table     string
 	Partition string
-	// KeyFrom/KeyTo bound the clustering key; empty = unbounded. FromExcl
-	// records whether the lower bound came from '>' (exclusive).
-	KeyFrom  string
-	FromExcl bool
-	KeyTo    string
-	ToIncl   bool // upper bound came from '<='
-	Limit    int  // 0 = no limit
+	// Where is the residual predicate (partition removed); nil = none.
+	Where plan.Expr
+	Limit int // 0 = no limit
 }
 
 func (*SelectStmt) stmt() {}
+
+// ExplainStmt renders the physical plan of a SELECT without running it.
+type ExplainStmt struct {
+	Sel *SelectStmt
+}
+
+func (*ExplainStmt) stmt() {}
 
 // InsertStmt writes one row.
 type InsertStmt struct {
@@ -59,12 +68,20 @@ func Parse(src string) (Statement, error) {
 	switch {
 	case p.peekKeyword("SELECT"):
 		s, err = p.parseSelect()
+	case p.peekKeyword("EXPLAIN"):
+		p.pos++
+		if !p.peekKeyword("SELECT") {
+			return nil, fmt.Errorf("cql: EXPLAIN supports only SELECT, got %s", p.peek())
+		}
+		var sel *SelectStmt
+		sel, err = p.parseSelect()
+		s = &ExplainStmt{Sel: sel}
 	case p.peekKeyword("INSERT"):
 		s, err = p.parseInsert()
 	case p.peekKeyword("DESCRIBE"):
 		s, err = p.parseDescribe()
 	default:
-		return nil, fmt.Errorf("cql: expected SELECT, INSERT, or DESCRIBE, got %s", p.peek())
+		return nil, fmt.Errorf("cql: expected SELECT, EXPLAIN, INSERT, or DESCRIBE, got %s", p.peek())
 	}
 	if err != nil {
 		return nil, err
@@ -127,11 +144,35 @@ func (p *parser) parseSelect() (*SelectStmt, error) {
 		p.pos++
 	} else {
 		for {
-			col, err := p.ident()
+			name, err := p.ident()
 			if err != nil {
 				return nil, err
 			}
-			s.Columns = append(s.Columns, col)
+			if fn, ok := plan.ParseAggFn(name); ok && p.peek().kind == tokSymbol && p.peek().text == "(" {
+				p.pos++ // (
+				col := ""
+				if p.peek().kind == tokSymbol && p.peek().text == "*" {
+					p.pos++
+				} else {
+					if col, err = p.ident(); err != nil {
+						return nil, err
+					}
+					col = strings.ToLower(col)
+				}
+				if err := p.expectSymbol(")"); err != nil {
+					return nil, err
+				}
+				spec, err := plan.NewAggSpec(fn, col)
+				if err != nil {
+					return nil, fmt.Errorf("cql: %w", err)
+				}
+				s.Aggs = append(s.Aggs, spec)
+			} else {
+				// Column names are lowercase throughout the data model
+				// (INSERT lowercases on write); fold here so projections,
+				// predicates, and GROUP BY agree.
+				s.Columns = append(s.Columns, strings.ToLower(name))
+			}
 			if p.peek().kind == tokSymbol && p.peek().text == "," {
 				p.pos++
 				continue
@@ -150,58 +191,35 @@ func (p *parser) parseSelect() (*SelectStmt, error) {
 	if err := p.expectKeyword("WHERE"); err != nil {
 		return nil, fmt.Errorf("%w (full-table scans are not supported; query one partition)", err)
 	}
-	havePartition := false
-	for {
-		field, err := p.ident()
-		if err != nil {
+	where, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	s.Partition, s.Where, err = extractPartition(where)
+	if err != nil {
+		return nil, err
+	}
+	if p.peekKeyword("GROUP") {
+		p.pos++
+		if err := p.expectKeyword("BY"); err != nil {
 			return nil, err
 		}
-		switch strings.ToLower(field) {
-		case "partition":
-			if err := p.expectSymbol("="); err != nil {
-				return nil, err
-			}
-			s.Partition, err = p.stringLit()
+		for {
+			col, err := p.ident()
 			if err != nil {
 				return nil, err
 			}
-			havePartition = true
-		case "key":
-			op := p.peek()
-			if op.kind != tokSymbol {
-				return nil, fmt.Errorf("cql: expected comparison after key, got %s", op)
+			s.GroupBy = append(s.GroupBy, strings.ToLower(col))
+			if p.peek().kind == tokSymbol && p.peek().text == "," {
+				p.pos++
+				continue
 			}
-			p.pos++
-			val, err := p.stringLit()
-			if err != nil {
-				return nil, err
-			}
-			switch op.text {
-			case ">=":
-				s.KeyFrom = val
-			case ">":
-				s.KeyFrom, s.FromExcl = val, true
-			case "<":
-				s.KeyTo = val
-			case "<=":
-				s.KeyTo, s.ToIncl = val, true
-			case "=":
-				s.KeyFrom, s.KeyTo, s.ToIncl = val, val, true
-			default:
-				return nil, fmt.Errorf("cql: unsupported key comparison %q", op.text)
-			}
-		default:
-			return nil, fmt.Errorf("cql: only partition and key may appear in WHERE, got %q", field)
+			break
 		}
-		if p.peekKeyword("AND") {
-			p.pos++
-			continue
-		}
-		break
 	}
-	if !havePartition {
-		return nil, fmt.Errorf("cql: WHERE must constrain partition (hash key)")
-	}
+	// Aggregate/GROUP BY consistency (aggregates present, selected
+	// columns grouped) is validated once, in plan.Build — every execution
+	// and EXPLAIN path goes through it.
 	if p.peekKeyword("LIMIT") {
 		p.pos++
 		t := p.peek()
@@ -216,6 +234,226 @@ func (p *parser) parseSelect() (*SelectStmt, error) {
 		s.Limit = n
 	}
 	return s, nil
+}
+
+// --- predicate grammar ---
+//
+//	or      := and (OR and)*
+//	and     := unary (AND unary)*
+//	unary   := NOT unary | primary
+//	primary := '(' or ')' | predicate
+//	predicate := ident cmpop literal
+//	           | ident IN '(' literal (',' literal)* ')'
+//	           | ident LIKE literal
+//	literal := 'string' | number | -number
+
+func (p *parser) parseOr() (plan.Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	if !p.peekKeyword("OR") {
+		return left, nil
+	}
+	kids := []plan.Expr{left}
+	for p.peekKeyword("OR") {
+		p.pos++
+		k, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, k)
+	}
+	return &plan.Or{Kids: kids}, nil
+}
+
+func (p *parser) parseAnd() (plan.Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	if !p.peekKeyword("AND") {
+		return left, nil
+	}
+	kids := []plan.Expr{left}
+	for p.peekKeyword("AND") {
+		p.pos++
+		k, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		kids = append(kids, k)
+	}
+	return &plan.And{Kids: kids}, nil
+}
+
+func (p *parser) parseUnary() (plan.Expr, error) {
+	if p.peekKeyword("NOT") {
+		p.pos++
+		kid, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &plan.Not{Kid: kid}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (plan.Expr, error) {
+	if p.peek().kind == tokSymbol && p.peek().text == "(" {
+		p.pos++
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, fmt.Errorf("cql: expected a predicate, got %s", p.peek())
+	}
+	col := plan.NewColRef(strings.ToLower(name))
+	switch {
+	case p.peekKeyword("IN"):
+		p.pos++
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		var vals []string
+		for {
+			v, err := p.literal()
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, v)
+			if p.peek().kind == tokSymbol && p.peek().text == "," {
+				p.pos++
+				continue
+			}
+			break
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return plan.NewIn(col, vals), nil
+	case p.peekKeyword("LIKE"):
+		p.pos++
+		pat, err := p.stringLit()
+		if err != nil {
+			return nil, err
+		}
+		return plan.NewLike(col, pat), nil
+	}
+	op := p.peek()
+	if op.kind != tokSymbol {
+		return nil, fmt.Errorf("cql: expected comparison after %q, got %s", name, op)
+	}
+	var cmpOp plan.CmpOp
+	switch op.text {
+	case "=":
+		cmpOp = plan.OpEq
+	case "!=":
+		cmpOp = plan.OpNe
+	case "<":
+		cmpOp = plan.OpLt
+	case "<=":
+		cmpOp = plan.OpLe
+	case ">":
+		cmpOp = plan.OpGt
+	case ">=":
+		cmpOp = plan.OpGe
+	default:
+		return nil, fmt.Errorf("cql: unsupported comparison %q", op.text)
+	}
+	p.pos++
+	lit, err := p.literal()
+	if err != nil {
+		return nil, err
+	}
+	return plan.NewCmp(col, cmpOp, lit), nil
+}
+
+// literal accepts a quoted string, a number, or a negated number.
+func (p *parser) literal() (string, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokString:
+		p.pos++
+		return t.text, nil
+	case t.kind == tokNumber:
+		p.pos++
+		return t.text, nil
+	case t.kind == tokSymbol && t.text == "-":
+		p.pos++
+		n := p.peek()
+		if n.kind != tokNumber {
+			return "", fmt.Errorf("cql: expected number after '-', got %s", n)
+		}
+		p.pos++
+		return "-" + n.text, nil
+	}
+	return "", fmt.Errorf("cql: expected literal, got %s", t)
+}
+
+// extractPartition pulls the mandatory top-level `partition = '...'`
+// equality out of the WHERE predicate and returns the residual. The
+// partition column is the hash key — it routes the query — so it may
+// appear exactly once, as an equality, AND-ed at the top level.
+func extractPartition(e plan.Expr) (string, plan.Expr, error) {
+	conjuncts := plan.Conjuncts(e)
+	partition, found := "", false
+	residual := conjuncts[:0]
+	for _, c := range conjuncts {
+		cmp, ok := c.(*plan.Cmp)
+		if !ok || cmp.Col.Name != "partition" {
+			if refersToPartition(c) {
+				return "", nil, fmt.Errorf("cql: partition may only appear as a top-level equality (it routes the query)")
+			}
+			residual = append(residual, c)
+			continue
+		}
+		if cmp.Op != plan.OpEq {
+			return "", nil, fmt.Errorf("cql: partition supports only equality, got %s", cmp.Op)
+		}
+		if found {
+			return "", nil, fmt.Errorf("cql: partition constrained twice")
+		}
+		partition, found = cmp.Lit, true
+	}
+	if !found {
+		return "", nil, fmt.Errorf("cql: WHERE must constrain partition (hash key)")
+	}
+	return partition, plan.FromConjuncts(residual), nil
+}
+
+// refersToPartition walks an expression for nested partition references.
+func refersToPartition(e plan.Expr) bool {
+	switch x := e.(type) {
+	case *plan.Cmp:
+		return x.Col.Name == "partition"
+	case *plan.In:
+		return x.Col.Name == "partition"
+	case *plan.Like:
+		return x.Col.Name == "partition"
+	case *plan.And:
+		for _, k := range x.Kids {
+			if refersToPartition(k) {
+				return true
+			}
+		}
+	case *plan.Or:
+		for _, k := range x.Kids {
+			if refersToPartition(k) {
+				return true
+			}
+		}
+	case *plan.Not:
+		return refersToPartition(x.Kid)
+	}
+	return false
 }
 
 func (p *parser) parseInsert() (*InsertStmt, error) {

@@ -1,0 +1,72 @@
+//go:build !race
+
+package plan
+
+import (
+	"testing"
+
+	"hpclog/internal/store"
+)
+
+// Allocation regression guard for the predicate hot path: evaluating an
+// expression over compact rows must allocate NOTHING per row in steady
+// state — comparisons, numeric coercion (ParseNum exists precisely
+// because strconv's error allocates), IN, LIKE, and the boolean
+// operators all run on pre-interned IDs and precompiled pattern
+// segments. Excluded under -race (the detector adds bookkeeping
+// allocations).
+func TestPredicateEvalAllocBudget(t *testing.T) {
+	// Rows first: ColRef resolution is lookup-only, so the columns must
+	// exist (be interned by the write side) before the expression is
+	// compiled — exactly the production order.
+	rows := make([]store.Row, 64)
+	for i := range rows {
+		rows[i] = mkRow(store.EncodeTS(int64(1000+i)),
+			"amount", "7", "source", "c2-0c1s3n2", "type", "MCE", "raw", "hs err 42")
+	}
+	expr := &And{Kids: []Expr{
+		NewCmp(NewColRef("amount"), OpGt, "3"),
+		&Or{Kids: []Expr{
+			NewLike(NewColRef("source"), "c2-%"),
+			NewIn(NewColRef("type"), []string{"MCE", "LUSTRE"}),
+		}},
+		&Not{Kid: NewCmp(NewColRef("raw"), OpEq, "nope")},
+		NewCmp(NewColRef("key"), OpGe, store.EncodeTS(10)),
+	}}
+	matched := 0
+	run := func() {
+		for _, r := range rows {
+			if expr.Eval(r) {
+				matched++
+			}
+		}
+	}
+	run() // warm interning
+	if avg := testing.AllocsPerRun(100, run); avg > 0 {
+		t.Fatalf("predicate evaluation allocates %.2f objects per 64-row batch; the filter hot path must be allocation-free", avg)
+	}
+	if matched == 0 {
+		t.Fatal("guard expression never matched; rows are miswired")
+	}
+}
+
+// The block pruner shares the hot path during scans (one call per block,
+// but planner pruners run under the scan pool): keep it allocation-free
+// too.
+func TestPrunerAllocBudget(t *testing.T) {
+	rows := []store.Row{
+		mkRow(store.EncodeTS(1), "amount", "10", "source", "c1-0"),
+		mkRow(store.EncodeTS(2), "amount", "20", "source", "c2-0"),
+	}
+	_, b := buildBlockStats(t, rows)
+	bp := compileBlockPred(&Or{Kids: []Expr{
+		NewCmp(NewColRef("amount"), OpGt, "99"),
+		NewCmp(NewColRef("source"), OpEq, "zz"),
+	}})
+	if bp == nil {
+		t.Fatal("pruner did not compile")
+	}
+	if avg := testing.AllocsPerRun(100, func() { bp.prune(b) }); avg > 0 {
+		t.Fatalf("block pruning allocates %.2f objects per block", avg)
+	}
+}

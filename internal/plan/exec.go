@@ -1,0 +1,233 @@
+package plan
+
+import (
+	"errors"
+	"fmt"
+
+	"hpclog/internal/compute"
+	"hpclog/internal/store"
+	"hpclog/internal/store/persist"
+)
+
+// ResultRow is one row of a SELECT result: the clustering key plus the
+// projected (or aggregated) columns. It is the wire shape of the CQL
+// result rows.
+type ResultRow struct {
+	Key     string            `json:"key"`
+	Columns map[string]string `json:"columns"`
+}
+
+// ExecOptions tunes plan execution.
+type ExecOptions struct {
+	// Parallelism bounds concurrent scan tasks; <= 0 means GOMAXPROCS.
+	Parallelism int
+	// SliceSeconds is the clustering-key time-slice width used to split a
+	// partition scan into parallel tasks on time-clustered tables; <= 0
+	// means 900.
+	SliceSeconds int
+	// NoPrune disables storage-level block pruning (benchmarks and
+	// equivalence baselines; results are identical either way).
+	NoPrune bool
+}
+
+// maxSlices bounds the scan-task fan-out of one partition query.
+const maxSlices = 64
+
+// Executor runs physical plans against a store through the compute scan
+// pool.
+type Executor struct {
+	DB  *store.DB
+	Eng *compute.Engine
+	CL  store.Consistency
+	Opt ExecOptions
+	// Stats, when non-nil, receives this executor's block counters in
+	// addition to the engine's aggregate counters.
+	Stats *persist.PruneStats
+}
+
+// errLimitReached cancels a streaming scan once LIMIT rows are emitted.
+var errLimitReached = errors.New("plan: limit reached")
+
+// Run executes the plan and returns the result rows.
+func (ex *Executor) Run(p *Plan) ([]ResultRow, error) {
+	if ex.DB == nil || ex.Eng == nil {
+		return nil, fmt.Errorf("plan: executor needs a store and a compute engine")
+	}
+	slices, err := ex.slices(p)
+	if err != nil {
+		return nil, err
+	}
+	pruner := p.Pruner
+	if ex.Opt.NoPrune {
+		pruner = nil
+	}
+	stats := ex.Stats
+	if stats == nil {
+		stats = &persist.PruneStats{}
+	}
+	var out []ResultRow
+	if len(p.Sel.Aggs) > 0 {
+		out, err = ex.runAggregate(p, slices, pruner, stats)
+	} else {
+		out, err = ex.runStream(p, slices, pruner, stats)
+	}
+	ex.Eng.NotePruning(int(stats.BlocksRead.Load()), int(stats.BlocksPruned.Load()))
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// scanTask streams one clustering slice of the partition through the
+// residual filter.
+func (ex *Executor) scanTask(p *Plan, rg store.Range, pruner store.Pruner, stats *store.PruneStats, each func(store.Row) error) error {
+	it, err := ex.DB.ScanPartitionPruned(p.Sel.Table, p.Sel.Partition, rg, ex.CL, pruner, stats)
+	if err != nil {
+		return err
+	}
+	defer it.Close()
+	for {
+		r, ok := it.Next()
+		if !ok {
+			break
+		}
+		if p.Filter != nil && !p.Filter.Eval(r) {
+			continue
+		}
+		if err := each(r); err != nil {
+			return err
+		}
+	}
+	return it.Err()
+}
+
+// runStream executes a row-returning plan: scan tasks project in
+// parallel, StreamScan delivers batches in clustering order, LIMIT stops
+// the scan early.
+func (ex *Executor) runStream(p *Plan, slices []store.Range, pruner store.Pruner, stats *store.PruneStats) ([]ResultRow, error) {
+	limit := p.Sel.Limit
+	tasks := make([]compute.ScanTask[ResultRow], len(slices))
+	for i, rg := range slices {
+		rg := rg
+		tasks[i] = compute.ScanTask[ResultRow]{
+			Index: i,
+			Run: func(yield func(ResultRow) error) error {
+				n := 0
+				err := ex.scanTask(p, rg, pruner, stats, func(r store.Row) error {
+					if err := yield(p.project(r)); err != nil {
+						return err
+					}
+					n++
+					if limit > 0 && n >= limit {
+						// This task alone satisfies the global limit; stop
+						// reading the slice instead of draining it.
+						return errLimitReached
+					}
+					return nil
+				})
+				if errors.Is(err, errLimitReached) {
+					return nil
+				}
+				return err
+			},
+		}
+	}
+	out := []ResultRow{}
+	err := compute.StreamScan(ex.Eng, compute.ScanOptions{Parallelism: ex.Opt.Parallelism}, tasks,
+		func(_ int, batch []ResultRow) error {
+			out = append(out, batch...)
+			if limit > 0 && len(out) >= limit {
+				out = out[:limit]
+				return errLimitReached
+			}
+			return nil
+		})
+	if err != nil && !errors.Is(err, errLimitReached) {
+		return nil, err
+	}
+	return out, nil
+}
+
+// runAggregate executes an aggregate plan: each slice folds into its own
+// accumulator on the compact row form (no materialization at all), and
+// ScanReduce merges accumulators in slice order — deterministic across
+// parallelism levels.
+func (ex *Executor) runAggregate(p *Plan, slices []store.Range, pruner store.Pruner, stats *store.PruneStats) ([]ResultRow, error) {
+	tasks := make([]compute.ScanTask[store.Row], len(slices))
+	for i, rg := range slices {
+		rg := rg
+		tasks[i] = compute.ScanTask[store.Row]{
+			Index: i,
+			Run: func(yield func(store.Row) error) error {
+				return ex.scanTask(p, rg, pruner, stats, yield)
+			},
+		}
+	}
+	acc, err := compute.ScanReduce(ex.Eng, compute.ScanOptions{Parallelism: ex.Opt.Parallelism}, tasks,
+		func() *aggAcc { return newAggAcc(p.Sel.Aggs, p.Sel.GroupBy) },
+		func(a *aggAcc, r store.Row) *aggAcc { a.fold(r); return a },
+		func(a, b *aggAcc) *aggAcc { return a.merge(b) })
+	if err != nil {
+		return nil, err
+	}
+	return acc.rows(p.Sel.GroupBy, p.Sel.Limit), nil
+}
+
+// slices splits the plan's clustering range into parallel scan tasks on
+// time-clustered partitions (EncodeTS key prefixes), falling back to one
+// task when the keys are not time-shaped or the span is narrow. Slice
+// boundaries are pure EncodeTS prefixes, so concatenating the slices
+// reproduces the full range exactly.
+func (ex *Executor) slices(p *Plan) ([]store.Range, error) {
+	whole := []store.Range{p.Range}
+	if ex.CL != store.One {
+		// Reconciling reads materialize per replica; slicing would
+		// multiply that cost.
+		return whole, nil
+	}
+	min, max, ok, err := ex.DB.PartitionKeyBounds(p.Sel.Table, p.Sel.Partition)
+	if err != nil || !ok {
+		return whole, err
+	}
+	lo := p.Range.From
+	if lo == "" || min > lo {
+		lo = min
+	}
+	// hi is inclusive-ish: only used to size the slicing.
+	hi := max
+	if p.Range.To != "" && p.Range.To < hi {
+		hi = p.Range.To
+	}
+	t0, err0 := store.DecodeTS(lo)
+	t1, err1 := store.DecodeTS(hi)
+	if err0 != nil || err1 != nil || t1 < t0 {
+		return whole, nil
+	}
+	width := int64(ex.Opt.SliceSeconds)
+	if width <= 0 {
+		width = 900
+	}
+	n := (t1-t0)/width + 1
+	if n > maxSlices {
+		width = (t1 - t0 + maxSlices) / maxSlices
+		n = (t1-t0)/width + 1
+	}
+	if n <= 1 {
+		return whole, nil
+	}
+	out := make([]store.Range, 0, n)
+	for i := int64(0); i < n; i++ {
+		rg := store.Range{
+			From: store.EncodeTS(t0 + i*width),
+			To:   store.EncodeTS(t0 + (i+1)*width),
+		}
+		if i == 0 {
+			rg.From = p.Range.From
+		}
+		if i == n-1 {
+			rg.To = p.Range.To
+		}
+		out = append(out, rg)
+	}
+	return out, nil
+}

@@ -1,0 +1,194 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"hpclog/internal/store"
+)
+
+// mkRow builds a compact row from name/value pairs.
+func mkRow(key string, kv ...string) store.Row {
+	cols := make([]store.Col, 0, len(kv)/2)
+	for i := 0; i+1 < len(kv); i += 2 {
+		cols = append(cols, store.C(kv[i], kv[i+1]))
+	}
+	return store.MakeRow(key, 1, cols)
+}
+
+func TestCmpModes(t *testing.T) {
+	r := mkRow("k", "amount", "10", "source", "c2-0c0s3n1", "junk", "abc")
+	cases := []struct {
+		expr Expr
+		want bool
+	}{
+		// Numeric literal → numeric comparison ("10" > "9" numerically,
+		// though "10" < "9" bytewise).
+		{NewCmp(NewColRef("amount"), OpGt, "9"), true},
+		{NewCmp(NewColRef("amount"), OpEq, "10.0"), true},
+		{NewCmp(NewColRef("amount"), OpLt, "9"), false},
+		// Numeric literal against a non-numeric cell: never matches.
+		{NewCmp(NewColRef("junk"), OpGt, "0"), false},
+		{NewCmp(NewColRef("junk"), OpNe, "0"), false},
+		// String literal → bytewise.
+		{NewCmp(NewColRef("source"), OpGe, "c2-"), true},
+		{NewCmp(NewColRef("source"), OpLt, "c2-"), false},
+		{NewCmp(NewColRef("junk"), OpEq, "abc"), true},
+		// Missing or empty column: every comparison is false.
+		{NewCmp(NewColRef("ghost"), OpEq, "x"), false},
+		{NewCmp(NewColRef("ghost"), OpNe, "x"), false},
+		{NewCmp(NewColRef("ghost"), OpLt, "\xff"), false},
+		// ...and NOT inverts that.
+		{&Not{NewCmp(NewColRef("ghost"), OpEq, "x")}, true},
+		// Key pseudo-column.
+		{NewCmp(NewColRef("KEY"), OpEq, "k"), true},
+		{NewCmp(NewColRef("key"), OpGt, "j"), true},
+	}
+	for i, c := range cases {
+		if got := c.expr.Eval(r); got != c.want {
+			t.Errorf("case %d: %s = %v, want %v", i, c.expr, got, c.want)
+		}
+	}
+}
+
+func TestKeyTimestampCoercion(t *testing.T) {
+	// 2017-08-23T06:00:00Z = 1503468000.
+	key := store.EncodeTS(1503468000) + ":c0-0"
+	r := mkRow(key)
+	if !NewCmp(NewColRef("key"), OpGe, "2017-08-23T06:00:00Z").Eval(r) {
+		t.Fatal("RFC3339 literal not coerced for key >=")
+	}
+	if NewCmp(NewColRef("key"), OpGe, "2017-08-23T06:00:01Z").Eval(r) {
+		t.Fatal("coerced key bound off by one")
+	}
+}
+
+func TestInAndLike(t *testing.T) {
+	r := mkRow("k", "type", "MCE", "amount", "5", "source", "c2-0c1s3n2")
+	cases := []struct {
+		expr Expr
+		want bool
+	}{
+		{NewIn(NewColRef("type"), []string{"LUSTRE", "MCE"}), true},
+		{NewIn(NewColRef("type"), []string{"LUSTRE", "GPU"}), false},
+		{NewIn(NewColRef("amount"), []string{"5.0"}), true}, // numeric member
+		{NewIn(NewColRef("ghost"), []string{"x"}), false},
+		{NewLike(NewColRef("source"), "c2-%"), true},
+		{NewLike(NewColRef("source"), "c3-%"), false},
+		{NewLike(NewColRef("source"), "%s3n2"), true},
+		{NewLike(NewColRef("source"), "%c1s%"), true},
+		{NewLike(NewColRef("source"), "c2-%n2"), true},
+		{NewLike(NewColRef("source"), "c2-%n3"), false},
+		{NewLike(NewColRef("source"), "c2-0c1s3n2"), true}, // exact
+		{NewLike(NewColRef("source"), "c2-0c1s3n"), false},
+		{NewLike(NewColRef("source"), "%"), true},
+		{NewLike(NewColRef("ghost"), "%"), false}, // empty cell never matches
+	}
+	for i, c := range cases {
+		if got := c.expr.Eval(r); got != c.want {
+			t.Errorf("case %d: %s = %v, want %v", i, c.expr, got, c.want)
+		}
+	}
+}
+
+func TestBuildRangeExtraction(t *testing.T) {
+	from, to := store.EncodeTS(1000), store.EncodeTS(2000)
+	sel := &Select{
+		Table: "t", Partition: "p",
+		Where: &And{Kids: []Expr{
+			NewCmp(NewColRef("key"), OpGe, from),
+			NewCmp(NewColRef("key"), OpLt, to),
+			NewCmp(NewColRef("amount"), OpGt, "3"),
+		}},
+	}
+	p, err := Build(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Range.From != from || p.Range.To != to {
+		t.Fatalf("range = %+v", p.Range)
+	}
+	// The residual filter holds only the amount predicate.
+	if p.Filter == nil || strings.Contains(p.Filter.String(), "key") {
+		t.Fatalf("residual filter = %v", p.Filter)
+	}
+	if p.Pruner == nil {
+		t.Fatal("amount predicate should compile to a pruner")
+	}
+	// key = 'x' becomes the one-key range [x, x\0).
+	p2, err := Build(&Select{Table: "t", Partition: "p",
+		Where: NewCmp(NewColRef("key"), OpEq, "x")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Range.From != "x" || p2.Range.To != "x\x00" || p2.Filter != nil {
+		t.Fatalf("eq range = %+v filter %v", p2.Range, p2.Filter)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(&Select{Table: "t", Partition: "p", GroupBy: []string{"a"}}); err == nil {
+		t.Fatal("GROUP BY without aggregates accepted")
+	}
+	agg, _ := NewAggSpec(AggCount, "")
+	if _, err := Build(&Select{Table: "t", Partition: "p",
+		Aggs: []AggSpec{agg}, Columns: []string{"a"}}); err == nil {
+		t.Fatal("bare column alongside aggregates accepted")
+	}
+	if _, err := NewAggSpec(AggSum, ""); err == nil {
+		t.Fatal("SUM(*) accepted")
+	}
+}
+
+func TestExplainShape(t *testing.T) {
+	agg, _ := NewAggSpec(AggCount, "")
+	p, err := Build(&Select{
+		Table: "events", Partition: "412:MCE",
+		Aggs: []AggSpec{agg}, GroupBy: []string{"source"},
+		Where: NewCmp(NewColRef("source"), OpEq, "c0-0"),
+		Limit: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Join(p.Explain(), "\n")
+	for _, want := range []string{"Limit(5)", "Aggregate(count(*) GROUP BY source)",
+		"Filter(source = 'c0-0')", "Scan(events['412:MCE']", "prune{source = 'c0-0'}"} {
+		if !strings.Contains(lines, want) {
+			t.Fatalf("explain missing %q:\n%s", want, lines)
+		}
+	}
+}
+
+// TestGroupKeyNoCollision: group values containing NUL bytes must not
+// merge — the composite map key length-prefixes each value instead of
+// relying on a separator byte.
+func TestGroupKeyNoCollision(t *testing.T) {
+	spec, err := NewAggSpec(AggCount, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := []store.Row{
+		mkRow("k1", "a", "x\x00", "b", "y"),
+		mkRow("k2", "a", "x", "b", "\x00y"),
+	}
+	acc := newAggAcc([]AggSpec{spec}, []string{"a", "b"})
+	for _, r := range rows {
+		acc.fold(r)
+	}
+	out := acc.rows([]string{"a", "b"}, 0)
+	if len(out) != 2 {
+		t.Fatalf("NUL-bearing group values collided: %d groups, want 2 (%v)", len(out), out)
+	}
+}
+
+func TestPrefixUpper(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"abc", "abd"}, {"a\xff", "b"}, {"\xff\xff", ""}, {"", ""},
+	}
+	for _, c := range cases {
+		if got := prefixUpper(c.in); got != c.want {
+			t.Errorf("prefixUpper(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

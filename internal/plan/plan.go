@@ -1,0 +1,198 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"hpclog/internal/store"
+	"hpclog/internal/store/persist"
+)
+
+// Plan is a compiled physical plan: Scan → Filter → Project|Aggregate →
+// Limit. Build performs the logical→physical rewrites — clustering-range
+// extraction from top-level key comparisons, residual-filter
+// construction, projection resolution, and compilation of the prunable
+// conjuncts into a storage-level block pruner.
+type Plan struct {
+	Sel *Select
+	// Range is the pushed-down clustering-key range (from top-level key
+	// comparisons; identical semantics to evaluating them row-wise).
+	Range store.Range
+	// Filter is the residual row predicate; nil = none.
+	Filter Expr
+	// Pruner skips segment blocks that provably contain no matching row;
+	// nil when no conjunct is prunable.
+	Pruner persist.Pruner
+
+	projRefs  []projRef // resolved projection (nil = all columns)
+	pruneDesc []string  // explain text of the prunable conjuncts
+}
+
+type projRef struct {
+	name  string
+	id    uint32
+	known bool
+}
+
+// Build compiles a logical Select into a physical Plan.
+func Build(sel *Select) (*Plan, error) {
+	if sel.Table == "" || sel.Partition == "" {
+		return nil, fmt.Errorf("plan: SELECT requires a table and a partition constraint")
+	}
+	if len(sel.Aggs) == 0 && len(sel.GroupBy) > 0 {
+		return nil, fmt.Errorf("plan: GROUP BY requires aggregates in the select list")
+	}
+	if len(sel.Aggs) > 0 {
+		for _, c := range sel.Columns {
+			found := false
+			for _, g := range sel.GroupBy {
+				if c == g {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return nil, fmt.Errorf("plan: column %q must appear in GROUP BY to be selected alongside aggregates", c)
+			}
+		}
+	}
+	p := &Plan{Sel: sel}
+
+	// Range extraction: a top-level key comparison is enforced exactly by
+	// the scan range (the bound transformations below mirror Cmp.Eval's
+	// bytewise semantics), so it leaves the residual filter.
+	residual := make([]Expr, 0, 4)
+	for _, c := range Conjuncts(sel.Where) {
+		cmp, ok := c.(*Cmp)
+		if !ok || !cmp.Col.IsKey {
+			residual = append(residual, c)
+			continue
+		}
+		lit := cmp.KeyLiteral()
+		switch cmp.Op {
+		case OpEq:
+			p.tightenFrom(lit)
+			p.tightenTo(lit + "\x00")
+		case OpGe:
+			p.tightenFrom(lit)
+		case OpGt:
+			p.tightenFrom(lit + "\x00")
+		case OpLt:
+			p.tightenTo(lit)
+		case OpLe:
+			p.tightenTo(lit + "\x00")
+		default: // key != 'x' stays a row predicate
+			residual = append(residual, c)
+			continue
+		}
+	}
+	p.Filter = FromConjuncts(residual)
+
+	// Storage pushdown: compile what we can of the conjuncts. Every
+	// conjunct must hold for a row to pass, so a block where ANY compiled
+	// conjunct proves "no row matches" is skippable.
+	var preds []blockPred
+	for _, c := range residual {
+		if bp := compileBlockPred(c); bp != nil {
+			preds = append(preds, bp)
+			p.pruneDesc = append(p.pruneDesc, c.String())
+		}
+	}
+	if len(preds) > 0 {
+		p.Pruner = conjPruner(preds)
+	}
+
+	// Projection: resolved to dictionary IDs once (lookup only — see
+	// ColRef; a never-written column is empty everywhere). Projection
+	// names are plain columns — the clustering key is always present as
+	// the row key, not a cell.
+	if len(sel.Aggs) == 0 && sel.Columns != nil {
+		p.projRefs = make([]projRef, len(sel.Columns))
+		for i, c := range sel.Columns {
+			id, ok := persist.DefaultDict().Lookup(c)
+			p.projRefs[i] = projRef{name: c, id: id, known: ok}
+		}
+	}
+	return p, nil
+}
+
+func (p *Plan) tightenFrom(from string) {
+	if p.Range.From == "" || from > p.Range.From {
+		p.Range.From = from
+	}
+}
+
+func (p *Plan) tightenTo(to string) {
+	if p.Range.To == "" || to < p.Range.To {
+		p.Range.To = to
+	}
+}
+
+// project renders one row through the projection: only the selected
+// columns are materialized (nil projection = every column).
+func (p *Plan) project(r store.Row) ResultRow {
+	out := ResultRow{Key: r.Key}
+	if p.projRefs == nil {
+		out.Columns = r.ColumnsMap()
+		return out
+	}
+	out.Columns = make(map[string]string, len(p.projRefs))
+	for _, pr := range p.projRefs {
+		if !pr.known {
+			continue
+		}
+		if v := r.ColID(pr.id); v != "" {
+			out.Columns[pr.name] = v
+		}
+	}
+	return out
+}
+
+// Explain renders the operator tree, top operator first.
+func (p *Plan) Explain() []string {
+	var ops []string
+	if p.Sel.Limit > 0 {
+		ops = append(ops, fmt.Sprintf("Limit(%d)", p.Sel.Limit))
+	}
+	if len(p.Sel.Aggs) > 0 {
+		labels := make([]string, len(p.Sel.Aggs))
+		for i, a := range p.Sel.Aggs {
+			labels[i] = a.Label()
+		}
+		agg := "Aggregate(" + strings.Join(labels, ", ")
+		if len(p.Sel.GroupBy) > 0 {
+			agg += " GROUP BY " + strings.Join(p.Sel.GroupBy, ", ")
+		}
+		ops = append(ops, agg+")")
+	} else if p.projRefs != nil {
+		names := make([]string, len(p.projRefs))
+		for i, pr := range p.projRefs {
+			names[i] = pr.name
+		}
+		ops = append(ops, "Project("+strings.Join(names, ", ")+")")
+	} else {
+		ops = append(ops, "Project(*)")
+	}
+	if p.Filter != nil {
+		ops = append(ops, "Filter("+p.Filter.String()+")")
+	}
+	scan := fmt.Sprintf("Scan(%s[%s]", p.Sel.Table, quoteLit(p.Sel.Partition))
+	if p.Range.From != "" || p.Range.To != "" {
+		scan += fmt.Sprintf(" keys[%q..%q)", p.Range.From, p.Range.To)
+	}
+	if len(p.pruneDesc) > 0 {
+		scan += " prune{" + strings.Join(p.pruneDesc, "; ") + "}"
+	}
+	ops = append(ops, scan+")")
+
+	out := make([]string, len(ops))
+	for i, op := range ops {
+		switch {
+		case i == 0:
+			out[i] = op
+		default:
+			out[i] = strings.Repeat("   ", i-1) + "└─ " + op
+		}
+	}
+	return out
+}

@@ -1,0 +1,241 @@
+package plan
+
+import (
+	"hpclog/internal/store/persist"
+)
+
+// Block-pruner compilation: the prunable subset of the predicate language
+// lowered onto block statistics. Every compiled form answers "can some
+// row of this block satisfy me?" conservatively — pruning exactly when
+// the zone map or Bloom filter PROVES the answer is no:
+//
+//   - col OP literal  → zone-map range test (numeric zones for numeric
+//     literals, bytewise zones otherwise) plus a Bloom membership test
+//     for string equality;
+//   - col IN (...)    → prunes when every member prunes;
+//   - col LIKE 'p%'   → zone-map prefix-interval test; wildcard-free
+//     patterns degrade to equality;
+//   - OR              → prunes when every branch prunes;
+//   - nested AND      → prunes when any compilable branch prunes.
+//
+// NOT and key comparisons never prune (a NOT matches precisely the rows
+// its child rejects, which block statistics cannot bound; key ranges are
+// already enforced by the scan's block index). An absent zone map means
+// "unknown" except for the writer's hot set, where an all-absent column
+// is recorded as Cells == 0 — the strongest signal, pruning every
+// positive predicate on that column.
+
+// conjPruner is the top-level conjunction: a block is skippable when ANY
+// conjunct proves no row can match.
+type conjPruner []blockPred
+
+// PruneBlock implements persist.Pruner.
+func (ps conjPruner) PruneBlock(b *persist.BlockStats) bool {
+	for _, p := range ps {
+		if p.prune(b) {
+			return true
+		}
+	}
+	return false
+}
+
+// blockPred is one compiled predicate; prune == true means no row of the
+// block can satisfy it.
+type blockPred interface {
+	prune(b *persist.BlockStats) bool
+}
+
+// compileBlockPred lowers an expression to a block predicate, returning
+// nil when the expression cannot prune.
+func compileBlockPred(e Expr) blockPred {
+	switch x := e.(type) {
+	case *Cmp:
+		if x.Col.IsKey || x.Op == OpNe {
+			return nil
+		}
+		return newCmpPred(x.Col, x.Op, x.Lit)
+	case *In:
+		if x.Col.IsKey {
+			return nil
+		}
+		preds := make([]blockPred, len(x.Vals))
+		for i, v := range x.Vals {
+			preds[i] = newCmpPred(x.Col, OpEq, v)
+		}
+		return orPred(preds)
+	case *Like:
+		if x.Col.IsKey {
+			return nil
+		}
+		if x.Exact() {
+			return newCmpPred(x.Col, OpEq, x.Pattern)
+		}
+		if p, ok := x.Prefix(); ok {
+			return prefixPred{col: x.Col, lo: p, hi: prefixUpper(p)}
+		}
+		return nil
+	case *Or:
+		preds := make([]blockPred, 0, len(x.Kids))
+		for _, k := range x.Kids {
+			bp := compileBlockPred(k)
+			if bp == nil {
+				return nil // one unprunable branch poisons the OR
+			}
+			preds = append(preds, bp)
+		}
+		return orPred(preds)
+	case *And:
+		var preds []blockPred
+		for _, k := range x.Kids {
+			if bp := compileBlockPred(k); bp != nil {
+				preds = append(preds, bp)
+			}
+		}
+		if len(preds) == 0 {
+			return nil
+		}
+		return andPred(preds)
+	}
+	return nil
+}
+
+// orPred prunes when every branch prunes (no branch can match).
+type orPred []blockPred
+
+func (ps orPred) prune(b *persist.BlockStats) bool {
+	for _, p := range ps {
+		if !p.prune(b) {
+			return false
+		}
+	}
+	return true
+}
+
+// andPred prunes when any branch prunes (the conjunction cannot match).
+type andPred []blockPred
+
+func (ps andPred) prune(b *persist.BlockStats) bool {
+	for _, p := range ps {
+		if p.prune(b) {
+			return true
+		}
+	}
+	return false
+}
+
+// cmpPred is a compiled column/literal comparison.
+type cmpPred struct {
+	col    ColRef
+	op     CmpOp
+	lit    string
+	num    float64
+	numOK  bool
+	h1, h2 uint64 // Bloom hashes of (name, lit), string-equality only
+}
+
+func newCmpPred(col ColRef, op CmpOp, lit string) *cmpPred {
+	p := &cmpPred{col: col, op: op, lit: lit}
+	p.num, p.numOK = persist.ParseNum(lit)
+	if !p.numOK && op == OpEq {
+		p.h1, p.h2 = persist.BloomHash(col.Name, lit)
+	}
+	return p
+}
+
+func (p *cmpPred) prune(b *persist.BlockStats) bool {
+	if !p.col.Known {
+		// A never-interned column exists in no row anywhere: every block
+		// is skippable for a positive predicate on it.
+		return true
+	}
+	z := b.Zone(p.col.ID)
+	if z != nil && z.Cells == 0 {
+		// Hot column entirely absent from the block: no positive
+		// predicate on it can match.
+		return true
+	}
+	if p.numOK {
+		// Numeric comparison: only numeric cells can match, and the
+		// numeric zone bounds them all. The Bloom filter is useless here
+		// ("5" and "5.0" are equal numbers but different cell bytes).
+		if z == nil {
+			return false
+		}
+		if z.NumCells == 0 {
+			return true
+		}
+		switch p.op {
+		case OpEq:
+			return p.num < z.MinNum || p.num > z.MaxNum
+		case OpLt:
+			return z.MinNum >= p.num
+		case OpLe:
+			return z.MinNum > p.num
+		case OpGt:
+			return z.MaxNum <= p.num
+		case OpGe:
+			return z.MaxNum < p.num
+		}
+		return false
+	}
+	if z != nil {
+		switch p.op {
+		case OpEq:
+			if p.lit < z.MinVal || p.lit > z.MaxVal {
+				return true
+			}
+		case OpLt:
+			return z.MinVal >= p.lit
+		case OpLe:
+			return z.MinVal > p.lit
+		case OpGt:
+			return z.MaxVal <= p.lit
+		case OpGe:
+			return z.MaxVal < p.lit
+		}
+	}
+	if p.op == OpEq {
+		// Equality can consult the Bloom filter whether or not the column
+		// is in the zone hot set.
+		return !b.MayContain(p.h1, p.h2)
+	}
+	return false
+}
+
+// prefixPred prunes LIKE 'p%' via the zone map: matching values lie in
+// [p, successor(p)).
+type prefixPred struct {
+	col ColRef
+	lo  string
+	hi  string // "" = unbounded (prefix of 0xff bytes)
+}
+
+func (p prefixPred) prune(b *persist.BlockStats) bool {
+	if !p.col.Known {
+		return true
+	}
+	z := b.Zone(p.col.ID)
+	if z == nil {
+		return false
+	}
+	if z.Cells == 0 {
+		return true
+	}
+	if z.MaxVal < p.lo {
+		return true
+	}
+	return p.hi != "" && z.MinVal >= p.hi
+}
+
+// prefixUpper returns the smallest string greater than every string with
+// the given prefix, or "" when none exists (all-0xff prefixes).
+func prefixUpper(p string) string {
+	b := []byte(p)
+	for i := len(b) - 1; i >= 0; i-- {
+		if b[i] < 0xff {
+			b[i]++
+			return string(b[:i+1])
+		}
+	}
+	return ""
+}

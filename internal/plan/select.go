@@ -1,0 +1,106 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"hpclog/internal/store/persist"
+)
+
+// Select is the logical form of a CQL SELECT over one partition, as
+// produced by the parser: the partition constraint extracted, everything
+// else still declarative. Build compiles it into a physical Plan.
+type Select struct {
+	Table     string
+	Partition string
+	// Columns is the projection; nil means every column. With aggregates
+	// present, plain columns must appear in GroupBy.
+	Columns []string
+	// Aggs non-empty makes this an aggregate query.
+	Aggs []AggSpec
+	// GroupBy lists the grouping columns (aggregate queries only).
+	GroupBy []string
+	// Where is the residual predicate (partition equality removed); nil
+	// means no predicate.
+	Where Expr
+	// Limit bounds the result rows; 0 = unbounded.
+	Limit int
+}
+
+// AggFn is an aggregate function.
+type AggFn uint8
+
+// Aggregate functions.
+const (
+	AggCount AggFn = iota
+	AggMin
+	AggMax
+	AggSum
+	AggAvg
+)
+
+func (f AggFn) String() string {
+	switch f {
+	case AggCount:
+		return "count"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	case AggSum:
+		return "sum"
+	case AggAvg:
+		return "avg"
+	}
+	return "agg?"
+}
+
+// ParseAggFn resolves an aggregate function name (case-insensitive).
+func ParseAggFn(name string) (AggFn, bool) {
+	switch strings.ToLower(name) {
+	case "count":
+		return AggCount, true
+	case "min":
+		return AggMin, true
+	case "max":
+		return AggMax, true
+	case "sum":
+		return AggSum, true
+	case "avg":
+		return AggAvg, true
+	}
+	return 0, false
+}
+
+// AggSpec is one aggregate in the select list.
+type AggSpec struct {
+	Fn AggFn
+	// Col is the aggregated column; "" means COUNT(*).
+	Col string
+	// ID is Col's dictionary ID; Known is false when no write has ever
+	// interned the name (the aggregate then sees only absent cells).
+	ID    uint32
+	Known bool
+}
+
+// NewAggSpec builds an AggSpec, resolving (not interning — query text is
+// untrusted) the column. star (Col == "") is only valid for COUNT.
+func NewAggSpec(fn AggFn, col string) (AggSpec, error) {
+	if col == "" {
+		if fn != AggCount {
+			return AggSpec{}, fmt.Errorf("plan: %s(*) is not defined; only COUNT(*)", fn)
+		}
+		return AggSpec{Fn: AggCount}, nil
+	}
+	id, ok := persist.DefaultDict().Lookup(col)
+	return AggSpec{Fn: fn, Col: col, ID: id, Known: ok}, nil
+}
+
+// Label is the result-column name of the aggregate: "count(*)",
+// "min(amount)", ...
+func (a AggSpec) Label() string {
+	if a.Col == "" {
+		return "count(*)"
+	}
+	return a.Fn.String() + "(" + a.Col + ")"
+}

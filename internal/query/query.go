@@ -141,6 +141,13 @@ func (q *Engine) Stats() Stats {
 	return Stats{Simple: q.simple.Load(), BigData: q.bigdata.Load()}
 }
 
+// ScanTuning exposes the engine's scan parallelism and time-slice width
+// so other query surfaces (the CQL planner behind POST /api/cql) share
+// one execution configuration.
+func (q *Engine) ScanTuning() (parallelism, sliceSeconds int) {
+	return q.opts.Parallelism, q.opts.SliceSeconds
+}
+
 // scanCfg is the streaming-scan configuration the engine plans big-data
 // operations with.
 func (q *Engine) scanCfg() analytics.ScanConfig {

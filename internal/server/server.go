@@ -20,6 +20,7 @@ import (
 	"hpclog/internal/compute"
 	"hpclog/internal/cql"
 	"hpclog/internal/model"
+	"hpclog/internal/plan"
 	"hpclog/internal/query"
 	"hpclog/internal/store"
 )
@@ -58,6 +59,10 @@ func New(q *query.Engine, db *store.DB, eng *compute.Engine) *Server {
 // handleCQL executes a raw CQL statement against the backend — the wire
 // protocol between the analytic server and the database in Fig 3. The
 // request body is {"query": "...", "consistency": "ONE|QUORUM|ALL"}.
+// SELECTs run through the query planner on the server's compute pool,
+// sharing the query engine's parallelism and slice tuning, so column
+// predicates push down to storage (block pruning) instead of scanning
+// everything.
 func (s *Server) handleCQL(w http.ResponseWriter, r *http.Request) {
 	started := s.now()
 	var req struct {
@@ -80,7 +85,11 @@ func (s *Server) handleCQL(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("server: unknown consistency %q", req.Consistency))
 		return
 	}
-	sess := &cql.Session{DB: s.db, CL: cl}
+	par, slice := s.q.ScanTuning()
+	sess := &cql.Session{
+		DB: s.db, CL: cl, Eng: s.eng,
+		Exec: plan.ExecOptions{Parallelism: par, SliceSeconds: slice},
+	}
 	res, err := sess.Execute(req.Query)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, started, nil, err)

@@ -100,6 +100,12 @@ type Config struct {
 	// 500ms; negative disables the background goroutine — Flush/Compact
 	// remain available).
 	CompactInterval time.Duration
+	// ZoneMapColumns is the hot set of columns that receive per-block
+	// min/max zone maps in newly written segment files (block pruning for
+	// predicate pushdown). Empty selects persist.DefaultZoneColumns.
+	// Deployments whose queries filter on bespoke attribute columns list
+	// them here.
+	ZoneMapColumns []string
 }
 
 func (c Config) withDefaults() Config {

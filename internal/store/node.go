@@ -118,12 +118,25 @@ func (p *partition) compactLocked() {
 	p.segments = []segment{{rows: mergeRows(lists...)}}
 }
 
+// pruneCfg carries a block pruner plus its counters through a pruned
+// partition scan; nil means scan everything (the default read path).
+type pruneCfg struct {
+	pr    persist.Pruner
+	stats *persist.PruneStats
+}
+
 // itersLocked assembles the partition's merge inputs for rg, oldest first:
 // on-disk segments by sequence, then in-memory segments, then the
 // memtable. The iterators outlive the partition lock (reads drain after
 // releasing it), so the in-range memtable rows are always copied —
 // sharing the live slice would race with insertLocked's in-place insert.
-func (p *partition) itersLocked(rg Range) ([]persist.Iterator, error) {
+//
+// With a pruneCfg, each disk segment additionally receives the predicate
+// pruner and the key ranges of every OTHER merge input as shadows: a
+// block whose keys can collide with another input is never pruned, so
+// last-write-wins reconciliation across duplicate keys is preserved even
+// when the losing version fails the predicate.
+func (p *partition) itersLocked(rg Range, pc *pruneCfg) ([]persist.Iterator, error) {
 	var its []persist.Iterator
 	if p.node.persist != nil {
 		// The segment list is a snapshot; the background compactor may
@@ -131,11 +144,40 @@ func (p *partition) itersLocked(rg Range) ([]persist.Iterator, error) {
 		// replacement holds the same rows, so re-fetch and retry.
 	retry:
 		for attempt := 0; ; attempt++ {
-			for _, seg := range p.node.persist.Segments(p.table, p.key) {
-				if !seg.Overlaps(rg) {
-					continue
+			segs := p.node.persist.Segments(p.table, p.key)
+			over := segs[:0]
+			for _, seg := range segs {
+				if seg.Overlaps(rg) {
+					over = append(over, seg)
 				}
-				it, err := seg.Scan(rg)
+			}
+			// Key coverage of every merge input, disk segments first (index
+			// i = segment i), then the in-memory inputs.
+			var inputs []persist.KeyRange
+			if pc != nil {
+				inputs = make([]persist.KeyRange, 0, len(over)+len(p.segments)+1)
+				for _, seg := range over {
+					min, max := seg.KeyRange()
+					inputs = append(inputs, persist.KeyRange{Min: min, Max: max})
+				}
+				for _, s := range p.segments {
+					if n := len(s.rows); n > 0 {
+						inputs = append(inputs, persist.KeyRange{Min: s.rows[0].Key, Max: s.rows[n-1].Key})
+					}
+				}
+				if n := len(p.mem); n > 0 {
+					inputs = append(inputs, persist.KeyRange{Min: p.mem[0].Key, Max: p.mem[n-1].Key})
+				}
+			}
+			for i, seg := range over {
+				var cfg persist.ScanConfig
+				if pc != nil {
+					shadows := make([]persist.KeyRange, 0, len(inputs)-1)
+					shadows = append(shadows, inputs[:i]...)
+					shadows = append(shadows, inputs[i+1:]...)
+					cfg = persist.ScanConfig{Pruner: pc.pr, Shadows: shadows, Stats: pc.stats}
+				}
+				it, err := seg.ScanPruned(rg, cfg)
 				if err != nil {
 					for _, open := range its {
 						open.Close()
@@ -192,7 +234,52 @@ func (p *partition) read(rg Range) ([]Row, error) {
 func (p *partition) snapshotIters(rg Range) ([]persist.Iterator, error) {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
-	return p.itersLocked(rg)
+	return p.itersLocked(rg, nil)
+}
+
+// snapshotItersPruned is snapshotIters with block pruning on the disk
+// segments.
+func (p *partition) snapshotItersPruned(rg Range, pc *pruneCfg) ([]persist.Iterator, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.itersLocked(rg, pc)
+}
+
+// keyBounds returns the partition's smallest and largest clustering key
+// without scanning: memtable ends, in-memory segment ends, and disk
+// segment footers. ok is false for an empty partition.
+func (p *partition) keyBounds() (min, max string, ok bool) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	note := func(lo, hi string) {
+		if !ok {
+			min, max, ok = lo, hi, true
+			return
+		}
+		if lo < min {
+			min = lo
+		}
+		if hi > max {
+			max = hi
+		}
+	}
+	if n := len(p.mem); n > 0 {
+		note(p.mem[0].Key, p.mem[n-1].Key)
+	}
+	for _, s := range p.segments {
+		if n := len(s.rows); n > 0 {
+			note(s.rows[0].Key, s.rows[n-1].Key)
+		}
+	}
+	if p.node.persist != nil {
+		for _, seg := range p.node.persist.Segments(p.table, p.key) {
+			if seg.Rows() > 0 {
+				lo, hi := seg.KeyRange()
+				note(lo, hi)
+			}
+		}
+	}
+	return min, max, ok
 }
 
 func (p *partition) rowCount() int {
@@ -472,6 +559,9 @@ func (n *Node) openDurable(dir string, cfg Config) error {
 	ps, err := persist.OpenStore(dir + "/seg")
 	if err != nil {
 		return fmt.Errorf("store: node %s: %w", n.id, err)
+	}
+	if len(cfg.ZoneMapColumns) > 0 {
+		ps.SetZoneColumns(cfg.ZoneMapColumns)
 	}
 	log, err := wal.Open(wal.Options{
 		Dir:                 dir + "/wal",

@@ -1,0 +1,262 @@
+package persist
+
+import (
+	"sync/atomic"
+)
+
+// Block statistics (codec v3). Every segment block (one sparse-index
+// stride, up to indexEvery rows) carries a zone map — the block's key and
+// WriteTS bounds plus per-column min/max for a configurable hot set — and
+// a Bloom filter over the block's (column name, value) cells. Scans that
+// carry a Pruner consult these before reading a block off disk, so a
+// selective predicate skips the read AND the decode of every block that
+// provably contains no matching row.
+//
+// The statistics describe non-empty cells only: the expression engine
+// treats an absent or empty column as matching nothing, so a zone map
+// over the non-empty values is exactly the set a predicate can match.
+// All pruning is conservative — a block is skipped only when no row in it
+// can satisfy the predicate, regardless of merge order (callers
+// additionally fence pruning with shadow ranges, see ScanConfig).
+
+// DefaultZoneColumns is the default hot set of columns that get per-block
+// min/max zone maps. It covers the data model's discriminator and metric
+// columns; deployments with bespoke attribute columns widen it through
+// store.Config.ZoneMapColumns.
+var DefaultZoneColumns = []string{"type", "source", "amount", "app", "user", "jobid"}
+
+// ColZone is the per-block zone map of one hot column.
+type ColZone struct {
+	// ID is the column's process-wide dictionary ID (resolved at segment
+	// open; on disk the footer stores the segment-local name index).
+	ID uint32
+	// MinVal/MaxVal bound the block's non-empty values bytewise.
+	MinVal, MaxVal string
+	// Cells counts rows of the block carrying a non-empty value.
+	Cells int
+	// NumCells counts cells whose value parses as a decimal number;
+	// MinNum/MaxNum bound those numerically. A numeric-literal predicate
+	// can only match numeric cells, so NumCells == 0 alone prunes it.
+	NumCells       int
+	MinNum, MaxNum float64
+}
+
+// BlockStats is the zone map + Bloom filter of one segment block.
+type BlockStats struct {
+	// MinKey/MaxKey bound the block's clustering keys (inclusive).
+	MinKey, MaxKey string
+	// MinWriteTS/MaxWriteTS bound the block's logical write timestamps.
+	MinWriteTS, MaxWriteTS int64
+	// Rows is the block's row count.
+	Rows int
+	// Zones holds one entry per configured hot column, sorted by ID —
+	// including absent columns (Cells == 0), which is itself the strongest
+	// pruning signal for predicates on them.
+	Zones []ColZone
+	// bloom indexes the block's (column name, value) cells.
+	bloom bloom
+}
+
+// Zone returns the zone map for a column ID, or nil when the column is
+// not in the segment's hot set.
+func (b *BlockStats) Zone(id uint32) *ColZone {
+	for i := range b.Zones {
+		if b.Zones[i].ID == id {
+			return &b.Zones[i]
+		}
+		if b.Zones[i].ID > id {
+			break
+		}
+	}
+	return nil
+}
+
+// MayContain reports whether the block may hold a cell whose
+// BloomHash is (h1, h2). False means definitely absent — equality
+// predicates prune on it. Blocks written without a filter (or before
+// codec v3) report true for everything.
+func (b *BlockStats) MayContain(h1, h2 uint64) bool { return b.bloom.has(h1, h2) }
+
+// Pruner decides from a block's statistics whether a scan may skip the
+// block entirely. PruneBlock must return true only when NO row of the
+// block can satisfy the caller's predicate; implementations unsure about
+// a block must return false. The same Pruner is shared by every iterator
+// of a scan and must be safe for concurrent use (the planner's pruners
+// are immutable after construction).
+type Pruner interface {
+	PruneBlock(b *BlockStats) bool
+}
+
+// PruneStats accumulates block-level counters across the (possibly
+// concurrent) iterators of one scan.
+type PruneStats struct {
+	// BlocksRead counts blocks read and decoded.
+	BlocksRead atomic.Int64
+	// BlocksPruned counts blocks skipped by zone maps / Bloom filters.
+	BlocksPruned atomic.Int64
+}
+
+// KeyRange is an inclusive clustering-key interval, used to describe the
+// key coverage of a scan's other merge inputs (see ScanConfig.Shadows).
+type KeyRange struct {
+	Min, Max string
+}
+
+func (kr KeyRange) overlaps(min, max string) bool {
+	return kr.Max >= min && kr.Min <= max
+}
+
+// --- Bloom filter ---
+
+// The filter is a standard double-hashing Bloom filter over FNV-1a: cell
+// i probes bit (h1 + i*h2) mod m. Sizing is bloomBitsPerCell bits per
+// inserted cell with bloomHashes probes (~1% false positives), which for
+// a 64-row block of ~8 columns costs ~640 bytes. Hashes cover the column
+// NAME and value (never the process-local dictionary ID), so filters are
+// portable across processes.
+const (
+	bloomBitsPerCell = 10
+	bloomHashes      = 7
+	bloomMinBits     = 64
+)
+
+// bloom is an immutable encoded Bloom filter. bits is kept as a string so
+// decoding a footer stays zero-copy.
+type bloom struct {
+	bits string
+	k    uint32
+}
+
+func (f bloom) has(h1, h2 uint64) bool {
+	m := uint64(len(f.bits)) * 8
+	if m == 0 {
+		return true // no filter recorded: never prune
+	}
+	h := h1
+	for i := uint32(0); i < f.k; i++ {
+		bit := h % m
+		if f.bits[bit>>3]&(1<<(bit&7)) == 0 {
+			return false
+		}
+		h += h2
+	}
+	return true
+}
+
+// BloomHash hashes one (column name, value) cell for the block Bloom
+// filters. Pruners hash their literals once at plan time and probe each
+// block with the two halves.
+func BloomHash(name, value string) (h1, h2 uint64) {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime64
+	}
+	h ^= 0xff // separator outside both alphabets
+	h *= prime64
+	for i := 0; i < len(value); i++ {
+		h ^= uint64(value[i])
+		h *= prime64
+	}
+	// Mix the upper half down for the second probe stride; force it odd so
+	// the probe sequence visits distinct bits.
+	return h, (h>>33 | h<<31) | 1
+}
+
+// bloomBuilder accumulates cell hashes for one block and encodes the
+// filter once the cell count is known.
+type bloomBuilder struct {
+	hashes [][2]uint64
+}
+
+func (bb *bloomBuilder) add(h1, h2 uint64) {
+	bb.hashes = append(bb.hashes, [2]uint64{h1, h2})
+}
+
+func (bb *bloomBuilder) reset() { bb.hashes = bb.hashes[:0] }
+
+// build encodes the filter and resets the builder.
+func (bb *bloomBuilder) build() bloom {
+	if len(bb.hashes) == 0 {
+		bb.reset()
+		return bloom{}
+	}
+	mbits := len(bb.hashes) * bloomBitsPerCell
+	if mbits < bloomMinBits {
+		mbits = bloomMinBits
+	}
+	mbits = (mbits + 7) &^ 7
+	bits := make([]byte, mbits/8)
+	m := uint64(mbits)
+	for _, pair := range bb.hashes {
+		h := pair[0]
+		for i := 0; i < bloomHashes; i++ {
+			bit := h % m
+			bits[bit>>3] |= 1 << (bit & 7)
+			h += pair[1]
+		}
+	}
+	bb.reset()
+	return bloom{bits: string(bits), k: bloomHashes}
+}
+
+// ParseNum parses a decimal numeric literal — optional sign, digits, an
+// optional fraction — returning ok == false for anything else. It exists
+// because strconv.ParseFloat allocates its error value on failure, which
+// would put a per-row allocation on the predicate hot path whenever a
+// cell is non-numeric. Exponents are deliberately out of scope: cell
+// values in the log data model are plain counts and identifiers.
+//
+// The same function classifies values everywhere — expression evaluation,
+// zone-map construction, and aggregation — so storage-level pruning and
+// row-level filtering can never disagree about what "numeric" means.
+func ParseNum(s string) (float64, bool) {
+	if len(s) == 0 {
+		return 0, false
+	}
+	i := 0
+	neg := false
+	switch s[0] {
+	case '-':
+		neg = true
+		i++
+	case '+':
+		i++
+	}
+	if i >= len(s) {
+		return 0, false
+	}
+	var f float64
+	digits := 0
+	for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+		f = f*10 + float64(s[i]-'0')
+		i++
+		digits++
+	}
+	if i < len(s) && s[i] == '.' {
+		i++
+		fracDigits := 0
+		scale := 1.0
+		for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+			scale /= 10
+			f += float64(s[i]-'0') * scale
+			i++
+			fracDigits++
+		}
+		if fracDigits == 0 {
+			return 0, false // "1." is not a number
+		}
+		digits += fracDigits
+	}
+	if digits == 0 || i != len(s) {
+		return 0, false
+	}
+	if neg {
+		f = -f
+	}
+	return f, true
+}

@@ -1,0 +1,275 @@
+package persist
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+// writeStatsSegment writes rows where column "grp" cycles through g0..g3
+// per block of 64 rows and "amount" ascends, so zone maps differ sharply
+// between blocks.
+func writeStatsSegment(t *testing.T, path string, version int, nRows int) *Segment {
+	t.Helper()
+	w, err := NewWriterVersion(path, "events", "p", 1, version)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if version >= SegVersion {
+		if err := w.SetZoneColumns([]string{"grp", "amount"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < nRows; i++ {
+		r := MakeRow(EncodeTS(int64(1000+i)), int64(i+1), []Col{
+			C("grp", fmt.Sprintf("g%d", i/indexEvery%4)),
+			C("amount", fmt.Sprintf("%d", i)),
+			C("raw", "text value"),
+		})
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seg, err := w.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { seg.Close() })
+	return seg
+}
+
+func TestBlockStatsRoundTrip(t *testing.T) {
+	const nRows = 4*indexEvery + 17
+	seg := writeStatsSegment(t, filepath.Join(t.TempDir(), "a.seg"), SegVersion, nRows)
+	blocks := seg.meta.Blocks
+	if len(blocks) != len(seg.meta.Index) {
+		t.Fatalf("%d blocks for %d index entries", len(blocks), len(seg.meta.Index))
+	}
+	grpID := InternColumn("grp")
+	amountID := InternColumn("amount")
+	rows := 0
+	for i, b := range blocks {
+		rows += b.Rows
+		if b.MinKey != seg.meta.Index[i].Key {
+			t.Fatalf("block %d min key %q != index key %q", i, b.MinKey, seg.meta.Index[i].Key)
+		}
+		if b.MaxKey < b.MinKey {
+			t.Fatalf("block %d key bounds inverted", i)
+		}
+		z := b.Zone(grpID)
+		if z == nil {
+			t.Fatalf("block %d missing grp zone", i)
+		}
+		want := fmt.Sprintf("g%d", i%4)
+		if z.MinVal != want || z.MaxVal != want || z.Cells != b.Rows {
+			t.Fatalf("block %d grp zone = %+v, want min=max=%q cells=%d", i, z, want, b.Rows)
+		}
+		if z.NumCells != 0 {
+			t.Fatalf("block %d grp zone claims numeric cells", i)
+		}
+		az := b.Zone(amountID)
+		if az == nil || az.NumCells != b.Rows {
+			t.Fatalf("block %d amount zone = %+v", i, az)
+		}
+		if az.MinNum != float64(i*indexEvery) {
+			t.Fatalf("block %d amount min %v, want %d", i, az.MinNum, i*indexEvery)
+		}
+		// Bloom: a value present in the block must be reported possible;
+		// a value from a different block should (almost surely) miss.
+		h1, h2 := BloomHash("grp", want)
+		if !b.MayContain(h1, h2) {
+			t.Fatalf("block %d bloom rejects its own grp value", i)
+		}
+	}
+	if rows != nRows {
+		t.Fatalf("block row counts sum to %d, want %d", rows, nRows)
+	}
+	if b := blocks[0]; b.MinWriteTS != 1 || b.MaxWriteTS != int64(indexEvery) {
+		t.Fatalf("block 0 write-ts bounds [%d,%d]", b.MinWriteTS, b.MaxWriteTS)
+	}
+	// The absent hot column case: a zone for a configured column never
+	// written must report Cells == 0 — it is the strongest prune signal.
+	seg2 := func() *Segment {
+		path := filepath.Join(t.TempDir(), "b.seg")
+		w, err := NewWriterVersion(path, "events", "p", 2, SegVersion)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.SetZoneColumns([]string{"ghost"}); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Append(MakeRow("k1", 1, []Col{C("raw", "x")})); err != nil {
+			t.Fatal(err)
+		}
+		s, err := w.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}()
+	defer seg2.Close()
+	z := seg2.meta.Blocks[0].Zone(InternColumn("ghost"))
+	if z == nil || z.Cells != 0 {
+		t.Fatalf("absent hot column zone = %+v, want Cells=0", z)
+	}
+}
+
+// zonePruner prunes blocks whose "grp" zone excludes a wanted value —
+// a minimal stand-in for the planner's compiled pruners.
+type zonePruner struct {
+	id   uint32
+	want string
+}
+
+func (p zonePruner) PruneBlock(b *BlockStats) bool {
+	z := b.Zone(p.id)
+	if z == nil {
+		return false
+	}
+	return z.Cells == 0 || p.want < z.MinVal || p.want > z.MaxVal
+}
+
+func TestScanPrunedSkipsAndStaysExact(t *testing.T) {
+	const nRows = 8 * indexEvery
+	seg := writeStatsSegment(t, filepath.Join(t.TempDir(), "a.seg"), SegVersion, nRows)
+	grpID := InternColumn("grp")
+
+	collect := func(it Iterator) []Row {
+		t.Helper()
+		var out []Row
+		for {
+			r, ok := it.Next()
+			if !ok {
+				break
+			}
+			out = append(out, r.Clone())
+		}
+		if err := it.Err(); err != nil {
+			t.Fatal(err)
+		}
+		it.Close()
+		return out
+	}
+
+	var stats PruneStats
+	it, err := seg.ScanPruned(Range{}, ScanConfig{Pruner: zonePruner{grpID, "g2"}, Stats: &stats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned := collect(it)
+
+	// Oracle: full scan, filter client-side.
+	full, err := seg.Scan(Range{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []Row
+	for _, r := range collect(full) {
+		if r.ColID(grpID) == "g2" {
+			want = append(want, r)
+		}
+	}
+	// The pruned scan yields a superset filtered to g2 blocks; every g2
+	// row must be present.
+	got := 0
+	for _, r := range pruned {
+		if r.ColID(grpID) == "g2" {
+			got++
+		}
+	}
+	if got != len(want) {
+		t.Fatalf("pruned scan kept %d g2 rows, want %d", got, len(want))
+	}
+	if stats.BlocksPruned.Load() != 6 || stats.BlocksRead.Load() != 2 {
+		t.Fatalf("pruned=%d read=%d, want 6/2 (8 blocks, g2 in 2)",
+			stats.BlocksPruned.Load(), stats.BlocksRead.Load())
+	}
+
+	// Shadowed blocks must not be pruned even when the pruner fires.
+	var stats2 PruneStats
+	it2, err := seg.ScanPruned(Range{}, ScanConfig{
+		Pruner:  zonePruner{grpID, "g2"},
+		Shadows: []KeyRange{{Min: "", Max: "\xff"}}, // everything shadowed
+		Stats:   &stats2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := collect(it2)
+	if len(all) != nRows || stats2.BlocksPruned.Load() != 0 {
+		t.Fatalf("shadowed scan: %d rows, %d pruned", len(all), stats2.BlocksPruned.Load())
+	}
+}
+
+// TestSegmentV2Compat: v2 files written by NewWriterVersion read back
+// exactly, scan unpruned (no block stats), and upgrade in place via
+// RewriteSegment.
+func TestSegmentV2Compat(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.seg")
+	const nRows = 3 * indexEvery
+	segV2 := writeStatsSegment(t, path, SegVersionV2, nRows)
+	if len(segV2.meta.Blocks) != 0 {
+		t.Fatalf("v2 segment decoded %d block stats", len(segV2.meta.Blocks))
+	}
+	var stats PruneStats
+	it, err := segV2.ScanPruned(Range{}, ScanConfig{Pruner: zonePruner{InternColumn("grp"), "nope"}, Stats: &stats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		_, ok := it.Next()
+		if !ok {
+			break
+		}
+		n++
+	}
+	it.Close()
+	if n != nRows || stats.BlocksPruned.Load() != 0 {
+		t.Fatalf("v2 pruned scan: %d rows, %d pruned (want all rows, 0 pruned)", n, stats.BlocksPruned.Load())
+	}
+	if err := segV2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Upgrade in place; zone maps appear and rows survive bit-for-bit.
+	if err := RewriteSegment(path, SegVersion); err != nil {
+		t.Fatal(err)
+	}
+	segV3, err := OpenSegment(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer segV3.Close()
+	if len(segV3.meta.Blocks) != len(segV3.meta.Index) {
+		t.Fatalf("upgraded segment has %d block stats for %d blocks", len(segV3.meta.Blocks), len(segV3.meta.Index))
+	}
+	if segV3.Rows() != nRows || segV3.Seq() != 1 || segV3.Table() != "events" {
+		t.Fatalf("upgrade changed identity: %d rows seq %d", segV3.Rows(), segV3.Seq())
+	}
+}
+
+func TestParseNum(t *testing.T) {
+	cases := []struct {
+		in  string
+		f   float64
+		ok  bool
+		why string
+	}{
+		{"0", 0, true, ""}, {"42", 42, true, ""}, {"-7", -7, true, ""},
+		{"+3", 3, true, ""}, {"3.5", 3.5, true, ""}, {"-0.25", -0.25, true, ""},
+		{"007", 7, true, "leading zeros"},
+		{"", 0, false, "empty"}, {"-", 0, false, "bare sign"},
+		{".5", 0.5, true, "bare fraction"},
+		{"1e3", 0, false, "exponent out of scope"},
+		{"12a", 0, false, "trailing garbage"}, {" 1", 0, false, "space"},
+		{"1.", 0, false, "trailing dot"},
+	}
+	for _, c := range cases {
+		f, ok := ParseNum(c.in)
+		if ok != c.ok || (ok && f != c.f) {
+			t.Errorf("ParseNum(%q) = %v,%v want %v,%v (%s)", c.in, f, ok, c.f, c.ok, c.why)
+		}
+	}
+}

@@ -87,19 +87,26 @@ func FuzzSegmentFooter(f *testing.F) {
 		ColNames: []string{"amount", "source"},
 		Index:    []IndexEntry{{Key: "a", Off: 8}},
 	}
-	f.Add(appendFooter(nil, &meta))
+	f.Add(appendFooter(nil, &meta, SegVersionV2, nil))
 	f.Add([]byte(""))
 	f.Add(bytes.Repeat([]byte{0xff}, 64))
 	f.Fuzz(func(t *testing.T, data []byte) {
-		m, err := decodeFooter(data)
+		// The v3 decoder must never panic on arbitrary bytes (the block
+		// statistics section adds plenty of length-prefixed structure).
+		if m3, err := decodeFooter(data, SegVersion); err == nil {
+			if m3.Rows < 0 || m3.DataLen < 0 {
+				t.Fatalf("decoded nonsense counts from %x: %+v", data, m3)
+			}
+		}
+		m, err := decodeFooter(data, SegVersionV2)
 		if err != nil {
 			return
 		}
 		if m.Rows < 0 || m.DataLen < 0 {
 			t.Fatalf("decoded nonsense counts from %x: %+v", data, m)
 		}
-		round := appendFooter(nil, m)
-		m2, err := decodeFooter(round)
+		round := appendFooter(nil, m, SegVersionV2, nil)
+		m2, err := decodeFooter(round, SegVersionV2)
 		if err != nil {
 			t.Fatalf("re-decode of re-encoded footer failed: %v", err)
 		}
@@ -124,7 +131,7 @@ func TestFooterRoundTrip(t *testing.T) {
 			{Key: "0000000000000001900:x", Off: 10240},
 		},
 	}
-	got, err := decodeFooter(appendFooter(nil, &meta))
+	got, err := decodeFooter(appendFooter(nil, &meta, SegVersionV2, nil), SegVersionV2)
 	if err != nil {
 		t.Fatal(err)
 	}

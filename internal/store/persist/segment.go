@@ -7,48 +7,66 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"math"
 	"os"
 	"sort"
 	"strings"
 	"sync"
 )
 
-// Segment file layout (codec v2):
+// Segment file layout (codec v3):
 //
-//	header  : "HPSEG002" (8 bytes)
+//	header  : "HPSEG003" (8 bytes)
 //	data    : rows in clustering-key order, binary row codec v2
 //	footer  : binary footerMeta (own deterministic codec, no gob)
-//	trailer : u32 footerLen | u32 crc32(footer) | "HPSEGFT2" (8 bytes)
+//	trailer : u32 footerLen | u32 crc32(footer) | "HPSEGFT3" (8 bytes)
 //
 // The footer carries the partition identity, the key and time ranges used
-// for scan pruning, the segment's column-name table (codec v2 rows
-// reference table-local indexes instead of repeating name strings), a
-// sparse clustering-key index (one entry every indexEvery rows) used to
-// seek near Range.From, and a CRC of the data region. Files are written to
-// a temporary name and renamed into place, so a segment either exists
-// completely or not at all — torn writes are the commitlog's problem,
-// never the segment store's.
+// for scan pruning, the segment's column-name table (rows reference
+// table-local indexes instead of repeating name strings), a sparse
+// clustering-key index (one entry every indexEvery rows) used to seek
+// near Range.From, a CRC of the data region, and — new in v3 — per-block
+// statistics: a zone map (key/WriteTS bounds, per-column min/max for the
+// writer's hot set) and a Bloom filter over the block's column cells (see
+// blockstats.go). Files are written to a temporary name and renamed into
+// place, so a segment either exists completely or not at all — torn
+// writes are the commitlog's problem, never the segment store's.
 //
 // The sparse index doubles as the block structure of the file: an index
 // entry starts every indexEvery rows, so consecutive entries delimit
 // blocks of exactly indexEvery rows (the final block may be short). Scans
 // read and decode one block at a time into pooled buffers — one read, one
 // buffer→string conversion, and one column arena per 64 rows instead of
-// per-row allocations.
+// per-row allocations. BlockStats[i] describes exactly the block starting
+// at Index[i].
 //
-// Files written before codec v2 (header "HPSEG001", gob footer) are
-// rejected at open with a clear error naming the version mismatch;
-// re-ingest the data or read it with a pre-v2 build.
+// Codec v2 files (header "HPSEG002", same data region, footer without
+// block statistics) remain fully readable: they scan correctly but offer
+// nothing to prune on. RewriteSegment upgrades them in place. Files
+// written before codec v2 (header "HPSEG001", gob footer) are rejected at
+// open with a clear error naming the version mismatch; re-ingest the data
+// or read it with a pre-v2 build.
 const (
-	segHeader    = "HPSEG002"
+	segHeader    = "HPSEG003"
+	segHeaderV2  = "HPSEG002"
 	segHeaderV1  = "HPSEG001"
-	segTrailer   = "HPSEGFT2"
+	segTrailer   = "HPSEGFT3"
+	segTrailerV2 = "HPSEGFT2"
 	segTrailerV1 = "HPSEGFT1"
 	trailerLen   = 4 + 4 + 8
 	indexEvery   = 64
 	segFileExt   = ".seg"
 	segTempExt   = ".tmp"
 	maxFooterLen = 256 << 20
+)
+
+// Segment codec versions accepted by NewWriterVersion.
+const (
+	// SegVersionV2 writes the pre-pruning format: no block statistics.
+	SegVersionV2 = 2
+	// SegVersion is the current format with per-block zone maps and Bloom
+	// filters.
+	SegVersion = 3
 )
 
 // IndexEntry is one sparse-index sample: the clustering key of a row and
@@ -76,11 +94,17 @@ type footerMeta struct {
 	DataCRC    uint32
 	ColNames   []string // the segment's column-name table
 	Index      []IndexEntry
+	// Blocks holds per-block statistics, parallel to Index (codec v3;
+	// empty on v2 files). Zone IDs are segment-local name-table indexes on
+	// disk, remapped to process-wide dictionary IDs at open.
+	Blocks []BlockStats
 }
 
 // appendFooter encodes the footer with the package's own codec —
-// deterministic, compact, and no encoding/gob dependency.
-func appendFooter(b []byte, m *footerMeta) []byte {
+// deterministic, compact, and no encoding/gob dependency. version selects
+// whether the v3 block-statistics section is written; zoneLocal maps each
+// block's Zones (parallel slices) to name-table indexes.
+func appendFooter(b []byte, m *footerMeta, version int, zoneLocal []int) []byte {
 	appendStr := func(s string) {
 		b = binary.AppendUvarint(b, uint64(len(s)))
 		b = append(b, s...)
@@ -105,11 +129,37 @@ func appendFooter(b []byte, m *footerMeta) []byte {
 		b = binary.AppendUvarint(b, uint64(e.Off-prev))
 		prev = e.Off
 	}
+	if version < SegVersion {
+		return b
+	}
+	b = binary.AppendUvarint(b, uint64(len(m.Blocks)))
+	for i := range m.Blocks {
+		blk := &m.Blocks[i]
+		appendStr(blk.MaxKey)
+		b = binary.AppendVarint(b, blk.MinWriteTS)
+		b = binary.AppendVarint(b, blk.MaxWriteTS)
+		b = binary.AppendUvarint(b, uint64(blk.Rows))
+		b = binary.AppendUvarint(b, uint64(len(blk.Zones)))
+		for j := range blk.Zones {
+			z := &blk.Zones[j]
+			b = binary.AppendUvarint(b, uint64(zoneLocal[j]))
+			appendStr(z.MinVal)
+			appendStr(z.MaxVal)
+			b = binary.AppendUvarint(b, uint64(z.Cells))
+			b = binary.AppendUvarint(b, uint64(z.NumCells))
+			if z.NumCells > 0 {
+				b = binary.LittleEndian.AppendUint64(b, math.Float64bits(z.MinNum))
+				b = binary.LittleEndian.AppendUint64(b, math.Float64bits(z.MaxNum))
+			}
+		}
+		b = binary.AppendUvarint(b, uint64(blk.bloom.k))
+		appendStr(blk.bloom.bits)
+	}
 	return b
 }
 
 // decodeFooter reverses appendFooter.
-func decodeFooter(fb []byte) (*footerMeta, error) {
+func decodeFooter(fb []byte, version int) (*footerMeta, error) {
 	d := NewStringDec(string(fb))
 	m := &footerMeta{}
 	var err error
@@ -202,6 +252,94 @@ func decodeFooter(fb []byte) (*footerMeta, error) {
 		}
 		m.Index[i] = IndexEntry{Key: k, Off: prev}
 	}
+	if version < SegVersion {
+		return m, nil
+	}
+	nBlocks, err := d.Uvarint()
+	if err != nil {
+		return nil, fail("blocks", err)
+	}
+	if nBlocks != uint64(len(m.Index)) {
+		return nil, fail("blocks", fmt.Errorf("%d block stats for %d index entries", nBlocks, len(m.Index)))
+	}
+	m.Blocks = make([]BlockStats, nBlocks)
+	for i := range m.Blocks {
+		blk := &m.Blocks[i]
+		blk.MinKey = m.Index[i].Key
+		if blk.MaxKey, err = d.String(); err != nil {
+			return nil, fail("block max key", err)
+		}
+		if blk.MinWriteTS, err = d.Varint(); err != nil {
+			return nil, fail("block min write ts", err)
+		}
+		if blk.MaxWriteTS, err = d.Varint(); err != nil {
+			return nil, fail("block max write ts", err)
+		}
+		rows, err := d.Uvarint()
+		if err != nil {
+			return nil, fail("block rows", err)
+		}
+		blk.Rows = int(rows)
+		nZones, err := d.Uvarint()
+		if err != nil {
+			return nil, fail("block zones", err)
+		}
+		if nZones > uint64(len(m.ColNames)) {
+			return nil, fail("block zones", fmt.Errorf("%d zones for %d columns", nZones, len(m.ColNames)))
+		}
+		blk.Zones = make([]ColZone, nZones)
+		for j := range blk.Zones {
+			z := &blk.Zones[j]
+			local, err := d.Uvarint()
+			if err != nil {
+				return nil, fail("zone column", err)
+			}
+			if local >= uint64(len(m.ColNames)) {
+				return nil, fail("zone column", fmt.Errorf("index %d beyond name table (%d)", local, len(m.ColNames)))
+			}
+			z.ID = uint32(local) // remapped to dictionary IDs at open
+			if z.MinVal, err = d.String(); err != nil {
+				return nil, fail("zone min", err)
+			}
+			if z.MaxVal, err = d.String(); err != nil {
+				return nil, fail("zone max", err)
+			}
+			cells, err := d.Uvarint()
+			if err != nil {
+				return nil, fail("zone cells", err)
+			}
+			z.Cells = int(cells)
+			numCells, err := d.Uvarint()
+			if err != nil {
+				return nil, fail("zone numeric cells", err)
+			}
+			z.NumCells = int(numCells)
+			if z.NumCells > 0 {
+				lo, err := d.Uint64LE()
+				if err != nil {
+					return nil, fail("zone min num", err)
+				}
+				hi, err := d.Uint64LE()
+				if err != nil {
+					return nil, fail("zone max num", err)
+				}
+				z.MinNum = math.Float64frombits(lo)
+				z.MaxNum = math.Float64frombits(hi)
+			}
+		}
+		k, err := d.Uvarint()
+		if err != nil {
+			return nil, fail("block bloom k", err)
+		}
+		if k > 64 {
+			return nil, fail("block bloom k", fmt.Errorf("%d hash functions exceeds sanity bound", k))
+		}
+		bits, err := d.String()
+		if err != nil {
+			return nil, fail("block bloom", err)
+		}
+		blk.bloom = bloom{bits: bits, k: uint32(k)}
+	}
 	return m, nil
 }
 
@@ -213,6 +351,17 @@ func (d *StringDec) String4() (string, error) {
 	s := d.s[d.pos : d.pos+4]
 	d.pos += 4
 	return s, nil
+}
+
+// Uint64LE decodes 8 raw little-endian bytes (no length prefix).
+func (d *StringDec) Uint64LE() (uint64, error) {
+	if d.Rest() < 8 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	s := d.s[d.pos : d.pos+8]
+	d.pos += 8
+	return uint64(s[0]) | uint64(s[1])<<8 | uint64(s[2])<<16 | uint64(s[3])<<24 |
+		uint64(s[4])<<32 | uint64(s[5])<<40 | uint64(s[6])<<48 | uint64(s[7])<<56, nil
 }
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
@@ -232,11 +381,43 @@ type Writer struct {
 	buf     []byte
 	sinceIx int
 	done    bool
+	version int
+
+	// Block-statistics accumulation (version >= SegVersion).
+	zoneIDs   []uint32 // hot columns with per-block zone maps, sorted by ID
+	zoneNames []string // parallel to zoneIDs
+	blk       blockAcc
+}
+
+// blockAcc accumulates the statistics of the block being written.
+type blockAcc struct {
+	rows           int
+	maxKey         string
+	minWTS, maxWTS int64
+	zones          []ColZone // parallel to Writer.zoneIDs
+	bb             bloomBuilder
 }
 
 // NewWriter creates a segment writer targeting path (written via a
-// temporary file until Finish).
+// temporary file until Finish), at the current codec version.
 func NewWriter(path, table, pkey string, seq uint64) (*Writer, error) {
+	return NewWriterVersion(path, table, pkey, seq, SegVersion)
+}
+
+// NewWriterVersion creates a segment writer at an explicit codec version:
+// SegVersion (the default) records per-block zone maps and Bloom filters;
+// SegVersionV2 writes the pre-pruning format. The legacy version exists
+// for compatibility tests and for tooling that round-trips old
+// directories (see RewriteSegment).
+func NewWriterVersion(path, table, pkey string, seq uint64, version int) (*Writer, error) {
+	header := segHeader
+	switch version {
+	case SegVersion:
+	case SegVersionV2:
+		header = segHeaderV2
+	default:
+		return nil, fmt.Errorf("persist: unsupported segment codec version %d", version)
+	}
 	tmp := path + segTempExt
 	f, err := os.Create(tmp)
 	if err != nil {
@@ -244,16 +425,153 @@ func NewWriter(path, table, pkey string, seq uint64) (*Writer, error) {
 	}
 	w := &Writer{
 		path: path, tmpPath: tmp, f: f, bw: bufio.NewWriterSize(f, 64<<10),
-		meta: footerMeta{Table: table, Partition: pkey, Seq: seq},
+		meta:    footerMeta{Table: table, Partition: pkey, Seq: seq},
+		version: version,
 	}
-	if _, err := w.bw.WriteString(segHeader); err != nil {
+	if version >= SegVersion {
+		w.setZoneColumnNames(DefaultZoneColumns)
+	}
+	if _, err := w.bw.WriteString(header); err != nil {
 		w.abort()
 		return nil, err
 	}
-	w.off = int64(len(segHeader))
-	w.crc = crc32.Update(0, crcTable, []byte(segHeader))
+	w.off = int64(len(header))
+	w.crc = crc32.Update(0, crcTable, []byte(header))
 	w.sinceIx = indexEvery // force an index entry for the first row
 	return w, nil
+}
+
+// SetZoneColumns replaces the hot set of columns receiving per-block
+// min/max zone maps (default DefaultZoneColumns). Must be called before
+// the first Append; a no-op on legacy-version writers.
+func (w *Writer) SetZoneColumns(names []string) error {
+	if w.meta.Rows > 0 {
+		return fmt.Errorf("persist: SetZoneColumns after Append")
+	}
+	if w.version >= SegVersion {
+		w.setZoneColumnNames(names)
+	}
+	return nil
+}
+
+func (w *Writer) setZoneColumnNames(names []string) {
+	w.zoneIDs = w.zoneIDs[:0]
+	for _, n := range names {
+		w.zoneIDs = append(w.zoneIDs, defaultDict.Intern(n))
+	}
+	sortIDs(w.zoneIDs)
+	w.zoneNames = make([]string, len(w.zoneIDs))
+	for i, id := range w.zoneIDs {
+		w.zoneNames[i] = defaultDict.Name(id)
+	}
+	w.blk.zones = make([]ColZone, len(w.zoneIDs))
+	w.resetBlock()
+}
+
+// sortIDs sorts a small ID slice in place (insertion sort, no allocs),
+// dropping duplicates is not needed — Intern never issues duplicates for
+// distinct names and duplicate names in the hot set are harmless.
+func sortIDs(ids []uint32) {
+	for i := 1; i < len(ids); i++ {
+		v := ids[i]
+		j := i - 1
+		for j >= 0 && ids[j] > v {
+			ids[j+1] = ids[j]
+			j--
+		}
+		ids[j+1] = v
+	}
+}
+
+func (w *Writer) resetBlock() {
+	w.blk.rows = 0
+	w.blk.maxKey = ""
+	w.blk.minWTS, w.blk.maxWTS = 0, 0
+	for i := range w.blk.zones {
+		w.blk.zones[i] = ColZone{ID: w.zoneIDs[i]}
+	}
+	w.blk.bb.reset()
+}
+
+// finishBlock clones the accumulated block statistics into the footer.
+// The min/max strings are cloned because the accumulator references cell
+// values owned by the caller (compaction feeds values that alias decoded
+// blocks of the inputs); the footer must not pin them.
+func (w *Writer) finishBlock() {
+	if w.version < SegVersion || w.blk.rows == 0 {
+		return
+	}
+	bs := BlockStats{
+		MaxKey:     strings.Clone(w.blk.maxKey),
+		MinWriteTS: w.blk.minWTS,
+		MaxWriteTS: w.blk.maxWTS,
+		Rows:       w.blk.rows,
+		Zones:      make([]ColZone, len(w.blk.zones)),
+		bloom:      w.blk.bb.build(),
+	}
+	for i, z := range w.blk.zones {
+		z.MinVal = strings.Clone(z.MinVal)
+		z.MaxVal = strings.Clone(z.MaxVal)
+		bs.Zones[i] = z
+	}
+	// MinKey mirrors the index entry that opened the block.
+	bs.MinKey = w.meta.Index[len(w.meta.Index)-1].Key
+	w.meta.Blocks = append(w.meta.Blocks, bs)
+	w.resetBlock()
+}
+
+// noteRow folds one row into the current block's statistics.
+func (w *Writer) noteRow(r Row) {
+	if w.version < SegVersion {
+		return
+	}
+	b := &w.blk
+	if b.rows == 0 {
+		b.minWTS, b.maxWTS = r.WriteTS, r.WriteTS
+	} else {
+		if r.WriteTS < b.minWTS {
+			b.minWTS = r.WriteTS
+		}
+		if r.WriteTS > b.maxWTS {
+			b.maxWTS = r.WriteTS
+		}
+	}
+	b.rows++
+	b.maxKey = r.Key
+	// Rows are compact here (Append compacts first): cols sorted by ID.
+	// Merge-scan against the sorted zone set while filling the Bloom
+	// filter with every non-empty cell.
+	zi := 0
+	for _, c := range r.Cols() {
+		if c.Value == "" {
+			continue // absent for the expression engine; keep stats aligned
+		}
+		h1, h2 := BloomHash(defaultDict.Name(c.ID), c.Value)
+		b.bb.add(h1, h2)
+		for zi < len(w.zoneIDs) && w.zoneIDs[zi] < c.ID {
+			zi++
+		}
+		if zi >= len(w.zoneIDs) || w.zoneIDs[zi] != c.ID {
+			continue
+		}
+		z := &b.zones[zi]
+		if z.Cells == 0 || c.Value < z.MinVal {
+			z.MinVal = c.Value
+		}
+		if z.Cells == 0 || c.Value > z.MaxVal {
+			z.MaxVal = c.Value
+		}
+		z.Cells++
+		if n, ok := ParseNum(c.Value); ok {
+			if z.NumCells == 0 || n < z.MinNum {
+				z.MinNum = n
+			}
+			if z.NumCells == 0 || n > z.MaxNum {
+				z.MaxNum = n
+			}
+			z.NumCells++
+		}
+	}
 }
 
 // Append writes one row.
@@ -264,11 +582,14 @@ func (w *Writer) Append(r Row) error {
 	if w.meta.Rows > 0 && r.Key <= w.meta.MaxKey {
 		return fmt.Errorf("persist: rows out of order: %q after %q", r.Key, w.meta.MaxKey)
 	}
+	r = r.Compact() // stats and encoding both want the sorted []Col form
 	if w.sinceIx >= indexEvery {
+		w.finishBlock()
 		w.meta.Index = append(w.meta.Index, IndexEntry{Key: r.Key, Off: w.off})
 		w.sinceIx = 0
 	}
 	w.sinceIx++
+	w.noteRow(r)
 	w.buf = appendRowBody(w.buf[:0], r, &w.tb)
 	if _, err := w.bw.Write(w.buf); err != nil {
 		return err
@@ -299,14 +620,31 @@ func (w *Writer) Finish() (*Segment, error) {
 		return nil, fmt.Errorf("persist: double Finish")
 	}
 	w.done = true
+	w.finishBlock()
 	w.meta.DataLen = w.off
 	w.meta.DataCRC = w.crc
+	var zoneLocal []int
+	trailer := segTrailer
+	if w.version < SegVersion {
+		trailer = segTrailerV2
+	} else {
+		if len(w.meta.Blocks) != len(w.meta.Index) {
+			w.abort()
+			return nil, fmt.Errorf("persist: %d block stats for %d index entries", len(w.meta.Blocks), len(w.meta.Index))
+		}
+		// Zone columns land in the name table even when no row carries
+		// them: an all-absent column is the strongest pruning signal.
+		zoneLocal = make([]int, len(w.zoneIDs))
+		for i, id := range w.zoneIDs {
+			zoneLocal[i] = w.tb.localIdx(Col{ID: id})
+		}
+	}
 	w.meta.ColNames = w.tb.names
-	fb := appendFooter(w.buf[:0], &w.meta)
+	fb := appendFooter(w.buf[:0], &w.meta, w.version, zoneLocal)
 	var tail [trailerLen]byte
 	binary.LittleEndian.PutUint32(tail[0:4], uint32(len(fb)))
 	binary.LittleEndian.PutUint32(tail[4:8], crc32.Checksum(fb, crcTable))
-	copy(tail[8:], segTrailer)
+	copy(tail[8:], trailer)
 	if _, err := w.bw.Write(fb); err != nil {
 		w.abort()
 		return nil, err
@@ -414,11 +752,15 @@ func OpenSegment(path string) (*Segment, error) {
 		f.Close()
 		return nil, err
 	}
-	if string(head[:]) == segHeaderV1 {
+	version := SegVersion
+	switch string(head[:]) {
+	case segHeader:
+	case segHeaderV2:
+		version = SegVersionV2
+	case segHeaderV1:
 		f.Close()
 		return nil, fmt.Errorf("%w: %s was written by codec v1 (gob footer, per-row column names); read it with a pre-v2 build or re-ingest the data", ErrVersion, path)
-	}
-	if string(head[:]) != segHeader {
+	default:
 		f.Close()
 		return nil, fmt.Errorf("persist: %s: bad segment header %q", path, head)
 	}
@@ -427,11 +769,15 @@ func OpenSegment(path string) (*Segment, error) {
 		f.Close()
 		return nil, err
 	}
+	wantTrailer := segTrailer
+	if version == SegVersionV2 {
+		wantTrailer = segTrailerV2
+	}
 	if string(tail[8:]) == segTrailerV1 {
 		f.Close()
 		return nil, fmt.Errorf("%w: %s has a codec v1 trailer; read it with a pre-v2 build or re-ingest the data", ErrVersion, path)
 	}
-	if string(tail[8:]) != segTrailer {
+	if string(tail[8:]) != wantTrailer {
 		f.Close()
 		return nil, fmt.Errorf("persist: %s: bad segment trailer", path)
 	}
@@ -450,7 +796,7 @@ func OpenSegment(path string) (*Segment, error) {
 		f.Close()
 		return nil, fmt.Errorf("persist: %s: footer checksum mismatch", path)
 	}
-	meta, err := decodeFooter(fb)
+	meta, err := decodeFooter(fb, version)
 	if err != nil {
 		f.Close()
 		return nil, fmt.Errorf("persist: %s: footer decode: %w", path, err)
@@ -466,8 +812,32 @@ func OpenSegment(path string) (*Segment, error) {
 		}
 		meta.ColNames[i] = defaultDict.Name(colIDs[i]) // canonical instance
 	}
+	// Zone maps reference the footer name table on disk; remap to
+	// process-wide dictionary IDs and restore the sorted-by-ID invariant
+	// (this process's ID order need not match the writer's).
+	for i := range meta.Blocks {
+		zones := meta.Blocks[i].Zones
+		for j := range zones {
+			zones[j].ID = colIDs[zones[j].ID]
+		}
+		sortZones(zones)
+	}
 	s := &Segment{path: path, f: f, meta: meta, colIDs: colIDs, size: size, mu: make(chan struct{}, 1)}
 	return s, nil
+}
+
+// sortZones sorts a block's zone maps by dictionary ID (insertion sort;
+// the set is small and near-sorted).
+func sortZones(zs []ColZone) {
+	for i := 1; i < len(zs); i++ {
+		z := zs[i]
+		j := i - 1
+		for j >= 0 && zs[j].ID > z.ID {
+			zs[j+1] = zs[j]
+			j--
+		}
+		zs[j+1] = z
+	}
 }
 
 // Table returns the table the segment belongs to.
@@ -494,6 +864,11 @@ func (s *Segment) TimeRange() (min, max int64) { return s.meta.MinTS, s.meta.Max
 
 // MaxWriteTS returns the largest logical write timestamp in the segment.
 func (s *Segment) MaxWriteTS() int64 { return s.meta.MaxWriteTS }
+
+// BlockStats returns the per-block statistics (codec v3; empty on v2
+// files), parallel to the sparse index. The slice and its contents are
+// shared with the segment and must be treated as read-only.
+func (s *Segment) BlockStats() []BlockStats { return s.meta.Blocks }
 
 // Overlaps reports whether any key of the segment can fall within rg — the
 // footer-based pruning check that lets time-sliced scan tasks skip whole
@@ -623,17 +998,48 @@ var (
 	rowBufPool   = sync.Pool{New: func() any { r := make([]Row, 0, indexEvery); return &r }}
 )
 
+// ScanConfig parameterizes a pruned scan (see ScanPruned). The zero value
+// scans every in-range block.
+type ScanConfig struct {
+	// Pruner, when non-nil, is consulted before each block read on
+	// segments carrying block statistics: a pruned block is skipped
+	// without touching the disk.
+	Pruner Pruner
+	// Shadows are the inclusive key ranges of the scan's OTHER merge
+	// inputs (sibling segments, memtable). A block whose key range
+	// overlaps a shadow is never pruned: a duplicate clustering key may
+	// live in both inputs, and last-write-wins reconciliation must see
+	// this block's version even when it fails the predicate — otherwise a
+	// losing version from the other input could surface. Time-series
+	// flushes produce disjoint segments, so in steady state shadows cost
+	// nothing.
+	Shadows []KeyRange
+	// Stats, when non-nil, accumulates block read/prune counters.
+	Stats *PruneStats
+}
+
 // Scan streams the segment's rows within rg in clustering-key order.
 func (s *Segment) Scan(rg Range) (Iterator, error) {
+	return s.ScanPruned(rg, ScanConfig{})
+}
+
+// ScanPruned streams the segment's rows within rg, skipping blocks the
+// configuration's Pruner proves irrelevant. On segments without block
+// statistics (codec v2) it behaves exactly like Scan.
+func (s *Segment) ScanPruned(rg Range, cfg ScanConfig) (Iterator, error) {
 	if !s.Overlaps(rg) {
 		return NewSliceIter(nil), nil
 	}
 	if err := s.acquire(); err != nil {
 		return nil, err
 	}
+	if len(s.meta.Blocks) == 0 {
+		cfg.Pruner = nil // v2 segment: nothing to prune on
+	}
 	return &segIter{
 		s:     s,
 		rg:    rg,
+		cfg:   cfg,
 		block: s.startBlock(rg.From),
 		buf:   blockBufPool.Get().(*[]byte),
 		rows:  rowBufPool.Get().(*[]Row),
@@ -644,6 +1050,7 @@ func (s *Segment) Scan(rg Range) (Iterator, error) {
 type segIter struct {
 	s     *Segment
 	rg    Range
+	cfg   ScanConfig
 	block int // next block to read
 	buf   *[]byte
 	rows  *[]Row
@@ -678,17 +1085,44 @@ func (it *segIter) Next() (Row, bool) {
 	}
 }
 
-// fill reads and decodes the next block.
-func (it *segIter) fill() bool {
-	ix := it.s.meta.Index
-	if it.block >= len(ix) {
+// prunable reports whether block i may be skipped: the pruner proves no
+// row can match AND no other merge input shadows the block's key range.
+func (it *segIter) prunable(i int) bool {
+	if it.cfg.Pruner == nil {
 		return false
 	}
-	if it.rg.To != "" && ix[it.block].Key >= it.rg.To {
-		return false // the block starts past the range
+	b := &it.s.meta.Blocks[i]
+	for _, sh := range it.cfg.Shadows {
+		if sh.overlaps(b.MinKey, b.MaxKey) {
+			return false
+		}
+	}
+	return it.cfg.Pruner.PruneBlock(b)
+}
+
+// fill reads and decodes the next unpruned block.
+func (it *segIter) fill() bool {
+	ix := it.s.meta.Index
+	for {
+		if it.block >= len(ix) {
+			return false
+		}
+		if it.rg.To != "" && ix[it.block].Key >= it.rg.To {
+			return false // the block starts past the range
+		}
+		if !it.prunable(it.block) {
+			break
+		}
+		if it.cfg.Stats != nil {
+			it.cfg.Stats.BlocksPruned.Add(1)
+		}
+		it.block++
 	}
 	lo, hi := it.s.blockBounds(it.block)
 	it.block++
+	if it.cfg.Stats != nil {
+		it.cfg.Stats.BlocksRead.Add(1)
+	}
 	buf := (*it.buf)[:0]
 	if n := int(hi - lo); cap(buf) < n {
 		buf = make([]byte, n)
@@ -741,4 +1175,54 @@ func (it *segIter) Close() error {
 	blockBufPool.Put(it.buf)
 	it.rows, it.buf = nil, nil
 	return nil
+}
+
+// RewriteSegment re-encodes a segment file in place at the given codec
+// version, preserving table, partition, sequence, and rows. Rewriting a
+// v2 file at SegVersion backfills zone maps and Bloom filters without
+// re-ingesting the data — the upgrade hook for pre-v3 directories — and
+// rewriting at SegVersionV2 produces legacy files for compatibility
+// tests. The segment must not be open elsewhere in this process.
+func RewriteSegment(path string, version int) error {
+	seg, err := OpenSegment(path)
+	if err != nil {
+		return err
+	}
+	it, err := seg.Scan(Range{})
+	if err != nil {
+		seg.Close()
+		return err
+	}
+	var rows []Row
+	for {
+		r, ok := it.Next()
+		if !ok {
+			break
+		}
+		rows = append(rows, r.Clone())
+	}
+	scanErr := it.Err()
+	it.Close()
+	table, pkey, seq := seg.Table(), seg.Partition(), seg.Seq()
+	if err := seg.Close(); err != nil {
+		return err
+	}
+	if scanErr != nil {
+		return scanErr
+	}
+	w, err := NewWriterVersion(path, table, pkey, seq, version)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := w.Append(r); err != nil {
+			w.Abort()
+			return err
+		}
+	}
+	out, err := w.Finish()
+	if err != nil {
+		return err
+	}
+	return out.Close()
 }

@@ -18,6 +18,9 @@ import (
 // keys into filenames is ever needed.
 type Store struct {
 	dir string
+	// zoneCols, when non-nil, replaces DefaultZoneColumns as the hot set
+	// receiving per-block zone maps in newly written segments.
+	zoneCols []string
 
 	mu      sync.Mutex
 	nextSeq uint64
@@ -87,6 +90,29 @@ func OpenStore(dir string) (*Store, error) {
 
 func (s *Store) segPath(seq uint64) string {
 	return filepath.Join(s.dir, fmt.Sprintf("%020d%s", seq, segFileExt))
+}
+
+// SetZoneColumns configures the hot set of columns that get per-block
+// zone maps in segments written by this store (flushes and compactions).
+// Call before writes begin; existing segments are unaffected.
+func (s *Store) SetZoneColumns(names []string) {
+	s.zoneCols = names
+}
+
+// newWriter creates a segment writer honoring the store's zone-column
+// configuration.
+func (s *Store) newWriter(path, table, pkey string, seq uint64) (*Writer, error) {
+	w, err := NewWriter(path, table, pkey, seq)
+	if err != nil {
+		return nil, err
+	}
+	if s.zoneCols != nil {
+		if err := w.SetZoneColumns(s.zoneCols); err != nil {
+			w.Abort()
+			return nil, err
+		}
+	}
+	return w, nil
 }
 
 // tablesManifest is the durable table catalog: one table name per line.
@@ -170,7 +196,7 @@ func (s *Store) Flush(table, pkey string, rows []Row) error {
 	seq := s.nextSeq
 	s.nextSeq++
 	s.mu.Unlock()
-	w, err := NewWriter(s.segPath(seq), table, pkey, seq)
+	w, err := s.newWriter(s.segPath(seq), table, pkey, seq)
 	if err != nil {
 		return err
 	}
@@ -269,7 +295,7 @@ func (s *Store) CompactPartition(table, pkey string, threshold int) (bool, error
 	}
 	merged := MergeIters(its)
 	defer merged.Close()
-	w, err := NewWriter(s.segPath(seq), table, pkey, seq)
+	w, err := s.newWriter(s.segPath(seq), table, pkey, seq)
 	if err != nil {
 		return false, err
 	}

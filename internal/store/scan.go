@@ -37,6 +37,51 @@ func NewSliceIter(rows []Row) RowIter { return persist.NewSliceIter(rows) }
 // decoded segment blocks, so callers retaining single cells long-term
 // should clone them.
 func (db *DB) ScanPartition(tableName, pkey string, rg Range, cl Consistency) (RowIter, error) {
+	return db.ScanPartitionPruned(tableName, pkey, rg, cl, nil, nil)
+}
+
+// scanPartition streams one partition of this node: a lazy last-write-wins
+// k-way merge over the point-in-time snapshot captured by snapshotIters.
+func (n *Node) scanPartition(tableName, pkey string, rg Range) (RowIter, error) {
+	return n.scanPartitionPruned(tableName, pkey, rg, nil)
+}
+
+// scanPartitionPruned is scanPartition with block pruning (pc may be nil).
+func (n *Node) scanPartitionPruned(tableName, pkey string, rg Range, pc *pruneCfg) (RowIter, error) {
+	t, err := n.table(tableName)
+	if err != nil {
+		return nil, err
+	}
+	p := t.partition(pkey, false)
+	if p == nil {
+		return NewSliceIter(nil), nil
+	}
+	its, err := p.snapshotItersPruned(rg, pc)
+	if err != nil {
+		return nil, err
+	}
+	return persist.MergeIters(its), nil
+}
+
+// Pruner is re-exported from the persistence layer: a block-statistics
+// predicate that lets scans skip segment blocks (see persist.Pruner).
+type Pruner = persist.Pruner
+
+// PruneStats is re-exported from the persistence layer: block read/prune
+// counters accumulated across one scan's iterators.
+type PruneStats = persist.PruneStats
+
+// ScanPartitionPruned is ScanPartition with storage-level predicate
+// pushdown: on durable nodes, segment blocks whose zone maps and Bloom
+// filters prove that no row can satisfy the pruner's predicate are
+// skipped before they are read or decoded. Pruning is best-effort and
+// conservative — the result stream is always exactly the rows
+// ScanPartition would yield (callers still filter row-by-row); blocks
+// whose keys may collide with other merge inputs are scanned regardless,
+// preserving last-write-wins reconciliation. stats, when non-nil,
+// receives the block counters. At consistency levels above One the call
+// falls back to the reconciling ScanPartition path unpruned.
+func (db *DB) ScanPartitionPruned(tableName, pkey string, rg Range, cl Consistency, pr Pruner, stats *PruneStats) (RowIter, error) {
 	if !db.HasTable(tableName) {
 		return nil, fmt.Errorf("store: no such table %q", tableName)
 	}
@@ -47,30 +92,45 @@ func (db *DB) ScanPartition(tableName, pkey string, rg Range, cl Consistency) (R
 		}
 		return NewSliceIter(rows), nil
 	}
+	var pc *pruneCfg
+	if pr != nil {
+		pc = &pruneCfg{pr: pr, stats: stats}
+	}
 	replicas := db.ring.Replicas(pkey)
 	for _, id := range replicas {
 		if db.ring.IsUp(id) {
-			return db.Node(id).scanPartition(tableName, pkey, rg)
+			return db.Node(id).scanPartitionPruned(tableName, pkey, rg, pc)
 		}
 	}
 	return nil, fmt.Errorf("%w: table %s partition %s needs 1, have 0 live",
 		ErrUnavailable, tableName, pkey)
 }
 
-// scanPartition streams one partition of this node: a lazy last-write-wins
-// k-way merge over the point-in-time snapshot captured by snapshotIters.
-func (n *Node) scanPartition(tableName, pkey string, rg Range) (RowIter, error) {
-	t, err := n.table(tableName)
-	if err != nil {
-		return nil, err
+// PartitionKeyBounds returns the smallest and largest clustering key of
+// one partition on the first live replica, without scanning (memtable
+// ends and segment footers). ok is false when the partition is empty or
+// unknown. The query planner uses it to slice a partition scan into
+// parallel clustering-range tasks.
+func (db *DB) PartitionKeyBounds(tableName, pkey string) (min, max string, ok bool, err error) {
+	if !db.HasTable(tableName) {
+		return "", "", false, fmt.Errorf("store: no such table %q", tableName)
 	}
-	p := t.partition(pkey, false)
-	if p == nil {
-		return NewSliceIter(nil), nil
+	for _, id := range db.ring.Replicas(pkey) {
+		if !db.ring.IsUp(id) {
+			continue
+		}
+		n := db.Node(id)
+		t, terr := n.table(tableName)
+		if terr != nil {
+			return "", "", false, terr
+		}
+		p := t.partition(pkey, false)
+		if p == nil {
+			return "", "", false, nil
+		}
+		min, max, ok = p.keyBounds()
+		return min, max, ok, nil
 	}
-	its, err := p.snapshotIters(rg)
-	if err != nil {
-		return nil, err
-	}
-	return persist.MergeIters(its), nil
+	return "", "", false, fmt.Errorf("%w: table %s partition %s needs 1, have 0 live",
+		ErrUnavailable, tableName, pkey)
 }
