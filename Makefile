@@ -9,12 +9,21 @@ GO ?= go
 # Label recorded into BENCH_*.json by `make bench-json`.
 BENCH_LABEL ?= dev
 
-.PHONY: ci vet build test test-fresh race bench bench-wal bench-json \
-	bench-smoke alloc-guard fmt-check
+.PHONY: ci vet build test test-fresh race bench bench-wal bench-api \
+	bench-json bench-smoke alloc-guard fmt-check test-wire
 
 # alloc-guard runs inside the plain (non-race) test pass, but is also
 # listed explicitly so the allocation budgets cannot rot out of CI.
-ci: vet build race test-fresh alloc-guard bench-smoke
+# test-wire re-runs the v1 wire-protocol suites (api contract, client
+# SDK, server surface, SDK-vs-engine corpus equality) by name so a
+# filtered test invocation cannot silently drop them.
+ci: vet build race test-fresh alloc-guard test-wire bench-smoke
+
+# The v1 wire protocol: contract types, client SDK (error propagation,
+# retries, pagination/stream equality), server surface hardening, and the
+# engine-test corpus over the SDK.
+test-wire:
+	$(GO) test -count=1 ./internal/api/ ./client/ ./internal/server/ ./internal/enginetest/
 
 vet:
 	$(GO) vet ./...
@@ -45,6 +54,11 @@ bench-wal:
 bench-filter:
 	$(GO) test -run XXX -bench BenchmarkFilterScan -benchmem .
 
+# End-to-end wire-protocol benchmarks: the same query over live HTTP
+# one-shot vs NDJSON-streamed vs cursor-paginated through the Go SDK.
+bench-api:
+	$(GO) test -run XXX -bench BenchmarkAPIQuery -benchmem .
+
 # Record the benchmark suites into the committed perf-trajectory files.
 # BENCH_scan.json tracks the read path, BENCH_wal.json the write path;
 # each invocation appends (or refreshes) one run labeled $(BENCH_LABEL),
@@ -56,6 +70,8 @@ bench-json:
 		| $(GO) run ./cmd/benchjson -o BENCH_wal.json -label "$(BENCH_LABEL)"
 	$(GO) test -run XXX -bench BenchmarkFilterScan -benchmem -json . \
 		| $(GO) run ./cmd/benchjson -o BENCH_filter.json -label "$(BENCH_LABEL)"
+	$(GO) test -run XXX -bench BenchmarkAPIQuery -benchmem -json . \
+		| $(GO) run ./cmd/benchjson -o BENCH_api.json -label "$(BENCH_LABEL)"
 
 bench-smoke:
 	$(GO) test -run XXX -bench WAL -benchtime 1x .

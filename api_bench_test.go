@@ -1,0 +1,111 @@
+// End-to-end wire protocol benchmarks: the same events query executed
+// over live HTTP through the v1 SDK in its three delivery modes —
+// one-shot (full JSON body), NDJSON streamed (rows decoded as they
+// arrive, never materialized server-side), and cursor-paginated. The
+// trio quantifies the protocol overhead each mode pays per row and is
+// recorded to BENCH_api.json by `make bench-json`.
+//
+// Run:  go test -bench BenchmarkAPIQuery -benchmem
+package hpclog_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"hpclog/client"
+	"hpclog/internal/query"
+	"hpclog/internal/server"
+)
+
+var (
+	apiOnce sync.Once
+	apiTS   *httptest.Server
+	apiCli  *client.Client
+)
+
+// apiFixture serves the shared benchmark corpus over a live HTTP
+// listener.
+func apiFixture(b *testing.B) (*client.Client, query.Context) {
+	b.Helper()
+	f := getFixture(b)
+	apiOnce.Do(func() {
+		apiTS = httptest.NewServer(server.New(f.q, f.db, f.eng))
+		apiCli = client.New(apiTS.URL)
+	})
+	from, to := f.window()
+	// LUSTRE includes the storm burst — tens of thousands of rows, the
+	// workload where delivery mode actually matters.
+	return apiCli, query.Context{
+		EventType: "LUSTRE",
+		From:      from.Unix(),
+		To:        to.Unix(),
+	}
+}
+
+func BenchmarkAPIQuery(b *testing.B) {
+	ctx := context.Background()
+	b.Run("oneshot", func(b *testing.B) {
+		cli, qc := apiFixture(b)
+		b.ReportAllocs()
+		var rows int
+		for i := 0; i < b.N; i++ {
+			events, err := cli.Events(ctx, qc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rows = len(events)
+		}
+		b.ReportMetric(float64(rows), "rows")
+	})
+	b.Run("streamed", func(b *testing.B) {
+		cli, qc := apiFixture(b)
+		b.ReportAllocs()
+		var rows int
+		for i := 0; i < b.N; i++ {
+			rows = 0
+			if err := cli.StreamEvents(ctx, qc, func(query.EventRecord) error {
+				rows++
+				return nil
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(rows), "rows")
+	})
+	b.Run("paginated", func(b *testing.B) {
+		cli, qc := apiFixture(b)
+		b.ReportAllocs()
+		var rows int
+		for i := 0; i < b.N; i++ {
+			rows = 0
+			// Ten pages per result: a realistic frontend page size.
+			if err := cli.EachEvent(ctx, qc, rows0(cli, ctx, qc)/10+1, func(query.EventRecord) error {
+				rows++
+				return nil
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(rows), "rows")
+	})
+}
+
+var (
+	rows0Once sync.Once
+	rows0N    int
+)
+
+// rows0 counts the result once so the paginated benchmark can size its
+// pages to a fixed page count.
+func rows0(cli *client.Client, ctx context.Context, qc query.Context) int {
+	rows0Once.Do(func() {
+		events, err := cli.Events(ctx, qc)
+		if err != nil {
+			panic(err)
+		}
+		rows0N = len(events)
+	})
+	return rows0N
+}

@@ -1,11 +1,17 @@
 // Command analyticsd is the analytic server of Fig 3: it hosts the
 // backend store cluster plus the co-located compute engine, and serves the
-// frontend-facing REST/JSON API (queries, long-poll, stats).
+// v1 REST/JSON wire protocol (typed queries, cursor pagination, NDJSON
+// streaming, push-based watch) with the pre-v1 /api/* routes kept as
+// shims.
 //
 // Data comes from a durable data directory written by ingestd (or by a
 // previous durable analyticsd run — startup replays the commitlog), from a
 // snapshot file, or — for demos — from a corpus generated in-process with
 // -generate.
+//
+// SIGINT/SIGTERM shut down gracefully: the watch hub drains its
+// subscribers, in-flight requests complete under http.Server.Shutdown,
+// and only then does the framework close the durable storage engine.
 //
 // Usage:
 //
@@ -15,11 +21,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"hpclog/internal/core"
@@ -41,6 +51,7 @@ func main() {
 		storeNodes  = flag.Int("store-nodes", 32, "store cluster size")
 		rf          = flag.Int("rf", 3, "replication factor")
 		threads     = flag.Int("threads", 2, "task slots per compute worker")
+		drainWait   = flag.Duration("drain-timeout", 15*time.Second, "how long graceful shutdown waits for in-flight requests")
 	)
 	flag.Parse()
 
@@ -87,10 +98,39 @@ func main() {
 		log.Fatal("need -data-dir DIR, -snapshot FILE, or -generate")
 	}
 
+	srv := fw.Server()
+	hs := &http.Server{Addr: *addr, Handler: srv}
+
 	fmt.Printf("serving on %s\n", *addr)
-	fmt.Println("  POST /api/query   JSON query (see internal/query.Request)")
-	fmt.Println("  GET  /api/types   event type catalog")
-	fmt.Println("  GET  /api/stats   query/compute counters")
-	fmt.Println("  GET  /api/poll    long-poll for new events")
-	log.Fatal(http.ListenAndServe(*addr, fw.Server()))
+	fmt.Println("  POST /v1/query           JSON query (see internal/query.Request; page block for cursors)")
+	fmt.Println("  POST /v1/query/stream    NDJSON row stream (events, runs)")
+	fmt.Println("  POST /v1/cql             CQL statement (page block for SELECT cursors)")
+	fmt.Println("  POST /v1/cql/stream      NDJSON SELECT rows")
+	fmt.Println("  GET  /v1/watch           push-based event subscription (NDJSON)")
+	fmt.Println("  GET  /v1/types|stats|storage, POST /v1/storage/compact")
+	fmt.Println("  GET  /v1/protocol        version negotiation")
+	fmt.Println("  /api/*                   pre-v1 shims (query, cql, poll, ...)")
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: wake and complete every parked watch/poll
+	// subscriber first — long-lived streams would otherwise hold
+	// Shutdown open — then drain in-flight requests, then (deferred)
+	// close the storage engine.
+	log.Printf("signal received, draining (timeout %v)...", *drainWait)
+	srv.Close()
+	shCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := hs.Shutdown(shCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("shutdown: %v", err)
+	}
+	log.Printf("drained; closing storage engine")
 }

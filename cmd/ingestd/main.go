@@ -15,10 +15,13 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"hpclog/internal/core"
@@ -29,6 +32,26 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("ingestd: ")
+	// SIGINT/SIGTERM abort between pipeline stages; the deferred
+	// Framework.Close always runs, so the commitlog and segment files are
+	// closed cleanly and a durable directory stays recoverable.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// checkpoint returns ctx.Err at stage boundaries so an interrupt exits
+// through the deferred cleanup instead of mid-write.
+func checkpoint(ctx context.Context, stage string) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("interrupted before %s (storage closed cleanly): %w", stage, err)
+	}
+	return nil
+}
+
+func run(ctx context.Context) error {
 	var (
 		consolePath = flag.String("console", "console.log", "console log file")
 		jobsPath    = flag.String("jobs", "", "job log file (optional)")
@@ -47,19 +70,22 @@ func main() {
 		DataDir: *dataDir, WALNoSync: *walNoSync, WALTolerateCorruptTail: *walTolerate,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer fw.Close()
 
 	lines, err := readLines(*consolePath)
 	if err != nil {
-		log.Fatal(err)
+		return err
+	}
+	if err := checkpoint(ctx, "console import"); err != nil {
+		return err
 	}
 	started := time.Now()
 	nparts := 4 * len(fw.Compute.Workers())
 	res, err := ingest.BatchImport(fw.Compute, fw.DB, lines, fw.Loader.CL, nparts)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	elapsed := time.Since(started)
 	fmt.Printf("console: parsed %d, unmatched %d, malformed %d in %v (%.0f lines/s)\n",
@@ -67,17 +93,23 @@ func main() {
 		float64(len(lines))/elapsed.Seconds())
 
 	if *jobsPath != "" {
+		if err := checkpoint(ctx, "job import"); err != nil {
+			return err
+		}
 		jobLines, err := readLines(*jobsPath)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		jres, err := ingest.BatchImportJobs(fw.Compute, fw.DB, jobLines, fw.Loader.CL, nparts)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		fmt.Printf("jobs: parsed %d, malformed %d\n", jres.Parsed, jres.Malformed)
 	}
 
+	if err := checkpoint(ctx, "synopsis refresh"); err != nil {
+		return err
+	}
 	// Synopsis over every hour present in the imported data.
 	var hours []int64
 	for _, pkey := range fw.DB.PartitionKeys(model.TableEventByTime) {
@@ -89,35 +121,42 @@ func main() {
 	}
 	hours = dedupe(hours)
 	if err := ingest.RefreshSynopsis(fw.Compute, fw.DB, hours, fw.Loader.CL); err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	if *dataDir != "" {
+		if err := checkpoint(ctx, "compaction checkpoint"); err != nil {
+			return err
+		}
 		// Push every memtable into on-disk segments and truncate the
 		// commitlog so analyticsd opens the directory without replay work
 		// (Compact starts with a full Flush checkpoint).
 		if _, err := fw.DB.Compact(); err != nil {
-			log.Fatal(err)
+			return err
 		}
 		st := fw.DB.StorageStats()
 		fmt.Printf("durable: %s (%d segments, %.1f MB on disk)\n",
 			*dataDir, st.DiskSegments, float64(st.DiskBytes)/(1<<20))
 	}
 	if *snapPath != "" {
+		if err := checkpoint(ctx, "snapshot"); err != nil {
+			return err
+		}
 		f, err := os.Create(*snapPath)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if err := fw.DB.Snapshot(f); err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if err := f.Close(); err != nil {
-			log.Fatal(err)
+			return err
 		}
 		info, _ := os.Stat(*snapPath)
 		fmt.Printf("snapshot: %s (%.1f MB, %d tables)\n",
 			*snapPath, float64(info.Size())/(1<<20), len(fw.DB.Tables()))
 	}
+	return nil
 }
 
 func readLines(path string) ([]string, error) {

@@ -1,6 +1,7 @@
-// Command logctl is a CLI frontend for analyticsd: it issues JSON queries
-// over the REST API and renders the results in the terminal, standing in
-// for the paper's web UI. Subcommands mirror the frontend's views:
+// Command logctl is a CLI frontend for analyticsd: it issues queries
+// through the v1 Go client SDK (hpclog/client) and renders the results in
+// the terminal, standing in for the paper's web UI. Subcommands mirror
+// the frontend's views:
 //
 //	logctl -server http://localhost:8080 types
 //	logctl heatmap   -type MCE -from 2017-08-23T06:00:00Z -to 2017-08-23T12:00:00Z
@@ -8,8 +9,12 @@
 //	logctl dist      -type MCE -level cabinet -from ... -to ...
 //	logctl te        -type LUSTRE -second APP_ABORT -from ... -to ...
 //	logctl words     -type LUSTRE -from ... -to ... -k 15
-//	logctl events    -type MCE -from ... -to ...
+//	logctl events    -type MCE -from ... -to ... [-page 1000] [-stream]
+//	                 (-page pages through the cursor API; -stream reads
+//	                 the NDJSON stream; default is one-shot)
 //	logctl runs      -user user007
+//	logctl watch     -type MCE [-since RFC3339] [-timeout 2m]
+//	                 (live push subscription over /v1/watch)
 //	logctl cql       "SELECT ... FROM ... WHERE partition = '...'"
 //	                 (WHERE takes arbitrary column predicates — =, !=, <,
 //	                 <=, >, >=, IN, LIKE, AND/OR/NOT — plus COUNT/MIN/MAX/
@@ -22,21 +27,27 @@
 //	logctl profiles  [-type LUSTRE] -from ... -to ... (app profiles/exposure)
 //	logctl storage-stats                          (durable engine counters)
 //	logctl compact                                (flush + compact + WAL truncate)
+//
+// Exit codes distinguish failure classes: 1 = the server answered with an
+// error (the machine-readable code and HTTP status are printed), 2 = the
+// request never completed (transport failure, bad usage).
 package main
 
 import (
-	"bytes"
-	"encoding/json"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
-	"net/http"
 	"os"
 	"sort"
 	"time"
 
+	"hpclog/client"
 	"hpclog/internal/analytics"
+	"hpclog/internal/api"
 	"hpclog/internal/query"
+	"hpclog/internal/store"
 	"hpclog/internal/viz"
 )
 
@@ -46,26 +57,33 @@ func main() {
 	server := flag.String("server", "http://localhost:8080", "analyticsd base URL")
 	flag.Parse()
 	if flag.NArg() < 1 {
-		log.Fatal("usage: logctl [-server URL] <types|heatmap|hist|dist|te|words|tfidf|events|runs|placement|storage-stats|compact> [flags]")
+		usageExit("usage: logctl [-server URL] <types|heatmap|hist|dist|te|words|tfidf|events|runs|watch|placement|cql|rules|sequences|episodes|reliability|profiles|storage-stats|compact> [flags]")
 	}
 	cmd, args := flag.Arg(0), flag.Args()[1:]
 
 	sub := flag.NewFlagSet(cmd, flag.ExitOnError)
 	var (
-		typ    = sub.String("type", "", "event type")
-		second = sub.String("second", "", "second event type (te)")
-		from   = sub.String("from", "", "window start, RFC3339")
-		to     = sub.String("to", "", "window end, RFC3339")
-		at     = sub.String("at", "", "instant, RFC3339 (placement)")
-		level  = sub.String("level", "cabinet", "distribution level")
-		bin    = sub.Int("bin", 60, "bin seconds")
-		k      = sub.Int("k", 15, "top-k results")
-		user   = sub.String("user", "", "user filter (runs)")
-		app    = sub.String("app", "", "application filter (runs)")
+		typ     = sub.String("type", "", "event type")
+		second  = sub.String("second", "", "second event type (te)")
+		from    = sub.String("from", "", "window start, RFC3339")
+		to      = sub.String("to", "", "window end, RFC3339")
+		at      = sub.String("at", "", "instant, RFC3339 (placement)")
+		level   = sub.String("level", "cabinet", "distribution level")
+		bin     = sub.Int("bin", 60, "bin seconds")
+		k       = sub.Int("k", 15, "top-k results")
+		user    = sub.String("user", "", "user filter (runs)")
+		app     = sub.String("app", "", "application filter (runs)")
+		page    = sub.Int("page", 0, "page size for cursor pagination (events; 0 = one-shot)")
+		stream  = sub.Bool("stream", false, "read the NDJSON stream instead of one-shot (events)")
+		since   = sub.String("since", "", "watch from this instant, RFC3339 (default: now)")
+		timeout = sub.Duration("timeout", 2*time.Minute, "watch duration (server-capped)")
 	)
 	if err := sub.Parse(args); err != nil {
-		log.Fatal(err)
+		usageExit(err.Error())
 	}
+
+	cli := client.New(*server)
+	ctx := context.Background()
 
 	req := query.Request{
 		Context:    query.Context{EventType: *typ, User: *user, App: *app},
@@ -80,31 +98,26 @@ func main() {
 
 	switch cmd {
 	case "types":
-		req.Op = query.OpTypes
-		var types map[string]string
-		do(*server, req, &types)
+		types, err := cli.Types(ctx)
+		check(err)
 		for t, d := range types {
 			fmt.Printf("%-13s %s\n", t, d)
 		}
 	case "heatmap":
 		req.Op = query.OpHeatmap
-		var hm analytics.HeatMap
-		do(*server, req, &hm)
+		hm := run[analytics.HeatMap](ctx, cli, req)
 		fmt.Print(viz.SystemMap(&hm))
 	case "hist":
 		req.Op = query.OpHistogram
-		var hist []int
-		do(*server, req, &hist)
+		hist := run[[]int](ctx, cli, req)
 		fmt.Print(viz.Histogram(hist, 10))
 	case "dist":
 		req.Op = query.OpDistribution
-		var buckets []analytics.Bucket
-		do(*server, req, &buckets)
+		buckets := run[[]analytics.Bucket](ctx, cli, req)
 		fmt.Print(viz.Distribution(buckets, *k, 50))
 	case "te":
 		req.Op = query.OpTE
-		var te query.TEResponse
-		do(*server, req, &te)
+		te := run[query.TEResponse](ctx, cli, req)
 		fmt.Printf("TE(%s -> %s) = %.4f bits\n", te.First, te.Second, te.TEForward)
 		fmt.Printf("TE(%s -> %s) = %.4f bits\n", te.Second, te.First, te.TEReverse)
 		if te.Direction != "" {
@@ -112,29 +125,18 @@ func main() {
 		}
 	case "words":
 		req.Op = query.OpWordCount
-		var words []query.WordCountEntry
-		do(*server, req, &words)
-		for _, w := range words {
+		for _, w := range run[[]query.WordCountEntry](ctx, cli, req) {
 			fmt.Printf("%-20s %8d\n", w.Term, w.Count)
 		}
 	case "tfidf":
 		req.Op = query.OpTFIDF
-		var scores []analytics.TermScore
-		do(*server, req, &scores)
+		scores := run[[]analytics.TermScore](ctx, cli, req)
 		fmt.Print(viz.WordBubbles(scores, *k))
 	case "events":
-		req.Op = query.OpEvents
-		var events []query.EventRecord
-		do(*server, req, &events)
-		for _, e := range events {
-			fmt.Printf("%s %-13s %-12s x%d %s\n",
-				time.Unix(e.Time, 0).UTC().Format(time.RFC3339), e.Type, e.Source, e.Count, e.Raw)
-		}
+		runEvents(ctx, cli, req.Context, *page, *stream)
 	case "runs":
 		req.Op = query.OpRuns
-		var runs []query.RunRecord
-		do(*server, req, &runs)
-		for _, r := range runs {
+		for _, r := range run[[]query.RunRecord](ctx, cli, req) {
 			status := "ok"
 			if !r.ExitOK {
 				status = "FAILED"
@@ -143,26 +145,25 @@ func main() {
 				r.JobID, r.App, r.User, len(r.Nodes),
 				time.Unix(r.End-r.Start, 0).UTC().Format("15:04:05"), status)
 		}
+	case "watch":
+		runWatch(ctx, cli, *typ, *since, *timeout)
 	case "placement":
 		req.Op = query.OpPlacement
-		var placement map[string]string
-		do(*server, req, &placement)
-		fmt.Print(viz.PlacementMap(placement))
+		fmt.Print(viz.PlacementMap(run[map[string]string](ctx, cli, req)))
 	case "cql":
 		if sub.NArg() < 1 {
-			log.Fatal("usage: logctl cql 'SELECT ... FROM ... WHERE ...'")
+			usageExit("usage: logctl cql 'SELECT ... FROM ... WHERE ...'")
 		}
-		runCQL(*server, sub.Arg(0))
+		runCQL(ctx, cli, sub.Arg(0))
 	case "rules":
 		req.Op = query.OpRules
-		var rules []struct {
+		rules := run[[]struct {
 			Antecedent string  `json:"Antecedent"`
 			Consequent string  `json:"Consequent"`
 			Support    float64 `json:"Support"`
 			Confidence float64 `json:"Confidence"`
 			Lift       float64 `json:"Lift"`
-		}
-		do(*server, req, &rules)
+		}](ctx, cli, req)
 		for i, r := range rules {
 			if i >= *k {
 				break
@@ -172,14 +173,13 @@ func main() {
 		}
 	case "sequences":
 		req.Op = query.OpSequences
-		var patterns []struct {
+		patterns := run[[]struct {
 			First     string `json:"First"`
 			Then      string `json:"Then"`
 			Count     int    `json:"Count"`
 			Prob      float64
 			MedianLag int64 `json:"MedianLag"`
-		}
-		do(*server, req, &patterns)
+		}](ctx, cli, req)
 		for i, p := range patterns {
 			if i >= *k {
 				break
@@ -189,14 +189,13 @@ func main() {
 		}
 	case "episodes":
 		req.Op = query.OpEpisodes
-		var episodes []struct {
+		episodes := run[[]struct {
 			Type    string `json:"Type"`
 			Start   time.Time
 			End     time.Time
 			Count   int
 			Sources []string
-		}
-		do(*server, req, &episodes)
+		}](ctx, cli, req)
 		for i, ep := range episodes {
 			if i >= *k {
 				break
@@ -207,7 +206,7 @@ func main() {
 		}
 	case "reliability":
 		req.Op = query.OpReliability
-		var payload struct {
+		payload := run[struct {
 			Stats struct {
 				N                           int
 				MTBF, Median, P95, Min, Max int64
@@ -217,8 +216,7 @@ func main() {
 				Failures  int
 				MTBF      int64
 			} `json:"top_failing"`
-		}
-		do(*server, req, &payload)
+		}](ctx, cli, req)
 		fmt.Printf("failures: %d, MTBF %v (median %v, p95 %v)\n",
 			payload.Stats.N, time.Duration(payload.Stats.MTBF),
 			time.Duration(payload.Stats.Median), time.Duration(payload.Stats.P95))
@@ -229,12 +227,11 @@ func main() {
 	case "profiles":
 		req.Op = query.OpProfiles
 		if *typ != "" {
-			var exposure []struct {
+			exposure := run[[]struct {
 				App  string
 				Rate float64
 				Runs int
-			}
-			do(*server, req, &exposure)
+			}](ctx, cli, req)
 			for i, e := range exposure {
 				if i >= *k {
 					break
@@ -243,57 +240,86 @@ func main() {
 			}
 			break
 		}
-		var profiles map[string]struct {
+		profiles := run[map[string]struct {
 			Runs       int
 			FailedRuns int
 			NodeHours  float64
-		}
-		do(*server, req, &profiles)
+		}](ctx, cli, req)
 		for app, p := range profiles {
 			fmt.Printf("%-12s %4d runs (%d failed) %10.1f node-hours\n",
 				app, p.Runs, p.FailedRuns, p.NodeHours)
 		}
 	case "storage-stats":
-		var st storageStats
-		getJSON(*server, "/api/storage", &st)
+		st, err := cli.StorageStats(ctx)
+		check(err)
 		printStorageStats(st)
 	case "compact":
-		var res struct {
-			PartitionsCompacted int          `json:"partitions_compacted"`
-			Storage             storageStats `json:"storage"`
-		}
-		postJSON(*server, "/api/storage/compact", &res)
+		res, err := cli.Compact(ctx)
+		check(err)
 		fmt.Printf("compacted %d partitions\n", res.PartitionsCompacted)
 		printStorageStats(res.Storage)
 	default:
-		log.Fatalf("unknown subcommand %q", cmd)
+		usageExit(fmt.Sprintf("unknown subcommand %q", cmd))
 	}
 }
 
-// storageStats mirrors store.StorageStats over the wire.
-type storageStats struct {
-	Durable              bool   `json:"durable"`
-	Dir                  string `json:"dir"`
-	WALAppends           int64  `json:"wal_appends"`
-	WALSyncs             int64  `json:"wal_syncs"`
-	WALRotations         int64  `json:"wal_rotations"`
-	WALBytes             int64  `json:"wal_bytes"`
-	WALSegments          int64  `json:"wal_segments"`
-	WALTruncatedSegments int64  `json:"wal_truncated_segments"`
-	Flushes              int64  `json:"flushes"`
-	FlushedRows          int64  `json:"flushed_rows"`
-	Compactions          int64  `json:"compactions"`
-	CompactedSegments    int64  `json:"compacted_segments"`
-	CompactedRows        int64  `json:"compacted_rows"`
-	DiskSegments         int64  `json:"disk_segments"`
-	DiskBytes            int64  `json:"disk_bytes"`
-	ReplayedRecords      int64  `json:"replayed_records"`
-	ReplayedRows         int64  `json:"replayed_rows"`
-	TornBytes            int64  `json:"torn_bytes"`
-	MaintenanceErrors    int64  `json:"maintenance_errors"`
+// run executes a query through the SDK, exiting on failure.
+func run[T any](ctx context.Context, cli *client.Client, req query.Request) T {
+	out, err := client.Query[T](ctx, cli, req)
+	check(err)
+	return out
 }
 
-func printStorageStats(st storageStats) {
+// runEvents renders events one-shot, paginated, or streamed.
+func runEvents(ctx context.Context, cli *client.Client, qc query.Context, page int, stream bool) {
+	print := func(e query.EventRecord) error {
+		fmt.Printf("%s %-13s %-12s x%d %s\n",
+			time.Unix(e.Time, 0).UTC().Format(time.RFC3339), e.Type, e.Source, e.Count, e.Raw)
+		return nil
+	}
+	switch {
+	case stream:
+		check(cli.StreamEvents(ctx, qc, print))
+	case page > 0:
+		check(cli.EachEvent(ctx, qc, page, print))
+	default:
+		events, err := cli.Events(ctx, qc)
+		check(err)
+		for _, e := range events {
+			_ = print(e)
+		}
+	}
+}
+
+// runWatch subscribes to live events and prints them as they arrive.
+func runWatch(ctx context.Context, cli *client.Client, typ, since string, timeout time.Duration) {
+	if typ == "" {
+		usageExit("watch requires -type")
+	}
+	opts := client.WatchOptions{Timeout: timeout}
+	if since != "" {
+		t, err := time.Parse(time.RFC3339, since)
+		if err != nil {
+			usageExit(fmt.Sprintf("bad -since %q: %v", since, err))
+		}
+		opts.Since = t
+	}
+	w, err := cli.Watch(ctx, typ, opts)
+	check(err)
+	defer w.Close()
+	fmt.Fprintf(os.Stderr, "watching %s (push, no polling) — ctrl-c to stop\n", typ)
+	for {
+		e, ok := w.Next()
+		if !ok {
+			check(w.Err())
+			return
+		}
+		fmt.Printf("%s %-13s %-12s x%d %s\n",
+			time.Unix(e.Time, 0).UTC().Format(time.RFC3339), e.Type, e.Source, e.Count, e.Raw)
+	}
+}
+
+func printStorageStats(st store.StorageStats) {
 	if !st.Durable {
 		fmt.Println("storage: in-memory (no durable engine)")
 		return
@@ -314,80 +340,11 @@ func printStorageStats(st storageStats) {
 	}
 }
 
-// getJSON fetches an endpoint and decodes the result envelope into out.
-func getJSON(server, path string, out any) {
-	resp, err := http.Get(server + path)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer resp.Body.Close()
-	decodeEnvelope(resp, out)
-}
-
-// postJSON posts to an endpoint and decodes the result envelope into out.
-func postJSON(server, path string, out any) {
-	resp, err := http.Post(server+path, "application/json", nil)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer resp.Body.Close()
-	decodeEnvelope(resp, out)
-}
-
-func decodeEnvelope(resp *http.Response, out any) {
-	var envelope struct {
-		OK     bool            `json:"ok"`
-		Error  string          `json:"error"`
-		Result json.RawMessage `json:"result"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil {
-		log.Fatal(err)
-	}
-	if !envelope.OK {
-		fmt.Fprintf(os.Stderr, "request failed: %s\n", envelope.Error)
-		os.Exit(1)
-	}
-	if err := json.Unmarshal(envelope.Result, out); err != nil {
-		log.Fatal(err)
-	}
-}
-
-// runCQL posts a raw CQL statement to /api/cql and prints the result.
-func runCQL(server, stmt string) {
-	body, err := json.Marshal(map[string]string{"query": stmt})
-	if err != nil {
-		log.Fatal(err)
-	}
-	resp, err := http.Post(server+"/api/cql", "application/json", bytes.NewReader(body))
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer resp.Body.Close()
-	var envelope struct {
-		OK     bool            `json:"ok"`
-		Error  string          `json:"error"`
-		Result json.RawMessage `json:"result"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil {
-		log.Fatal(err)
-	}
-	if !envelope.OK {
-		fmt.Fprintf(os.Stderr, "cql failed: %s\n", envelope.Error)
-		os.Exit(1)
-	}
-	var res struct {
-		Rows []struct {
-			Key     string            `json:"key"`
-			Columns map[string]string `json:"columns"`
-		} `json:"rows"`
-		Plan    []string `json:"plan"`
-		Tables  []string `json:"tables"`
-		Schema  []string `json:"schema"`
-		Applied bool     `json:"applied"`
-	}
-	if err := json.Unmarshal(envelope.Result, &res); err != nil {
-		log.Fatal(err)
-	}
+// runCQL executes a raw CQL statement through the SDK session and prints
+// the result.
+func runCQL(ctx context.Context, cli *client.Client, stmt string) {
+	res, err := cli.Session("").Execute(ctx, stmt)
+	check(err)
 	switch {
 	case res.Applied:
 		fmt.Println("applied")
@@ -426,21 +383,32 @@ func parseTime(s string) int64 {
 	}
 	t, err := time.Parse(time.RFC3339, s)
 	if err != nil {
-		log.Fatalf("bad time %q: %v", s, err)
+		usageExit(fmt.Sprintf("bad time %q: %v", s, err))
 	}
 	return t.Unix()
 }
 
-// do posts the query and decodes the result into out.
-func do(server string, req query.Request, out any) {
-	body, err := json.Marshal(req)
-	if err != nil {
-		log.Fatal(err)
+// check exits with a code distinguishing failure classes: a server-side
+// error (the envelope said no — machine-readable code + HTTP status) is
+// exit 1; a transport failure (the request never completed) is exit 2.
+// Pre-SDK logctl swallowed both into the same path, hiding non-2xx
+// statuses entirely.
+func check(err error) {
+	if err == nil {
+		return
 	}
-	resp, err := http.Post(server+"/api/query", "application/json", bytes.NewReader(body))
-	if err != nil {
-		log.Fatal(err)
+	var ae *api.Error
+	if errors.As(err, &ae) {
+		fmt.Fprintf(os.Stderr, "logctl: request failed (%s, HTTP %d): %s\n", ae.Code, ae.Status, ae.Message)
+		os.Exit(1)
 	}
-	defer resp.Body.Close()
-	decodeEnvelope(resp, out)
+	fmt.Fprintf(os.Stderr, "logctl: %v\n", err)
+	os.Exit(2)
+}
+
+// usageExit reports bad usage (exit 2, like the transport class — the
+// request never reached the server).
+func usageExit(msg string) {
+	fmt.Fprintln(os.Stderr, "logctl: "+msg)
+	os.Exit(2)
 }

@@ -1,0 +1,91 @@
+package api
+
+import (
+	"errors"
+	"net/http"
+	"testing"
+)
+
+func TestCursorRoundTrip(t *testing.T) {
+	in := Cursor{Op: "events", Hour: 417063, Key: "0000000000001501426800:c2-0c1s3n1", Disc: "MCE", N: 128}
+	tok := in.Encode()
+	out, err := DecodeCursor(tok, "events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.V = cursorVersion
+	if out != in {
+		t.Fatalf("round trip: got %+v, want %+v", out, in)
+	}
+}
+
+func TestCursorRejectsGarbage(t *testing.T) {
+	for _, tok := range []string{"not base64 ???", "bm90IGpzb24", ""} {
+		if _, err := DecodeCursor(tok, "events"); err == nil {
+			t.Errorf("DecodeCursor(%q) accepted garbage", tok)
+		} else {
+			var ae *Error
+			if !errors.As(err, &ae) || ae.Code != CodeBadCursor {
+				t.Errorf("DecodeCursor(%q) error = %v, want CodeBadCursor", tok, err)
+			}
+		}
+	}
+}
+
+func TestCursorRejectsWrongShape(t *testing.T) {
+	tok := Cursor{Op: "runs", Key: "k"}.Encode()
+	_, err := DecodeCursor(tok, "events")
+	var ae *Error
+	if !errors.As(err, &ae) || ae.Code != CodeBadCursor {
+		t.Fatalf("cross-shape cursor error = %v, want CodeBadCursor", err)
+	}
+}
+
+func TestCursorAfter(t *testing.T) {
+	c := Cursor{Key: "0000000000000000100:b", Disc: "MCE"}
+	cases := []struct {
+		key, disc string
+		want      bool
+	}{
+		{"0000000000000000100:a", "ZZZ", false}, // earlier key
+		{"0000000000000000100:b", "MCE", false}, // exactly the cursor
+		{"0000000000000000100:b", "LUSTRE", false},
+		{"0000000000000000100:b", "SEG", true}, // same key, later disc
+		{"0000000000000000100:c", "", true},    // later key
+	}
+	for _, tc := range cases {
+		if got := c.After(tc.key, tc.disc); got != tc.want {
+			t.Errorf("After(%q, %q) = %v, want %v", tc.key, tc.disc, got, tc.want)
+		}
+	}
+}
+
+func TestErrorCodeStatuses(t *testing.T) {
+	cases := map[ErrorCode]int{
+		CodeBadRequest:          http.StatusBadRequest,
+		CodeUnknownOp:           http.StatusBadRequest,
+		CodeBadCursor:           http.StatusBadRequest,
+		CodeNotStreamable:       http.StatusBadRequest,
+		CodeUnsupportedProtocol: http.StatusBadRequest,
+		CodeOverloaded:          http.StatusTooManyRequests,
+		CodeTooLarge:            http.StatusRequestEntityTooLarge,
+		CodeUnavailable:         http.StatusServiceUnavailable,
+		CodeInternal:            http.StatusInternalServerError,
+	}
+	for code, want := range cases {
+		if got := code.HTTPStatus(); got != want {
+			t.Errorf("%s.HTTPStatus() = %d, want %d", code, got, want)
+		}
+	}
+}
+
+func TestErrorfImplementsError(t *testing.T) {
+	var err error = Errorf(CodeBadRequest, "missing %s", "type")
+	var ae *Error
+	if !errors.As(err, &ae) {
+		t.Fatal("Errorf result does not unwrap to *Error")
+	}
+	if ae.Message != "missing type" || ae.Code != CodeBadRequest {
+		t.Fatalf("unexpected error %+v", ae)
+	}
+}

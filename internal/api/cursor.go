@@ -1,0 +1,77 @@
+package api
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+)
+
+// Cursor is the decoded form of a pagination resume token. It encodes a
+// *data position* — partition bucket plus the last delivered clustering
+// key — never an in-memory iterator, so a cursor stays valid across
+// server restarts, memtable flushes, and compaction: resuming is "scan
+// strictly after this key", which any incarnation of the store can do.
+//
+// The wire form is opaque to clients: base64url over canonical JSON.
+type Cursor struct {
+	// V is the cursor format version.
+	V int `json:"v"`
+	// Op names the result shape the cursor belongs to ("events", "runs",
+	// "cql"); resuming with a cursor minted for a different shape is
+	// CodeBadCursor.
+	Op string `json:"op"`
+	// Hour is the hour-bucket partition the scan stopped in (events).
+	Hour int64 `json:"hour,omitempty"`
+	// Key is the last delivered clustering key; the next page starts
+	// strictly after it.
+	Key string `json:"key,omitempty"`
+	// Disc is the order tie-breaker within equal keys (the event type for
+	// hour-merged event scans).
+	Disc string `json:"disc,omitempty"`
+	// N is the number of rows delivered so far, used to honor a
+	// statement-level LIMIT across pages (cql).
+	N int64 `json:"n,omitempty"`
+}
+
+// cursorVersion is the current cursor format.
+const cursorVersion = 1
+
+// Encode renders the cursor as an opaque resume token.
+func (c Cursor) Encode() string {
+	c.V = cursorVersion
+	b, err := json.Marshal(c)
+	if err != nil {
+		// Cursor is a flat struct of scalars; Marshal cannot fail.
+		panic(fmt.Sprintf("api: cursor marshal: %v", err))
+	}
+	return base64.RawURLEncoding.EncodeToString(b)
+}
+
+// DecodeCursor parses a resume token minted by Encode and checks it
+// belongs to result shape op. Any failure is a *Error with CodeBadCursor.
+func DecodeCursor(token, op string) (Cursor, error) {
+	raw, err := base64.RawURLEncoding.DecodeString(token)
+	if err != nil {
+		return Cursor{}, Errorf(CodeBadCursor, "cursor is not base64url: %v", err)
+	}
+	var c Cursor
+	if err := json.Unmarshal(raw, &c); err != nil {
+		return Cursor{}, Errorf(CodeBadCursor, "cursor does not decode: %v", err)
+	}
+	if c.V != cursorVersion {
+		return Cursor{}, Errorf(CodeBadCursor, "cursor version %d, want %d", c.V, cursorVersion)
+	}
+	if c.Op != op {
+		return Cursor{}, Errorf(CodeBadCursor, "cursor was minted for %q results, not %q", c.Op, op)
+	}
+	return c, nil
+}
+
+// After reports whether the (key, disc) pair sorts strictly after the
+// cursor position — the resume predicate shared by every paginated scan.
+func (c Cursor) After(key, disc string) bool {
+	if key != c.Key {
+		return key > c.Key
+	}
+	return disc > c.Disc
+}

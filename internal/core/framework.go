@@ -113,6 +113,9 @@ func New(opts Options) (*Framework, error) {
 	// (batch ETL, streaming, snapshot restore helpers) eagerly drops
 	// cached big-data results. The store's generation counter already
 	// fences staleness; the hook just frees dead entries immediately.
+	// (The analytic server's push-based watch hub subscribes one level
+	// lower, via store.RegisterWriteNotify, so it also wakes on writes
+	// that bypass the loader — CQL INSERTs, repair, restore.)
 	loader.OnWrite = func(string) { q.InvalidateCache() }
 	return &Framework{
 		DB:      db,
@@ -131,7 +134,11 @@ func (f *Framework) Options() Options { return f.opts }
 // commitlogs, segment files). A no-op for in-memory frameworks.
 func (f *Framework) Close() error { return f.DB.Close() }
 
-// Server constructs the web-facing analytic server.
+// Server constructs the web-facing analytic server: the /v1 wire
+// protocol (typed envelopes, cursor pagination, NDJSON streaming, the
+// push-based watch hub) with the pre-v1 /api/* routes as shims. On
+// shutdown call server.Close before Framework.Close so parked watch
+// subscribers drain before the storage engine goes away.
 func (f *Framework) Server() *server.Server {
 	return server.New(f.Query, f.DB, f.Compute)
 }

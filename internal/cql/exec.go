@@ -93,6 +93,87 @@ func (st *SelectStmt) logical() *plan.Select {
 	}
 }
 
+// ErrNotPaginated reports a statement that cannot be cursor-paginated:
+// only non-aggregate SELECTs produce resumable row streams.
+var ErrNotPaginated = fmt.Errorf("cql: statement is not a paginatable SELECT (aggregates and DDL return single documents)")
+
+// ErrNotStreamable reports a statement that does not produce a row
+// stream.
+var ErrNotStreamable = fmt.Errorf("cql: statement is not a streamable SELECT (aggregates and DDL return single documents)")
+
+// parseSelect parses src and requires a row-returning SELECT plan.
+func (s *Session) parseSelect(src string, sentinel error) (*plan.Plan, *SelectStmt, error) {
+	stmt, err := Parse(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	st, ok := stmt.(*SelectStmt)
+	if !ok {
+		return nil, nil, sentinel
+	}
+	p, err := plan.Build(st.logical())
+	if err != nil {
+		return nil, nil, err
+	}
+	if !p.Paginated() {
+		return nil, nil, sentinel
+	}
+	return p, st, nil
+}
+
+// SelectPage executes a non-aggregate SELECT as one page of at most limit
+// rows. resume restarts strictly after afterKey (the previous page's last
+// clustering key); delivered is the row count already handed out, so a
+// statement-level LIMIT is honored across pages. It returns the page, the
+// last delivered key, and whether more rows may remain.
+//
+// Resumption re-plans the statement with the pushed-down scan range
+// narrowed to keys after afterKey — a data position, not server state —
+// so pages stay correct across restart and segment compaction.
+func (s *Session) SelectPage(src string, limit int, resume bool, afterKey string, delivered int64) ([]ResultRow, string, bool, error) {
+	p, st, err := s.parseSelect(src, ErrNotPaginated)
+	if err != nil {
+		return nil, "", false, err
+	}
+	eff := limit
+	if st.Limit > 0 {
+		remaining := int64(st.Limit) - delivered
+		if remaining <= 0 {
+			return []ResultRow{}, afterKey, false, nil
+		}
+		if int64(eff) > remaining {
+			eff = int(remaining)
+		}
+	}
+	if resume {
+		p.ResumeAfter(afterKey)
+	}
+	p.Sel.Limit = eff
+	ex := &plan.Executor{DB: s.DB, Eng: s.engine(), CL: s.CL, Opt: s.Exec}
+	rows, err := ex.Run(p)
+	if err != nil {
+		return nil, "", false, err
+	}
+	nextKey := afterKey
+	if len(rows) > 0 {
+		nextKey = rows[len(rows)-1].Key
+	}
+	more := len(rows) == eff && (st.Limit == 0 || delivered+int64(len(rows)) < int64(st.Limit))
+	return rows, nextKey, more, nil
+}
+
+// StreamSelect executes a non-aggregate SELECT and hands each result row
+// to emit in clustering order without materializing the result set — the
+// NDJSON streaming path of the analytic server.
+func (s *Session) StreamSelect(src string, emit func(ResultRow) error) error {
+	p, _, err := s.parseSelect(src, ErrNotStreamable)
+	if err != nil {
+		return err
+	}
+	ex := &plan.Executor{DB: s.DB, Eng: s.engine(), CL: s.CL, Opt: s.Exec}
+	return ex.Stream(p, emit)
+}
+
 func (s *Session) runSelect(st *SelectStmt) (*Result, error) {
 	p, err := plan.Build(st.logical())
 	if err != nil {

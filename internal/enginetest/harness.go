@@ -17,13 +17,13 @@ package enginetest
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
-	"fmt"
-	"net/http"
 	"net/http/httptest"
 	"testing"
 	"time"
 
+	"hpclog/client"
 	"hpclog/internal/compute"
 	"hpclog/internal/ingest"
 	"hpclog/internal/logs"
@@ -48,6 +48,12 @@ type Harness struct {
 	Parallel *query.Engine
 	// TS is the wire-path test server.
 	TS *httptest.Server
+	// Srv is the analytic server behind TS.
+	Srv *server.Server
+	// Client is the SDK client the wire path goes through — the same
+	// code every production consumer (logctl, examples) uses, so a green
+	// corpus run also proves the SDK decodes faithfully.
+	Client *client.Client
 	// StoreCfg is the store configuration, kept so Reopen can recover a
 	// durable harness from its directory.
 	StoreCfg store.Config
@@ -141,8 +147,17 @@ func build(tb testing.TB, scfg store.Config) *Harness {
 func (h *Harness) initEngines(tb testing.TB) {
 	h.Serial = query.NewWithOptions(h.DB, h.Comp, query.Options{Parallelism: 1, CacheSize: -1})
 	h.Parallel = query.NewWithOptions(h.DB, h.Comp, query.Options{CacheSize: -1})
-	h.TS = httptest.NewServer(server.New(h.Parallel, h.DB, h.Comp))
-	tb.Cleanup(h.TS.Close)
+	h.Srv = server.New(h.Parallel, h.DB, h.Comp)
+	h.TS = httptest.NewServer(h.Srv)
+	h.Client = client.New(h.TS.URL)
+	srv, ts := h.Srv, h.TS
+	tb.Cleanup(func() {
+		// Hub first: httptest.Server.Close blocks on outstanding requests,
+		// and a parked watch only completes once the hub drains it (the
+		// same order analyticsd shuts down in).
+		srv.Close()
+		ts.Close()
+	})
 }
 
 // Reopen simulates a restart of a durable harness: the store is closed,
@@ -153,6 +168,7 @@ func (h *Harness) Reopen(tb testing.TB) {
 	if h.StoreCfg.Dir == "" {
 		tb.Fatal("Reopen requires a durable harness (NewDurable)")
 	}
+	h.Srv.Close()
 	h.TS.Close()
 	if err := h.DB.Close(); err != nil {
 		tb.Fatal(err)
@@ -181,26 +197,10 @@ func (h *Harness) Direct(req query.Request) (json.RawMessage, error) {
 	return json.Marshal(res)
 }
 
-// HTTP executes a request over the wire through the analytic server and
-// returns the raw result JSON.
+// HTTP executes a request over the wire through the v1 protocol and the
+// SDK client, returning the raw result JSON.
 func (h *Harness) HTTP(req query.Request) (json.RawMessage, error) {
-	body, err := json.Marshal(req)
-	if err != nil {
-		return nil, err
-	}
-	resp, err := http.Post(h.TS.URL+"/api/query", "application/json", bytes.NewReader(body))
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	var envelope server.Response
-	if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil {
-		return nil, err
-	}
-	if !envelope.OK {
-		return nil, fmt.Errorf("enginetest: wire query failed (HTTP %d): %s", resp.StatusCode, envelope.Error)
-	}
-	return envelope.Result, nil
+	return h.Client.Do(context.Background(), req)
 }
 
 // Run executes one case on both paths, asserts the results byte-for-byte

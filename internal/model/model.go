@@ -317,6 +317,11 @@ func typeFromKey(pkey string) (EventType, error) {
 	return EventType(typ), nil
 }
 
+// TypeFromKey extracts the event type from an event_by_time partition
+// key ("<hour>:<type>") — the order tie-breaker of hour-merged scans in
+// the analytic server's pagination and streaming paths.
+func TypeFromKey(pkey string) (EventType, error) { return typeFromKey(pkey) }
+
 func sourceFromKey(pkey string) (string, error) {
 	_, src, ok := strings.Cut(pkey, ":")
 	if !ok {

@@ -48,6 +48,50 @@ type Executor struct {
 // errLimitReached cancels a streaming scan once LIMIT rows are emitted.
 var errLimitReached = errors.New("plan: limit reached")
 
+// ResumeAfter narrows the plan to clustering keys strictly greater than
+// key — the pagination resume point. Row keys are unique within a
+// partition, so "strictly after" is key+"\x00" as an inclusive lower
+// bound; the existing pushed-down range still applies on top.
+func (p *Plan) ResumeAfter(key string) {
+	next := key + "\x00"
+	if p.Range.From == "" || p.Range.From < next {
+		p.Range.From = next
+	}
+}
+
+// Paginated reports whether the plan produces a resumable row stream:
+// aggregates collapse to one document and cannot be paginated.
+func (p *Plan) Paginated() bool { return len(p.Sel.Aggs) == 0 }
+
+// Stream executes a row-returning plan and hands each result row to emit
+// in clustering order, without materializing the result set — the NDJSON
+// streaming path of the analytic server. emit runs on one goroutine at a
+// time; returning an error cancels the remaining scan tasks. Aggregate
+// plans are rejected (use Run).
+func (ex *Executor) Stream(p *Plan, emit func(ResultRow) error) error {
+	if ex.DB == nil || ex.Eng == nil {
+		return fmt.Errorf("plan: executor needs a store and a compute engine")
+	}
+	if len(p.Sel.Aggs) > 0 {
+		return fmt.Errorf("plan: aggregate query does not stream rows")
+	}
+	slices, err := ex.slices(p)
+	if err != nil {
+		return err
+	}
+	pruner := p.Pruner
+	if ex.Opt.NoPrune {
+		pruner = nil
+	}
+	stats := ex.Stats
+	if stats == nil {
+		stats = &persist.PruneStats{}
+	}
+	err = ex.streamRows(p, slices, pruner, stats, emit)
+	ex.Eng.NotePruning(int(stats.BlocksRead.Load()), int(stats.BlocksPruned.Load()))
+	return err
+}
+
 // Run executes the plan and returns the result rows.
 func (ex *Executor) Run(p *Plan) ([]ResultRow, error) {
 	if ex.DB == nil || ex.Eng == nil {
@@ -105,6 +149,18 @@ func (ex *Executor) scanTask(p *Plan, rg store.Range, pruner store.Pruner, stats
 // parallel, StreamScan delivers batches in clustering order, LIMIT stops
 // the scan early.
 func (ex *Executor) runStream(p *Plan, slices []store.Range, pruner store.Pruner, stats *store.PruneStats) ([]ResultRow, error) {
+	out := []ResultRow{}
+	err := ex.streamRows(p, slices, pruner, stats, func(r ResultRow) error {
+		out = append(out, r)
+		return nil
+	})
+	return out, err
+}
+
+// streamRows is the shared streaming core of runStream and Stream: it
+// fans the slices out on the scan pool and delivers projected rows to
+// emit one at a time, in clustering order, honoring the plan's LIMIT.
+func (ex *Executor) streamRows(p *Plan, slices []store.Range, pruner store.Pruner, stats *store.PruneStats, emit func(ResultRow) error) error {
 	limit := p.Sel.Limit
 	tasks := make([]compute.ScanTask[ResultRow], len(slices))
 	for i, rg := range slices {
@@ -132,20 +188,27 @@ func (ex *Executor) runStream(p *Plan, slices []store.Range, pruner store.Pruner
 			},
 		}
 	}
-	out := []ResultRow{}
+	emitted := 0
 	err := compute.StreamScan(ex.Eng, compute.ScanOptions{Parallelism: ex.Opt.Parallelism}, tasks,
 		func(_ int, batch []ResultRow) error {
-			out = append(out, batch...)
-			if limit > 0 && len(out) >= limit {
-				out = out[:limit]
+			for _, r := range batch {
+				if limit > 0 && emitted >= limit {
+					return errLimitReached
+				}
+				if err := emit(r); err != nil {
+					return err
+				}
+				emitted++
+			}
+			if limit > 0 && emitted >= limit {
 				return errLimitReached
 			}
 			return nil
 		})
 	if err != nil && !errors.Is(err, errLimitReached) {
-		return nil, err
+		return err
 	}
-	return out, nil
+	return nil
 }
 
 // runAggregate executes an aggregate plan: each slice folds into its own

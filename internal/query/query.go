@@ -530,7 +530,14 @@ func (q *Engine) runs(req Request) ([]RunRecord, error) {
 		}
 		runs = filtered
 	}
-	sort.Slice(runs, func(i, j int) bool { return runs[i].Start.Before(runs[j].Start) })
+	// (start, jobid) is a strict total order: job IDs are unique, so the
+	// result order is deterministic and paginated reads can resume on it.
+	sort.Slice(runs, func(i, j int) bool {
+		if !runs[i].Start.Equal(runs[j].Start) {
+			return runs[i].Start.Before(runs[j].Start)
+		}
+		return runs[i].JobID < runs[j].JobID
+	})
 	out := make([]RunRecord, len(runs))
 	for i, r := range runs {
 		out[i] = RunRecord{

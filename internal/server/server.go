@@ -4,104 +4,304 @@
 // processing unit), and returns results as JSON objects "to avoid data
 // format conversion at the frontend".
 //
-// The Tornado substitute is net/http. Long-lived connections are supported
-// through a long-poll endpoint: the handler parks the request until new
-// events arrive in the watched context or the client timeout elapses,
-// which is the stdlib equivalent of Tornado's non-blocking long-polling.
+// The public surface is the versioned /v1 wire protocol defined in
+// internal/api: enveloped JSON with machine-readable error codes and
+// request IDs, cursor pagination and NDJSON streaming for row-returning
+// results, and a push-based /v1/watch subscription hub woken by the store
+// write path (no poll interval anywhere). The pre-v1 /api/* routes remain
+// as thin shims over the same handlers so existing clients keep working.
 package server
 
 import (
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
-	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
+	"hpclog/internal/api"
 	"hpclog/internal/compute"
 	"hpclog/internal/cql"
-	"hpclog/internal/model"
 	"hpclog/internal/plan"
 	"hpclog/internal/query"
 	"hpclog/internal/store"
 )
+
+// Config tunes the server's HTTP surface hardening. The zero value
+// selects production defaults.
+type Config struct {
+	// MaxBodyBytes caps every POST body (http.MaxBytesReader); <= 0 means
+	// 1 MiB.
+	MaxBodyBytes int64
+	// MaxWatchTimeout caps the timeout_ms a poll/watch client may request;
+	// <= 0 means 2 minutes.
+	MaxWatchTimeout time.Duration
+	// DefaultPageLimit is the page size when a paginated request does not
+	// set one; <= 0 means 1000.
+	DefaultPageLimit int
+	// MaxPageLimit caps the page size a client may request; <= 0 means
+	// 10000.
+	MaxPageLimit int
+	// QueryInFlight, CQLInFlight, StreamInFlight, WatchInFlight and
+	// StorageInFlight are per-route concurrency caps; 0 selects the
+	// defaults (64, 64, 16, 256, 4), negative disables the route's limit.
+	QueryInFlight   int
+	CQLInFlight     int
+	StreamInFlight  int
+	WatchInFlight   int
+	StorageInFlight int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.MaxWatchTimeout <= 0 {
+		c.MaxWatchTimeout = 2 * time.Minute
+	}
+	if c.DefaultPageLimit <= 0 {
+		c.DefaultPageLimit = 1000
+	}
+	if c.MaxPageLimit <= 0 {
+		c.MaxPageLimit = 10000
+	}
+	def := func(v, d int) int {
+		if v == 0 {
+			return d
+		}
+		if v < 0 {
+			return 0 // unlimited
+		}
+		return v
+	}
+	c.QueryInFlight = def(c.QueryInFlight, 64)
+	c.CQLInFlight = def(c.CQLInFlight, 64)
+	c.StreamInFlight = def(c.StreamInFlight, 16)
+	c.WatchInFlight = def(c.WatchInFlight, 256)
+	c.StorageInFlight = def(c.StorageInFlight, 4)
+	return c
+}
 
 // Server wires the query engine into an http.Handler.
 type Server struct {
 	q   *query.Engine
 	db  *store.DB
 	eng *compute.Engine
+	cfg Config
 	mux *http.ServeMux
-	// pollInterval is how often a parked long-poll re-checks the store.
-	pollInterval time.Duration
+
+	hub      *hub
+	limiters map[string]*limiter
+
 	// now allows tests to fake time; defaults to time.Now.
 	now func() time.Time
+
+	reqPrefix string
+	reqSeq    atomic.Int64
+
+	cancelNotify func()
+	closeOnce    sync.Once
 }
 
-// New creates a server over the query engine and its backends.
+// New creates a server over the query engine and its backends with
+// default hardening (see Config).
 func New(q *query.Engine, db *store.DB, eng *compute.Engine) *Server {
+	return NewWithConfig(q, db, eng, Config{})
+}
+
+// NewWithConfig creates a server with explicit surface hardening.
+func NewWithConfig(q *query.Engine, db *store.DB, eng *compute.Engine, cfg Config) *Server {
+	var pfx [4]byte
+	_, _ = rand.Read(pfx[:])
 	s := &Server{
 		q: q, db: db, eng: eng,
-		mux:          http.NewServeMux(),
-		pollInterval: 50 * time.Millisecond,
-		now:          time.Now,
+		cfg:       cfg.withDefaults(),
+		mux:       http.NewServeMux(),
+		hub:       newHub(),
+		now:       time.Now,
+		reqPrefix: hex.EncodeToString(pfx[:]),
 	}
-	s.mux.HandleFunc("POST /api/query", s.handleQuery)
-	s.mux.HandleFunc("POST /api/cql", s.handleCQL)
-	s.mux.HandleFunc("GET /api/types", s.handleTypes)
-	s.mux.HandleFunc("GET /api/stats", s.handleStats)
-	s.mux.HandleFunc("GET /api/storage", s.handleStorage)
-	s.mux.HandleFunc("POST /api/storage/compact", s.handleStorageCompact)
-	s.mux.HandleFunc("GET /api/poll", s.handlePoll)
+	s.limiters = map[string]*limiter{
+		"query":   {max: int64(s.cfg.QueryInFlight)},
+		"cql":     {max: int64(s.cfg.CQLInFlight)},
+		"stream":  {max: int64(s.cfg.StreamInFlight)},
+		"watch":   {max: int64(s.cfg.WatchInFlight)},
+		"storage": {max: int64(s.cfg.StorageInFlight)},
+	}
+	// The watch hub is woken by the store's write path: every acked write
+	// bumps the DB generation, which fans out here — push, not poll.
+	s.cancelNotify = db.RegisterWriteNotify(s.hub.notify)
+
+	// v1 wire protocol.
+	s.mux.HandleFunc("POST /v1/query", s.limited("query", s.handleQueryV1))
+	s.mux.HandleFunc("POST /v1/query/stream", s.limited("stream", s.handleQueryStream))
+	s.mux.HandleFunc("POST /v1/cql", s.limited("cql", s.handleCQLV1))
+	s.mux.HandleFunc("POST /v1/cql/stream", s.limited("stream", s.handleCQLStream))
+	s.mux.HandleFunc("GET /v1/types", s.handleTypesV1)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStatsV1)
+	s.mux.HandleFunc("GET /v1/storage", s.handleStorageV1)
+	s.mux.HandleFunc("POST /v1/storage/compact", s.limited("storage", s.handleStorageCompactV1))
+	s.mux.HandleFunc("GET /v1/watch", s.limited("watch", s.handleWatch))
+	s.mux.HandleFunc("GET /v1/protocol", s.handleProtocol)
+
+	// Legacy pre-v1 shims: same handlers, unversioned envelope.
+	s.mux.HandleFunc("POST /api/query", s.limited("query", s.legacy(s.queryCore)))
+	s.mux.HandleFunc("POST /api/cql", s.limited("cql", s.legacy(s.cqlCore)))
+	s.mux.HandleFunc("GET /api/types", s.legacy(s.typesCore))
+	s.mux.HandleFunc("GET /api/stats", s.legacy(s.statsCore))
+	s.mux.HandleFunc("GET /api/storage", s.legacy(s.storageCore))
+	s.mux.HandleFunc("POST /api/storage/compact", s.limited("storage", s.legacy(s.compactCore)))
+	s.mux.HandleFunc("GET /api/poll", s.limited("watch", s.handlePoll))
+
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	return s
 }
 
-// handleCQL executes a raw CQL statement against the backend — the wire
-// protocol between the analytic server and the database in Fig 3. The
-// request body is {"query": "...", "consistency": "ONE|QUORUM|ALL"}.
-// SELECTs run through the query planner on the server's compute pool,
-// sharing the query engine's parallelism and slice tuning, so column
-// predicates push down to storage (block pruning) instead of scanning
-// everything.
-func (s *Server) handleCQL(w http.ResponseWriter, r *http.Request) {
-	started := s.now()
-	var req struct {
-		Query       string `json:"query"`
-		Consistency string `json:"consistency"`
-	}
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, started, nil, fmt.Errorf("server: bad request body: %v", err))
-		return
-	}
-	cl := store.One
-	switch req.Consistency {
-	case "", "ONE":
-	case "QUORUM":
-		cl = store.Quorum
-	case "ALL":
-		cl = store.All
-	default:
-		writeJSON(w, http.StatusBadRequest, started, nil,
-			fmt.Errorf("server: unknown consistency %q", req.Consistency))
-		return
-	}
-	par, slice := s.q.ScanTuning()
-	sess := &cql.Session{
-		DB: s.db, CL: cl, Eng: s.eng,
-		Exec: plan.ExecOptions{Parallelism: par, SliceSeconds: slice},
-	}
-	res, err := sess.Execute(req.Query)
-	if err != nil {
-		writeJSON(w, http.StatusBadRequest, started, nil, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, started, res, nil)
+// Close drains the watch hub (every live watch/poll subscriber is woken
+// and completes its response) and detaches the server from the store's
+// write-notification fan-out. Graceful shutdown calls Close before
+// http.Server.Shutdown so long-lived watch streams do not hold the
+// listener open.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		s.cancelNotify()
+		s.hub.close()
+	})
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// Response is the envelope of every API answer.
+// --- Request plumbing: IDs, protocol negotiation, limits, body caps ---
+
+// requestID returns the client-supplied request ID or assigns one.
+func (s *Server) requestID(r *http.Request) string {
+	if id := r.Header.Get(api.RequestIDHeader); id != "" && len(id) <= 128 {
+		return id
+	}
+	return fmt.Sprintf("%s-%06d", s.reqPrefix, s.reqSeq.Add(1))
+}
+
+// negotiate rejects clients speaking a protocol version outside
+// [api.MinVersion, api.Version]. An absent header is accepted as the
+// current version (curl, legacy clients).
+func negotiate(r *http.Request) *api.Error {
+	h := r.Header.Get(api.VersionHeader)
+	if h == "" {
+		return nil
+	}
+	var v int
+	if _, err := fmt.Sscanf(h, "%d", &v); err != nil {
+		return api.Errorf(api.CodeUnsupportedProtocol, "bad %s header %q", api.VersionHeader, h)
+	}
+	if v < api.MinVersion || v > api.Version {
+		return api.Errorf(api.CodeUnsupportedProtocol,
+			"protocol %d not supported (server speaks %d..%d)", v, api.MinVersion, api.Version)
+	}
+	return nil
+}
+
+// limiter is one route's in-flight concurrency gate.
+type limiter struct {
+	max      int64
+	inflight atomic.Int64
+	total    atomic.Int64
+	rejected atomic.Int64
+}
+
+func (l *limiter) acquire() bool {
+	if l.max > 0 && l.inflight.Add(1) > l.max {
+		l.inflight.Add(-1)
+		l.rejected.Add(1)
+		return false
+	}
+	l.total.Add(1)
+	return true
+}
+
+func (l *limiter) release() { l.inflight.Add(-1) }
+
+func (l *limiter) stats() api.RouteStats {
+	return api.RouteStats{
+		InFlight: l.inflight.Load(),
+		Limit:    l.max,
+		Total:    l.total.Load(),
+		Rejected: l.rejected.Load(),
+	}
+}
+
+// limited wraps a handler with the named route's in-flight gate.
+func (s *Server) limited(route string, h http.HandlerFunc) http.HandlerFunc {
+	l := s.limiters[route]
+	return func(w http.ResponseWriter, r *http.Request) {
+		if !l.acquire() {
+			aerr := api.Errorf(api.CodeOverloaded, "route %s at its in-flight limit (%d)", route, l.max)
+			if strings.HasPrefix(r.URL.Path, "/api/") {
+				writeLegacy(w, s.now(), nil, aerr)
+			} else {
+				s.writeV1(w, s.now(), s.requestID(r), nil, aerr)
+			}
+			return
+		}
+		defer l.release()
+		h(w, r)
+	}
+}
+
+// decodeBody reads a capped JSON POST body into dst.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, dst any) *api.Error {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(dst); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return api.Errorf(api.CodeTooLarge, "request body exceeds %d bytes", tooLarge.Limit)
+		}
+		return api.Errorf(api.CodeBadRequest, "bad request body: %v", err)
+	}
+	return nil
+}
+
+// --- Envelope writers ---
+
+// writeV1 writes the v1 envelope for result (or apiErr).
+func (s *Server) writeV1(w http.ResponseWriter, started time.Time, reqID string, result any, apiErr *api.Error) {
+	resp := api.Response{
+		OK:        apiErr == nil,
+		Protocol:  api.Version,
+		RequestID: reqID,
+		ElapsedMS: time.Since(started).Milliseconds(),
+	}
+	status := http.StatusOK
+	if apiErr != nil {
+		apiErr.RequestID = reqID
+		resp.Err = apiErr
+		status = apiErr.Code.HTTPStatus()
+	} else {
+		data, merr := json.Marshal(result)
+		if merr != nil {
+			resp.OK = false
+			resp.Err = api.Errorf(api.CodeInternal, "marshal result: %v", merr)
+			resp.Err.RequestID = reqID
+			status = http.StatusInternalServerError
+		} else {
+			resp.Result = data
+		}
+	}
+	h := w.Header()
+	h.Set("Content-Type", api.MediaTypeJSON)
+	h.Set(api.VersionHeader, fmt.Sprint(api.Version))
+	h.Set(api.RequestIDHeader, reqID)
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+// Response is the envelope of every legacy /api/* answer, kept
+// byte-compatible with pre-v1 releases.
 type Response struct {
 	OK        bool            `json:"ok"`
 	Error     string          `json:"error,omitempty"`
@@ -109,10 +309,13 @@ type Response struct {
 	Result    json.RawMessage `json:"result,omitempty"`
 }
 
-func writeJSON(w http.ResponseWriter, status int, started time.Time, result any, err error) {
-	resp := Response{OK: err == nil, ElapsedMS: time.Since(started).Milliseconds()}
-	if err != nil {
-		resp.Error = err.Error()
+// writeLegacy writes the pre-v1 envelope.
+func writeLegacy(w http.ResponseWriter, started time.Time, result any, apiErr *api.Error) {
+	resp := Response{OK: apiErr == nil, ElapsedMS: time.Since(started).Milliseconds()}
+	status := http.StatusOK
+	if apiErr != nil {
+		resp.Error = apiErr.Message
+		status = apiErr.Code.HTTPStatus()
 	} else {
 		data, merr := json.Marshal(result)
 		if merr != nil {
@@ -123,169 +326,243 @@ func writeJSON(w http.ResponseWriter, status int, started time.Time, result any,
 			resp.Result = data
 		}
 	}
-	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Type", api.MediaTypeJSON)
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(resp)
 }
 
-func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	started := s.now()
+// coreFunc executes one request's business logic and returns the result
+// payload or a typed error; envelope writers wrap it for v1 and legacy.
+type coreFunc func(w http.ResponseWriter, r *http.Request) (any, *api.Error)
+
+// legacy adapts a core handler onto the pre-v1 envelope.
+func (s *Server) legacy(core coreFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		started := s.now()
+		result, apiErr := core(w, r)
+		writeLegacy(w, started, result, apiErr)
+	}
+}
+
+// v1 adapts a core handler onto the v1 envelope with protocol
+// negotiation and request IDs.
+func (s *Server) v1(core coreFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		started := s.now()
+		reqID := s.requestID(r)
+		if perr := negotiate(r); perr != nil {
+			s.writeV1(w, started, reqID, nil, perr)
+			return
+		}
+		result, apiErr := core(w, r)
+		s.writeV1(w, started, reqID, result, apiErr)
+	}
+}
+
+// toAPIError classifies an engine/store error for the wire.
+func toAPIError(err error) *api.Error {
+	var ae *api.Error
+	if errors.As(err, &ae) {
+		return ae
+	}
+	switch {
+	case errors.Is(err, store.ErrUnavailable):
+		return api.Errorf(api.CodeUnavailable, "%v", err)
+	case strings.Contains(err.Error(), "unknown op"):
+		return api.Errorf(api.CodeUnknownOp, "%v", err)
+	default:
+		return api.Errorf(api.CodeBadRequest, "%v", err)
+	}
+}
+
+// --- Query handlers ---
+
+// handleQueryV1 answers POST /v1/query: a query.Request, optionally
+// paginated through the "page" block.
+func (s *Server) handleQueryV1(w http.ResponseWriter, r *http.Request) {
+	s.v1(func(w http.ResponseWriter, r *http.Request) (any, *api.Error) {
+		var req api.QueryRequest
+		if aerr := s.decodeBody(w, r, &req); aerr != nil {
+			return nil, aerr
+		}
+		if req.Page != nil {
+			return s.pagedQuery(req)
+		}
+		result, err := s.q.Execute(req.Request)
+		if err != nil {
+			return nil, toAPIError(err)
+		}
+		return result, nil
+	})(w, r)
+}
+
+// queryCore is the legacy /api/query body: a bare query.Request.
+func (s *Server) queryCore(w http.ResponseWriter, r *http.Request) (any, *api.Error) {
 	var req query.Request
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, started, nil, fmt.Errorf("server: bad request body: %v", err))
-		return
+	if aerr := s.decodeBody(w, r, &req); aerr != nil {
+		return nil, aerr
 	}
 	result, err := s.q.Execute(req)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, started, nil, err)
-		return
+		return nil, toAPIError(err)
 	}
-	writeJSON(w, http.StatusOK, started, result, nil)
+	return result, nil
 }
 
-func (s *Server) handleTypes(w http.ResponseWriter, r *http.Request) {
-	started := s.now()
-	result, err := s.q.Execute(query.Request{Op: query.OpTypes})
-	status := http.StatusOK
+// --- CQL handlers ---
+
+// parseConsistency maps the wire consistency onto store levels.
+func parseConsistency(c string) (store.Consistency, *api.Error) {
+	switch c {
+	case "", "ONE":
+		return store.One, nil
+	case "QUORUM":
+		return store.Quorum, nil
+	case "ALL":
+		return store.All, nil
+	default:
+		return store.One, api.Errorf(api.CodeBadRequest, "unknown consistency %q", c)
+	}
+}
+
+// session builds a CQL session sharing the query engine's scan tuning,
+// so column predicates push down to storage on the server's compute pool.
+func (s *Server) session(cl store.Consistency) *cql.Session {
+	par, slice := s.q.ScanTuning()
+	return &cql.Session{
+		DB: s.db, CL: cl, Eng: s.eng,
+		Exec: plan.ExecOptions{Parallelism: par, SliceSeconds: slice},
+	}
+}
+
+// handleCQLV1 answers POST /v1/cql, optionally paginated for
+// non-aggregate SELECTs.
+func (s *Server) handleCQLV1(w http.ResponseWriter, r *http.Request) {
+	s.v1(func(w http.ResponseWriter, r *http.Request) (any, *api.Error) {
+		var req api.CQLRequest
+		if aerr := s.decodeBody(w, r, &req); aerr != nil {
+			return nil, aerr
+		}
+		cl, aerr := parseConsistency(req.Consistency)
+		if aerr != nil {
+			return nil, aerr
+		}
+		if req.Page != nil {
+			return s.pagedCQL(req, cl)
+		}
+		res, err := s.session(cl).Execute(req.Query)
+		if err != nil {
+			return nil, toAPIError(err)
+		}
+		return res, nil
+	})(w, r)
+}
+
+// cqlCore is the legacy /api/cql body (no pagination).
+func (s *Server) cqlCore(w http.ResponseWriter, r *http.Request) (any, *api.Error) {
+	var req api.CQLRequest
+	if aerr := s.decodeBody(w, r, &req); aerr != nil {
+		return nil, aerr
+	}
+	cl, aerr := parseConsistency(req.Consistency)
+	if aerr != nil {
+		return nil, aerr
+	}
+	res, err := s.session(cl).Execute(req.Query)
 	if err != nil {
-		status = http.StatusInternalServerError
+		return nil, toAPIError(err)
 	}
-	writeJSON(w, status, started, result, err)
+	return res, nil
 }
 
-// StatsPayload aggregates server-side counters for the frontend: routing
-// class totals, per-operation latency and cache-hit counters, result-cache
-// state, and compute/scan-planner counters.
-type StatsPayload struct {
-	Queries query.Stats               `json:"queries"`
-	PerOp   map[string]query.OpMetric `json:"per_op"`
-	Cache   query.CacheStats          `json:"cache"`
-	Compute compute.Stats             `json:"compute"`
-	Storage store.StorageStats        `json:"storage"`
-	Tables  []string                  `json:"tables"`
-	Nodes   []string                  `json:"store_nodes"`
+// --- Catalog, stats, storage ---
+
+func (s *Server) typesCore(http.ResponseWriter, *http.Request) (any, *api.Error) {
+	result, err := s.q.Execute(query.Request{Op: query.OpTypes})
+	if err != nil {
+		return nil, api.Errorf(api.CodeInternal, "%v", err)
+	}
+	return result, nil
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	started := s.now()
-	writeJSON(w, http.StatusOK, started, StatsPayload{
+func (s *Server) handleTypesV1(w http.ResponseWriter, r *http.Request) {
+	s.v1(s.typesCore)(w, r)
+}
+
+// StatsPayload is the stats result shape, re-exported for compatibility.
+type StatsPayload = api.StatsPayload
+
+// CompactResult is the compact result shape, re-exported for
+// compatibility.
+type CompactResult = api.CompactResult
+
+func (s *Server) statsCore(http.ResponseWriter, *http.Request) (any, *api.Error) {
+	routes := make(map[string]api.RouteStats, len(s.limiters))
+	for name, l := range s.limiters {
+		routes[name] = l.stats()
+	}
+	return api.StatsPayload{
 		Queries: s.q.Stats(),
 		PerOp:   s.q.Metrics(),
 		Cache:   s.q.CacheStats(),
 		Compute: s.eng.Stats(),
 		Storage: s.db.StorageStats(),
-		Tables:  s.db.Tables(),
-		Nodes:   s.db.NodeIDs(),
-	}, nil)
+		HTTP: api.HTTPStats{
+			Routes:           routes,
+			WatchSubscribers: s.hub.subscribers.Load(),
+			WatchDelivered:   s.hub.delivered.Load(),
+			WatchWakeups:     s.hub.wakeups.Load(),
+		},
+		Tables: s.db.Tables(),
+		Nodes:  s.db.NodeIDs(),
+	}, nil
 }
 
-// handleStorage reports the durable engine's counters (commitlog, flush,
+func (s *Server) handleStatsV1(w http.ResponseWriter, r *http.Request) {
+	s.v1(s.statsCore)(w, r)
+}
+
+// storageCore reports the durable engine's counters (commitlog, flush,
 // compaction, replay, on-disk footprint).
-func (s *Server) handleStorage(w http.ResponseWriter, r *http.Request) {
-	started := s.now()
-	writeJSON(w, http.StatusOK, started, s.db.StorageStats(), nil)
+func (s *Server) storageCore(http.ResponseWriter, *http.Request) (any, *api.Error) {
+	return s.db.StorageStats(), nil
 }
 
-// CompactResult is the answer of POST /api/storage/compact.
-type CompactResult struct {
-	// PartitionsCompacted counts partitions merged down to one segment.
-	PartitionsCompacted int                `json:"partitions_compacted"`
-	Storage             store.StorageStats `json:"storage"`
+func (s *Server) handleStorageV1(w http.ResponseWriter, r *http.Request) {
+	s.v1(s.storageCore)(w, r)
 }
 
-// handleStorageCompact forces a full flush + compaction pass: every dirty
-// memtable is flushed to disk, every multi-segment partition is merged,
-// and obsolete commitlog segments are truncated.
-func (s *Server) handleStorageCompact(w http.ResponseWriter, r *http.Request) {
-	started := s.now()
+// compactCore forces a full flush + compaction pass: every dirty memtable
+// is flushed to disk, every multi-segment partition is merged, and
+// obsolete commitlog segments are truncated.
+func (s *Server) compactCore(http.ResponseWriter, *http.Request) (any, *api.Error) {
 	n, err := s.db.Compact()
 	if err != nil {
-		writeJSON(w, http.StatusInternalServerError, started, nil, err)
-		return
+		return nil, api.Errorf(api.CodeInternal, "%v", err)
 	}
-	writeJSON(w, http.StatusOK, started, CompactResult{
+	return api.CompactResult{
 		PartitionsCompacted: n,
 		Storage:             s.db.StorageStats(),
-	}, nil)
+	}, nil
+}
+
+func (s *Server) handleStorageCompactV1(w http.ResponseWriter, r *http.Request) {
+	s.v1(s.compactCore)(w, r)
+}
+
+// handleProtocol answers GET /v1/protocol: version negotiation without
+// side effects.
+func (s *Server) handleProtocol(w http.ResponseWriter, r *http.Request) {
+	s.v1(func(http.ResponseWriter, *http.Request) (any, *api.Error) {
+		return api.ProtocolInfo{
+			Protocol:    api.Version,
+			MinProtocol: api.MinVersion,
+			Server:      api.ServerName,
+		}, nil
+	})(w, r)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	fmt.Fprintln(w, "ok")
-}
-
-// handlePoll implements the long-poll endpoint:
-//
-//	GET /api/poll?type=MCE&since=<unix>&timeout_ms=30000
-//
-// It answers as soon as events of the type with timestamp >= since exist,
-// or with an empty result after the timeout.
-func (s *Server) handlePoll(w http.ResponseWriter, r *http.Request) {
-	started := s.now()
-	typ := r.URL.Query().Get("type")
-	if typ == "" {
-		writeJSON(w, http.StatusBadRequest, started, nil, fmt.Errorf("server: poll requires type"))
-		return
-	}
-	since, err := strconv.ParseInt(r.URL.Query().Get("since"), 10, 64)
-	if err != nil {
-		writeJSON(w, http.StatusBadRequest, started, nil, fmt.Errorf("server: bad since: %v", err))
-		return
-	}
-	timeout := 30 * time.Second
-	if ms := r.URL.Query().Get("timeout_ms"); ms != "" {
-		v, err := strconv.Atoi(ms)
-		if err != nil || v < 0 {
-			writeJSON(w, http.StatusBadRequest, started, nil, fmt.Errorf("server: bad timeout_ms %q", ms))
-			return
-		}
-		timeout = time.Duration(v) * time.Millisecond
-	}
-	deadline := started.Add(timeout)
-	for {
-		events, err := s.eventsSince(model.EventType(typ), since)
-		if err != nil {
-			writeJSON(w, http.StatusInternalServerError, started, nil, err)
-			return
-		}
-		if len(events) > 0 || !s.now().Before(deadline) {
-			writeJSON(w, http.StatusOK, started, events, nil)
-			return
-		}
-		select {
-		case <-r.Context().Done():
-			return
-		case <-time.After(s.pollInterval):
-		}
-	}
-}
-
-// eventsSince reads events of one type with Time >= since directly from
-// the store (hour partitions from since to now).
-func (s *Server) eventsSince(typ model.EventType, since int64) ([]query.EventRecord, error) {
-	from := time.Unix(since, 0).UTC()
-	to := s.now().UTC().Add(time.Second)
-	if !to.After(from) {
-		return nil, nil
-	}
-	rg := model.EventTimeRange(from, to)
-	var out []query.EventRecord
-	for _, hour := range model.HoursIn(from, to) {
-		pkey := model.EventByTimeKey(hour, typ)
-		rows, err := s.db.Get(model.TableEventByTime, pkey, rg, store.One)
-		if err != nil {
-			return nil, err
-		}
-		for _, row := range rows {
-			e, err := model.EventFromTimeRow(pkey, row)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, query.EventRecord{
-				Time: e.Time.Unix(), Type: string(e.Type), Source: e.Source,
-				Count: e.Count, Raw: e.Raw, Attrs: e.Attrs,
-			})
-		}
-	}
-	return out, nil
 }

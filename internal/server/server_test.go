@@ -52,7 +52,6 @@ func getFixture(t testing.TB) *fixture {
 	}
 	eng := compute.NewEngine(compute.Config{Workers: db.NodeIDs(), Threads: 2})
 	srv := New(query.New(db, eng), db, eng)
-	srv.pollInterval = 5 * time.Millisecond
 	shared = &fixture{cfg: cfg, corpus: corpus, db: db, srv: srv, ts: httptest.NewServer(srv)}
 	return shared
 }

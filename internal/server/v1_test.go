@@ -1,0 +1,286 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"hpclog/internal/api"
+	"hpclog/internal/compute"
+	"hpclog/internal/ingest"
+	"hpclog/internal/model"
+	"hpclog/internal/query"
+	"hpclog/internal/store"
+)
+
+// newHardenedServer builds an empty-but-bootstrapped stack with explicit
+// hardening config, for surface tests that need no corpus.
+func newHardenedServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	db := store.Open(store.Config{Nodes: 2, RF: 2, VNodes: 8})
+	if err := ingest.Bootstrap(db, 4); err != nil {
+		t.Fatal(err)
+	}
+	eng := compute.NewEngine(compute.Config{Workers: db.NodeIDs(), Threads: 2})
+	srv := NewWithConfig(query.New(db, eng), db, eng, cfg)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return srv, ts
+}
+
+func decodeV1(t *testing.T, resp *http.Response) api.Response {
+	t.Helper()
+	defer resp.Body.Close()
+	var env api.Response
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatalf("decode v1 envelope: %v", err)
+	}
+	return env
+}
+
+func TestProtocolNegotiation(t *testing.T) {
+	f := getFixture(t)
+	for _, tc := range []struct {
+		header string
+		wantOK bool
+	}{
+		{"", true},
+		{"1", true},
+		{"99", false},
+		{"banana", false},
+	} {
+		req, _ := http.NewRequest(http.MethodGet, f.ts.URL+"/v1/types", nil)
+		if tc.header != "" {
+			req.Header.Set(api.VersionHeader, tc.header)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		env := decodeV1(t, resp)
+		if env.OK != tc.wantOK {
+			t.Fatalf("header %q: ok=%v body=%+v", tc.header, env.OK, env.Err)
+		}
+		if !tc.wantOK {
+			if env.Err == nil || env.Err.Code != api.CodeUnsupportedProtocol {
+				t.Fatalf("header %q: error %+v, want unsupported_protocol", tc.header, env.Err)
+			}
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("header %q: status %d", tc.header, resp.StatusCode)
+			}
+		}
+		if env.Protocol != api.Version {
+			t.Fatalf("envelope protocol = %d", env.Protocol)
+		}
+	}
+}
+
+func TestRequestIDsAssignedAndEchoed(t *testing.T) {
+	f := getFixture(t)
+	// Assigned when absent.
+	resp, err := http.Get(f.ts.URL + "/v1/types")
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := decodeV1(t, resp)
+	if env.RequestID == "" || resp.Header.Get(api.RequestIDHeader) != env.RequestID {
+		t.Fatalf("request id missing or mismatched: %q vs header %q",
+			env.RequestID, resp.Header.Get(api.RequestIDHeader))
+	}
+	// Echoed when supplied.
+	req, _ := http.NewRequest(http.MethodGet, f.ts.URL+"/v1/types", nil)
+	req.Header.Set(api.RequestIDHeader, "trace-me-42")
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env2 := decodeV1(t, resp2); env2.RequestID != "trace-me-42" {
+		t.Fatalf("supplied request id not echoed: %q", env2.RequestID)
+	}
+}
+
+func TestBodyCap(t *testing.T) {
+	_, ts := newHardenedServer(t, Config{MaxBodyBytes: 256})
+	big := bytes.Repeat([]byte("x"), 1024)
+	body, _ := json.Marshal(map[string]string{"query": string(big)})
+	resp, err := http.Post(ts.URL+"/v1/cql", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := decodeV1(t, resp)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge || env.OK {
+		t.Fatalf("status %d, env %+v", resp.StatusCode, env)
+	}
+	if env.Err == nil || env.Err.Code != api.CodeTooLarge {
+		t.Fatalf("error %+v, want too_large", env.Err)
+	}
+}
+
+func TestWatchInFlightLimit(t *testing.T) {
+	_, ts := newHardenedServer(t, Config{WatchInFlight: 1})
+	// Park one watch subscriber.
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/v1/watch?type=MCE&timeout_ms=30000", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != api.MediaTypeNDJSON {
+		t.Fatalf("first watch content type %q", ct)
+	}
+	// The second subscription must be refused with overloaded/429.
+	resp2, err := http.Get(ts.URL + "/v1/watch?type=MCE&timeout_ms=1000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := decodeV1(t, resp2)
+	if resp2.StatusCode != http.StatusTooManyRequests || env.Err == nil || env.Err.Code != api.CodeOverloaded {
+		t.Fatalf("status %d env %+v, want 429/overloaded", resp2.StatusCode, env.Err)
+	}
+	// The limiter state is surfaced in /v1/stats.
+	resp3, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats api.StatsPayload
+	env3 := decodeV1(t, resp3)
+	if err := json.Unmarshal(env3.Result, &stats); err != nil {
+		t.Fatal(err)
+	}
+	watch := stats.HTTP.Routes["watch"]
+	if watch.Limit != 1 || watch.Rejected < 1 || watch.InFlight != 1 {
+		t.Fatalf("watch route stats = %+v", watch)
+	}
+	if stats.HTTP.WatchSubscribers != 1 {
+		t.Fatalf("watch subscribers = %d", stats.HTTP.WatchSubscribers)
+	}
+}
+
+// TestWatchDeliversSkewedTimestamp: a committed event whose timestamp
+// sits ahead of the server clock (writer skew) is beyond the
+// clock-bounded scan window at wake time; the bounded skew re-check
+// must still deliver it, not park until the next unrelated write.
+func TestWatchDeliversSkewedTimestamp(t *testing.T) {
+	f := getFixture(t)
+	req, _ := http.NewRequest(http.MethodGet, fmt.Sprintf(
+		"%s/v1/watch?type=GPU_DBE&timeout_ms=8000&since=%d", f.ts.URL, time.Now().Unix()), nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != api.MediaTypeNDJSON {
+		t.Fatalf("watch content type %q", ct)
+	}
+	lines := make(chan string, 8)
+	go func() {
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+	}()
+	if err := ingest.NewLoader(f.db).LoadEvents([]model.Event{{
+		Time: time.Now().UTC().Add(2 * time.Second), Type: model.EventType("GPU_DBE"),
+		Source: "c0-0c0s5n5", Count: 1, Raw: "future-stamped",
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(7 * time.Second)
+	for {
+		select {
+		case line, ok := <-lines:
+			if !ok {
+				t.Fatal("stream ended before delivering the skewed event")
+			}
+			if strings.Contains(line, "future-stamped") {
+				return
+			}
+		case <-deadline:
+			t.Fatal("skewed event not delivered within the re-check horizon")
+		}
+	}
+}
+
+func TestPollTimeoutCapped(t *testing.T) {
+	_, ts := newHardenedServer(t, Config{MaxWatchTimeout: 150 * time.Millisecond})
+	start := time.Now()
+	resp, err := http.Get(fmt.Sprintf("%s/api/poll?type=MCE&since=%d&timeout_ms=60000",
+		ts.URL, time.Now().Add(time.Hour).Unix()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("poll parked %v despite the 150ms cap", elapsed)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("capped poll status %d", resp.StatusCode)
+	}
+}
+
+func TestLegacyShimEnvelopeShape(t *testing.T) {
+	f := getFixture(t)
+	// Errors on /api/* must keep the flat string error field.
+	resp, err := http.Post(f.ts.URL+"/api/query", "application/json",
+		strings.NewReader(`{"op":"bogus"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	var probe map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &probe); err != nil {
+		t.Fatal(err)
+	}
+	if _, hasProto := probe["protocol"]; hasProto {
+		t.Fatalf("legacy envelope leaked v1 fields: %s", raw)
+	}
+	var errStr string
+	if err := json.Unmarshal(probe["error"], &errStr); err != nil || errStr == "" {
+		t.Fatalf("legacy error is not a flat string: %s", raw)
+	}
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+// TestV1QueryMatchesLegacy pins the shim contract: both routes answer
+// with byte-identical result payloads.
+func TestV1QueryMatchesLegacy(t *testing.T) {
+	f := getFixture(t)
+	body, _ := json.Marshal(query.Request{
+		Op: query.OpEvents,
+		Context: query.Context{
+			EventType: "MCE",
+			From:      f.cfg.Start.Unix(),
+			To:        f.cfg.Start.Add(f.cfg.Duration).Unix(),
+		},
+	})
+	legacyResp, err := http.Post(f.ts.URL+"/api/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy := decodeResponse(t, legacyResp)
+	v1Resp, err := http.Post(f.ts.URL+"/v1/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := decodeV1(t, v1Resp)
+	if !legacy.OK || !v1.OK {
+		t.Fatalf("legacy %+v v1 %+v", legacy, v1)
+	}
+	if !bytes.Equal(legacy.Result, v1.Result) {
+		t.Fatalf("legacy and v1 results differ:\nlegacy %.200s\nv1     %.200s", legacy.Result, v1.Result)
+	}
+}

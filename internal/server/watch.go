@@ -1,0 +1,350 @@
+// Push-based event watching. The hub replaces the pre-v1 50ms poll tick:
+// every acked store write (any loader, CQL INSERT, streaming consumer,
+// repair) bumps the DB generation, which fans out through
+// store.RegisterWriteNotify to the hub, which wakes exactly the parked
+// subscribers — no fixed interval anywhere, so delivery latency is the
+// write-to-wakeup path, microseconds rather than half a poll period.
+//
+// GET /v1/watch streams matching events as NDJSON as they arrive; the
+// legacy GET /api/poll parks on the same hub and answers once with the
+// pre-v1 envelope.
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hpclog/internal/api"
+	"hpclog/internal/model"
+	"hpclog/internal/query"
+	"hpclog/internal/store"
+)
+
+// hub fans write notifications out to parked watch/poll subscribers.
+type hub struct {
+	mu     sync.RWMutex
+	subs   map[*subscriber]struct{}
+	closed chan struct{}
+	done   bool
+
+	subscribers atomic.Int64
+	delivered   atomic.Int64
+	wakeups     atomic.Int64
+}
+
+// subscriber is one parked watch/poll request. Its channel has capacity
+// one: a notification arriving while the subscriber is scanning latches,
+// so the wake-scan loop can never miss a write (check, then park).
+type subscriber struct{ ch chan struct{} }
+
+func newHub() *hub {
+	return &hub{subs: make(map[*subscriber]struct{}), closed: make(chan struct{})}
+}
+
+// notify wakes every subscriber. It runs synchronously on the store's
+// write path, so it must stay cheap: one RLock and a non-blocking send
+// per subscriber.
+func (h *hub) notify() {
+	h.mu.RLock()
+	n := len(h.subs)
+	for sub := range h.subs {
+		select {
+		case sub.ch <- struct{}{}:
+		default:
+		}
+	}
+	h.mu.RUnlock()
+	if n > 0 {
+		h.wakeups.Add(int64(n))
+	}
+}
+
+func (h *hub) subscribe() *subscriber {
+	sub := &subscriber{ch: make(chan struct{}, 1)}
+	h.mu.Lock()
+	h.subs[sub] = struct{}{}
+	h.mu.Unlock()
+	h.subscribers.Add(1)
+	return sub
+}
+
+func (h *hub) unsubscribe(sub *subscriber) {
+	h.mu.Lock()
+	delete(h.subs, sub)
+	h.mu.Unlock()
+	h.subscribers.Add(-1)
+}
+
+// close wakes every subscriber permanently; parked requests complete
+// their response (graceful shutdown drains the hub before the HTTP
+// listener).
+func (h *hub) close() {
+	h.mu.Lock()
+	if !h.done {
+		h.done = true
+		close(h.closed)
+	}
+	h.mu.Unlock()
+}
+
+// eventTail tracks a watch subscription's position in the event stream
+// as data keys, with a one-hour stability window: each wake re-reads the
+// window [from, now) and delivers only rows whose clustering key has not
+// been delivered yet, so concurrent writers landing out of key order
+// within the window are never missed and never duplicated. Once the
+// window slides past an hour boundary, delivered-key state older than
+// the previous hour is pruned — an event arriving with a timestamp more
+// than an hour in the past is beyond the tail and is not delivered.
+type eventTail struct {
+	typ       model.EventType
+	from      int64 // rescan lower bound, unix seconds
+	delivered map[string]bool
+}
+
+func newEventTail(typ model.EventType, since int64) *eventTail {
+	return &eventTail{typ: typ, from: since, delivered: make(map[string]bool)}
+}
+
+// scanEventsSince walks the hour partitions of one event type over
+// [since, now+1s) in key order — the scan loop shared by the watch tail
+// and the legacy poll. visit receives each row's clustering key and
+// decoded record.
+func scanEventsSince(db *store.DB, typ model.EventType, since int64, now time.Time, visit func(key string, rec query.EventRecord)) error {
+	from := time.Unix(since, 0).UTC()
+	to := now.UTC().Add(time.Second)
+	if !to.After(from) {
+		return nil
+	}
+	rg := model.EventTimeRange(from, to)
+	for _, hour := range model.HoursIn(from, to) {
+		pkey := model.EventByTimeKey(hour, typ)
+		rows, err := db.Get(model.TableEventByTime, pkey, rg, store.One)
+		if err != nil {
+			return err
+		}
+		for _, row := range rows {
+			e, err := model.EventFromTimeRow(pkey, row)
+			if err != nil {
+				return err
+			}
+			visit(row.Key, eventRecord(e))
+		}
+	}
+	return nil
+}
+
+// collect returns newly arrived events in [from, now], advancing the
+// stability window.
+func (t *eventTail) collect(db *store.DB, now time.Time) ([]query.EventRecord, error) {
+	var out []query.EventRecord
+	err := scanEventsSince(db, t.typ, t.from, now, func(key string, rec query.EventRecord) {
+		if t.delivered[key] {
+			return
+		}
+		t.delivered[key] = true
+		out = append(out, rec)
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Slide the stability window: state older than the previous full hour
+	// is pruned so a long-lived watch holds hours of keys, not days.
+	cut := now.Unix()/3600*3600 - 3600
+	if cut > t.from {
+		for k := range t.delivered {
+			if ts, err := store.DecodeTS(k); err == nil && ts < cut {
+				delete(t.delivered, k)
+			}
+		}
+		t.from = cut
+	}
+	return out, nil
+}
+
+// skewRecheck bounds how long a committed-but-future-timestamped event
+// (writer clock ahead of the server's) can wait for delivery: a wake
+// that delivers nothing arms one bounded re-scan, because the write that
+// woke us may sit just past the scan window's clock-bounded upper edge.
+// Idle subscriptions (no writes) never tick.
+const skewRecheck = time.Second
+
+// watchTimeout parses and caps a timeout_ms query parameter.
+func (s *Server) watchTimeout(raw string, def time.Duration) (time.Duration, error) {
+	timeout := def
+	if raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 0 {
+			return 0, fmt.Errorf("bad timeout_ms %q", raw)
+		}
+		timeout = time.Duration(v) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxWatchTimeout {
+		timeout = s.cfg.MaxWatchTimeout
+	}
+	return timeout, nil
+}
+
+// handleWatch answers GET /v1/watch?type=T&since=unix&timeout_ms=N with
+// an NDJSON stream of events: everything of the type with timestamp >=
+// since immediately, then new arrivals pushed as the ingest path commits
+// them, until the (capped) timeout elapses, the client disconnects, or
+// the server shuts down. The stream ends with an api.StreamTrailer.
+func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
+	started := s.now()
+	reqID := s.requestID(r)
+	if perr := negotiate(r); perr != nil {
+		s.writeV1(w, started, reqID, nil, perr)
+		return
+	}
+	qp := r.URL.Query()
+	typ := qp.Get("type")
+	if typ == "" {
+		s.writeV1(w, started, reqID, nil, api.Errorf(api.CodeBadRequest, "watch requires type"))
+		return
+	}
+	since := started.Unix()
+	if raw := qp.Get("since"); raw != "" {
+		v, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil {
+			s.writeV1(w, started, reqID, nil, api.Errorf(api.CodeBadRequest, "bad since: %v", err))
+			return
+		}
+		since = v
+	}
+	timeout, err := s.watchTimeout(qp.Get("timeout_ms"), s.cfg.MaxWatchTimeout)
+	if err != nil {
+		s.writeV1(w, started, reqID, nil, api.Errorf(api.CodeBadRequest, "%v", err))
+		return
+	}
+
+	sub := s.hub.subscribe()
+	defer s.hub.unsubscribe(sub)
+	tail := newEventTail(model.EventType(typ), since)
+	nd := newNDJSON(w, reqID)
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	woken := false
+	for {
+		events, err := tail.collect(s.db, s.now())
+		if err != nil {
+			if !nd.started {
+				s.writeV1(w, started, reqID, nil, api.Errorf(api.CodeInternal, "%v", err))
+				return
+			}
+			nd.finish(err)
+			return
+		}
+		// Commit to the stream (headers + flush) before parking so the
+		// client observes an established subscription even when no
+		// historical events match.
+		nd.begin()
+		for _, e := range events {
+			if err := nd.emit(e); err != nil {
+				return // client gone
+			}
+		}
+		s.hub.delivered.Add(int64(len(events)))
+		nd.flush()
+		// A wake that found nothing may have been a write sitting past the
+		// clock-bounded scan edge (skewed timestamp): arm one bounded
+		// re-scan. A nil channel never fires, so idle parks stay pure push.
+		var recheck <-chan time.Time
+		if woken && len(events) == 0 {
+			recheck = time.After(skewRecheck)
+		}
+		woken = false
+		select {
+		case <-sub.ch:
+			woken = true
+		case <-recheck:
+			woken = true
+		case <-deadline.C:
+			nd.finish(nil)
+			return
+		case <-s.hub.closed:
+			nd.finish(nil)
+			return
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// handlePoll implements the legacy long-poll endpoint:
+//
+//	GET /api/poll?type=MCE&since=<unix>&timeout_ms=30000
+//
+// It answers as soon as events of the type with timestamp >= since
+// exist, or with an empty result after the (capped) timeout. The park is
+// hub-driven — the handler wakes only when a write commits — so the
+// pre-v1 50ms re-scan tick is gone while the wire behavior is unchanged.
+func (s *Server) handlePoll(w http.ResponseWriter, r *http.Request) {
+	started := s.now()
+	typ := r.URL.Query().Get("type")
+	if typ == "" {
+		writeLegacy(w, started, nil, api.Errorf(api.CodeBadRequest, "server: poll requires type"))
+		return
+	}
+	since, err := strconv.ParseInt(r.URL.Query().Get("since"), 10, 64)
+	if err != nil {
+		writeLegacy(w, started, nil, api.Errorf(api.CodeBadRequest, "server: bad since: %v", err))
+		return
+	}
+	timeout, terr := s.watchTimeout(r.URL.Query().Get("timeout_ms"), 30*time.Second)
+	if terr != nil {
+		writeLegacy(w, started, nil, api.Errorf(api.CodeBadRequest, "server: %v", terr))
+		return
+	}
+	sub := s.hub.subscribe()
+	defer s.hub.unsubscribe(sub)
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	woken := false
+	for {
+		events, err := s.eventsSince(model.EventType(typ), since)
+		if err != nil {
+			writeLegacy(w, started, nil, api.Errorf(api.CodeInternal, "%v", err))
+			return
+		}
+		if len(events) > 0 {
+			writeLegacy(w, started, events, nil)
+			return
+		}
+		var recheck <-chan time.Time
+		if woken {
+			recheck = time.After(skewRecheck)
+		}
+		woken = false
+		select {
+		case <-sub.ch:
+			woken = true
+		case <-recheck:
+			woken = true
+		case <-deadline.C:
+			writeLegacy(w, started, events, nil)
+			return
+		case <-s.hub.closed:
+			writeLegacy(w, started, events, nil)
+			return
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// eventsSince reads events of one type with Time >= since directly from
+// the store (hour partitions from since to now).
+func (s *Server) eventsSince(typ model.EventType, since int64) ([]query.EventRecord, error) {
+	var out []query.EventRecord
+	err := scanEventsSince(s.db, typ, since, s.now(), func(_ string, rec query.EventRecord) {
+		out = append(out, rec)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -151,6 +151,12 @@ type DB struct {
 	readRepairs atomic.Int64
 	generation  atomic.Uint64
 
+	// Write notification fan-out (see RegisterWriteNotify): an immutable
+	// snapshot of callbacks, swapped copy-on-write so the write path reads
+	// it with one atomic load and no lock.
+	notifyMu  sync.Mutex
+	notifiers atomic.Pointer[[]*writeNotifier]
+
 	// Durable state.
 	compactMu   sync.Mutex // serializes compaction passes
 	compactStop chan struct{}
@@ -173,8 +179,54 @@ type ReplayStats struct {
 // reuse while Generation() still returns g.
 func (db *DB) Generation() uint64 { return db.generation.Load() }
 
-// bumpGeneration records a logical mutation.
-func (db *DB) bumpGeneration() { db.generation.Add(1) }
+// bumpGeneration records a logical mutation and wakes write notifiers.
+func (db *DB) bumpGeneration() {
+	db.generation.Add(1)
+	if subs := db.notifiers.Load(); subs != nil {
+		for _, n := range *subs {
+			n.fn()
+		}
+	}
+}
+
+// writeNotifier is one registered write callback.
+type writeNotifier struct{ fn func() }
+
+// RegisterWriteNotify registers fn to run after every logical mutation of
+// the database (any acked write, table creation, repair) — the push
+// signal behind the analytic server's /v1/watch hub, replacing fixed
+// poll intervals. fn runs synchronously on the mutating goroutine and
+// therefore must be fast and non-blocking (typically a non-blocking
+// channel send). The returned cancel function unregisters fn; it is safe
+// to call more than once.
+func (db *DB) RegisterWriteNotify(fn func()) (cancel func()) {
+	n := &writeNotifier{fn: fn}
+	db.notifyMu.Lock()
+	var cur []*writeNotifier
+	if p := db.notifiers.Load(); p != nil {
+		cur = *p
+	}
+	next := make([]*writeNotifier, 0, len(cur)+1)
+	next = append(next, cur...)
+	next = append(next, n)
+	db.notifiers.Store(&next)
+	db.notifyMu.Unlock()
+	return func() {
+		db.notifyMu.Lock()
+		defer db.notifyMu.Unlock()
+		var cur []*writeNotifier
+		if p := db.notifiers.Load(); p != nil {
+			cur = *p
+		}
+		next := make([]*writeNotifier, 0, len(cur))
+		for _, o := range cur {
+			if o != n {
+				next = append(next, o)
+			}
+		}
+		db.notifiers.Store(&next)
+	}
+}
 
 // Open creates an in-process store cluster with cfg. cfg.Dir must be empty
 // — durable clusters are opened with OpenDurable, whose recovery can fail;
