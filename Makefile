@@ -10,14 +10,43 @@ GO ?= go
 BENCH_LABEL ?= dev
 
 .PHONY: ci vet build test test-fresh race bench bench-wal bench-api \
-	bench-json bench-smoke alloc-guard fmt-check test-wire
+	bench-json bench-smoke alloc-guard fmt-check test-wire \
+	bench-diff load-smoke bench-load
 
 # alloc-guard runs inside the plain (non-race) test pass, but is also
 # listed explicitly so the allocation budgets cannot rot out of CI.
 # test-wire re-runs the v1 wire-protocol suites (api contract, client
 # SDK, server surface, SDK-vs-engine corpus equality) by name so a
 # filtered test invocation cannot silently drop them.
-ci: vet build race test-fresh alloc-guard test-wire bench-smoke
+# bench-diff gates the committed perf trajectories; load-smoke drives a
+# short open-loop mixed scenario through the SDK against a self-hosted
+# server and fails on errors.
+ci: vet build race test-fresh alloc-guard test-wire bench-smoke bench-diff load-smoke
+
+# Perf-regression gate: within every committed BENCH_*.json trajectory,
+# compare the oldest recorded run against the newest and fail on >15%
+# ns/op or allocs/op regressions (for BENCH_load.json the "ns/op" keys
+# are p50/p99/p999 latencies, so tail regressions fail the same rule).
+# Deterministic: gates recorded history, re-runs nothing.
+bench-diff:
+	@for f in BENCH_*.json; do \
+		echo "== benchdiff $$f"; \
+		$(GO) run ./cmd/benchdiff -threshold 0.15 $$f || exit 1; \
+	done
+
+# Open-loop load smoke: every traffic class plus live watchers at a
+# modest fixed arrival rate against an in-process server; any error rate
+# above 2% fails CI.
+load-smoke:
+	$(GO) run ./cmd/loadgen -smoke -selfhost -q -max-error-rate 0.02
+
+# Re-record the committed load-latency trajectory from the experiment
+# grid: scenarios × repeats from experiments.json, per-class p50/p99/p999
+# appended to BENCH_load.json under $(BENCH_LABEL), raw per-run rows in
+# load_results.csv (uncommitted scratch output).
+bench-load:
+	$(GO) run ./cmd/loadgen -grid experiments.json -selfhost -csv load_results.csv -bench - \
+		| $(GO) run ./cmd/benchjson -o BENCH_load.json -label "$(BENCH_LABEL)"
 
 # The v1 wire protocol: contract types, client SDK (error propagation,
 # retries, pagination/stream equality), server surface hardening, and the

@@ -1,0 +1,66 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hpclog/internal/api"
+)
+
+// TestObserverSeesEveryAttempt: the per-attempt hook fires once per HTTP
+// exchange including retries, with attempt numbers, error codes, and
+// non-zero elapsed times — the instrumentation the load harness builds
+// its per-request accounting on.
+func TestObserverSeesEveryAttempt(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) < 3 {
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprint(w, `{"ok":false,"protocol":1,"error":{"code":"overloaded","message":"busy"}}`)
+			return
+		}
+		fmt.Fprint(w, `{"ok":true,"protocol":1,"result":{"MCE":"machine check"}}`)
+	}))
+	defer ts.Close()
+
+	var mu sync.Mutex
+	var seen []ObservedCall
+	cli := New(ts.URL, WithRetries(3), WithBackoff(time.Millisecond),
+		WithObserver(func(oc ObservedCall) {
+			mu.Lock()
+			seen = append(seen, oc)
+			mu.Unlock()
+		}))
+	if _, err := cli.Types(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 3 {
+		t.Fatalf("observed %d attempts, want 3: %+v", len(seen), seen)
+	}
+	for i, oc := range seen {
+		if oc.Attempt != i {
+			t.Fatalf("attempt %d recorded as %d", i, oc.Attempt)
+		}
+		if oc.Method != http.MethodGet || oc.Path != "/v1/types" {
+			t.Fatalf("attempt %d: %s %s", i, oc.Method, oc.Path)
+		}
+		if oc.Elapsed <= 0 {
+			t.Fatalf("attempt %d has no elapsed time", i)
+		}
+	}
+	if seen[0].Code != api.CodeOverloaded || seen[1].Code != api.CodeOverloaded {
+		t.Fatalf("failed attempts not classified: %+v", seen[:2])
+	}
+	if seen[2].Err != nil || seen[2].Code != "" {
+		t.Fatalf("successful attempt carries an error: %+v", seen[2])
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"time"
 
 	"hpclog/internal/api"
 	"hpclog/internal/query"
@@ -46,9 +47,12 @@ func stream[T any](ctx context.Context, c *Client, path string, body any, fn fun
 	if err != nil {
 		return err
 	}
+	started := time.Now()
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return fmt.Errorf("client: POST %s: %w", path, err)
+		err = fmt.Errorf("client: POST %s: %w", path, err)
+		c.observed(http.MethodPost, path, 0, started, err)
+		return err
 	}
 	defer resp.Body.Close()
 	if ct := resp.Header.Get("Content-Type"); ct != api.MediaTypeNDJSON {
@@ -56,10 +60,14 @@ func stream[T any](ctx context.Context, c *Client, path string, body any, fn fun
 		var env api.Response
 		if derr := json.NewDecoder(resp.Body).Decode(&env); derr == nil && env.Err != nil {
 			env.Err.Status = resp.StatusCode
+			c.observed(http.MethodPost, path, 0, started, env.Err)
 			return env.Err
 		}
-		return fmt.Errorf("client: POST %s: HTTP %d with content type %q", path, resp.StatusCode, ct)
+		err = fmt.Errorf("client: POST %s: HTTP %d with content type %q", path, resp.StatusCode, ct)
+		c.observed(http.MethodPost, path, 0, started, err)
+		return err
 	}
+	c.observed(http.MethodPost, path, 0, started, nil)
 	return decodeNDJSON(resp.Body, fn)
 }
 

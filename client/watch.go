@@ -64,19 +64,26 @@ func (c *Client) Watch(ctx context.Context, eventType string, opts WatchOptions)
 	if err != nil {
 		return nil, err
 	}
+	started := time.Now()
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return nil, fmt.Errorf("client: watch: %w", err)
+		err = fmt.Errorf("client: watch: %w", err)
+		c.observed(http.MethodGet, "/v1/watch", 0, started, err)
+		return nil, err
 	}
 	if ct := resp.Header.Get("Content-Type"); ct != api.MediaTypeNDJSON {
 		defer resp.Body.Close()
 		var env api.Response
 		if derr := json.NewDecoder(resp.Body).Decode(&env); derr == nil && env.Err != nil {
 			env.Err.Status = resp.StatusCode
+			c.observed(http.MethodGet, "/v1/watch", 0, started, env.Err)
 			return nil, env.Err
 		}
-		return nil, fmt.Errorf("client: watch: HTTP %d with content type %q", resp.StatusCode, ct)
+		err = fmt.Errorf("client: watch: HTTP %d with content type %q", resp.StatusCode, ct)
+		c.observed(http.MethodGet, "/v1/watch", 0, started, err)
+		return nil, err
 	}
+	c.observed(http.MethodGet, "/v1/watch", 0, started, nil)
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 64*1024), maxLineBytes)
 	return &Watch{body: resp.Body, sc: sc}, nil

@@ -1,0 +1,167 @@
+// Command benchdiff is the perf-regression gate over the committed
+// BENCH_*.json trajectory files: it compares two labeled runs of a
+// trajectory (by default the first — the recorded baseline — against the
+// last — the current state) and exits non-zero when any benchmark
+// regressed by more than the threshold in ns/op or allocs/op. For load
+// runs recorded by cmd/loadgen the ns/op of a .../p99 key IS the p99
+// latency, so the same rule gates tail latency.
+//
+// `make ci` runs benchdiff against every committed BENCH file, which
+// turns the baselines into enforced contracts: a PR that re-records a
+// trajectory with >15% worse numbers fails CI instead of silently
+// shifting the baseline.
+//
+// Usage:
+//
+//	benchdiff BENCH_scan.json BENCH_wal.json          # first vs last run
+//	benchdiff -old codec-v2 -new my-change BENCH_scan.json
+//	benchdiff -threshold 0.10 BENCH_load.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"hpclog/internal/benchfmt"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// finding is one benchmark's comparison between two runs.
+type finding struct {
+	Name string
+	// Metric is "ns/op" or "allocs/op".
+	Metric string
+	Old    float64
+	New    float64
+	// Delta is the relative change, positive = slower/more allocs.
+	Delta float64
+	// Regressed marks a delta past the threshold.
+	Regressed bool
+}
+
+// minAllocsGate is the smallest baseline allocs/op the alloc rule
+// applies to: below it a ±1 alloc step exceeds any ratio threshold, and
+// the dedicated alloc-guard tests already pin those exactly.
+const minAllocsGate = 16
+
+// diffRuns compares every benchmark present in both runs. Improvements
+// and small drifts come back with Regressed=false so callers can print
+// the full table.
+func diffRuns(oldRun, newRun *benchfmt.Run, threshold float64) []finding {
+	var out []finding
+	for _, name := range oldRun.SortedNames() {
+		ob := oldRun.Benchmarks[name]
+		nb, ok := newRun.Benchmarks[name]
+		if !ok {
+			continue
+		}
+		if ob.NsOp > 0 {
+			d := nb.NsOp/ob.NsOp - 1
+			out = append(out, finding{
+				Name: name, Metric: "ns/op", Old: ob.NsOp, New: nb.NsOp,
+				Delta: d, Regressed: d > threshold,
+			})
+		}
+		if ob.AllocsOp >= minAllocsGate {
+			d := float64(nb.AllocsOp)/float64(ob.AllocsOp) - 1
+			out = append(out, finding{
+				Name: name, Metric: "allocs/op", Old: float64(ob.AllocsOp), New: float64(nb.AllocsOp),
+				Delta: d, Regressed: d > threshold,
+			})
+		}
+	}
+	return out
+}
+
+// pickRuns resolves the baseline and candidate runs of one trajectory.
+// Empty labels select the first (baseline) and last (current) runs.
+func pickRuns(doc *benchfmt.File, oldLabel, newLabel string) (*benchfmt.Run, *benchfmt.Run, error) {
+	if len(doc.Runs) == 0 {
+		return nil, nil, fmt.Errorf("no runs recorded")
+	}
+	oldRun := &doc.Runs[0]
+	newRun := &doc.Runs[len(doc.Runs)-1]
+	if oldLabel != "" {
+		if oldRun = doc.FindRun(oldLabel); oldRun == nil {
+			return nil, nil, fmt.Errorf("no run labeled %q", oldLabel)
+		}
+	}
+	if newLabel != "" {
+		if newRun = doc.FindRun(newLabel); newRun == nil {
+			return nil, nil, fmt.Errorf("no run labeled %q", newLabel)
+		}
+	}
+	return oldRun, newRun, nil
+}
+
+// diffFile gates one trajectory file, printing its table to w. It
+// returns the number of regressions.
+func diffFile(w io.Writer, path, oldLabel, newLabel string, threshold float64, verbose bool) (int, error) {
+	doc, err := benchfmt.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	oldRun, newRun, err := pickRuns(doc, oldLabel, newLabel)
+	if err != nil {
+		return 0, fmt.Errorf("%s: %w", path, err)
+	}
+	if oldRun == newRun {
+		fmt.Fprintf(w, "%s: single run %q — nothing to compare\n", path, oldRun.Label)
+		return 0, nil
+	}
+	findings := diffRuns(oldRun, newRun, threshold)
+	regressions := 0
+	fmt.Fprintf(w, "%s: %q -> %q (threshold +%.0f%%)\n", path, oldRun.Label, newRun.Label, threshold*100)
+	for _, f := range findings {
+		if f.Regressed {
+			regressions++
+		}
+		if f.Regressed || verbose {
+			mark := "  "
+			if f.Regressed {
+				mark = "✗ "
+			}
+			fmt.Fprintf(w, "  %s%-55s %-9s %14.1f -> %14.1f  %+6.1f%%\n",
+				mark, f.Name, f.Metric, f.Old, f.New, f.Delta*100)
+		}
+	}
+	if regressions == 0 {
+		fmt.Fprintf(w, "  ok: %d comparisons, no regression past threshold\n", len(findings))
+	}
+	return regressions, nil
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	threshold := fs.Float64("threshold", 0.15, "relative regression that fails the gate (0.15 = +15%)")
+	oldLabel := fs.String("old", "", "baseline run label (default: first run in the file)")
+	newLabel := fs.String("new", "", "candidate run label (default: last run in the file)")
+	verbose := fs.Bool("v", false, "print every comparison, not only regressions")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "benchdiff: at least one BENCH_*.json file is required")
+		return 2
+	}
+	total := 0
+	for _, path := range fs.Args() {
+		n, err := diffFile(stdout, path, *oldLabel, *newLabel, *threshold, *verbose)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchdiff: %v\n", err)
+			return 2
+		}
+		total += n
+	}
+	if total > 0 {
+		fmt.Fprintf(stderr, "benchdiff: %d regression(s) past the +%.0f%% threshold\n", total, *threshold*100)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,149 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hpclog/internal/benchfmt"
+)
+
+func writeTrajectory(t *testing.T, runs ...benchfmt.Run) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "BENCH_t.json")
+	if err := benchfmt.WriteFile(path, &benchfmt.File{Runs: runs}); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func bench(ns float64, allocs int64) benchfmt.Result {
+	return benchfmt.Result{Iters: 10, NsOp: ns, AllocsOp: allocs}
+}
+
+// TestSyntheticRegressionFails is the acceptance case: a >15% ns/op
+// regression between two committed runs must exit non-zero.
+func TestSyntheticRegressionFails(t *testing.T) {
+	path := writeTrajectory(t,
+		benchfmt.Run{Label: "baseline", Benchmarks: map[string]benchfmt.Result{
+			"BenchmarkScan/heatmap":           bench(1000000, 500),
+			"BenchmarkLoad/mixed/oneshot/p99": bench(20e6, 0),
+		}},
+		benchfmt.Run{Label: "candidate", Benchmarks: map[string]benchfmt.Result{
+			"BenchmarkScan/heatmap":           bench(1200000, 500), // +20% ns/op
+			"BenchmarkLoad/mixed/oneshot/p99": bench(20e6, 0),
+		}},
+	)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{path}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "BenchmarkScan/heatmap") {
+		t.Fatalf("regression not named in output: %s", stdout.String())
+	}
+}
+
+// TestP99LatencyRegressionFails: load-run p99 keys are ns_op, so tail
+// latency regressions gate through the same rule.
+func TestP99LatencyRegressionFails(t *testing.T) {
+	path := writeTrajectory(t,
+		benchfmt.Run{Label: "a", Benchmarks: map[string]benchfmt.Result{
+			"BenchmarkLoad/mixed/watch/p99": bench(5e6, 0),
+		}},
+		benchfmt.Run{Label: "b", Benchmarks: map[string]benchfmt.Result{
+			"BenchmarkLoad/mixed/watch/p99": bench(9e6, 0), // p99 5ms -> 9ms
+		}},
+	)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{path}, &stdout, &stderr); code != 1 {
+		t.Fatalf("p99 regression passed the gate (exit %d)", code)
+	}
+}
+
+func TestAllocRegressionFails(t *testing.T) {
+	path := writeTrajectory(t,
+		benchfmt.Run{Label: "a", Benchmarks: map[string]benchfmt.Result{
+			"BenchmarkIngest": bench(1000, 100),
+		}},
+		benchfmt.Run{Label: "b", Benchmarks: map[string]benchfmt.Result{
+			"BenchmarkIngest": bench(1000, 130), // +30% allocs
+		}},
+	)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{path}, &stdout, &stderr); code != 1 {
+		t.Fatalf("alloc regression passed the gate (exit %d)", code)
+	}
+}
+
+// TestImprovementAndDriftPass: faster runs and sub-threshold drift are
+// not regressions; tiny alloc baselines are exempt from the ratio rule.
+func TestImprovementAndDriftPass(t *testing.T) {
+	path := writeTrajectory(t,
+		benchfmt.Run{Label: "a", Benchmarks: map[string]benchfmt.Result{
+			"BenchmarkScan":  bench(1000000, 500),
+			"BenchmarkDrift": bench(1000000, 500),
+			"BenchmarkTiny":  bench(100, 2),
+		}},
+		benchfmt.Run{Label: "b", Benchmarks: map[string]benchfmt.Result{
+			"BenchmarkScan":  bench(400000, 100),  // big improvement
+			"BenchmarkDrift": bench(1100000, 550), // +10%: under threshold
+			"BenchmarkTiny":  bench(110, 3),       // +1 alloc on a 2-alloc baseline
+		}},
+	)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{path}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, want 0\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+}
+
+func TestExplicitLabels(t *testing.T) {
+	path := writeTrajectory(t,
+		benchfmt.Run{Label: "v1", Benchmarks: map[string]benchfmt.Result{"B": bench(100000, 0)}},
+		benchfmt.Run{Label: "v2", Benchmarks: map[string]benchfmt.Result{"B": bench(200000, 0)}},
+		benchfmt.Run{Label: "v3", Benchmarks: map[string]benchfmt.Result{"B": bench(100000, 0)}},
+	)
+	var stdout, stderr bytes.Buffer
+	// v1 -> v3: flat, passes even though v2 spiked.
+	if code := run([]string{"-old", "v1", "-new", "v3", path}, &stdout, &stderr); code != 0 {
+		t.Fatalf("v1->v3 exit %d, want 0", code)
+	}
+	// v1 -> v2: +100%, fails.
+	if code := run([]string{"-old", "v1", "-new", "v2", path}, &stdout, &stderr); code != 1 {
+		t.Fatal("v1->v2 regression passed")
+	}
+	// Unknown label is a usage error, not a pass.
+	if code := run([]string{"-old", "ghost", path}, &stdout, &stderr); code != 2 {
+		t.Fatal("unknown label did not fail")
+	}
+}
+
+func TestSingleRunPasses(t *testing.T) {
+	path := writeTrajectory(t,
+		benchfmt.Run{Label: "only", Benchmarks: map[string]benchfmt.Result{"B": bench(1000, 10)}},
+	)
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{path}, &stdout, &stderr); code != 0 {
+		t.Fatalf("single-run file failed the gate: %s", stderr.String())
+	}
+}
+
+func TestCommittedBaselinesPass(t *testing.T) {
+	// The actual committed trajectories must pass the gate `make ci` runs.
+	var paths []string
+	for _, name := range []string{"BENCH_scan.json", "BENCH_wal.json", "BENCH_filter.json", "BENCH_api.json"} {
+		p := filepath.Join("..", "..", name)
+		if _, err := os.Stat(p); err == nil {
+			paths = append(paths, p)
+		}
+	}
+	if len(paths) == 0 {
+		t.Skip("no committed BENCH files found")
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run(paths, &stdout, &stderr); code != 0 {
+		t.Fatalf("committed baselines fail the gate:\n%s%s", stdout.String(), stderr.String())
+	}
+}

@@ -10,155 +10,66 @@
 //	go test -run XXX -bench 'Scan' -benchmem -json . | benchjson -o BENCH_scan.json -label codec-v2
 //
 // The committed BENCH_*.json files give every future PR a recorded
-// baseline to prove regressions or improvements against; see `make
-// bench-json`.
+// baseline to prove regressions or improvements against (see `make
+// bench-json`), and cmd/benchdiff turns them into an enforced CI gate.
+// The file schema and the parsers live in internal/benchfmt.
 package main
 
 import (
-	"bufio"
-	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"regexp"
 	"runtime"
-	"strconv"
-	"strings"
 	"time"
+
+	"hpclog/internal/benchfmt"
 )
 
-// Result is one benchmark measurement.
-type Result struct {
-	Iters    int64   `json:"iters"`
-	NsOp     float64 `json:"ns_op"`
-	BOp      int64   `json:"b_op,omitempty"`
-	AllocsOp int64   `json:"allocs_op,omitempty"`
-	MBs      float64 `json:"mb_s,omitempty"`
-}
-
-// Run is one labeled benchmark session.
-type Run struct {
-	Label      string            `json:"label"`
-	Date       string            `json:"date"`
-	Go         string            `json:"go"`
-	Benchmarks map[string]Result `json:"benchmarks"`
-}
-
-// File is the trajectory document: runs in chronological append order.
-type File struct {
-	Runs []Run `json:"runs"`
-}
-
-// benchLine matches `BenchmarkX-8  123  456 ns/op [7.8 MB/s] [90 B/op] [12 allocs/op]`.
-var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(.*)$`)
-
-// testEvent is the subset of the `go test -json` event we need. Go
-// attributes a sub-benchmark's result line to the benchmark via the Test
-// field and emits ONLY the numbers in Output ("       5\t  123 ns/op..."),
-// so the parser must stitch the two back together; standalone full lines
-// (plain -bench output piped in, or top-level benchmarks) still parse as
-// they are.
-type testEvent struct {
-	Action string `json:"Action"`
-	Test   string `json:"Test"`
-	Output string `json:"Output"`
-}
-
-func parseLine(line string, out map[string]Result) {
-	m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
-	if m == nil {
-		return
-	}
-	r := Result{}
-	r.Iters, _ = strconv.ParseInt(m[2], 10, 64)
-	r.NsOp, _ = strconv.ParseFloat(m[3], 64)
-	for _, f := range strings.Split(m[4], "\t") {
-		f = strings.TrimSpace(f)
-		switch {
-		case strings.HasSuffix(f, " MB/s"):
-			r.MBs, _ = strconv.ParseFloat(strings.TrimSuffix(f, " MB/s"), 64)
-		case strings.HasSuffix(f, " B/op"):
-			r.BOp, _ = strconv.ParseInt(strings.TrimSuffix(f, " B/op"), 10, 64)
-		case strings.HasSuffix(f, " allocs/op"):
-			r.AllocsOp, _ = strconv.ParseInt(strings.TrimSuffix(f, " allocs/op"), 10, 64)
-		}
-	}
-	out[m[1]] = r
-}
-
 func main() {
-	outPath := flag.String("o", "", "output JSON file (merged in place)")
-	label := flag.String("label", "run", "label for this benchmark session")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// run is main with its plumbing injected, so the CI-gating behavior is
+// unit-testable (see main_test.go).
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	outPath := fs.String("o", "", "output JSON file (merged in place)")
+	label := fs.String("label", "run", "label for this benchmark session")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 	if *outPath == "" {
-		fmt.Fprintln(os.Stderr, "benchjson: -o is required")
-		os.Exit(2)
+		fmt.Fprintln(stderr, "benchjson: -o is required")
+		return 2
 	}
 
-	bench := make(map[string]Result)
-	sc := bufio.NewScanner(os.Stdin)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	for sc.Scan() {
-		line := sc.Text()
-		if strings.HasPrefix(line, "{") {
-			// `go test -json` stream: benchmark results arrive as output
-			// events, one line each.
-			var ev testEvent
-			if err := json.Unmarshal([]byte(line), &ev); err == nil && ev.Action == "output" {
-				out := ev.Output
-				if strings.HasPrefix(ev.Test, "Benchmark") && !strings.HasPrefix(strings.TrimSpace(out), "Benchmark") &&
-					strings.Contains(out, " ns/op") {
-					// Numbers-only result line of a sub-benchmark: re-attach
-					// the name Go moved into the Test field.
-					out = ev.Test + "\t" + strings.TrimSpace(out)
-				}
-				parseLine(out, bench)
-			}
-			continue
-		}
-		parseLine(line, bench)
-	}
-	if err := sc.Err(); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: read stdin: %v\n", err)
-		os.Exit(1)
+	bench, err := benchfmt.ParseStream(stdin)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchjson: read stdin: %v\n", err)
+		return 1
 	}
 	if len(bench) == 0 {
-		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results on stdin")
-		os.Exit(1)
+		fmt.Fprintln(stderr, "benchjson: no benchmark results on stdin")
+		return 1
 	}
 
-	var doc File
-	if data, err := os.ReadFile(*outPath); err == nil {
-		if err := json.Unmarshal(data, &doc); err != nil {
-			fmt.Fprintf(os.Stderr, "benchjson: %s exists but is not a trajectory file: %v\n", *outPath, err)
-			os.Exit(1)
-		}
+	doc, err := benchfmt.ReadFile(*outPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 1
 	}
-	run := Run{
+	doc.AddRun(benchfmt.Run{
 		Label:      *label,
 		Date:       time.Now().UTC().Format("2006-01-02"),
 		Go:         runtime.Version(),
 		Benchmarks: bench,
+	})
+	if err := benchfmt.WriteFile(*outPath, doc); err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 1
 	}
-	replaced := false
-	for i := range doc.Runs {
-		if doc.Runs[i].Label == *label {
-			doc.Runs[i] = run
-			replaced = true
-			break
-		}
-	}
-	if !replaced {
-		doc.Runs = append(doc.Runs, run)
-	}
-	data, err := json.MarshalIndent(&doc, "", "  ")
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
-	}
-	if err := os.WriteFile(*outPath, append(data, '\n'), 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
-	}
-	fmt.Printf("benchjson: wrote %d benchmarks to %s (run %q)\n", len(bench), *outPath, *label)
+	fmt.Fprintf(stdout, "benchjson: wrote %d benchmarks to %s (run %q)\n", len(bench), *outPath, *label)
+	return 0
 }

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hpclog/internal/benchfmt"
+)
+
+// jsonStream renders a `go test -json` event stream the way Go emits
+// benchmark results: the sub-benchmark's name travels in the Test field
+// while the Output line carries only the numbers.
+func jsonStream() string {
+	lines := []string{
+		`{"Action":"start","Package":"hpclog"}`,
+		`{"Action":"output","Package":"hpclog","Output":"goos: linux\n"}`,
+		// Top-level benchmark: full result line in Output, no Test field.
+		`{"Action":"output","Package":"hpclog","Output":"BenchmarkEncodeTS-8   \t 8983425\t       133.5 ns/op\t      24 B/op\t       1 allocs/op\n"}`,
+		// Sub-benchmark: name in Test, numbers-only Output.
+		`{"Action":"run","Package":"hpclog","Test":"BenchmarkAPIQuery/oneshot"}`,
+		`{"Action":"output","Package":"hpclog","Test":"BenchmarkAPIQuery/oneshot","Output":"BenchmarkAPIQuery/oneshot\n"}`,
+		`{"Action":"output","Package":"hpclog","Test":"BenchmarkAPIQuery/oneshot","Output":"    5\t 206235627 ns/op\t67140945 B/op\t  514974 allocs/op\n"}`,
+		// Sub-benchmark with MB/s.
+		`{"Action":"output","Package":"hpclog","Test":"BenchmarkWALAppend/nosync","Output":"  651434\t      3624 ns/op\t         70.64 MB/s\t    1312 B/op\n"}`,
+		// Noise that must not parse: pass/fail events, log output.
+		`{"Action":"output","Package":"hpclog","Test":"BenchmarkAPIQuery/oneshot","Output":"--- BENCH: BenchmarkAPIQuery/oneshot\n"}`,
+		`{"Action":"pass","Package":"hpclog"}`,
+	}
+	return strings.Join(lines, "\n") + "\n"
+}
+
+func TestParseStreamGoTestJSON(t *testing.T) {
+	bench, err := benchfmt.ParseStream(strings.NewReader(jsonStream()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bench) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(bench), bench)
+	}
+	top := bench["BenchmarkEncodeTS-8"]
+	if top.Iters != 8983425 || top.NsOp != 133.5 || top.BOp != 24 || top.AllocsOp != 1 {
+		t.Fatalf("top-level benchmark parsed as %+v", top)
+	}
+	sub := bench["BenchmarkAPIQuery/oneshot"]
+	if sub.Iters != 5 || sub.NsOp != 206235627 || sub.BOp != 67140945 || sub.AllocsOp != 514974 {
+		t.Fatalf("sub-benchmark parsed as %+v", sub)
+	}
+	wal := bench["BenchmarkWALAppend/nosync"]
+	if wal.NsOp != 3624 || wal.MBs != 70.64 || wal.BOp != 1312 {
+		t.Fatalf("MB/s benchmark parsed as %+v", wal)
+	}
+}
+
+func TestParseStreamPlainText(t *testing.T) {
+	plain := `goos: linux
+BenchmarkScanParallel/heatmap-8         	     100	  11788115 ns/op	  500 B/op	       5 allocs/op
+PASS
+`
+	bench, err := benchfmt.ParseStream(strings.NewReader(plain))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := bench["BenchmarkScanParallel/heatmap-8"]
+	if !ok || r.Iters != 100 || r.NsOp != 11788115 || r.AllocsOp != 5 {
+		t.Fatalf("plain-text benchmark parsed as %+v (ok=%v)", r, ok)
+	}
+}
+
+// TestRunRecordsLabeledRuns drives the command end to end: two sessions
+// with distinct labels append two runs; re-recording an existing label
+// replaces that run in place and leaves the other untouched.
+func TestRunRecordsLabeledRuns(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_test.json")
+	record := func(label, stream string) {
+		t.Helper()
+		var stdout, stderr bytes.Buffer
+		code := run([]string{"-o", out, "-label", label}, strings.NewReader(stream), &stdout, &stderr)
+		if code != 0 {
+			t.Fatalf("run(%s) exited %d: %s", label, code, stderr.String())
+		}
+	}
+	record("baseline", jsonStream())
+	record("tuned", "BenchmarkAPIQuery/oneshot 10 100000000 ns/op\n")
+
+	doc, err := benchfmt.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Runs) != 2 || doc.Runs[0].Label != "baseline" || doc.Runs[1].Label != "tuned" {
+		t.Fatalf("runs = %+v", doc.Runs)
+	}
+	if doc.Runs[1].Benchmarks["BenchmarkAPIQuery/oneshot"].NsOp != 100000000 {
+		t.Fatalf("tuned run parsed as %+v", doc.Runs[1].Benchmarks)
+	}
+
+	// Replace the baseline in place: still two runs, same order, new data.
+	record("baseline", "BenchmarkEncodeTS-8 1000 42.0 ns/op\n")
+	doc, err = benchfmt.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Runs) != 2 {
+		t.Fatalf("re-recording a label duplicated runs: %d", len(doc.Runs))
+	}
+	if got := doc.Runs[0].Benchmarks["BenchmarkEncodeTS-8"].NsOp; got != 42.0 {
+		t.Fatalf("baseline not replaced: ns_op %v", got)
+	}
+	if len(doc.Runs[0].Benchmarks) != 1 {
+		t.Fatalf("replaced run kept stale benchmarks: %+v", doc.Runs[0].Benchmarks)
+	}
+}
+
+func TestRunRefusesDamagedTrajectory(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_bad.json")
+	if err := writeFile(out, "{not json"); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-o", out, "-label", "x"},
+		strings.NewReader("BenchmarkX 1 1.0 ns/op\n"), &stdout, &stderr)
+	if code == 0 {
+		t.Fatal("damaged trajectory file was overwritten")
+	}
+}
+
+func TestRunNoResultsFails(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-o", filepath.Join(t.TempDir(), "o.json"), "-label", "x"},
+		strings.NewReader("no benchmarks here\n"), &stdout, &stderr)
+	if code == 0 {
+		t.Fatal("empty stdin should fail")
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

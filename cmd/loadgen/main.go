@@ -1,0 +1,301 @@
+// Command loadgen is the open-loop load harness for the hpclog v1
+// server: it drives configurable mixes of ingest, query, pagination,
+// streaming, CQL, and watch traffic through the public SDK at a fixed
+// offered arrival rate, records HDR latency percentiles per traffic
+// class, and renders experiment grids as CSV plus Go-benchmark lines for
+// the BENCH_load.json trajectory.
+//
+//	loadgen -smoke -selfhost                 # built-in CI smoke scenario
+//	loadgen -grid experiments.json -selfhost # reproducible experiment grid
+//	loadgen -target http://host:9090 -rate 500 -duration 30 -watchers 100
+//
+// With -selfhost (or no -target) loadgen stands up an in-process server
+// on a loopback port, sized so the largest scenario's watcher count fits
+// the watch limiter; with -target it drives a live deployment. Bench
+// output (-bench) pipes into cmd/benchjson, and the recorded percentiles
+// are gated by cmd/benchdiff like any other benchmark.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
+	"strconv"
+	"strings"
+
+	"hpclog/internal/compute"
+	"hpclog/internal/ingest"
+	"hpclog/internal/load"
+	"hpclog/internal/query"
+	"hpclog/internal/server"
+	"hpclog/internal/store"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// selfhosted is an in-process v1 server on a loopback port.
+type selfhosted struct {
+	db  *store.DB
+	srv *server.Server
+	hs  *http.Server
+	url string
+}
+
+// selfhost stands up an empty in-process server. maxWatchers sizes the
+// watch limiter so large subscription scenarios are admitted instead of
+// rejected at the door.
+func selfhost(maxWatchers int) (*selfhosted, error) {
+	db, err := store.OpenDurable(store.Config{Nodes: 8, RF: 2, VNodes: 32, FlushThreshold: 1 << 15})
+	if err != nil {
+		return nil, err
+	}
+	if err := ingest.Bootstrap(db, 8); err != nil {
+		db.Close()
+		return nil, err
+	}
+	comp := compute.NewEngine(compute.Config{Workers: db.NodeIDs(), Threads: 2})
+	eng := query.NewWithOptions(db, comp, query.Options{CacheSize: -1})
+	// Long-lived subscriptions plus slack for transient watch-class ops.
+	watchLimit := 256
+	if maxWatchers+256 > watchLimit {
+		watchLimit = maxWatchers + 256
+	}
+	srv := server.NewWithConfig(eng, db, comp, server.Config{WatchInFlight: watchLimit})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		srv.Close()
+		db.Close()
+		return nil, err
+	}
+	hs := &http.Server{Handler: srv}
+	go hs.Serve(ln)
+	return &selfhosted{db: db, srv: srv, hs: hs, url: "http://" + ln.Addr().String()}, nil
+}
+
+func (s *selfhosted) close() {
+	s.srv.Close()
+	s.hs.Close()
+	s.db.Close()
+}
+
+// parseMix parses "-mix ingest=4,oneshot=1" into a weight map.
+func parseMix(spec string) (map[string]float64, error) {
+	mix := map[string]float64{}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("mix entry %q is not class=weight", part)
+		}
+		w, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return nil, fmt.Errorf("mix entry %q: %w", part, err)
+		}
+		mix[strings.TrimSpace(k)] = w
+	}
+	return mix, nil
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		target   = fs.String("target", "", "base URL of a live server; empty self-hosts one in-process")
+		self     = fs.Bool("selfhost", false, "stand up an in-process server (implied when -target is empty)")
+		gridPath = fs.String("grid", "", "experiments.json grid file (scenarios × repeats)")
+		smoke    = fs.Bool("smoke", false, "run the built-in CI smoke scenario")
+
+		name        = fs.String("name", "adhoc", "ad-hoc scenario name")
+		duration    = fs.Float64("duration", 5, "ad-hoc run length, seconds")
+		rate        = fs.Float64("rate", 100, "ad-hoc offered arrival rate, requests/second")
+		clients     = fs.Int("clients", 16, "ad-hoc SDK client pool size")
+		watchers    = fs.Int("watchers", 0, "ad-hoc long-lived watch subscriptions")
+		mixSpec     = fs.String("mix", "", "ad-hoc traffic mix, e.g. ingest=4,oneshot=1,watch=1")
+		seed        = fs.Int64("seed", 1, "ad-hoc arrival-mix RNG seed")
+		outstanding = fs.Int("max-outstanding", 0, "ad-hoc in-flight request cap (0 = default 4096)")
+		repeats     = fs.Int("repeats", 1, "repeats for -smoke and ad-hoc runs (grids carry their own)")
+
+		csvPath    = fs.String("csv", "", "write per-class experiment rows to this CSV file")
+		benchPath  = fs.String("bench", "", `write Go-benchmark percentile lines here ("-" = stdout, for cmd/benchjson)`)
+		profileDir = fs.String("profile", "", "write per-run goroutine and heap pprof profiles into this directory")
+		maxErrRate = fs.Float64("max-error-rate", -1, "exit 1 when (errors+watcher errors)/attempted ops exceeds this fraction")
+		quiet      = fs.Bool("q", false, "suppress per-run summaries")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	// Assemble the scenario list.
+	var scenarios []load.Scenario
+	runRepeats := *repeats
+	switch {
+	case *gridPath != "":
+		g, err := load.LoadGrid(*gridPath)
+		if err != nil {
+			fmt.Fprintln(stderr, "loadgen:", err)
+			return 2
+		}
+		scenarios, runRepeats = g.Scenarios, g.Repeats
+	case *smoke:
+		scenarios = []load.Scenario{load.Smoke()}
+	default:
+		s := load.Scenario{
+			Name: *name, DurationS: *duration, Rate: *rate,
+			Clients: *clients, Watchers: *watchers, Seed: *seed,
+			MaxOutstanding: *outstanding,
+		}
+		if *mixSpec != "" {
+			mix, err := parseMix(*mixSpec)
+			if err != nil {
+				fmt.Fprintln(stderr, "loadgen:", err)
+				return 2
+			}
+			s.Mix = mix
+		}
+		scenarios = []load.Scenario{s}
+	}
+	if runRepeats <= 0 {
+		runRepeats = 1
+	}
+
+	// Resolve the target: a live server or a self-hosted one.
+	base := *target
+	if base == "" || *self {
+		maxWatchers := 0
+		for _, s := range scenarios {
+			if s.Watchers > maxWatchers {
+				maxWatchers = s.Watchers
+			}
+		}
+		sh, err := selfhost(maxWatchers)
+		if err != nil {
+			fmt.Fprintln(stderr, "loadgen: selfhost:", err)
+			return 2
+		}
+		defer sh.close()
+		base = sh.url
+		if !*quiet {
+			fmt.Fprintf(stderr, "loadgen: self-hosted server at %s (watch limit sized for %d watchers)\n", base, maxWatchers)
+		}
+	}
+
+	// Run the grid.
+	var reports []*load.Report
+	var errOps, attempted int64
+	for _, s := range scenarios {
+		for rep := 0; rep < runRepeats; rep++ {
+			r := &load.Runner{Target: base, Scenario: s, Repeat: rep}
+			if !*quiet {
+				r.Logf = func(format string, a ...any) {
+					fmt.Fprintf(stderr, "loadgen: "+format+"\n", a...)
+				}
+			}
+			report, err := r.Run(context.Background())
+			if err != nil {
+				fmt.Fprintf(stderr, "loadgen: scenario %s repeat %d: %v\n", s.Name, rep, err)
+				return 2
+			}
+			reports = append(reports, report)
+			if !*quiet {
+				load.Summarize(stderr, report)
+			}
+			errOps += report.ErrorTotal() + report.WatcherErrs
+			attempted += report.CompletedTotal() + report.ErrorTotal()
+			if *profileDir != "" {
+				if err := writeProfiles(*profileDir, report); err != nil {
+					fmt.Fprintln(stderr, "loadgen: profiles:", err)
+					return 2
+				}
+			}
+		}
+	}
+
+	// Render outputs.
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err == nil {
+			err = load.WriteCSV(f, reports)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(stderr, "loadgen: csv:", err)
+			return 2
+		}
+	}
+	if *benchPath != "" {
+		out := stdout
+		var f *os.File
+		if *benchPath != "-" {
+			var err error
+			if f, err = os.Create(*benchPath); err != nil {
+				fmt.Fprintln(stderr, "loadgen: bench:", err)
+				return 2
+			}
+			out = f
+		}
+		err := load.WriteBenchLines(out, reports)
+		if f != nil {
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(stderr, "loadgen: bench:", err)
+			return 2
+		}
+	}
+
+	// The CI gate: a smoke run that errors its way through traffic fails
+	// loudly instead of recording garbage percentiles.
+	if *maxErrRate >= 0 && attempted > 0 {
+		rate := float64(errOps) / float64(attempted)
+		if rate > *maxErrRate {
+			fmt.Fprintf(stderr, "loadgen: FAIL error rate %.4f > %.4f (%d errored of %d attempted)\n",
+				rate, *maxErrRate, errOps, attempted)
+			return 1
+		}
+		if !*quiet {
+			fmt.Fprintf(stderr, "loadgen: error rate %.4f within %.4f\n", rate, *maxErrRate)
+		}
+	}
+	return 0
+}
+
+// writeProfiles snapshots goroutine and heap profiles after a run, named
+// by scenario and repeat.
+func writeProfiles(dir string, rep *load.Report) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, kind := range []string{"goroutine", "heap"} {
+		p := pprof.Lookup(kind)
+		if p == nil {
+			continue
+		}
+		f, err := os.Create(filepath.Join(dir, fmt.Sprintf("%s-r%d-%s.pprof", rep.Scenario, rep.Repeat, kind)))
+		if err != nil {
+			return err
+		}
+		err = p.WriteTo(f, 0)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

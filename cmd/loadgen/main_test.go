@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hpclog/internal/benchfmt"
+)
+
+// TestSmokeSelfhost: the exact invocation `make ci` uses — built-in
+// smoke scenario against a self-hosted server with the error-rate gate —
+// must pass and emit parseable bench lines and a CSV.
+func TestSmokeSelfhost(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration smoke, skipped in -short")
+	}
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "out.csv")
+	bench := filepath.Join(dir, "bench.txt")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-smoke", "-selfhost", "-q",
+		"-csv", csv, "-bench", bench,
+		"-max-error-rate", "0.02",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d\nstderr: %s", code, stderr.String())
+	}
+
+	benchData, err := os.ReadFile(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed := map[string]benchfmt.Result{}
+	for _, line := range strings.Split(string(benchData), "\n") {
+		benchfmt.ParseLine(line, parsed)
+	}
+	if len(parsed) == 0 {
+		t.Fatalf("no bench lines:\n%s", benchData)
+	}
+	for name := range parsed {
+		if !strings.HasPrefix(name, "BenchmarkLoad/smoke/") {
+			t.Fatalf("unexpected bench name %q", name)
+		}
+	}
+
+	csvData, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(csvData)), "\n")
+	if len(lines) < 2 || !strings.HasPrefix(lines[0], "scenario,repeat,class") {
+		t.Fatalf("csv malformed:\n%s", csvData)
+	}
+}
+
+// TestGridMode: a two-scenario grid file runs every scenario × repeat
+// and pools repeats in the bench output.
+func TestGridMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration smoke, skipped in -short")
+	}
+	dir := t.TempDir()
+	grid := filepath.Join(dir, "experiments.json")
+	if err := os.WriteFile(grid, []byte(`{
+	  "repeats": 2,
+	  "scenarios": [
+	    {"name": "tiny", "duration_s": 0.4, "rate": 60, "clients": 4,
+	     "mix": {"ingest": 3, "oneshot": 1}},
+	    {"name": "watchy", "duration_s": 0.4, "rate": 60, "clients": 4,
+	     "watchers": 6, "mix": {"ingest": 1}}
+	  ]
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-grid", grid, "-q", "-bench", "-", "-max-error-rate", "0.02"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d\nstderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"BenchmarkLoad/tiny/ingest/p99", "BenchmarkLoad/tiny/oneshot/p50", "BenchmarkLoad/watchy/ingest/p999"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in bench output:\n%s", want, out)
+		}
+	}
+	// Repeats pool into one line set: exactly 3 lines for watchy's single class.
+	if n := strings.Count(out, "BenchmarkLoad/watchy/"); n != 3 {
+		t.Fatalf("watchy emitted %d lines, want 3 pooled:\n%s", n, out)
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-grid", "/nonexistent.json"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("missing grid file: exit %d", code)
+	}
+	if code := run([]string{"-mix", "ingest"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("bad mix spec: exit %d", code)
+	}
+	if code := run([]string{"-mix", "nope=1", "-duration", "0.1"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("unknown class: exit %d", code)
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	mix, err := parseMix("ingest=4, watch=0.5,cql=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mix["ingest"] != 4 || mix["watch"] != 0.5 || mix["cql"] != 1 {
+		t.Fatalf("mix %+v", mix)
+	}
+	if _, err := parseMix("a=b"); err == nil {
+		t.Fatal("non-numeric weight accepted")
+	}
+}

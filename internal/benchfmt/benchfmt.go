@@ -1,0 +1,173 @@
+// Package benchfmt defines the committed BENCH_*.json perf-trajectory
+// schema and the parsers that feed it. A trajectory file holds labeled
+// benchmark runs in chronological append order; cmd/benchjson records
+// runs into it from `go test -bench` output (plain text or the
+// `go test -json` event stream), cmd/loadgen emits synthetic
+// benchmark-formatted lines for load-harness percentiles, and
+// cmd/benchdiff compares two runs and gates CI on regressions.
+//
+// The schema lives here — in exactly one place — so the producer and the
+// gate can never drift apart.
+package benchfmt
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Iters    int64   `json:"iters"`
+	NsOp     float64 `json:"ns_op"`
+	BOp      int64   `json:"b_op,omitempty"`
+	AllocsOp int64   `json:"allocs_op,omitempty"`
+	MBs      float64 `json:"mb_s,omitempty"`
+}
+
+// Run is one labeled benchmark session.
+type Run struct {
+	Label      string            `json:"label"`
+	Date       string            `json:"date"`
+	Go         string            `json:"go"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+// File is the trajectory document: runs in chronological append order.
+type File struct {
+	Runs []Run `json:"runs"`
+}
+
+// FindRun returns the run with the given label, or nil.
+func (f *File) FindRun(label string) *Run {
+	for i := range f.Runs {
+		if f.Runs[i].Label == label {
+			return &f.Runs[i]
+		}
+	}
+	return nil
+}
+
+// AddRun appends run, replacing any existing run with the same label in
+// place (so re-recording a baseline updates it rather than duplicating).
+func (f *File) AddRun(run Run) {
+	if prev := f.FindRun(run.Label); prev != nil {
+		*prev = run
+		return
+	}
+	f.Runs = append(f.Runs, run)
+}
+
+// SortedNames returns a run's benchmark names in lexical order, for
+// deterministic reports.
+func (r *Run) SortedNames() []string {
+	names := make([]string, 0, len(r.Benchmarks))
+	for name := range r.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ReadFile loads a trajectory document. A missing file returns an empty
+// document (the first recording creates it); a present-but-unparseable
+// file is an error so a damaged baseline cannot be silently overwritten.
+func ReadFile(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &File{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var doc File
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s exists but is not a trajectory file: %w", path, err)
+	}
+	return &doc, nil
+}
+
+// WriteFile stores the document as indented JSON with a trailing newline
+// (the committed form).
+func WriteFile(path string, doc *File) error {
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// benchLine matches `BenchmarkX-8  123  456 ns/op [7.8 MB/s] [90 B/op] [12 allocs/op]`.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([\d.]+) ns/op(.*)$`)
+
+// ParseLine parses one benchmark result line into out. Non-result lines
+// are ignored.
+func ParseLine(line string, out map[string]Result) {
+	m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+	if m == nil {
+		return
+	}
+	r := Result{}
+	r.Iters, _ = strconv.ParseInt(m[2], 10, 64)
+	r.NsOp, _ = strconv.ParseFloat(m[3], 64)
+	for _, f := range strings.Split(m[4], "\t") {
+		f = strings.TrimSpace(f)
+		switch {
+		case strings.HasSuffix(f, " MB/s"):
+			r.MBs, _ = strconv.ParseFloat(strings.TrimSuffix(f, " MB/s"), 64)
+		case strings.HasSuffix(f, " B/op"):
+			r.BOp, _ = strconv.ParseInt(strings.TrimSuffix(f, " B/op"), 10, 64)
+		case strings.HasSuffix(f, " allocs/op"):
+			r.AllocsOp, _ = strconv.ParseInt(strings.TrimSuffix(f, " allocs/op"), 10, 64)
+		}
+	}
+	out[m[1]] = r
+}
+
+// testEvent is the subset of the `go test -json` event we need. Go
+// attributes a sub-benchmark's result line to the benchmark via the Test
+// field and emits ONLY the numbers in Output ("       5\t  123 ns/op..."),
+// so the parser must stitch the two back together; standalone full lines
+// (plain -bench output piped in, or top-level benchmarks) still parse as
+// they are.
+type testEvent struct {
+	Action string `json:"Action"`
+	Test   string `json:"Test"`
+	Output string `json:"Output"`
+}
+
+// ParseStream reads benchmark results from r — either plain `go test
+// -bench` text or the `go test -json` event stream (the two may be
+// mixed) — and returns them by benchmark name.
+func ParseStream(r io.Reader) (map[string]Result, error) {
+	bench := make(map[string]Result)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "{") {
+			// `go test -json` stream: benchmark results arrive as output
+			// events, one line each.
+			var ev testEvent
+			if err := json.Unmarshal([]byte(line), &ev); err == nil && ev.Action == "output" {
+				out := ev.Output
+				if strings.HasPrefix(ev.Test, "Benchmark") && !strings.HasPrefix(strings.TrimSpace(out), "Benchmark") &&
+					strings.Contains(out, " ns/op") {
+					// Numbers-only result line of a sub-benchmark: re-attach
+					// the name Go moved into the Test field.
+					out = ev.Test + "\t" + strings.TrimSpace(out)
+				}
+				ParseLine(out, bench)
+			}
+			continue
+		}
+		ParseLine(line, bench)
+	}
+	return bench, sc.Err()
+}

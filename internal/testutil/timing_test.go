@@ -1,0 +1,21 @@
+package testutil
+
+import (
+	"testing"
+	"time"
+)
+
+// The scale is cached process-wide (sync.Once), so this test pins the
+// default path only; the parse-and-clamp rules are covered on the
+// unexported value.
+func TestScaledDefault(t *testing.T) {
+	if got := Scaled(25 * time.Millisecond); got != Scaled(25*time.Millisecond) {
+		t.Fatal("Scaled not stable")
+	}
+	if TimingScale() < 1 {
+		t.Fatalf("scale %f below 1", TimingScale())
+	}
+	if got := Scaled(10 * time.Millisecond); got < 10*time.Millisecond {
+		t.Fatalf("Scaled shrank the bound: %v", got)
+	}
+}
