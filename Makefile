@@ -11,7 +11,7 @@ BENCH_LABEL ?= dev
 
 .PHONY: ci vet build test test-fresh race bench bench-wal bench-api \
 	bench-json bench-smoke alloc-guard fmt-check test-wire \
-	bench-diff load-smoke bench-load
+	bench-diff load-smoke bench-load cluster-smoke
 
 # alloc-guard runs inside the plain (non-race) test pass, but is also
 # listed explicitly so the allocation budgets cannot rot out of CI.
@@ -20,8 +20,9 @@ BENCH_LABEL ?= dev
 # filtered test invocation cannot silently drop them.
 # bench-diff gates the committed perf trajectories; load-smoke drives a
 # short open-loop mixed scenario through the SDK against a self-hosted
-# server and fails on errors.
-ci: vet build race test-fresh alloc-guard test-wire bench-smoke bench-diff load-smoke
+# server and fails on errors; cluster-smoke proves the multi-process
+# replicated cluster survives a kill -9.
+ci: vet build race test-fresh alloc-guard test-wire bench-smoke bench-diff load-smoke cluster-smoke
 
 # Perf-regression gate: within every committed BENCH_*.json trajectory,
 # compare the oldest recorded run against the newest and fail on >15%
@@ -39,6 +40,14 @@ bench-diff:
 # above 2% fails CI.
 load-smoke:
 	$(GO) run ./cmd/loadgen -smoke -selfhost -q -max-error-rate 0.02
+
+# Multi-process cluster smoke: build cmd/hpclogd, spawn a 3-process RF=3
+# cluster on loopback ports, drive quorum writes and reads through the
+# public wire protocol, kill -9 one process mid-traffic (quorum must keep
+# acking), restart it, and assert its own replica converges to every
+# acked write.
+cluster-smoke:
+	HPCLOG_CLUSTER_SMOKE=1 $(GO) test -count=1 -run TestClusterProcessSmoke ./internal/dist/
 
 # Re-record the committed load-latency trajectory from the experiment
 # grid: scenarios × repeats from experiments.json, per-class p50/p99/p999

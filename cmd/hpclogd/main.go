@@ -1,0 +1,149 @@
+// Command hpclogd is one node of a multi-process hpclog cluster. Each
+// process owns a slice of the consistent-hash ring — its own commitlog and
+// segment files under -data-dir — and is configured with the same static
+// member list (-id plus -peers) on every node. Writes it coordinates
+// replicate to peer processes over /v1/replicate with quorum acks; reads
+// and queries scatter-gather over /v1/shard/*, so any node answers any
+// query with exactly the bytes a single-process server would produce.
+// Liveness is heartbeat-based: a peer missing -fail-after consecutive
+// probes is marked down (writes queue hints for it), and on its return
+// hinted handoff plus anti-entropy repair re-converge it.
+//
+// A 3-node cluster on one machine:
+//
+//	hpclogd -id a -listen :8081 -peers b=http://localhost:8082,c=http://localhost:8083 -data-dir /tmp/hpclog/a
+//	hpclogd -id b -listen :8082 -peers a=http://localhost:8081,c=http://localhost:8083 -data-dir /tmp/hpclog/b
+//	hpclogd -id c -listen :8083 -peers a=http://localhost:8081,b=http://localhost:8082 -data-dir /tmp/hpclog/c
+//
+// SIGINT/SIGTERM shut down gracefully: heartbeats stop, watch subscribers
+// drain, in-flight requests complete, then the storage engine closes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"hpclog/internal/dist"
+)
+
+// parsePeers parses "id=url,id=url" into a map.
+func parsePeers(s string) (map[string]string, error) {
+	peers := make(map[string]string)
+	if s == "" {
+		return peers, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, url, ok := strings.Cut(part, "=")
+		if !ok || id == "" || url == "" {
+			return nil, fmt.Errorf("bad -peers entry %q (want id=url)", part)
+		}
+		if _, dup := peers[id]; dup {
+			return nil, fmt.Errorf("duplicate peer id %q", id)
+		}
+		peers[id] = url
+	}
+	return peers, nil
+}
+
+func main() {
+	log.SetFlags(0)
+	var (
+		id        = flag.String("id", "", "this node's ring member id (required, unique per cluster)")
+		listen    = flag.String("listen", ":8081", "listen address")
+		advertise = flag.String("advertise", "", "base URL peers reach this node at (default derived from -listen)")
+		peersFlag = flag.String("peers", "", "comma-separated id=url list of every other member")
+		dataDir   = flag.String("data-dir", "", "durable storage directory for this node's shard (empty = in-memory)")
+		rf        = flag.Int("rf", 3, "replication factor (capped at member count)")
+		vnodes    = flag.Int("vnodes", 64, "virtual nodes per member")
+		machines  = flag.Int("machine-nodes", 1024, "bootstrap topology size (nodeinfos)")
+		threads   = flag.Int("threads", 2, "task slots per compute worker")
+		hbEvery   = flag.Duration("heartbeat-interval", 250*time.Millisecond, "peer probe period")
+		failAfter = flag.Int("fail-after", 3, "consecutive missed heartbeats before a peer is marked down")
+		rpcWait   = flag.Duration("rpc-timeout", 5*time.Second, "cluster-internal RPC timeout")
+		drainWait = flag.Duration("drain-timeout", 15*time.Second, "how long graceful shutdown waits for in-flight requests")
+	)
+	flag.Parse()
+	log.SetPrefix("hpclogd[" + *id + "]: ")
+
+	if *id == "" {
+		log.Fatal("-id is required")
+	}
+	peers, err := parsePeers(*peersFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	adv := *advertise
+	if adv == "" {
+		// ":8081" has no host — peers reach it via localhost; a full
+		// host:port listen address advertises as-is.
+		if strings.HasPrefix(*listen, ":") {
+			adv = "http://localhost" + *listen
+		} else {
+			adv = "http://" + *listen
+		}
+	}
+
+	node, err := dist.Open(dist.Config{
+		ID:                *id,
+		AdvertiseURL:      adv,
+		Peers:             peers,
+		RF:                *rf,
+		VNodes:            *vnodes,
+		DataDir:           *dataDir,
+		MachineNodes:      *machines,
+		Threads:           *threads,
+		HeartbeatInterval: *hbEvery,
+		FailAfter:         *failAfter,
+		RPCTimeout:        *rpcWait,
+		Logf:              log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer node.Close()
+
+	members := make([]string, 0, len(peers)+1)
+	members = append(members, *id)
+	for p := range peers {
+		members = append(members, p)
+	}
+	sort.Strings(members)
+	log.Printf("member %s of %v (rf=%d), serving on %s", *id, members, node.DB.Ring().ReplicationFactor(), *listen)
+
+	hs := &http.Server{Addr: *listen, Handler: node.Server}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: wake parked watch subscribers first so long-lived
+	// streams do not hold Shutdown open, drain in-flight requests, then
+	// (deferred) stop heartbeats and close the storage engine.
+	log.Printf("signal received, draining (timeout %v)...", *drainWait)
+	node.Server.Close()
+	shCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := hs.Shutdown(shCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("shutdown: %v", err)
+	}
+	log.Printf("drained; closing cluster node")
+}

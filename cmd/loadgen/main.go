@@ -8,12 +8,17 @@
 //	loadgen -smoke -selfhost                 # built-in CI smoke scenario
 //	loadgen -grid experiments.json -selfhost # reproducible experiment grid
 //	loadgen -target http://host:9090 -rate 500 -duration 30 -watchers 100
+//	loadgen -target http://n0:8081,http://n1:8082,http://n2:8083 -rate 500
 //
 // With -selfhost (or no -target) loadgen stands up an in-process server
 // on a loopback port, sized so the largest scenario's watcher count fits
-// the watch limiter; with -target it drives a live deployment. Bench
-// output (-bench) pipes into cmd/benchjson, and the recorded percentiles
-// are gated by cmd/benchdiff like any other benchmark.
+// the watch limiter; a scenario with "nodes": N > 1 gets an in-process
+// N-member replicated cluster instead, with the SDK client pool
+// round-robined across all coordinators. With -target it drives a live
+// deployment — a comma-separated list round-robins the pool across
+// cluster nodes the same way. Bench output (-bench) pipes into
+// cmd/benchjson, and the recorded percentiles are gated by cmd/benchdiff
+// like any other benchmark.
 package main
 
 import (
@@ -28,8 +33,10 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"hpclog/internal/compute"
+	"hpclog/internal/dist"
 	"hpclog/internal/ingest"
 	"hpclog/internal/load"
 	"hpclog/internal/query"
@@ -41,12 +48,23 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-// selfhosted is an in-process v1 server on a loopback port.
+// selfhosted is an in-process v1 deployment on loopback ports: either a
+// single server or an N-member replicated cluster, closed as one unit.
 type selfhosted struct {
-	db  *store.DB
-	srv *server.Server
-	hs  *http.Server
-	url string
+	db    *store.DB      // single-node only
+	srv   *server.Server // single-node only
+	nodes []*dist.Node   // cluster only
+	hs    []*http.Server
+	urls  []string
+}
+
+// watchLimit sizes the watch limiter: long-lived subscriptions plus
+// slack for transient watch-class ops.
+func watchLimit(maxWatchers int) int {
+	if maxWatchers+256 > 256 {
+		return maxWatchers + 256
+	}
+	return 256
 }
 
 // selfhost stands up an empty in-process server. maxWatchers sizes the
@@ -63,12 +81,7 @@ func selfhost(maxWatchers int) (*selfhosted, error) {
 	}
 	comp := compute.NewEngine(compute.Config{Workers: db.NodeIDs(), Threads: 2})
 	eng := query.NewWithOptions(db, comp, query.Options{CacheSize: -1})
-	// Long-lived subscriptions plus slack for transient watch-class ops.
-	watchLimit := 256
-	if maxWatchers+256 > watchLimit {
-		watchLimit = maxWatchers + 256
-	}
-	srv := server.NewWithConfig(eng, db, comp, server.Config{WatchInFlight: watchLimit})
+	srv := server.NewWithConfig(eng, db, comp, server.Config{WatchInFlight: watchLimit(maxWatchers)})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		srv.Close()
@@ -77,13 +90,111 @@ func selfhost(maxWatchers int) (*selfhosted, error) {
 	}
 	hs := &http.Server{Handler: srv}
 	go hs.Serve(ln)
-	return &selfhosted{db: db, srv: srv, hs: hs, url: "http://" + ln.Addr().String()}, nil
+	return &selfhosted{
+		db: db, srv: srv,
+		hs:   []*http.Server{hs},
+		urls: []string{"http://" + ln.Addr().String()},
+	}, nil
+}
+
+// selfhostCluster stands up an in-process n-member replicated cluster —
+// n dist nodes, each serving its own loopback listener — and waits until
+// every member sees every other member up, so the first arrivals don't
+// race the failure detector.
+func selfhostCluster(n, maxWatchers int) (*selfhosted, error) {
+	lns := make([]net.Listener, n)
+	ids := make([]string, n)
+	urls := make([]string, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			for j := 0; j < i; j++ {
+				lns[j].Close()
+			}
+			return nil, err
+		}
+		lns[i] = ln
+		ids[i] = fmt.Sprintf("n%d", i)
+		urls[i] = "http://" + ln.Addr().String()
+	}
+	sh := &selfhosted{urls: urls}
+	for i := 0; i < n; i++ {
+		peers := make(map[string]string, n-1)
+		for j := 0; j < n; j++ {
+			if j != i {
+				peers[ids[j]] = urls[j]
+			}
+		}
+		node, err := dist.Open(dist.Config{
+			ID:                ids[i],
+			AdvertiseURL:      urls[i],
+			Peers:             peers,
+			VNodes:            32,
+			MachineNodes:      8,
+			FlushThreshold:    1 << 15,
+			HeartbeatInterval: 100 * time.Millisecond,
+			ServerConfig:      server.Config{WatchInFlight: watchLimit(maxWatchers)},
+		})
+		if err != nil {
+			// Listeners not yet handed to a server must be closed by hand;
+			// sh.close() covers the ones already serving.
+			for j := i; j < n; j++ {
+				lns[j].Close()
+			}
+			sh.close()
+			return nil, err
+		}
+		hs := &http.Server{Handler: node.Server}
+		go hs.Serve(lns[i])
+		sh.nodes = append(sh.nodes, node)
+		sh.hs = append(sh.hs, hs)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		allUp := true
+		for _, node := range sh.nodes {
+			for _, m := range node.Status().Members {
+				if !m.Up {
+					allUp = false
+				}
+			}
+		}
+		if allUp {
+			return sh, nil
+		}
+		if time.Now().After(deadline) {
+			sh.close()
+			return nil, fmt.Errorf("self-hosted %d-node cluster never converged to all-up", n)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
 }
 
 func (s *selfhosted) close() {
-	s.srv.Close()
-	s.hs.Close()
-	s.db.Close()
+	if s.srv != nil {
+		s.srv.Close()
+	}
+	for _, hs := range s.hs {
+		hs.Close()
+	}
+	for _, node := range s.nodes {
+		node.Close()
+	}
+	if s.db != nil {
+		s.db.Close()
+	}
+}
+
+// splitTargets parses the -target flag: a comma-separated list of base
+// URLs (a cluster's coordinators), or empty for self-hosting.
+func splitTargets(spec string) []string {
+	var out []string
+	for _, t := range strings.Split(spec, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			out = append(out, t)
+		}
+	}
+	return out
 }
 
 // parseMix parses "-mix ingest=4,oneshot=1" into a weight map.
@@ -111,9 +222,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		target   = fs.String("target", "", "base URL of a live server; empty self-hosts one in-process")
-		self     = fs.Bool("selfhost", false, "stand up an in-process server (implied when -target is empty)")
+		target   = fs.String("target", "", "base URL(s) of a live deployment, comma-separated for a cluster; empty self-hosts in-process")
+		self     = fs.Bool("selfhost", false, "stand up an in-process deployment (implied when -target is empty)")
 		gridPath = fs.String("grid", "", "experiments.json grid file (scenarios × repeats)")
+		only     = fs.String("scenario", "", "run only the named scenario from the grid (comma-separated for several)")
 		smoke    = fs.Bool("smoke", false, "run the built-in CI smoke scenario")
 
 		name        = fs.String("name", "adhoc", "ad-hoc scenario name")
@@ -168,34 +280,82 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if runRepeats <= 0 {
 		runRepeats = 1
 	}
-
-	// Resolve the target: a live server or a self-hosted one.
-	base := *target
-	if base == "" || *self {
-		maxWatchers := 0
+	if *only != "" {
+		keep := map[string]bool{}
+		for _, n := range strings.Split(*only, ",") {
+			keep[strings.TrimSpace(n)] = true
+		}
+		var filtered []load.Scenario
 		for _, s := range scenarios {
-			if s.Watchers > maxWatchers {
-				maxWatchers = s.Watchers
+			if keep[s.Name] {
+				filtered = append(filtered, s)
 			}
 		}
-		sh, err := selfhost(maxWatchers)
-		if err != nil {
-			fmt.Fprintln(stderr, "loadgen: selfhost:", err)
+		if len(filtered) == 0 {
+			fmt.Fprintf(stderr, "loadgen: -scenario %s matched nothing in the grid\n", *only)
 			return 2
 		}
-		defer sh.close()
-		base = sh.url
-		if !*quiet {
-			fmt.Fprintf(stderr, "loadgen: self-hosted server at %s (watch limit sized for %d watchers)\n", base, maxWatchers)
+		scenarios = filtered
+	}
+
+	// Resolve targets per scenario: a live deployment serves every
+	// scenario as-is (comma-separated URLs round-robin a cluster), while
+	// self-hosting lazily stands up one in-process topology per distinct
+	// node count — single-node scenarios share one server, "nodes": 3
+	// scenarios share one 3-member cluster.
+	maxWatchers := 0
+	for _, s := range scenarios {
+		if s.Watchers > maxWatchers {
+			maxWatchers = s.Watchers
 		}
+	}
+	live := splitTargets(*target)
+	hosted := map[int]*selfhosted{}
+	defer func() {
+		for _, sh := range hosted {
+			sh.close()
+		}
+	}()
+	targetsFor := func(s load.Scenario) ([]string, error) {
+		if len(live) > 0 && !*self {
+			return live, nil
+		}
+		n := s.Nodes
+		if n <= 1 {
+			n = 1
+		}
+		if sh, ok := hosted[n]; ok {
+			return sh.urls, nil
+		}
+		var sh *selfhosted
+		var err error
+		if n == 1 {
+			sh, err = selfhost(maxWatchers)
+		} else {
+			sh, err = selfhostCluster(n, maxWatchers)
+		}
+		if err != nil {
+			return nil, err
+		}
+		hosted[n] = sh
+		if !*quiet {
+			fmt.Fprintf(stderr, "loadgen: self-hosted %d-node deployment at %s (watch limit sized for %d watchers)\n",
+				n, strings.Join(sh.urls, ","), maxWatchers)
+		}
+		return sh.urls, nil
 	}
 
 	// Run the grid.
 	var reports []*load.Report
 	var errOps, attempted int64
 	for _, s := range scenarios {
+		targets, err := targetsFor(s)
+		if err != nil {
+			fmt.Fprintln(stderr, "loadgen: selfhost:", err)
+			return 2
+		}
 		for rep := 0; rep < runRepeats; rep++ {
-			r := &load.Runner{Target: base, Scenario: s, Repeat: rep}
+			r := &load.Runner{Targets: targets, Scenario: s, Repeat: rep}
 			if !*quiet {
 				r.Logf = func(format string, a ...any) {
 					fmt.Fprintf(stderr, "loadgen: "+format+"\n", a...)

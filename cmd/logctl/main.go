@@ -27,6 +27,8 @@
 //	logctl profiles  [-type LUSTRE] -from ... -to ... (app profiles/exposure)
 //	logctl storage-stats                          (durable engine counters)
 //	logctl compact                                (flush + compact + WAL truncate)
+//	logctl cluster                                (ring layout, liveness,
+//	                 ownership shares, and replication lag via /v1/cluster)
 //
 // Exit codes distinguish failure classes: 1 = the server answered with an
 // error (the machine-readable code and HTTP status are printed), 2 = the
@@ -57,7 +59,7 @@ func main() {
 	server := flag.String("server", "http://localhost:8080", "analyticsd base URL")
 	flag.Parse()
 	if flag.NArg() < 1 {
-		usageExit("usage: logctl [-server URL] <types|heatmap|hist|dist|te|words|tfidf|events|runs|watch|placement|cql|rules|sequences|episodes|reliability|profiles|storage-stats|compact> [flags]")
+		usageExit("usage: logctl [-server URL] <types|heatmap|hist|dist|te|words|tfidf|events|runs|watch|placement|cql|rules|sequences|episodes|reliability|profiles|storage-stats|compact|cluster> [flags]")
 	}
 	cmd, args := flag.Arg(0), flag.Args()[1:]
 
@@ -258,6 +260,10 @@ func main() {
 		check(err)
 		fmt.Printf("compacted %d partitions\n", res.PartitionsCompacted)
 		printStorageStats(res.Storage)
+	case "cluster":
+		st, err := cli.ClusterStatus(ctx)
+		check(err)
+		printClusterStatus(st)
 	default:
 		usageExit(fmt.Sprintf("unknown subcommand %q", cmd))
 	}
@@ -337,6 +343,35 @@ func printStorageStats(st store.StorageStats) {
 	if st.MaintenanceErrors > 0 {
 		fmt.Printf("  WARNING:   %d background maintenance errors (compaction/WAL truncation failing — check disk)\n",
 			st.MaintenanceErrors)
+	}
+}
+
+// printClusterStatus renders the /v1/cluster answer: the answering
+// member, the ring's replication factor, and per-member liveness,
+// primary ownership share, replication lag (hints this process queues
+// toward the member), and last contact.
+func printClusterStatus(st api.ClusterStatus) {
+	fmt.Printf("cluster as seen by %s: %d members, rf=%d, clock=%d\n",
+		st.Self, len(st.Members), st.RF, st.WriteTS)
+	fmt.Printf("  %-12s %-6s %-5s %9s %7s %-9s %s\n",
+		"MEMBER", "WHERE", "STATE", "OWNERSHIP", "HINTS", "LAST SEEN", "URL")
+	for _, m := range st.Members {
+		where, state := "remote", "down"
+		if m.Local {
+			where = "local"
+		}
+		if m.Up {
+			state = "up"
+		}
+		seen := "-"
+		if m.Local {
+			seen = "self"
+		} else if m.LastSeenUnixMS > 0 {
+			ago := time.Since(time.UnixMilli(m.LastSeenUnixMS)).Round(time.Millisecond)
+			seen = ago.String() + " ago"
+		}
+		fmt.Printf("  %-12s %-6s %-5s %8.1f%% %7d %-9s %s\n",
+			m.ID, where, state, m.Share*100, m.PendingHints, seen, m.URL)
 	}
 }
 

@@ -83,6 +83,11 @@ func (c ErrorCode) HTTPStatus() int {
 		return http.StatusRequestEntityTooLarge
 	case CodeUnavailable:
 		return http.StatusServiceUnavailable
+	case CodeWrongShard:
+		// The peer addressed a shard this process does not host: its view
+		// of the ring is stale or misconfigured. 421 tells it the request
+		// was sent to the wrong server rather than blaming the payload.
+		return http.StatusMisdirectedRequest
 	default:
 		return http.StatusInternalServerError
 	}

@@ -80,7 +80,18 @@ func (r *Ring) AddNode(id string) {
 		t := HashKey(fmt.Sprintf("%s#%d", id, v))
 		r.ring = append(r.ring, vnode{token: t, owner: id})
 	}
-	sort.Slice(r.ring, func(i, j int) bool { return r.ring[i].token < r.ring[j].token })
+	// Total order (token, owner): two vnodes hashing to the same token —
+	// astronomically rare but possible — would otherwise be ordered by
+	// sort.Slice's unstable whim, and two rings built with different join
+	// orders could disagree on replica sets for keys landing on the
+	// collision. Every process in a cluster must compute identical
+	// placement from the same membership, whatever order nodes joined in.
+	sort.Slice(r.ring, func(i, j int) bool {
+		if r.ring[i].token != r.ring[j].token {
+			return r.ring[i].token < r.ring[j].token
+		}
+		return r.ring[i].owner < r.ring[j].owner
+	})
 }
 
 // RemoveNode removes a node and all its vnodes from the ring.
@@ -108,6 +119,14 @@ func (r *Ring) SetUp(id string, up bool) {
 	if _, ok := r.up[id]; ok {
 		r.up[id] = up
 	}
+}
+
+// IsMember reports whether the node has joined the ring, up or down.
+func (r *Ring) IsMember(id string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, ok := r.up[id]
+	return ok
 }
 
 // IsUp reports whether the node is a member and currently marked up.
@@ -177,6 +196,32 @@ func (r *Ring) Primary(key string) string {
 		return ""
 	}
 	return reps[0]
+}
+
+// Ownership returns, per member node, the fraction of the token space it
+// owns as primary: the sum of the arcs ending at each of its vnodes. The
+// fractions sum to 1 on a non-empty ring. This is the ring-balance figure
+// surfaced by the /v1/cluster status endpoint.
+func (r *Ring) Ownership() map[string]float64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]float64, len(r.up))
+	for id := range r.up {
+		out[id] = 0
+	}
+	if len(r.ring) == 0 {
+		return out
+	}
+	const whole = float64(1<<63) * 2 // 2^64 as float64
+	for i, v := range r.ring {
+		prev := r.ring[(i+len(r.ring)-1)%len(r.ring)].token
+		arc := uint64(v.token) - uint64(prev) // wraps correctly for i==0
+		if len(r.ring) == 1 {
+			arc = ^uint64(0)
+		}
+		out[v.owner] += float64(arc) / whole
+	}
+	return out
 }
 
 // LiveReplicas returns the replicas for key that are currently up.

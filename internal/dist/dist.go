@@ -1,0 +1,409 @@
+// Package dist is the multi-process cluster runtime: it turns the
+// in-process ring/replication substrate (internal/store, internal/cluster)
+// into a real distributed system. Each hpclogd process hosts exactly one
+// ring member — its own slice of the consistent-hash ring with its own
+// commitlog and segment files — and reaches every peer member through the
+// hpclog/client SDK: writes it coordinates replicate over /v1/replicate
+// with W-of-RF quorum acks, reads and scans of foreign shards
+// scatter-gather over /v1/shard/*, and the unchanged compute/query stack
+// on top re-merges them deterministically, so a query answered by any
+// node is byte-identical to the single-process answer.
+//
+// Membership is a static seed list (every process is configured with the
+// same member set — gossip can later replace the seed list without
+// touching the store); liveness is direct heartbeating: every node probes
+// every peer on a short interval, marks it down after consecutive misses
+// (writes then queue hints instead of timing out against it), and marks
+// it up again on the first successful probe — at which point hinted
+// handoff replays what the peer missed and a full anti-entropy repair
+// reconciles the rest.
+package dist
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"hpclog/client"
+	"hpclog/internal/api"
+	"hpclog/internal/compute"
+	"hpclog/internal/ingest"
+	"hpclog/internal/query"
+	"hpclog/internal/server"
+	"hpclog/internal/store"
+)
+
+// Config parameterizes one cluster node.
+type Config struct {
+	// ID is this process's ring member id (must be unique in the cluster).
+	ID string
+	// AdvertiseURL is the base URL peers reach this process at; carried in
+	// heartbeats for status display.
+	AdvertiseURL string
+	// Peers maps every other member id to its base URL — the static seed
+	// list. The same membership (Peers ∪ {ID}) must be configured on every
+	// process so all of them compute identical replica placement.
+	Peers map[string]string
+	// RF is the replication factor (default min(3, members)).
+	RF int
+	// VNodes is the per-member virtual node count (default 64).
+	VNodes int
+	// DataDir roots this member's commitlog and segments ("" = in-memory).
+	DataDir string
+	// FlushThreshold is the store's memtable flush threshold (default
+	// store's own).
+	FlushThreshold int
+	// MachineNodes sizes the bootstrap nodeinfos load (default 1024).
+	MachineNodes int
+	// Threads is the compute engine's per-worker thread count (default 2).
+	Threads int
+
+	// HeartbeatInterval is the peer probe period (default 250ms).
+	HeartbeatInterval time.Duration
+	// FailAfter marks a peer down after this many consecutive probe
+	// failures (default 3).
+	FailAfter int
+	// RPCTimeout bounds every cluster-internal RPC: replication applies,
+	// shard reads, heartbeats (default 5s).
+	RPCTimeout time.Duration
+
+	// ServerConfig tunes the HTTP surface (zero value = server defaults).
+	ServerConfig server.Config
+	// Logf, when set, receives cluster runtime events (peer up/down,
+	// repair results).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.ID == "" {
+		return c, fmt.Errorf("dist: Config.ID is required")
+	}
+	if _, clash := c.Peers[c.ID]; clash {
+		return c, fmt.Errorf("dist: Peers contains own id %q", c.ID)
+	}
+	members := len(c.Peers) + 1
+	if c.RF <= 0 {
+		c.RF = 3
+	}
+	if c.RF > members {
+		c.RF = members
+	}
+	if c.VNodes <= 0 {
+		c.VNodes = 64
+	}
+	if c.MachineNodes == 0 {
+		c.MachineNodes = 1024
+	}
+	if c.Threads <= 0 {
+		c.Threads = 2
+	}
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = 250 * time.Millisecond
+	}
+	if c.FailAfter <= 0 {
+		c.FailAfter = 3
+	}
+	if c.RPCTimeout <= 0 {
+		c.RPCTimeout = 5 * time.Second
+	}
+	return c, nil
+}
+
+// peerState is the liveness ledger for one peer.
+type peerState struct {
+	url      string
+	cli      *client.Client
+	up       bool
+	misses   int
+	lastSeen time.Time
+}
+
+// Node is one running cluster member: the sharded store plus compute and
+// query engines, the HTTP server (serve it yourself — Node does not
+// listen), and the heartbeat/repair runtime.
+type Node struct {
+	Cfg     Config
+	DB      *store.DB
+	Compute *compute.Engine
+	Query   *query.Engine
+	Server  *server.Server
+
+	mu       sync.Mutex
+	peers    map[string]*peerState
+	stop     chan struct{}
+	done     chan struct{}
+	bg       sync.WaitGroup // in-flight rejoin repairs
+	repairMu sync.Mutex     // serializes rejoin repairs
+	closed   bool
+}
+
+// Open assembles and starts a cluster node: the member-sliced store with
+// wire transports to every peer, bootstrap at consistency One (peers may
+// be down), the compute and query engines, the HTTP server with the
+// cluster backend attached, and the heartbeat loop.
+func Open(cfg Config) (*Node, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	members := make([]string, 0, len(cfg.Peers)+1)
+	members = append(members, cfg.ID)
+	for id := range cfg.Peers {
+		members = append(members, id)
+	}
+	sort.Strings(members)
+	db, err := store.OpenDurable(store.Config{
+		Members:        members,
+		LocalMembers:   []string{cfg.ID},
+		RF:             cfg.RF,
+		VNodes:         cfg.VNodes,
+		FlushThreshold: cfg.FlushThreshold,
+		Dir:            cfg.DataDir,
+	})
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{
+		Cfg:   cfg,
+		DB:    db,
+		peers: make(map[string]*peerState, len(cfg.Peers)),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	for id, url := range cfg.Peers {
+		cli := client.New(url, client.WithRetries(1))
+		n.peers[id] = &peerState{url: url, cli: cli}
+		if err := db.AttachRemote(id, &remoteReplica{id: id, cli: cli, timeout: cfg.RPCTimeout}); err != nil {
+			db.Close()
+			return nil, err
+		}
+	}
+	if err := ingest.BootstrapCL(db, cfg.MachineNodes, store.One); err != nil {
+		db.Close()
+		return nil, err
+	}
+	n.Compute = compute.NewEngine(compute.Config{Workers: db.NodeIDs(), Threads: cfg.Threads})
+	n.Query = query.NewWithOptions(db, n.Compute, query.Options{})
+	n.Server = server.NewWithConfig(n.Query, db, n.Compute, cfg.ServerConfig)
+	n.Server.AttachCluster(n)
+	go n.heartbeatLoop()
+	return n, nil
+}
+
+// Close stops the heartbeat loop, drains the server's watch hub, and
+// closes the store. Idempotent.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	n.mu.Unlock()
+	close(n.stop)
+	<-n.done
+	n.bg.Wait()
+	n.Server.Close()
+	return n.DB.Close()
+}
+
+// logf reports a runtime event.
+func (n *Node) logf(format string, args ...any) {
+	if n.Cfg.Logf != nil {
+		n.Cfg.Logf(format, args...)
+	}
+}
+
+// heartbeatLoop probes every peer each interval: a success marks the peer
+// up (delivering hints and kicking a repair when it was down), FailAfter
+// consecutive misses mark it down. Each exchange also folds the peer's
+// logical clock into ours, so watch subscribers here wake for writes
+// acked anywhere in the cluster.
+func (n *Node) heartbeatLoop() {
+	defer close(n.done)
+	t := time.NewTicker(n.Cfg.HeartbeatInterval)
+	defer t.Stop()
+	for {
+		// Probe immediately on start so a cluster converges to "all up"
+		// without waiting out a full interval.
+		n.probePeers()
+		select {
+		case <-n.stop:
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// probePeers heartbeats every peer once, in parallel.
+func (n *Node) probePeers() {
+	n.mu.Lock()
+	ids := make([]string, 0, len(n.peers))
+	for id := range n.peers {
+		ids = append(ids, id)
+	}
+	n.mu.Unlock()
+	var wg sync.WaitGroup
+	for _, id := range ids {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			n.probePeer(id)
+		}(id)
+	}
+	wg.Wait()
+}
+
+func (n *Node) probePeer(id string) {
+	n.mu.Lock()
+	ps := n.peers[id]
+	cli := ps.cli
+	n.mu.Unlock()
+	ctx, cancel := context.WithTimeout(context.Background(), n.Cfg.RPCTimeout)
+	defer cancel()
+	resp, err := cli.Heartbeat(ctx, api.HeartbeatRequest{
+		From:    n.Cfg.ID,
+		URL:     n.Cfg.AdvertiseURL,
+		WriteTS: n.DB.WriteTS(),
+	})
+	if err != nil {
+		n.peerMissed(id)
+		return
+	}
+	n.DB.NoteRemoteProgress(resp.WriteTS)
+	n.peerSeen(id)
+}
+
+// peerSeen records a successful exchange with a peer: reset the miss
+// counter, and if it was down, bring it back — deliver queued hints and
+// run anti-entropy so the peer converges on everything it missed.
+func (n *Node) peerSeen(id string) {
+	n.mu.Lock()
+	ps, ok := n.peers[id]
+	if !ok || n.closed {
+		n.mu.Unlock()
+		return
+	}
+	ps.misses = 0
+	ps.lastSeen = time.Now()
+	wasDown := !ps.up
+	ps.up = true
+	if wasDown {
+		// Reserve the repair slot under the lock so Close cannot slip
+		// between the up-transition and the goroutine spawn.
+		n.bg.Add(1)
+	}
+	n.mu.Unlock()
+	if !wasDown {
+		// Steady state: opportunistically drain hints that accumulated from
+		// transient replication failures while the peer was nominally up.
+		if n.DB.PendingHints(id) > 0 {
+			if delivered, err := n.DB.DeliverHints(id); err == nil && delivered > 0 {
+				n.logf("dist: delivered %d hinted rows to %s", delivered, id)
+			}
+		}
+		return
+	}
+	delivered, err := n.DB.RecoverNode(id)
+	if err != nil {
+		n.logf("dist: peer %s up, hint delivery failed after %d rows: %v", id, delivered, err)
+	} else {
+		n.logf("dist: peer %s up, delivered %d hinted rows", id, delivered)
+	}
+	go func() {
+		defer n.bg.Done()
+		n.repairAll(id)
+	}()
+}
+
+// peerMissed records a failed probe; FailAfter consecutive misses take the
+// peer down.
+func (n *Node) peerMissed(id string) {
+	n.mu.Lock()
+	ps, ok := n.peers[id]
+	if !ok {
+		n.mu.Unlock()
+		return
+	}
+	ps.misses++
+	takeDown := ps.up && ps.misses >= n.Cfg.FailAfter
+	if takeDown {
+		ps.up = false
+	}
+	n.mu.Unlock()
+	if takeDown {
+		n.DB.MarkDown(id)
+		n.logf("dist: peer %s down after %d missed heartbeats", id, n.Cfg.FailAfter)
+	}
+}
+
+// repairAll runs full anti-entropy over every table — the rejoin
+// backstop behind hinted handoff (hints cover writes coordinated here;
+// repair covers divergence however it arose).
+func (n *Node) repairAll(trigger string) {
+	n.repairMu.Lock()
+	defer n.repairMu.Unlock()
+	total := 0
+	for _, table := range n.DB.Tables() {
+		copied, err := n.DB.Repair(table)
+		total += copied
+		if err != nil {
+			n.logf("dist: repair %s after %s rejoin: %v", table, trigger, err)
+			return
+		}
+	}
+	if total > 0 {
+		n.logf("dist: anti-entropy after %s rejoin copied %d rows", trigger, total)
+	}
+}
+
+// Status implements server.ClusterBackend.
+func (n *Node) Status() api.ClusterStatus {
+	ring := n.DB.Ring()
+	shares := ring.Ownership()
+	st := api.ClusterStatus{
+		Self:    n.Cfg.ID,
+		RF:      ring.ReplicationFactor(),
+		WriteTS: n.DB.WriteTS(),
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, id := range n.DB.Members() {
+		m := api.MemberStatus{
+			ID:           id,
+			Local:        id == n.Cfg.ID,
+			Up:           ring.IsUp(id),
+			Share:        shares[id],
+			PendingHints: n.DB.PendingHints(id),
+		}
+		if id == n.Cfg.ID {
+			m.URL = n.Cfg.AdvertiseURL
+		} else if ps, ok := n.peers[id]; ok {
+			m.URL = ps.url
+			if !ps.lastSeen.IsZero() {
+				m.LastSeenUnixMS = ps.lastSeen.UnixMilli()
+			}
+		}
+		st.Members = append(st.Members, m)
+	}
+	return st
+}
+
+// Heartbeat implements server.ClusterBackend: receiving a probe proves
+// the sender is alive, so it counts as a successful exchange in the other
+// direction too — liveness converges from either side of a partition
+// heal.
+func (n *Node) Heartbeat(req api.HeartbeatRequest) (api.HeartbeatResponse, *api.Error) {
+	n.mu.Lock()
+	_, known := n.peers[req.From]
+	n.mu.Unlock()
+	if !known {
+		return api.HeartbeatResponse{}, api.Errorf(api.CodeWrongShard,
+			"heartbeat from %q: not a member of this cluster", req.From)
+	}
+	n.DB.NoteRemoteProgress(req.WriteTS)
+	n.peerSeen(req.From)
+	return api.HeartbeatResponse{Node: n.Cfg.ID, WriteTS: n.DB.WriteTS()}, nil
+}

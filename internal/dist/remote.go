@@ -1,0 +1,162 @@
+package dist
+
+import (
+	"context"
+	"time"
+
+	"hpclog/client"
+	"hpclog/internal/api"
+	"hpclog/internal/store"
+)
+
+// applyChunk bounds one /v1/replicate batch. Replication is idempotent
+// (rows carry coordinator stamps, replicas reconcile last-write-wins), so
+// re-sending a chunk after a partial failure is safe.
+const applyChunk = 4096
+
+// remoteReplica implements store.Remote over the hpclog/client SDK: the
+// wire transport the store uses to reach ring members hosted by peer
+// processes. Every method is one (or a few) cluster-internal RPCs with a
+// per-call timeout; errors surface to the store, which converts them into
+// hints (writes) or falls through to other replicas (reads).
+type remoteReplica struct {
+	id      string // ring member id this transport addresses
+	cli     *client.Client
+	timeout time.Duration
+}
+
+var _ store.Remote = (*remoteReplica)(nil)
+
+func (r *remoteReplica) ctx() (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(), r.timeout)
+}
+
+// Apply replicates a pre-stamped batch, chunked so one oversized batch
+// cannot exceed the peer's replication body cap.
+func (r *remoteReplica) Apply(table, pkey string, rows []store.Row) error {
+	for len(rows) > 0 {
+		chunk := rows
+		if len(chunk) > applyChunk {
+			chunk = chunk[:applyChunk]
+		}
+		rows = rows[len(chunk):]
+		ctx, cancel := r.ctx()
+		_, err := r.cli.Replicate(ctx, api.ReplicateRequest{
+			Node:  r.id,
+			Table: table,
+			PKey:  pkey,
+			Rows:  api.RowsToWire(chunk),
+		})
+		cancel()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (r *remoteReplica) Read(table, pkey string, rg store.Range) ([]store.Row, error) {
+	ctx, cancel := r.ctx()
+	defer cancel()
+	wire, err := r.cli.ShardRead(ctx, api.ShardReadRequest{
+		Node: r.id, Table: table, PKey: pkey, From: rg.From, To: rg.To,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return api.WireToRows(wire), nil
+}
+
+// Scan streams the partition over /v1/shard/scan, adapting the push-style
+// SDK callback to the store's pull-style RowIter through a channel. The
+// stream goroutine exits when the server finishes, errors, or the
+// iterator is closed (which cancels the request context).
+func (r *remoteReplica) Scan(table, pkey string, rg store.Range) (store.RowIter, error) {
+	// No per-call timeout: a scan legitimately outlives an RPC deadline.
+	// Closing the iterator cancels the stream instead.
+	ctx, cancel := context.WithCancel(context.Background())
+	it := &remoteScanIter{
+		rows:   make(chan store.Row, 256),
+		done:   make(chan struct{}),
+		cancel: cancel,
+	}
+	go func() {
+		defer close(it.done)
+		err := r.cli.ShardScan(ctx, api.ShardScanRequest{
+			Node: r.id, Table: table, PKey: pkey, From: rg.From, To: rg.To,
+		}, func(w api.WireRow) error {
+			select {
+			case it.rows <- w.Row():
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		})
+		if err != nil && ctx.Err() == nil {
+			it.err = err
+		}
+		close(it.rows)
+	}()
+	return it, nil
+}
+
+// remoteScanIter is the pull side of a streamed shard scan. err is written
+// by the stream goroutine strictly before rows is closed, and read by the
+// consumer strictly after rows is drained, so no lock is needed.
+type remoteScanIter struct {
+	rows   chan store.Row
+	done   chan struct{}
+	cancel context.CancelFunc
+	err    error
+	closed bool
+}
+
+func (it *remoteScanIter) Next() (store.Row, bool) {
+	if it.closed {
+		return store.Row{}, false
+	}
+	row, ok := <-it.rows
+	return row, ok
+}
+
+func (it *remoteScanIter) Err() error {
+	if it.closed {
+		return it.err
+	}
+	select {
+	case <-it.done:
+		return it.err
+	default:
+		return nil
+	}
+}
+
+func (it *remoteScanIter) Close() error {
+	if it.closed {
+		return nil
+	}
+	it.closed = true
+	it.cancel()
+	// Wait for the stream goroutine so err is settled and the response
+	// body is released before Close returns.
+	<-it.done
+	return nil
+}
+
+func (r *remoteReplica) KeyBounds(table, pkey string) (string, string, bool, error) {
+	ctx, cancel := r.ctx()
+	defer cancel()
+	res, err := r.cli.ShardBounds(ctx, api.ShardBoundsRequest{
+		Node: r.id, Table: table, PKey: pkey,
+	})
+	if err != nil {
+		return "", "", false, err
+	}
+	return res.Min, res.Max, res.OK, nil
+}
+
+func (r *remoteReplica) PartitionKeys(table string) ([]string, error) {
+	ctx, cancel := r.ctx()
+	defer cancel()
+	return r.cli.ShardPartitions(ctx, r.id, table)
+}

@@ -8,6 +8,7 @@ package ingest
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"strconv"
 	"time"
@@ -34,6 +35,22 @@ type Loader struct {
 	// the memory of known-stale entries eagerly instead of letting them
 	// age out of the LRU.
 	OnWrite func(table string)
+	// TolerateUnavailable skips partitions whose replica set has no live
+	// member instead of failing the load. Cluster bootstrap sets it: a
+	// node booting before its peers cannot write shards it does not own,
+	// and does not need to — every peer runs the same bootstrap, so each
+	// shard is seeded by its own owner when that owner boots.
+	TolerateUnavailable bool
+}
+
+// putBatch writes one partition at the loader's consistency level,
+// optionally tolerating an unavailable replica set.
+func (l *Loader) putBatch(table, pkey string, rows []store.Row) error {
+	err := l.DB.PutBatch(table, pkey, rows, l.CL)
+	if err != nil && l.TolerateUnavailable && errors.Is(err, store.ErrUnavailable) {
+		return nil
+	}
+	return err
 }
 
 // notify fires the OnWrite hook for each table written.
@@ -52,12 +69,23 @@ func NewLoader(db *store.DB) *Loader { return &Loader{DB: db, CL: store.Quorum} 
 // Bootstrap creates the eight tables of the data model and loads the
 // static nodeinfos and eventtypes tables.
 func Bootstrap(db *store.DB, nodes int) error {
+	return BootstrapCL(db, nodes, store.Quorum)
+}
+
+// BootstrapCL is Bootstrap at an explicit consistency level. A cluster
+// node boots at One: its peers may all be down when it starts, and the
+// reference data it seeds is identical on every node anyway — replication
+// hints and anti-entropy converge the copies once peers appear.
+func BootstrapCL(db *store.DB, nodes int, cl store.Consistency) error {
 	for _, t := range model.AllTables {
 		if err := db.CreateTable(t); err != nil {
 			return err
 		}
 	}
-	l := &Loader{DB: db, CL: store.Quorum}
+	// Tolerate unavailable shards: bootstrap seeds identical reference
+	// data on every process, so a shard whose owners are not up yet is
+	// seeded by its own owner when that owner boots.
+	l := &Loader{DB: db, CL: cl, TolerateUnavailable: true}
 	if err := l.LoadNodeInfos(nodes); err != nil {
 		return err
 	}
@@ -88,7 +116,7 @@ func (l *Loader) LoadNodeInfos(n int) error {
 		})
 	}
 	for pkey, rows := range byCabinet {
-		if err := l.DB.PutBatch(model.TableNodeInfos, pkey, rows, l.CL); err != nil {
+		if err := l.putBatch(model.TableNodeInfos, pkey, rows); err != nil {
 			return err
 		}
 	}
@@ -106,7 +134,7 @@ func (l *Loader) LoadEventTypes() error {
 			Columns: map[string]string{"description": model.TypeDescriptions[et]},
 		})
 	}
-	if err := l.DB.PutBatch(model.TableEventTypes, "all", rows, l.CL); err != nil {
+	if err := l.putBatch(model.TableEventTypes, "all", rows); err != nil {
 		return err
 	}
 	l.notify(model.TableEventTypes)

@@ -21,6 +21,11 @@ import (
 type Runner struct {
 	// Target is the server base URL (e.g. "http://127.0.0.1:8080").
 	Target string
+	// Targets, when non-empty, is a list of coordinator base URLs the
+	// client pool and watcher clients round-robin across — the multi-node
+	// form of Target for driving a cluster through several coordinators at
+	// once. Target is ignored when Targets is set.
+	Targets []string
 	// Scenario is the experiment to run (caller applies defaults via
 	// LoadGrid or Smoke; a zero-value scenario is filled here too).
 	Scenario Scenario
@@ -78,7 +83,12 @@ func (r *Runner) Run(ctx context.Context) (*Report, error) {
 	// One SDK client per pool slot, each with its own transport so
 	// connections model distinct users. Retries are disabled: under load
 	// an overloaded answer must be counted, not silently retried into
-	// extra offered traffic.
+	// extra offered traffic. With multiple targets the slots round-robin
+	// across coordinators, spreading users evenly over the cluster.
+	targets := r.Targets
+	if len(targets) == 0 {
+		targets = []string{r.Target}
+	}
 	pool := make([]*client.Client, s.Clients)
 	var attempts, transportErrs atomic.Int64
 	obs := func(oc client.ObservedCall) {
@@ -88,7 +98,7 @@ func (r *Runner) Run(ctx context.Context) (*Report, error) {
 		}
 	}
 	for i := range pool {
-		pool[i] = client.New(r.Target,
+		pool[i] = client.New(targets[i%len(targets)],
 			client.WithRetries(0),
 			client.WithObserver(obs),
 			client.WithHTTPClient(&http.Client{Transport: &http.Transport{
@@ -112,9 +122,9 @@ func (r *Runner) Run(ctx context.Context) (*Report, error) {
 	watchersUp := make(chan struct{}, s.Watchers)
 	for i := 0; i < s.Watchers; i++ {
 		watcherWG.Add(1)
-		go func() {
+		go func(i int) {
 			defer watcherWG.Done()
-			wcli := client.New(r.Target, client.WithRetries(0), client.WithObserver(obs))
+			wcli := client.New(targets[i%len(targets)], client.WithRetries(0), client.WithObserver(obs))
 			w, err := wcli.Watch(runCtx, s.EventType, client.WatchOptions{
 				Since:   time.Now().Add(-time.Second),
 				Timeout: s.Duration() + opGrace,
@@ -144,7 +154,7 @@ func (r *Runner) Run(ctx context.Context) (*Report, error) {
 				}
 				watchDeliveries.Add(1)
 			}
-		}()
+		}(i)
 	}
 	for i := 0; i < s.Watchers; i++ {
 		<-watchersUp

@@ -71,6 +71,12 @@ type Scenario struct {
 	// degrades into recorded shed arrivals instead of unbounded goroutine
 	// growth on the generator box (default 4096).
 	MaxOutstanding int `json:"max_outstanding"`
+	// Nodes asks a self-hosting harness for an in-process cluster of this
+	// many members (RF = min(3, nodes)) instead of a single server; the
+	// runner then round-robins its SDK clients across all coordinators.
+	// 0 or 1 means single-node. Ignored when the harness targets a live
+	// deployment.
+	Nodes int `json:"nodes"`
 	// Seed fixes the arrival-mix RNG (default 1); repeats r use Seed+r, so
 	// a grid is reproducible run for run.
 	Seed int64 `json:"seed"`

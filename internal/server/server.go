@@ -55,6 +55,13 @@ type Config struct {
 	StreamInFlight  int
 	WatchInFlight   int
 	StorageInFlight int
+	// ClusterInFlight caps concurrent cluster-internal RPCs (replication,
+	// shard reads, heartbeats); 0 selects 128, negative disables.
+	ClusterInFlight int
+	// ReplicateMaxBodyBytes caps /v1/replicate bodies separately from
+	// MaxBodyBytes — a replica batch legitimately outgrows a public API
+	// request; <= 0 means 32 MiB.
+	ReplicateMaxBodyBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -84,6 +91,10 @@ func (c Config) withDefaults() Config {
 	c.StreamInFlight = def(c.StreamInFlight, 16)
 	c.WatchInFlight = def(c.WatchInFlight, 256)
 	c.StorageInFlight = def(c.StorageInFlight, 4)
+	c.ClusterInFlight = def(c.ClusterInFlight, 128)
+	if c.ReplicateMaxBodyBytes <= 0 {
+		c.ReplicateMaxBodyBytes = 32 << 20
+	}
 	return c
 }
 
@@ -97,6 +108,9 @@ type Server struct {
 
 	hub      *hub
 	limiters map[string]*limiter
+	// cluster, when attached, answers /v1/cluster and heartbeats (see
+	// AttachCluster; nil on single-process deployments).
+	cluster ClusterBackend
 
 	// now allows tests to fake time; defaults to time.Now.
 	now func() time.Time
@@ -132,6 +146,7 @@ func NewWithConfig(q *query.Engine, db *store.DB, eng *compute.Engine, cfg Confi
 		"stream":  {max: int64(s.cfg.StreamInFlight)},
 		"watch":   {max: int64(s.cfg.WatchInFlight)},
 		"storage": {max: int64(s.cfg.StorageInFlight)},
+		"cluster": {max: int64(s.cfg.ClusterInFlight)},
 	}
 	// The watch hub is woken by the store's write path: every acked write
 	// bumps the DB generation, which fans out here — push, not poll.
@@ -148,6 +163,9 @@ func NewWithConfig(q *query.Engine, db *store.DB, eng *compute.Engine, cfg Confi
 	s.mux.HandleFunc("POST /v1/storage/compact", s.limited("storage", s.handleStorageCompactV1))
 	s.mux.HandleFunc("GET /v1/watch", s.limited("watch", s.handleWatch))
 	s.mux.HandleFunc("GET /v1/protocol", s.handleProtocol)
+
+	// Cluster-internal RPCs: replication, shard scatter-gather, status.
+	s.registerClusterRoutes()
 
 	// Legacy pre-v1 shims: same handlers, unversioned envelope.
 	s.mux.HandleFunc("POST /api/query", s.limited("query", s.legacy(s.queryCore)))
@@ -368,6 +386,8 @@ func toAPIError(err error) *api.Error {
 	switch {
 	case errors.Is(err, store.ErrUnavailable):
 		return api.Errorf(api.CodeUnavailable, "%v", err)
+	case errors.Is(err, store.ErrWrongShard):
+		return api.Errorf(api.CodeWrongShard, "%v", err)
 	case strings.Contains(err.Error(), "unknown op"):
 		return api.Errorf(api.CodeUnknownOp, "%v", err)
 	default:

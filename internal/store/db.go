@@ -61,6 +61,16 @@ type Config struct {
 	Nodes int
 	// RF is the replication factor (default 3, capped at Nodes).
 	RF int
+	// Members, when non-empty, names every ring member explicitly and
+	// overrides Nodes. A multi-process cluster lists the same Members on
+	// every process so all of them compute identical replica placement.
+	Members []string
+	// LocalMembers is the subset of Members hosted by this process (each
+	// gets its own storage node — WAL + segment files under Dir). Empty
+	// means all members are local (the single-process default). Remote
+	// members join the ring marked down until a Remote transport is
+	// attached and the liveness detector hears from them.
+	LocalMembers []string
 	// VNodes is the number of virtual nodes per storage node (default 64).
 	VNodes int
 	// FlushThreshold is the memtable row count that triggers a segment
@@ -109,6 +119,9 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
+	if len(c.Members) > 0 {
+		c.Nodes = len(c.Members)
+	}
 	if c.Nodes <= 0 {
 		c.Nodes = 32
 	}
@@ -144,9 +157,15 @@ type DB struct {
 	ring    *cluster.Ring
 	mu      sync.RWMutex
 	nodes   map[string]*Node
+	remotes map[string]Remote // transports for members hosted elsewhere
 	tables  map[string]bool
 	writeTS atomic.Int64
 	hintLog *hintLog
+
+	// hasRemotes flips once any Remote is attached; the write path uses it
+	// to choose between the fully-synchronous single-process replication
+	// and the W-of-RF early-ack distributed one.
+	hasRemotes atomic.Bool
 
 	readRepairs atomic.Int64
 	generation  atomic.Uint64
@@ -256,11 +275,50 @@ func OpenDurable(cfg Config) (*DB, error) {
 		cfg:     cfg,
 		ring:    cluster.NewRing(cfg.RF, cfg.VNodes),
 		nodes:   make(map[string]*Node, cfg.Nodes),
+		remotes: make(map[string]Remote),
 		tables:  make(map[string]bool),
 		hintLog: newHintLog(),
 	}
-	for i := 0; i < cfg.Nodes; i++ {
-		id := fmt.Sprintf("store%02d", i)
+	members := cfg.Members
+	if len(members) == 0 {
+		members = make([]string, cfg.Nodes)
+		for i := range members {
+			members[i] = fmt.Sprintf("store%02d", i)
+		}
+	} else {
+		seen := make(map[string]bool, len(members))
+		for _, id := range members {
+			if id == "" || seen[id] {
+				return nil, fmt.Errorf("store: empty or duplicate member id %q", id)
+			}
+			seen[id] = true
+		}
+	}
+	local := make(map[string]bool, len(members))
+	if len(cfg.LocalMembers) == 0 {
+		for _, id := range members {
+			local[id] = true
+		}
+	} else {
+		member := make(map[string]bool, len(members))
+		for _, id := range members {
+			member[id] = true
+		}
+		for _, id := range cfg.LocalMembers {
+			if !member[id] {
+				return nil, fmt.Errorf("store: local member %q is not in Members", id)
+			}
+			local[id] = true
+		}
+	}
+	for _, id := range members {
+		db.ring.AddNode(id)
+		if !local[id] {
+			// Remote members start down; the cluster runtime marks them up
+			// once a heartbeat succeeds over their attached transport.
+			db.ring.SetUp(id, false)
+			continue
+		}
 		n := newNode(id, cfg.FlushThreshold, cfg.MaxSegments)
 		if cfg.Dir != "" {
 			if err := n.openDurable(filepath.Join(cfg.Dir, "node-"+id), cfg); err != nil {
@@ -269,7 +327,6 @@ func OpenDurable(cfg Config) (*DB, error) {
 			}
 		}
 		db.nodes[id] = n
-		db.ring.AddNode(id)
 	}
 	if cfg.Dir != "" {
 		if err := db.recover(); err != nil {
@@ -613,15 +670,7 @@ func (db *DB) PutBatch(tableName, pkey string, rows []Row, cl Consistency) error
 	}
 	replicas := db.ring.Replicas(pkey)
 	need := cl.required(len(replicas))
-	live := make([]*Node, 0, len(replicas))
-	var down []string
-	for _, id := range replicas {
-		if db.ring.IsUp(id) {
-			live = append(live, db.Node(id))
-		} else {
-			down = append(down, id)
-		}
-	}
+	live, down := db.liveTargets(replicas)
 	if len(live) < need {
 		return fmt.Errorf("%w: table %s partition %s needs %d, have %d live",
 			ErrUnavailable, tableName, pkey, need, len(live))
@@ -637,26 +686,96 @@ func (db *DB) PutBatch(tableName, pkey string, rows []Row, cl Consistency) error
 	if db.cfg.Dir != "" {
 		encoded = encodePutRecord(nil, tableName, pkey, stamped)
 	}
-	var wg sync.WaitGroup
-	errs := make([]error, len(live))
-	for i, n := range live {
-		wg.Add(1)
-		go func(i int, n *Node) {
-			defer wg.Done()
-			errs[i] = n.apply(tableName, pkey, stamped, encoded)
-		}(i, n)
+	if !db.hasRemotes.Load() {
+		// Single-process cluster: write all live replicas synchronously (the
+		// in-process transport makes asynchronous trickle unnecessary).
+		var wg sync.WaitGroup
+		errs := make([]error, len(live))
+		for i, tgt := range live {
+			wg.Add(1)
+			go func(i int, tgt replicaTarget) {
+				defer wg.Done()
+				errs[i] = tgt.apply(tableName, pkey, stamped, encoded)
+			}(i, tgt)
+		}
+		wg.Wait()
+		acks := 0
+		for _, err := range errs {
+			if err == nil {
+				acks++
+			}
+		}
+		if acks > 0 {
+			// Even a failed batch may have applied rows on some replicas,
+			// which consistency-One reads can already observe — cached
+			// results must be revalidated either way.
+			db.bumpGeneration()
+		}
+		if acks < need {
+			return fmt.Errorf("store: only %d/%d acks for %s/%s: %w",
+				acks, need, tableName, pkey, errors.Join(errs...))
+		}
+		return nil
 	}
-	wg.Wait()
-	acks := 0
-	for _, err := range errs {
-		if err == nil {
+	return db.putBatchDistributed(tableName, pkey, stamped, encoded, live, need)
+}
+
+// putBatchDistributed replicates one stamped batch to live replica
+// targets over mixed local/wire transports, returning as soon as the
+// consistency level's W acks arrive. Stragglers keep writing in the
+// background; a replica that fails or times out gets the batch queued as
+// a hint, so an acked batch eventually reaches every replica (handoff on
+// recovery, anti-entropy as the backstop) even though only W were waited
+// on.
+func (db *DB) putBatchDistributed(tableName, pkey string, stamped []Row, encoded []byte, live []replicaTarget, need int) error {
+	type applyResult struct {
+		idx int
+		err error
+	}
+	ch := make(chan applyResult, len(live))
+	for i, tgt := range live {
+		go func(i int, tgt replicaTarget) {
+			ch <- applyResult{i, tgt.apply(tableName, pkey, stamped, encoded)}
+		}(i, tgt)
+	}
+	acks, fails, received := 0, 0, 0
+	var errs []error
+	for received < len(live) {
+		res := <-ch
+		received++
+		if res.err == nil {
 			acks++
+		} else {
+			fails++
+			errs = append(errs, res.err)
+			// Handoff: the replica answered with an error (or its transport
+			// timed out) — queue the batch so recovery replays it.
+			db.hintLog.add(live[res.idx].id, hint{table: tableName, pkey: pkey, rows: stamped})
+		}
+		if acks >= need || len(live)-fails < need {
+			break
 		}
 	}
+	if received < len(live) {
+		// Drain the stragglers off the request path: late failures become
+		// hints, late successes wake watchers/invalidate caches.
+		remaining := len(live) - received
+		go func() {
+			late := false
+			for i := 0; i < remaining; i++ {
+				res := <-ch
+				if res.err != nil {
+					db.hintLog.add(live[res.idx].id, hint{table: tableName, pkey: pkey, rows: stamped})
+				} else {
+					late = true
+				}
+			}
+			if late {
+				db.bumpGeneration()
+			}
+		}()
+	}
 	if acks > 0 {
-		// Even a failed batch may have applied rows on some replicas,
-		// which consistency-One reads can already observe — cached
-		// results must be revalidated either way.
 		db.bumpGeneration()
 	}
 	if acks < need {
@@ -675,46 +794,86 @@ func (db *DB) Get(tableName, pkey string, rg Range, cl Consistency) ([]Row, erro
 	}
 	replicas := db.ring.Replicas(pkey)
 	need := cl.required(len(replicas))
-	live := make([]*Node, 0, len(replicas))
-	for _, id := range replicas {
-		if db.ring.IsUp(id) {
-			live = append(live, db.Node(id))
-		}
-	}
+	live, _ := db.liveTargets(replicas)
 	if len(live) < need {
 		return nil, fmt.Errorf("%w: table %s partition %s needs %d, have %d live",
 			ErrUnavailable, tableName, pkey, need, len(live))
 	}
-	live = live[:need]
-	if len(live) == 1 {
-		rows, err := live[0].readPartition(tableName, pkey, rg)
-		return materializeRows(rows), err
-	}
-	results := make([][]Row, len(live))
-	errs := make([]error, len(live))
-	var wg sync.WaitGroup
-	for i, n := range live {
-		wg.Add(1)
-		go func(i int, n *Node) {
-			defer wg.Done()
-			results[i], errs[i] = n.readPartition(tableName, pkey, rg)
-		}(i, n)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	// A replica that errors (typically a peer that died inside the failure
+	// detector's window and is not yet marked down) is substituted by the
+	// next live target, so the read succeeds as long as `need` replicas
+	// answer. Consistency One walks the preference order inline (local
+	// first — the hot path stays goroutine-free).
+	if need == 1 {
+		var firstErr error
+		for _, tgt := range live {
+			rows, err := tgt.read(tableName, pkey, rg)
+			if err == nil {
+				return materializeRows(rows), nil
+			}
+			if firstErr == nil {
+				firstErr = err
+			}
 		}
+		return nil, fmt.Errorf("%w: table %s partition %s: no replica answered: %w",
+			ErrUnavailable, tableName, pkey, firstErr)
 	}
-	merged := mergeRows(results...)
+	// Quorum/All: read the first `need` live replicas in parallel,
+	// substituting on failure.
+	type readRes struct {
+		idx  int
+		rows []Row
+		err  error
+	}
+	ch := make(chan readRes, len(live))
+	launch := func(i int) {
+		go func() {
+			rows, err := live[i].read(tableName, pkey, rg)
+			ch <- readRes{i, rows, err}
+		}()
+	}
+	next := need
+	for i := 0; i < need; i++ {
+		launch(i)
+	}
+	var answered []int
+	results := make([][]Row, len(live))
+	var firstErr error
+	for inflight := need; inflight > 0 && len(answered) < need; {
+		res := <-ch
+		inflight--
+		if res.err != nil {
+			if firstErr == nil {
+				firstErr = res.err
+			}
+			if next < len(live) {
+				launch(next)
+				next++
+				inflight++
+			}
+			continue
+		}
+		results[res.idx] = res.rows
+		answered = append(answered, res.idx)
+	}
+	if len(answered) < need {
+		return nil, fmt.Errorf("%w: table %s partition %s: %d of %d required replicas answered: %w",
+			ErrUnavailable, tableName, pkey, len(answered), need, firstErr)
+	}
+	sort.Ints(answered)
+	read := make([][]Row, len(answered))
+	for i, idx := range answered {
+		read[i] = results[idx]
+	}
+	merged := mergeRows(read...)
 	// Read repair: patch replicas observed stale within the read range.
 	repaired := false
-	for i, n := range live {
-		missing := diffRows(merged, results[i])
+	for _, idx := range answered {
+		missing := diffRows(merged, results[idx])
 		if len(missing) == 0 {
 			continue
 		}
-		if err := n.apply(tableName, pkey, missing, nil); err == nil {
+		if err := live[idx].apply(tableName, pkey, missing, nil); err == nil {
 			db.readRepairs.Add(int64(len(missing)))
 			repaired = true
 		}
@@ -761,26 +920,36 @@ func (db *DB) PartitionKeys(tableName string) []string {
 // PrimaryFor returns the primary storage node id for a partition key.
 func (db *DB) PrimaryFor(pkey string) string { return db.ring.Primary(pkey) }
 
-// Repair runs anti-entropy for one table: for every partition, replicas
-// exchange rows and converge on the last-write-wins union. It returns the
-// number of rows copied to lagging replicas.
+// Repair runs anti-entropy for one table: for every partition, the
+// reachable replicas (live local members and live attached remotes — a
+// down node cannot participate; it converges through hinted handoff and a
+// repair after it returns) exchange rows and converge on the
+// last-write-wins union. It returns the number of rows copied to lagging
+// replicas.
 func (db *DB) Repair(tableName string) (int, error) {
 	if !db.HasTable(tableName) {
 		return 0, fmt.Errorf("store: no such table %q", tableName)
 	}
+	pkeys, err := db.AllPartitionKeys(tableName)
+	if err != nil {
+		return 0, err
+	}
 	copied := 0
-	for _, pkey := range db.PartitionKeys(tableName) {
-		replicas := db.ring.Replicas(pkey)
-		lists := make([][]Row, 0, len(replicas))
-		for _, id := range replicas {
-			rows, err := db.Node(id).readPartition(tableName, pkey, Range{})
+	for _, pkey := range pkeys {
+		live := db.repairTargets(db.ring.Replicas(pkey))
+		if len(live) < 2 {
+			continue
+		}
+		lists := make([][]Row, 0, len(live))
+		for _, tgt := range live {
+			rows, err := tgt.read(tableName, pkey, Range{})
 			if err != nil {
 				return copied, err
 			}
 			lists = append(lists, rows)
 		}
 		union := mergeRows(lists...)
-		for i, id := range replicas {
+		for i, tgt := range live {
 			if len(lists[i]) == len(union) {
 				continue
 			}
@@ -788,7 +957,7 @@ func (db *DB) Repair(tableName string) (int, error) {
 			if len(missing) == 0 {
 				continue
 			}
-			if err := db.Node(id).apply(tableName, pkey, missing, nil); err != nil {
+			if err := tgt.apply(tableName, pkey, missing, nil); err != nil {
 				return copied, err
 			}
 			copied += len(missing)

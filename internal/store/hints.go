@@ -63,15 +63,18 @@ func (db *DB) PendingHints(nodeID string) int {
 }
 
 // DeliverHints replays all hints queued for a node (call after marking it
-// up). It returns the number of rows delivered.
+// up), over the in-process transport for a local member or the wire for
+// an attached remote one. It returns the number of rows delivered.
 func (db *DB) DeliverHints(nodeID string) (int, error) {
-	node := db.Node(nodeID)
-	if node == nil {
-		return 0, nil
+	tgt := replicaTarget{id: nodeID, n: db.Node(nodeID)}
+	if tgt.n == nil {
+		if tgt.r = db.remote(nodeID); tgt.r == nil {
+			return 0, nil
+		}
 	}
 	delivered := 0
 	for _, hn := range db.hintLog.take(nodeID) {
-		if err := node.apply(hn.table, hn.pkey, hn.rows, nil); err != nil {
+		if err := tgt.apply(hn.table, hn.pkey, hn.rows, nil); err != nil {
 			// Requeue the failed hint and stop.
 			db.hintLog.add(nodeID, hn)
 			return delivered, err

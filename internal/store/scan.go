@@ -96,14 +96,18 @@ func (db *DB) ScanPartitionPruned(tableName, pkey string, rg Range, cl Consisten
 	if pr != nil {
 		pc = &pruneCfg{pr: pr, stats: stats}
 	}
-	replicas := db.ring.Replicas(pkey)
-	for _, id := range replicas {
-		if db.ring.IsUp(id) {
-			return db.Node(id).scanPartitionPruned(tableName, pkey, rg, pc)
-		}
+	live, _ := db.liveTargets(db.ring.Replicas(pkey))
+	if len(live) == 0 {
+		return nil, fmt.Errorf("%w: table %s partition %s needs 1, have 0 live",
+			ErrUnavailable, tableName, pkey)
 	}
-	return nil, fmt.Errorf("%w: table %s partition %s needs 1, have 0 live",
-		ErrUnavailable, tableName, pkey)
+	if tgt := live[0]; tgt.n != nil {
+		return tgt.n.scanPartitionPruned(tableName, pkey, rg, pc)
+	}
+	// Remote shard: stream over the wire. Block pruning is not pushed
+	// down (the remote scans its own segments); callers filter row-by-row
+	// regardless, so the result stream is identical.
+	return live[0].r.Scan(tableName, pkey, rg)
 }
 
 // PartitionKeyBounds returns the smallest and largest clustering key of
@@ -115,12 +119,13 @@ func (db *DB) PartitionKeyBounds(tableName, pkey string) (min, max string, ok bo
 	if !db.HasTable(tableName) {
 		return "", "", false, fmt.Errorf("store: no such table %q", tableName)
 	}
-	for _, id := range db.ring.Replicas(pkey) {
-		if !db.ring.IsUp(id) {
-			continue
-		}
-		n := db.Node(id)
-		t, terr := n.table(tableName)
+	live, _ := db.liveTargets(db.ring.Replicas(pkey))
+	if len(live) == 0 {
+		return "", "", false, fmt.Errorf("%w: table %s partition %s needs 1, have 0 live",
+			ErrUnavailable, tableName, pkey)
+	}
+	if tgt := live[0]; tgt.n != nil {
+		t, terr := tgt.n.table(tableName)
 		if terr != nil {
 			return "", "", false, terr
 		}
@@ -131,6 +136,5 @@ func (db *DB) PartitionKeyBounds(tableName, pkey string) (min, max string, ok bo
 		min, max, ok = p.keyBounds()
 		return min, max, ok, nil
 	}
-	return "", "", false, fmt.Errorf("%w: table %s partition %s needs 1, have 0 live",
-		ErrUnavailable, tableName, pkey)
+	return live[0].r.KeyBounds(tableName, pkey)
 }
