@@ -110,16 +110,19 @@ bench-json:
 		| $(GO) run ./cmd/benchjson -o BENCH_filter.json -label "$(BENCH_LABEL)"
 	$(GO) test -run XXX -bench BenchmarkAPIQuery -benchmem -json . \
 		| $(GO) run ./cmd/benchjson -o BENCH_api.json -label "$(BENCH_LABEL)"
+	$(GO) test -run XXX -bench BenchmarkHubNotify -benchmem -json ./internal/server/ \
+		| $(GO) run ./cmd/benchjson -o BENCH_hub.json -label "$(BENCH_LABEL)"
 
 bench-smoke:
 	$(GO) test -run XXX -bench WAL -benchtime 1x .
 
-# Allocation regression guards: a segment scan, a put-record encode, and
-# predicate evaluation must stay within fixed testing.AllocsPerRun
-# budgets (see *_alloc_guard_test.go; skipped under -race). Predicate
-# evaluation in particular must allocate ZERO per row.
+# Allocation regression guards: a segment scan, a put-record encode,
+# predicate evaluation, and the watch hub's write-path notify must stay
+# within fixed testing.AllocsPerRun budgets (see *_alloc_guard_test.go;
+# skipped under -race). Predicate evaluation in particular must allocate
+# ZERO per row.
 alloc-guard:
-	$(GO) test -run AllocBudget -count=1 ./internal/store/... ./internal/plan/
+	$(GO) test -run AllocBudget -count=1 ./internal/store/... ./internal/plan/ ./internal/server/
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

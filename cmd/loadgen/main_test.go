@@ -87,9 +87,18 @@ func TestGridMode(t *testing.T) {
 			t.Fatalf("missing %q in bench output:\n%s", want, out)
 		}
 	}
-	// Repeats pool into one line set: exactly 3 lines for watchy's single class.
-	if n := strings.Count(out, "BenchmarkLoad/watchy/"); n != 3 {
-		t.Fatalf("watchy emitted %d lines, want 3 pooled:\n%s", n, out)
+	// Repeats pool into one line set: exactly 6 lines for watchy — its
+	// single traffic class plus the watchlag pseudo-class (the scenario
+	// runs live watchers, so write-to-delivery lag is recorded too).
+	if n := strings.Count(out, "BenchmarkLoad/watchy/"); n != 6 {
+		t.Fatalf("watchy emitted %d lines, want 6 pooled:\n%s", n, out)
+	}
+	if !strings.Contains(out, "BenchmarkLoad/watchy/watchlag/p50") {
+		t.Fatalf("missing watchlag lines for watcher scenario:\n%s", out)
+	}
+	// tiny has no watchers, so no watchlag lines should appear for it.
+	if strings.Contains(out, "BenchmarkLoad/tiny/watchlag/") {
+		t.Fatalf("tiny (no watchers) emitted watchlag lines:\n%s", out)
 	}
 }
 

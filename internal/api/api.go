@@ -218,8 +218,22 @@ type HTTPStats struct {
 	WatchSubscribers int64 `json:"watch_subscribers"`
 	// WatchDelivered counts events pushed to watch subscribers.
 	WatchDelivered int64 `json:"watch_delivered"`
-	// WatchWakeups counts write notifications fanned out to subscribers.
+	// WatchWakeups counts write notifications fanned out to subscribers
+	// (successful latch sends only; a subscriber already due for a pass is
+	// not re-woken, and not re-counted).
 	WatchWakeups int64 `json:"watch_wakeups"`
+	// WatchCoalesced counts write digests that collapsed into an
+	// already-pending dispatch pass instead of producing fresh wakeups.
+	WatchCoalesced int64 `json:"watch_coalesced_wakeups"`
+	// WatchTailHits counts subscriber wakes served entirely from the
+	// in-memory tail ring; WatchTailMisses counts wakes that fell back to
+	// a stability-window scan (ring overflow or a digest-free write
+	// notification).
+	WatchTailHits   int64 `json:"watch_tail_hits"`
+	WatchTailMisses int64 `json:"watch_tail_misses"`
+	// WatchShards maps event type to its live subscriber count (omitted
+	// when no shard has subscribers).
+	WatchShards map[string]int64 `json:"watch_shards,omitempty"`
 }
 
 // StatsPayload is the result of GET /v1/stats (and the legacy

@@ -46,6 +46,12 @@ type Report struct {
 	Watchers        int   `json:"watchers"`
 	WatchDeliveries int64 `json:"watch_deliveries"`
 	WatcherErrs     int64 `json:"watcher_errs"`
+	// WatchLag is the write-to-delivery lag distribution: ingest ack to
+	// watch receipt, one sample per (event, watcher) delivery of an event
+	// this run ingested. WatchLagN counts the samples.
+	WatchLagN int64       `json:"watch_lag_n"`
+	WatchLag  Percentiles `json:"watch_lag"`
+	lagHist   *Hist
 
 	// Generator-side process accounting.
 	HTTPAttempts  int64  `json:"http_attempts"`
@@ -162,6 +168,18 @@ func WriteBenchLines(w io.Writer, reports []*Report) error {
 			}
 			p.hist.Merge(cr.hist)
 		}
+		// Write-to-delivery lag rides the same pipeline as a pseudo-class,
+		// so the benchdiff gate covers delivery latency directly.
+		if rep.lagHist != nil && rep.WatchLagN > 0 {
+			key := rep.Scenario + "/watchlag"
+			p, ok := merged[key]
+			if !ok {
+				p = &pooled{scenario: rep.Scenario, class: "watchlag", hist: &Hist{}}
+				merged[key] = p
+				order = append(order, key)
+			}
+			p.hist.Merge(rep.lagHist)
+		}
 	}
 	sort.Strings(order)
 	for _, key := range order {
@@ -187,6 +205,11 @@ func Summarize(w io.Writer, rep *Report) {
 	if rep.Watchers > 0 {
 		fmt.Fprintf(w, "  watchers %d: %d deliveries, %d errors\n", rep.Watchers, rep.WatchDeliveries, rep.WatcherErrs)
 	}
+	if rep.WatchLagN > 0 {
+		fmt.Fprintf(w, "  watchlag  n=%-6d p50=%-10v p99=%-10v p999=%-10v max=%v\n",
+			rep.WatchLagN, rep.WatchLag.P50.Round(time.Microsecond), rep.WatchLag.P99.Round(time.Microsecond),
+			rep.WatchLag.P999.Round(time.Microsecond), rep.WatchLag.Max.Round(time.Microsecond))
+	}
 	for _, class := range Classes {
 		cr, ok := rep.Classes[class]
 		if !ok || (cr.Count == 0 && cr.Errors == 0 && cr.Timeouts == 0) {
@@ -198,7 +221,8 @@ func Summarize(w io.Writer, rep *Report) {
 			cr.P999.Round(time.Microsecond), cr.Max.Round(time.Microsecond))
 	}
 	if rep.ServerHTTP != nil {
-		fmt.Fprintf(w, "  server: %d watch subscribers, %d delivered, %d wakeups\n",
-			rep.ServerHTTP.WatchSubscribers, rep.ServerHTTP.WatchDelivered, rep.ServerHTTP.WatchWakeups)
+		fmt.Fprintf(w, "  server: %d watch subscribers, %d delivered, %d wakeups (%d coalesced), tail %d hit / %d miss\n",
+			rep.ServerHTTP.WatchSubscribers, rep.ServerHTTP.WatchDelivered, rep.ServerHTTP.WatchWakeups,
+			rep.ServerHTTP.WatchCoalesced, rep.ServerHTTP.WatchTailHits, rep.ServerHTTP.WatchTailMisses)
 	}
 }

@@ -61,6 +61,37 @@ func (c *classRec) record(d time.Duration, err error, timedOut bool) {
 	}
 }
 
+// lagTracker correlates ingest acks with watch receipts to measure
+// write-to-delivery lag end to end: the ingest path stamps each event's
+// unique source at send time and again at ack time, and every watcher
+// that receives the event records now-minus-stamp. The send-time stamp
+// covers the race where the push beats the ingest response back to the
+// generator (the resulting sample is slightly pessimistic rather than
+// dropped); entries are never deleted — a run's ingest volume is small
+// and every watcher of the event needs the stamp.
+type lagTracker struct {
+	acks    sync.Map // event source → time.Time (send, then ack)
+	hist    Hist
+	matched atomic.Int64
+}
+
+// sent stamps the event before the ingest request goes out.
+func (l *lagTracker) sent(source string, t time.Time) { l.acks.Store(source, t) }
+
+// acked re-stamps the event with its server ack time.
+func (l *lagTracker) acked(source string, t time.Time) { l.acks.Store(source, t) }
+
+// received records one watcher's delivery of the event. Events the run
+// did not ingest (pre-run history) are skipped.
+func (l *lagTracker) received(source string, now time.Time) {
+	v, ok := l.acks.Load(source)
+	if !ok {
+		return
+	}
+	l.matched.Add(1)
+	l.hist.Record(now.Sub(v.(time.Time)))
+}
+
 // opGrace is how long after the arrival window closes the runner waits
 // for in-flight operations before cancelling them.
 const opGrace = 10 * time.Second
@@ -119,6 +150,7 @@ func (r *Runner) Run(ctx context.Context) (*Report, error) {
 	// subscription observes the run's ingest traffic from the start.
 	var watcherWG sync.WaitGroup
 	var watchDeliveries, watcherErrs atomic.Int64
+	lag := &lagTracker{}
 	watchersUp := make(chan struct{}, s.Watchers)
 	for i := 0; i < s.Watchers; i++ {
 		watcherWG.Add(1)
@@ -146,13 +178,15 @@ func (r *Runner) Run(ctx context.Context) (*Report, error) {
 				}
 			}()
 			for {
-				if _, ok := w.Next(); !ok {
+				rec, ok := w.Next()
+				if !ok {
 					if w.Err() != nil && runCtx.Err() == nil {
 						watcherErrs.Add(1)
 					}
 					return
 				}
 				watchDeliveries.Add(1)
+				lag.received(rec.Source, time.Now())
 			}
 		}(i)
 	}
@@ -243,7 +277,7 @@ func (r *Runner) Run(ctx context.Context) (*Report, error) {
 		go func(class string, cli *client.Client) {
 			defer opWG.Done()
 			defer func() { <-sem }()
-			r.doOp(runCtx, s, cli, class, recs[class], &seq)
+			r.doOp(runCtx, s, cli, class, recs[class], &seq, lag)
 		}(class, cli)
 	}
 	arrivalElapsed := time.Since(start)
@@ -276,6 +310,9 @@ func (r *Runner) Run(ctx context.Context) (*Report, error) {
 		Watchers:        s.Watchers,
 		WatchDeliveries: watchDeliveries.Load(),
 		WatcherErrs:     watcherErrs.Load(),
+		WatchLagN:       lag.matched.Load(),
+		WatchLag:        lag.hist.Snapshot(),
+		lagHist:         &lag.hist,
 		HTTPAttempts:    attempts.Load(),
 		TransportErrs:   transportErrs.Load(),
 		AllocBytes:      msAfter.TotalAlloc - msBefore.TotalAlloc,
@@ -313,7 +350,7 @@ func (r *Runner) Run(ctx context.Context) (*Report, error) {
 }
 
 // doOp executes one arrival of the given traffic class.
-func (r *Runner) doOp(ctx context.Context, s Scenario, cli *client.Client, class string, rec *classRec, seq *atomic.Int64) {
+func (r *Runner) doOp(ctx context.Context, s Scenario, cli *client.Client, class string, rec *classRec, seq *atomic.Int64, lag *lagTracker) {
 	qc := query.Context{
 		EventType: s.EventType,
 		From:      time.Now().Add(-time.Duration(s.LookbackS * float64(time.Second))).Unix(),
@@ -333,7 +370,11 @@ func (r *Runner) doOp(ctx context.Context, s Scenario, cli *client.Client, class
 		stmt := fmt.Sprintf(
 			"INSERT INTO event_by_time (partition, key, source, amount, raw) VALUES ('%d:%s', '%s:%s', '%s', '1', 'loadgen %d')",
 			ts/3600, s.EventType, store.EncodeTS(ts), source, source, n)
+		lag.sent(source, time.Now())
 		_, err = cli.Session("ONE").Execute(ctx, stmt)
+		if err == nil {
+			lag.acked(source, time.Now())
+		}
 	case ClassOneshot:
 		_, err = cli.Events(ctx, qc)
 	case ClassPaginated:

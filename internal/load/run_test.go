@@ -109,8 +109,16 @@ func TestRunnerMixedScenario(t *testing.T) {
 		t.Fatalf("CSV has %d lines, want %d:\n%s", len(lines), 1+len(Classes), csvBuf.String())
 	}
 
-	// Bench lines: 3 percentile lines per class, parseable by the same
-	// parser cmd/benchjson uses, so the BENCH_load.json pipeline holds.
+	if rep.WatchLagN == 0 {
+		t.Error("no write-to-delivery lag samples despite ingest + watchers")
+	}
+	if rep.WatchLag.P50 <= 0 || rep.WatchLag.P99 < rep.WatchLag.P50 {
+		t.Errorf("implausible watch lag percentiles %+v", rep.WatchLag)
+	}
+
+	// Bench lines: 3 percentile lines per class plus the watchlag
+	// pseudo-class, parseable by the same parser cmd/benchjson uses, so
+	// the BENCH_load.json pipeline holds.
 	var benchBuf bytes.Buffer
 	if err := WriteBenchLines(&benchBuf, []*Report{rep}); err != nil {
 		t.Fatal(err)
@@ -119,8 +127,11 @@ func TestRunnerMixedScenario(t *testing.T) {
 	for _, line := range strings.Split(benchBuf.String(), "\n") {
 		benchfmt.ParseLine(line, parsed)
 	}
-	if len(parsed) != 3*len(Classes) {
-		t.Fatalf("parsed %d bench lines, want %d:\n%s", len(parsed), 3*len(Classes), benchBuf.String())
+	if want := 3 * (len(Classes) + 1); len(parsed) != want {
+		t.Fatalf("parsed %d bench lines, want %d:\n%s", len(parsed), want, benchBuf.String())
+	}
+	if _, ok := parsed["BenchmarkLoad/unit/watchlag/p99"]; !ok {
+		t.Fatalf("missing watchlag bench line:\n%s", benchBuf.String())
 	}
 	for name, res := range parsed {
 		if !strings.HasPrefix(name, "BenchmarkLoad/unit/") || res.NsOp <= 0 {

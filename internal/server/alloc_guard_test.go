@@ -1,0 +1,33 @@
+//go:build !race
+
+package server
+
+import (
+	"testing"
+	"time"
+
+	"hpclog/internal/model"
+)
+
+// Allocation regression guard for the watch write path: publishing a
+// single-row digest into a shard with parked subscribers runs on every
+// acked store write, so it must stay O(rows) — one decoded tail entry —
+// regardless of subscriber count. The per-notify budget covers the
+// entries slice and the row decode; fan-out belongs to the dispatcher,
+// which reuses its snapshot buffer and allocates nothing in steady
+// state. Excluded under -race (the detector adds bookkeeping
+// allocations).
+func TestHubNotifyAllocBudget(t *testing.T) {
+	h := newHub(4096)
+	defer h.close()
+	for i := 0; i < 100; i++ {
+		h.subscribe(model.GPUFail)
+	}
+	d := testDigest(model.GPUFail, time.Now().Unix(), "c0-0c0s0n0")
+	for i := 0; i < 64; i++ {
+		h.notify(d) // warm the ring and the dispatcher's snapshot buffer
+	}
+	if avg := testing.AllocsPerRun(200, func() { h.notify(d) }); avg > 4 {
+		t.Fatalf("hub.notify allocates %.2f objects per single-row digest (budget 4); the watch write path must not scale allocations with subscribers", avg)
+	}
+}

@@ -62,6 +62,11 @@ type Config struct {
 	// MaxBodyBytes — a replica batch legitimately outgrows a public API
 	// request; <= 0 means 32 MiB.
 	ReplicateMaxBodyBytes int64
+	// WatchTailRing is the per-event-type tail-ring capacity in rows: a
+	// watch subscriber lagging more than this many writes behind the
+	// shard head falls back to a stability-window scan. <= 0 means 4096.
+	// Tests set it tiny to exercise the overflow path.
+	WatchTailRing int
 }
 
 func (c Config) withDefaults() Config {
@@ -94,6 +99,9 @@ func (c Config) withDefaults() Config {
 	c.ClusterInFlight = def(c.ClusterInFlight, 128)
 	if c.ReplicateMaxBodyBytes <= 0 {
 		c.ReplicateMaxBodyBytes = 32 << 20
+	}
+	if c.WatchTailRing <= 0 {
+		c.WatchTailRing = defaultTailRing
 	}
 	return c
 }
@@ -136,10 +144,10 @@ func NewWithConfig(q *query.Engine, db *store.DB, eng *compute.Engine, cfg Confi
 		q: q, db: db, eng: eng,
 		cfg:       cfg.withDefaults(),
 		mux:       http.NewServeMux(),
-		hub:       newHub(),
 		now:       time.Now,
 		reqPrefix: hex.EncodeToString(pfx[:]),
 	}
+	s.hub = newHub(s.cfg.WatchTailRing)
 	s.limiters = map[string]*limiter{
 		"query":   {max: int64(s.cfg.QueryInFlight)},
 		"cql":     {max: int64(s.cfg.CQLInFlight)},
@@ -148,8 +156,10 @@ func NewWithConfig(q *query.Engine, db *store.DB, eng *compute.Engine, cfg Confi
 		"storage": {max: int64(s.cfg.StorageInFlight)},
 		"cluster": {max: int64(s.cfg.ClusterInFlight)},
 	}
-	// The watch hub is woken by the store's write path: every acked write
-	// bumps the DB generation, which fans out here — push, not poll.
+	// The watch hub is fed by the store's write path: every acked write
+	// publishes a digest (table, partition key, acked rows) that routes to
+	// the one shard watching the write's event type — push, not poll, and
+	// typed so unrelated writes never wake a watcher.
 	s.cancelNotify = db.RegisterWriteNotify(s.hub.notify)
 
 	// v1 wire protocol.
@@ -532,6 +542,10 @@ func (s *Server) statsCore(http.ResponseWriter, *http.Request) (any, *api.Error)
 			WatchSubscribers: s.hub.subscribers.Load(),
 			WatchDelivered:   s.hub.delivered.Load(),
 			WatchWakeups:     s.hub.wakeups.Load(),
+			WatchCoalesced:   s.hub.coalesced.Load(),
+			WatchTailHits:    s.hub.tailHits.Load(),
+			WatchTailMisses:  s.hub.tailMisses.Load(),
+			WatchShards:      s.hub.shardCounts(),
 		},
 		Tables: s.db.Tables(),
 		Nodes:  s.db.NodeIDs(),

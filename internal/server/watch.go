@@ -1,13 +1,23 @@
 // Push-based event watching. The hub replaces the pre-v1 50ms poll tick:
-// every acked store write (any loader, CQL INSERT, streaming consumer,
-// repair) bumps the DB generation, which fans out through
-// store.RegisterWriteNotify to the hub, which wakes exactly the parked
-// subscribers — no fixed interval anywhere, so delivery latency is the
-// write-to-wakeup path, microseconds rather than half a poll period.
+// every acked store write publishes a typed digest (table, partition key,
+// acked rows) through store.RegisterWriteNotify, which the hub routes to
+// the one shard responsible for the write's event type. The shard appends
+// the decoded rows to a bounded in-memory tail ring and signals its
+// dispatcher, which wakes exactly the parked subscribers of that type —
+// no fixed interval anywhere, and a woken subscriber reads the delta
+// since its cursor straight from the ring instead of re-scanning the
+// store, so a write burst costs each subscriber one coalesced wakeup and
+// one O(delta) memory read rather than O(scan).
+//
+// Subscribers that lag past the ring, and digest-free notifications (a
+// peer's heartbeat advancing remote progress, anti-entropy repair), fall
+// back to the stability-window scan — the ring is a cache over the scan
+// path, never a substitute for its correctness: the per-subscription
+// delivered-key window keeps delivery exactly-once across both paths.
 //
 // GET /v1/watch streams matching events as NDJSON as they arrive; the
-// legacy GET /api/poll parks on the same hub and answers once with the
-// pre-v1 envelope.
+// legacy GET /api/poll parks on the same shards and answers once with
+// the pre-v1 envelope.
 package server
 
 import (
@@ -24,64 +34,314 @@ import (
 	"hpclog/internal/store"
 )
 
-// hub fans write notifications out to parked watch/poll subscribers.
+// defaultTailRing is the per-shard tail-ring capacity in rows when
+// Config.WatchTailRing is unset: large enough that a subscriber only
+// overflows when it has lagged a full burst of writes behind the head.
+const defaultTailRing = 4096
+
+// hub fans write digests out to parked watch/poll subscribers, sharded
+// by event type.
 type hub struct {
+	ringSize int
+
 	mu     sync.RWMutex
-	subs   map[*subscriber]struct{}
+	shards map[model.EventType]*watchShard
 	closed chan struct{}
 	done   bool
 
+	// scanEpoch advances on every digest-free notification: rows may have
+	// become readable without row-level detail, so each subscriber's next
+	// wake must fall back to a scan. Subscribers track the epoch they last
+	// scanned at.
+	scanEpoch atomic.Uint64
+
 	subscribers atomic.Int64
 	delivered   atomic.Int64
-	wakeups     atomic.Int64
+	// wakeups counts successful latch sends only — a subscriber whose
+	// latch was already set is not woken again, and not counted again.
+	wakeups atomic.Int64
+	// coalesced counts digest appends that found a dispatch already
+	// pending: N back-to-back writes collapse into ~1 wakeup per parked
+	// subscriber, and this counter is the proof.
+	coalesced atomic.Int64
+	// tailHits counts subscriber wakes served entirely from the shard's
+	// tail ring; tailMisses counts wakes that had to fall back to the
+	// stability-window scan (ring overflow or a scan-epoch advance).
+	tailHits   atomic.Int64
+	tailMisses atomic.Int64
+}
+
+// watchShard is the hub's per-event-type slice: the subscribers watching
+// one type, the shared tail ring of recently acked rows of that type,
+// and the dispatcher state that batches their wakeups.
+type watchShard struct {
+	typ model.EventType
+
+	mu   sync.Mutex
+	subs map[*subscriber]struct{}
+	// ring is a circular buffer of the last len(ring) appended entries.
+	// head is the sequence number of the next append; the valid entries
+	// cover sequences [head-count, head). A subscriber whose cursor has
+	// fallen out of that window has lagged past the ring and must scan.
+	ring  []tailEntry
+	head  uint64
+	count int
+	// dirty marks a dispatch pending: appends while dirty are coalesced
+	// into the pending pass instead of signaling again.
+	dirty bool
+
+	// subCount mirrors len(subs) for the write path's lock-free "anyone
+	// listening?" check.
+	subCount atomic.Int64
+
+	// wake signals the shard's dispatcher (capacity 1: a latch).
+	wake chan struct{}
+}
+
+// tailEntry is one acked row in a shard's tail ring, pre-decoded so a
+// thousand subscribers share one decode.
+type tailEntry struct {
+	key string
+	ts  int64 // event unix seconds, decoded once from the clustering key
+	rec query.EventRecord
 }
 
 // subscriber is one parked watch/poll request. Its channel has capacity
-// one: a notification arriving while the subscriber is scanning latches,
-// so the wake-scan loop can never miss a write (check, then park).
-type subscriber struct{ ch chan struct{} }
-
-func newHub() *hub {
-	return &hub{subs: make(map[*subscriber]struct{}), closed: make(chan struct{})}
+// one: a notification arriving while the subscriber is draining latches,
+// so the wake-drain loop can never miss a write (check, then park).
+// cursor and epoch are owned by the subscriber's handler goroutine.
+type subscriber struct {
+	ch      chan struct{}
+	shard   *watchShard
+	cursor  uint64 // next ring sequence to consume
+	epoch   uint64 // hub.scanEpoch as of the last scan
+	scratch []tailEntry
 }
 
-// notify wakes every subscriber. It runs synchronously on the store's
-// write path, so it must stay cheap: one RLock and a non-blocking send
-// per subscriber.
-func (h *hub) notify() {
+func newHub(ringSize int) *hub {
+	if ringSize <= 0 {
+		ringSize = defaultTailRing
+	}
+	return &hub{
+		ringSize: ringSize,
+		shards:   make(map[model.EventType]*watchShard),
+		closed:   make(chan struct{}),
+	}
+}
+
+// notify routes one write digest to its event type's shard. It runs
+// synchronously on the store's write path, so it must stay cheap: a
+// type lookup, one bounded ring append under the shard lock, and a
+// non-blocking dispatcher signal. Writes to types nobody watches — and
+// to tables that are not the event-by-time table — cost one map lookup.
+// A nil digest (remote progress, repair) advances the scan epoch and
+// wakes every shard: the rows are only discoverable by scanning.
+func (h *hub) notify(d *store.WriteDigest) {
+	if d == nil {
+		h.scanFallback()
+		return
+	}
+	if d.Table != model.TableEventByTime {
+		return
+	}
+	typ, err := model.TypeFromKey(d.PKey)
+	if err != nil {
+		// An event-table write whose partition key does not parse cannot
+		// be routed; deliver it the conservative way.
+		h.scanFallback()
+		return
+	}
 	h.mu.RLock()
-	n := len(h.subs)
-	for sub := range h.subs {
-		select {
-		case sub.ch <- struct{}{}:
-		default:
+	sh := h.shards[typ]
+	h.mu.RUnlock()
+	if sh == nil || sh.subCount.Load() == 0 {
+		return
+	}
+	// Decode outside the shard lock: one decode per row, shared by every
+	// subscriber of the type.
+	entries := make([]tailEntry, 0, len(d.Rows))
+	for _, row := range d.Rows {
+		e, derr := model.EventFromTimeRow(d.PKey, row)
+		if derr != nil {
+			// Undecodable rows can only be delivered by the scan path.
+			h.scanFallback()
+			return
 		}
+		ts, terr := store.DecodeTS(row.Key)
+		if terr != nil {
+			h.scanFallback()
+			return
+		}
+		entries = append(entries, tailEntry{key: row.Key, ts: ts, rec: eventRecord(e)})
+	}
+	sh.append(entries, h)
+}
+
+// scanFallback wakes every shard with the scan-epoch advanced, forcing
+// each subscriber's next wake through the stability-window scan.
+func (h *hub) scanFallback() {
+	h.scanEpoch.Add(1)
+	h.mu.RLock()
+	for _, sh := range h.shards {
+		sh.signal(h)
 	}
 	h.mu.RUnlock()
-	if n > 0 {
-		h.wakeups.Add(int64(n))
+}
+
+// append adds entries to the shard's tail ring and signals the
+// dispatcher. With no subscribers the append is skipped entirely (the
+// subscribe path initializes each new cursor to the current head and
+// catches up by scanning, so unobserved history need not be buffered).
+func (sh *watchShard) append(entries []tailEntry, h *hub) {
+	sh.mu.Lock()
+	if len(sh.subs) == 0 {
+		sh.mu.Unlock()
+		return
+	}
+	n := uint64(len(sh.ring))
+	for _, e := range entries {
+		sh.ring[sh.head%n] = e
+		sh.head++
+	}
+	if sh.count += len(entries); sh.count > len(sh.ring) {
+		sh.count = len(sh.ring)
+	}
+	pending := sh.dirty
+	sh.dirty = true
+	sh.mu.Unlock()
+	if pending {
+		// A dispatch pass is already pending and will observe this append:
+		// the wakeup is coalesced.
+		h.coalesced.Add(1)
+		return
+	}
+	select {
+	case sh.wake <- struct{}{}:
+	default:
 	}
 }
 
-func (h *hub) subscribe() *subscriber {
+// signal marks the shard dirty and pokes its dispatcher (the digest-free
+// path: nothing to append, everyone must scan).
+func (sh *watchShard) signal(h *hub) {
+	sh.mu.Lock()
+	if len(sh.subs) == 0 {
+		sh.mu.Unlock()
+		return
+	}
+	pending := sh.dirty
+	sh.dirty = true
+	sh.mu.Unlock()
+	if pending {
+		h.coalesced.Add(1)
+		return
+	}
+	select {
+	case sh.wake <- struct{}{}:
+	default:
+	}
+}
+
+// dispatch is the shard's wakeup batcher, one goroutine per shard: each
+// pass latches every parked subscriber of the type once, so N writes
+// arriving while a pass runs produce one more pass, not N more. Exits
+// when the hub closes.
+func (sh *watchShard) dispatch(h *hub) {
+	var subs []*subscriber
+	for {
+		select {
+		case <-h.closed:
+			return
+		case <-sh.wake:
+		}
+		sh.mu.Lock()
+		sh.dirty = false
+		subs = subs[:0]
+		for s := range sh.subs {
+			subs = append(subs, s)
+		}
+		sh.mu.Unlock()
+		for _, s := range subs {
+			select {
+			case s.ch <- struct{}{}:
+				h.wakeups.Add(1)
+			default:
+				// Latch already set: the subscriber will drain this write in
+				// the pass it is already due for.
+			}
+		}
+	}
+}
+
+// subscribe parks a new subscriber on the event type's shard, creating
+// the shard (and its dispatcher) on first use. The cursor starts at the
+// ring head: history before the subscription is the initial scan's job.
+func (h *hub) subscribe(typ model.EventType) *subscriber {
 	sub := &subscriber{ch: make(chan struct{}, 1)}
 	h.mu.Lock()
-	h.subs[sub] = struct{}{}
+	sh := h.shards[typ]
+	if sh == nil {
+		sh = &watchShard{
+			typ:  typ,
+			subs: make(map[*subscriber]struct{}),
+			ring: make([]tailEntry, h.ringSize),
+			wake: make(chan struct{}, 1),
+		}
+		h.shards[typ] = sh
+		if !h.done {
+			go sh.dispatch(h)
+		}
+	}
 	h.mu.Unlock()
+	sh.mu.Lock()
+	sh.subs[sub] = struct{}{}
+	sub.shard = sh
+	sub.cursor = sh.head
+	sh.subCount.Store(int64(len(sh.subs)))
+	sh.mu.Unlock()
 	h.subscribers.Add(1)
 	return sub
 }
 
 func (h *hub) unsubscribe(sub *subscriber) {
-	h.mu.Lock()
-	delete(h.subs, sub)
-	h.mu.Unlock()
+	sh := sub.shard
+	sh.mu.Lock()
+	delete(sh.subs, sub)
+	sh.subCount.Store(int64(len(sh.subs)))
+	if len(sh.subs) == 0 {
+		// Release the buffered rows; the next subscriber starts at the
+		// head and scans for history anyway.
+		for i := range sh.ring {
+			sh.ring[i] = tailEntry{}
+		}
+		sh.count = 0
+	}
+	sh.mu.Unlock()
 	h.subscribers.Add(-1)
+}
+
+// shardCounts snapshots live subscriber counts per event type.
+func (h *hub) shardCounts() map[string]int64 {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	if len(h.shards) == 0 {
+		return nil
+	}
+	out := make(map[string]int64, len(h.shards))
+	for typ, sh := range h.shards {
+		if n := sh.subCount.Load(); n > 0 {
+			out[string(typ)] = n
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
 }
 
 // close wakes every subscriber permanently; parked requests complete
 // their response (graceful shutdown drains the hub before the HTTP
-// listener).
+// listener) and every shard dispatcher exits.
 func (h *hub) close() {
 	h.mu.Lock()
 	if !h.done {
@@ -91,17 +351,77 @@ func (h *hub) close() {
 	h.mu.Unlock()
 }
 
+// collect gathers the newly arrived events for one watch subscription:
+// the delta since the subscriber's ring cursor when the ring still holds
+// it, or a stability-window scan when forced (initial catch-up, skew
+// re-check), lagged past the ring, or behind the scan epoch. Ring
+// entries drained alongside a scan cover rows the scan's clock-bounded
+// window cannot see yet (writer clocks ahead); the delivered-key window
+// dedups across both sources.
+func (h *hub) collect(sub *subscriber, tail *eventTail, db *store.DB, now time.Time, forceScan bool) ([]query.EventRecord, error) {
+	sh := sub.shard
+	epoch := h.scanEpoch.Load()
+	sh.mu.Lock()
+	head := sh.head
+	lagged := head-sub.cursor > uint64(sh.count)
+	from := sub.cursor
+	if lagged {
+		from = head - uint64(sh.count)
+	}
+	pending := sub.scratch[:0]
+	n := uint64(len(sh.ring))
+	for seq := from; seq < head; seq++ {
+		pending = append(pending, sh.ring[seq%n])
+	}
+	sh.mu.Unlock()
+	sub.scratch = pending
+
+	mustScan := forceScan || lagged || epoch != sub.epoch
+	var out []query.EventRecord
+	if mustScan {
+		err := scanEventsSince(db, tail.typ, tail.from, now, func(key string, rec query.EventRecord) {
+			if tail.delivered[key] {
+				return
+			}
+			tail.delivered[key] = true
+			out = append(out, rec)
+		})
+		if err != nil {
+			return nil, err
+		}
+		if !forceScan {
+			// Overflow/epoch fallback (the initial catch-up and skew
+			// re-checks are scans by design, not ring misses).
+			h.tailMisses.Add(1)
+		}
+	} else {
+		h.tailHits.Add(1)
+	}
+	for i := range pending {
+		e := &pending[i]
+		if e.ts < tail.from || tail.delivered[e.key] {
+			continue
+		}
+		tail.delivered[e.key] = true
+		out = append(out, e.rec)
+	}
+	tail.prune(now)
+	sub.cursor = head
+	sub.epoch = epoch
+	return out, nil
+}
+
 // eventTail tracks a watch subscription's position in the event stream
-// as data keys, with a one-hour stability window: each wake re-reads the
-// window [from, now) and delivers only rows whose clustering key has not
-// been delivered yet, so concurrent writers landing out of key order
-// within the window are never missed and never duplicated. Once the
-// window slides past an hour boundary, delivered-key state older than
-// the previous hour is pruned — an event arriving with a timestamp more
-// than an hour in the past is beyond the tail and is not delivered.
+// as data keys, with a one-hour stability window: rows are delivered
+// only once by clustering key, so concurrent writers landing out of key
+// order within the window are never missed and never duplicated,
+// whether a row arrives through the tail ring or a fallback scan. Once
+// the window slides past an hour boundary, delivered-key state older
+// than the previous hour is pruned — an event arriving with a timestamp
+// more than an hour in the past is beyond the tail and is not delivered.
 type eventTail struct {
 	typ       model.EventType
-	from      int64 // rescan lower bound, unix seconds
+	from      int64 // rescan/ring lower bound, unix seconds
 	delivered map[string]bool
 }
 
@@ -109,10 +429,25 @@ func newEventTail(typ model.EventType, since int64) *eventTail {
 	return &eventTail{typ: typ, from: since, delivered: make(map[string]bool)}
 }
 
+// prune slides the stability window: state older than the previous full
+// hour is dropped so a long-lived watch holds hours of keys, not days.
+func (t *eventTail) prune(now time.Time) {
+	cut := now.Unix()/3600*3600 - 3600
+	if cut <= t.from {
+		return
+	}
+	for k := range t.delivered {
+		if ts, err := store.DecodeTS(k); err == nil && ts < cut {
+			delete(t.delivered, k)
+		}
+	}
+	t.from = cut
+}
+
 // scanEventsSince walks the hour partitions of one event type over
-// [since, now+1s) in key order — the scan loop shared by the watch tail
-// and the legacy poll. visit receives each row's clustering key and
-// decoded record.
+// [since, now+1s) in key order — the scan loop shared by the watch
+// fallback path and the legacy poll. visit receives each row's
+// clustering key and decoded record.
 func scanEventsSince(db *store.DB, typ model.EventType, since int64, now time.Time, visit func(key string, rec query.EventRecord)) error {
 	from := time.Unix(since, 0).UTC()
 	to := now.UTC().Add(time.Second)
@@ -137,39 +472,13 @@ func scanEventsSince(db *store.DB, typ model.EventType, since int64, now time.Ti
 	return nil
 }
 
-// collect returns newly arrived events in [from, now], advancing the
-// stability window.
-func (t *eventTail) collect(db *store.DB, now time.Time) ([]query.EventRecord, error) {
-	var out []query.EventRecord
-	err := scanEventsSince(db, t.typ, t.from, now, func(key string, rec query.EventRecord) {
-		if t.delivered[key] {
-			return
-		}
-		t.delivered[key] = true
-		out = append(out, rec)
-	})
-	if err != nil {
-		return nil, err
-	}
-	// Slide the stability window: state older than the previous full hour
-	// is pruned so a long-lived watch holds hours of keys, not days.
-	cut := now.Unix()/3600*3600 - 3600
-	if cut > t.from {
-		for k := range t.delivered {
-			if ts, err := store.DecodeTS(k); err == nil && ts < cut {
-				delete(t.delivered, k)
-			}
-		}
-		t.from = cut
-	}
-	return out, nil
-}
-
 // skewRecheck bounds how long a committed-but-future-timestamped event
-// (writer clock ahead of the server's) can wait for delivery: a wake
-// that delivers nothing arms one bounded re-scan, because the write that
-// woke us may sit just past the scan window's clock-bounded upper edge.
-// Idle subscriptions (no writes) never tick.
+// that is only reachable by scanning (it fell out of the ring, or
+// arrived digest-free) can wait for delivery: a wake that delivers
+// nothing arms one bounded re-scan, because the write that woke us may
+// sit just past the scan window's clock-bounded upper edge. Ring
+// deliveries carry no such edge — a future-stamped row in the ring is
+// pushed immediately. Idle subscriptions (no writes) never tick.
 const skewRecheck = time.Second
 
 // watchTimeout parses and caps a timeout_ms query parameter.
@@ -221,15 +530,18 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	sub := s.hub.subscribe()
+	sub := s.hub.subscribe(model.EventType(typ))
 	defer s.hub.unsubscribe(sub)
 	tail := newEventTail(model.EventType(typ), since)
 	nd := newNDJSON(w, reqID)
 	deadline := time.NewTimer(timeout)
 	defer deadline.Stop()
 	woken := false
+	// The first collect always scans: the subscription's history ([since,
+	// now)) predates its ring cursor.
+	forceScan := true
 	for {
-		events, err := tail.collect(s.db, s.now())
+		events, err := s.hub.collect(sub, tail, s.db, s.now(), forceScan)
 		if err != nil {
 			if !nd.started {
 				s.writeV1(w, started, reqID, nil, api.Errorf(api.CodeInternal, "%v", err))
@@ -238,6 +550,7 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 			nd.finish(err)
 			return
 		}
+		forceScan = false
 		// Commit to the stream (headers + flush) before parking so the
 		// client observes an established subscription even when no
 		// historical events match.
@@ -249,9 +562,10 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 		}
 		s.hub.delivered.Add(int64(len(events)))
 		nd.flush()
-		// A wake that found nothing may have been a write sitting past the
-		// clock-bounded scan edge (skewed timestamp): arm one bounded
-		// re-scan. A nil channel never fires, so idle parks stay pure push.
+		// A wake that found nothing may have been a scan-only write sitting
+		// past the clock-bounded scan edge (skewed timestamp): arm one
+		// bounded re-scan. A nil channel never fires, so idle parks stay
+		// pure push.
 		var recheck <-chan time.Time
 		if woken && len(events) == 0 {
 			recheck = time.After(skewRecheck)
@@ -262,6 +576,7 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 			woken = true
 		case <-recheck:
 			woken = true
+			forceScan = true
 		case <-deadline.C:
 			nd.finish(nil)
 			return
@@ -280,8 +595,9 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 //
 // It answers as soon as events of the type with timestamp >= since
 // exist, or with an empty result after the (capped) timeout. The park is
-// hub-driven — the handler wakes only when a write commits — so the
-// pre-v1 50ms re-scan tick is gone while the wire behavior is unchanged.
+// shard-driven — the handler wakes only when a write of its event type
+// (or a digest-free notification) commits — so the pre-v1 50ms re-scan
+// tick is gone while the wire behavior is unchanged.
 func (s *Server) handlePoll(w http.ResponseWriter, r *http.Request) {
 	started := s.now()
 	typ := r.URL.Query().Get("type")
@@ -299,7 +615,7 @@ func (s *Server) handlePoll(w http.ResponseWriter, r *http.Request) {
 		writeLegacy(w, started, nil, api.Errorf(api.CodeBadRequest, "server: %v", terr))
 		return
 	}
-	sub := s.hub.subscribe()
+	sub := s.hub.subscribe(model.EventType(typ))
 	defer s.hub.unsubscribe(sub)
 	deadline := time.NewTimer(timeout)
 	defer deadline.Stop()

@@ -198,27 +198,68 @@ type ReplayStats struct {
 // reuse while Generation() still returns g.
 func (db *DB) Generation() uint64 { return db.generation.Load() }
 
-// bumpGeneration records a logical mutation and wakes write notifiers.
+// WriteDigest describes one acked batch of rows: which table and
+// partition they landed in and the rows themselves (stamped, in the
+// compact interned-column form). It is the typed payload of a write
+// notification, letting a push consumer (the watch hub) route the
+// notification by partition key and deliver the rows from memory
+// instead of re-scanning the store per subscriber.
+//
+// Rows is shared with the write path and with every other notifier —
+// receivers must treat the slice and its rows as immutable.
+type WriteDigest struct {
+	Table string
+	PKey  string
+	Rows  []Row
+}
+
+// bumpGeneration records a metadata-only mutation (table creation,
+// compaction): caches must revalidate, but no new rows became readable,
+// so write notifiers are not called.
 func (db *DB) bumpGeneration() {
+	db.generation.Add(1)
+}
+
+// notifyWrite records an acked batch of rows and publishes its digest to
+// every write notifier.
+func (db *DB) notifyWrite(table, pkey string, rows []Row) {
+	db.generation.Add(1)
+	if subs := db.notifiers.Load(); subs != nil && len(*subs) > 0 {
+		d := &WriteDigest{Table: table, PKey: pkey, Rows: rows}
+		for _, n := range *subs {
+			n.fn(d)
+		}
+	}
+}
+
+// notifyScan records a mutation that may have made new rows readable
+// without a row-level digest (remote progress via heartbeat, repair
+// convergence): notifiers receive nil and must fall back to scanning.
+func (db *DB) notifyScan() {
 	db.generation.Add(1)
 	if subs := db.notifiers.Load(); subs != nil {
 		for _, n := range *subs {
-			n.fn()
+			n.fn(nil)
 		}
 	}
 }
 
 // writeNotifier is one registered write callback.
-type writeNotifier struct{ fn func() }
+type writeNotifier struct{ fn func(*WriteDigest) }
 
-// RegisterWriteNotify registers fn to run after every logical mutation of
-// the database (any acked write, table creation, repair) — the push
+// RegisterWriteNotify registers fn to run after acked writes — the push
 // signal behind the analytic server's /v1/watch hub, replacing fixed
-// poll intervals. fn runs synchronously on the mutating goroutine and
-// therefore must be fast and non-blocking (typically a non-blocking
-// channel send). The returned cancel function unregisters fn; it is safe
-// to call more than once.
-func (db *DB) RegisterWriteNotify(fn func()) (cancel func()) {
+// poll intervals. fn receives the write's digest (table, partition key,
+// acked rows) when the mutating path knows it, or nil when rows may have
+// become readable without row-level detail (a peer's heartbeat advancing
+// remote progress, anti-entropy repair) — a nil digest means "scan to
+// find out". Metadata-only mutations (table creation, compaction) advance
+// the generation without notifying. fn runs synchronously on the mutating
+// goroutine and therefore must be fast and non-blocking (typically a
+// bounded in-memory append plus a non-blocking channel send). The
+// returned cancel function unregisters fn; it is safe to call more than
+// once.
+func (db *DB) RegisterWriteNotify(fn func(*WriteDigest)) (cancel func()) {
 	n := &writeNotifier{fn: fn}
 	db.notifyMu.Lock()
 	var cur []*writeNotifier
@@ -708,8 +749,8 @@ func (db *DB) PutBatch(tableName, pkey string, rows []Row, cl Consistency) error
 		if acks > 0 {
 			// Even a failed batch may have applied rows on some replicas,
 			// which consistency-One reads can already observe — cached
-			// results must be revalidated either way.
-			db.bumpGeneration()
+			// results must be revalidated and watchers notified either way.
+			db.notifyWrite(tableName, pkey, stamped)
 		}
 		if acks < need {
 			return fmt.Errorf("store: only %d/%d acks for %s/%s: %w",
@@ -776,7 +817,7 @@ func (db *DB) putBatchDistributed(tableName, pkey string, stamped []Row, encoded
 		}()
 	}
 	if acks > 0 {
-		db.bumpGeneration()
+		db.notifyWrite(tableName, pkey, stamped)
 	}
 	if acks < need {
 		return fmt.Errorf("store: only %d/%d acks for %s/%s: %w",
@@ -880,8 +921,10 @@ func (db *DB) Get(tableName, pkey string, rg Range, cl Consistency) ([]Row, erro
 	}
 	if repaired {
 		// A previously stale replica can now answer consistency-One reads
-		// with more rows, so cached results must be revalidated.
-		db.bumpGeneration()
+		// with more rows, so cached results must be revalidated and
+		// watchers woken (digest-free: the repaired rows may never have
+		// been digested on this coordinator).
+		db.notifyScan()
 	}
 	return materializeRows(merged), nil
 }
@@ -964,7 +1007,7 @@ func (db *DB) Repair(tableName string) (int, error) {
 		}
 	}
 	if copied > 0 {
-		db.bumpGeneration()
+		db.notifyScan()
 	}
 	return copied, nil
 }

@@ -97,9 +97,11 @@ func (db *DB) observeWriteTS(ts int64) (advanced bool) {
 // the local clock. When it advances, local caches are invalidated and
 // watch subscribers are woken: the peer has acked writes this process may
 // now observe through remote reads. Heartbeats call this on both ends.
+// The notification is digest-free — the heartbeat carries only the clock,
+// not the rows — so watch consumers fall back to a scan.
 func (db *DB) NoteRemoteProgress(ts int64) {
 	if db.observeWriteTS(ts) {
-		db.bumpGeneration()
+		db.notifyScan()
 	}
 }
 
@@ -150,7 +152,10 @@ func (db *DB) ApplyReplicated(nodeID, tableName, pkey string, rows []Row) error 
 		return err
 	}
 	db.observeWriteTS(maxTS)
-	db.bumpGeneration()
+	// Publish the digest: this process's own watch subscribers see
+	// replicated writes exactly like locally coordinated ones (every
+	// cluster process is also a coordinator).
+	db.notifyWrite(tableName, pkey, compacted)
 	return nil
 }
 
