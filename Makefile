@@ -11,18 +11,30 @@ BENCH_LABEL ?= dev
 
 .PHONY: ci vet build test test-fresh race bench bench-wal bench-api \
 	bench-json bench-smoke alloc-guard fmt-check test-wire \
-	bench-diff load-smoke bench-load cluster-smoke
+	bench-diff load-smoke bench-load cluster-smoke metrics-lint
 
 # alloc-guard runs inside the plain (non-race) test pass, but is also
 # listed explicitly so the allocation budgets cannot rot out of CI.
 # test-wire re-runs the v1 wire-protocol suites (api contract, client
 # SDK, server surface, SDK-vs-engine corpus equality) by name so a
 # filtered test invocation cannot silently drop them.
-# bench-diff gates the committed perf trajectories; load-smoke drives a
-# short open-loop mixed scenario through the SDK against a self-hosted
-# server and fails on errors; cluster-smoke proves the multi-process
+# bench-diff gates the committed perf trajectories; metrics-lint checks
+# the /v1/metrics exposition stays parseable and internally consistent;
+# load-smoke drives a short open-loop mixed scenario through the SDK
+# against a self-hosted server, scrapes /v1/metrics mid-run, and fails
+# on errors or missing series; cluster-smoke proves the multi-process
 # replicated cluster survives a kill -9.
-ci: vet build race test-fresh alloc-guard test-wire bench-smoke bench-diff load-smoke cluster-smoke
+ci: vet build race test-fresh alloc-guard test-wire metrics-lint bench-smoke bench-diff load-smoke cluster-smoke
+
+# Exposition-format lint plus cluster observability: every /v1/metrics
+# line must parse, each metric is typed exactly once, histogram buckets
+# are cumulative with +Inf == _count, counters never go negative, the
+# slow-query log captures stage timings, per-peer replication series
+# appear on every cluster member, and one request ID traces across all
+# three processes of a replicated write.
+metrics-lint:
+	$(GO) test -count=1 -run 'TestMetricsExposition|TestSlowQueryLog' ./internal/server/
+	$(GO) test -count=1 -run 'TestMetricsClusterReplication|TestMetricsTracePropagation' ./internal/dist/
 
 # Perf-regression gate: within every committed BENCH_*.json trajectory,
 # compare the oldest recorded run against the newest and fail on >15%
@@ -36,10 +48,12 @@ bench-diff:
 	done
 
 # Open-loop load smoke: every traffic class plus live watchers at a
-# modest fixed arrival rate against an in-process server; any error rate
-# above 2% fails CI.
+# modest fixed arrival rate against an in-process server with a real
+# commitlog; any error rate above 2% fails CI, and a mid-run
+# /v1/metrics scrape must show the traffic (request histograms, live
+# watch subscribers, fsync latency) or the run fails.
 load-smoke:
-	$(GO) run ./cmd/loadgen -smoke -selfhost -q -max-error-rate 0.02
+	$(GO) run ./cmd/loadgen -smoke -selfhost -durable -metrics-check -q -max-error-rate 0.02
 
 # Multi-process cluster smoke: build cmd/hpclogd, spawn a 3-process RF=3
 # cluster on loopback ports, drive quorum writes and reads through the
@@ -52,9 +66,16 @@ cluster-smoke:
 # Re-record the committed load-latency trajectory from the experiment
 # grid: scenarios × repeats from experiments.json, per-class p50/p99/p999
 # appended to BENCH_load.json under $(BENCH_LABEL), raw per-run rows in
-# load_results.csv (uncommitted scratch output).
+# load_results.csv (uncommitted scratch output). Every run is scraped
+# mid-flight (-metrics-check), so the recorded numbers include the full
+# observability layer (tracing + metrics). The store stays in-memory to
+# match the conditions of every earlier recorded run — the trajectory
+# gates code changes, not storage configuration; the durable commitlog's
+# latency contribution is covered by load-smoke (which runs -durable and
+# asserts the fsync series) and the WAL benchmarks in BENCH_wal.json.
 bench-load:
-	$(GO) run ./cmd/loadgen -grid experiments.json -selfhost -csv load_results.csv -bench - \
+	$(GO) run ./cmd/loadgen -grid experiments.json -selfhost -metrics-check \
+		-csv load_results.csv -bench - \
 		| $(GO) run ./cmd/benchjson -o BENCH_load.json -label "$(BENCH_LABEL)"
 
 # The v1 wire protocol: contract types, client SDK (error propagation,
@@ -112,17 +133,20 @@ bench-json:
 		| $(GO) run ./cmd/benchjson -o BENCH_api.json -label "$(BENCH_LABEL)"
 	$(GO) test -run XXX -bench BenchmarkHubNotify -benchmem -json ./internal/server/ \
 		| $(GO) run ./cmd/benchjson -o BENCH_hub.json -label "$(BENCH_LABEL)"
+	$(GO) test -run XXX -bench 'BenchmarkMetricsRecord|BenchmarkSpan' -benchmem -json ./internal/obs/ \
+		| $(GO) run ./cmd/benchjson -o BENCH_obs.json -label "$(BENCH_LABEL)"
 
 bench-smoke:
 	$(GO) test -run XXX -bench WAL -benchtime 1x .
 
 # Allocation regression guards: a segment scan, a put-record encode,
-# predicate evaluation, and the watch hub's write-path notify must stay
-# within fixed testing.AllocsPerRun budgets (see *_alloc_guard_test.go;
-# skipped under -race). Predicate evaluation in particular must allocate
-# ZERO per row.
+# predicate evaluation, the watch hub's write-path notify, and the
+# observability hot path (counter bump, histogram record, span stage)
+# must stay within fixed testing.AllocsPerRun budgets (see
+# *_alloc_guard_test.go; skipped under -race). Predicate evaluation and
+# metrics recording in particular must allocate ZERO per op.
 alloc-guard:
-	$(GO) test -run AllocBudget -count=1 ./internal/store/... ./internal/plan/ ./internal/server/
+	$(GO) test -run AllocBudget -count=1 ./internal/store/... ./internal/plan/ ./internal/server/ ./internal/obs/
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

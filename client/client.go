@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"hpclog/internal/api"
+	"hpclog/internal/obs"
 	"hpclog/internal/query"
 	"hpclog/internal/store"
 )
@@ -135,6 +136,11 @@ func (c *Client) newRequest(ctx context.Context, method, path string, body []byt
 		return nil, err
 	}
 	req.Header.Set(api.VersionHeader, fmt.Sprint(api.Version))
+	if id, ok := api.RequestIDFromContext(ctx); ok {
+		// Propagate the caller's request ID so one distributed query's
+		// sub-requests trace under a single ID on every node they touch.
+		req.Header.Set(api.RequestIDHeader, id)
+	}
 	if body != nil {
 		req.Header.Set("Content-Type", api.MediaTypeJSON)
 	}
@@ -313,6 +319,36 @@ func (c *Client) Health(ctx context.Context) error {
 		return fmt.Errorf("client: healthz returned HTTP %d", resp.StatusCode)
 	}
 	return nil
+}
+
+// SlowQueries fetches the server's retained slow-query traces (newest
+// first) from /v1/debug/slow.
+func (c *Client) SlowQueries(ctx context.Context) ([]obs.SlowTrace, error) {
+	var out []obs.SlowTrace
+	err := c.call(ctx, http.MethodGet, "/v1/debug/slow", nil, &out)
+	return out, err
+}
+
+// MetricsText fetches the raw Prometheus text exposition from
+// /v1/metrics (no envelope — the body is what a scraper would see).
+func (c *Client) MetricsText(ctx context.Context) (string, error) {
+	req, err := c.newRequest(ctx, http.MethodGet, "/v1/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("client: metrics returned HTTP %d", resp.StatusCode)
+	}
+	return string(body), nil
 }
 
 // --- Pagination ---

@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -34,6 +35,8 @@ import (
 
 	"hpclog/internal/core"
 	"hpclog/internal/logs"
+	"hpclog/internal/obs"
+	"hpclog/internal/server"
 	"hpclog/internal/topology"
 )
 
@@ -52,12 +55,32 @@ func main() {
 		rf          = flag.Int("rf", 3, "replication factor")
 		threads     = flag.Int("threads", 2, "task slots per compute worker")
 		drainWait   = flag.Duration("drain-timeout", 15*time.Second, "how long graceful shutdown waits for in-flight requests")
+		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		logFormat   = flag.String("log-format", "text", "log format: text or json")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this side address (e.g. localhost:6060); empty disables")
+		slowQuery   = flag.Duration("slow-query", 0, "slow-query log threshold for /v1/debug/slow (0 = 500ms)")
 	)
 	flag.Parse()
+
+	lvl, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lg := obs.NewLogger(os.Stderr, lvl, *logFormat).With("component", "analyticsd")
+
+	if *pprofAddr != "" {
+		// pprof handlers register on http.DefaultServeMux; serve them on a
+		// side listener so profiling never rides the public API address.
+		go func() {
+			lg.Error("pprof listener failed", "err", http.ListenAndServe(*pprofAddr, nil))
+		}()
+		lg.Info("pprof listening", "addr", *pprofAddr)
+	}
 
 	fw, err := core.New(core.Options{
 		StoreNodes: *storeNodes, RF: *rf, Threads: *threads, DataDir: *dataDir,
 		WALTolerateCorruptTail: *walTolerate,
+		Logger:                 lg,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -72,13 +95,13 @@ func main() {
 		for i := range cfg.Storms {
 			cfg.Storms[i].Start = cfg.Start.Add(cfg.Duration / 2)
 		}
-		log.Printf("generating %v of logs over %d nodes...", cfg.Duration, cfg.Nodes)
+		lg.Info("generating demo corpus", "window", cfg.Duration, "nodes", cfg.Nodes)
 		corpus := logs.Generate(cfg)
 		res, err := fw.ImportCorpus(corpus)
 		if err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("imported %d events, %d runs", res.EventsLoaded, res.RunsLoaded)
+		lg.Info("corpus imported", "events", res.EventsLoaded, "runs", res.RunsLoaded)
 	case *snapPath != "":
 		f, err := os.Open(*snapPath)
 		if err != nil {
@@ -89,16 +112,17 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("restored %d rows from %s", n, *snapPath)
+		lg.Info("snapshot restored", "rows", n, "path", *snapPath)
 	case *dataDir != "":
 		st := fw.DB.StorageStats()
-		log.Printf("durable store %s: %d on-disk segments (%.1f MB), replayed %d commitlog records (%d rows)",
-			*dataDir, st.DiskSegments, float64(st.DiskBytes)/(1<<20), st.ReplayedRecords, st.ReplayedRows)
+		lg.Info("durable store opened", "dir", *dataDir,
+			"disk_segments", st.DiskSegments, "disk_mb", float64(st.DiskBytes)/(1<<20),
+			"replayed_records", st.ReplayedRecords, "replayed_rows", st.ReplayedRows)
 	default:
 		log.Fatal("need -data-dir DIR, -snapshot FILE, or -generate")
 	}
 
-	srv := fw.Server()
+	srv := fw.ServerWithConfig(server.Config{SlowQueryThreshold: *slowQuery})
 	hs := &http.Server{Addr: *addr, Handler: srv}
 
 	fmt.Printf("serving on %s\n", *addr)
@@ -108,6 +132,8 @@ func main() {
 	fmt.Println("  POST /v1/cql/stream      NDJSON SELECT rows")
 	fmt.Println("  GET  /v1/watch           push-based event subscription (NDJSON)")
 	fmt.Println("  GET  /v1/types|stats|storage, POST /v1/storage/compact")
+	fmt.Println("  GET  /v1/metrics         Prometheus text exposition")
+	fmt.Println("  GET  /v1/debug/slow      slow-query log (see -slow-query)")
 	fmt.Println("  GET  /v1/protocol        version negotiation")
 	fmt.Println("  /api/*                   pre-v1 shims (query, cql, poll, ...)")
 
@@ -125,12 +151,12 @@ func main() {
 	// subscriber first — long-lived streams would otherwise hold
 	// Shutdown open — then drain in-flight requests, then (deferred)
 	// close the storage engine.
-	log.Printf("signal received, draining (timeout %v)...", *drainWait)
+	lg.Info("signal received, draining", "timeout", *drainWait)
 	srv.Close()
 	shCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
 	defer cancel()
 	if err := hs.Shutdown(shCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("shutdown: %v", err)
+		lg.Warn("shutdown error", "err", err)
 	}
-	log.Printf("drained; closing storage engine")
+	lg.Info("drained; closing storage engine")
 }

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"sort"
@@ -34,6 +35,8 @@ import (
 	"time"
 
 	"hpclog/internal/dist"
+	"hpclog/internal/obs"
+	"hpclog/internal/server"
 )
 
 // parsePeers parses "id=url,id=url" into a map.
@@ -75,6 +78,10 @@ func main() {
 		failAfter = flag.Int("fail-after", 3, "consecutive missed heartbeats before a peer is marked down")
 		rpcWait   = flag.Duration("rpc-timeout", 5*time.Second, "cluster-internal RPC timeout")
 		drainWait = flag.Duration("drain-timeout", 15*time.Second, "how long graceful shutdown waits for in-flight requests")
+		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		logFormat = flag.String("log-format", "text", "log format: text or json")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this side address (e.g. localhost:6060); empty disables")
+		slowQuery = flag.Duration("slow-query", 0, "slow-query log threshold for /v1/debug/slow (0 = 500ms)")
 	)
 	flag.Parse()
 	log.SetPrefix("hpclogd[" + *id + "]: ")
@@ -82,9 +89,23 @@ func main() {
 	if *id == "" {
 		log.Fatal("-id is required")
 	}
+	lvl, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lg := obs.NewLogger(os.Stderr, lvl, *logFormat).With("component", "hpclogd")
 	peers, err := parsePeers(*peersFlag)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *pprofAddr != "" {
+		// pprof handlers register on http.DefaultServeMux; serve them on a
+		// side listener so profiling never rides the cluster address.
+		go func() {
+			lg.Error("pprof listener failed", "err", http.ListenAndServe(*pprofAddr, nil))
+		}()
+		lg.Info("pprof listening", "addr", *pprofAddr)
 	}
 	adv := *advertise
 	if adv == "" {
@@ -109,7 +130,8 @@ func main() {
 		HeartbeatInterval: *hbEvery,
 		FailAfter:         *failAfter,
 		RPCTimeout:        *rpcWait,
-		Logf:              log.Printf,
+		Logger:            lg,
+		ServerConfig:      server.Config{Logger: lg, SlowQueryThreshold: *slowQuery},
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -122,7 +144,8 @@ func main() {
 		members = append(members, p)
 	}
 	sort.Strings(members)
-	log.Printf("member %s of %v (rf=%d), serving on %s", *id, members, node.DB.Ring().ReplicationFactor(), *listen)
+	lg.Info("cluster member serving", "id", *id, "members", members,
+		"rf", node.DB.Ring().ReplicationFactor(), "listen", *listen)
 
 	hs := &http.Server{Addr: *listen, Handler: node.Server}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -138,12 +161,12 @@ func main() {
 	// Graceful shutdown: wake parked watch subscribers first so long-lived
 	// streams do not hold Shutdown open, drain in-flight requests, then
 	// (deferred) stop heartbeats and close the storage engine.
-	log.Printf("signal received, draining (timeout %v)...", *drainWait)
+	lg.Info("signal received, draining", "timeout", *drainWait)
 	node.Server.Close()
 	shCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
 	defer cancel()
 	if err := hs.Shutdown(shCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("shutdown: %v", err)
+		lg.Warn("shutdown error", "err", err)
 	}
-	log.Printf("drained; closing cluster node")
+	lg.Info("drained; closing cluster node")
 }

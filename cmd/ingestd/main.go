@@ -27,6 +27,7 @@ import (
 	"hpclog/internal/core"
 	"hpclog/internal/ingest"
 	"hpclog/internal/model"
+	"hpclog/internal/obs"
 )
 
 func main() {
@@ -62,12 +63,21 @@ func run(ctx context.Context) error {
 		storeNodes  = flag.Int("store-nodes", 32, "store cluster size")
 		rf          = flag.Int("rf", 3, "replication factor")
 		threads     = flag.Int("threads", 2, "task slots per compute worker")
+		logLevel    = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		logFormat   = flag.String("log-format", "text", "log format: text or json")
 	)
 	flag.Parse()
+
+	lvl, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	lg := obs.NewLogger(os.Stderr, lvl, *logFormat).With("component", "ingestd")
 
 	fw, err := core.New(core.Options{
 		StoreNodes: *storeNodes, RF: *rf, Threads: *threads,
 		DataDir: *dataDir, WALNoSync: *walNoSync, WALTolerateCorruptTail: *walTolerate,
+		Logger: lg,
 	})
 	if err != nil {
 		return err

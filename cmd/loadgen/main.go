@@ -51,11 +51,12 @@ func main() {
 // selfhosted is an in-process v1 deployment on loopback ports: either a
 // single server or an N-member replicated cluster, closed as one unit.
 type selfhosted struct {
-	db    *store.DB      // single-node only
-	srv   *server.Server // single-node only
-	nodes []*dist.Node   // cluster only
-	hs    []*http.Server
-	urls  []string
+	db     *store.DB      // single-node only
+	srv    *server.Server // single-node only
+	nodes  []*dist.Node   // cluster only
+	hs     []*http.Server
+	urls   []string
+	tmpDir string // durable scratch directory, removed on close
 }
 
 // watchLimit sizes the watch limiter: long-lived subscriptions plus
@@ -69,10 +70,29 @@ func watchLimit(maxWatchers int) int {
 
 // selfhost stands up an empty in-process server. maxWatchers sizes the
 // watch limiter so large subscription scenarios are admitted instead of
-// rejected at the door.
-func selfhost(maxWatchers int) (*selfhosted, error) {
-	db, err := store.OpenDurable(store.Config{Nodes: 8, RF: 2, VNodes: 32, FlushThreshold: 1 << 15})
+// rejected at the door. With durable, the store writes a real commitlog
+// into a scratch directory so group-commit fsync shows up in /v1/metrics
+// under load, exactly as it would against a production deployment.
+func selfhost(maxWatchers int, durable bool) (*selfhosted, error) {
+	cfg := store.Config{Nodes: 8, RF: 2, VNodes: 32, FlushThreshold: 1 << 15}
+	var tmpDir string
+	if durable {
+		var err error
+		if tmpDir, err = os.MkdirTemp("", "loadgen-wal-*"); err != nil {
+			return nil, err
+		}
+		cfg.Dir = tmpDir
+		// Periodic group commit (the production deployment default posture
+		// for high-rate ingest) rather than fsync-per-append: the commitlog
+		// and its fsync-latency series stay live under load without gating
+		// every ingest ack on a disk flush.
+		cfg.WALSyncPeriod = 2 * time.Millisecond
+	}
+	db, err := store.OpenDurable(cfg)
 	if err != nil {
+		if tmpDir != "" {
+			os.RemoveAll(tmpDir)
+		}
 		return nil, err
 	}
 	if err := ingest.Bootstrap(db, 8); err != nil {
@@ -92,8 +112,9 @@ func selfhost(maxWatchers int) (*selfhosted, error) {
 	go hs.Serve(ln)
 	return &selfhosted{
 		db: db, srv: srv,
-		hs:   []*http.Server{hs},
-		urls: []string{"http://" + ln.Addr().String()},
+		hs:     []*http.Server{hs},
+		urls:   []string{"http://" + ln.Addr().String()},
+		tmpDir: tmpDir,
 	}, nil
 }
 
@@ -183,6 +204,9 @@ func (s *selfhosted) close() {
 	if s.db != nil {
 		s.db.Close()
 	}
+	if s.tmpDir != "" {
+		os.RemoveAll(s.tmpDir)
+	}
 }
 
 // splitTargets parses the -target flag: a comma-separated list of base
@@ -237,6 +261,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		seed        = fs.Int64("seed", 1, "ad-hoc arrival-mix RNG seed")
 		outstanding = fs.Int("max-outstanding", 0, "ad-hoc in-flight request cap (0 = default 4096)")
 		repeats     = fs.Int("repeats", 1, "repeats for -smoke and ad-hoc runs (grids carry their own)")
+
+		durable      = fs.Bool("durable", false, "self-hosted single-node store writes a real commitlog in a scratch dir (exercises group-commit fsync)")
+		metricsCheck = fs.Bool("metrics-check", false, "scrape /v1/metrics mid-run and fail unless traffic shows up in the exposition")
 
 		csvPath    = fs.String("csv", "", "write per-class experiment rows to this CSV file")
 		benchPath  = fs.String("bench", "", `write Go-benchmark percentile lines here ("-" = stdout, for cmd/benchjson)`)
@@ -330,7 +357,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		var sh *selfhosted
 		var err error
 		if n == 1 {
-			sh, err = selfhost(maxWatchers)
+			sh, err = selfhost(maxWatchers, *durable)
 		} else {
 			sh, err = selfhostCluster(n, maxWatchers)
 		}
@@ -361,10 +388,35 @@ func run(args []string, stdout, stderr io.Writer) int {
 					fmt.Fprintf(stderr, "loadgen: "+format+"\n", a...)
 				}
 			}
+			// The metrics check scrapes while traffic is still flowing —
+			// halfway through the run — so gauges like in-flight requests
+			// and live watch subscribers are observed under load, not after
+			// the harness has drained.
+			var scraped chan scrapeResult
+			if *metricsCheck {
+				scraped = make(chan scrapeResult, 1)
+				go func(url string, wait time.Duration) {
+					time.Sleep(wait)
+					scraped <- scrapeMetrics(url)
+				}(targets[0], time.Duration(s.DurationS*float64(time.Second))/2)
+			}
 			report, err := r.Run(context.Background())
 			if err != nil {
 				fmt.Fprintf(stderr, "loadgen: scenario %s repeat %d: %v\n", s.Name, rep, err)
 				return 2
+			}
+			if scraped != nil {
+				res := <-scraped
+				if res.err == nil {
+					res.err = validateMetrics(res.series, s, *durable)
+				}
+				if res.err != nil {
+					fmt.Fprintf(stderr, "loadgen: FAIL metrics check (scenario %s repeat %d): %v\n", s.Name, rep, res.err)
+					return 1
+				}
+				if !*quiet {
+					fmt.Fprintf(stderr, "loadgen: metrics check ok (%d series mid-run)\n", len(res.series))
+				}
 			}
 			reports = append(reports, report)
 			if !*quiet {
@@ -432,6 +484,99 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	return 0
+}
+
+// scrapeResult is one /v1/metrics scrape folded to per-series sums:
+// "name" -> sum of every sample of that metric across label sets.
+type scrapeResult struct {
+	series map[string]float64
+	err    error
+}
+
+// scrapeMetrics fetches and parses a Prometheus text exposition. Label
+// sets are summed per metric name — the check only asks "did traffic
+// reach this subsystem", not which route or peer it hit.
+func scrapeMetrics(base string) scrapeResult {
+	resp, err := http.Get(base + "/v1/metrics")
+	if err != nil {
+		return scrapeResult{err: err}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return scrapeResult{err: fmt.Errorf("GET /v1/metrics: HTTP %d", resp.StatusCode)}
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return scrapeResult{err: err}
+	}
+	series := map[string]float64{}
+	for _, line := range strings.Split(string(body), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, rest, ok := strings.Cut(line, " ")
+		if !ok {
+			return scrapeResult{err: fmt.Errorf("unparseable exposition line %q", line)}
+		}
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+			// The sample value follows the closing brace.
+			if j := strings.LastIndexByte(line, '}'); j >= 0 {
+				rest = strings.TrimSpace(line[j+1:])
+			}
+		}
+		v, err := strconv.ParseFloat(rest, 64)
+		if err != nil {
+			return scrapeResult{err: fmt.Errorf("bad sample value in %q: %v", line, err)}
+		}
+		series[name] += v
+	}
+	return scrapeResult{series: series}
+}
+
+// validateMetrics fails the run unless the mid-run scrape shows the
+// traffic the scenario offered: admitted HTTP requests always; live
+// watch subscribers and tail-ring activity when the scenario holds
+// subscriptions; commitlog fsync latency when the store is durable;
+// per-peer replication latency when driving a multi-node cluster.
+func validateMetrics(series map[string]float64, s load.Scenario, durable bool) error {
+	positive := func(name string) error {
+		if series[name] <= 0 {
+			return fmt.Errorf("series %s is %v mid-run; expected > 0", name, series[name])
+		}
+		return nil
+	}
+	if err := positive("hpclog_http_requests_total"); err != nil {
+		return err
+	}
+	if err := positive("hpclog_http_request_seconds_count"); err != nil {
+		return err
+	}
+	if err := positive("hpclog_trace_requests_total"); err != nil {
+		return err
+	}
+	if s.Watchers > 0 {
+		if err := positive("hpclog_watch_subscribers"); err != nil {
+			return err
+		}
+		if err := positive("hpclog_watch_wakeups_total"); err != nil {
+			return err
+		}
+		if err := positive("hpclog_watch_tail_hits_total"); err != nil {
+			return err
+		}
+	}
+	if durable && s.Nodes <= 1 {
+		if err := positive("hpclog_wal_fsync_seconds_count"); err != nil {
+			return err
+		}
+	}
+	if s.Nodes > 1 {
+		if err := positive("hpclog_dist_replication_seconds_count"); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // writeProfiles snapshots goroutine and heap profiles after a run, named

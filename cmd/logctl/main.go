@@ -29,6 +29,8 @@
 //	logctl compact                                (flush + compact + WAL truncate)
 //	logctl cluster                                (ring layout, liveness,
 //	                 ownership shares, and replication lag via /v1/cluster)
+//	logctl slow      [-k 10]                      (slow-query log: per-stage
+//	                 timings, CQL text, and EXPLAIN plan via /v1/debug/slow)
 //
 // Exit codes distinguish failure classes: 1 = the server answered with an
 // error (the machine-readable code and HTTP status are printed), 2 = the
@@ -48,6 +50,7 @@ import (
 	"hpclog/client"
 	"hpclog/internal/analytics"
 	"hpclog/internal/api"
+	"hpclog/internal/obs"
 	"hpclog/internal/query"
 	"hpclog/internal/store"
 	"hpclog/internal/viz"
@@ -59,7 +62,7 @@ func main() {
 	server := flag.String("server", "http://localhost:8080", "analyticsd base URL")
 	flag.Parse()
 	if flag.NArg() < 1 {
-		usageExit("usage: logctl [-server URL] <types|heatmap|hist|dist|te|words|tfidf|events|runs|watch|placement|cql|rules|sequences|episodes|reliability|profiles|storage-stats|compact|cluster> [flags]")
+		usageExit("usage: logctl [-server URL] <types|heatmap|hist|dist|te|words|tfidf|events|runs|watch|placement|cql|rules|sequences|episodes|reliability|profiles|storage-stats|compact|cluster|slow> [flags]")
 	}
 	cmd, args := flag.Arg(0), flag.Args()[1:]
 
@@ -264,6 +267,10 @@ func main() {
 		st, err := cli.ClusterStatus(ctx)
 		check(err)
 		printClusterStatus(st)
+	case "slow":
+		traces, err := cli.SlowQueries(ctx)
+		check(err)
+		printSlowTraces(traces, *k)
 	default:
 		usageExit(fmt.Sprintf("unknown subcommand %q", cmd))
 	}
@@ -372,6 +379,39 @@ func printClusterStatus(st api.ClusterStatus) {
 		}
 		fmt.Printf("  %-12s %-6s %-5s %8.1f%% %7d %-9s %s\n",
 			m.ID, where, state, m.Share*100, m.PendingHints, seen, m.URL)
+	}
+}
+
+// printSlowTraces renders the slow-query log, newest first: one header
+// line per trace (when, route, total duration, request id), the CQL text
+// and EXPLAIN plan when the trace captured them, then per-stage timings
+// as offset+duration pairs so the dominant stage is obvious at a glance.
+func printSlowTraces(traces []obs.SlowTrace, k int) {
+	if len(traces) == 0 {
+		fmt.Println("no slow queries retained (is the server's -slow-query threshold too high?)")
+		return
+	}
+	for i, tr := range traces {
+		if i >= k {
+			fmt.Printf("(%d more not shown; raise -k)\n", len(traces)-i)
+			break
+		}
+		fmt.Printf("%s %-22s %10v  request_id=%s\n",
+			tr.Start.UTC().Format(time.RFC3339), tr.Name,
+			tr.Duration.Round(time.Microsecond), tr.RequestID)
+		if tr.Query != "" {
+			fmt.Printf("    query: %s\n", tr.Query)
+		}
+		for _, line := range tr.Plan {
+			fmt.Printf("    plan:  %s\n", line)
+		}
+		for _, st := range tr.Stages {
+			fmt.Printf("    %-18s +%-12v %v\n",
+				st.Name, st.Offset.Round(time.Microsecond), st.Dur.Round(time.Microsecond))
+		}
+		if tr.StagesDropped > 0 {
+			fmt.Printf("    (%d stages dropped)\n", tr.StagesDropped)
+		}
 	}
 }
 

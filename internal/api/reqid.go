@@ -1,0 +1,25 @@
+package api
+
+import "context"
+
+// reqIDKey carries the request ID through a context. One distributed
+// request keeps a single ID across processes: the server stamps the
+// inbound (or generated) ID into the handler context, the SDK copies it
+// from the context onto the RequestIDHeader of every outbound call, and
+// the peer's server reads it back — so the coordinator and every shard
+// it fans out to log and trace under the same ID.
+type reqIDKey struct{}
+
+// ContextWithRequestID returns ctx carrying the request ID.
+func ContextWithRequestID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, reqIDKey{}, id)
+}
+
+// RequestIDFromContext returns the request ID carried by ctx, if any.
+func RequestIDFromContext(ctx context.Context) (string, bool) {
+	id, ok := ctx.Value(reqIDKey{}).(string)
+	return id, ok && id != ""
+}

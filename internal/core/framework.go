@@ -7,6 +7,7 @@ package core
 
 import (
 	"fmt"
+	"log/slog"
 	"time"
 
 	"hpclog/internal/analytics"
@@ -57,6 +58,9 @@ type Options struct {
 	// refusing to open (see store.Config.WALTolerateCorruptTail) — an
 	// operator escape hatch; records after the damage are lost.
 	WALTolerateCorruptTail bool
+	// Logger receives the storage engine's structured log records
+	// (recovery warnings, compaction failures); nil discards them.
+	Logger *slog.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -98,6 +102,7 @@ func New(opts Options) (*Framework, error) {
 		WALSyncPeriod:          opts.WALSyncPeriod,
 		WALNoSync:              opts.WALNoSync,
 		WALTolerateCorruptTail: opts.WALTolerateCorruptTail,
+		Logger:                 opts.Logger,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: open store: %w", err)
@@ -140,7 +145,16 @@ func (f *Framework) Close() error { return f.DB.Close() }
 // shutdown call server.Close before Framework.Close so parked watch
 // subscribers drain before the storage engine goes away.
 func (f *Framework) Server() *server.Server {
-	return server.New(f.Query, f.DB, f.Compute)
+	return f.ServerWithConfig(server.Config{})
+}
+
+// ServerWithConfig is Server with explicit surface hardening and
+// observability settings (slow-query threshold, structured logger).
+func (f *Framework) ServerWithConfig(cfg server.Config) *server.Server {
+	if cfg.Logger == nil {
+		cfg.Logger = f.opts.Logger
+	}
+	return server.NewWithConfig(f.Query, f.DB, f.Compute, cfg)
 }
 
 // ImportCorpus batch-imports a raw log corpus (console lines plus job

@@ -1,11 +1,13 @@
 package cql
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
 
 	"hpclog/internal/compute"
+	"hpclog/internal/obs"
 	"hpclog/internal/plan"
 	"hpclog/internal/store"
 )
@@ -40,9 +42,27 @@ type Session struct {
 	Eng *compute.Engine
 	// Exec tunes plan execution (parallelism, time slicing, pruning).
 	Exec plan.ExecOptions
+	// Ctx, when set, is the request context: its request ID rides remote
+	// shard calls, and its trace span (if any) records the parse,
+	// plan.build, and scan stages plus the statement text and EXPLAIN
+	// plan for the slow-query log. Nil means context.Background().
+	Ctx context.Context
 
 	engOnce sync.Once
 	engLazy *compute.Engine
+}
+
+// ctx returns the session's request context, never nil.
+func (s *Session) ctx() context.Context {
+	if s.Ctx != nil {
+		return s.Ctx
+	}
+	return context.Background()
+}
+
+// executor builds the plan executor sharing the session's context.
+func (s *Session) executor() *plan.Executor {
+	return &plan.Executor{DB: s.DB, Eng: s.engine(), CL: s.CL, Opt: s.Exec, Ctx: s.Ctx}
 }
 
 func (s *Session) engine() *compute.Engine {
@@ -57,7 +77,10 @@ func (s *Session) engine() *compute.Engine {
 
 // Execute parses and runs one statement.
 func (s *Session) Execute(src string) (*Result, error) {
+	obs.SpanFromContext(s.ctx()).SetQuery(src)
+	pg := obs.StartSpan(s.ctx(), "parse")
 	stmt, err := Parse(src)
+	pg.End()
 	if err != nil {
 		return nil, err
 	}
@@ -103,7 +126,10 @@ var ErrNotStreamable = fmt.Errorf("cql: statement is not a streamable SELECT (ag
 
 // parseSelect parses src and requires a row-returning SELECT plan.
 func (s *Session) parseSelect(src string, sentinel error) (*plan.Plan, *SelectStmt, error) {
+	obs.SpanFromContext(s.ctx()).SetQuery(src)
+	pg := obs.StartSpan(s.ctx(), "parse")
 	stmt, err := Parse(src)
+	pg.End()
 	if err != nil {
 		return nil, nil, err
 	}
@@ -111,7 +137,7 @@ func (s *Session) parseSelect(src string, sentinel error) (*plan.Plan, *SelectSt
 	if !ok {
 		return nil, nil, sentinel
 	}
-	p, err := plan.Build(st.logical())
+	p, err := s.build(st)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -119,6 +145,19 @@ func (s *Session) parseSelect(src string, sentinel error) (*plan.Plan, *SelectSt
 		return nil, nil, sentinel
 	}
 	return p, st, nil
+}
+
+// build compiles the statement under a plan.build stage and attaches the
+// EXPLAIN rendering to the request's trace span.
+func (s *Session) build(st *SelectStmt) (*plan.Plan, error) {
+	bg := obs.StartSpan(s.ctx(), "plan.build")
+	p, err := plan.Build(st.logical())
+	bg.End()
+	if err != nil {
+		return nil, err
+	}
+	obs.SpanFromContext(s.ctx()).SetPlan(p.Explain())
+	return p, nil
 }
 
 // SelectPage executes a non-aggregate SELECT as one page of at most limit
@@ -149,8 +188,7 @@ func (s *Session) SelectPage(src string, limit int, resume bool, afterKey string
 		p.ResumeAfter(afterKey)
 	}
 	p.Sel.Limit = eff
-	ex := &plan.Executor{DB: s.DB, Eng: s.engine(), CL: s.CL, Opt: s.Exec}
-	rows, err := ex.Run(p)
+	rows, err := s.executor().Run(p)
 	if err != nil {
 		return nil, "", false, err
 	}
@@ -170,17 +208,15 @@ func (s *Session) StreamSelect(src string, emit func(ResultRow) error) error {
 	if err != nil {
 		return err
 	}
-	ex := &plan.Executor{DB: s.DB, Eng: s.engine(), CL: s.CL, Opt: s.Exec}
-	return ex.Stream(p, emit)
+	return s.executor().Stream(p, emit)
 }
 
 func (s *Session) runSelect(st *SelectStmt) (*Result, error) {
-	p, err := plan.Build(st.logical())
+	p, err := s.build(st)
 	if err != nil {
 		return nil, err
 	}
-	ex := &plan.Executor{DB: s.DB, Eng: s.engine(), CL: s.CL, Opt: s.Exec}
-	rows, err := ex.Run(p)
+	rows, err := s.executor().Run(p)
 	if err != nil {
 		return nil, err
 	}
@@ -197,7 +233,7 @@ func (s *Session) runExplain(st *ExplainStmt) (*Result, error) {
 
 func (s *Session) runInsert(st *InsertStmt) (*Result, error) {
 	row := store.Row{Key: st.Key, Columns: st.Columns}
-	if err := s.DB.Put(st.Table, st.Partition, row, s.CL); err != nil {
+	if err := s.DB.PutCtx(s.ctx(), st.Table, st.Partition, row, s.CL); err != nil {
 		return nil, err
 	}
 	return &Result{Applied: true}, nil
@@ -217,7 +253,7 @@ func (s *Session) runDescribe(st *DescribeStmt) (*Result, error) {
 		pkeys = pkeys[:8]
 	}
 	for _, pk := range pkeys {
-		rows, err := s.DB.Get(st.Table, pk, store.Range{}, store.One)
+		rows, err := s.DB.GetCtx(s.ctx(), st.Table, pk, store.Range{}, store.One)
 		if err != nil {
 			return nil, err
 		}

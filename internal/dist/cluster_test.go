@@ -17,6 +17,7 @@ import (
 	"hpclog/internal/ingest"
 	"hpclog/internal/model"
 	"hpclog/internal/query"
+	"hpclog/internal/server"
 	"hpclog/internal/store"
 	"hpclog/internal/testutil"
 )
@@ -36,15 +37,22 @@ type testCluster struct {
 	servers []*http.Server
 	clients []*client.Client
 
-	rf       int
-	machines int
+	rf        int
+	machines  int
+	serverCfg server.Config
 }
 
 // startCluster boots an n-node cluster. durable gives each node its own
 // temp data directory (required by restart tests).
 func startCluster(t *testing.T, n, rf, machines int, durable bool) *testCluster {
+	return startClusterCfg(t, n, rf, machines, durable, server.Config{})
+}
+
+// startClusterCfg is startCluster with an explicit per-node server
+// config (the observability tests lower the slow-query threshold).
+func startClusterCfg(t *testing.T, n, rf, machines int, durable bool, scfg server.Config) *testCluster {
 	t.Helper()
-	c := &testCluster{t: t, rf: rf, machines: machines,
+	c := &testCluster{t: t, rf: rf, machines: machines, serverCfg: scfg,
 		nodes:   make([]*dist.Node, n),
 		servers: make([]*http.Server, n),
 		clients: make([]*client.Client, n),
@@ -96,6 +104,7 @@ func (c *testCluster) config(i int) dist.Config {
 		HeartbeatInterval: testutil.Scaled(50 * time.Millisecond),
 		FailAfter:         3,
 		RPCTimeout:        testutil.Scaled(5 * time.Second),
+		ServerConfig:      c.serverCfg,
 	}
 }
 

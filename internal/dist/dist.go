@@ -22,7 +22,9 @@ package dist
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -30,6 +32,7 @@ import (
 	"hpclog/internal/api"
 	"hpclog/internal/compute"
 	"hpclog/internal/ingest"
+	"hpclog/internal/obs"
 	"hpclog/internal/query"
 	"hpclog/internal/server"
 	"hpclog/internal/store"
@@ -52,6 +55,10 @@ type Config struct {
 	VNodes int
 	// DataDir roots this member's commitlog and segments ("" = in-memory).
 	DataDir string
+	// WALSyncPeriod selects the commitlog sync mode (see
+	// store.Config.WALSyncPeriod): 0 is per-ack group commit, > 0 is
+	// periodic background fsync.
+	WALSyncPeriod time.Duration
 	// FlushThreshold is the store's memtable flush threshold (default
 	// store's own).
 	FlushThreshold int
@@ -71,8 +78,12 @@ type Config struct {
 
 	// ServerConfig tunes the HTTP surface (zero value = server defaults).
 	ServerConfig server.Config
-	// Logf, when set, receives cluster runtime events (peer up/down,
-	// repair results).
+	// Logger receives cluster runtime events (peer up/down, hint
+	// delivery, repair results) as structured records; nil discards them
+	// unless Logf is set.
+	Logger *slog.Logger
+	// Logf is the legacy printf sink; when set without Logger, runtime
+	// events are rendered to text and fed through it.
 	Logf func(format string, args ...any)
 }
 
@@ -137,6 +148,25 @@ type Node struct {
 	bg       sync.WaitGroup // in-flight rejoin repairs
 	repairMu sync.Mutex     // serializes rejoin repairs
 	closed   bool
+
+	lg *slog.Logger
+	// Per-peer wire health, populated at Open and immutable after:
+	// replication RPC latency (recorded by the remoteReplica transports)
+	// and heartbeat round-trip time (recorded by probePeer). Exposed on
+	// /v1/metrics through CollectMetrics.
+	repLat map[string]*obs.Hist
+	hbRTT  map[string]*obs.Hist
+}
+
+// logfWriter adapts the legacy Config.Logf printf sink to an io.Writer
+// so it can back a slog text handler.
+type logfWriter struct {
+	f func(format string, args ...any)
+}
+
+func (w logfWriter) Write(p []byte) (int, error) {
+	w.f("%s", strings.TrimRight(string(p), "\n"))
+	return len(p), nil
 }
 
 // Open assembles and starts a cluster node: the member-sliced store with
@@ -161,21 +191,34 @@ func Open(cfg Config) (*Node, error) {
 		VNodes:         cfg.VNodes,
 		FlushThreshold: cfg.FlushThreshold,
 		Dir:            cfg.DataDir,
+		WALSyncPeriod:  cfg.WALSyncPeriod,
 	})
 	if err != nil {
 		return nil, err
 	}
+	lg := cfg.Logger
+	if lg == nil && cfg.Logf != nil {
+		lg = obs.NewLogger(logfWriter{cfg.Logf}, slog.LevelInfo, "text")
+	}
+	if lg == nil {
+		lg = obs.Discard()
+	}
 	n := &Node{
-		Cfg:   cfg,
-		DB:    db,
-		peers: make(map[string]*peerState, len(cfg.Peers)),
-		stop:  make(chan struct{}),
-		done:  make(chan struct{}),
+		Cfg:    cfg,
+		DB:     db,
+		peers:  make(map[string]*peerState, len(cfg.Peers)),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+		lg:     lg.With("node", cfg.ID),
+		repLat: make(map[string]*obs.Hist, len(cfg.Peers)),
+		hbRTT:  make(map[string]*obs.Hist, len(cfg.Peers)),
 	}
 	for id, url := range cfg.Peers {
 		cli := client.New(url, client.WithRetries(1))
 		n.peers[id] = &peerState{url: url, cli: cli}
-		if err := db.AttachRemote(id, &remoteReplica{id: id, cli: cli, timeout: cfg.RPCTimeout}); err != nil {
+		n.repLat[id] = &obs.Hist{}
+		n.hbRTT[id] = &obs.Hist{}
+		if err := db.AttachRemote(id, &remoteReplica{id: id, cli: cli, timeout: cfg.RPCTimeout, lat: n.repLat[id]}); err != nil {
 			db.Close()
 			return nil, err
 		}
@@ -209,10 +252,36 @@ func (n *Node) Close() error {
 	return n.DB.Close()
 }
 
-// logf reports a runtime event.
-func (n *Node) logf(format string, args ...any) {
-	if n.Cfg.Logf != nil {
-		n.Cfg.Logf(format, args...)
+// CollectMetrics implements obs.Collector: the server folds per-peer
+// replication latency, heartbeat RTT, liveness, and hint backlog into
+// /v1/metrics.
+func (n *Node) CollectMetrics(w *obs.Writer) {
+	ring := n.DB.Ring()
+	for _, id := range obs.SortedKeys(n.repLat) {
+		w.Hist("hpclog_dist_replication_seconds",
+			"Replication RPC latency to one peer (whole chunked Apply).",
+			n.repLat[id], "peer", id)
+	}
+	for _, id := range obs.SortedKeys(n.hbRTT) {
+		w.Hist("hpclog_dist_heartbeat_rtt_seconds",
+			"Heartbeat probe round-trip time to one peer.",
+			n.hbRTT[id], "peer", id)
+	}
+	for _, id := range n.DB.Members() {
+		up := 0.0
+		if ring.IsUp(id) {
+			up = 1
+		}
+		w.Gauge("hpclog_dist_peer_up",
+			"Liveness verdict for one ring member (1 = up).", up, "peer", id)
+	}
+	for _, id := range n.DB.Members() {
+		if id == n.Cfg.ID {
+			continue
+		}
+		w.Gauge("hpclog_dist_hint_backlog_rows",
+			"Hinted-handoff rows queued for one peer.",
+			float64(n.DB.PendingHints(id)), "peer", id)
 	}
 }
 
@@ -263,6 +332,7 @@ func (n *Node) probePeer(id string) {
 	n.mu.Unlock()
 	ctx, cancel := context.WithTimeout(context.Background(), n.Cfg.RPCTimeout)
 	defer cancel()
+	started := time.Now()
 	resp, err := cli.Heartbeat(ctx, api.HeartbeatRequest{
 		From:    n.Cfg.ID,
 		URL:     n.Cfg.AdvertiseURL,
@@ -271,6 +341,9 @@ func (n *Node) probePeer(id string) {
 	if err != nil {
 		n.peerMissed(id)
 		return
+	}
+	if h := n.hbRTT[id]; h != nil {
+		h.Record(time.Since(started))
 	}
 	n.DB.NoteRemoteProgress(resp.WriteTS)
 	n.peerSeen(id)
@@ -301,16 +374,16 @@ func (n *Node) peerSeen(id string) {
 		// transient replication failures while the peer was nominally up.
 		if n.DB.PendingHints(id) > 0 {
 			if delivered, err := n.DB.DeliverHints(id); err == nil && delivered > 0 {
-				n.logf("dist: delivered %d hinted rows to %s", delivered, id)
+				n.lg.Info("dist: delivered hinted rows", "peer", id, "rows", delivered)
 			}
 		}
 		return
 	}
 	delivered, err := n.DB.RecoverNode(id)
 	if err != nil {
-		n.logf("dist: peer %s up, hint delivery failed after %d rows: %v", id, delivered, err)
+		n.lg.Warn("dist: peer up, hint delivery failed", "peer", id, "rows", delivered, "err", err)
 	} else {
-		n.logf("dist: peer %s up, delivered %d hinted rows", id, delivered)
+		n.lg.Info("dist: peer up", "peer", id, "hinted_rows", delivered)
 	}
 	go func() {
 		defer n.bg.Done()
@@ -335,7 +408,7 @@ func (n *Node) peerMissed(id string) {
 	n.mu.Unlock()
 	if takeDown {
 		n.DB.MarkDown(id)
-		n.logf("dist: peer %s down after %d missed heartbeats", id, n.Cfg.FailAfter)
+		n.lg.Warn("dist: peer down", "peer", id, "missed_heartbeats", n.Cfg.FailAfter)
 	}
 }
 
@@ -350,12 +423,12 @@ func (n *Node) repairAll(trigger string) {
 		copied, err := n.DB.Repair(table)
 		total += copied
 		if err != nil {
-			n.logf("dist: repair %s after %s rejoin: %v", table, trigger, err)
+			n.lg.Error("dist: rejoin repair failed", "table", table, "trigger", trigger, "err", err)
 			return
 		}
 	}
 	if total > 0 {
-		n.logf("dist: anti-entropy after %s rejoin copied %d rows", trigger, total)
+		n.lg.Info("dist: rejoin anti-entropy complete", "trigger", trigger, "rows_copied", total)
 	}
 }
 

@@ -1,0 +1,123 @@
+package dist_test
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"hpclog/internal/api"
+	"hpclog/internal/server"
+)
+
+// seriesSum parses a Prometheus text exposition and returns the sum of
+// every sample of the named metric across its label sets.
+func seriesSum(t *testing.T, body, name string) float64 {
+	t.Helper()
+	var sum float64
+	for _, line := range strings.Split(body, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sample := line
+		if i := strings.IndexByte(line, '{'); i >= 0 && line[:i] == name {
+			j := strings.LastIndexByte(line, '}')
+			v, err := strconv.ParseFloat(strings.TrimSpace(line[j+1:]), 64)
+			if err != nil {
+				t.Fatalf("bad sample %q: %v", line, err)
+			}
+			sum += v
+			continue
+		}
+		if n, rest, ok := strings.Cut(sample, " "); ok && n == name {
+			v, err := strconv.ParseFloat(rest, 64)
+			if err != nil {
+				t.Fatalf("bad sample %q: %v", line, err)
+			}
+			sum += v
+		}
+	}
+	return sum
+}
+
+// TestMetricsClusterReplication writes through every coordinator of a
+// 3-node RF=3 cluster at consistency ALL and asserts each node's
+// /v1/metrics reports per-peer replication latency — every member
+// coordinated writes, so every member must have measured its peers.
+func TestMetricsClusterReplication(t *testing.T) {
+	c := startCluster(t, 3, 3, 8, false)
+	c.waitAllUp()
+	ctx := context.Background()
+
+	for i, cli := range c.clients {
+		sess := cli.Session("ALL")
+		for k := 0; k < 4; k++ {
+			stmt := fmt.Sprintf(
+				"INSERT INTO event_by_time (partition, key, type, amount) VALUES ('9:MCE', 'n%d-k%d', 'MCE', '1')", i, k)
+			if _, err := sess.Execute(ctx, stmt); err != nil {
+				t.Fatalf("insert via %s: %v", c.ids[i], err)
+			}
+		}
+	}
+
+	for i, cli := range c.clients {
+		body, err := cli.MetricsText(ctx)
+		if err != nil {
+			t.Fatalf("scrape %s: %v", c.ids[i], err)
+		}
+		if n := seriesSum(t, body, "hpclog_dist_replication_seconds_count"); n <= 0 {
+			t.Errorf("node %s: hpclog_dist_replication_seconds_count = %v after coordinating ALL writes", c.ids[i], n)
+		}
+		if n := seriesSum(t, body, "hpclog_dist_heartbeat_rtt_seconds_count"); n <= 0 {
+			t.Errorf("node %s: hpclog_dist_heartbeat_rtt_seconds_count = %v with live peers", c.ids[i], n)
+		}
+		if n := seriesSum(t, body, "hpclog_http_requests_total"); n <= 0 {
+			t.Errorf("node %s: hpclog_http_requests_total = %v", c.ids[i], n)
+		}
+	}
+}
+
+// TestMetricsTracePropagation issues one quorum write with an explicit
+// request ID and asserts the SAME ID shows up in the slow-query log of
+// every process it touched: the coordinator (root span for /v1/cql) and
+// both replicas (root spans for /v1/replicate, opened from the
+// X-Request-Id the coordinator's outbound SDK calls carried). The
+// 1ns threshold makes every request "slow" so capture is deterministic.
+func TestMetricsTracePropagation(t *testing.T) {
+	c := startClusterCfg(t, 3, 3, 8, false, server.Config{SlowQueryThreshold: time.Nanosecond})
+	c.waitAllUp()
+
+	const reqID = "trace-propagation-test"
+	ctx := api.ContextWithRequestID(context.Background(), reqID)
+	stmt := "INSERT INTO event_by_time (partition, key, type, amount) VALUES ('9:MCE', 'prop-k0', 'MCE', '1')"
+	if _, err := c.clients[0].Session("ALL").Execute(ctx, stmt); err != nil {
+		t.Fatal(err)
+	}
+
+	for i, cli := range c.clients {
+		traces, err := cli.SlowQueries(context.Background())
+		if err != nil {
+			t.Fatalf("slow log %s: %v", c.ids[i], err)
+		}
+		found := ""
+		for _, tr := range traces {
+			if tr.RequestID == reqID {
+				found = tr.Name
+				break
+			}
+		}
+		if found == "" {
+			t.Errorf("node %s: request ID %q absent from slow log (%d traces)", c.ids[i], reqID, len(traces))
+			continue
+		}
+		want := "/v1/replicate"
+		if i == 0 {
+			want = "/v1/cql"
+		}
+		if found != want {
+			t.Errorf("node %s: trace for %q is route %q, want %q", c.ids[i], reqID, found, want)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"hpclog/client"
 	"hpclog/internal/api"
+	"hpclog/internal/obs"
 	"hpclog/internal/store"
 )
 
@@ -18,29 +19,38 @@ const applyChunk = 4096
 // wire transport the store uses to reach ring members hosted by peer
 // processes. Every method is one (or a few) cluster-internal RPCs with a
 // per-call timeout; errors surface to the store, which converts them into
-// hints (writes) or falls through to other replicas (reads).
+// hints (writes) or falls through to other replicas (reads). The caller's
+// context parents each RPC, so its request ID rides the wire (the SDK
+// stamps X-Request-Id from it) and one distributed request traces under
+// a single ID on every process; lat, when set, accumulates this peer's
+// replication RPC latency for /v1/metrics.
 type remoteReplica struct {
 	id      string // ring member id this transport addresses
 	cli     *client.Client
 	timeout time.Duration
+	lat     *obs.Hist // per-peer replication latency (nil = untracked)
 }
 
 var _ store.Remote = (*remoteReplica)(nil)
 
-func (r *remoteReplica) ctx() (context.Context, context.CancelFunc) {
-	return context.WithTimeout(context.Background(), r.timeout)
+func (r *remoteReplica) ctx(parent context.Context) (context.Context, context.CancelFunc) {
+	if parent == nil {
+		parent = context.Background()
+	}
+	return context.WithTimeout(parent, r.timeout)
 }
 
 // Apply replicates a pre-stamped batch, chunked so one oversized batch
 // cannot exceed the peer's replication body cap.
-func (r *remoteReplica) Apply(table, pkey string, rows []store.Row) error {
+func (r *remoteReplica) Apply(parent context.Context, table, pkey string, rows []store.Row) error {
+	started := time.Now()
 	for len(rows) > 0 {
 		chunk := rows
 		if len(chunk) > applyChunk {
 			chunk = chunk[:applyChunk]
 		}
 		rows = rows[len(chunk):]
-		ctx, cancel := r.ctx()
+		ctx, cancel := r.ctx(parent)
 		_, err := r.cli.Replicate(ctx, api.ReplicateRequest{
 			Node:  r.id,
 			Table: table,
@@ -52,11 +62,14 @@ func (r *remoteReplica) Apply(table, pkey string, rows []store.Row) error {
 			return err
 		}
 	}
+	if r.lat != nil {
+		r.lat.Record(time.Since(started))
+	}
 	return nil
 }
 
-func (r *remoteReplica) Read(table, pkey string, rg store.Range) ([]store.Row, error) {
-	ctx, cancel := r.ctx()
+func (r *remoteReplica) Read(parent context.Context, table, pkey string, rg store.Range) ([]store.Row, error) {
+	ctx, cancel := r.ctx(parent)
 	defer cancel()
 	wire, err := r.cli.ShardRead(ctx, api.ShardReadRequest{
 		Node: r.id, Table: table, PKey: pkey, From: rg.From, To: rg.To,
@@ -71,10 +84,15 @@ func (r *remoteReplica) Read(table, pkey string, rg store.Range) ([]store.Row, e
 // SDK callback to the store's pull-style RowIter through a channel. The
 // stream goroutine exits when the server finishes, errors, or the
 // iterator is closed (which cancels the request context).
-func (r *remoteReplica) Scan(table, pkey string, rg store.Range) (store.RowIter, error) {
+func (r *remoteReplica) Scan(parent context.Context, table, pkey string, rg store.Range) (store.RowIter, error) {
 	// No per-call timeout: a scan legitimately outlives an RPC deadline.
-	// Closing the iterator cancels the stream instead.
-	ctx, cancel := context.WithCancel(context.Background())
+	// Closing the iterator cancels the stream instead. The parent's
+	// cancellation (client gone) propagates, and its request ID rides the
+	// wire.
+	if parent == nil {
+		parent = context.Background()
+	}
+	ctx, cancel := context.WithCancel(parent)
 	it := &remoteScanIter{
 		rows:   make(chan store.Row, 256),
 		done:   make(chan struct{}),
@@ -143,8 +161,8 @@ func (it *remoteScanIter) Close() error {
 	return nil
 }
 
-func (r *remoteReplica) KeyBounds(table, pkey string) (string, string, bool, error) {
-	ctx, cancel := r.ctx()
+func (r *remoteReplica) KeyBounds(parent context.Context, table, pkey string) (string, string, bool, error) {
+	ctx, cancel := r.ctx(parent)
 	defer cancel()
 	res, err := r.cli.ShardBounds(ctx, api.ShardBoundsRequest{
 		Node: r.id, Table: table, PKey: pkey,
@@ -155,8 +173,8 @@ func (r *remoteReplica) KeyBounds(table, pkey string) (string, string, bool, err
 	return res.Min, res.Max, res.OK, nil
 }
 
-func (r *remoteReplica) PartitionKeys(table string) ([]string, error) {
-	ctx, cancel := r.ctx()
+func (r *remoteReplica) PartitionKeys(parent context.Context, table string) ([]string, error) {
+	ctx, cancel := r.ctx(parent)
 	defer cancel()
 	return r.cli.ShardPartitions(ctx, r.id, table)
 }

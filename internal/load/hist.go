@@ -5,161 +5,15 @@
 // cmd/benchdiff.
 package load
 
-import (
-	"math/bits"
-	"sync"
-	"time"
-)
+import "hpclog/internal/obs"
 
-// subBits selects 2^subBits linear sub-buckets per power-of-two octave.
-// 32 sub-buckets bound the relative quantile error at ~3% — the HDR
-// histogram trade: fixed memory, O(1) record, bounded error across nine
-// orders of magnitude (1ns..seconds) with no per-sample allocation.
-const subBits = 5
-
-// numBuckets covers every possible uint64 value: 64 octaves cannot all
-// exist after sub-bucketing, but 2048 slots are cheap and safely above
-// the largest reachable index.
-const numBuckets = 2048
-
-// bucketOf maps a non-negative value onto its histogram bucket.
-func bucketOf(v uint64) int {
-	if v < 1<<subBits {
-		return int(v)
-	}
-	exp := bits.Len64(v) - 1 - subBits
-	return int(uint64(exp+1)<<subBits) + int(v>>uint(exp)) - (1 << subBits)
-}
-
-// bucketLow returns the smallest value mapping to bucket idx (the
-// inverse of bucketOf, used to reconstruct quantiles).
-func bucketLow(idx int) uint64 {
-	if idx < 1<<subBits {
-		return uint64(idx)
-	}
-	exp := idx>>subBits - 1
-	return uint64((1<<subBits)+idx&(1<<subBits-1)) << uint(exp)
-}
-
-// Hist is an HDR-style latency histogram: log-major, linear-minor
-// buckets with bounded relative error. The zero value is ready to use.
-// Record and quantile reads are guarded by one mutex — at harness rates
-// (thousands of samples per second) the lock is nanoseconds of the
-// request's lifetime, far below measurement noise.
-type Hist struct {
-	mu     sync.Mutex
-	counts [numBuckets]uint64
-	total  uint64
-	min    uint64
-	max    uint64
-}
-
-// Record adds one duration sample.
-func (h *Hist) Record(d time.Duration) {
-	if d < 0 {
-		d = 0
-	}
-	v := uint64(d)
-	idx := bucketOf(v)
-	h.mu.Lock()
-	h.counts[idx]++
-	h.total++
-	if h.total == 1 || v < h.min {
-		h.min = v
-	}
-	if v > h.max {
-		h.max = v
-	}
-	h.mu.Unlock()
-}
-
-// Merge folds other into h (used to pool repeats of one scenario).
-func (h *Hist) Merge(other *Hist) {
-	other.mu.Lock()
-	counts, total, mn, mx := other.counts, other.total, other.min, other.max
-	other.mu.Unlock()
-	if total == 0 {
-		return
-	}
-	h.mu.Lock()
-	for i, c := range counts {
-		h.counts[i] += c
-	}
-	if h.total == 0 || mn < h.min {
-		h.min = mn
-	}
-	if mx > h.max {
-		h.max = mx
-	}
-	h.total += total
-	h.mu.Unlock()
-}
-
-// Count returns the number of recorded samples.
-func (h *Hist) Count() uint64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.total
-}
-
-// Max returns the largest recorded sample.
-func (h *Hist) Max() time.Duration {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return time.Duration(h.max)
-}
-
-// Quantile returns the q-quantile (0 <= q <= 1) of the recorded samples,
-// accurate to the bucket's ~3% relative width. Zero samples yield 0.
-func (h *Hist) Quantile(q float64) time.Duration {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.total == 0 {
-		return 0
-	}
-	if q < 0 {
-		q = 0
-	}
-	if q > 1 {
-		q = 1
-	}
-	// rank is the 1-based index of the sample to report.
-	rank := uint64(q*float64(h.total-1)) + 1
-	var seen uint64
-	for i, c := range h.counts {
-		seen += c
-		if seen >= rank {
-			low := bucketLow(i)
-			high := bucketLow(i + 1)
-			mid := low + (high-low)/2
-			// Clamp to observed extremes so tiny sample sets report exact
-			// values instead of bucket midpoints past min/max.
-			if mid > h.max {
-				mid = h.max
-			}
-			if mid < h.min {
-				mid = h.min
-			}
-			return time.Duration(mid)
-		}
-	}
-	return time.Duration(h.max)
-}
-
-// Snapshot returns the canonical percentile summary.
-func (h *Hist) Snapshot() Percentiles {
-	return Percentiles{
-		P50:  h.Quantile(0.50),
-		P99:  h.Quantile(0.99),
-		P999: h.Quantile(0.999),
-		Max:  h.Max(),
-	}
-}
+// Hist is the HDR-style latency histogram. The implementation lives in
+// internal/obs so the harness measuring from the outside and the
+// server's own /v1/metrics instrumentation measuring from the inside
+// share one bucket layout and the same ~3% error bound — a loadgen p99
+// and a scraped hpclog_http_request_seconds p99 are directly
+// comparable.
+type Hist = obs.Hist
 
 // Percentiles is the latency summary recorded per traffic class.
-type Percentiles struct {
-	P50  time.Duration `json:"p50_ns"`
-	P99  time.Duration `json:"p99_ns"`
-	P999 time.Duration `json:"p999_ns"`
-	Max  time.Duration `json:"max_ns"`
-}
+type Percentiles = obs.Percentiles

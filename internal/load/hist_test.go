@@ -8,31 +8,6 @@ import (
 	"time"
 )
 
-// TestBucketRoundTrip: bucketOf/bucketLow are inverse, monotone, and the
-// relative bucket width stays under ~2^-subBits for large values.
-func TestBucketRoundTrip(t *testing.T) {
-	prev := -1
-	for _, v := range []uint64{0, 1, 31, 32, 33, 63, 64, 100, 1 << 10, 1<<20 + 12345, 1 << 40, 1<<62 + 999} {
-		idx := bucketOf(v)
-		if idx <= prev && v != 0 {
-			// Indices must be non-decreasing in v (spot-checked here on an
-			// increasing value list).
-			t.Fatalf("bucketOf not monotone at %d: %d <= %d", v, idx, prev)
-		}
-		prev = idx
-		low := bucketLow(idx)
-		high := bucketLow(idx + 1)
-		if v < low || v >= high {
-			t.Fatalf("value %d outside its bucket [%d, %d)", v, low, high)
-		}
-		if v >= 1<<subBits {
-			if rel := float64(high-low) / float64(low); rel > 1.0/float64(uint64(1)<<subBits)+1e-9 {
-				t.Fatalf("bucket width %f too wide at %d", rel, v)
-			}
-		}
-	}
-}
-
 // TestQuantileAccuracy: against a known sample set, every quantile must
 // land within the histogram's documented ~3% relative error.
 func TestQuantileAccuracy(t *testing.T) {

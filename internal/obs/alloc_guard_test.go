@@ -1,0 +1,35 @@
+//go:build !race
+
+package obs
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// Allocation regression guard for the metrics hot path: a counter bump
+// and a histogram record run on every request, every WAL append, and
+// every watch delivery, so both must allocate ZERO objects. Untraced
+// stage starts (the common case — background maintenance, replication
+// retries) must also be free: StartSpan on a span-less context returns
+// nil without allocating. Excluded under -race (the detector adds
+// bookkeeping allocations).
+func TestMetricsAllocBudget(t *testing.T) {
+	var c Counter
+	if avg := testing.AllocsPerRun(1000, func() { c.Inc() }); avg != 0 {
+		t.Fatalf("Counter.Inc allocates %.2f objects per op (budget 0)", avg)
+	}
+
+	h := &Hist{}
+	d := 437 * time.Microsecond
+	h.Record(d) // initialize min/max before measuring
+	if avg := testing.AllocsPerRun(1000, func() { h.Record(d) }); avg != 0 {
+		t.Fatalf("Hist.Record allocates %.2f objects per op (budget 0)", avg)
+	}
+
+	ctx := context.Background()
+	if avg := testing.AllocsPerRun(1000, func() { StartSpan(ctx, "scan").End() }); avg != 0 {
+		t.Fatalf("untraced StartSpan/End allocates %.2f objects per op (budget 0)", avg)
+	}
+}

@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// BenchmarkMetricsRecord measures the per-op cost of the recording hot
+// path — what every instrumented request, fsync, and watch delivery
+// pays. Parallel variant exercises the atomic contention profile under
+// concurrent handlers.
+func BenchmarkMetricsRecord(b *testing.B) {
+	b.Run("counter", func(b *testing.B) {
+		var c Counter
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+		}
+	})
+	b.Run("hist", func(b *testing.B) {
+		h := &Hist{}
+		d := 437 * time.Microsecond
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			h.Record(d)
+		}
+	})
+	b.Run("hist-parallel", func(b *testing.B) {
+		h := &Hist{}
+		d := 437 * time.Microsecond
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				h.Record(d)
+			}
+		})
+	})
+}
+
+// BenchmarkSpan measures tracing overhead: the untraced fast path (no
+// root span in the context — what every request pays for instrumented
+// internals when tracing sampled nothing), and the full root-span
+// open/stage/close cycle with a threshold high enough that nothing
+// lands in the slow ring (the steady-state traced cost).
+func BenchmarkSpan(b *testing.B) {
+	b.Run("untraced-stage", func(b *testing.B) {
+		ctx := context.Background()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			StartSpan(ctx, "scan").End()
+		}
+	})
+	b.Run("traced-request", func(b *testing.B) {
+		tr := NewTracer(time.Hour, 16)
+		ctx := context.Background()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c, sp := tr.Start(ctx, "/v1/cql", "bench")
+			StartSpan(c, "parse").End()
+			StartSpan(c, "scan").End()
+			sp.End()
+		}
+	})
+}

@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// HistBounds is the fixed `le` ladder (seconds) used when exposing a
+// Hist in Prometheus text format. Every bound is a power-of-two number
+// of nanoseconds, so each lands exactly on an internal HDR bucket edge
+// and the cumulative counts are exact rather than interpolated.
+var HistBounds = []time.Duration{
+	1 << 12, // ~4.1µs
+	1 << 15, // ~33µs
+	1 << 17, // ~131µs
+	1 << 19, // ~524µs
+	1 << 21, // ~2.1ms
+	1 << 23, // ~8.4ms
+	1 << 25, // ~33.6ms
+	1 << 27, // ~134ms
+	1 << 29, // ~537ms
+	1 << 31, // ~2.15s
+	1 << 33, // ~8.6s
+}
+
+// Writer emits Prometheus text exposition format (version 0.0.4). All
+// series of one metric must be written consecutively (the caller loops
+// label sets inside one metric block); Writer deduplicates the # HELP
+// and # TYPE headers so a metric emitted with several label sets is
+// declared exactly once. Errors are sticky and surfaced by Err.
+type Writer struct {
+	w     io.Writer
+	typed map[string]string // name -> declared type
+	err   error
+}
+
+// NewWriter wraps w in an exposition writer.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: w, typed: make(map[string]string)}
+}
+
+// Err returns the first write error, if any.
+func (e *Writer) Err() error { return e.err }
+
+func (e *Writer) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}
+
+// header emits # HELP / # TYPE once per metric name.
+func (e *Writer) header(name, help, typ string) {
+	if prev, ok := e.typed[name]; ok {
+		if prev != typ && e.err == nil {
+			e.err = fmt.Errorf("metric %s declared as both %s and %s", name, prev, typ)
+		}
+		return
+	}
+	e.typed[name] = typ
+	e.printf("# HELP %s %s\n", name, help)
+	e.printf("# TYPE %s %s\n", name, typ)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, `\"`+"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`)
+	return r.Replace(v)
+}
+
+// labelString renders {k="v",...} from alternating key/value pairs.
+func labelString(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i+1 < len(labels); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(labels[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(labels[i+1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Counter emits one counter series. Labels are alternating key/value
+// pairs. Counter names should end in _total by convention.
+func (e *Writer) Counter(name, help string, v int64, labels ...string) {
+	e.header(name, help, "counter")
+	e.printf("%s%s %d\n", name, labelString(labels), v)
+}
+
+// CounterSeconds emits one float-valued counter series — cumulative
+// durations exposed in seconds.
+func (e *Writer) CounterSeconds(name, help string, v time.Duration, labels ...string) {
+	e.header(name, help, "counter")
+	e.printf("%s%s %s\n", name, labelString(labels), formatFloat(v.Seconds()))
+}
+
+// Gauge emits one gauge series.
+func (e *Writer) Gauge(name, help string, v float64, labels ...string) {
+	e.header(name, help, "gauge")
+	e.printf("%s%s %s\n", name, labelString(labels), formatFloat(v))
+}
+
+// Hist emits one histogram series (seconds) from h: cumulative
+// _bucket{le=...} lines over HistBounds plus +Inf, then _sum and
+// _count. The +Inf bucket equals _count by construction and _sum is
+// tracked exactly at record time, so the series is sum/count-consistent
+// even under concurrent recording.
+func (e *Writer) Hist(name, help string, h *Hist, labels ...string) {
+	e.header(name, help, "histogram")
+	ls := labels
+	for _, b := range HistBounds {
+		bl := append(append([]string{}, ls...), "le", formatFloat(b.Seconds()))
+		e.printf("%s_bucket%s %d\n", name, labelString(bl), h.CumulativeAt(b))
+	}
+	bl := append(append([]string{}, ls...), "le", "+Inf")
+	e.printf("%s_bucket%s %d\n", name, labelString(bl), h.Count())
+	e.printf("%s_sum%s %s\n", name, labelString(ls), formatFloat(h.Sum().Seconds()))
+	e.printf("%s_count%s %d\n", name, labelString(ls), h.Count())
+}
+
+// SortedKeys returns the keys of m sorted, for deterministic exposition
+// of per-label-set series built from maps.
+func SortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Collector is implemented by subsystems that contribute their own
+// series to /v1/metrics (the cluster backend, for per-peer replication
+// and heartbeat metrics). The server type-asserts for it, so backends
+// without metrics need no stub.
+type Collector interface {
+	CollectMetrics(w *Writer)
+}

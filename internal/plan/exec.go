@@ -1,10 +1,12 @@
 package plan
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"hpclog/internal/compute"
+	"hpclog/internal/obs"
 	"hpclog/internal/store"
 	"hpclog/internal/store/persist"
 )
@@ -43,6 +45,18 @@ type Executor struct {
 	// Stats, when non-nil, receives this executor's block counters in
 	// addition to the engine's aggregate counters.
 	Stats *persist.PruneStats
+	// Ctx, when set, is the request context: its request ID rides every
+	// remote shard call and its trace span (if any) records the scan
+	// stage. Nil means context.Background().
+	Ctx context.Context
+}
+
+// ctx returns the executor's request context, never nil.
+func (ex *Executor) ctx() context.Context {
+	if ex.Ctx != nil {
+		return ex.Ctx
+	}
+	return context.Background()
 }
 
 // errLimitReached cancels a streaming scan once LIMIT rows are emitted.
@@ -87,7 +101,9 @@ func (ex *Executor) Stream(p *Plan, emit func(ResultRow) error) error {
 	if stats == nil {
 		stats = &persist.PruneStats{}
 	}
+	st := obs.StartSpan(ex.ctx(), "scan")
 	err = ex.streamRows(p, slices, pruner, stats, emit)
+	st.End()
 	ex.Eng.NotePruning(int(stats.BlocksRead.Load()), int(stats.BlocksPruned.Load()))
 	return err
 }
@@ -110,11 +126,13 @@ func (ex *Executor) Run(p *Plan) ([]ResultRow, error) {
 		stats = &persist.PruneStats{}
 	}
 	var out []ResultRow
+	st := obs.StartSpan(ex.ctx(), "scan")
 	if len(p.Sel.Aggs) > 0 {
 		out, err = ex.runAggregate(p, slices, pruner, stats)
 	} else {
 		out, err = ex.runStream(p, slices, pruner, stats)
 	}
+	st.End()
 	ex.Eng.NotePruning(int(stats.BlocksRead.Load()), int(stats.BlocksPruned.Load()))
 	if err != nil {
 		return nil, err
@@ -125,7 +143,7 @@ func (ex *Executor) Run(p *Plan) ([]ResultRow, error) {
 // scanTask streams one clustering slice of the partition through the
 // residual filter.
 func (ex *Executor) scanTask(p *Plan, rg store.Range, pruner store.Pruner, stats *store.PruneStats, each func(store.Row) error) error {
-	it, err := ex.DB.ScanPartitionPruned(p.Sel.Table, p.Sel.Partition, rg, ex.CL, pruner, stats)
+	it, err := ex.DB.ScanPartitionPrunedCtx(ex.ctx(), p.Sel.Table, p.Sel.Partition, rg, ex.CL, pruner, stats)
 	if err != nil {
 		return err
 	}
@@ -248,7 +266,7 @@ func (ex *Executor) slices(p *Plan) ([]store.Range, error) {
 		// multiply that cost.
 		return whole, nil
 	}
-	min, max, ok, err := ex.DB.PartitionKeyBounds(p.Sel.Table, p.Sel.Partition)
+	min, max, ok, err := ex.DB.PartitionKeyBoundsCtx(ex.ctx(), p.Sel.Table, p.Sel.Partition)
 	if err != nil || !ok {
 		return whole, err
 	}

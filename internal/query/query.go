@@ -7,6 +7,7 @@
 package query
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"sort"
@@ -18,6 +19,7 @@ import (
 	"hpclog/internal/analytics"
 	"hpclog/internal/compute"
 	"hpclog/internal/model"
+	"hpclog/internal/obs"
 	"hpclog/internal/store"
 	"hpclog/internal/topology"
 )
@@ -286,14 +288,25 @@ func cacheKey(req Request) string {
 // ingest write does). Cached results are shared — callers must not mutate
 // what Execute returns.
 func (q *Engine) Execute(req Request) (any, error) {
+	return q.ExecuteCtx(context.Background(), req)
+}
+
+// ExecuteCtx is Execute with a request context: the context's trace span
+// (if any) records the operation name as the slow-query text and a
+// query.exec stage around the dispatch, so slow frontend queries land in
+// the slow-query log alongside slow CQL.
+func (q *Engine) ExecuteCtx(ctx context.Context, req Request) (any, error) {
 	bigdata, known := opClass[req.Op]
 	if !known {
 		return nil, fmt.Errorf("query: unknown op %q", req.Op)
 	}
+	obs.SpanFromContext(ctx).SetQuery("op:" + string(req.Op))
 	started := time.Now()
 	if !bigdata {
 		q.simple.Add(1)
+		st := obs.StartSpan(ctx, "query.exec")
 		res, err := q.dispatch(req)
+		st.End()
 		q.note(req.Op, time.Since(started), false)
 		return res, err
 	}
@@ -304,7 +317,9 @@ func (q *Engine) Execute(req Request) (any, error) {
 		q.note(req.Op, time.Since(started), true)
 		return res, nil
 	}
+	st := obs.StartSpan(ctx, "query.exec")
 	res, err := q.dispatch(req)
+	st.End()
 	if err == nil && q.db.Generation() == gen {
 		// Only cache results whose input data provably did not change
 		// while the scan ran.

@@ -35,13 +35,13 @@ func (s *Server) AttachCluster(b ClusterBackend) { s.cluster = b }
 
 // registerClusterRoutes wires the cluster-internal routes onto the mux.
 func (s *Server) registerClusterRoutes() {
-	s.mux.HandleFunc("POST /v1/replicate", s.limited("cluster", s.handleReplicate))
-	s.mux.HandleFunc("POST /v1/shard/read", s.limited("cluster", s.handleShardRead))
-	s.mux.HandleFunc("POST /v1/shard/scan", s.limited("stream", s.handleShardScan))
-	s.mux.HandleFunc("POST /v1/shard/bounds", s.limited("cluster", s.handleShardBounds))
-	s.mux.HandleFunc("GET /v1/shard/partitions", s.handleShardPartitions)
-	s.mux.HandleFunc("GET /v1/cluster", s.handleClusterStatus)
-	s.mux.HandleFunc("POST /v1/cluster/heartbeat", s.limited("cluster", s.handleHeartbeat))
+	s.handle("POST /v1/replicate", s.limited("cluster", s.handleReplicate))
+	s.handle("POST /v1/shard/read", s.limited("cluster", s.handleShardRead))
+	s.handle("POST /v1/shard/scan", s.limited("stream", s.handleShardScan))
+	s.handle("POST /v1/shard/bounds", s.limited("cluster", s.handleShardBounds))
+	s.handle("GET /v1/shard/partitions", s.handleShardPartitions)
+	s.handle("GET /v1/cluster", s.handleClusterStatus)
+	s.handle("POST /v1/cluster/heartbeat", s.limited("cluster", s.handleHeartbeat))
 }
 
 // readRawBody reads a capped POST body for the strict cluster decoders.

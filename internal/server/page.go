@@ -6,6 +6,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"sort"
 	"time"
@@ -265,7 +266,7 @@ func (s *Server) runsPage(req query.Request, page *api.Page) (*api.PageResult, *
 // honor a statement-level LIMIT across pages); the next page re-plans the
 // statement with the scan range narrowed to keys strictly after the
 // cursor, so resumption costs one pruned partition scan, not a skip.
-func (s *Server) pagedCQL(req api.CQLRequest, cl store.Consistency) (*api.PageResult, *api.Error) {
+func (s *Server) pagedCQL(ctx context.Context, req api.CQLRequest, cl store.Consistency) (*api.PageResult, *api.Error) {
 	var cur api.Cursor
 	if req.Page.Cursor != "" {
 		var err error
@@ -273,7 +274,7 @@ func (s *Server) pagedCQL(req api.CQLRequest, cl store.Consistency) (*api.PageRe
 			return nil, toAPIError(err)
 		}
 	}
-	rows, nextKey, more, err := s.session(cl).SelectPage(req.Query, s.pageLimit(req.Page), req.Page.Cursor != "", cur.Key, cur.N)
+	rows, nextKey, more, err := s.session(ctx, cl).SelectPage(req.Query, s.pageLimit(req.Page), req.Page.Cursor != "", cur.Key, cur.N)
 	if err != nil {
 		return nil, toAPIError(err)
 	}

@@ -13,11 +13,13 @@
 package server
 
 import (
+	"context"
 	"crypto/rand"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strings"
 	"sync"
@@ -27,6 +29,7 @@ import (
 	"hpclog/internal/api"
 	"hpclog/internal/compute"
 	"hpclog/internal/cql"
+	"hpclog/internal/obs"
 	"hpclog/internal/plan"
 	"hpclog/internal/query"
 	"hpclog/internal/store"
@@ -67,6 +70,17 @@ type Config struct {
 	// shard head falls back to a stability-window scan. <= 0 means 4096.
 	// Tests set it tiny to exercise the overflow path.
 	WatchTailRing int
+	// SlowQueryThreshold is the request duration at or above which a
+	// trace is captured in the slow-query log served by GET
+	// /v1/debug/slow; <= 0 means 500ms. Tests set it to 1ns to capture
+	// everything.
+	SlowQueryThreshold time.Duration
+	// SlowQueryLog caps the retained slow traces (a bounded in-memory
+	// ring, newest win); <= 0 means 128.
+	SlowQueryLog int
+	// Logger receives the server's structured log records; nil discards
+	// them.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -103,6 +117,12 @@ func (c Config) withDefaults() Config {
 	if c.WatchTailRing <= 0 {
 		c.WatchTailRing = defaultTailRing
 	}
+	if c.SlowQueryThreshold <= 0 {
+		c.SlowQueryThreshold = 500 * time.Millisecond
+	}
+	if c.SlowQueryLog <= 0 {
+		c.SlowQueryLog = 128
+	}
 	return c
 }
 
@@ -119,6 +139,14 @@ type Server struct {
 	// cluster, when attached, answers /v1/cluster and heartbeats (see
 	// AttachCluster; nil on single-process deployments).
 	cluster ClusterBackend
+
+	// tracer captures per-request spans; requests slower than the
+	// configured threshold land in its slow-query ring (/v1/debug/slow).
+	tracer *obs.Tracer
+	// routeHist accumulates per-route request latency, keyed by URL
+	// pattern; built at route registration, read-only afterwards.
+	routeHist map[string]*obs.Hist
+	lg        *slog.Logger
 
 	// now allows tests to fake time; defaults to time.Now.
 	now func() time.Time
@@ -146,6 +174,12 @@ func NewWithConfig(q *query.Engine, db *store.DB, eng *compute.Engine, cfg Confi
 		mux:       http.NewServeMux(),
 		now:       time.Now,
 		reqPrefix: hex.EncodeToString(pfx[:]),
+		routeHist: make(map[string]*obs.Hist),
+	}
+	s.tracer = obs.NewTracer(s.cfg.SlowQueryThreshold, s.cfg.SlowQueryLog)
+	s.lg = s.cfg.Logger
+	if s.lg == nil {
+		s.lg = obs.Discard()
 	}
 	s.hub = newHub(s.cfg.WatchTailRing)
 	s.limiters = map[string]*limiter{
@@ -163,31 +197,62 @@ func NewWithConfig(q *query.Engine, db *store.DB, eng *compute.Engine, cfg Confi
 	s.cancelNotify = db.RegisterWriteNotify(s.hub.notify)
 
 	// v1 wire protocol.
-	s.mux.HandleFunc("POST /v1/query", s.limited("query", s.handleQueryV1))
-	s.mux.HandleFunc("POST /v1/query/stream", s.limited("stream", s.handleQueryStream))
-	s.mux.HandleFunc("POST /v1/cql", s.limited("cql", s.handleCQLV1))
-	s.mux.HandleFunc("POST /v1/cql/stream", s.limited("stream", s.handleCQLStream))
-	s.mux.HandleFunc("GET /v1/types", s.handleTypesV1)
-	s.mux.HandleFunc("GET /v1/stats", s.handleStatsV1)
-	s.mux.HandleFunc("GET /v1/storage", s.handleStorageV1)
-	s.mux.HandleFunc("POST /v1/storage/compact", s.limited("storage", s.handleStorageCompactV1))
-	s.mux.HandleFunc("GET /v1/watch", s.limited("watch", s.handleWatch))
-	s.mux.HandleFunc("GET /v1/protocol", s.handleProtocol)
+	s.handle("POST /v1/query", s.limited("query", s.handleQueryV1))
+	s.handle("POST /v1/query/stream", s.limited("stream", s.handleQueryStream))
+	s.handle("POST /v1/cql", s.limited("cql", s.handleCQLV1))
+	s.handle("POST /v1/cql/stream", s.limited("stream", s.handleCQLStream))
+	s.handle("GET /v1/types", s.handleTypesV1)
+	s.handle("GET /v1/stats", s.handleStatsV1)
+	s.handle("GET /v1/storage", s.handleStorageV1)
+	s.handle("POST /v1/storage/compact", s.limited("storage", s.handleStorageCompactV1))
+	s.handle("GET /v1/watch", s.limited("watch", s.handleWatch))
+	s.handle("GET /v1/protocol", s.handleProtocol)
+
+	// Observability: Prometheus text exposition and the slow-query log.
+	s.handle("GET /v1/metrics", s.handleMetrics)
+	s.handle("GET /v1/debug/slow", s.handleSlowV1)
 
 	// Cluster-internal RPCs: replication, shard scatter-gather, status.
 	s.registerClusterRoutes()
 
 	// Legacy pre-v1 shims: same handlers, unversioned envelope.
-	s.mux.HandleFunc("POST /api/query", s.limited("query", s.legacy(s.queryCore)))
-	s.mux.HandleFunc("POST /api/cql", s.limited("cql", s.legacy(s.cqlCore)))
-	s.mux.HandleFunc("GET /api/types", s.legacy(s.typesCore))
-	s.mux.HandleFunc("GET /api/stats", s.legacy(s.statsCore))
-	s.mux.HandleFunc("GET /api/storage", s.legacy(s.storageCore))
-	s.mux.HandleFunc("POST /api/storage/compact", s.limited("storage", s.legacy(s.compactCore)))
-	s.mux.HandleFunc("GET /api/poll", s.limited("watch", s.handlePoll))
+	s.handle("POST /api/query", s.limited("query", s.legacy(s.queryCore)))
+	s.handle("POST /api/cql", s.limited("cql", s.legacy(s.cqlCore)))
+	s.handle("GET /api/types", s.legacy(s.typesCore))
+	s.handle("GET /api/stats", s.legacy(s.statsCore))
+	s.handle("GET /api/storage", s.legacy(s.storageCore))
+	s.handle("POST /api/storage/compact", s.limited("storage", s.legacy(s.compactCore)))
+	s.handle("GET /api/poll", s.limited("watch", s.handlePoll))
 
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	return s
+}
+
+// handle registers one instrumented route: the wrapper resolves the
+// request ID once (client-supplied or generated), stamps it into the
+// request context so every layer below — and every outbound RPC the SDK
+// makes on the request's behalf — shares it, opens the request's root
+// trace span, and records the route's latency histogram. The route label
+// is the URL pattern without the method.
+func (s *Server) handle(pattern string, h http.HandlerFunc) {
+	route := pattern
+	if i := strings.IndexByte(pattern, ' '); i >= 0 {
+		route = pattern[i+1:]
+	}
+	hist := s.routeHist[route]
+	if hist == nil {
+		hist = &obs.Hist{}
+		s.routeHist[route] = hist
+	}
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		started := time.Now()
+		reqID := s.requestID(r)
+		ctx := api.ContextWithRequestID(r.Context(), reqID)
+		ctx, sp := s.tracer.Start(ctx, route, reqID)
+		h(w, r.WithContext(ctx))
+		sp.End()
+		hist.Record(time.Since(started))
+	})
 }
 
 // Close drains the watch hub (every live watch/poll subscriber is woken
@@ -207,8 +272,14 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 
 // --- Request plumbing: IDs, protocol negotiation, limits, body caps ---
 
-// requestID returns the client-supplied request ID or assigns one.
+// requestID returns the request ID already resolved into the context by
+// the route instrumentation, else the client-supplied header value, else
+// a generated one — so every caller inside one request observes the same
+// ID.
 func (s *Server) requestID(r *http.Request) string {
+	if id, ok := api.RequestIDFromContext(r.Context()); ok {
+		return id
+	}
 	if id := r.Header.Get(api.RequestIDHeader); id != "" && len(id) <= 128 {
 		return id
 	}
@@ -268,6 +339,8 @@ func (s *Server) limited(route string, h http.HandlerFunc) http.HandlerFunc {
 	l := s.limiters[route]
 	return func(w http.ResponseWriter, r *http.Request) {
 		if !l.acquire() {
+			s.lg.Warn("server: request rejected at in-flight limit",
+				"route", route, "limit", l.max, "request_id", s.requestID(r))
 			aerr := api.Errorf(api.CodeOverloaded, "route %s at its in-flight limit (%d)", route, l.max)
 			if strings.HasPrefix(r.URL.Path, "/api/") {
 				writeLegacy(w, s.now(), nil, aerr)
@@ -283,6 +356,7 @@ func (s *Server) limited(route string, h http.HandlerFunc) http.HandlerFunc {
 
 // decodeBody reads a capped JSON POST body into dst.
 func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, dst any) *api.Error {
+	defer obs.StartSpan(r.Context(), "decode").End()
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	if err := json.NewDecoder(r.Body).Decode(dst); err != nil {
 		var tooLarge *http.MaxBytesError
@@ -418,7 +492,7 @@ func (s *Server) handleQueryV1(w http.ResponseWriter, r *http.Request) {
 		if req.Page != nil {
 			return s.pagedQuery(req)
 		}
-		result, err := s.q.Execute(req.Request)
+		result, err := s.q.ExecuteCtx(r.Context(), req.Request)
 		if err != nil {
 			return nil, toAPIError(err)
 		}
@@ -432,7 +506,7 @@ func (s *Server) queryCore(w http.ResponseWriter, r *http.Request) (any, *api.Er
 	if aerr := s.decodeBody(w, r, &req); aerr != nil {
 		return nil, aerr
 	}
-	result, err := s.q.Execute(req)
+	result, err := s.q.ExecuteCtx(r.Context(), req)
 	if err != nil {
 		return nil, toAPIError(err)
 	}
@@ -456,11 +530,13 @@ func parseConsistency(c string) (store.Consistency, *api.Error) {
 }
 
 // session builds a CQL session sharing the query engine's scan tuning,
-// so column predicates push down to storage on the server's compute pool.
-func (s *Server) session(cl store.Consistency) *cql.Session {
+// so column predicates push down to storage on the server's compute
+// pool. ctx carries the request ID and trace span through parsing,
+// planning, and the (possibly remote) scan.
+func (s *Server) session(ctx context.Context, cl store.Consistency) *cql.Session {
 	par, slice := s.q.ScanTuning()
 	return &cql.Session{
-		DB: s.db, CL: cl, Eng: s.eng,
+		DB: s.db, CL: cl, Eng: s.eng, Ctx: ctx,
 		Exec: plan.ExecOptions{Parallelism: par, SliceSeconds: slice},
 	}
 }
@@ -478,9 +554,9 @@ func (s *Server) handleCQLV1(w http.ResponseWriter, r *http.Request) {
 			return nil, aerr
 		}
 		if req.Page != nil {
-			return s.pagedCQL(req, cl)
+			return s.pagedCQL(r.Context(), req, cl)
 		}
-		res, err := s.session(cl).Execute(req.Query)
+		res, err := s.session(r.Context(), cl).Execute(req.Query)
 		if err != nil {
 			return nil, toAPIError(err)
 		}
@@ -498,7 +574,7 @@ func (s *Server) cqlCore(w http.ResponseWriter, r *http.Request) (any, *api.Erro
 	if aerr != nil {
 		return nil, aerr
 	}
-	res, err := s.session(cl).Execute(req.Query)
+	res, err := s.session(r.Context(), cl).Execute(req.Query)
 	if err != nil {
 		return nil, toAPIError(err)
 	}
@@ -507,8 +583,8 @@ func (s *Server) cqlCore(w http.ResponseWriter, r *http.Request) (any, *api.Erro
 
 // --- Catalog, stats, storage ---
 
-func (s *Server) typesCore(http.ResponseWriter, *http.Request) (any, *api.Error) {
-	result, err := s.q.Execute(query.Request{Op: query.OpTypes})
+func (s *Server) typesCore(_ http.ResponseWriter, r *http.Request) (any, *api.Error) {
+	result, err := s.q.ExecuteCtx(r.Context(), query.Request{Op: query.OpTypes})
 	if err != nil {
 		return nil, api.Errorf(api.CodeInternal, "%v", err)
 	}
@@ -554,6 +630,19 @@ func (s *Server) statsCore(http.ResponseWriter, *http.Request) (any, *api.Error)
 
 func (s *Server) handleStatsV1(w http.ResponseWriter, r *http.Request) {
 	s.v1(s.statsCore)(w, r)
+}
+
+// handleSlowV1 answers GET /v1/debug/slow: the retained slow-query
+// traces, newest first — each with its request ID, statement text,
+// EXPLAIN plan, and per-stage timings.
+func (s *Server) handleSlowV1(w http.ResponseWriter, r *http.Request) {
+	s.v1(func(http.ResponseWriter, *http.Request) (any, *api.Error) {
+		traces := s.tracer.Slow()
+		if traces == nil {
+			traces = []obs.SlowTrace{}
+		}
+		return traces, nil
+	})(w, r)
 }
 
 // storageCore reports the durable engine's counters (commitlog, flush,

@@ -136,7 +136,7 @@ func (s *Server) handleCQLStream(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	nd := newNDJSON(w, reqID)
-	err := s.session(cl).StreamSelect(req.Query, func(row cql.ResultRow) error {
+	err := s.session(r.Context(), cl).StreamSelect(req.Query, func(row cql.ResultRow) error {
 		return nd.emit(row)
 	})
 	if err != nil && !nd.started {

@@ -30,6 +30,7 @@ import (
 
 	"hpclog/internal/api"
 	"hpclog/internal/model"
+	"hpclog/internal/obs"
 	"hpclog/internal/query"
 	"hpclog/internal/store"
 )
@@ -541,7 +542,13 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 	// now)) predates its ring cursor.
 	forceScan := true
 	for {
+		// Stage spans per wake: a slow watch trace shows whether time went
+		// to collecting the delta (ring drain or fallback scan) or to
+		// pushing it down the wire. The span's stage list is bounded, so a
+		// long-lived watch records its first wakes and counts the rest.
+		cg := obs.StartSpan(r.Context(), "watch.collect")
 		events, err := s.hub.collect(sub, tail, s.db, s.now(), forceScan)
+		cg.End()
 		if err != nil {
 			if !nd.started {
 				s.writeV1(w, started, reqID, nil, api.Errorf(api.CodeInternal, "%v", err))
@@ -554,14 +561,17 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 		// Commit to the stream (headers + flush) before parking so the
 		// client observes an established subscription even when no
 		// historical events match.
+		eg := obs.StartSpan(r.Context(), "watch.emit")
 		nd.begin()
 		for _, e := range events {
 			if err := nd.emit(e); err != nil {
+				eg.End()
 				return // client gone
 			}
 		}
 		s.hub.delivered.Add(int64(len(events)))
 		nd.flush()
+		eg.End()
 		// A wake that found nothing may have been a scan-only write sitting
 		// past the clock-bounded scan edge (skewed timestamp): arm one
 		// bounded re-scan. A nil channel never fires, so idle parks stay

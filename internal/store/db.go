@@ -1,8 +1,10 @@
 package store
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"path/filepath"
 	"sort"
 	"sync"
@@ -10,6 +12,7 @@ import (
 	"time"
 
 	"hpclog/internal/cluster"
+	"hpclog/internal/obs"
 )
 
 // Consistency is the number-of-replicas contract for an operation,
@@ -110,6 +113,11 @@ type Config struct {
 	// 500ms; negative disables the background goroutine — Flush/Compact
 	// remain available).
 	CompactInterval time.Duration
+	// Logger, when set, receives structured records from the storage
+	// engine's background machinery: WAL recovery warnings and compaction
+	// maintenance failures. Nil keeps the engine silent (counters in
+	// StorageStats record the same facts).
+	Logger *slog.Logger
 	// ZoneMapColumns is the hot set of columns that receive per-block
 	// min/max zone maps in newly written segment files (block pruning for
 	// predicate pushdown). Empty selects persist.DefaultZoneColumns.
@@ -448,10 +456,13 @@ func (db *DB) compactorLoop() {
 			return
 		case <-t.C:
 			if _, err := db.maintain(db.cfg.MaxSegments); err != nil {
-				// No logging infrastructure down here; the counter is
-				// surfaced through StorageStats / GET /api/storage so a
-				// failing disk shows up in monitoring.
+				// The counter stays authoritative (surfaced through
+				// StorageStats / /v1/metrics); the log line adds the error
+				// text monitoring counters cannot carry.
 				db.maintErrors.Add(1)
+				if db.cfg.Logger != nil {
+					db.cfg.Logger.Error("store: compaction maintenance failed", "err", err)
+				}
 			}
 		}
 	}
@@ -610,6 +621,29 @@ func (db *DB) StorageStats() StorageStats {
 	return st
 }
 
+// WALFsyncHists returns the per-node commitlog fsync-latency histograms
+// of a durable cluster (empty on in-memory clusters). The metrics
+// handler merges them into one hpclog_wal_fsync_seconds series.
+func (db *DB) WALFsyncHists() []*obs.Hist {
+	var out []*obs.Hist
+	for _, id := range db.NodeIDs() {
+		if n := db.Node(id); n.wal != nil {
+			out = append(out, n.wal.FsyncHist())
+		}
+	}
+	return out
+}
+
+// MemtableRows reports the rows currently buffered in memtables across
+// all local nodes — the unflushed write volume.
+func (db *DB) MemtableRows() int {
+	total := 0
+	for _, id := range db.NodeIDs() {
+		total += db.Node(id).MemtableRows()
+	}
+	return total
+}
+
 // Ring exposes the cluster ring (read-only use intended).
 func (db *DB) Ring() *cluster.Ring { return db.ring }
 
@@ -680,7 +714,13 @@ func (db *DB) NextWriteTS() int64 { return db.writeTS.Add(1) }
 
 // Put writes a single row into the partition identified by pkey.
 func (db *DB) Put(tableName, pkey string, row Row, cl Consistency) error {
-	return db.PutBatch(tableName, pkey, []Row{row}, cl)
+	return db.PutBatchCtx(context.Background(), tableName, pkey, []Row{row}, cl)
+}
+
+// PutCtx is Put under the caller's context (trace + request ID carry
+// through to replica transports).
+func (db *DB) PutCtx(ctx context.Context, tableName, pkey string, row Row, cl Consistency) error {
+	return db.PutBatchCtx(ctx, tableName, pkey, []Row{row}, cl)
 }
 
 // PutBatch writes rows into one partition, assigning write timestamps and
@@ -692,6 +732,16 @@ func (db *DB) Put(tableName, pkey string, row Row, cl Consistency) error {
 // batch to its commitlog before applying it, so an acknowledged batch
 // survives a crash.
 func (db *DB) PutBatch(tableName, pkey string, rows []Row, cl Consistency) error {
+	return db.PutBatchCtx(context.Background(), tableName, pkey, rows, cl)
+}
+
+// PutBatchCtx is PutBatch under the caller's context. The context's
+// request ID and trace span ride along: replica transports stamp the ID
+// onto their RPCs, and the write path's stages (WAL append, replicate
+// quorum ack, hint queueing) land on the trace. Replication itself is
+// shielded from request-scoped cancellation — an acked batch must keep
+// draining to stragglers after the handler returns.
+func (db *DB) PutBatchCtx(ctx context.Context, tableName, pkey string, rows []Row, cl Consistency) error {
 	if !db.HasTable(tableName) {
 		return fmt.Errorf("store: no such table %q", tableName)
 	}
@@ -718,8 +768,12 @@ func (db *DB) PutBatch(tableName, pkey string, rows []Row, cl Consistency) error
 	}
 	// Hinted handoff: queue the rows for down replicas so a transient
 	// outage converges on recovery without a full repair.
-	for _, id := range down {
-		db.hintLog.add(id, hint{table: tableName, pkey: pkey, rows: stamped})
+	if len(down) > 0 {
+		st := obs.StartSpan(ctx, "hint.queue")
+		for _, id := range down {
+			db.hintLog.add(id, hint{table: tableName, pkey: pkey, rows: stamped})
+		}
+		st.End()
 	}
 	// Replicas append byte-identical commitlog records: encode once, share
 	// the buffer (wal.Append copies it).
@@ -727,19 +781,25 @@ func (db *DB) PutBatch(tableName, pkey string, rows []Row, cl Consistency) error
 	if db.cfg.Dir != "" {
 		encoded = encodePutRecord(nil, tableName, pkey, stamped)
 	}
+	// Replication must outlive the request: the handler returning (and the
+	// HTTP server cancelling its context) cannot abort straggler replicas
+	// of an already-acked batch. Values (request ID, trace span) survive.
+	applyCtx := context.WithoutCancel(ctx)
 	if !db.hasRemotes.Load() {
 		// Single-process cluster: write all live replicas synchronously (the
 		// in-process transport makes asynchronous trickle unnecessary).
+		st := obs.StartSpan(ctx, "replicate.all")
 		var wg sync.WaitGroup
 		errs := make([]error, len(live))
 		for i, tgt := range live {
 			wg.Add(1)
 			go func(i int, tgt replicaTarget) {
 				defer wg.Done()
-				errs[i] = tgt.apply(tableName, pkey, stamped, encoded)
+				errs[i] = tgt.apply(applyCtx, tableName, pkey, stamped, encoded)
 			}(i, tgt)
 		}
 		wg.Wait()
+		st.End()
 		acks := 0
 		for _, err := range errs {
 			if err == nil {
@@ -758,7 +818,7 @@ func (db *DB) PutBatch(tableName, pkey string, rows []Row, cl Consistency) error
 		}
 		return nil
 	}
-	return db.putBatchDistributed(tableName, pkey, stamped, encoded, live, need)
+	return db.putBatchDistributed(applyCtx, tableName, pkey, stamped, encoded, live, need)
 }
 
 // putBatchDistributed replicates one stamped batch to live replica
@@ -768,15 +828,16 @@ func (db *DB) PutBatch(tableName, pkey string, rows []Row, cl Consistency) error
 // a hint, so an acked batch eventually reaches every replica (handoff on
 // recovery, anti-entropy as the backstop) even though only W were waited
 // on.
-func (db *DB) putBatchDistributed(tableName, pkey string, stamped []Row, encoded []byte, live []replicaTarget, need int) error {
+func (db *DB) putBatchDistributed(ctx context.Context, tableName, pkey string, stamped []Row, encoded []byte, live []replicaTarget, need int) error {
 	type applyResult struct {
 		idx int
 		err error
 	}
+	st := obs.StartSpan(ctx, "replicate.quorum")
 	ch := make(chan applyResult, len(live))
 	for i, tgt := range live {
 		go func(i int, tgt replicaTarget) {
-			ch <- applyResult{i, tgt.apply(tableName, pkey, stamped, encoded)}
+			ch <- applyResult{i, tgt.apply(ctx, tableName, pkey, stamped, encoded)}
 		}(i, tgt)
 	}
 	acks, fails, received := 0, 0, 0
@@ -797,6 +858,7 @@ func (db *DB) putBatchDistributed(tableName, pkey string, stamped []Row, encoded
 			break
 		}
 	}
+	st.End()
 	if received < len(live) {
 		// Drain the stragglers off the request path: late failures become
 		// hints, late successes wake watchers/invalidate caches.
@@ -830,6 +892,13 @@ func (db *DB) putBatchDistributed(tableName, pkey string, stamped []Row, encoded
 // consistency One the first live replica answers; at Quorum/All the
 // required number of replicas are read and reconciled last-write-wins.
 func (db *DB) Get(tableName, pkey string, rg Range, cl Consistency) ([]Row, error) {
+	return db.GetCtx(context.Background(), tableName, pkey, rg, cl)
+}
+
+// GetCtx is Get under the caller's context: replica transports derive
+// their deadline from it and forward its request ID, so a scatter-gather
+// read traces under one ID on every process it touches.
+func (db *DB) GetCtx(ctx context.Context, tableName, pkey string, rg Range, cl Consistency) ([]Row, error) {
 	if !db.HasTable(tableName) {
 		return nil, fmt.Errorf("store: no such table %q", tableName)
 	}
@@ -848,7 +917,7 @@ func (db *DB) Get(tableName, pkey string, rg Range, cl Consistency) ([]Row, erro
 	if need == 1 {
 		var firstErr error
 		for _, tgt := range live {
-			rows, err := tgt.read(tableName, pkey, rg)
+			rows, err := tgt.read(ctx, tableName, pkey, rg)
 			if err == nil {
 				return materializeRows(rows), nil
 			}
@@ -869,7 +938,7 @@ func (db *DB) Get(tableName, pkey string, rg Range, cl Consistency) ([]Row, erro
 	ch := make(chan readRes, len(live))
 	launch := func(i int) {
 		go func() {
-			rows, err := live[i].read(tableName, pkey, rg)
+			rows, err := live[i].read(ctx, tableName, pkey, rg)
 			ch <- readRes{i, rows, err}
 		}()
 	}
@@ -914,7 +983,7 @@ func (db *DB) Get(tableName, pkey string, rg Range, cl Consistency) ([]Row, erro
 		if len(missing) == 0 {
 			continue
 		}
-		if err := live[idx].apply(tableName, pkey, missing, nil); err == nil {
+		if err := live[idx].apply(context.WithoutCancel(ctx), tableName, pkey, missing, nil); err == nil {
 			db.readRepairs.Add(int64(len(missing)))
 			repaired = true
 		}
@@ -973,7 +1042,8 @@ func (db *DB) Repair(tableName string) (int, error) {
 	if !db.HasTable(tableName) {
 		return 0, fmt.Errorf("store: no such table %q", tableName)
 	}
-	pkeys, err := db.AllPartitionKeys(tableName)
+	ctx := context.Background()
+	pkeys, err := db.AllPartitionKeysCtx(ctx, tableName)
 	if err != nil {
 		return 0, err
 	}
@@ -985,7 +1055,7 @@ func (db *DB) Repair(tableName string) (int, error) {
 		}
 		lists := make([][]Row, 0, len(live))
 		for _, tgt := range live {
-			rows, err := tgt.read(tableName, pkey, Range{})
+			rows, err := tgt.read(ctx, tableName, pkey, Range{})
 			if err != nil {
 				return copied, err
 			}
@@ -1000,7 +1070,7 @@ func (db *DB) Repair(tableName string) (int, error) {
 			if len(missing) == 0 {
 				continue
 			}
-			if err := tgt.apply(tableName, pkey, missing, nil); err != nil {
+			if err := tgt.apply(ctx, tableName, pkey, missing, nil); err != nil {
 				return copied, err
 			}
 			copied += len(missing)

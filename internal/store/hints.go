@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"sync"
 )
 
@@ -74,7 +75,7 @@ func (db *DB) DeliverHints(nodeID string) (int, error) {
 	}
 	delivered := 0
 	for _, hn := range db.hintLog.take(nodeID) {
-		if err := tgt.apply(hn.table, hn.pkey, hn.rows, nil); err != nil {
+		if err := tgt.apply(context.Background(), hn.table, hn.pkey, hn.rows, nil); err != nil {
 			// Requeue the failed hint and stop.
 			db.hintLog.add(nodeID, hn)
 			return delivered, err

@@ -501,6 +501,27 @@ func (n *Node) RowCount(tableName string) int {
 	return total
 }
 
+// MemtableRows reports the number of rows currently buffered in this
+// node's memtables across all tables — the unflushed write volume a
+// crash would replay from the commitlog.
+func (n *Node) MemtableRows() int {
+	n.mu.RLock()
+	tables := make([]*table, 0, len(n.tables))
+	for _, t := range n.tables {
+		tables = append(tables, t)
+	}
+	n.mu.RUnlock()
+	total := 0
+	for _, t := range tables {
+		for _, p := range t.allPartitions() {
+			p.mu.RLock()
+			total += len(p.mem)
+			p.mu.RUnlock()
+		}
+	}
+	return total
+}
+
 // flushAll flushes every dirty memtable of a durable node to disk.
 func (n *Node) flushAll() error {
 	if n.persist == nil {
@@ -569,6 +590,7 @@ func (n *Node) openDurable(dir string, cfg Config) error {
 		SyncPeriod:          cfg.WALSyncPeriod,
 		NoSync:              cfg.WALNoSync,
 		TolerateCorruptTail: cfg.WALTolerateCorruptTail,
+		Logger:              cfg.Logger,
 	})
 	if err != nil {
 		ps.Close()

@@ -1,9 +1,12 @@
 package store
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
+
+	"hpclog/internal/obs"
 )
 
 // The multi-process cluster support: a DB can host only a subset of the
@@ -23,21 +26,28 @@ import (
 // representation, sorted by clustering key — the same shape a local
 // replica yields — and Apply is idempotent (rows carry their WriteTS;
 // replicas reconcile last-write-wins), so callers may safely retry.
+//
+// Every method takes the coordinator's request context: transports
+// derive their RPC deadline from it and propagate the request ID it
+// carries (api.ContextWithRequestID), so one distributed request traces
+// under a single ID on every process it touches. Background work
+// (repair, hint replay, write stragglers) passes a context without
+// request-scoped cancellation.
 type Remote interface {
 	// Apply writes pre-stamped rows into one partition of the remote
 	// member — the replication RPC.
-	Apply(table, pkey string, rows []Row) error
+	Apply(ctx context.Context, table, pkey string, rows []Row) error
 	// Read returns the remote member's rows for one partition within the
 	// clustering range.
-	Read(table, pkey string, rg Range) ([]Row, error)
+	Read(ctx context.Context, table, pkey string, rg Range) ([]Row, error)
 	// Scan streams the remote member's rows for one partition.
-	Scan(table, pkey string, rg Range) (RowIter, error)
+	Scan(ctx context.Context, table, pkey string, rg Range) (RowIter, error)
 	// KeyBounds returns the smallest and largest clustering key the
 	// remote member holds for one partition (ok=false when empty).
-	KeyBounds(table, pkey string) (min, max string, ok bool, err error)
+	KeyBounds(ctx context.Context, table, pkey string) (min, max string, ok bool, err error)
 	// PartitionKeys lists the partition keys the remote member holds for
 	// a table.
-	PartitionKeys(table string) ([]string, error)
+	PartitionKeys(ctx context.Context, table string) ([]string, error)
 }
 
 // ErrWrongShard is returned when a replication or shard RPC addresses a
@@ -229,6 +239,11 @@ func (db *DB) ShardPartitionKeys(nodeID, tableName string) ([]string, error) {
 // over the wire. Anti-entropy repair walks this so a coordinator that
 // holds none of a partition's replicas still repairs it.
 func (db *DB) AllPartitionKeys(tableName string) ([]string, error) {
+	return db.AllPartitionKeysCtx(context.Background(), tableName)
+}
+
+// AllPartitionKeysCtx is AllPartitionKeys under the caller's context.
+func (db *DB) AllPartitionKeysCtx(ctx context.Context, tableName string) ([]string, error) {
 	seen := make(map[string]bool)
 	for _, id := range db.NodeIDs() {
 		for _, k := range db.Node(id).PartitionKeys(tableName) {
@@ -244,7 +259,7 @@ func (db *DB) AllPartitionKeys(tableName string) ([]string, error) {
 			if r == nil {
 				continue
 			}
-			keys, err := r.PartitionKeys(tableName)
+			keys, err := r.PartitionKeys(ctx, tableName)
 			if err != nil {
 				return nil, fmt.Errorf("store: partition keys from %s: %w", id, err)
 			}
@@ -316,18 +331,25 @@ func (db *DB) repairTargets(replicas []string) []replicaTarget {
 	return out
 }
 
-// apply writes rows to the target replica over whichever transport it has.
-func (t replicaTarget) apply(table, pkey string, rows []Row, encoded []byte) error {
+// apply writes rows to the target replica over whichever transport it
+// has. For a local member this is the WAL-append + memtable stage of
+// the write path, so it records a "wal.append" span when the context
+// carries a trace; a remote member's append shows up inside its
+// "replicate" stage instead.
+func (t replicaTarget) apply(ctx context.Context, table, pkey string, rows []Row, encoded []byte) error {
 	if t.n != nil {
-		return t.n.apply(table, pkey, rows, encoded)
+		st := obs.StartSpan(ctx, "wal.append")
+		err := t.n.apply(table, pkey, rows, encoded)
+		st.End()
+		return err
 	}
-	return t.r.Apply(table, pkey, rows)
+	return t.r.Apply(ctx, table, pkey, rows)
 }
 
 // read fetches one partition from the target replica.
-func (t replicaTarget) read(table, pkey string, rg Range) ([]Row, error) {
+func (t replicaTarget) read(ctx context.Context, table, pkey string, rg Range) ([]Row, error) {
 	if t.n != nil {
 		return t.n.readPartition(table, pkey, rg)
 	}
-	return t.r.Read(table, pkey, rg)
+	return t.r.Read(ctx, table, pkey, rg)
 }

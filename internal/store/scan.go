@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"fmt"
 
 	"hpclog/internal/store/persist"
@@ -37,7 +38,7 @@ func NewSliceIter(rows []Row) RowIter { return persist.NewSliceIter(rows) }
 // decoded segment blocks, so callers retaining single cells long-term
 // should clone them.
 func (db *DB) ScanPartition(tableName, pkey string, rg Range, cl Consistency) (RowIter, error) {
-	return db.ScanPartitionPruned(tableName, pkey, rg, cl, nil, nil)
+	return db.ScanPartitionPrunedCtx(context.Background(), tableName, pkey, rg, cl, nil, nil)
 }
 
 // scanPartition streams one partition of this node: a lazy last-write-wins
@@ -82,11 +83,19 @@ type PruneStats = persist.PruneStats
 // receives the block counters. At consistency levels above One the call
 // falls back to the reconciling ScanPartition path unpruned.
 func (db *DB) ScanPartitionPruned(tableName, pkey string, rg Range, cl Consistency, pr Pruner, stats *PruneStats) (RowIter, error) {
+	return db.ScanPartitionPrunedCtx(context.Background(), tableName, pkey, rg, cl, pr, stats)
+}
+
+// ScanPartitionPrunedCtx is ScanPartitionPruned under the caller's
+// context: a remote shard scan derives its RPC deadline from ctx and
+// forwards its request ID, so the scatter half of a distributed query
+// traces under the coordinator's ID on the peer.
+func (db *DB) ScanPartitionPrunedCtx(ctx context.Context, tableName, pkey string, rg Range, cl Consistency, pr Pruner, stats *PruneStats) (RowIter, error) {
 	if !db.HasTable(tableName) {
 		return nil, fmt.Errorf("store: no such table %q", tableName)
 	}
 	if cl != One {
-		rows, err := db.Get(tableName, pkey, rg, cl)
+		rows, err := db.GetCtx(ctx, tableName, pkey, rg, cl)
 		if err != nil {
 			return nil, err
 		}
@@ -107,7 +116,7 @@ func (db *DB) ScanPartitionPruned(tableName, pkey string, rg Range, cl Consisten
 	// Remote shard: stream over the wire. Block pruning is not pushed
 	// down (the remote scans its own segments); callers filter row-by-row
 	// regardless, so the result stream is identical.
-	return live[0].r.Scan(tableName, pkey, rg)
+	return live[0].r.Scan(ctx, tableName, pkey, rg)
 }
 
 // PartitionKeyBounds returns the smallest and largest clustering key of
@@ -116,6 +125,11 @@ func (db *DB) ScanPartitionPruned(tableName, pkey string, rg Range, cl Consisten
 // unknown. The query planner uses it to slice a partition scan into
 // parallel clustering-range tasks.
 func (db *DB) PartitionKeyBounds(tableName, pkey string) (min, max string, ok bool, err error) {
+	return db.PartitionKeyBoundsCtx(context.Background(), tableName, pkey)
+}
+
+// PartitionKeyBoundsCtx is PartitionKeyBounds under the caller's context.
+func (db *DB) PartitionKeyBoundsCtx(ctx context.Context, tableName, pkey string) (min, max string, ok bool, err error) {
 	if !db.HasTable(tableName) {
 		return "", "", false, fmt.Errorf("store: no such table %q", tableName)
 	}
@@ -136,5 +150,5 @@ func (db *DB) PartitionKeyBounds(tableName, pkey string) (min, max string, ok bo
 		min, max, ok = p.keyBounds()
 		return min, max, ok, nil
 	}
-	return live[0].r.KeyBounds(tableName, pkey)
+	return live[0].r.KeyBounds(ctx, tableName, pkey)
 }

@@ -22,12 +22,15 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"hpclog/internal/obs"
 )
 
 const (
@@ -72,6 +75,11 @@ type Options struct {
 	// NoSync skips fsync entirely (benchmarks and bulk loads only — a
 	// crash may lose acked records).
 	NoSync bool
+	// Logger, when set, receives structured warnings about recovery
+	// actions that discard data (torn-tail truncation, tolerated corrupt
+	// segments). Nil stays silent — the counters in Stats record the same
+	// facts either way.
+	Logger *slog.Logger
 	// TolerateCorruptTail downgrades mid-segment corruption in the newest
 	// segment from a hard ErrCorrupt failure to the torn-tail treatment:
 	// truncate at the last valid record before the damage, counting the
@@ -137,6 +145,23 @@ type Log struct {
 	bytes     atomic.Int64
 	truncated atomic.Int64
 	torn      atomic.Int64
+
+	// fsync accumulates the latency of every data fsync (group-commit,
+	// periodic, and rotation syncs). Recording is wait-free, so it adds
+	// nanoseconds to a path that just paid a disk flush; /v1/metrics
+	// merges the per-node histograms into hpclog_wal_fsync_seconds.
+	fsync obs.Hist
+}
+
+// FsyncHist exposes the fsync latency histogram for metrics exposition.
+func (l *Log) FsyncHist() *obs.Hist { return &l.fsync }
+
+// logger returns the configured logger or a discard sink.
+func (l *Log) logger() *slog.Logger {
+	if l.opts.Logger != nil {
+		return l.opts.Logger
+	}
+	return obs.Discard()
 }
 
 // bufWriter is a minimal buffered writer (bufio.Writer without the
@@ -193,6 +218,8 @@ func Open(opts Options) (*Log, error) {
 				return nil, err
 			}
 			l.torn.Add(tornBytes)
+			l.logger().Warn("wal: truncated torn tail",
+				"segment", last, "bytes", tornBytes, "clean_end", cleanEnd)
 		}
 		f, err := os.OpenFile(segPath(opts.Dir, last), os.O_WRONLY, 0)
 		if err != nil {
@@ -377,10 +404,12 @@ func (l *Log) flushAndSync() (int64, error) {
 		return 0, err
 	}
 	if !l.opts.NoSync {
+		started := time.Now()
 		if err := l.f.Sync(); err != nil {
 			l.wErr = err
 			return 0, err
 		}
+		l.fsync.Record(time.Since(started))
 	}
 	l.syncs.Add(1)
 	return target, nil
@@ -394,7 +423,11 @@ func (l *Log) flushAndSync() (int64, error) {
 func (l *Log) rotateLocked() error {
 	err := l.w.flush()
 	if err == nil && !l.opts.NoSync {
+		started := time.Now()
 		err = l.f.Sync()
+		if err == nil {
+			l.fsync.Record(time.Since(started))
+		}
 	}
 	if err == nil {
 		err = l.f.Close()
@@ -542,6 +575,8 @@ func (l *Log) Replay(fn func(lsn LSN, payload []byte) error) (ReplayStats, error
 					if fi, serr := os.Stat(path); serr == nil {
 						if skipped := fi.Size() - int64(headerLen) - b; skipped > 0 {
 							l.torn.Add(skipped)
+							l.logger().Warn("wal: skipped corrupt segment remainder",
+								"segment", seg, "bytes", skipped, "records_replayed", n)
 						}
 					}
 					continue
