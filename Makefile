@@ -11,7 +11,7 @@ BENCH_LABEL ?= dev
 
 .PHONY: ci vet build test test-fresh race bench bench-wal bench-api \
 	bench-json bench-smoke alloc-guard fmt-check test-wire \
-	bench-diff load-smoke bench-load cluster-smoke metrics-lint
+	bench-diff load-smoke bench-load cluster-smoke metrics-lint tier-smoke
 
 # alloc-guard runs inside the plain (non-race) test pass, but is also
 # listed explicitly so the allocation budgets cannot rot out of CI.
@@ -24,7 +24,18 @@ BENCH_LABEL ?= dev
 # against a self-hosted server, scrapes /v1/metrics mid-run, and fails
 # on errors or missing series; cluster-smoke proves the multi-process
 # replicated cluster survives a kill -9.
-ci: vet build race test-fresh alloc-guard test-wire metrics-lint bench-smoke bench-diff load-smoke cluster-smoke
+ci: vet build race test-fresh alloc-guard test-wire metrics-lint bench-smoke bench-diff load-smoke cluster-smoke tier-smoke
+
+# Tiered-storage smoke: force-evict every sealed segment to a local-fs
+# object store and prove the engine corpus stays byte-identical through
+# Merkle-verified read-through (including across a reopen), crash images
+# cut at every upload/eviction stage recover without losing acked rows,
+# a flipped object byte falls back to a replica, and the tiered scan
+# benchmark still runs (resident / cached / cold-fetch).
+tier-smoke:
+	$(GO) test -count=1 -run TestTieredEngineCorpus ./internal/enginetest/
+	$(GO) test -count=1 -run 'TestTieredCrashRecovery|TestTieredCorruptionFallsBackToReplica' ./internal/store/
+	$(GO) test -run XXX -bench BenchmarkTieredScan -benchtime 1x .
 
 # Exposition-format lint plus cluster observability: every /v1/metrics
 # line must parse, each metric is typed exactly once, histogram buckets
@@ -135,6 +146,8 @@ bench-json:
 		| $(GO) run ./cmd/benchjson -o BENCH_hub.json -label "$(BENCH_LABEL)"
 	$(GO) test -run XXX -bench 'BenchmarkMetricsRecord|BenchmarkSpan' -benchmem -json ./internal/obs/ \
 		| $(GO) run ./cmd/benchjson -o BENCH_obs.json -label "$(BENCH_LABEL)"
+	$(GO) test -run XXX -bench BenchmarkTieredScan -benchmem -json . \
+		| $(GO) run ./cmd/benchjson -o BENCH_tier.json -label "$(BENCH_LABEL)"
 
 bench-smoke:
 	$(GO) test -run XXX -bench WAL -benchtime 1x .

@@ -297,6 +297,23 @@ func (c *Client) Compact(ctx context.Context) (api.CompactResult, error) {
 	return out, err
 }
 
+// TierSweep forces a tiering sweep: flush, upload every eligible sealed
+// segment to the server's object-store tier, and evict the local data
+// files. Zero work when the server has no tier configured.
+func (c *Client) TierSweep(ctx context.Context) (api.TierResult, error) {
+	var out api.TierResult
+	err := c.call(ctx, http.MethodPost, "/v1/storage/tier", nil, &out)
+	return out, err
+}
+
+// ShardSegments lists every node's on-disk segments with their key
+// ranges, Merkle roots, and tier placement.
+func (c *Client) ShardSegments(ctx context.Context) (api.SegmentsPayload, error) {
+	var out api.SegmentsPayload
+	err := c.call(ctx, http.MethodGet, "/v1/shard/segments", nil, &out)
+	return out, err
+}
+
 // Protocol asks the server which protocol versions it speaks.
 func (c *Client) Protocol(ctx context.Context) (api.ProtocolInfo, error) {
 	var out api.ProtocolInfo

@@ -35,6 +35,7 @@ import (
 
 	"hpclog/internal/core"
 	"hpclog/internal/logs"
+	"hpclog/internal/objstore"
 	"hpclog/internal/obs"
 	"hpclog/internal/server"
 	"hpclog/internal/topology"
@@ -59,6 +60,13 @@ func main() {
 		logFormat   = flag.String("log-format", "text", "log format: text or json")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this side address (e.g. localhost:6060); empty disables")
 		slowQuery   = flag.Duration("slow-query", 0, "slow-query log threshold for /v1/debug/slow (0 = 500ms)")
+
+		tierBackend  = flag.String("tier", "", "object-storage tier backend: fs or s3 (empty disables; requires -data-dir)")
+		tierDir      = flag.String("tier-dir", "", "fs tier: object root directory")
+		tierEndpoint = flag.String("tier-endpoint", "", "s3 tier: endpoint URL (e.g. http://minio:9000)")
+		tierBucket   = flag.String("tier-bucket", "", "s3 tier: bucket name")
+		tierRegion   = flag.String("tier-region", "", "s3 tier: region (default us-east-1)")
+		tierCacheMB  = flag.Int64("tier-cache-mb", 64, "block-cache budget for evicted reads, in MiB")
 	)
 	flag.Parse()
 
@@ -81,6 +89,16 @@ func main() {
 		StoreNodes: *storeNodes, RF: *rf, Threads: *threads, DataDir: *dataDir,
 		WALTolerateCorruptTail: *walTolerate,
 		Logger:                 lg,
+		Tier: objstore.Config{
+			Backend:    *tierBackend,
+			Dir:        *tierDir,
+			Endpoint:   *tierEndpoint,
+			Bucket:     *tierBucket,
+			Region:     *tierRegion,
+			AccessKey:  os.Getenv("HPCLOG_TIER_ACCESS_KEY"),
+			SecretKey:  os.Getenv("HPCLOG_TIER_SECRET_KEY"),
+			CacheBytes: *tierCacheMB << 20,
+		},
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -27,6 +27,10 @@
 //	logctl profiles  [-type LUSTRE] -from ... -to ... (app profiles/exposure)
 //	logctl storage-stats                          (durable engine counters)
 //	logctl compact                                (flush + compact + WAL truncate)
+//	logctl tier                                   (force upload + evict sealed
+//	                 segments to the object-store tier)
+//	logctl segments                               (per-segment inventory: key
+//	                 ranges, Merkle roots, tier placement)
 //	logctl cluster                                (ring layout, liveness,
 //	                 ownership shares, and replication lag via /v1/cluster)
 //	logctl slow      [-k 10]                      (slow-query log: per-stage
@@ -62,7 +66,7 @@ func main() {
 	server := flag.String("server", "http://localhost:8080", "analyticsd base URL")
 	flag.Parse()
 	if flag.NArg() < 1 {
-		usageExit("usage: logctl [-server URL] <types|heatmap|hist|dist|te|words|tfidf|events|runs|watch|placement|cql|rules|sequences|episodes|reliability|profiles|storage-stats|compact|cluster|slow> [flags]")
+		usageExit("usage: logctl [-server URL] <types|heatmap|hist|dist|te|words|tfidf|events|runs|watch|placement|cql|rules|sequences|episodes|reliability|profiles|storage-stats|compact|tier|segments|cluster|slow> [flags]")
 	}
 	cmd, args := flag.Arg(0), flag.Args()[1:]
 
@@ -263,6 +267,15 @@ func main() {
 		check(err)
 		fmt.Printf("compacted %d partitions\n", res.PartitionsCompacted)
 		printStorageStats(res.Storage)
+	case "tier":
+		res, err := cli.TierSweep(ctx)
+		check(err)
+		fmt.Printf("tier sweep: %d uploaded, %d evicted\n", res.Uploaded, res.Evicted)
+		printStorageStats(res.Storage)
+	case "segments":
+		res, err := cli.ShardSegments(ctx)
+		check(err)
+		printSegments(res)
 	case "cluster":
 		st, err := cli.ClusterStatus(ctx)
 		check(err)
@@ -347,10 +360,66 @@ func printStorageStats(st store.StorageStats) {
 	fmt.Printf("  on disk:   %d segments, %.1f MB\n", st.DiskSegments, float64(st.DiskBytes)/(1<<20))
 	fmt.Printf("  recovery:  %d records / %d rows replayed, %d torn bytes ignored\n",
 		st.ReplayedRecords, st.ReplayedRows, st.TornBytes)
+	if st.Tier != nil {
+		ts := st.Tier
+		fmt.Printf("  tier:      %d segments evicted (%.1f MB logical), %d uploads (%.1f MB), %d blocks fetched (%.1f MB)\n",
+			st.TieredSegments, float64(st.TieredBytes)/(1<<20),
+			ts.Uploads, float64(ts.UploadedBytes)/(1<<20),
+			ts.FetchedBlocks, float64(ts.FetchedBytes)/(1<<20))
+		fmt.Printf("  cache:     %d/%d bytes, %d entries, %d hits / %d misses, fetch p99 %v\n",
+			ts.CacheUsed, ts.CacheBudget, ts.CacheEntries, ts.CacheHits, ts.CacheMisses, ts.FetchNanos.P99)
+		if ts.VerifyFailures > 0 {
+			fmt.Printf("  WARNING:   %d tier verification failures (corrupt object-store reads rejected)\n",
+				ts.VerifyFailures)
+		}
+	}
 	if st.MaintenanceErrors > 0 {
-		fmt.Printf("  WARNING:   %d background maintenance errors (compaction/WAL truncation failing — check disk)\n",
+		fmt.Printf("  WARNING:   %d background maintenance errors (compaction/WAL truncation/tier upload failing — check disk and object store)\n",
 			st.MaintenanceErrors)
 	}
+}
+
+// printSegments renders /v1/shard/segments: one line per segment with
+// its tier placement and Merkle root (abbreviated — roots are compared,
+// not read).
+func printSegments(p api.SegmentsPayload) {
+	total := 0
+	for _, n := range p.Nodes {
+		total += len(n.Segments)
+	}
+	if total == 0 {
+		fmt.Println("no on-disk segments (in-memory store, or nothing flushed yet)")
+		return
+	}
+	for _, n := range p.Nodes {
+		if len(n.Segments) == 0 {
+			continue
+		}
+		fmt.Printf("%s: %d segments\n", n.Node, len(n.Segments))
+		fmt.Printf("  %-20s %-12s %6s %-8s %10s %-16s %s\n",
+			"TABLE/PARTITION", "SEQ", "ROWS", "TIER", "BYTES", "ROOT", "KEYS")
+		for _, sg := range n.Segments {
+			root := sg.Root
+			if len(root) > 16 {
+				root = root[:16]
+			}
+			if root == "" {
+				root = "-"
+			}
+			fmt.Printf("  %-20s %-12d %6d %-8s %10d %-16s [%s .. %s]\n",
+				sg.Table+"/"+sg.Partition, sg.Seq, sg.Rows, sg.Tier, sg.Bytes, root,
+				abbrevKey(sg.MinKey), abbrevKey(sg.MaxKey))
+		}
+	}
+}
+
+// abbrevKey keeps segment listings one line per segment even with long
+// clustering keys.
+func abbrevKey(k string) string {
+	if len(k) > 24 {
+		return k[:24] + "…"
+	}
+	return k
 }
 
 // printClusterStatus renders the /v1/cluster answer: the answering

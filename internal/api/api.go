@@ -257,3 +257,20 @@ type CompactResult struct {
 	PartitionsCompacted int                `json:"partitions_compacted"`
 	Storage             store.StorageStats `json:"storage"`
 }
+
+// TierResult is the result of POST /v1/storage/tier: a forced sweep that
+// flushes memtables, uploads every eligible sealed segment to the object
+// tier (verified by read-back), and evicts the local data files.
+type TierResult struct {
+	Uploaded int                `json:"uploaded"`
+	Evicted  int                `json:"evicted"`
+	Storage  store.StorageStats `json:"storage"`
+}
+
+// SegmentsPayload is the result of GET /v1/shard/segments: every local
+// node's segment inventory with key ranges, Merkle roots, and tier
+// placement. Replicas compare roots to detect divergence without moving
+// data.
+type SegmentsPayload struct {
+	Nodes []store.SegmentListing `json:"nodes"`
+}

@@ -18,6 +18,7 @@ import (
 	"hpclog/internal/logs"
 	"hpclog/internal/mining"
 	"hpclog/internal/model"
+	"hpclog/internal/objstore"
 	"hpclog/internal/predict"
 	"hpclog/internal/profile"
 	"hpclog/internal/query"
@@ -58,6 +59,11 @@ type Options struct {
 	// refusing to open (see store.Config.WALTolerateCorruptTail) — an
 	// operator escape hatch; records after the damage are lost.
 	WALTolerateCorruptTail bool
+	// Tier, when Tier.Backend is non-empty, attaches the object-storage
+	// tier (see store.Config.Tier): cold sealed segments are uploaded,
+	// verified, and evicted; reads of evicted data go through a bounded
+	// Merkle-verified block cache. Requires DataDir.
+	Tier objstore.Config
 	// Logger receives the storage engine's structured log records
 	// (recovery warnings, compaction failures); nil discards them.
 	Logger *slog.Logger
@@ -103,6 +109,7 @@ func New(opts Options) (*Framework, error) {
 		WALNoSync:              opts.WALNoSync,
 		WALTolerateCorruptTail: opts.WALTolerateCorruptTail,
 		Logger:                 opts.Logger,
+		Tier:                   opts.Tier,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: open store: %w", err)

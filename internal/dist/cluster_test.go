@@ -16,6 +16,7 @@ import (
 	"hpclog/internal/enginetest"
 	"hpclog/internal/ingest"
 	"hpclog/internal/model"
+	"hpclog/internal/objstore"
 	"hpclog/internal/query"
 	"hpclog/internal/server"
 	"hpclog/internal/store"
@@ -40,6 +41,11 @@ type testCluster struct {
 	rf        int
 	machines  int
 	serverCfg server.Config
+	// tierDir, when non-empty, is the fs-backed object store every member
+	// shares (the "bucket"); flushThreshold rides along so the corpus
+	// seals segments small enough to tier.
+	tierDir        string
+	flushThreshold int
 }
 
 // startCluster boots an n-node cluster. durable gives each node its own
@@ -57,6 +63,30 @@ func startClusterCfg(t *testing.T, n, rf, machines int, durable bool, scfg serve
 		servers: make([]*http.Server, n),
 		clients: make([]*client.Client, n),
 	}
+	c.boot(n, durable)
+	return c
+}
+
+// startClusterTiered boots a durable n-node cluster whose members all
+// point at one shared fs-backed object store, with a flush threshold low
+// enough that the corpus produces sealed, tierable segments.
+func startClusterTiered(t *testing.T, n, rf, machines int) *testCluster {
+	t.Helper()
+	c := &testCluster{t: t, rf: rf, machines: machines,
+		tierDir:        t.TempDir(),
+		flushThreshold: 512,
+		nodes:          make([]*dist.Node, n),
+		servers:        make([]*http.Server, n),
+		clients:        make([]*client.Client, n),
+	}
+	c.boot(n, true)
+	return c
+}
+
+// boot allocates listeners, opens every node, and registers teardown.
+func (c *testCluster) boot(n int, durable bool) {
+	t := c.t
+	t.Helper()
 	lns := make([]net.Listener, n)
 	for i := 0; i < n; i++ {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -81,7 +111,6 @@ func startClusterCfg(t *testing.T, n, rf, machines int, durable bool, scfg serve
 			c.stopNode(i)
 		}
 	})
-	return c
 }
 
 func (c *testCluster) config(i int) dist.Config {
@@ -91,14 +120,15 @@ func (c *testCluster) config(i int) dist.Config {
 			peers[id] = c.urls[j]
 		}
 	}
-	return dist.Config{
-		ID:           c.ids[i],
-		AdvertiseURL: c.urls[i],
-		Peers:        peers,
-		RF:           c.rf,
-		VNodes:       32,
-		DataDir:      c.dirs[i],
-		MachineNodes: c.machines,
+	cfg := dist.Config{
+		ID:             c.ids[i],
+		AdvertiseURL:   c.urls[i],
+		Peers:          peers,
+		RF:             c.rf,
+		VNodes:         32,
+		DataDir:        c.dirs[i],
+		MachineNodes:   c.machines,
+		FlushThreshold: c.flushThreshold,
 		// Fast failure detection keeps the crash tests quick; scaled so
 		// loaded CI boxes do not false-positive a down mark.
 		HeartbeatInterval: testutil.Scaled(50 * time.Millisecond),
@@ -106,6 +136,10 @@ func (c *testCluster) config(i int) dist.Config {
 		RPCTimeout:        testutil.Scaled(5 * time.Second),
 		ServerConfig:      c.serverCfg,
 	}
+	if c.tierDir != "" {
+		cfg.Tier = objstore.Config{Backend: "fs", Dir: c.tierDir, CacheBytes: 1 << 20}
+	}
+	return cfg
 }
 
 // startNode opens node i and serves it on ln.
@@ -395,5 +429,49 @@ func TestClusterCorpusByteIdentityRF1(t *testing.T) {
 	c := startCluster(t, 3, 1, ref.Cfg.Nodes, false)
 	c.waitAllUp()
 	c.loadCorpus(ref)
+	runCorpusIdentity(t, ref, c)
+}
+
+// TestClusterCorpusByteIdentityTiered repeats the identity run on a
+// durable 3-node cluster whose members share one fs-backed object store,
+// with every sealed segment force-evicted on every member first: the
+// whole corpus must come back byte-identical through coordinators whose
+// local reads go through Merkle-verified object fetches.
+func TestClusterCorpusByteIdentityTiered(t *testing.T) {
+	ref := enginetest.New(t)
+	c := startClusterTiered(t, 3, 3, ref.Cfg.Nodes)
+	c.waitAllUp()
+	c.loadCorpus(ref)
+	ctx := context.Background()
+	for i, cli := range c.clients {
+		res, err := cli.TierSweep(ctx)
+		if err != nil {
+			t.Fatalf("node %s tier sweep: %v", c.ids[i], err)
+		}
+		st := res.Storage
+		if st.DiskSegments == 0 || st.TieredSegments != st.DiskSegments {
+			t.Fatalf("node %s not fully evicted: %d tiered of %d segments (uploaded=%d evicted=%d)",
+				c.ids[i], st.TieredSegments, st.DiskSegments, res.Uploaded, res.Evicted)
+		}
+		// The segment listing must expose a Merkle root for every evicted
+		// segment — the diffable unit anti-entropy and operators key on.
+		segs, err := cli.ShardSegments(ctx)
+		if err != nil {
+			t.Fatalf("node %s segments: %v", c.ids[i], err)
+		}
+		listed := 0
+		for _, nl := range segs.Nodes {
+			for _, si := range nl.Segments {
+				listed++
+				if si.Tier != "evicted" || si.Root == "" {
+					t.Fatalf("node %s lists segment %d as %q (root %q) after full eviction",
+						c.ids[i], si.Seq, si.Tier, si.Root)
+				}
+			}
+		}
+		if listed == 0 {
+			t.Fatalf("node %s lists no segments after sweep", c.ids[i])
+		}
+	}
 	runCorpusIdentity(t, ref, c)
 }

@@ -32,6 +32,7 @@ import (
 	"hpclog/internal/api"
 	"hpclog/internal/compute"
 	"hpclog/internal/ingest"
+	"hpclog/internal/objstore"
 	"hpclog/internal/obs"
 	"hpclog/internal/query"
 	"hpclog/internal/server"
@@ -62,6 +63,11 @@ type Config struct {
 	// FlushThreshold is the store's memtable flush threshold (default
 	// store's own).
 	FlushThreshold int
+	// Tier, when Tier.Backend is non-empty, attaches the object-storage
+	// tier to this member's durable store (see store.Config.Tier).
+	// Requires DataDir. Each cluster process should point at the same
+	// bucket; objects are namespaced per member id.
+	Tier objstore.Config
 	// MachineNodes sizes the bootstrap nodeinfos load (default 1024).
 	MachineNodes int
 	// Threads is the compute engine's per-worker thread count (default 2).
@@ -192,6 +198,7 @@ func Open(cfg Config) (*Node, error) {
 		FlushThreshold: cfg.FlushThreshold,
 		Dir:            cfg.DataDir,
 		WALSyncPeriod:  cfg.WALSyncPeriod,
+		Tier:           cfg.Tier,
 	})
 	if err != nil {
 		return nil, err

@@ -28,6 +28,7 @@ import (
 	"hpclog/internal/ingest"
 	"hpclog/internal/logs"
 	"hpclog/internal/model"
+	"hpclog/internal/objstore"
 	"hpclog/internal/query"
 	"hpclog/internal/server"
 	"hpclog/internal/store"
@@ -111,6 +112,19 @@ func NewDurable(tb testing.TB) *Harness {
 		Nodes: 8, RF: 2, VNodes: 32,
 		FlushThreshold: 512,
 		Dir:            tb.TempDir(),
+	})
+}
+
+// NewTiered is NewDurable with a local-fs object-storage tier attached.
+// The cache is deliberately tiny relative to the corpus so evicted reads
+// exercise real fetch/verify/evict churn, not a warm cache.
+func NewTiered(tb testing.TB) *Harness {
+	tb.Helper()
+	return build(tb, store.Config{
+		Nodes: 8, RF: 2, VNodes: 32,
+		FlushThreshold: 512,
+		Dir:            tb.TempDir(),
+		Tier:           objstore.Config{Backend: "fs", Dir: tb.TempDir(), CacheBytes: 1 << 20},
 	})
 }
 

@@ -1,0 +1,119 @@
+package objstore
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func testEntry(seq uint64) ManifestEntry {
+	e := ManifestEntry{
+		Seq:       seq,
+		Key:       "node-0/segments/seg.bin",
+		Size:      4096,
+		DataLen:   3800,
+		Rows:      120,
+		Table:     "events",
+		Partition: "p-7",
+	}
+	e.Root = HashBlock([]byte{byte(seq)})
+	return e
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "TIER")
+	m, err := LoadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 0 {
+		t.Fatalf("fresh manifest has %d entries", m.Len())
+	}
+	for _, seq := range []uint64{5, 2, 9} {
+		if err := m.Put(testEntry(seq)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Remove(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Remove(2); err != nil { // idempotent
+		t.Fatal(err)
+	}
+
+	re, err := LoadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := re.Entries()
+	if len(got) != 2 || got[0].Seq != 5 || got[1].Seq != 9 {
+		t.Fatalf("reloaded entries: %+v", got)
+	}
+	if got[0] != testEntry(5) {
+		t.Fatalf("entry 5 mutated across save/load: %+v", got[0])
+	}
+	if re.MaxSeq() != 9 {
+		t.Fatalf("MaxSeq = %d", re.MaxSeq())
+	}
+	if _, ok := re.Get(2); ok {
+		t.Fatal("removed entry survived reload")
+	}
+}
+
+func TestManifestRejectsCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "TIER")
+	m, _ := LoadManifest(path)
+	if err := m.Put(testEntry(1)); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one byte in the middle: the CRC must catch it.
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadManifest(path); !errors.Is(err, ErrBadManifest) {
+		t.Fatalf("want ErrBadManifest, got %v", err)
+	}
+}
+
+func TestDecodeManifestHostile(t *testing.T) {
+	good := EncodeManifest([]ManifestEntry{testEntry(1), testEntry(2)})
+	cases := [][]byte{
+		nil,
+		[]byte("HPTIERM1"),
+		[]byte("XXTIERM1\x00\x00\x00\x00"),
+		good[:len(good)-5],                      // torn tail
+		append(append([]byte{}, good...), 0x00), // appended garbage breaks CRC
+	}
+	for i, c := range cases {
+		if _, err := DecodeManifest(c); !errors.Is(err, ErrBadManifest) {
+			t.Fatalf("case %d: want ErrBadManifest, got %v", i, err)
+		}
+	}
+}
+
+func FuzzDecodeManifest(f *testing.F) {
+	f.Add(EncodeManifest(nil))
+	f.Add(EncodeManifest([]ManifestEntry{testEntry(1)}))
+	f.Add(EncodeManifest([]ManifestEntry{testEntry(1), testEntry(7), testEntry(42)}))
+	f.Add([]byte("HPTIERM1"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		entries, err := DecodeManifest(data) // must never panic
+		if err != nil {
+			if !errors.Is(err, ErrBadManifest) {
+				t.Fatalf("non-typed decode error: %v", err)
+			}
+			return
+		}
+		// Anything that decodes must re-encode canonically.
+		if !bytes.Equal(EncodeManifest(entries), data) {
+			t.Fatal("decode/encode not canonical")
+		}
+	})
+}

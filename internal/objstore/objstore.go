@@ -1,0 +1,221 @@
+// Package objstore is the tiered-storage layer below the segment store:
+// an ObjectStore abstraction over a durable, flat object namespace (a
+// local directory for tests and single-machine deployments, an
+// S3/MinIO-compatible HTTP service for real clusters), plus the pieces
+// the tiering policy is built from — a Merkle tree over segment blocks
+// (integrity proofs for every fetched block), a crash-safe per-node
+// manifest of uploaded segments, a bounded refcounted block cache with
+// single-flight fetches, and the Tier front door the segment store reads
+// evicted blocks through.
+//
+// Objects are immutable once written: a segment is uploaded exactly once
+// under a key derived from its sequence number and deleted only when
+// compaction retires it. There is no overwrite path, so the backends
+// need no versioning or conditional writes.
+package objstore
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// ErrNotExist marks a read of an object key that is absent from the
+// store. Callers distinguish it from transport failures: a missing
+// object that the manifest references is data loss, a failed HTTP dial
+// is retryable.
+var ErrNotExist = errors.New("objstore: object does not exist")
+
+// ErrIntegrity marks bytes that failed Merkle/checksum verification: the
+// object store returned data, but not the data that was uploaded.
+// Readers treat it as replica-fallback-able corruption, never as a
+// transient fault.
+var ErrIntegrity = errors.New("objstore: integrity verification failed")
+
+// ObjectStore is a minimal immutable object API: whole-object put,
+// ranged get, stat, delete, list. Implementations must make Put atomic —
+// a key either resolves to the complete object or to ErrNotExist, even
+// across a crash mid-upload.
+type ObjectStore interface {
+	// Put stores size bytes from r under key, atomically.
+	Put(ctx context.Context, key string, r io.Reader, size int64) error
+	// ReadRange returns n bytes of key starting at off.
+	ReadRange(ctx context.Context, key string, off, n int64) ([]byte, error)
+	// Stat returns the object's size, or ErrNotExist.
+	Stat(ctx context.Context, key string) (int64, error)
+	// Delete removes key; deleting an absent key is not an error.
+	Delete(ctx context.Context, key string) error
+	// List returns the keys under prefix, sorted.
+	List(ctx context.Context, prefix string) ([]string, error)
+}
+
+// validKey rejects keys that could escape a filesystem root or confuse
+// an HTTP path: empty, absolute, or dot-dot-traversing.
+func validKey(key string) error {
+	if key == "" || strings.HasPrefix(key, "/") {
+		return fmt.Errorf("objstore: invalid key %q", key)
+	}
+	for _, part := range strings.Split(key, "/") {
+		if part == "" || part == "." || part == ".." {
+			return fmt.Errorf("objstore: invalid key %q", key)
+		}
+	}
+	return nil
+}
+
+// FS is the local-filesystem ObjectStore: objects are plain files under
+// a root directory, keys with '/' map to subdirectories. Put writes to a
+// temporary name and renames into place with a directory fsync, so a
+// crash mid-put leaves at most a *.tmp file and never a torn object —
+// the same atomicity discipline the segment store itself uses.
+type FS struct {
+	root string
+}
+
+// fsTempExt marks in-flight uploads; readers and List ignore it, and a
+// crash mid-put leaves it behind as garbage (swept on open).
+const fsTempExt = ".tmp"
+
+// OpenFS opens (creating if needed) a filesystem object store rooted at
+// dir, sweeping temp files left by a previous crash.
+func OpenFS(dir string) (*FS, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("objstore: fs store needs a root directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &FS{root: dir}
+	// Sweep crash leftovers: a *.tmp was never visible as an object.
+	_ = filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() && strings.HasSuffix(path, fsTempExt) {
+			os.Remove(path)
+		}
+		return nil
+	})
+	return s, nil
+}
+
+func (s *FS) path(key string) string {
+	return filepath.Join(s.root, filepath.FromSlash(key))
+}
+
+// Put implements ObjectStore.
+func (s *FS) Put(_ context.Context, key string, r io.Reader, size int64) error {
+	if err := validKey(key); err != nil {
+		return err
+	}
+	path := s.path(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	tmp := path + fsTempExt
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	n, err := io.Copy(f, r)
+	if err == nil && n != size {
+		err = fmt.Errorf("objstore: put %s: wrote %d of %d bytes", key, n, size)
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// ReadRange implements ObjectStore.
+func (s *FS) ReadRange(_ context.Context, key string, off, n int64) ([]byte, error) {
+	if err := validKey(key); err != nil {
+		return nil, err
+	}
+	f, err := os.Open(s.path(key))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("%w: %s", ErrNotExist, key)
+		}
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(io.NewSectionReader(f, off, n), buf); err != nil {
+		return nil, fmt.Errorf("objstore: read %s [%d,+%d): %w", key, off, n, err)
+	}
+	return buf, nil
+}
+
+// Stat implements ObjectStore.
+func (s *FS) Stat(_ context.Context, key string) (int64, error) {
+	if err := validKey(key); err != nil {
+		return 0, err
+	}
+	st, err := os.Stat(s.path(key))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, fmt.Errorf("%w: %s", ErrNotExist, key)
+		}
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+// Delete implements ObjectStore.
+func (s *FS) Delete(_ context.Context, key string) error {
+	if err := validKey(key); err != nil {
+		return err
+	}
+	if err := os.Remove(s.path(key)); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}
+
+// List implements ObjectStore.
+func (s *FS) List(_ context.Context, prefix string) ([]string, error) {
+	var keys []string
+	err := filepath.Walk(s.root, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() || strings.HasSuffix(path, fsTempExt) {
+			return err
+		}
+		rel, rerr := filepath.Rel(s.root, path)
+		if rerr != nil {
+			return rerr
+		}
+		key := filepath.ToSlash(rel)
+		if strings.HasPrefix(key, prefix) {
+			keys = append(keys, key)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// syncDir fsyncs a directory so a freshly renamed entry survives a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

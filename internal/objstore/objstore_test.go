@@ -1,0 +1,119 @@
+package objstore
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// testObjectStore is the conformance suite both backends must pass.
+func testObjectStore(t *testing.T, s ObjectStore) {
+	t.Helper()
+	ctx := context.Background()
+	body := []byte("0123456789abcdefghij")
+
+	if err := s.Put(ctx, "node-0/a.seg", bytes.NewReader(body), int64(len(body))); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(ctx, "node-0/b.seg", bytes.NewReader(body[:4]), 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(ctx, "node-1/c.seg", bytes.NewReader(body[:2]), 2); err != nil {
+		t.Fatal(err)
+	}
+
+	if n, err := s.Stat(ctx, "node-0/a.seg"); err != nil || n != int64(len(body)) {
+		t.Fatalf("stat: %d %v", n, err)
+	}
+	if _, err := s.Stat(ctx, "node-0/missing"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("stat missing: %v", err)
+	}
+
+	got, err := s.ReadRange(ctx, "node-0/a.seg", 5, 10)
+	if err != nil || string(got) != "56789abcde" {
+		t.Fatalf("range: %q %v", got, err)
+	}
+	if got, err := s.ReadRange(ctx, "node-0/a.seg", 0, int64(len(body))); err != nil || !bytes.Equal(got, body) {
+		t.Fatalf("full range: %q %v", got, err)
+	}
+	if _, err := s.ReadRange(ctx, "node-0/missing", 0, 1); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("range missing: %v", err)
+	}
+
+	keys, err := s.List(ctx, "node-0/")
+	if err != nil || !reflect.DeepEqual(keys, []string{"node-0/a.seg", "node-0/b.seg"}) {
+		t.Fatalf("list node-0/: %v %v", keys, err)
+	}
+	all, err := s.List(ctx, "")
+	if err != nil || len(all) != 3 {
+		t.Fatalf("list all: %v %v", all, err)
+	}
+
+	if err := s.Delete(ctx, "node-0/b.seg"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(ctx, "node-0/b.seg"); err != nil { // idempotent
+		t.Fatalf("re-delete: %v", err)
+	}
+	if _, err := s.Stat(ctx, "node-0/b.seg"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("deleted object still visible: %v", err)
+	}
+
+	// Hostile keys are rejected, not resolved.
+	for _, bad := range []string{"", "/abs", "a//b", "../escape", "a/../../b", "a/./b"} {
+		if _, err := s.ReadRange(ctx, bad, 0, 1); err == nil || errors.Is(err, ErrNotExist) {
+			t.Fatalf("key %q not rejected: %v", bad, err)
+		}
+		if err := s.Put(ctx, bad, bytes.NewReader(nil), 0); err == nil {
+			t.Fatalf("put of key %q accepted", bad)
+		}
+	}
+}
+
+func TestFSConformance(t *testing.T) {
+	s, err := OpenFS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	testObjectStore(t, s)
+}
+
+func TestFSPutAtomicAndTempSweep(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenFS(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// A short reader (simulated crash mid-upload) must leave no object
+	// and no visible key.
+	if err := s.Put(ctx, "x/torn.seg", strings.NewReader("abc"), 10); err == nil {
+		t.Fatal("short put accepted")
+	}
+	if _, err := s.Stat(ctx, "x/torn.seg"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("torn put visible: %v", err)
+	}
+
+	// Plant a stray tmp file (crash between create and rename): reopen
+	// sweeps it, and List never shows it.
+	stray := filepath.Join(dir, "x", "stray.seg"+fsTempExt)
+	os.MkdirAll(filepath.Dir(stray), 0o755)
+	if err := os.WriteFile(stray, []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if keys, _ := s.List(ctx, ""); len(keys) != 0 {
+		t.Fatalf("tmp leaked into list: %v", keys)
+	}
+	if _, err := OpenFS(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stray); !os.IsNotExist(err) {
+		t.Fatal("reopen did not sweep tmp leftover")
+	}
+}

@@ -40,6 +40,7 @@ func (s *Server) registerClusterRoutes() {
 	s.handle("POST /v1/shard/scan", s.limited("stream", s.handleShardScan))
 	s.handle("POST /v1/shard/bounds", s.limited("cluster", s.handleShardBounds))
 	s.handle("GET /v1/shard/partitions", s.handleShardPartitions)
+	s.handle("GET /v1/shard/segments", s.handleShardSegments)
 	s.handle("GET /v1/cluster", s.handleClusterStatus)
 	s.handle("POST /v1/cluster/heartbeat", s.limited("cluster", s.handleHeartbeat))
 }
@@ -171,6 +172,21 @@ func (s *Server) handleShardPartitions(w http.ResponseWriter, r *http.Request) {
 			return nil, toAPIError(err)
 		}
 		return api.ShardPartitionsResult{Keys: keys}, nil
+	})(w, r)
+}
+
+// handleShardSegments answers GET /v1/shard/segments: every local node's
+// on-disk segment inventory — sequence, key range, row count, Merkle
+// root, and tier placement (resident / uploaded / evicted). Replicas
+// compare per-segment roots to spot divergence without transferring
+// segment data.
+func (s *Server) handleShardSegments(w http.ResponseWriter, r *http.Request) {
+	s.v1(func(w http.ResponseWriter, r *http.Request) (any, *api.Error) {
+		nodes := s.db.SegmentInfos()
+		if nodes == nil {
+			nodes = []store.SegmentListing{}
+		}
+		return api.SegmentsPayload{Nodes: nodes}, nil
 	})(w, r)
 }
 

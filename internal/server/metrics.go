@@ -105,7 +105,23 @@ func (s *Server) collectStoreMetrics(w *obs.Writer) {
 	w.Gauge("hpclog_store_disk_bytes", "On-disk data footprint.", float64(st.DiskBytes))
 	w.Counter("hpclog_store_replayed_records_total", "Commitlog records replayed at startup.", st.ReplayedRecords)
 	w.Counter("hpclog_store_replayed_rows_total", "Rows recovered from the commitlog at startup.", st.ReplayedRows)
-	w.Counter("hpclog_store_maintenance_errors_total", "Failed background compaction/truncation passes.", st.MaintenanceErrors)
+	w.Counter("hpclog_store_maintenance_errors_total", "Failed background compaction/truncation/tiering passes.", st.MaintenanceErrors)
+	if tier := s.db.Tier(); tier != nil {
+		ts := tier.Snapshot()
+		w.Gauge("hpclog_tier_segments", "Segments whose data lives in the object tier.", float64(st.TieredSegments))
+		w.Gauge("hpclog_tier_bytes", "Logical bytes evicted to the object tier.", float64(st.TieredBytes))
+		w.Counter("hpclog_tier_uploads_total", "Segments uploaded to the object store (read-back verified).", ts.Uploads)
+		w.Counter("hpclog_tier_uploaded_bytes_total", "Bytes uploaded to the object store.", ts.UploadedBytes)
+		w.Counter("hpclog_tier_evictions_total", "Local segment data files released after upload.", ts.Evictions)
+		w.Counter("hpclog_tier_fetched_blocks_total", "Blocks fetched from the object store on evicted reads.", ts.FetchedBlocks)
+		w.Counter("hpclog_tier_fetched_bytes_total", "Bytes fetched from the object store on evicted reads.", ts.FetchedBytes)
+		w.Counter("hpclog_tier_verify_failures_total", "Merkle/read-back verification failures (corrupt fetches rejected).", ts.VerifyFailures)
+		w.Counter("hpclog_tier_cache_hits_total", "Block-cache hits on evicted reads.", int64(ts.CacheHits))
+		w.Counter("hpclog_tier_cache_misses_total", "Block-cache misses on evicted reads.", int64(ts.CacheMisses))
+		w.Gauge("hpclog_tier_cache_bytes", "Bytes resident in the block cache.", float64(ts.CacheUsed))
+		w.Gauge("hpclog_tier_cache_capacity_bytes", "Block-cache budget in bytes.", float64(ts.CacheBudget))
+		w.Hist("hpclog_tier_fetch_seconds", "Object-store block fetch latency (including verification).", &tier.FetchHist)
+	}
 }
 
 func (s *Server) collectComputeMetrics(w *obs.Writer) {

@@ -205,6 +205,7 @@ func NewWithConfig(q *query.Engine, db *store.DB, eng *compute.Engine, cfg Confi
 	s.handle("GET /v1/stats", s.handleStatsV1)
 	s.handle("GET /v1/storage", s.handleStorageV1)
 	s.handle("POST /v1/storage/compact", s.limited("storage", s.handleStorageCompactV1))
+	s.handle("POST /v1/storage/tier", s.limited("storage", s.handleStorageTierV1))
 	s.handle("GET /v1/watch", s.limited("watch", s.handleWatch))
 	s.handle("GET /v1/protocol", s.handleProtocol)
 
@@ -671,6 +672,26 @@ func (s *Server) compactCore(http.ResponseWriter, *http.Request) (any, *api.Erro
 
 func (s *Server) handleStorageCompactV1(w http.ResponseWriter, r *http.Request) {
 	s.v1(s.compactCore)(w, r)
+}
+
+// tierCore forces a tiering sweep: memtables are flushed, every eligible
+// sealed segment is uploaded to the object store (verified by read-back)
+// and its local data file evicted, leaving a footer stub behind. Without
+// a configured tier it reports zero work.
+func (s *Server) tierCore(http.ResponseWriter, *http.Request) (any, *api.Error) {
+	up, ev, err := s.db.TierSweep(true)
+	if err != nil {
+		return nil, api.Errorf(api.CodeInternal, "%v", err)
+	}
+	return api.TierResult{
+		Uploaded: up,
+		Evicted:  ev,
+		Storage:  s.db.StorageStats(),
+	}, nil
+}
+
+func (s *Server) handleStorageTierV1(w http.ResponseWriter, r *http.Request) {
+	s.v1(s.tierCore)(w, r)
 }
 
 // handleProtocol answers GET /v1/protocol: version negotiation without

@@ -12,7 +12,9 @@ import (
 	"time"
 
 	"hpclog/internal/cluster"
+	"hpclog/internal/objstore"
 	"hpclog/internal/obs"
+	"hpclog/internal/store/persist"
 )
 
 // Consistency is the number-of-replicas contract for an operation,
@@ -124,6 +126,14 @@ type Config struct {
 	// Deployments whose queries filter on bespoke attribute columns list
 	// them here.
 	ZoneMapColumns []string
+
+	// Tier, when Backend is non-empty, attaches an object-storage tier to
+	// the durable engine: background maintenance uploads cold sealed
+	// segments (verified by read-back), evicts their local data files —
+	// keeping the footer resident so block pruning needs no fetch — and
+	// reads of evicted segments go through a bounded block cache with
+	// per-block Merkle verification. Requires Dir.
+	Tier objstore.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -191,6 +201,9 @@ type DB struct {
 	closed      atomic.Bool
 	replayStats ReplayStats
 	maintErrors atomic.Int64
+	// tier is the process-wide object-storage tier shared by every local
+	// node (one object store, one block cache); nil when tiering is off.
+	tier *objstore.Tier
 }
 
 // ReplayStats summarizes commitlog recovery across all nodes of a durable
@@ -328,6 +341,16 @@ func OpenDurable(cfg Config) (*DB, error) {
 		tables:  make(map[string]bool),
 		hintLog: newHintLog(),
 	}
+	if cfg.Tier.Backend != "" {
+		if cfg.Dir == "" {
+			return nil, fmt.Errorf("store: tiered storage requires a durable Dir")
+		}
+		tier, err := objstore.Open(cfg.Tier)
+		if err != nil {
+			return nil, fmt.Errorf("store: open tier: %w", err)
+		}
+		db.tier = tier
+	}
 	members := cfg.Members
 	if len(members) == 0 {
 		members = make([]string, cfg.Nodes)
@@ -370,7 +393,7 @@ func OpenDurable(cfg Config) (*DB, error) {
 		}
 		n := newNode(id, cfg.FlushThreshold, cfg.MaxSegments)
 		if cfg.Dir != "" {
-			if err := n.openDurable(filepath.Join(cfg.Dir, "node-"+id), cfg); err != nil {
+			if err := n.openDurable(filepath.Join(cfg.Dir, "node-"+id), cfg, db.tier); err != nil {
 				db.closeNodes()
 				return nil, err
 			}
@@ -456,10 +479,9 @@ func (db *DB) compactorLoop() {
 			return
 		case <-t.C:
 			if _, err := db.maintain(db.cfg.MaxSegments); err != nil {
-				// The counter stays authoritative (surfaced through
+				// maintain already counted the failure (surfaced through
 				// StorageStats / /v1/metrics); the log line adds the error
 				// text monitoring counters cannot carry.
-				db.maintErrors.Add(1)
 				if db.cfg.Logger != nil {
 					db.cfg.Logger.Error("store: compaction maintenance failed", "err", err)
 				}
@@ -468,11 +490,16 @@ func (db *DB) compactorLoop() {
 	}
 }
 
-// maintain runs one compaction + commitlog-truncation pass.
+// maintain runs one compaction + commitlog-truncation + tiering pass.
+// Per-node failures are joined rather than aborting the pass — a broken
+// object-store endpoint must not stop other nodes from compacting — and
+// every failed pass increments MaintenanceErrors, whether it came from
+// the background compactor or an explicit Compact call.
 func (db *DB) maintain(threshold int) (int, error) {
 	db.compactMu.Lock()
 	defer db.compactMu.Unlock()
 	total := 0
+	var errs []error
 	for _, id := range db.NodeIDs() {
 		n := db.Node(id)
 		if n.persist == nil {
@@ -481,16 +508,84 @@ func (db *DB) maintain(threshold int) (int, error) {
 		c, err := n.persist.CompactOverflow(threshold)
 		total += c
 		if err != nil {
-			return total, err
+			errs = append(errs, err)
 		}
 		if _, err := n.truncateWAL(); err != nil {
-			return total, err
+			errs = append(errs, err)
+		}
+		if db.tier != nil {
+			if _, _, err := n.persist.TierSweep(context.Background(), false); err != nil {
+				errs = append(errs, err)
+			}
 		}
 	}
 	if total > 0 {
 		db.bumpGeneration()
 	}
-	return total, nil
+	err := errors.Join(errs...)
+	if err != nil {
+		db.maintErrors.Add(1)
+	}
+	return total, err
+}
+
+// TierSweep flushes memtables and uploads+evicts segments to the object
+// tier across every local node. force widens the sweep from the cold set
+// (everything but each partition's newest segment) to every eligible
+// segment — the operator trigger behind POST /v1/storage/tier. Failures
+// count as maintenance errors. A no-op without a configured tier.
+func (db *DB) TierSweep(force bool) (uploaded, evicted int, err error) {
+	if db.cfg.Dir == "" || db.tier == nil {
+		return 0, 0, nil
+	}
+	if err := db.Flush(); err != nil {
+		db.maintErrors.Add(1)
+		return 0, 0, err
+	}
+	db.compactMu.Lock()
+	defer db.compactMu.Unlock()
+	var errs []error
+	for _, id := range db.NodeIDs() {
+		n := db.Node(id)
+		if n.persist == nil {
+			continue
+		}
+		up, ev, serr := n.persist.TierSweep(context.Background(), force)
+		uploaded += up
+		evicted += ev
+		if serr != nil {
+			errs = append(errs, serr)
+		}
+	}
+	err = errors.Join(errs...)
+	if err != nil {
+		db.maintErrors.Add(1)
+	}
+	return uploaded, evicted, err
+}
+
+// Tier returns the object-storage tier, or nil when tiering is off. The
+// metrics handler reads its counters and fetch-latency histogram.
+func (db *DB) Tier() *objstore.Tier { return db.tier }
+
+// SegmentListing is one node's segment inventory for the wire surface.
+type SegmentListing struct {
+	Node     string                `json:"node"`
+	Segments []persist.SegmentInfo `json:"segments"`
+}
+
+// SegmentInfos lists every local node's on-disk segments — sequence, key
+// range, Merkle root, and tier placement — ordered by node id.
+func (db *DB) SegmentInfos() []SegmentListing {
+	var out []SegmentListing
+	for _, id := range db.NodeIDs() {
+		n := db.Node(id)
+		if n == nil || n.persist == nil {
+			continue
+		}
+		out = append(out, SegmentListing{Node: id, Segments: n.persist.SegmentInfos()})
+	}
+	return out
 }
 
 // Flush forces every dirty memtable of a durable cluster onto disk and
@@ -576,6 +671,14 @@ type StorageStats struct {
 	DiskSegments      int64 `json:"disk_segments"`
 	DiskBytes         int64 `json:"disk_bytes"`
 
+	// TieredSegments/TieredBytes count segments whose data lives in the
+	// object tier (logical bytes); Tier carries the tier's own counters
+	// (uploads, fetches, cache hit rate, verify failures) when tiering is
+	// configured.
+	TieredSegments int64           `json:"tiered_segments,omitempty"`
+	TieredBytes    int64           `json:"tiered_bytes,omitempty"`
+	Tier           *objstore.Stats `json:"tier,omitempty"`
+
 	ReplayedRecords int64 `json:"replayed_records"`
 	ReplayedRows    int64 `json:"replayed_rows"`
 	TornBytes       int64 `json:"torn_bytes"`
@@ -617,6 +720,12 @@ func (db *DB) StorageStats() StorageStats {
 		st.CompactedRows += ps.CompactedRows
 		st.DiskSegments += ps.Segments
 		st.DiskBytes += ps.Bytes
+		st.TieredSegments += ps.TieredSegments
+		st.TieredBytes += ps.TieredBytes
+	}
+	if db.tier != nil {
+		ts := db.tier.Snapshot()
+		st.Tier = &ts
 	}
 	return st
 }

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 
+	"hpclog/internal/objstore"
 	"hpclog/internal/store/persist"
 	"hpclog/internal/wal"
 )
@@ -576,8 +577,14 @@ func (n *Node) truncateWAL() (int, error) {
 }
 
 // openDurable attaches a commitlog and a segment store rooted at dir.
-func (n *Node) openDurable(dir string, cfg Config) error {
-	ps, err := persist.OpenStore(dir + "/seg")
+// With a non-nil tier, the segment store opens tiered: evicted segments
+// come back as footer stubs and its objects live under the node's id.
+func (n *Node) openDurable(dir string, cfg Config, tier *objstore.Tier) error {
+	var ts *persist.TierSetup
+	if tier != nil {
+		ts = &persist.TierSetup{Tier: tier, Prefix: "node-" + n.id}
+	}
+	ps, err := persist.OpenStoreTiered(dir+"/seg", ts)
 	if err != nil {
 		return fmt.Errorf("store: node %s: %w", n.id, err)
 	}

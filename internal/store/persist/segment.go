@@ -2,9 +2,12 @@ package persist
 
 import (
 	"bufio"
+	"context"
+	"crypto/sha256"
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash"
 	"hash/crc32"
 	"io"
 	"math"
@@ -12,6 +15,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"hpclog/internal/objstore"
 )
 
 // Segment file layout (codec v3):
@@ -47,15 +52,22 @@ import (
 // open with a clear error naming the version mismatch; re-ingest the data
 // or read it with a pre-v2 build.
 const (
-	segHeader    = "HPSEG003"
+	segHeader    = "HPSEG004"
+	segHeaderV3  = "HPSEG003"
 	segHeaderV2  = "HPSEG002"
 	segHeaderV1  = "HPSEG001"
-	segTrailer   = "HPSEGFT3"
+	segTrailer   = "HPSEGFT4"
+	segTrailerV3 = "HPSEGFT3"
 	segTrailerV2 = "HPSEGFT2"
 	segTrailerV1 = "HPSEGFT1"
 	trailerLen   = 4 + 4 + 8
 	indexEvery   = 64
 	segFileExt   = ".seg"
+	// segStubExt marks the footer stub left behind when a segment's data
+	// is evicted to the object store: header + footer + trailer, no data
+	// region. Parsed exactly like a segment at open, so zone maps, Blooms,
+	// and the sparse index stay resident with zero object-store fetches.
+	segStubExt   = ".sft"
 	segTempExt   = ".tmp"
 	maxFooterLen = 256 << 20
 )
@@ -64,9 +76,12 @@ const (
 const (
 	// SegVersionV2 writes the pre-pruning format: no block statistics.
 	SegVersionV2 = 2
-	// SegVersion is the current format with per-block zone maps and Bloom
-	// filters.
-	SegVersion = 3
+	// SegVersionV3 adds per-block zone maps and Bloom filters.
+	SegVersionV3 = 3
+	// SegVersion is the current format: v3 plus a Merkle leaf array over
+	// the data blocks, enabling verified reads after the data region is
+	// evicted to the object store.
+	SegVersion = 4
 )
 
 // IndexEntry is one sparse-index sample: the clustering key of a row and
@@ -98,6 +113,11 @@ type footerMeta struct {
 	// empty on v2 files). Zone IDs are segment-local name-table indexes on
 	// disk, remapped to process-wide dictionary IDs at open.
 	Blocks []BlockStats
+	// Leaves holds the Merkle leaf hash of each data block, parallel to
+	// Index (codec v4; empty on older files). The leaves live in the
+	// footer so they stay resident after eviction; a fetched block is
+	// verified leaf-then-proof against the manifest-pinned root.
+	Leaves [][objstore.HashLen]byte
 }
 
 // appendFooter encodes the footer with the package's own codec —
@@ -129,7 +149,7 @@ func appendFooter(b []byte, m *footerMeta, version int, zoneLocal []int) []byte 
 		b = binary.AppendUvarint(b, uint64(e.Off-prev))
 		prev = e.Off
 	}
-	if version < SegVersion {
+	if version < SegVersionV3 {
 		return b
 	}
 	b = binary.AppendUvarint(b, uint64(len(m.Blocks)))
@@ -154,6 +174,13 @@ func appendFooter(b []byte, m *footerMeta, version int, zoneLocal []int) []byte 
 		}
 		b = binary.AppendUvarint(b, uint64(blk.bloom.k))
 		appendStr(blk.bloom.bits)
+	}
+	if version < SegVersion {
+		return b
+	}
+	b = binary.AppendUvarint(b, uint64(len(m.Leaves)))
+	for i := range m.Leaves {
+		b = append(b, m.Leaves[i][:]...)
 	}
 	return b
 }
@@ -252,7 +279,7 @@ func decodeFooter(fb []byte, version int) (*footerMeta, error) {
 		}
 		m.Index[i] = IndexEntry{Key: k, Off: prev}
 	}
-	if version < SegVersion {
+	if version < SegVersionV3 {
 		return m, nil
 	}
 	nBlocks, err := d.Uvarint()
@@ -340,7 +367,35 @@ func decodeFooter(fb []byte, version int) (*footerMeta, error) {
 		}
 		blk.bloom = bloom{bits: bits, k: uint32(k)}
 	}
+	if version < SegVersion {
+		return m, nil
+	}
+	nLeaves, err := d.Uvarint()
+	if err != nil {
+		return nil, fail("merkle leaves", err)
+	}
+	if nLeaves != uint64(len(m.Index)) {
+		return nil, fail("merkle leaves", fmt.Errorf("%d leaves for %d blocks", nLeaves, len(m.Index)))
+	}
+	m.Leaves = make([][objstore.HashLen]byte, nLeaves)
+	for i := range m.Leaves {
+		raw, err := d.Raw(objstore.HashLen)
+		if err != nil {
+			return nil, fail("merkle leaf", err)
+		}
+		copy(m.Leaves[i][:], raw)
+	}
 	return m, nil
+}
+
+// Raw decodes exactly n raw bytes (no length prefix).
+func (d *StringDec) Raw(n int) (string, error) {
+	if d.Rest() < n {
+		return "", io.ErrUnexpectedEOF
+	}
+	s := d.s[d.pos : d.pos+n]
+	d.pos += n
+	return s, nil
 }
 
 // String4 decodes exactly 4 raw bytes (no length prefix).
@@ -383,10 +438,17 @@ type Writer struct {
 	done    bool
 	version int
 
-	// Block-statistics accumulation (version >= SegVersion).
+	// Block-statistics accumulation (version >= SegVersionV3).
 	zoneIDs   []uint32 // hot columns with per-block zone maps, sorted by ID
 	zoneNames []string // parallel to zoneIDs
 	blk       blockAcc
+
+	// leafH accumulates the Merkle leaf of the block being written
+	// (version >= SegVersion): seeded with objstore.LeafDomain, fed every
+	// encoded row, summed at each block boundary. The incremental sum
+	// equals objstore.HashBlock(block bytes), which is what verified
+	// fetches recompute.
+	leafH hash.Hash
 }
 
 // blockAcc accumulates the statistics of the block being written.
@@ -413,6 +475,8 @@ func NewWriterVersion(path, table, pkey string, seq uint64, version int) (*Write
 	header := segHeader
 	switch version {
 	case SegVersion:
+	case SegVersionV3:
+		header = segHeaderV3
 	case SegVersionV2:
 		header = segHeaderV2
 	default:
@@ -428,8 +492,12 @@ func NewWriterVersion(path, table, pkey string, seq uint64, version int) (*Write
 		meta:    footerMeta{Table: table, Partition: pkey, Seq: seq},
 		version: version,
 	}
-	if version >= SegVersion {
+	if version >= SegVersionV3 {
 		w.setZoneColumnNames(DefaultZoneColumns)
+	}
+	if version >= SegVersion {
+		w.leafH = sha256.New()
+		w.leafH.Write(objstore.LeafDomain)
 	}
 	if _, err := w.bw.WriteString(header); err != nil {
 		w.abort()
@@ -448,7 +516,7 @@ func (w *Writer) SetZoneColumns(names []string) error {
 	if w.meta.Rows > 0 {
 		return fmt.Errorf("persist: SetZoneColumns after Append")
 	}
-	if w.version >= SegVersion {
+	if w.version >= SegVersionV3 {
 		w.setZoneColumnNames(names)
 	}
 	return nil
@@ -498,8 +566,15 @@ func (w *Writer) resetBlock() {
 // values owned by the caller (compaction feeds values that alias decoded
 // blocks of the inputs); the footer must not pin them.
 func (w *Writer) finishBlock() {
-	if w.version < SegVersion || w.blk.rows == 0 {
+	if w.version < SegVersionV3 || w.blk.rows == 0 {
 		return
+	}
+	if w.version >= SegVersion {
+		var leaf [objstore.HashLen]byte
+		w.leafH.Sum(leaf[:0])
+		w.meta.Leaves = append(w.meta.Leaves, leaf)
+		w.leafH.Reset()
+		w.leafH.Write(objstore.LeafDomain)
 	}
 	bs := BlockStats{
 		MaxKey:     strings.Clone(w.blk.maxKey),
@@ -522,7 +597,7 @@ func (w *Writer) finishBlock() {
 
 // noteRow folds one row into the current block's statistics.
 func (w *Writer) noteRow(r Row) {
-	if w.version < SegVersion {
+	if w.version < SegVersionV3 {
 		return
 	}
 	b := &w.blk
@@ -595,6 +670,9 @@ func (w *Writer) Append(r Row) error {
 		return err
 	}
 	w.crc = crc32.Update(w.crc, crcTable, w.buf)
+	if w.version >= SegVersion {
+		w.leafH.Write(w.buf)
+	}
 	w.off += int64(len(w.buf))
 	if w.meta.Rows == 0 {
 		w.meta.MinKey = r.Key
@@ -625,9 +703,13 @@ func (w *Writer) Finish() (*Segment, error) {
 	w.meta.DataCRC = w.crc
 	var zoneLocal []int
 	trailer := segTrailer
-	if w.version < SegVersion {
+	switch w.version {
+	case SegVersionV2:
 		trailer = segTrailerV2
-	} else {
+	case SegVersionV3:
+		trailer = segTrailerV3
+	}
+	if w.version >= SegVersionV3 {
 		if len(w.meta.Blocks) != len(w.meta.Index) {
 			w.abort()
 			return nil, fmt.Errorf("persist: %d block stats for %d index entries", len(w.meta.Blocks), len(w.meta.Index))
@@ -638,6 +720,10 @@ func (w *Writer) Finish() (*Segment, error) {
 		for i, id := range w.zoneIDs {
 			zoneLocal[i] = w.tb.localIdx(Col{ID: id})
 		}
+	}
+	if w.version >= SegVersion && len(w.meta.Leaves) != len(w.meta.Index) {
+		w.abort()
+		return nil, fmt.Errorf("persist: %d merkle leaves for %d index entries", len(w.meta.Leaves), len(w.meta.Index))
 	}
 	w.meta.ColNames = w.tb.names
 	fb := appendFooter(w.buf[:0], &w.meta, w.version, zoneLocal)
@@ -708,100 +794,108 @@ func dirOf(path string) string {
 	return "."
 }
 
-// Segment is an open, immutable on-disk segment file. Scans share the one
+// Segment is an open, immutable segment. Resident segments share one
 // file descriptor through ReadAt, so any number of iterators can stream
-// concurrently. A segment retired by compaction is unlinked immediately
+// concurrently; a segment retired by compaction is unlinked immediately
 // and its descriptor closed once the last open iterator finishes.
+//
+// A tiered segment's data region lives in the object store. Its footer
+// (sparse index, zone maps, Blooms, Merkle leaves) stays resident, so
+// pruning never fetches; block reads go through the tier's verified,
+// cached read path. Eviction fencing: iterators that acquired before the
+// eviction keep reading the unlinked local file through the still-open
+// descriptor (localRefs tracks them); the descriptor closes when the
+// last of them finishes, and iterators acquired after the eviction fetch
+// from the object store.
 type Segment struct {
 	path string
-	f    *os.File
+	f    *os.File // nil once fClosed (stub-opened or drained tiered)
 	meta *footerMeta
 	// colIDs maps the footer name table's local indexes to process-wide
 	// dictionary IDs, resolved once at open and shared by all iterators.
-	colIDs []uint32
-	size   int64
+	colIDs  []uint32
+	size    int64 // logical segment size (object size once tiered)
+	footOff int64 // file offset of the footer (stub layout source)
+	version int
 
-	mu     chan struct{} // 1-buffered semaphore guarding refs/doomed/closed
-	refs   int
-	doomed bool
-	closed bool
+	// Tiering state. tree/root are built at open for v4 segments (the
+	// leaves are in the footer); tier/tierKey are set once the segment has
+	// a manifest-recorded, verified object-store copy.
+	tree    *objstore.Tree
+	root    [objstore.HashLen]byte
+	tier    *objstore.Tier
+	tierKey string
+
+	mu        chan struct{} // 1-buffered semaphore guarding the fields below
+	refs      int
+	localRefs int // iterators reading the local data file
+	tiered    bool
+	fClosed   bool
+	doomed    bool
+	closed    bool
 }
 
 // ErrVersion marks a segment or commitlog record written by an
 // incompatible (pre-v2) codec.
 var ErrVersion = errors.New("persist: incompatible codec version")
 
-// OpenSegment opens a segment file and decodes its footer.
-func OpenSegment(path string) (*Segment, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	st, err := f.Stat()
-	if err != nil {
-		f.Close()
-		return nil, err
-	}
-	size := st.Size()
+// parseSegmentFile decodes the header, trailer, and footer of an open
+// segment (or footer stub — same layout minus the data region).
+func parseSegmentFile(f *os.File, path string, size int64) (meta *footerMeta, colIDs []uint32, version int, footOff int64, err error) {
 	if size < int64(len(segHeader))+trailerLen {
-		f.Close()
-		return nil, fmt.Errorf("persist: %s: too short for a segment", path)
+		return nil, nil, 0, 0, fmt.Errorf("persist: %s: too short for a segment", path)
 	}
 	var head [len(segHeader)]byte
 	if _, err := f.ReadAt(head[:], 0); err != nil {
-		f.Close()
-		return nil, err
+		return nil, nil, 0, 0, err
 	}
-	version := SegVersion
+	version = SegVersion
 	switch string(head[:]) {
 	case segHeader:
+	case segHeaderV3:
+		version = SegVersionV3
 	case segHeaderV2:
 		version = SegVersionV2
 	case segHeaderV1:
-		f.Close()
-		return nil, fmt.Errorf("%w: %s was written by codec v1 (gob footer, per-row column names); read it with a pre-v2 build or re-ingest the data", ErrVersion, path)
+		return nil, nil, 0, 0, fmt.Errorf("%w: %s was written by codec v1 (gob footer, per-row column names); read it with a pre-v2 build or re-ingest the data", ErrVersion, path)
 	default:
-		f.Close()
-		return nil, fmt.Errorf("persist: %s: bad segment header %q", path, head)
+		return nil, nil, 0, 0, fmt.Errorf("persist: %s: bad segment header %q", path, head)
 	}
 	var tail [trailerLen]byte
 	if _, err := f.ReadAt(tail[:], size-trailerLen); err != nil {
-		f.Close()
-		return nil, err
+		return nil, nil, 0, 0, err
 	}
 	wantTrailer := segTrailer
-	if version == SegVersionV2 {
+	switch version {
+	case SegVersionV3:
+		wantTrailer = segTrailerV3
+	case SegVersionV2:
 		wantTrailer = segTrailerV2
 	}
 	if string(tail[8:]) == segTrailerV1 {
-		f.Close()
-		return nil, fmt.Errorf("%w: %s has a codec v1 trailer; read it with a pre-v2 build or re-ingest the data", ErrVersion, path)
+		return nil, nil, 0, 0, fmt.Errorf("%w: %s has a codec v1 trailer; read it with a pre-v2 build or re-ingest the data", ErrVersion, path)
 	}
 	if string(tail[8:]) != wantTrailer {
-		f.Close()
-		return nil, fmt.Errorf("persist: %s: bad segment trailer", path)
+		return nil, nil, 0, 0, fmt.Errorf("persist: %s: bad segment trailer", path)
 	}
 	footLen := int64(binary.LittleEndian.Uint32(tail[0:4]))
 	footCRC := binary.LittleEndian.Uint32(tail[4:8])
 	if footLen > maxFooterLen || size-trailerLen-footLen < int64(len(segHeader)) {
-		f.Close()
-		return nil, fmt.Errorf("persist: %s: implausible footer length %d", path, footLen)
+		return nil, nil, 0, 0, fmt.Errorf("persist: %s: implausible footer length %d", path, footLen)
 	}
+	footOff = size - trailerLen - footLen
 	fb := make([]byte, footLen)
-	if _, err := f.ReadAt(fb, size-trailerLen-footLen); err != nil {
-		f.Close()
-		return nil, err
+	if _, err := f.ReadAt(fb, footOff); err != nil {
+		return nil, nil, 0, 0, err
 	}
 	if crc32.Checksum(fb, crcTable) != footCRC {
-		f.Close()
-		return nil, fmt.Errorf("persist: %s: footer checksum mismatch", path)
+		return nil, nil, 0, 0, fmt.Errorf("persist: %s: footer checksum mismatch", path)
 	}
-	meta, err := decodeFooter(fb, version)
+	meta, err = decodeFooter(fb, version)
 	if err != nil {
-		f.Close()
-		return nil, fmt.Errorf("persist: %s: footer decode: %w", path, err)
+		return nil, nil, 0, 0, fmt.Errorf("persist: %s: footer decode: %w", path, err)
 	}
-	colIDs := make([]uint32, len(meta.ColNames))
+	colIDs = make([]uint32, len(meta.ColNames))
 	for i, name := range meta.ColNames {
 		// Intern a copy, not the zero-copy footer substring — the dictionary
 		// outlives the segment and must not pin the footer buffer.
@@ -822,8 +916,154 @@ func OpenSegment(path string) (*Segment, error) {
 		}
 		sortZones(zones)
 	}
-	s := &Segment{path: path, f: f, meta: meta, colIDs: colIDs, size: size, mu: make(chan struct{}, 1)}
+	return meta, colIDs, version, footOff, nil
+}
+
+// OpenSegment opens a segment file and decodes its footer.
+func OpenSegment(path string) (*Segment, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	size := st.Size()
+	meta, colIDs, version, footOff, err := parseSegmentFile(f, path, size)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	s := &Segment{
+		path: path, f: f, meta: meta, colIDs: colIDs, size: size,
+		footOff: footOff, version: version, mu: make(chan struct{}, 1),
+	}
+	if err := s.buildTree(); err != nil {
+		f.Close()
+		return nil, err
+	}
 	return s, nil
+}
+
+// buildTree materializes the Merkle tree from the footer's leaf array
+// (v4 segments with at least one block).
+func (s *Segment) buildTree() error {
+	if len(s.meta.Leaves) == 0 {
+		return nil
+	}
+	tree, err := objstore.NewTree(s.meta.Leaves)
+	if err != nil {
+		return fmt.Errorf("persist: %s: %w", s.path, err)
+	}
+	s.tree = tree
+	s.root = tree.Root()
+	return nil
+}
+
+// stubPath returns the footer-stub path corresponding to the segment's
+// data file path.
+func stubPath(segPath string) string {
+	return strings.TrimSuffix(segPath, segFileExt) + segStubExt
+}
+
+// OpenTieredStub opens an evicted segment from its footer stub: the
+// footer parses exactly like a full segment (offsets in the sparse index
+// refer to the object's data region), the Merkle root must match the
+// manifest-pinned root, and all block reads go through tier. The stub's
+// descriptor is closed immediately — nothing local remains to read.
+func OpenTieredStub(path string, tier *objstore.Tier, e objstore.ManifestEntry) (*Segment, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	meta, colIDs, version, footOff, err := parseSegmentFile(f, path, st.Size())
+	f.Close()
+	if err != nil {
+		return nil, err
+	}
+	if version < SegVersion {
+		return nil, fmt.Errorf("persist: %s: stub for pre-v4 segment cannot be tier-read", path)
+	}
+	if meta.Seq != e.Seq {
+		return nil, fmt.Errorf("persist: %s: stub seq %d does not match manifest seq %d", path, meta.Seq, e.Seq)
+	}
+	s := &Segment{
+		path: strings.TrimSuffix(path, segStubExt) + segFileExt, f: nil,
+		meta: meta, colIDs: colIDs, size: e.Size, footOff: footOff,
+		version: version, tier: tier, tierKey: e.Key,
+		tiered: true, fClosed: true, mu: make(chan struct{}, 1),
+	}
+	if err := s.buildTree(); err != nil {
+		return nil, err
+	}
+	if s.root != e.Root {
+		return nil, fmt.Errorf("%w: %s: stub merkle root does not match manifest", objstore.ErrIntegrity, path)
+	}
+	return s, nil
+}
+
+// FetchStub rebuilds a missing footer stub from the object store (the
+// local directory lost both the data file and the stub — e.g. a fresh
+// disk recovering from the manifest). Two ranged reads: the trailer to
+// size the footer, then header+footer+trailer written atomically.
+func FetchStub(ctx context.Context, tier *objstore.Tier, e objstore.ManifestEntry, path string) error {
+	tail, err := tier.Store().ReadRange(ctx, e.Key, e.Size-trailerLen, trailerLen)
+	if err != nil {
+		return fmt.Errorf("persist: fetch stub trailer for %s: %w", e.Key, err)
+	}
+	footLen := int64(binary.LittleEndian.Uint32(tail[0:4]))
+	if footLen > maxFooterLen || e.Size-trailerLen-footLen < int64(len(segHeader)) {
+		return fmt.Errorf("%w: %s: implausible footer length %d in fetched trailer", objstore.ErrIntegrity, e.Key, footLen)
+	}
+	head, err := tier.Store().ReadRange(ctx, e.Key, 0, int64(len(segHeader)))
+	if err != nil {
+		return fmt.Errorf("persist: fetch stub header for %s: %w", e.Key, err)
+	}
+	foot, err := tier.Store().ReadRange(ctx, e.Key, e.Size-trailerLen-footLen, footLen)
+	if err != nil {
+		return fmt.Errorf("persist: fetch stub footer for %s: %w", e.Key, err)
+	}
+	if crc32.Checksum(foot, crcTable) != binary.LittleEndian.Uint32(tail[4:8]) {
+		return fmt.Errorf("%w: %s: fetched footer fails its checksum", objstore.ErrIntegrity, e.Key)
+	}
+	return writeStub(path, head, foot, tail)
+}
+
+// writeStub writes header+footer+trailer to path atomically.
+func writeStub(path string, head, foot, tail []byte) error {
+	tmp := path + segTempExt
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	var werr error
+	for _, b := range [][]byte{head, foot, tail} {
+		if _, werr = f.Write(b); werr != nil {
+			break
+		}
+	}
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp)
+		return werr
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(path)
 }
 
 // sortZones sorts a block's zone maps by dictionary ID (insertion sort;
@@ -886,8 +1126,15 @@ func (s *Segment) Overlaps(rg Range) bool {
 	return true
 }
 
-// Verify re-reads the data region and checks it against the footer CRC.
+// Verify re-reads the local data region and checks it against the footer
+// CRC. Evicted segments verify per-block at fetch time instead.
 func (s *Segment) Verify() error {
+	s.lock()
+	noLocal := s.tiered || s.fClosed
+	s.unlock()
+	if noLocal {
+		return nil
+	}
 	h := crc32.New(crcTable)
 	if _, err := io.Copy(h, io.NewSectionReader(s.f, 0, s.meta.DataLen)); err != nil {
 		return err
@@ -907,34 +1154,53 @@ func (s *Segment) unlock() { <-s.mu }
 var ErrRetired = errors.New("persist: segment retired")
 
 // acquire registers an iterator; it fails once the segment is retired.
-func (s *Segment) acquire() error {
+// The returned flag reports whether this iterator reads the local data
+// file (true) or fetches blocks through the tier (false); it must be
+// passed back to release.
+func (s *Segment) acquire() (local bool, err error) {
 	s.lock()
 	defer s.unlock()
 	if s.closed || s.doomed {
-		return fmt.Errorf("%w: %s", ErrRetired, s.path)
+		return false, fmt.Errorf("%w: %s", ErrRetired, s.path)
 	}
 	s.refs++
-	return nil
+	local = !s.tiered
+	if local {
+		s.localRefs++
+	}
+	return local, nil
 }
 
 // release drops an iterator reference, completing a pending retire when
-// the last reader finishes.
-func (s *Segment) release() {
+// the last reader finishes and closing an evicted segment's descriptor
+// when its last local reader drains.
+func (s *Segment) release(local bool) {
 	s.lock()
 	s.refs--
-	done := s.doomed && s.refs == 0 && !s.closed
-	if done {
+	if local {
+		s.localRefs--
+	}
+	var closeF bool
+	if s.doomed && s.refs == 0 && !s.closed {
 		s.closed = true
+		closeF = !s.fClosed
+		s.fClosed = true
+	} else if s.tiered && local && s.localRefs == 0 && !s.fClosed {
+		// Last pre-eviction reader done: the unlinked data file's
+		// descriptor can finally go.
+		closeF = true
+		s.fClosed = true
 	}
 	s.unlock()
-	if done {
+	if closeF {
 		s.f.Close()
 	}
 }
 
-// retire unlinks the file and closes the descriptor as soon as no iterator
-// is using it (immediately when idle). Used by compaction after the merged
-// replacement is durable.
+// retire unlinks the local files and closes the descriptor as soon as no
+// iterator is using it (immediately when idle). Used by compaction after
+// the merged replacement is durable. Object-store cleanup of tiered
+// segments is the store's job (it owns the manifest).
 func (s *Segment) retire() {
 	s.lock()
 	already := s.doomed
@@ -943,11 +1209,16 @@ func (s *Segment) retire() {
 	if done {
 		s.closed = true
 	}
+	closeF := done && !s.fClosed
+	if done {
+		s.fClosed = true
+	}
 	s.unlock()
 	if !already {
 		os.Remove(s.path)
+		os.Remove(stubPath(s.path))
 	}
-	if done {
+	if closeF {
 		s.f.Close()
 	}
 }
@@ -960,7 +1231,109 @@ func (s *Segment) Close() error {
 		return nil
 	}
 	s.closed = true
+	if s.fClosed {
+		return nil
+	}
+	s.fClosed = true
 	return s.f.Close()
+}
+
+// SetTier records that the segment has a verified, manifest-recorded
+// copy in the object store under key. The local data file remains the
+// read path until EvictLocal.
+func (s *Segment) SetTier(tier *objstore.Tier, key string) {
+	s.lock()
+	s.tier = tier
+	s.tierKey = key
+	s.unlock()
+}
+
+// Uploaded reports whether the segment has a manifest-recorded
+// object-store copy.
+func (s *Segment) Uploaded() bool {
+	s.lock()
+	defer s.unlock()
+	return s.tierKey != ""
+}
+
+// Tiered reports whether the local data file has been released (reads of
+// this segment fetch blocks from the object store).
+func (s *Segment) Tiered() bool {
+	s.lock()
+	defer s.unlock()
+	return s.tiered
+}
+
+// TierKey returns the object key of an uploaded segment ("" otherwise).
+func (s *Segment) TierKey() string {
+	s.lock()
+	defer s.unlock()
+	return s.tierKey
+}
+
+// MerkleRoot returns the segment's Merkle root over its data blocks.
+// ok is false for pre-v4 segments (no leaf array in the footer).
+func (s *Segment) MerkleRoot() (root [objstore.HashLen]byte, ok bool) {
+	if s.tree == nil {
+		return root, false
+	}
+	return s.root, true
+}
+
+// CanTier reports whether the segment is eligible for upload/eviction:
+// codec v4 (Merkle leaves resident) with at least one block.
+func (s *Segment) CanTier() bool { return s.tree != nil }
+
+// EvictLocal releases the segment's local data file: it writes the
+// footer stub (tmp+rename), marks the segment tiered so new iterators
+// fetch from the object store, and unlinks the data file. Iterators
+// already open keep reading the unlinked file through the shared
+// descriptor; the descriptor closes when the last of them finishes. The
+// caller must have uploaded, verified, AND durably manifest-recorded the
+// object first — the stub is the point of no local return.
+func (s *Segment) EvictLocal() error {
+	s.lock()
+	if s.tiered || s.doomed || s.closed {
+		s.unlock()
+		return nil
+	}
+	if s.tierKey == "" || s.tree == nil {
+		s.unlock()
+		return fmt.Errorf("persist: %s: evict before verified upload", s.path)
+	}
+	s.unlock()
+
+	// Assemble the stub from the open descriptor (reads race nothing: the
+	// file is immutable).
+	head := make([]byte, len(segHeader))
+	if _, err := s.f.ReadAt(head, 0); err != nil {
+		return err
+	}
+	foot := make([]byte, s.size-trailerLen-s.footOff)
+	if _, err := s.f.ReadAt(foot, s.footOff); err != nil {
+		return err
+	}
+	tail := make([]byte, trailerLen)
+	if _, err := s.f.ReadAt(tail, s.size-trailerLen); err != nil {
+		return err
+	}
+	if err := writeStub(stubPath(s.path), head, foot, tail); err != nil {
+		return err
+	}
+	tierHook("post-stub", s.meta.Seq)
+
+	s.lock()
+	s.tiered = true
+	closeF := s.localRefs == 0 && !s.fClosed
+	if closeF {
+		s.fClosed = true
+	}
+	s.unlock()
+	os.Remove(s.path)
+	if closeF {
+		s.f.Close()
+	}
+	return nil
 }
 
 // startBlock returns the index of the first block that can contain keys
@@ -1030,7 +1403,8 @@ func (s *Segment) ScanPruned(rg Range, cfg ScanConfig) (Iterator, error) {
 	if !s.Overlaps(rg) {
 		return NewSliceIter(nil), nil
 	}
-	if err := s.acquire(); err != nil {
+	local, err := s.acquire()
+	if err != nil {
 		return nil, err
 	}
 	if len(s.meta.Blocks) == 0 {
@@ -1040,18 +1414,21 @@ func (s *Segment) ScanPruned(rg Range, cfg ScanConfig) (Iterator, error) {
 		s:     s,
 		rg:    rg,
 		cfg:   cfg,
+		local: local,
 		block: s.startBlock(rg.From),
 		buf:   blockBufPool.Get().(*[]byte),
 		rows:  rowBufPool.Get().(*[]Row),
 	}, nil
 }
 
-// segIter decodes rows off disk one block at a time.
+// segIter decodes rows one block at a time — off the local file, or
+// through the tier's verified block cache when the segment is evicted.
 type segIter struct {
 	s     *Segment
 	rg    Range
 	cfg   ScanConfig
-	block int // next block to read
+	local bool // read via s.f (fenced open before any eviction)
+	block int  // next block to read
 	buf   *[]byte
 	rows  *[]Row
 	pos   int // next row within *rows
@@ -1118,25 +1495,41 @@ func (it *segIter) fill() bool {
 		}
 		it.block++
 	}
-	lo, hi := it.s.blockBounds(it.block)
+	blk := it.block
+	lo, hi := it.s.blockBounds(blk)
 	it.block++
 	if it.cfg.Stats != nil {
 		it.cfg.Stats.BlocksRead.Add(1)
 	}
-	buf := (*it.buf)[:0]
-	if n := int(hi - lo); cap(buf) < n {
-		buf = make([]byte, n)
-	} else {
-		buf = buf[:n]
-	}
-	*it.buf = buf
-	if _, err := it.s.f.ReadAt(buf, lo); err != nil {
-		it.err = fmt.Errorf("persist: %s: block read: %w", it.s.path, err)
-		return false
-	}
 	// One copy into an immutable string; every key and value decoded below
 	// is a zero-copy substring of it.
-	d := StringDec{s: string(buf)}
+	var blockStr string
+	if it.local {
+		buf := (*it.buf)[:0]
+		if n := int(hi - lo); cap(buf) < n {
+			buf = make([]byte, n)
+		} else {
+			buf = buf[:n]
+		}
+		*it.buf = buf
+		if _, err := it.s.f.ReadAt(buf, lo); err != nil {
+			it.err = fmt.Errorf("persist: %s: block read: %w", it.s.path, err)
+			return false
+		}
+		blockStr = string(buf)
+	} else {
+		// Evicted segment: Merkle-verified read-through the tier's block
+		// cache. The string conversion copies, so the cached bytes are
+		// released immediately.
+		data, release, err := it.s.tier.ReadBlock(context.Background(), it.s.tierKey, blk, lo, hi-lo, it.s.root, it.s.tree)
+		if err != nil {
+			it.err = fmt.Errorf("persist: %s: tier block read: %w", it.s.path, err)
+			return false
+		}
+		blockStr = string(data)
+		release()
+	}
+	d := StringDec{s: blockStr}
 	rows := (*it.rows)[:0]
 	if it.arenaCap == 0 {
 		it.arenaCap = 4 * indexEvery
@@ -1165,7 +1558,7 @@ func (it *segIter) Close() error {
 		return nil
 	}
 	it.closed = true
-	it.s.release()
+	it.s.release(it.local)
 	// Drop row references before pooling so recycled buffers don't pin
 	// block strings or arenas.
 	rows := (*it.rows)[:cap(*it.rows)]

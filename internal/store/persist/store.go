@@ -1,6 +1,8 @@
 package persist
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -8,6 +10,8 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"hpclog/internal/objstore"
 )
 
 // Store manages the immutable segment files of one storage node: flushes
@@ -21,6 +25,13 @@ type Store struct {
 	// zoneCols, when non-nil, replaces DefaultZoneColumns as the hot set
 	// receiving per-block zone maps in newly written segments.
 	zoneCols []string
+
+	// tier/manifest/tierPrefix are set when the store was opened with an
+	// object-store tier attached (OpenStoreTiered); nil tier means every
+	// segment stays resident and TierSweep is a no-op.
+	tier       *objstore.Tier
+	manifest   *objstore.Manifest
+	tierPrefix string
 
 	mu      sync.Mutex
 	nextSeq uint64
@@ -45,15 +56,48 @@ type Stats struct {
 	CompactedRows     int64
 	Segments          int64
 	Bytes             int64
+	// TieredSegments/TieredBytes count segments whose data file has been
+	// evicted to the object store (bytes are the logical object sizes).
+	TieredSegments int64
+	TieredBytes    int64
 }
 
 // OpenStore opens (creating if needed) the segment directory and loads
-// every segment file's footer.
+// every segment file's footer. If a previous run evicted segments to an
+// object store, opening without the tier fails with ErrTierRequired —
+// use OpenStoreTiered.
 func OpenStore(dir string) (*Store, error) {
+	return OpenStoreTiered(dir, nil)
+}
+
+// OpenStoreTiered opens the segment directory with an object-store tier
+// attached: the tier manifest is replayed so evicted segments come back
+// as footer stubs (rebuilt from the object store when the disk is
+// fresh), local files that were uploaded but not yet evicted are
+// re-adopted, and orphan stubs from interrupted retires are swept.
+func OpenStoreTiered(dir string, ts *TierSetup) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
 	s := &Store{dir: dir, segs: make(map[segKey][]*Segment), tables: make(map[string]bool)}
+	if ts != nil {
+		if ts.Tier == nil {
+			return nil, fmt.Errorf("persist: tier setup without a tier")
+		}
+		s.tier = ts.Tier
+		s.tierPrefix = ts.Prefix
+		if s.tierPrefix == "" {
+			s.tierPrefix = "node"
+		}
+	}
+	m, err := objstore.LoadManifest(filepath.Join(dir, tierManifestName))
+	if err != nil {
+		return nil, err
+	}
+	if s.tier == nil && m.Len() > 0 {
+		return nil, ErrTierRequired
+	}
+	s.manifest = m
 	if err := s.loadTables(); err != nil {
 		return nil, err
 	}
@@ -80,6 +124,11 @@ func OpenStore(dir string) (*Store, error) {
 		s.segs[k] = append(s.segs[k], seg)
 		if seg.Seq() >= s.nextSeq {
 			s.nextSeq = seg.Seq() + 1
+		}
+	}
+	if s.tier != nil {
+		if err := s.reconcileTier(); err != nil {
+			return nil, err
 		}
 	}
 	for _, list := range s.segs {
@@ -329,13 +378,19 @@ func (s *Store) CompactPartition(table, pkey string, threshold int) (bool, error
 	next = append(next, tail...)
 	s.segs[k] = next
 	s.mu.Unlock()
+	var dropErrs []error
 	for _, o := range old {
+		// Drop the object-store copy before unlinking local state so the
+		// manifest never points at a segment the store no longer tracks.
+		if derr := s.dropTiered(context.Background(), o); derr != nil {
+			dropErrs = append(dropErrs, derr)
+		}
 		o.retire()
 	}
 	s.compactions.Add(1)
 	s.compactedSegments.Add(int64(len(old)))
 	s.compactedRows.Add(int64(rows))
-	return true, nil
+	return true, errors.Join(dropErrs...)
 }
 
 // CompactOverflow compacts every partition whose segment count exceeds
@@ -350,16 +405,19 @@ func (s *Store) CompactOverflow(threshold int) (int, error) {
 	}
 	s.mu.Unlock()
 	n := 0
+	var errs []error
 	for _, k := range keys {
 		did, err := s.CompactPartition(k.table, k.pkey, threshold)
 		if err != nil {
-			return n, err
+			// A failed drop of a retired segment's object copy doesn't stop
+			// other partitions from compacting; surface all failures joined.
+			errs = append(errs, err)
 		}
 		if did {
 			n++
 		}
 	}
-	return n, nil
+	return n, errors.Join(errs...)
 }
 
 // Stats returns a snapshot of counters plus the live segment totals.
@@ -376,6 +434,10 @@ func (s *Store) Stats() Stats {
 		st.Segments += int64(len(list))
 		for _, seg := range list {
 			st.Bytes += seg.Size()
+			if seg.Tiered() {
+				st.TieredSegments++
+				st.TieredBytes += seg.Size()
+			}
 		}
 	}
 	s.mu.Unlock()
